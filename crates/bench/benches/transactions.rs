@@ -1,0 +1,62 @@
+//! End-to-end single-transaction latency, Baseline vs DORA, for the
+//! transactions Figure 7 reports. Criterion gives the per-transaction view;
+//! the `repro fig7` harness reports the normalized comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+use dora_core::{DoraConfig, DoraEngine};
+use dora_engine::BaselineEngine;
+use dora_storage::Database;
+use dora_workloads::{Tm1, Tm1Mix, TpcB, Tpcc, TpccMix, Workload};
+
+fn bench_workload(c: &mut Criterion, name: &str, make: impl Fn() -> Box<dyn Workload>) {
+    let mut group = c.benchmark_group(name);
+
+    let db = Database::for_tests();
+    let workload = make();
+    workload.setup(&db).unwrap();
+    let baseline = BaselineEngine::new(Arc::clone(&db));
+    let mut rng = SmallRng::seed_from_u64(1);
+    group.bench_function("baseline", |b| {
+        b.iter(|| workload.run_baseline(&baseline, &mut rng));
+    });
+
+    let db = Database::for_tests();
+    let workload = make();
+    workload.setup(&db).unwrap();
+    let dora = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::default()));
+    workload.bind_dora(&dora, 2).unwrap();
+    let mut rng = SmallRng::seed_from_u64(1);
+    group.bench_function("dora", |b| {
+        b.iter(|| workload.run_dora(&dora, &mut rng));
+    });
+    group.finish();
+    dora.shutdown();
+}
+
+fn transaction_latency(c: &mut Criterion) {
+    bench_workload(c, "tm1_get_subscriber_data", || {
+        Box::new(Tm1::new(1_000).with_mix(Tm1Mix::GetSubscriberDataOnly))
+    });
+    bench_workload(c, "tpcc_payment", || {
+        Box::new(Tpcc::with_scale(2, 60, 100).with_mix(TpccMix::PaymentOnly))
+    });
+    bench_workload(c, "tpcc_new_order", || {
+        Box::new(Tpcc::with_scale(2, 60, 100).with_mix(TpccMix::NewOrderOnly))
+    });
+    bench_workload(c, "tpcb_account_update", || Box::new(TpcB::with_accounts(4, 100)));
+}
+
+fn configure() -> Criterion {
+    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = transaction_latency
+}
+criterion_main!(benches);

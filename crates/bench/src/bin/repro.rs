@@ -1,0 +1,46 @@
+//! `repro` — regenerate the figures of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p dora-bench --release --bin repro -- all --quick
+//! cargo run -p dora-bench --release --bin repro -- fig1 fig6 --full
+//! ```
+//!
+//! Every figure of the evaluation section (and the appendix) has a
+//! subcommand; `fig9` is validated by the integration test
+//! `payment_twelve_steps` instead of a measurement. Reports are printed to
+//! stdout; absolute numbers depend on the host, but the *shapes* the paper
+//! reports (who wins, where the baseline collapses, which components dominate
+//! the breakdowns) should reproduce. See `EXPERIMENTS.md`.
+
+use dora_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let requested: Vec<&String> =
+        args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if requested.is_empty() || requested.iter().any(|a| a.as_str() == "all") {
+        println!("running every experiment at {} scale\n", if full { "full" } else { "quick" });
+        for report in experiments::all(&scale) {
+            println!("{report}");
+        }
+        return;
+    }
+
+    let mut unknown = Vec::new();
+    for name in requested {
+        match experiments::by_name(name, &scale) {
+            Some(report) => println!("{report}"),
+            None => unknown.push(name.clone()),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment(s): {} (valid: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 all)",
+            unknown.join(", ")
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,539 @@
+//! One function per figure of the paper's evaluation (Section 5 and the
+//! appendix). Each sets up the workloads at the requested [`Scale`], drives
+//! the baseline and/or DORA engines, and renders the measured series as a
+//! plain-text [`Report`]. `EXPERIMENTS.md` records how each measured shape
+//! compares to the paper's.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use dora_common::prelude::*;
+use dora_core::{DoraConfig, DoraEngine};
+use dora_engine::{find_peak, BaselineEngine, ClientDriver, DriverConfig};
+use dora_storage::Database;
+use dora_workloads::{Tm1Mix, Tpcc, TpccMix, Workload};
+
+use crate::report::{breakdown_row, pct, Report};
+use crate::setup::{prepare, run_clients, sweep, Scale, SystemUnderTest};
+use crate::trace::AccessTrace;
+
+/// Figure 1: TM1-GetSubscriberData — throughput per CPU utilization as the
+/// load grows, plus the time breakdown of each system.
+pub fn fig1(scale: &Scale) -> Report {
+    let mut report = Report::new("Figure 1: TM1-GetSubscriberData, Baseline vs DORA");
+    for system in [SystemUnderTest::Baseline, SystemUnderTest::Dora] {
+        report.line(format!("{}:", system.label()));
+        let workload = scale.tm1().with_mix(Tm1Mix::GetSubscriberDataOnly);
+        let results = sweep(workload, scale, system, &scale.load_points());
+        report.line(format!(
+            "  {:>10} {:>10} {:>14} {:>16}",
+            "load(%)", "cpu(%)", "tps", "tps/cpu-util"
+        ));
+        for (load, result) in &results {
+            report.line(format!(
+                "  {:>10.0} {:>10.1} {:>14.0} {:>16.2}",
+                load,
+                result.cpu_utilization_percent.unwrap_or(*load),
+                result.throughput_tps,
+                result.throughput_per_cpu_util(),
+            ));
+        }
+        report.line("  time breakdown:");
+        for (load, result) in &results {
+            report.line(breakdown_row(&format!("@{load:.0}% offered"), &result.breakdown));
+        }
+        report.blank();
+    }
+    report
+}
+
+/// Figure 2: time breakdown at full utilization for (a) the TM1 mix and
+/// (b) TPC-C OrderStatus, Baseline vs DORA.
+pub fn fig2(scale: &Scale) -> Report {
+    let mut report = Report::new("Figure 2: time breakdown at 100% CPU utilization");
+    for (label, which) in [("TM1 (full mix)", 0), ("TPC-C OrderStatus", 1)] {
+        report.line(format!("{label}:"));
+        for system in [SystemUnderTest::Baseline, SystemUnderTest::Dora] {
+            let results = if which == 0 {
+                sweep(scale.tm1(), scale, system, &[100.0])
+            } else {
+                sweep(scale.tpcc().with_mix(TpccMix::OrderStatusOnly), scale, system, &[100.0])
+            };
+            let (_, result) = &results[0];
+            report.line(breakdown_row(system.label(), &result.breakdown));
+        }
+        report.blank();
+    }
+    report
+}
+
+/// Figure 3: where the time inside the centralized lock manager goes for the
+/// baseline running TPC-B, as the load grows.
+pub fn fig3(scale: &Scale) -> Report {
+    let mut report = Report::new("Figure 3: inside the lock manager (Baseline, TPC-B)");
+    let results = sweep(scale.tpcb(), scale, SystemUnderTest::Baseline, &scale.load_points());
+    report.line(format!(
+        "  {:>10} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "load(%)", "acquire", "acquire-cont", "release", "release-cont", "other"
+    ));
+    for (load, result) in &results {
+        let breakdown = &result.breakdown;
+        let total = (breakdown.lock_mgr_acquire_nanos
+            + breakdown.lock_mgr_acquire_cont_nanos
+            + breakdown.lock_mgr_release_nanos
+            + breakdown.lock_mgr_release_cont_nanos
+            + breakdown.lock_mgr_other_nanos)
+            .max(1) as f64;
+        report.line(format!(
+            "  {:>10.0} {:>10} {:>12} {:>10} {:>12} {:>10}",
+            load,
+            pct(breakdown.lock_mgr_acquire_nanos as f64 / total),
+            pct(breakdown.lock_mgr_acquire_cont_nanos as f64 / total),
+            pct(breakdown.lock_mgr_release_nanos as f64 / total),
+            pct(breakdown.lock_mgr_release_cont_nanos as f64 / total),
+            pct(breakdown.lock_mgr_other_nanos as f64 / total),
+        ));
+    }
+    report.blank();
+    report.line("  contention share of lock-manager time:");
+    for (load, result) in &results {
+        report.kv(
+            &format!("@{load:.0}% offered load"),
+            pct(result.breakdown.lock_mgr_internal_contention_fraction()),
+        );
+    }
+    report
+}
+
+/// Figure 4: the transaction flow graph of TPC-C Payment (structural, not a
+/// measurement).
+pub fn fig4(scale: &Scale) -> Report {
+    let mut report = Report::new("Figure 4: transaction flow graph of TPC-C Payment");
+    let db = Database::new(scale.system_config());
+    let tpcc = scale.tpcc();
+    tpcc.setup(&db).expect("setup TPC-C");
+    let graph = tpcc
+        .payment_graph(&db, 1, 1, 1, 1, dora_workloads::tpcc::CustomerSelector::ById(1), 10.0)
+        .expect("payment graph");
+    for (index, phase) in graph.describe().iter().enumerate() {
+        report.line(format!("  phase {}: {}", index + 1, phase.join(", ")));
+        if index + 1 < graph.phase_count() {
+            report.line(format!("  --- RVP{} ---", index + 1));
+        }
+    }
+    report.line(format!("  --- RVP{} (terminal: commit) ---", graph.phase_count()));
+    report
+}
+
+/// Figure 5: locks acquired per 100 transactions, by class, for TM1, TPC-B
+/// and TPC-C OrderStatus under both systems.
+pub fn fig5(scale: &Scale) -> Report {
+    let mut report = Report::new("Figure 5: locks acquired per 100 transactions");
+    report.line(format!(
+        "  {:<26} {:<10} {:>12} {:>14} {:>14}",
+        "workload", "system", "row-level", "higher-level", "thread-local"
+    ));
+    let load = [75.0];
+    for which in 0..3 {
+        for system in [SystemUnderTest::Baseline, SystemUnderTest::Dora] {
+            let (name, results) = match which {
+                0 => ("TM1", sweep(scale.tm1(), scale, system, &load)),
+                1 => ("TPC-B", sweep(scale.tpcb(), scale, system, &load)),
+                _ => (
+                    "TPC-C OrderStatus",
+                    sweep(scale.tpcc().with_mix(TpccMix::OrderStatusOnly), scale, system, &load),
+                ),
+            };
+            let (_, result) = &results[0];
+            let (row, higher, local) = result.locks_per_100_txns();
+            report.line(format!(
+                "  {:<26} {:<10} {:>12.0} {:>14.0} {:>14.0}",
+                name,
+                system.label(),
+                row,
+                higher,
+                local
+            ));
+        }
+    }
+    report
+}
+
+/// Figure 6: throughput as the offered CPU load grows (including past
+/// saturation) for TM1, TPC-B and TPC-C OrderStatus.
+pub fn fig6(scale: &Scale) -> Report {
+    let mut report = Report::new("Figure 6: throughput vs offered CPU load");
+    for which in 0..3 {
+        let name = ["TM1", "TPC-B", "TPC-C OrderStatus"][which];
+        report.line(format!("{name}:"));
+        report.line(format!("  {:>10} {:>16} {:>16}", "load(%)", "Baseline tps", "DORA tps"));
+        let mut series: Vec<Vec<(f64, f64)>> = Vec::new();
+        for system in [SystemUnderTest::Baseline, SystemUnderTest::Dora] {
+            let results = match which {
+                0 => sweep(scale.tm1(), scale, system, &scale.load_points()),
+                1 => sweep(scale.tpcb(), scale, system, &scale.load_points()),
+                _ => sweep(
+                    scale.tpcc().with_mix(TpccMix::OrderStatusOnly),
+                    scale,
+                    system,
+                    &scale.load_points(),
+                ),
+            };
+            series.push(results.iter().map(|(load, r)| (*load, r.throughput_tps)).collect());
+        }
+        for (index, load) in scale.load_points().iter().enumerate() {
+            report.line(format!(
+                "  {:>10.0} {:>16.0} {:>16.0}",
+                load, series[0][index].1, series[1][index].1
+            ));
+        }
+        report.blank();
+    }
+    report
+}
+
+/// Figure 7: single-client response times (intra-transaction parallelism).
+pub fn fig7(scale: &Scale) -> Report {
+    let mut report = Report::new("Figure 7: single-client response time (normalized to Baseline)");
+    report.line(format!(
+        "  {:<26} {:>16} {:>16} {:>12}",
+        "transaction", "Baseline (us)", "DORA (us)", "DORA/Base"
+    ));
+    let iterations = if scale.duration.as_millis() > 500 { 400 } else { 100 };
+
+    // (label, workload constructor for baseline and for DORA)
+    let cases: Vec<(&str, Box<dyn Fn() -> Box<dyn Workload>>)> = vec![
+        (
+            "TM1 GetSubscriberData",
+            Box::new({
+                let scale = scale.clone();
+                move || Box::new(scale.tm1().with_mix(Tm1Mix::GetSubscriberDataOnly))
+            }),
+        ),
+        (
+            "TPC-C Payment",
+            Box::new({
+                let scale = scale.clone();
+                move || Box::new(scale.tpcc().with_mix(TpccMix::PaymentOnly))
+            }),
+        ),
+        (
+            "TPC-C OrderStatus",
+            Box::new({
+                let scale = scale.clone();
+                move || Box::new(scale.tpcc().with_mix(TpccMix::OrderStatusOnly))
+            }),
+        ),
+        (
+            "TPC-C NewOrder",
+            Box::new({
+                let scale = scale.clone();
+                move || Box::new(scale.tpcc().with_mix(TpccMix::NewOrderOnly))
+            }),
+        ),
+        (
+            "TPC-B",
+            Box::new({
+                let scale = scale.clone();
+                move || Box::new(scale.tpcb())
+            }),
+        ),
+    ];
+
+    for (label, make) in cases {
+        let driver = ClientDriver::new(DriverConfig {
+            clients: 1,
+            duration: scale.duration,
+            warmup: scale.warmup,
+            hardware_contexts: scale.hardware_contexts,
+        });
+        // Baseline.
+        let db = Database::new(scale.system_config());
+        let workload = make();
+        workload.setup(&db).expect("setup");
+        let baseline = BaselineEngine::new(Arc::clone(&db));
+        let mut rng = SmallRng::seed_from_u64(42);
+        let base_latency =
+            driver.measure_single(iterations, |_| workload.run_baseline(&baseline, &mut rng));
+        // DORA.
+        let db = Database::new(scale.system_config());
+        let workload = make();
+        workload.setup(&db).expect("setup");
+        let dora = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::default()));
+        workload.bind_dora(&dora, scale.executors_per_table).expect("bind");
+        let mut rng = SmallRng::seed_from_u64(42);
+        let dora_latency =
+            driver.measure_single(iterations, |_| workload.run_dora(&dora, &mut rng));
+        dora.shutdown();
+
+        let base_us = base_latency.mean().as_micros() as f64;
+        let dora_us = dora_latency.mean().as_micros() as f64;
+        report.line(format!(
+            "  {:<26} {:>16.0} {:>16.0} {:>12.2}",
+            label,
+            base_us,
+            dora_us,
+            dora_us / base_us.max(1.0)
+        ));
+    }
+    report
+}
+
+/// Figure 8: peak throughput under perfect admission control, with the CPU
+/// utilization at which the peak is reached.
+pub fn fig8(scale: &Scale) -> Report {
+    let mut report = Report::new("Figure 8: peak throughput under perfect admission control");
+    report.line(format!(
+        "  {:<26} {:<10} {:>12} {:>14} {:>18}",
+        "workload", "system", "peak tps", "norm. to base", "cpu util at peak"
+    ));
+    for which in 0..3 {
+        let name = ["TM1", "TPC-B", "TPC-C OrderStatus"][which];
+        let mut base_peak = 0.0;
+        for system in [SystemUnderTest::Baseline, SystemUnderTest::Dora] {
+            let prepared = match which {
+                0 => prepare(scale.tm1(), scale, system),
+                1 => prepare(scale.tpcb(), scale, system),
+                _ => prepare(scale.tpcc().with_mix(TpccMix::OrderStatusOnly), scale, system),
+            };
+            let client_counts: Vec<usize> =
+                scale.load_points().iter().map(|&p| scale.clients_for(p)).collect();
+            let peak = find_peak(&client_counts, |clients| run_clients(&prepared, scale, clients));
+            prepared.shutdown();
+            if system == SystemUnderTest::Baseline {
+                base_peak = peak.best_tps;
+            }
+            report.line(format!(
+                "  {:<26} {:<10} {:>12.0} {:>14.2} {:>17.0}%",
+                name,
+                system.label(),
+                peak.best_tps,
+                peak.best_tps / base_peak.max(1.0),
+                peak.cpu_utilization_at_peak.unwrap_or(peak.offered_load_at_peak()),
+            ));
+        }
+    }
+    report
+}
+
+/// Figure 10: the District access trace under thread-to-transaction vs
+/// thread-to-data assignment (TPC-C Payment, 10 warehouses).
+pub fn fig10(scale: &Scale) -> Report {
+    let mut report = Report::new("Figure 10: District access patterns (TPC-C Payment)");
+    let warehouses = 10i64.min(scale.tpcc_warehouses.max(2));
+    let districts = (warehouses * 10) as usize;
+    let threads = 10usize;
+    let tpcc =
+        Tpcc::with_scale(warehouses, scale.tpcc_customers_per_district, scale.tpcc_items)
+            .with_mix(TpccMix::PaymentOnly);
+
+    // Conventional (thread-to-transaction): any worker thread updates any
+    // district.
+    let db = Database::new(scale.system_config());
+    tpcc.setup(&db).expect("setup");
+    let baseline = BaselineEngine::new(Arc::clone(&db));
+    let trace_baseline = AccessTrace::new();
+    let tpcc = Arc::new(tpcc);
+    let driver = ClientDriver::new(DriverConfig {
+        clients: threads,
+        duration: scale.duration,
+        warmup: std::time::Duration::from_millis(0),
+        hardware_contexts: scale.hardware_contexts,
+    });
+    {
+        let tpcc = Arc::clone(&tpcc);
+        let trace = trace_baseline.clone();
+        let baseline = baseline.clone();
+        driver.run(move |client, rng| {
+            let (w_id, d_id, c_w_id, c_d_id, selector, amount) = tpcc.payment_inputs(rng);
+            trace.record(client, ((w_id - 1) * 10 + (d_id - 1)) as usize);
+            match baseline.execute(|db, txn| {
+                tpcc.payment_baseline(db, txn, w_id, d_id, c_w_id, c_d_id, selector.clone(), amount)
+            }) {
+                Ok(dora_engine::baseline::BaselineOutcome::Committed) => {
+                    dora_engine::TxnOutcome::Committed
+                }
+                _ => dora_engine::TxnOutcome::Aborted,
+            }
+        });
+    }
+
+    // DORA (thread-to-data): the district's executor — determined by the
+    // routing rule — performs the access.
+    let db = Database::new(scale.system_config());
+    let tpcc_dora = Tpcc::with_scale(warehouses, scale.tpcc_customers_per_district, scale.tpcc_items)
+        .with_mix(TpccMix::PaymentOnly);
+    tpcc_dora.setup(&db).expect("setup");
+    let dora = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::default()));
+    // Ten executors on the District table so the comparison uses the same
+    // number of "threads" as the conventional run, like the paper's figure.
+    let tpcc_dora = Arc::new(tpcc_dora);
+    tpcc_dora.bind_dora(&dora, threads.min(scale.executors_per_table.max(2))).expect("bind");
+    let district_table = db.table_id("district").expect("district table");
+    let trace_dora = AccessTrace::new();
+    {
+        let tpcc = Arc::clone(&tpcc_dora);
+        let trace = trace_dora.clone();
+        let dora = Arc::clone(&dora);
+        let routing = dora.routing().rule(district_table).expect("district rule");
+        driver.run(move |_client, rng| {
+            let (w_id, d_id, c_w_id, c_d_id, selector, amount) = tpcc.payment_inputs(rng);
+            let executor =
+                routing.route(&Key::int2(w_id, d_id)).unwrap_or(0);
+            trace.record(executor, ((w_id - 1) * 10 + (d_id - 1)) as usize);
+            match dora.execute(
+                tpcc.payment_graph(dora.db(), w_id, d_id, c_w_id, c_d_id, selector, amount)
+                    .expect("graph"),
+            ) {
+                Ok(()) => dora_engine::TxnOutcome::Committed,
+                Err(_) => dora_engine::TxnOutcome::Aborted,
+            }
+        });
+    }
+    dora.shutdown();
+
+    report.line(format!(
+        "  {} district records, {} worker threads, {} executor threads",
+        districts,
+        threads,
+        dora.executor_count(district_table)
+    ));
+    report.blank();
+    report.line("(a) thread-to-transaction (conventional): accesses per thread x district");
+    report.line(trace_baseline.render_heatmap(threads, districts));
+    report.line(format!(
+        "    distinct districts touched per thread: {:?}",
+        trace_baseline.distinct_districts_per_thread(threads, districts)
+    ));
+    report.blank();
+    report.line("(b) thread-to-data (DORA): accesses per executor x district");
+    let executor_threads = dora.executor_count(district_table).max(1);
+    report.line(trace_dora.render_heatmap(executor_threads, districts));
+    report.line(format!(
+        "    distinct districts touched per executor: {:?}",
+        trace_dora.distinct_districts_per_thread(executor_threads, districts)
+    ));
+    report
+}
+
+/// Figure 11: TM1-UpdateSubscriberData (a transaction with a ~37.5% abort
+/// rate): Baseline vs the parallel (DORA-P) and serialized (DORA-S) plans.
+pub fn fig11(scale: &Scale) -> Report {
+    let mut report = Report::new("Figure 11: TM1-UpdateSubscriberData with a high abort rate");
+    report.line(format!(
+        "  {:>10} {:>16} {:>16} {:>16}",
+        "load(%)", "Baseline tps", "DORA-P tps", "DORA-S tps"
+    ));
+    let loads = scale.load_points();
+    let baseline = sweep(
+        scale.tm1().with_mix(Tm1Mix::UpdateSubscriberDataOnly),
+        scale,
+        SystemUnderTest::Baseline,
+        &loads,
+    );
+    let dora_p = sweep(
+        scale.tm1().with_mix(Tm1Mix::UpdateSubscriberDataOnly).with_serial_update_plan(false),
+        scale,
+        SystemUnderTest::Dora,
+        &loads,
+    );
+    let dora_s = sweep(
+        scale.tm1().with_mix(Tm1Mix::UpdateSubscriberDataOnly).with_serial_update_plan(true),
+        scale,
+        SystemUnderTest::Dora,
+        &loads,
+    );
+    for (index, load) in loads.iter().enumerate() {
+        report.line(format!(
+            "  {:>10.0} {:>16.0} {:>16.0} {:>16.0}",
+            load, baseline[index].1.throughput_tps, dora_p[index].1.throughput_tps, dora_s[index].1.throughput_tps
+        ));
+    }
+    report.blank();
+    report.kv("observed abort rate (Baseline, peak load)", pct(baseline.last().map(|(_, r)| r.abort_rate()).unwrap_or(0.0)));
+    report
+}
+
+/// Runs every experiment at the given scale, returning all reports.
+pub fn all(scale: &Scale) -> Vec<Report> {
+    vec![
+        fig1(scale),
+        fig2(scale),
+        fig3(scale),
+        fig4(scale),
+        fig5(scale),
+        fig6(scale),
+        fig7(scale),
+        fig8(scale),
+        fig10(scale),
+        fig11(scale),
+    ]
+}
+
+/// Looks an experiment up by name (`fig1`, `fig2`, ...). `fig9` is the
+/// step-by-step Payment execution walk-through, which is validated by the
+/// integration test `payment_twelve_steps` rather than by a measurement.
+pub fn by_name(name: &str, scale: &Scale) -> Option<Report> {
+    match name {
+        "fig1" => Some(fig1(scale)),
+        "fig2" => Some(fig2(scale)),
+        "fig3" => Some(fig3(scale)),
+        "fig4" => Some(fig4(scale)),
+        "fig5" => Some(fig5(scale)),
+        "fig6" => Some(fig6(scale)),
+        "fig7" => Some(fig7(scale)),
+        "fig8" => Some(fig8(scale)),
+        "fig10" => Some(fig10(scale)),
+        "fig11" => Some(fig11(scale)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn micro_scale() -> Scale {
+        Scale {
+            duration: Duration::from_millis(80),
+            warmup: Duration::from_millis(10),
+            tm1_subscribers: 300,
+            tpcc_warehouses: 2,
+            tpcc_customers_per_district: 20,
+            tpcc_items: 30,
+            tpcb_branches: 2,
+            tpcb_accounts_per_branch: 30,
+            executors_per_table: 2,
+            hardware_contexts: 4,
+            log_flush_micros: 0,
+        }
+    }
+
+    #[test]
+    fn fig4_describes_payment_graph_shape() {
+        let report = fig4(&micro_scale());
+        let text = report.render();
+        assert!(text.contains("phase 1"), "{text}");
+        assert!(text.contains("phase 2"), "{text}");
+        assert!(text.contains("payment-history"), "{text}");
+    }
+
+    #[test]
+    fn fig5_reports_lock_classes_for_both_systems() {
+        let report = fig5(&micro_scale());
+        let text = report.render();
+        assert!(text.contains("Baseline"));
+        assert!(text.contains("DORA"));
+        assert!(text.contains("TPC-C OrderStatus"));
+    }
+
+    #[test]
+    fn experiment_lookup_by_name() {
+        let scale = micro_scale();
+        assert!(by_name("fig4", &scale).is_some());
+        assert!(by_name("fig99", &scale).is_none());
+    }
+}

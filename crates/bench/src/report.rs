@@ -1,0 +1,107 @@
+//! Plain-text report rendering.
+
+use std::fmt::Write as _;
+
+/// A small line-oriented report builder. Every experiment produces one; the
+/// `repro` binary prints it and optionally appends it to a results file.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    title: String,
+    lines: Vec<String>,
+}
+
+impl Report {
+    /// Creates a report with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self { title: title.into(), lines: Vec::new() }
+    }
+
+    /// The report title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Appends one line.
+    pub fn line(&mut self, line: impl Into<String>) -> &mut Self {
+        self.lines.push(line.into());
+        self
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) -> &mut Self {
+        self.lines.push(String::new());
+        self
+    }
+
+    /// Appends a formatted key/value row.
+    pub fn kv(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        self.lines.push(format!("  {key:<42} {value}"));
+        self
+    }
+
+    /// Number of content lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// `true` if the report has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Renders the report to a string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let bar = "=".repeat(self.title.len().max(8));
+        let _ = writeln!(out, "{bar}\n{}\n{bar}", self.title);
+        for line in &self.lines {
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a fraction as a percent with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:5.1}%", 100.0 * fraction)
+}
+
+/// Formats a stacked time-breakdown row the way the paper's figures label it.
+pub fn breakdown_row(label: &str, breakdown: &dora_metrics::TimeBreakdown) -> String {
+    format!(
+        "  {label:<28} work {} | lockmgr-cont {} | lockmgr {} | other-cont {}",
+        pct(breakdown.work_fraction()),
+        pct(breakdown.lock_mgr_contention_fraction()),
+        pct(breakdown.lock_mgr_work_fraction()),
+        pct(breakdown.other_contention_fraction()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_title_and_lines() {
+        let mut report = Report::new("Figure 1");
+        report.line("hello").kv("throughput", 123.4).blank();
+        let text = report.render();
+        assert!(text.contains("Figure 1"));
+        assert!(text.contains("hello"));
+        assert!(text.contains("throughput"));
+        assert_eq!(report.len(), 3);
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn pct_formats_fractions() {
+        assert_eq!(pct(0.5), " 50.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

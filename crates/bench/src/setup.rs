@@ -1,0 +1,274 @@
+//! Shared scaffolding for the experiments: workload construction at the
+//! chosen scale, engine setup and driver runs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dora_common::{config::num_cpus, SystemConfig};
+use dora_core::{DoraConfig, DoraEngine};
+use dora_engine::{BaselineEngine, ClientDriver, DriverConfig, RunResult};
+use dora_storage::Database;
+use dora_workloads::Workload;
+
+/// Which engine a run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemUnderTest {
+    /// Conventional thread-to-transaction execution.
+    Baseline,
+    /// Data-oriented thread-to-data execution.
+    Dora,
+}
+
+impl SystemUnderTest {
+    /// Label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemUnderTest::Baseline => "Baseline",
+            SystemUnderTest::Dora => "DORA",
+        }
+    }
+}
+
+/// Experiment scale: `quick` keeps dataset sizes and measurement intervals
+/// small enough for CI; `full` approaches the paper's setup more closely.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Measured interval per driver run.
+    pub duration: Duration,
+    /// Warm-up excluded from measurements.
+    pub warmup: Duration,
+    /// TM1 subscribers.
+    pub tm1_subscribers: i64,
+    /// TPC-C warehouses.
+    pub tpcc_warehouses: i64,
+    /// TPC-C customers per district.
+    pub tpcc_customers_per_district: i64,
+    /// TPC-C catalog items.
+    pub tpcc_items: i64,
+    /// TPC-B branches.
+    pub tpcb_branches: i64,
+    /// TPC-B accounts per branch.
+    pub tpcb_accounts_per_branch: i64,
+    /// DORA executors per table.
+    pub executors_per_table: usize,
+    /// Hardware contexts the offered load is normalized against.
+    pub hardware_contexts: usize,
+    /// Simulated log-flush latency in microseconds.
+    pub log_flush_micros: u64,
+}
+
+impl Scale {
+    /// Quick scale for CI and `--quick` runs (a few seconds per figure).
+    ///
+    /// The offered-load normalization assumes at least 8 hardware contexts:
+    /// on hosts with fewer cores the load sweep then still varies the client
+    /// count (oversubscribing the CPU), which is the only way to create the
+    /// critical-section pressure the paper studies on such machines.
+    pub fn quick() -> Self {
+        let contexts = num_cpus().max(8);
+        Self {
+            duration: Duration::from_millis(250),
+            warmup: Duration::from_millis(60),
+            tm1_subscribers: 2_000,
+            tpcc_warehouses: 4,
+            tpcc_customers_per_district: 60,
+            tpcc_items: 200,
+            tpcb_branches: 8,
+            tpcb_accounts_per_branch: 200,
+            executors_per_table: (contexts / 4).clamp(1, 4),
+            hardware_contexts: contexts,
+            log_flush_micros: 20,
+        }
+    }
+
+    /// Full scale: larger datasets and longer measured intervals. Still sized
+    /// for a commodity multicore rather than the paper's 64-context Niagara.
+    pub fn full() -> Self {
+        let contexts = num_cpus().max(8);
+        Self {
+            duration: Duration::from_secs(2),
+            warmup: Duration::from_millis(500),
+            tm1_subscribers: 100_000,
+            tpcc_warehouses: 16,
+            tpcc_customers_per_district: 300,
+            tpcc_items: 1_000,
+            tpcb_branches: 100,
+            tpcb_accounts_per_branch: 1_000,
+            executors_per_table: (contexts / 4).clamp(1, 8),
+            hardware_contexts: contexts,
+            log_flush_micros: 40,
+        }
+    }
+
+    /// The offered-CPU-load points (percent) swept by the load-sweep figures,
+    /// including one point past saturation like the paper's x-axes.
+    pub fn load_points(&self) -> Vec<f64> {
+        vec![25.0, 50.0, 75.0, 100.0, 110.0]
+    }
+
+    /// Client-thread count producing approximately `percent` offered load.
+    pub fn clients_for(&self, percent: f64) -> usize {
+        ((percent / 100.0) * self.hardware_contexts as f64).round().max(1.0) as usize
+    }
+
+    /// Storage configuration at this scale.
+    pub fn system_config(&self) -> SystemConfig {
+        SystemConfig {
+            hardware_contexts: self.hardware_contexts,
+            log_flush_micros: self.log_flush_micros,
+            buffer_pool_pages: 200_000,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// TM1 at this scale.
+    pub fn tm1(&self) -> dora_workloads::Tm1 {
+        dora_workloads::Tm1::new(self.tm1_subscribers)
+    }
+
+    /// TPC-C at this scale.
+    pub fn tpcc(&self) -> dora_workloads::Tpcc {
+        dora_workloads::Tpcc::with_scale(
+            self.tpcc_warehouses,
+            self.tpcc_customers_per_district,
+            self.tpcc_items,
+        )
+    }
+
+    /// TPC-B at this scale.
+    pub fn tpcb(&self) -> dora_workloads::TpcB {
+        dora_workloads::TpcB::with_accounts(self.tpcb_branches, self.tpcb_accounts_per_branch)
+    }
+}
+
+/// A fully prepared system: database + loaded workload + engine(s).
+pub struct PreparedSystem {
+    /// The storage manager.
+    pub db: Arc<Database>,
+    /// The workload (already loaded into `db`).
+    pub workload: Arc<dyn Workload>,
+    /// Baseline engine over `db`.
+    pub baseline: BaselineEngine,
+    /// DORA engine over `db` (bound only when the run targets DORA).
+    pub dora: Option<Arc<DoraEngine>>,
+}
+
+impl PreparedSystem {
+    /// Shuts the DORA engine down (if any).
+    pub fn shutdown(&self) {
+        if let Some(dora) = &self.dora {
+            dora.shutdown();
+        }
+    }
+}
+
+/// Builds a database, loads `workload` into it and prepares the requested
+/// engine.
+pub fn prepare(
+    workload: impl Workload + 'static,
+    scale: &Scale,
+    system: SystemUnderTest,
+) -> PreparedSystem {
+    let db = Database::new(scale.system_config());
+    workload.setup(&db).expect("workload setup");
+    let workload: Arc<dyn Workload> = Arc::new(workload);
+    let baseline = BaselineEngine::new(Arc::clone(&db));
+    let dora = match system {
+        SystemUnderTest::Baseline => None,
+        SystemUnderTest::Dora => {
+            let engine = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::default()));
+            workload.bind_dora(&engine, scale.executors_per_table).expect("bind DORA tables");
+            Some(engine)
+        }
+    };
+    PreparedSystem { db, workload, baseline, dora }
+}
+
+/// Runs `clients` closed-loop clients against the prepared system for the
+/// scale's measured interval.
+pub fn run_clients(prepared: &PreparedSystem, scale: &Scale, clients: usize) -> RunResult {
+    let driver = ClientDriver::new(DriverConfig {
+        clients,
+        duration: scale.duration,
+        warmup: scale.warmup,
+        hardware_contexts: scale.hardware_contexts,
+    });
+    let workload = Arc::clone(&prepared.workload);
+    match &prepared.dora {
+        Some(dora) => {
+            let dora = Arc::clone(dora);
+            driver.run(move |_client, rng| workload.run_dora(&dora, rng))
+        }
+        None => {
+            let baseline = prepared.baseline.clone();
+            driver.run(move |_client, rng| workload.run_baseline(&baseline, rng))
+        }
+    }
+}
+
+/// One-call helper: prepare the system, sweep the given offered-load points
+/// and return `(load_percent, RunResult)` pairs. The system is shut down
+/// before returning.
+pub fn sweep(
+    workload: impl Workload + 'static,
+    scale: &Scale,
+    system: SystemUnderTest,
+    load_points: &[f64],
+) -> Vec<(f64, RunResult)> {
+    let prepared = prepare(workload, scale, system);
+    let mut results = Vec::with_capacity(load_points.len());
+    for &load in load_points {
+        let clients = scale.clients_for(load);
+        results.push((load, run_clients(&prepared, scale, clients)));
+    }
+    prepared.shutdown();
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dora_workloads::{Tm1, Tm1Mix};
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            duration: Duration::from_millis(60),
+            warmup: Duration::from_millis(10),
+            tm1_subscribers: 200,
+            tpcc_warehouses: 1,
+            tpcc_customers_per_district: 20,
+            tpcc_items: 20,
+            tpcb_branches: 2,
+            tpcb_accounts_per_branch: 20,
+            executors_per_table: 2,
+            hardware_contexts: 4,
+            log_flush_micros: 0,
+            ..Scale::quick()
+        }
+    }
+
+    #[test]
+    fn scale_maps_load_to_clients() {
+        let scale = tiny_scale();
+        assert_eq!(scale.clients_for(100.0), 4);
+        assert_eq!(scale.clients_for(50.0), 2);
+        assert_eq!(scale.clients_for(1.0), 1);
+        assert_eq!(scale.load_points().len(), 5);
+    }
+
+    #[test]
+    fn baseline_and_dora_runs_produce_commits() {
+        let scale = tiny_scale();
+        let workload = Tm1::new(scale.tm1_subscribers).with_mix(Tm1Mix::GetSubscriberDataOnly);
+        let prepared = prepare(workload, &scale, SystemUnderTest::Baseline);
+        let result = run_clients(&prepared, &scale, 2);
+        assert!(result.committed > 0, "baseline run produced no commits");
+        prepared.shutdown();
+
+        let workload = Tm1::new(scale.tm1_subscribers).with_mix(Tm1Mix::GetSubscriberDataOnly);
+        let prepared = prepare(workload, &scale, SystemUnderTest::Dora);
+        let result = run_clients(&prepared, &scale, 2);
+        assert!(result.committed > 0, "DORA run produced no commits");
+        prepared.shutdown();
+    }
+}

@@ -1,0 +1,149 @@
+//! Run-time configuration shared by the baseline and DORA engines.
+
+use serde::{Deserialize, Serialize};
+
+/// Which execution architecture a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// Conventional thread-to-transaction execution: each worker thread runs
+    /// whole transactions against the storage manager with full centralized
+    /// concurrency control. This is the paper's "Baseline" (Shore-MT).
+    Baseline,
+    /// Data-oriented thread-to-data execution (the paper's contribution).
+    Dora,
+}
+
+impl EngineKind {
+    /// Human-readable label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Baseline => "Baseline",
+            EngineKind::Dora => "DORA",
+        }
+    }
+}
+
+/// Concurrency-control mode for an individual storage operation.
+///
+/// The paper (Section 4.3) describes the prototype's only Shore-MT
+/// modifications: an extra flag telling the storage manager to skip
+/// concurrency control for reads/updates executed by DORA executors, and a
+/// flag to acquire only the row-level lock (not the whole hierarchy) for
+/// inserts and deletes. `CcMode` models exactly those three behaviours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CcMode {
+    /// Acquire the full hierarchy of intention locks plus the record lock —
+    /// what the conventional engine does for every access.
+    Full,
+    /// Acquire only the row-level lock, skipping the intention-lock
+    /// hierarchy — what DORA does for record inserts and deletes
+    /// (Section 4.2.1).
+    RowOnly,
+    /// Skip the centralized lock manager entirely — what DORA does for
+    /// probes and updates, because its executor serializes them via the
+    /// thread-local lock table.
+    None,
+}
+
+impl CcMode {
+    /// `true` if this mode touches the centralized lock manager at all.
+    pub fn uses_lock_manager(self) -> bool {
+        !matches!(self, CcMode::None)
+    }
+}
+
+/// Global knobs for a run. Defaults are sized so that unit and integration
+/// tests finish quickly; the benchmark harness overrides them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of worker threads the baseline engine uses / number of client
+    /// threads generating load.
+    pub worker_threads: usize,
+    /// Number of hardware contexts the "machine" is assumed to have; offered
+    /// CPU load is reported relative to this (the paper's x-axes).
+    pub hardware_contexts: usize,
+    /// Buffer pool capacity in pages.
+    pub buffer_pool_pages: usize,
+    /// Page size in bytes for the slotted heap pages.
+    pub page_size: usize,
+    /// Simulated latency of a log flush, in microseconds. The paper stores
+    /// the log on an in-memory file system; a small non-zero value models the
+    /// memcpy + fsync-to-tmpfs cost and creates the group-commit pressure the
+    /// paper mentions for TPC-C NewOrder/Payment.
+    pub log_flush_micros: u64,
+    /// Upper bound on spin iterations before a latch acquisition starts
+    /// yielding the CPU (preemption-resistant MCS-style behaviour).
+    pub latch_spin_limit: u32,
+    /// Whether the lock manager runs deadlock detection on conflict.
+    pub deadlock_detection: bool,
+    /// Maximum number of retries for transactions aborted by deadlocks.
+    pub max_retries: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            worker_threads: 4,
+            hardware_contexts: num_cpus(),
+            buffer_pool_pages: 4096,
+            page_size: 8192,
+            log_flush_micros: 0,
+            latch_spin_limit: 64,
+            deadlock_detection: true,
+            max_retries: 10,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Configuration for quick unit tests: tiny buffer pool, no log latency.
+    pub fn for_tests() -> Self {
+        Self { worker_threads: 2, buffer_pool_pages: 256, ..Self::default() }
+    }
+
+    /// Offered CPU load (percent) when `threads` client threads run on this
+    /// configuration, following the paper's definition (measured utilization
+    /// plus time spent runnable): with a CPU-bound workload every client
+    /// thread contributes one context worth of demand.
+    pub fn offered_load_percent(&self, threads: usize) -> f64 {
+        100.0 * threads as f64 / self.hardware_contexts as f64
+    }
+
+    /// Number of client threads that produces approximately `percent` offered
+    /// CPU load (at least one).
+    pub fn threads_for_load(&self, percent: f64) -> usize {
+        ((percent / 100.0) * self.hardware_contexts as f64).round().max(1.0) as usize
+    }
+}
+
+/// Number of logical CPUs visible to the process.
+pub fn num_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc_mode_lock_manager_usage() {
+        assert!(CcMode::Full.uses_lock_manager());
+        assert!(CcMode::RowOnly.uses_lock_manager());
+        assert!(!CcMode::None.uses_lock_manager());
+    }
+
+    #[test]
+    fn offered_load_round_trips_thread_count() {
+        let config = SystemConfig { hardware_contexts: 8, ..SystemConfig::default() };
+        assert_eq!(config.threads_for_load(100.0), 8);
+        assert_eq!(config.threads_for_load(50.0), 4);
+        assert_eq!(config.threads_for_load(1.0), 1);
+        assert!((config.offered_load_percent(4) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_labels_match_paper() {
+        assert_eq!(EngineKind::Baseline.label(), "Baseline");
+        assert_eq!(EngineKind::Dora.label(), "DORA");
+    }
+}

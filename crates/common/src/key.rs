@@ -1,0 +1,199 @@
+//! Composite keys and key ranges.
+//!
+//! A [`Key`] is an ordered tuple of values used for index lookups, routing
+//! decisions and DORA action identifiers. DORA's thread-local lock table
+//! operates on *key prefixes* (Section 4.1.3: "the locking scheme employed is
+//! similar to that of key-prefix locks"), so [`Key`] exposes prefix tests.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::value::Value;
+
+/// A composite key: an ordered tuple of column values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Key(pub Vec<Value>);
+
+impl Key {
+    /// The empty key. Used as the identifier of *secondary actions*, whose
+    /// responsible executor cannot be determined from the action alone
+    /// (Section 4.2.2).
+    pub fn empty() -> Self {
+        Key(Vec::new())
+    }
+
+    /// Builds a key from anything convertible to values.
+    pub fn from_values<I, V>(values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Key(values.into_iter().map(Into::into).collect())
+    }
+
+    /// Single-column integer key, the most common case in the benchmarks.
+    pub fn int(v: i64) -> Self {
+        Key(vec![Value::Int(v)])
+    }
+
+    /// Two-column integer key.
+    pub fn int2(a: i64, b: i64) -> Self {
+        Key(vec![Value::Int(a), Value::Int(b)])
+    }
+
+    /// Three-column integer key.
+    pub fn int3(a: i64, b: i64, c: i64) -> Self {
+        Key(vec![Value::Int(a), Value::Int(b), Value::Int(c)])
+    }
+
+    /// Number of components in the key.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the key has no components (a secondary-action identifier).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns the components.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Returns a new key containing only the first `n` components.
+    pub fn prefix(&self, n: usize) -> Key {
+        Key(self.0.iter().take(n).cloned().collect())
+    }
+
+    /// Appends a component, returning the extended key.
+    pub fn extend(&self, value: impl Into<Value>) -> Key {
+        let mut values = self.0.clone();
+        values.push(value.into());
+        Key(values)
+    }
+
+    /// `true` if `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Key) -> bool {
+        self.0.len() <= other.0.len() && self.0.iter().zip(other.0.iter()).all(|(a, b)| a == b)
+    }
+
+    /// Key-prefix overlap test: two identifiers cover overlapping record sets
+    /// iff one is a prefix of the other (including equality). This is the
+    /// conflict test DORA's local lock tables use.
+    pub fn overlaps(&self, other: &Key) -> bool {
+        self.is_prefix_of(other) || other.is_prefix_of(self)
+    }
+
+    /// First component interpreted as an integer, if present. Routing rules
+    /// frequently partition on the leading routing field.
+    pub fn leading_int(&self) -> Option<i64> {
+        match self.0.first() {
+            Some(Value::Int(v)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Key {
+    fn from(values: Vec<Value>) -> Self {
+        Key(values)
+    }
+}
+
+/// A half-open range of keys `[low, high)` used for range scans and for
+/// describing the dataset assigned to a DORA executor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyRange {
+    /// Inclusive lower bound; `None` means unbounded below.
+    pub low: Option<Key>,
+    /// Exclusive upper bound; `None` means unbounded above.
+    pub high: Option<Key>,
+}
+
+impl KeyRange {
+    /// The range covering every key.
+    pub fn all() -> Self {
+        Self { low: None, high: None }
+    }
+
+    /// Builds `[low, high)`.
+    pub fn new(low: Option<Key>, high: Option<Key>) -> Self {
+        Self { low, high }
+    }
+
+    /// `true` if `key` falls inside the range.
+    pub fn contains(&self, key: &Key) -> bool {
+        if let Some(low) = &self.low {
+            if key < low {
+                return false;
+            }
+        }
+        if let Some(high) = &self.high {
+            if key >= high {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_relationships() {
+        let wh = Key::int(3);
+        let wh_di = Key::int2(3, 7);
+        let other = Key::int(4);
+
+        assert!(wh.is_prefix_of(&wh_di));
+        assert!(!wh_di.is_prefix_of(&wh));
+        assert!(wh.overlaps(&wh_di));
+        assert!(wh_di.overlaps(&wh));
+        assert!(!wh.overlaps(&other));
+        assert!(Key::empty().is_prefix_of(&wh));
+    }
+
+    #[test]
+    fn key_ordering_is_lexicographic() {
+        assert!(Key::int2(1, 9) < Key::int2(2, 0));
+        assert!(Key::int(1) < Key::int2(1, 0));
+        assert!(Key::int2(1, 1) < Key::int2(1, 2));
+    }
+
+    #[test]
+    fn range_contains() {
+        let range = KeyRange::new(Some(Key::int(10)), Some(Key::int(20)));
+        assert!(!range.contains(&Key::int(9)));
+        assert!(range.contains(&Key::int(10)));
+        assert!(range.contains(&Key::int(19)));
+        // A composite key (19, x) still sorts below (20).
+        assert!(range.contains(&Key::int2(19, 999)));
+        assert!(!range.contains(&Key::int(20)));
+        assert!(KeyRange::all().contains(&Key::int(-5)));
+    }
+
+    #[test]
+    fn extend_and_prefix() {
+        let key = Key::int(1).extend(2).extend("abc");
+        assert_eq!(key.len(), 3);
+        assert_eq!(key.prefix(2), Key::int2(1, 2));
+        assert_eq!(key.leading_int(), Some(1));
+        assert_eq!(Key::empty().leading_int(), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared building blocks for the DORA reproduction.
+//!
+//! This crate holds the vocabulary types used by every other crate in the
+//! workspace: identifiers for transactions, tables, pages and records,
+//! the [`Value`]/[`Key`] data model, error types and the run-time
+//! configuration knobs shared by the baseline and DORA engines.
+//!
+//! Nothing in here is specific to either execution architecture; the goal is
+//! that `dora-storage`, `dora-engine` (the conventional thread-to-transaction
+//! engine) and `dora-core` (the thread-to-data engine from the paper) can all
+//! speak the same language.
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod key;
+pub mod value;
+
+pub use config::{CcMode, EngineKind, SystemConfig};
+pub use error::{DbError, DbResult};
+pub use ids::{IndexId, PageId, Rid, SlotId, TableId, TxnId};
+pub use key::{Key, KeyRange};
+pub use value::{Row, Value, ValueType};
+
+/// Convenience prelude re-exporting the types almost every module needs.
+pub mod prelude {
+    pub use crate::config::{CcMode, EngineKind, SystemConfig};
+    pub use crate::error::{DbError, DbResult};
+    pub use crate::ids::{IndexId, PageId, Rid, SlotId, TableId, TxnId};
+    pub use crate::key::{Key, KeyRange};
+    pub use crate::value::{Row, Value, ValueType};
+}

@@ -1,0 +1,328 @@
+//! The data model: typed column values and rows.
+//!
+//! The storage manager stores rows as byte strings inside slotted pages, so
+//! [`Value`] carries its own compact serialization (`encode`/`decode`)
+//! built on the `bytes` crate. The encoding is not meant to be portable; it
+//! only has to round-trip within one process, like Shore-MT's record format.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{DbError, DbResult};
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float (used for balances / amounts).
+    Float,
+    /// Variable-length UTF-8 string.
+    Text,
+}
+
+/// A single column value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// Variable-length UTF-8 string.
+    Text(String),
+}
+
+/// A row is simply an ordered list of values matching the table schema.
+pub type Row = Vec<Value>;
+
+impl Value {
+    /// Returns the type tag of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Text(_) => ValueType::Text,
+        }
+    }
+
+    /// Extracts an integer, failing with [`DbError::TypeMismatch`] otherwise.
+    pub fn as_int(&self) -> DbResult<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(DbError::TypeMismatch {
+                expected: ValueType::Int,
+                found: other.value_type(),
+            }),
+        }
+    }
+
+    /// Extracts a float. Integers are widened to floats for convenience,
+    /// which keeps workload code that mixes amounts and counters simple.
+    pub fn as_float(&self) -> DbResult<f64> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(DbError::TypeMismatch {
+                expected: ValueType::Float,
+                found: other.value_type(),
+            }),
+        }
+    }
+
+    /// Extracts a string slice, failing with [`DbError::TypeMismatch`]
+    /// otherwise.
+    pub fn as_text(&self) -> DbResult<&str> {
+        match self {
+            Value::Text(v) => Ok(v.as_str()),
+            other => Err(DbError::TypeMismatch {
+                expected: ValueType::Text,
+                found: other.value_type(),
+            }),
+        }
+    }
+
+    /// Serializes the value into `buf` using a one-byte type tag followed by
+    /// the payload.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Value::Int(v) => {
+                buf.put_u8(0);
+                buf.put_i64_le(*v);
+            }
+            Value::Float(v) => {
+                buf.put_u8(1);
+                buf.put_f64_le(*v);
+            }
+            Value::Text(v) => {
+                buf.put_u8(2);
+                buf.put_u32_le(v.len() as u32);
+                buf.put_slice(v.as_bytes());
+            }
+        }
+    }
+
+    /// Deserializes one value from `buf`, advancing it.
+    pub fn decode(buf: &mut Bytes) -> DbResult<Value> {
+        if buf.remaining() < 1 {
+            return Err(DbError::Corruption("truncated value: missing type tag".into()));
+        }
+        let tag = buf.get_u8();
+        match tag {
+            0 => {
+                if buf.remaining() < 8 {
+                    return Err(DbError::Corruption("truncated int value".into()));
+                }
+                Ok(Value::Int(buf.get_i64_le()))
+            }
+            1 => {
+                if buf.remaining() < 8 {
+                    return Err(DbError::Corruption("truncated float value".into()));
+                }
+                Ok(Value::Float(buf.get_f64_le()))
+            }
+            2 => {
+                if buf.remaining() < 4 {
+                    return Err(DbError::Corruption("truncated text length".into()));
+                }
+                let len = buf.get_u32_le() as usize;
+                if buf.remaining() < len {
+                    return Err(DbError::Corruption("truncated text payload".into()));
+                }
+                let raw = buf.split_to(len);
+                let text = String::from_utf8(raw.to_vec())
+                    .map_err(|_| DbError::Corruption("text value is not valid UTF-8".into()))?;
+                Ok(Value::Text(text))
+            }
+            other => Err(DbError::Corruption(format!("unknown value tag {other}"))),
+        }
+    }
+
+    /// Serializes a whole row (a length-prefixed sequence of values).
+    pub fn encode_row(row: &[Value]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + row.len() * 12);
+        buf.put_u16_le(row.len() as u16);
+        for value in row {
+            value.encode(&mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a whole row previously produced by [`Value::encode_row`].
+    pub fn decode_row(bytes: &[u8]) -> DbResult<Row> {
+        let mut buf = Bytes::copy_from_slice(bytes);
+        if buf.remaining() < 2 {
+            return Err(DbError::Corruption("truncated row header".into()));
+        }
+        let count = buf.get_u16_le() as usize;
+        let mut row = Vec::with_capacity(count);
+        for _ in 0..count {
+            row.push(Value::decode(&mut buf)?);
+        }
+        Ok(row)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order across values.
+    ///
+    /// Values of different types order by type tag (Int < Float < Text);
+    /// floats use IEEE total ordering so the order is indeed total. The
+    /// B-Tree and the DORA routing rules rely on this being a total order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Int(_), _) => Ordering::Less,
+            (_, Int(_)) => Ordering::Greater,
+            (Float(_), _) => Ordering::Less,
+            (_, Float(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Value::Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Text(v) => {
+                2u8.hash(state);
+                v.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_encode_decode_roundtrip() {
+        let row: Row = vec![
+            Value::Int(42),
+            Value::Float(3.25),
+            Value::Text("hello world".into()),
+            Value::Int(-1),
+        ];
+        let bytes = Value::encode_row(&row);
+        let decoded = Value::decode_row(&bytes).unwrap();
+        assert_eq!(decoded, row);
+    }
+
+    #[test]
+    fn empty_row_roundtrip() {
+        let row: Row = vec![];
+        let decoded = Value::decode_row(&Value::encode_row(&row)).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_input() {
+        let row: Row = vec![Value::Text("abcdef".into())];
+        let bytes = Value::encode_row(&row);
+        let truncated = &bytes[..bytes.len() - 2];
+        assert!(matches!(Value::decode_row(truncated), Err(DbError::Corruption(_))));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let bytes = vec![1u8, 0u8, 9u8];
+        assert!(matches!(Value::decode_row(&bytes), Err(DbError::Corruption(_))));
+    }
+
+    #[test]
+    fn ordering_is_total_across_types() {
+        assert!(Value::Int(5) < Value::Float(1.0));
+        assert!(Value::Float(9.0) < Value::Text("a".into()));
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Text("a".into()) < Value::Text("b".into()));
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Value::Int(3).as_int().unwrap(), 3);
+        assert_eq!(Value::Int(3).as_float().unwrap(), 3.0);
+        assert!(Value::Text("x".into()).as_int().is_err());
+        assert_eq!(Value::Text("x".into()).as_text().unwrap(), "x");
+    }
+
+    #[test]
+    fn float_hash_uses_bit_pattern() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Float(1.5));
+        assert!(set.contains(&Value::Float(1.5)));
+        assert!(!set.contains(&Value::Float(2.5)));
+    }
+}

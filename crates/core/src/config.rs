@@ -1,0 +1,53 @@
+//! Configuration knobs for the DORA engine.
+
+/// Tuning parameters for a [`crate::DoraEngine`].
+#[derive(Debug, Clone)]
+pub struct DoraConfig {
+    /// Default number of executors created per bound table when the caller
+    /// does not specify one. The paper's resource manager varies this with
+    /// table size, request rate and available hardware; the benchmark harness
+    /// sizes it explicitly per workload.
+    pub default_executors_per_table: usize,
+    /// Abort-rate threshold (0..=1) above which the resource manager
+    /// recommends switching a transaction type from its parallel flow graph
+    /// to a serialized one (Appendix A.4 / Figure 11).
+    pub serialize_abort_threshold: f64,
+    /// Minimum number of observed transactions before the abort-rate monitor
+    /// makes a recommendation.
+    pub abort_monitor_min_samples: u64,
+    /// Load-imbalance ratio (busiest executor / average) above which the
+    /// resource manager rebalances a table's routing rule (Appendix A.2.1).
+    pub rebalance_imbalance_ratio: f64,
+}
+
+impl Default for DoraConfig {
+    fn default() -> Self {
+        Self {
+            default_executors_per_table: 4,
+            serialize_abort_threshold: 0.1,
+            abort_monitor_min_samples: 100,
+            rebalance_imbalance_ratio: 1.5,
+        }
+    }
+}
+
+impl DoraConfig {
+    /// Configuration suitable for unit tests: few executors, eager
+    /// rebalancing decisions.
+    pub fn for_tests() -> Self {
+        Self { default_executors_per_table: 2, abort_monitor_min_samples: 10, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = DoraConfig::default();
+        assert!(config.default_executors_per_table >= 1);
+        assert!(config.serialize_abort_threshold > 0.0 && config.serialize_abort_threshold < 1.0);
+        assert!(config.rebalance_imbalance_ratio > 1.0);
+    }
+}

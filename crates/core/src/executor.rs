@@ -1,0 +1,368 @@
+//! Executors: the worker threads DORA couples with data.
+//!
+//! Each executor owns three structures (Section 4.1.3): a queue of incoming
+//! actions, a queue of completed transactions and a thread-local lock table.
+//! Incoming work is served strictly in FIFO order; actions that conflict on
+//! the local lock table are parked and retried when a completed-transaction
+//! notification releases the blocking locks.
+//!
+//! The executor also implements its side of the dataset-resize protocol
+//! (Appendix A.2.1): on a `StartResize` message it stops serving actions of
+//! *new* transactions until every transaction it already participates in has
+//! left the system, signals the resource manager, and on `FinishResize`
+//! re-dispatches the deferred actions through the (by then updated) routing
+//! table.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use dora_common::prelude::*;
+use dora_metrics::{incr, time_section, CounterKind, TimeCategory};
+
+use crate::action::{Action, ActionContext};
+use crate::engine::EngineInner;
+use crate::locallock::{LocalAcquire, LocalLockTable};
+use crate::txn::DoraTxnInner;
+
+/// Barrier used by the resource manager to wait for an executor to drain
+/// during a routing-rule change.
+#[derive(Debug, Default)]
+pub struct ResizeBarrier {
+    drained: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl ResizeBarrier {
+    /// Creates a fresh barrier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the executor as drained and wakes the resource manager.
+    pub fn signal(&self) {
+        let mut drained = self.drained.lock();
+        *drained = true;
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the executor has drained.
+    pub fn wait(&self) {
+        let mut drained = self.drained.lock();
+        while !*drained {
+            self.cond.wait(&mut drained);
+        }
+    }
+}
+
+/// Messages an executor can receive on its incoming queue.
+pub(crate) enum Message {
+    /// An action to execute.
+    Action(Action),
+    /// A transaction the executor participated in has committed or aborted:
+    /// release its local locks and retry blocked actions (steps 10–12 of
+    /// Figure 9).
+    Completed(TxnId),
+    /// Begin the dataset-resize drain protocol.
+    StartResize(Arc<ResizeBarrier>),
+    /// The routing rule has been updated; re-dispatch deferred actions and
+    /// resume normal service.
+    FinishResize,
+    /// Terminate the executor thread.
+    Shutdown,
+}
+
+impl std::fmt::Debug for Message {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Message::Action(action) => write!(f, "Action({action:?})"),
+            Message::Completed(txn) => write!(f, "Completed({txn})"),
+            Message::StartResize(_) => write!(f, "StartResize"),
+            Message::FinishResize => write!(f, "FinishResize"),
+            Message::Shutdown => write!(f, "Shutdown"),
+        }
+    }
+}
+
+/// The shared (cross-thread) half of an executor: its identity and queue.
+pub(crate) struct ExecutorShared {
+    /// Table this executor serves.
+    pub table: TableId,
+    /// Index of this executor within the table's executor list.
+    pub index: usize,
+    queue: Mutex<VecDeque<Message>>,
+    available: Condvar,
+    /// Number of actions served, read by the resource manager for load
+    /// balancing.
+    served: AtomicU64,
+}
+
+impl ExecutorShared {
+    pub(crate) fn new(table: TableId, index: usize) -> Self {
+        Self {
+            table,
+            index,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues a message and wakes the executor.
+    pub(crate) fn enqueue(&self, message: Message) {
+        let mut queue = self.queue.lock();
+        queue.push_back(message);
+        self.available.notify_one();
+    }
+
+    /// Locks the incoming queue without enqueueing. The dispatcher uses this
+    /// to latch the queues of every executor of a phase before pushing any
+    /// action, making the submission atomic (Section 4.2.3).
+    pub(crate) fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Message>> {
+        self.queue.lock()
+    }
+
+    /// Wakes the executor after an external push through [`Self::lock_queue`].
+    pub(crate) fn notify(&self) {
+        self.available.notify_one();
+    }
+
+    fn dequeue(&self) -> Message {
+        let mut queue = self.queue.lock();
+        loop {
+            if let Some(message) = queue.pop_front() {
+                return message;
+            }
+            self.available.wait(&mut queue);
+        }
+    }
+
+    /// Number of actions this executor has served so far.
+    pub(crate) fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Current queue depth (diagnostics).
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+/// The thread-private half of an executor.
+pub(crate) struct ExecutorWorker {
+    shared: Arc<ExecutorShared>,
+    engine: Arc<EngineInner>,
+    locks: LocalLockTable,
+    /// Actions blocked on the local lock table, in arrival order.
+    waiters: VecDeque<Action>,
+    /// Actions deferred while a dataset resize is draining.
+    deferred: Vec<Action>,
+    /// Barrier to signal once drained (while a resize is in progress).
+    draining: Option<Arc<ResizeBarrier>>,
+    /// Set after the drain barrier has been signalled but before
+    /// `FinishResize` arrives.
+    awaiting_rule: bool,
+}
+
+impl ExecutorWorker {
+    pub(crate) fn new(shared: Arc<ExecutorShared>, engine: Arc<EngineInner>) -> Self {
+        Self {
+            shared,
+            engine,
+            locks: LocalLockTable::new(),
+            waiters: VecDeque::new(),
+            deferred: Vec::new(),
+            draining: None,
+            awaiting_rule: false,
+        }
+    }
+
+    /// The executor main loop.
+    pub(crate) fn run(mut self) {
+        loop {
+            let message = self.shared.dequeue();
+            match message {
+                Message::Shutdown => break,
+                Message::Action(action) => self.handle_incoming(action),
+                Message::Completed(txn) => self.handle_completed(txn),
+                Message::StartResize(barrier) => {
+                    self.draining = Some(barrier);
+                    self.awaiting_rule = false;
+                    self.maybe_signal_drained();
+                }
+                Message::FinishResize => self.finish_resize(),
+            }
+        }
+    }
+
+    fn handle_incoming(&mut self, action: Action) {
+        // During a drain, actions of transactions this executor is not yet
+        // involved with are deferred; transactions that already hold local
+        // locks here must keep making progress or the drain would never
+        // complete.
+        if self.draining.is_some() && !self.locks.holds_any(action.txn.id()) {
+            self.deferred.push(action);
+            return;
+        }
+        self.handle_action(action);
+    }
+
+    fn handle_action(&mut self, action: Action) {
+        self.shared.served.fetch_add(1, Ordering::Relaxed);
+        incr(CounterKind::ActionsExecuted);
+        if action.txn.is_aborted() {
+            // The transaction was aborted by another action (e.g. invalid
+            // input in TM1); executing this action would be wasted work, but
+            // it must still report to its RVP.
+            incr(CounterKind::WastedActions);
+            self.finish_action(&action.txn, action.phase);
+            return;
+        }
+        match self.locks.acquire(action.txn.id(), &action.identifier, action.mode) {
+            LocalAcquire::Granted => {
+                action.txn.note_involved(self.shared.table, self.shared.index);
+                self.execute(action);
+            }
+            LocalAcquire::Conflict(owners) => {
+                // Feed the wait into the storage manager's deadlock detector
+                // (Section 4.2.3) before parking the action.
+                for owner in owners {
+                    if let Err(deadlock) =
+                        self.engine.db().lock_manager().add_external_wait(action.txn.id(), owner)
+                    {
+                        action.txn.mark_aborted(deadlock);
+                        incr(CounterKind::WastedActions);
+                        self.finish_action(&action.txn, action.phase);
+                        return;
+                    }
+                }
+                self.waiters.push_back(action);
+            }
+        }
+    }
+
+    fn execute(&mut self, mut action: Action) {
+        let body = action.body.take().expect("action body executed once");
+        let result = {
+            let context = ActionContext {
+                db: self.engine.db(),
+                txn: &action.txn.handle,
+                scratch: &action.txn.scratch,
+            };
+            body(&context)
+        };
+        if let Err(error) = result {
+            action.txn.mark_aborted(error);
+        }
+        self.finish_action(&action.txn, action.phase);
+    }
+
+    /// Reports an action to its phase RVP and, if this report zeroed the RVP,
+    /// initiates the next phase or the commit (Section 4.1.2).
+    fn finish_action(&mut self, txn: &Arc<DoraTxnInner>, phase: usize) {
+        self.engine.report_and_advance(txn, phase);
+    }
+
+    fn handle_completed(&mut self, txn: TxnId) {
+        time_section(TimeCategory::EngineOverhead, || {
+            self.locks.release_txn(txn);
+            self.engine.db().lock_manager().remove_external_wait(txn);
+        });
+        self.retry_waiters();
+        self.maybe_signal_drained();
+    }
+
+    /// Retries parked actions in FIFO order after a completion freed locks.
+    fn retry_waiters(&mut self) {
+        let mut remaining = VecDeque::new();
+        while let Some(action) = self.waiters.pop_front() {
+            if action.txn.is_aborted() {
+                incr(CounterKind::WastedActions);
+                self.finish_action(&action.txn, action.phase);
+                continue;
+            }
+            match self.locks.acquire(action.txn.id(), &action.identifier, action.mode) {
+                LocalAcquire::Granted => {
+                    self.engine.db().lock_manager().remove_external_wait(action.txn.id());
+                    action.txn.note_involved(self.shared.table, self.shared.index);
+                    self.execute(action);
+                }
+                LocalAcquire::Conflict(_) => remaining.push_back(action),
+            }
+        }
+        self.waiters = remaining;
+    }
+
+    fn maybe_signal_drained(&mut self) {
+        if self.awaiting_rule {
+            return;
+        }
+        if let Some(barrier) = &self.draining {
+            if self.locks.is_empty() && self.waiters.is_empty() {
+                barrier.signal();
+                self.awaiting_rule = true;
+            }
+        }
+    }
+
+    /// The routing rule has been updated: push the deferred actions back
+    /// through the engine (they may now belong to a different executor) and
+    /// resume normal service.
+    fn finish_resize(&mut self) {
+        self.draining = None;
+        self.awaiting_rule = false;
+        let deferred = std::mem::take(&mut self.deferred);
+        for action in deferred {
+            self.engine.redispatch(action);
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resize_barrier_blocks_until_signal() {
+        let barrier = Arc::new(ResizeBarrier::new());
+        let barrier2 = Arc::clone(&barrier);
+        let waiter = std::thread::spawn(move || barrier2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(!waiter.is_finished());
+        barrier.signal();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn executor_shared_queue_is_fifo() {
+        let shared = ExecutorShared::new(TableId(1), 0);
+        shared.enqueue(Message::Completed(TxnId(1)));
+        shared.enqueue(Message::Completed(TxnId(2)));
+        assert_eq!(shared.queue_depth(), 2);
+        match shared.dequeue() {
+            Message::Completed(txn) => assert_eq!(txn, TxnId(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match shared.dequeue() {
+            Message::Completed(txn) => assert_eq!(txn, TxnId(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lock_queue_then_notify_delivers_message() {
+        let shared = Arc::new(ExecutorShared::new(TableId(1), 0));
+        {
+            let mut queue = shared.lock_queue();
+            queue.push_back(Message::Completed(TxnId(9)));
+        }
+        shared.notify();
+        match shared.dequeue() {
+            Message::Completed(txn) => assert_eq!(txn, TxnId(9)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! DORA: Data-Oriented Transaction Execution.
+//!
+//! This crate implements the paper's contribution — the *thread-to-data*
+//! execution architecture of Section 4 — on top of the `dora-storage`
+//! substrate:
+//!
+//! * [`routing`] — routing rules bind executors to disjoint *datasets* of
+//!   each table (Section 4.1.1); the [`resource`] manager adjusts them at
+//!   run time (Appendix A.2.1).
+//! * [`flow`] / [`action`] — transactions are decomposed into *actions*
+//!   organized in a *transaction flow graph* whose phases are separated by
+//!   *rendezvous points* (Section 4.1.2).
+//! * [`locallock`] — each executor's thread-local lock table with
+//!   shared/exclusive modes and key-prefix conflict semantics
+//!   (Section 4.1.3).
+//! * [`executor`] — executor threads with incoming and completed queues,
+//!   serving actions in FIFO order.
+//! * [`engine`] — the [`DoraEngine`]: dispatching, atomic phase submission
+//!   (the deadlock-avoidance rule of Section 4.2.3), the terminal-RVP commit
+//!   protocol (steps 9–12 of Figure 9) and secondary-action handling
+//!   (Section 4.2.2).
+//!
+//! The engine keeps the ACID properties of the underlying storage manager:
+//! probes and updates run without centralized concurrency control only
+//! because their executor serializes conflicting actions through its local
+//! lock table, while record inserts and deletes still take row locks through
+//! the centralized lock manager (Section 4.2.1).
+
+pub mod action;
+pub mod config;
+pub mod engine;
+pub mod executor;
+pub mod flow;
+pub mod locallock;
+pub mod resource;
+pub mod routing;
+pub mod txn;
+
+pub use action::{ActionContext, ActionSpec, LocalMode};
+pub use config::DoraConfig;
+pub use engine::DoraEngine;
+pub use flow::FlowGraph;
+pub use locallock::LocalLockTable;
+pub use resource::{AbortRateMonitor, ResourceManager};
+pub use routing::{RoutingRule, RoutingTable};
+pub use txn::DoraTxn;

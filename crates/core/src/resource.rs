@@ -1,0 +1,304 @@
+//! The DORA resource manager.
+//!
+//! The paper's resource manager (Sections 4.1.1, A.2.1, A.4) has two jobs:
+//!
+//! 1. **Load balancing**: it monitors the load of each executor and, when the
+//!    assignment becomes disproportional, modifies the table's routing rule.
+//!    Changing a rule uses the drain protocol: the affected executors stop
+//!    serving actions of new transactions until their in-flight transactions
+//!    leave the system, then the rule is swapped and deferred actions are
+//!    re-dispatched under the new rule.
+//! 2. **Abort-rate monitoring**: for transactions with non-negligible abort
+//!    rates, running their actions in parallel wastes work; the resource
+//!    manager tracks abort rates per transaction type and recommends the
+//!    serialized flow graph once the rate crosses a threshold (the DORA-S
+//!    plan of Figure 11).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use dora_common::prelude::*;
+
+use crate::config::DoraConfig;
+use crate::engine::DoraEngine;
+use crate::routing::RoutingRule;
+
+/// Tracks commit/abort outcomes per transaction type and recommends when to
+/// switch to a serialized flow graph.
+#[derive(Debug, Default)]
+pub struct AbortRateMonitor {
+    stats: Mutex<HashMap<&'static str, (u64, u64)>>,
+}
+
+impl AbortRateMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the outcome of one transaction of the given type.
+    pub fn record(&self, txn_type: &'static str, aborted: bool) {
+        let mut stats = self.stats.lock();
+        let entry = stats.entry(txn_type).or_insert((0, 0));
+        entry.0 += 1;
+        if aborted {
+            entry.1 += 1;
+        }
+    }
+
+    /// Observed abort rate (0..=1) for the transaction type.
+    pub fn abort_rate(&self, txn_type: &'static str) -> f64 {
+        let stats = self.stats.lock();
+        match stats.get(txn_type) {
+            Some((total, aborted)) if *total > 0 => *aborted as f64 / *total as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of observations for the transaction type.
+    pub fn samples(&self, txn_type: &'static str) -> u64 {
+        self.stats.lock().get(txn_type).map(|(total, _)| *total).unwrap_or(0)
+    }
+
+    /// `true` once the abort rate is high enough (and enough samples exist)
+    /// that the serialized plan is the better choice (Appendix A.4).
+    pub fn should_serialize(&self, txn_type: &'static str, config: &DoraConfig) -> bool {
+        self.samples(txn_type) >= config.abort_monitor_min_samples
+            && self.abort_rate(txn_type) >= config.serialize_abort_threshold
+    }
+}
+
+/// Runtime manager for routing rules and execution plans.
+pub struct ResourceManager {
+    config: DoraConfig,
+    monitor: AbortRateMonitor,
+}
+
+impl std::fmt::Debug for ResourceManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResourceManager").finish()
+    }
+}
+
+impl ResourceManager {
+    /// Creates a resource manager with the given configuration.
+    pub fn new(config: DoraConfig) -> Self {
+        Self { config, monitor: AbortRateMonitor::new() }
+    }
+
+    /// The abort-rate monitor.
+    pub fn monitor(&self) -> &AbortRateMonitor {
+        &self.monitor
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DoraConfig {
+        &self.config
+    }
+
+    /// Replaces the routing rule of `table` using the drain protocol of
+    /// Appendix A.2.1: every executor of the table drains its in-flight
+    /// transactions, the rule is swapped, and deferred actions are
+    /// re-dispatched under the new rule. Blocks until the swap is complete.
+    pub fn rebalance(&self, engine: &DoraEngine, table: TableId, new_rule: RoutingRule) -> DbResult<()> {
+        if new_rule.executor_count() != engine.executor_count(table) {
+            return Err(DbError::InvalidOperation(format!(
+                "new rule defines {} datasets but {table} has {} executors",
+                new_rule.executor_count(),
+                engine.executor_count(table)
+            )));
+        }
+        let barriers = engine.start_drain(table)?;
+        for barrier in &barriers {
+            barrier.wait();
+        }
+        engine.finish_resize(table, new_rule)
+    }
+
+    /// Checks the per-executor load of `table` and, if the busiest executor
+    /// exceeds the average by the configured imbalance ratio, computes and
+    /// installs a rebalanced rule. Returns `true` when a rebalance happened.
+    ///
+    /// The computed rule simply moves range boundaries so that the observed
+    /// load would have been split evenly — the same reactive policy the paper
+    /// describes (resize the dataset assigned to each executor to balance the
+    /// load).
+    pub fn rebalance_if_skewed(
+        &self,
+        engine: &DoraEngine,
+        table: TableId,
+        key_low: i64,
+        key_high: i64,
+    ) -> DbResult<bool> {
+        let loads = engine.executor_loads(table)?;
+        if loads.len() < 2 {
+            return Ok(false);
+        }
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return Ok(false);
+        }
+        let average = total as f64 / loads.len() as f64;
+        let busiest = *loads.iter().max().expect("non-empty") as f64;
+        if busiest / average < self.config.rebalance_imbalance_ratio {
+            return Ok(false);
+        }
+        // Build boundaries proportional to the inverse of the observed load:
+        // executors that served more actions get a smaller share of the key
+        // domain. With no per-key statistics this is a heuristic split of the
+        // domain weighted by 1/load.
+        let weights: Vec<f64> = loads.iter().map(|&l| 1.0 / (l as f64 + 1.0)).collect();
+        let weight_sum: f64 = weights.iter().sum();
+        let span = (key_high - key_low + 1) as f64;
+        let mut boundaries = Vec::with_capacity(loads.len() - 1);
+        let mut acc = 0.0;
+        for weight in weights.iter().take(loads.len() - 1) {
+            acc += weight / weight_sum;
+            let boundary = key_low + (span * acc).round() as i64;
+            boundaries.push(boundary.clamp(key_low + 1, key_high));
+        }
+        // Boundaries must be strictly increasing.
+        for i in 1..boundaries.len() {
+            if boundaries[i] <= boundaries[i - 1] {
+                boundaries[i] = boundaries[i - 1] + 1;
+            }
+        }
+        self.rebalance(engine, table, RoutingRule::Range { boundaries })?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionSpec, LocalMode};
+    use crate::flow::FlowGraph;
+    use dora_storage::{ColumnDef, Database, TableSchema};
+    use std::sync::Arc;
+
+    #[test]
+    fn abort_rate_monitor_recommends_serialization() {
+        let config = DoraConfig { abort_monitor_min_samples: 10, serialize_abort_threshold: 0.2, ..DoraConfig::default() };
+        let monitor = AbortRateMonitor::new();
+        for i in 0..20 {
+            monitor.record("tm1-upd-sub-data", i % 3 == 0);
+        }
+        assert_eq!(monitor.samples("tm1-upd-sub-data"), 20);
+        assert!(monitor.abort_rate("tm1-upd-sub-data") > 0.2);
+        assert!(monitor.should_serialize("tm1-upd-sub-data", &config));
+        assert!(!monitor.should_serialize("unknown", &config));
+    }
+
+    #[test]
+    fn abort_rate_requires_minimum_samples() {
+        let config = DoraConfig { abort_monitor_min_samples: 100, ..DoraConfig::default() };
+        let monitor = AbortRateMonitor::new();
+        for _ in 0..10 {
+            monitor.record("rare", true);
+        }
+        assert_eq!(monitor.abort_rate("rare"), 1.0);
+        assert!(!monitor.should_serialize("rare", &config));
+    }
+
+    fn counters_engine() -> (Arc<Database>, TableId, DoraEngine) {
+        let db = Database::for_tests();
+        let table = db
+            .create_table(TableSchema::new(
+                "counters",
+                vec![ColumnDef::new("id", ValueType::Int), ColumnDef::new("n", ValueType::Int)],
+                vec![0],
+            ))
+            .unwrap();
+        for id in 1..=100i64 {
+            db.load_row(table, vec![Value::Int(id), Value::Int(0)]).unwrap();
+        }
+        let engine = DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests());
+        engine.bind_table(table, 2, 1, 100).unwrap();
+        (db, table, engine)
+    }
+
+    fn bump(table: TableId, id: i64) -> FlowGraph {
+        let mut graph = FlowGraph::new();
+        let phase = graph.add_phase();
+        graph.add_action(
+            phase,
+            ActionSpec::new("bump", table, Key::int(id), LocalMode::Exclusive, move |ctx| {
+                ctx.db.update_primary(ctx.txn, table, &Key::int(id), CcMode::None, |row| {
+                    let n = row[1].as_int()?;
+                    row[1] = Value::Int(n + 1);
+                    Ok(())
+                })
+            }),
+        );
+        graph
+    }
+
+    #[test]
+    fn rebalance_swaps_rule_and_work_continues() {
+        let (db, table, engine) = counters_engine();
+        let manager = ResourceManager::new(DoraConfig::for_tests());
+        // Run some transactions, rebalance so executor 1 owns almost
+        // everything, then run more transactions: all must still apply
+        // exactly once.
+        for id in 1..=20i64 {
+            engine.execute(bump(table, id)).unwrap();
+        }
+        manager
+            .rebalance(&engine, table, RoutingRule::Range { boundaries: vec![5] })
+            .unwrap();
+        assert_eq!(engine.routing().rule(table).unwrap(), RoutingRule::Range { boundaries: vec![5] });
+        for id in 1..=20i64 {
+            engine.execute(bump(table, id)).unwrap();
+        }
+        let check = db.begin();
+        for id in 1..=20i64 {
+            let (_, row) =
+                db.probe_primary(&check, table, &Key::int(id), false, CcMode::Full).unwrap().unwrap();
+            assert_eq!(row[1], Value::Int(2), "counter {id} must be bumped exactly twice");
+        }
+        db.commit(&check).unwrap();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn rebalance_rejects_mismatched_executor_count() {
+        let (_db, table, engine) = counters_engine();
+        let manager = ResourceManager::new(DoraConfig::for_tests());
+        let result = manager.rebalance(&engine, table, RoutingRule::even_ranges(1, 100, 3));
+        assert!(result.is_err());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn skew_detection_rebalances_boundaries() {
+        let (_db, table, engine) = counters_engine();
+        let manager = ResourceManager::new(DoraConfig::for_tests());
+        // Hammer executor 0 (keys 1..=50) so the load becomes skewed.
+        for _ in 0..30 {
+            engine.execute(bump(table, 10)).unwrap();
+        }
+        let rebalanced = manager.rebalance_if_skewed(&engine, table, 1, 100).unwrap();
+        assert!(rebalanced, "skewed load must trigger a rebalance");
+        // After the rebalance executor 0's share of the key domain shrinks.
+        match engine.routing().rule(table).unwrap() {
+            RoutingRule::Range { boundaries } => {
+                assert_eq!(boundaries.len(), 1);
+                assert!(boundaries[0] < 51, "boundary must move left, got {boundaries:?}");
+            }
+            other => panic!("unexpected rule {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn balanced_load_does_not_rebalance() {
+        let (_db, table, engine) = counters_engine();
+        let manager = ResourceManager::new(DoraConfig::for_tests());
+        for id in [10, 60, 20, 70, 30, 80] {
+            engine.execute(bump(table, id)).unwrap();
+        }
+        assert!(!manager.rebalance_if_skewed(&engine, table, 1, 100).unwrap());
+        engine.shutdown();
+    }
+}

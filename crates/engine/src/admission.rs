@@ -1,0 +1,96 @@
+//! Perfect admission control.
+//!
+//! Figure 8 of the paper compares the *maximum* throughput each system can
+//! reach if a perfect admission-control mechanism limits the number of
+//! outstanding transactions — i.e. the best point of the load sweep, even if
+//! it leaves the machine underutilized. This module implements that sweep.
+
+use crate::driver::RunResult;
+
+/// The best operating point found by an admission-control sweep.
+#[derive(Debug, Clone)]
+pub struct PeakResult {
+    /// Client count that achieved the peak.
+    pub best_clients: usize,
+    /// Peak committed-transactions-per-second.
+    pub best_tps: f64,
+    /// Measured CPU utilization at the peak (percent), when available.
+    pub cpu_utilization_at_peak: Option<f64>,
+    /// Every point of the sweep, for reporting the full curve.
+    pub sweep: Vec<RunResult>,
+}
+
+impl PeakResult {
+    /// Offered CPU load at the peak, in percent.
+    pub fn offered_load_at_peak(&self) -> f64 {
+        self.sweep
+            .iter()
+            .find(|r| r.clients == self.best_clients)
+            .map(|r| r.offered_load_percent)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Sweeps the given client counts, calling `run_at` for each, and returns the
+/// point with the highest throughput — what a perfectly tuned admission
+/// controller would pick.
+pub fn find_peak(client_counts: &[usize], mut run_at: impl FnMut(usize) -> RunResult) -> PeakResult {
+    assert!(!client_counts.is_empty(), "sweep needs at least one client count");
+    let mut sweep = Vec::with_capacity(client_counts.len());
+    for &clients in client_counts {
+        sweep.push(run_at(clients));
+    }
+    let best = sweep
+        .iter()
+        .max_by(|a, b| a.throughput_tps.total_cmp(&b.throughput_tps))
+        .expect("non-empty sweep");
+    PeakResult {
+        best_clients: best.clients,
+        best_tps: best.throughput_tps,
+        cpu_utilization_at_peak: best.cpu_utilization_percent,
+        sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dora_metrics::{LatencyHistogram, Snapshot, TimeBreakdown};
+    use std::time::Duration;
+
+    fn fake_result(clients: usize, tps: f64) -> RunResult {
+        RunResult {
+            clients,
+            elapsed: Duration::from_secs(1),
+            committed: tps as u64,
+            aborted: 0,
+            throughput_tps: tps,
+            latency: LatencyHistogram::new(),
+            metrics: Snapshot::default(),
+            breakdown: TimeBreakdown::default(),
+            offered_load_percent: clients as f64 * 10.0,
+            cpu_utilization_percent: Some(clients as f64 * 9.0),
+        }
+    }
+
+    #[test]
+    fn find_peak_picks_the_maximum() {
+        // Throughput rises then collapses — the classic over-saturation curve.
+        let curve = [(1, 100.0), (2, 180.0), (4, 300.0), (8, 240.0), (16, 60.0)];
+        let peak = find_peak(&[1, 2, 4, 8, 16], |clients| {
+            let tps = curve.iter().find(|(c, _)| *c == clients).unwrap().1;
+            fake_result(clients, tps)
+        });
+        assert_eq!(peak.best_clients, 4);
+        assert_eq!(peak.best_tps, 300.0);
+        assert_eq!(peak.cpu_utilization_at_peak, Some(36.0));
+        assert_eq!(peak.sweep.len(), 5);
+        assert!((peak.offered_load_at_peak() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client count")]
+    fn empty_sweep_panics() {
+        find_peak(&[], |clients| fake_result(clients, 0.0));
+    }
+}

@@ -1,0 +1,185 @@
+//! The baseline engine: conventional thread-to-transaction execution.
+//!
+//! Each client (worker) thread executes whole transactions against the
+//! storage manager with full centralized concurrency control — the
+//! uncoordinated access pattern whose lock-manager contention Section 3 of
+//! the paper dissects. Deadlock victims are retried, mirroring how OLTP
+//! systems resubmit aborted transactions.
+
+use std::sync::Arc;
+
+use dora_common::prelude::*;
+use dora_storage::{Database, TxnHandle};
+
+/// Outcome of running one transaction body to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineOutcome {
+    /// The transaction committed.
+    Committed,
+    /// The transaction aborted for a workload reason (e.g. TM1 invalid
+    /// input) and was *not* retried.
+    Aborted,
+    /// The transaction hit the retry limit (repeated deadlocks).
+    GaveUp,
+}
+
+/// The conventional execution engine.
+///
+/// It holds nothing but the database handle: in the thread-to-transaction
+/// model there is no routing, no executors and no per-thread data — any
+/// thread may touch any record, which is precisely why every access must go
+/// through the centralized lock manager.
+#[derive(Debug, Clone)]
+pub struct BaselineEngine {
+    db: Arc<Database>,
+    max_retries: usize,
+}
+
+impl BaselineEngine {
+    /// Creates a baseline engine over `db`.
+    pub fn new(db: Arc<Database>) -> Self {
+        let max_retries = db.config().max_retries;
+        Self { db, max_retries }
+    }
+
+    /// The underlying storage manager.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Executes `body` as one transaction with full concurrency control,
+    /// retrying deadlock victims up to the configured limit.
+    ///
+    /// Returns `Committed` if a (possibly retried) attempt committed,
+    /// `Aborted` if the body requested an abort for workload reasons, and
+    /// `GaveUp` if every retry ended in a deadlock.
+    pub fn execute<F>(&self, body: F) -> DbResult<BaselineOutcome>
+    where
+        F: Fn(&Database, &TxnHandle) -> DbResult<()>,
+    {
+        for _attempt in 0..=self.max_retries {
+            let txn = self.db.begin();
+            match body(&self.db, &txn) {
+                Ok(()) => {
+                    self.db.commit(&txn)?;
+                    return Ok(BaselineOutcome::Committed);
+                }
+                Err(DbError::Deadlock { .. }) => {
+                    self.db.abort(&txn)?;
+                    // Retry the transaction from scratch.
+                    continue;
+                }
+                Err(DbError::TxnAborted { .. }) => {
+                    self.db.abort(&txn)?;
+                    return Ok(BaselineOutcome::Aborted);
+                }
+                Err(other) => {
+                    self.db.abort(&txn)?;
+                    return Err(other);
+                }
+            }
+        }
+        Ok(BaselineOutcome::GaveUp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dora_storage::{ColumnDef, TableSchema};
+
+    fn db_with_counter() -> (Arc<Database>, TableId) {
+        let db = Database::for_tests();
+        let table = db
+            .create_table(TableSchema::new(
+                "counters",
+                vec![ColumnDef::new("id", ValueType::Int), ColumnDef::new("n", ValueType::Int)],
+                vec![0],
+            ))
+            .unwrap();
+        db.load_row(table, vec![Value::Int(1), Value::Int(0)]).unwrap();
+        db.load_row(table, vec![Value::Int(2), Value::Int(0)]).unwrap();
+        (db, table)
+    }
+
+    #[test]
+    fn committed_transaction_applies_changes() {
+        let (db, table) = db_with_counter();
+        let engine = BaselineEngine::new(Arc::clone(&db));
+        let outcome = engine
+            .execute(|db, txn| {
+                db.update_primary(txn, table, &Key::int(1), CcMode::Full, |row| {
+                    row[1] = Value::Int(5);
+                    Ok(())
+                })
+            })
+            .unwrap();
+        assert_eq!(outcome, BaselineOutcome::Committed);
+        let check = db.begin();
+        let (_, row) = db.probe_primary(&check, table, &Key::int(1), false, CcMode::Full).unwrap().unwrap();
+        assert_eq!(row[1], Value::Int(5));
+        db.commit(&check).unwrap();
+    }
+
+    #[test]
+    fn workload_abort_rolls_back_without_retry() {
+        let (db, table) = db_with_counter();
+        let engine = BaselineEngine::new(Arc::clone(&db));
+        let outcome = engine
+            .execute(|db, txn| {
+                db.update_primary(txn, table, &Key::int(1), CcMode::Full, |row| {
+                    row[1] = Value::Int(77);
+                    Ok(())
+                })?;
+                Err(DbError::TxnAborted { txn: txn.id(), reason: "invalid input".into() })
+            })
+            .unwrap();
+        assert_eq!(outcome, BaselineOutcome::Aborted);
+        let check = db.begin();
+        let (_, row) = db.probe_primary(&check, table, &Key::int(1), false, CcMode::Full).unwrap().unwrap();
+        assert_eq!(row[1], Value::Int(0), "aborted change must not be visible");
+        db.commit(&check).unwrap();
+    }
+
+    #[test]
+    fn concurrent_increments_are_serialized_by_locks() {
+        let (db, table) = db_with_counter();
+        let engine = BaselineEngine::new(Arc::clone(&db));
+        let threads = 4i64;
+        let per_thread = 50i64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let engine = engine.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        let outcome = engine
+                            .execute(|db, txn| {
+                                db.update_primary(txn, table, &Key::int(2), CcMode::Full, |row| {
+                                    let n = row[1].as_int()?;
+                                    row[1] = Value::Int(n + 1);
+                                    Ok(())
+                                })
+                            })
+                            .unwrap();
+                        assert_eq!(outcome, BaselineOutcome::Committed);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let check = db.begin();
+        let (_, row) = db.probe_primary(&check, table, &Key::int(2), false, CcMode::Full).unwrap().unwrap();
+        assert_eq!(row[1], Value::Int(threads * per_thread));
+        db.commit(&check).unwrap();
+    }
+
+    #[test]
+    fn unexpected_errors_are_propagated() {
+        let (db, _table) = db_with_counter();
+        let engine = BaselineEngine::new(db);
+        let result = engine.execute(|_, _| Err(DbError::Corruption("boom".into())));
+        assert!(matches!(result, Err(DbError::Corruption(_))));
+    }
+}

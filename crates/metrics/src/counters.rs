@@ -1,0 +1,119 @@
+//! Event counters.
+
+/// Kinds of counted events.
+///
+/// The first three mirror Figure 5 of the paper, which plots locks acquired
+/// per 100 transactions split into *row-level* centralized locks,
+/// *higher-level* centralized locks (intention locks on tables, pages and the
+/// database) and *DORA thread-local* locks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum CounterKind {
+    /// Row-level (record) locks acquired through the centralized lock manager.
+    RowLevelLock = 0,
+    /// Centralized locks that are not row-level: database, table and page
+    /// intention locks.
+    HigherLevelLock = 1,
+    /// Locks acquired in DORA's thread-local lock tables.
+    DoraLocalLock = 2,
+    /// Transactions committed.
+    TxnCommitted = 3,
+    /// Transactions aborted (for any reason).
+    TxnAborted = 4,
+    /// Transactions aborted specifically as deadlock victims.
+    DeadlockVictim = 5,
+    /// DORA actions executed.
+    ActionsExecuted = 6,
+    /// Latch acquisitions that succeeded without spinning.
+    LatchFastPath = 7,
+    /// Latch acquisitions that had to spin at least once.
+    LatchContended = 8,
+    /// Logical lock requests that had to wait for an incompatible holder.
+    LockWaits = 9,
+    /// Log records appended.
+    LogRecords = 10,
+    /// Log flushes performed.
+    LogFlushes = 11,
+    /// Buffer-pool page hits.
+    BufferHits = 12,
+    /// Buffer-pool page misses (page had to be materialized / "read").
+    BufferMisses = 13,
+    /// Actions from already-aborted transactions whose execution was wasted
+    /// (relevant to the Figure 11 experiment).
+    WastedActions = 14,
+    /// Messages exchanged between DORA threads (dispatch, RVP hand-offs and
+    /// commit notifications) — the "additional inter-core communication" the
+    /// appendix mentions.
+    DoraMessages = 15,
+}
+
+/// Number of [`CounterKind`] variants; sizes the per-thread arrays.
+pub const COUNTER_KIND_COUNT: usize = 16;
+
+/// All counters, in `repr` order.
+pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
+    CounterKind::RowLevelLock,
+    CounterKind::HigherLevelLock,
+    CounterKind::DoraLocalLock,
+    CounterKind::TxnCommitted,
+    CounterKind::TxnAborted,
+    CounterKind::DeadlockVictim,
+    CounterKind::ActionsExecuted,
+    CounterKind::LatchFastPath,
+    CounterKind::LatchContended,
+    CounterKind::LockWaits,
+    CounterKind::LogRecords,
+    CounterKind::LogFlushes,
+    CounterKind::BufferHits,
+    CounterKind::BufferMisses,
+    CounterKind::WastedActions,
+    CounterKind::DoraMessages,
+];
+
+impl CounterKind {
+    /// Stable index into the per-thread arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short label used by the text reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CounterKind::RowLevelLock => "row-level-locks",
+            CounterKind::HigherLevelLock => "higher-level-locks",
+            CounterKind::DoraLocalLock => "dora-local-locks",
+            CounterKind::TxnCommitted => "txn-committed",
+            CounterKind::TxnAborted => "txn-aborted",
+            CounterKind::DeadlockVictim => "deadlock-victims",
+            CounterKind::ActionsExecuted => "actions-executed",
+            CounterKind::LatchFastPath => "latch-fast-path",
+            CounterKind::LatchContended => "latch-contended",
+            CounterKind::LockWaits => "lock-waits",
+            CounterKind::LogRecords => "log-records",
+            CounterKind::LogFlushes => "log-flushes",
+            CounterKind::BufferHits => "buffer-hits",
+            CounterKind::BufferMisses => "buffer-misses",
+            CounterKind::WastedActions => "wasted-actions",
+            CounterKind::DoraMessages => "dora-messages",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_indices_match_array_order() {
+        for (i, kind) in ALL_COUNTER_KINDS.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = ALL_COUNTER_KINDS.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), COUNTER_KIND_COUNT);
+    }
+}

@@ -1,0 +1,188 @@
+//! Transaction state and the transaction manager.
+//!
+//! The transaction manager allocates transaction ids and tracks per
+//! transaction state: status, the ledger of centralized locks held (released
+//! at commit/abort), and the last LSN written (the point the log must be
+//! flushed to at commit). A transaction's state is shared behind an `Arc`
+//! because under DORA a single transaction's actions execute on several
+//! executor threads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dora_common::prelude::*;
+use dora_metrics::{incr, CounterKind};
+
+use crate::lock::HeldLocks;
+use crate::log::Lsn;
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Running; may still acquire locks and write log records.
+    Active,
+    /// Successfully committed.
+    Committed,
+    /// Rolled back.
+    Aborted,
+}
+
+/// Shared state of one transaction.
+#[derive(Debug)]
+pub struct TxnState {
+    /// Transaction id.
+    pub id: TxnId,
+    status: Mutex<TxnStatus>,
+    /// Centralized locks held; the lock manager's release path consumes this
+    /// at commit/abort.
+    pub(crate) held: Mutex<HeldLocks>,
+    /// Last LSN written by this transaction (commit must flush up to here).
+    last_lsn: Mutex<Lsn>,
+}
+
+impl TxnState {
+    fn new(id: TxnId) -> Self {
+        Self {
+            id,
+            status: Mutex::new(TxnStatus::Active),
+            held: Mutex::new(HeldLocks::new()),
+            last_lsn: Mutex::new(Lsn(0)),
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> TxnStatus {
+        *self.status.lock()
+    }
+
+    /// `true` while the transaction can still do work.
+    pub fn is_active(&self) -> bool {
+        self.status() == TxnStatus::Active
+    }
+
+    /// Records a newly written LSN.
+    pub fn note_lsn(&self, lsn: Lsn) {
+        let mut last = self.last_lsn.lock();
+        if lsn > *last {
+            *last = lsn;
+        }
+    }
+
+    /// Last LSN written by the transaction.
+    pub fn last_lsn(&self) -> Lsn {
+        *self.last_lsn.lock()
+    }
+
+    /// Number of centralized locks currently held (diagnostics / tests).
+    pub fn held_lock_count(&self) -> usize {
+        self.held.lock().len()
+    }
+
+    pub(crate) fn set_status(&self, status: TxnStatus) {
+        *self.status.lock() = status;
+    }
+}
+
+/// Allocates transaction ids and tracks active transactions.
+pub struct TxnManager {
+    next_id: AtomicU64,
+    active: Mutex<HashMap<TxnId, Arc<TxnState>>>,
+}
+
+impl std::fmt::Debug for TxnManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnManager").field("active", &self.active_count()).finish()
+    }
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnManager {
+    /// Creates a transaction manager.
+    pub fn new() -> Self {
+        Self { next_id: AtomicU64::new(1), active: Mutex::new(HashMap::new()) }
+    }
+
+    /// Starts a new transaction.
+    pub fn begin(&self) -> Arc<TxnState> {
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let state = Arc::new(TxnState::new(id));
+        self.active.lock().insert(id, Arc::clone(&state));
+        state
+    }
+
+    /// Marks a transaction finished and forgets it.
+    pub fn finish(&self, txn: &TxnState, status: TxnStatus) {
+        txn.set_status(status);
+        self.active.lock().remove(&txn.id);
+        match status {
+            TxnStatus::Committed => incr(CounterKind::TxnCommitted),
+            TxnStatus::Aborted => incr(CounterKind::TxnAborted),
+            TxnStatus::Active => {}
+        }
+    }
+
+    /// Number of transactions currently active.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// Looks up an active transaction by id.
+    pub fn get(&self, id: TxnId) -> Option<Arc<TxnState>> {
+        self.active.lock().get(&id).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_and_finish_lifecycle() {
+        let manager = TxnManager::new();
+        let txn = manager.begin();
+        assert!(txn.is_active());
+        assert_eq!(manager.active_count(), 1);
+        assert!(manager.get(txn.id).is_some());
+        manager.finish(&txn, TxnStatus::Committed);
+        assert_eq!(txn.status(), TxnStatus::Committed);
+        assert_eq!(manager.active_count(), 0);
+        assert!(manager.get(txn.id).is_none());
+    }
+
+    #[test]
+    fn txn_ids_are_unique_across_threads() {
+        let manager = Arc::new(TxnManager::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let manager = Arc::clone(&manager);
+                std::thread::spawn(move || {
+                    (0..250).map(|_| manager.begin().id).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for handle in handles {
+            all.extend(handle.join().unwrap());
+        }
+        let unique: std::collections::HashSet<_> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len());
+    }
+
+    #[test]
+    fn last_lsn_tracks_maximum() {
+        let manager = TxnManager::new();
+        let txn = manager.begin();
+        txn.note_lsn(Lsn(5));
+        txn.note_lsn(Lsn(3));
+        txn.note_lsn(Lsn(9));
+        assert_eq!(txn.last_lsn(), Lsn(9));
+    }
+}

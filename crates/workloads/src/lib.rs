@@ -1,0 +1,25 @@
+//! The OLTP workloads the paper evaluates with: Nokia's TM1 (Network
+//! Database Benchmark), transactions from TPC-C, and TPC-B.
+//!
+//! Each workload provides, like the paper's partially hard-coded transactions
+//! (Section 4.3):
+//!
+//! * the schema and a scaled data loader;
+//! * a **baseline body** for every transaction — ordinary code running under
+//!   the conventional engine with full centralized concurrency control;
+//! * a **DORA transaction flow graph** for every transaction — the same logic
+//!   decomposed into actions with routing-field identifiers and rendezvous
+//!   points.
+//!
+//! All three workloads route on the leading primary-key column (subscriber
+//! id, warehouse id, branch id), the choice the paper recommends.
+
+pub mod spec;
+pub mod tm1;
+pub mod tpcb;
+pub mod tpcc;
+
+pub use spec::{Workload, WorkloadStats};
+pub use tm1::{Tm1, Tm1Mix};
+pub use tpcb::TpcB;
+pub use tpcc::{Tpcc, TpccMix};

@@ -1,0 +1,148 @@
+//! The common workload interface and shared random-input helpers.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use dora_common::prelude::*;
+use dora_core::DoraEngine;
+use dora_engine::{BaselineEngine, TxnOutcome};
+use dora_storage::Database;
+
+/// A benchmark workload: schema, loader and transaction bodies for both
+/// execution architectures.
+pub trait Workload: Send + Sync {
+    /// Short name used in reports ("TM1", "TPC-B", "TPC-C OrderStatus", ...).
+    fn name(&self) -> &'static str;
+
+    /// Creates the workload's tables and indexes.
+    fn create_schema(&self, db: &Database) -> DbResult<()>;
+
+    /// Populates the tables at the workload's configured scale.
+    fn load(&self, db: &Database) -> DbResult<()>;
+
+    /// Binds every table of the workload to DORA executors.
+    fn bind_dora(&self, engine: &DoraEngine, executors_per_table: usize) -> DbResult<()>;
+
+    /// Runs one transaction (drawn from the workload's mix) on the baseline
+    /// engine.
+    fn run_baseline(&self, engine: &BaselineEngine, rng: &mut SmallRng) -> TxnOutcome;
+
+    /// Runs one transaction (drawn from the workload's mix) on the DORA
+    /// engine.
+    fn run_dora(&self, engine: &DoraEngine, rng: &mut SmallRng) -> TxnOutcome;
+
+    /// Convenience: create the schema and load the data in one call.
+    fn setup(&self, db: &Database) -> DbResult<()> {
+        self.create_schema(db)?;
+        self.load(db)
+    }
+}
+
+/// Shared counters a workload can use to track per-transaction-type outcomes
+/// (used by the intra-transaction-parallelism and abort-rate experiments).
+#[derive(Debug, Default, Clone)]
+pub struct WorkloadStats {
+    inner: Arc<Mutex<std::collections::HashMap<&'static str, (u64, u64)>>>,
+}
+
+impl WorkloadStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an outcome for a transaction type.
+    pub fn record(&self, txn_type: &'static str, outcome: TxnOutcome) {
+        let mut inner = self.inner.lock();
+        let entry = inner.entry(txn_type).or_insert((0, 0));
+        match outcome {
+            TxnOutcome::Committed => entry.0 += 1,
+            TxnOutcome::Aborted => entry.1 += 1,
+        }
+    }
+
+    /// (committed, aborted) for a transaction type.
+    pub fn outcome_counts(&self, txn_type: &'static str) -> (u64, u64) {
+        self.inner.lock().get(txn_type).copied().unwrap_or((0, 0))
+    }
+}
+
+/// TPC-C's non-uniform random distribution NURand(A, x, y).
+pub fn nurand(rng: &mut SmallRng, a: i64, x: i64, y: i64) -> i64 {
+    let c = 42; // constant C, fixed for the run as the spec allows
+    ((((rng.random_range(0..=a)) | (rng.random_range(x..=y))) + c) % (y - x + 1)) + x
+}
+
+/// TPC-C customer last-name generator: concatenates three syllables chosen by
+/// the digits of `num` (0..=999).
+pub fn c_last(num: i64) -> String {
+    const SYLLABLES: [&str; 10] =
+        ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+    let num = num.clamp(0, 999) as usize;
+    format!("{}{}{}", SYLLABLES[num / 100], SYLLABLES[(num / 10) % 10], SYLLABLES[num % 10])
+}
+
+/// Random TPC-C-style last name for probing (uses NURand(255, 0, 999)).
+pub fn random_c_last(rng: &mut SmallRng) -> String {
+    c_last(nurand(rng, 255, 0, 999))
+}
+
+/// Uniform integer in `[low, high]` (inclusive).
+pub fn uniform(rng: &mut SmallRng, low: i64, high: i64) -> i64 {
+    rng.random_range(low..=high)
+}
+
+/// `true` with probability `percent` (0..=100).
+pub fn chance(rng: &mut SmallRng, percent: u32) -> bool {
+    rng.random_range(0..100) < percent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let value = nurand(&mut rng, 1023, 1, 3000);
+            assert!((1..=3000).contains(&value));
+        }
+    }
+
+    #[test]
+    fn c_last_is_deterministic_and_composed_of_syllables() {
+        assert_eq!(c_last(0), "BARBARBAR");
+        assert_eq!(c_last(371), "PRICALLYOUGHT");
+        assert_eq!(c_last(999), "EINGEINGEING");
+        assert_eq!(c_last(-5), "BARBARBAR", "out-of-range values are clamped");
+    }
+
+    #[test]
+    fn chance_and_uniform_hold_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut hits = 0;
+        for _ in 0..10_000 {
+            let v = uniform(&mut rng, 5, 9);
+            assert!((5..=9).contains(&v));
+            if chance(&mut rng, 25) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 1_500 && hits < 3_500, "25% chance was {hits}/10000");
+    }
+
+    #[test]
+    fn workload_stats_accumulate() {
+        let stats = WorkloadStats::new();
+        stats.record("payment", TxnOutcome::Committed);
+        stats.record("payment", TxnOutcome::Committed);
+        stats.record("payment", TxnOutcome::Aborted);
+        assert_eq!(stats.outcome_counts("payment"), (2, 1));
+        assert_eq!(stats.outcome_counts("unknown"), (0, 0));
+    }
+}

@@ -1,0 +1,469 @@
+//! TPC-B: the classic bank-transfer benchmark.
+//!
+//! One transaction type: deposit/withdraw an amount from an account, updating
+//! the account, its teller and its branch balances and appending a history
+//! record. The paper uses TPC-B (100 branches) for the lock-manager-internal
+//! time breakdown of Figure 3 and the load sweeps of Figures 5 and 6, noting
+//! that its 2:1 ratio of row-level to higher-level locks makes the baseline's
+//! lock-manager contention somewhat milder than TM1's.
+//!
+//! Scaling: one branch has 10 tellers and `accounts_per_branch` accounts. All
+//! tables route on the branch id; the account id encodes its branch so the
+//! Account table's routing field is still the leading primary-key column.
+
+use std::sync::OnceLock;
+
+use rand::rngs::SmallRng;
+
+use dora_common::prelude::*;
+use dora_core::{ActionSpec, DoraEngine, FlowGraph, LocalMode};
+use dora_engine::{baseline::BaselineOutcome, BaselineEngine, TxnOutcome};
+use dora_storage::{ColumnDef, Database, TableSchema};
+
+use crate::spec::{chance, uniform, Workload};
+
+/// Tellers per branch (fixed by the TPC-B specification).
+pub const TELLERS_PER_BRANCH: i64 = 10;
+
+#[derive(Debug, Clone, Copy)]
+struct TpcbTables {
+    branch: TableId,
+    teller: TableId,
+    account: TableId,
+    history: TableId,
+}
+
+/// The TPC-B workload.
+#[derive(Debug)]
+pub struct TpcB {
+    branches: i64,
+    accounts_per_branch: i64,
+    /// Fraction (percent) of transactions that touch an account of a remote
+    /// branch (15% in the specification, like TPC-C Payment's remote
+    /// customers).
+    remote_percent: u32,
+    tables: OnceLock<TpcbTables>,
+}
+
+impl TpcB {
+    /// Transaction label used in reports.
+    pub const ACCOUNT_UPDATE: &'static str = "tpcb-account-update";
+
+    /// Creates a TPC-B workload with the given number of branches and 1 000
+    /// accounts per branch.
+    pub fn new(branches: i64) -> Self {
+        Self::with_accounts(branches, 1_000)
+    }
+
+    /// Creates a TPC-B workload with an explicit accounts-per-branch scale
+    /// (tests use small values).
+    pub fn with_accounts(branches: i64, accounts_per_branch: i64) -> Self {
+        Self {
+            branches: branches.max(1),
+            accounts_per_branch: accounts_per_branch.max(1),
+            remote_percent: 15,
+            tables: OnceLock::new(),
+        }
+    }
+
+    /// Number of branches.
+    pub fn branches(&self) -> i64 {
+        self.branches
+    }
+
+    fn tables(&self, db: &Database) -> DbResult<TpcbTables> {
+        if let Some(tables) = self.tables.get() {
+            return Ok(*tables);
+        }
+        let tables = TpcbTables {
+            branch: db.table_id("branch")?,
+            teller: db.table_id("teller")?,
+            account: db.table_id("account")?,
+            history: db.table_id("history_b")?,
+        };
+        let _ = self.tables.set(tables);
+        Ok(tables)
+    }
+
+    fn account_id(&self, branch: i64, local_account: i64) -> i64 {
+        (branch - 1) * self.accounts_per_branch + local_account
+    }
+
+    fn teller_id(branch: i64, local_teller: i64) -> i64 {
+        (branch - 1) * TELLERS_PER_BRANCH + local_teller
+    }
+
+    /// Generates the inputs of one transaction: (branch of the teller,
+    /// account branch, account id, teller id, amount).
+    fn inputs(&self, rng: &mut SmallRng) -> (i64, i64, i64, i64, f64) {
+        let home_branch = uniform(rng, 1, self.branches);
+        let teller = Self::teller_id(home_branch, uniform(rng, 1, TELLERS_PER_BRANCH));
+        let account_branch = if self.branches > 1 && chance(rng, self.remote_percent) {
+            // Remote account: uniformly among the other branches.
+            let mut other = uniform(rng, 1, self.branches - 1);
+            if other >= home_branch {
+                other += 1;
+            }
+            other
+        } else {
+            home_branch
+        };
+        let account = self.account_id(account_branch, uniform(rng, 1, self.accounts_per_branch));
+        let amount = uniform(rng, -99_999, 99_999) as f64 / 100.0;
+        (home_branch, account_branch, account, teller, amount)
+    }
+
+    /// Baseline body of the account-update transaction.
+    pub fn account_update_baseline(
+        &self,
+        db: &Database,
+        txn: &dora_storage::TxnHandle,
+        home_branch: i64,
+        account: i64,
+        teller: i64,
+        amount: f64,
+    ) -> DbResult<()> {
+        let tables = self.tables(db)?;
+        db.update_primary(txn, tables.account, &Key::int(account), CcMode::Full, |row| {
+            let balance = row[2].as_float()?;
+            row[2] = Value::Float(balance + amount);
+            Ok(())
+        })?;
+        db.update_primary(txn, tables.teller, &Key::int(teller), CcMode::Full, |row| {
+            let balance = row[2].as_float()?;
+            row[2] = Value::Float(balance + amount);
+            Ok(())
+        })?;
+        db.update_primary(txn, tables.branch, &Key::int(home_branch), CcMode::Full, |row| {
+            let balance = row[1].as_float()?;
+            row[1] = Value::Float(balance + amount);
+            Ok(())
+        })?;
+        db.insert(
+            txn,
+            tables.history,
+            vec![
+                Value::Int(home_branch),
+                Value::Int(teller),
+                Value::Int(account),
+                Value::Float(amount),
+                Value::Int(txn.id().0 as i64),
+            ],
+            CcMode::Full,
+        )?;
+        Ok(())
+    }
+
+    /// DORA flow graph of the account-update transaction: the three balance
+    /// updates run in parallel in phase one (they touch three different
+    /// tables, and under DORA possibly three different executors); the
+    /// History insert runs in phase two, like Payment's in Figure 4.
+    pub fn account_update_graph(
+        &self,
+        db: &Database,
+        home_branch: i64,
+        account_branch: i64,
+        account: i64,
+        teller: i64,
+        amount: f64,
+    ) -> DbResult<FlowGraph> {
+        let tables = self.tables(db)?;
+        let account_action = ActionSpec::new(
+            "update-account",
+            tables.account,
+            Key::int(account),
+            LocalMode::Exclusive,
+            move |ctx| {
+                ctx.db.update_primary(ctx.txn, tables.account, &Key::int(account), CcMode::None, |row| {
+                    let balance = row[2].as_float()?;
+                    row[2] = Value::Float(balance + amount);
+                    Ok(())
+                })
+            },
+        );
+        let teller_action = ActionSpec::new(
+            "update-teller",
+            tables.teller,
+            Key::int(teller),
+            LocalMode::Exclusive,
+            move |ctx| {
+                ctx.db.update_primary(ctx.txn, tables.teller, &Key::int(teller), CcMode::None, |row| {
+                    let balance = row[2].as_float()?;
+                    row[2] = Value::Float(balance + amount);
+                    Ok(())
+                })
+            },
+        );
+        let branch_action = ActionSpec::new(
+            "update-branch",
+            tables.branch,
+            Key::int(home_branch),
+            LocalMode::Exclusive,
+            move |ctx| {
+                ctx.db.update_primary(ctx.txn, tables.branch, &Key::int(home_branch), CcMode::None, |row| {
+                    let balance = row[1].as_float()?;
+                    row[1] = Value::Float(balance + amount);
+                    Ok(())
+                })
+            },
+        );
+        let history_action = ActionSpec::new(
+            "insert-history",
+            tables.history,
+            Key::int(home_branch),
+            LocalMode::Exclusive,
+            move |ctx| {
+                ctx.db
+                    .insert(
+                        ctx.txn,
+                        tables.history,
+                        vec![
+                            Value::Int(home_branch),
+                            Value::Int(teller),
+                            Value::Int(account),
+                            Value::Float(amount),
+                            Value::Int(ctx.txn.id().0 as i64),
+                        ],
+                        CcMode::RowOnly,
+                    )
+                    .map(|_| ())
+            },
+        );
+        let _ = account_branch;
+        Ok(FlowGraph::new()
+            .phase_with(vec![account_action, teller_action, branch_action])
+            .phase_with(vec![history_action]))
+    }
+}
+
+impl Workload for TpcB {
+    fn name(&self) -> &'static str {
+        "TPC-B"
+    }
+
+    fn create_schema(&self, db: &Database) -> DbResult<()> {
+        db.create_table(TableSchema::new(
+            "branch",
+            vec![
+                ColumnDef::new("b_id", ValueType::Int),
+                ColumnDef::new("b_balance", ValueType::Float),
+            ],
+            vec![0],
+        ))?;
+        db.create_table(TableSchema::new(
+            "teller",
+            vec![
+                ColumnDef::new("t_id", ValueType::Int),
+                ColumnDef::new("t_b_id", ValueType::Int),
+                ColumnDef::new("t_balance", ValueType::Float),
+            ],
+            vec![0],
+        ))?;
+        db.create_table(TableSchema::new(
+            "account",
+            vec![
+                ColumnDef::new("a_id", ValueType::Int),
+                ColumnDef::new("a_b_id", ValueType::Int),
+                ColumnDef::new("a_balance", ValueType::Float),
+            ],
+            vec![0],
+        ))?;
+        db.create_table(TableSchema::new(
+            "history_b",
+            vec![
+                ColumnDef::new("h_b_id", ValueType::Int),
+                ColumnDef::new("h_t_id", ValueType::Int),
+                ColumnDef::new("h_a_id", ValueType::Int),
+                ColumnDef::new("h_amount", ValueType::Float),
+                ColumnDef::new("h_tid", ValueType::Int),
+            ],
+            // History has no natural primary key in TPC-B; the appending
+            // transaction's id makes the synthetic key unique while keeping
+            // the branch id as the leading (routing) column.
+            vec![0, 4],
+        ))?;
+        Ok(())
+    }
+
+    fn load(&self, db: &Database) -> DbResult<()> {
+        let tables = self.tables(db)?;
+        for branch in 1..=self.branches {
+            db.load_row(tables.branch, vec![Value::Int(branch), Value::Float(0.0)])?;
+            for teller in 1..=TELLERS_PER_BRANCH {
+                db.load_row(
+                    tables.teller,
+                    vec![Value::Int(Self::teller_id(branch, teller)), Value::Int(branch), Value::Float(0.0)],
+                )?;
+            }
+            for account in 1..=self.accounts_per_branch {
+                db.load_row(
+                    tables.account,
+                    vec![
+                        Value::Int(self.account_id(branch, account)),
+                        Value::Int(branch),
+                        Value::Float(0.0),
+                    ],
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn bind_dora(&self, engine: &DoraEngine, executors_per_table: usize) -> DbResult<()> {
+        let tables = self.tables(engine.db())?;
+        engine.bind_table(tables.branch, executors_per_table, 1, self.branches)?;
+        engine.bind_table(
+            tables.teller,
+            executors_per_table,
+            1,
+            self.branches * TELLERS_PER_BRANCH,
+        )?;
+        engine.bind_table(
+            tables.account,
+            executors_per_table,
+            1,
+            self.branches * self.accounts_per_branch,
+        )?;
+        engine.bind_table(tables.history, executors_per_table, 1, self.branches)?;
+        Ok(())
+    }
+
+    fn run_baseline(&self, engine: &BaselineEngine, rng: &mut SmallRng) -> TxnOutcome {
+        let (home_branch, _account_branch, account, teller, amount) = self.inputs(rng);
+        let result = engine.execute(|db, txn| {
+            self.account_update_baseline(db, txn, home_branch, account, teller, amount)
+        });
+        match result {
+            Ok(BaselineOutcome::Committed) => TxnOutcome::Committed,
+            _ => TxnOutcome::Aborted,
+        }
+    }
+
+    fn run_dora(&self, engine: &DoraEngine, rng: &mut SmallRng) -> TxnOutcome {
+        let (home_branch, account_branch, account, teller, amount) = self.inputs(rng);
+        let graph = match self.account_update_graph(
+            engine.db(),
+            home_branch,
+            account_branch,
+            account,
+            teller,
+            amount,
+        ) {
+            Ok(graph) => graph,
+            Err(_) => return TxnOutcome::Aborted,
+        };
+        match engine.execute(graph) {
+            Ok(()) => TxnOutcome::Committed,
+            Err(_) => TxnOutcome::Aborted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dora_core::DoraConfig;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn small_tpcb() -> (Arc<Database>, TpcB) {
+        let db = Database::for_tests();
+        let workload = TpcB::with_accounts(4, 25);
+        workload.setup(&db).unwrap();
+        (db, workload)
+    }
+
+    fn total_balance(db: &Database, workload: &TpcB) -> (f64, f64, f64) {
+        let tables = workload.tables(db).unwrap();
+        let txn = db.begin();
+        let mut branches = 0.0;
+        let mut tellers = 0.0;
+        let mut accounts = 0.0;
+        db.scan_table(&txn, tables.branch, CcMode::Full, |_, row| {
+            branches += row[1].as_float().unwrap();
+        })
+        .unwrap();
+        db.scan_table(&txn, tables.teller, CcMode::Full, |_, row| {
+            tellers += row[2].as_float().unwrap();
+        })
+        .unwrap();
+        db.scan_table(&txn, tables.account, CcMode::Full, |_, row| {
+            accounts += row[2].as_float().unwrap();
+        })
+        .unwrap();
+        db.commit(&txn).unwrap();
+        (branches, tellers, accounts)
+    }
+
+    #[test]
+    fn load_creates_expected_row_counts() {
+        let (db, workload) = small_tpcb();
+        let tables = workload.tables(&db).unwrap();
+        assert_eq!(db.row_count(tables.branch).unwrap(), 4);
+        assert_eq!(db.row_count(tables.teller).unwrap(), 40);
+        assert_eq!(db.row_count(tables.account).unwrap(), 100);
+        assert_eq!(db.row_count(tables.history).unwrap(), 0);
+    }
+
+    #[test]
+    fn baseline_preserves_balance_invariant() {
+        let (db, workload) = small_tpcb();
+        let engine = BaselineEngine::new(Arc::clone(&db));
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(workload.run_baseline(&engine, &mut rng), TxnOutcome::Committed);
+        }
+        let (branches, tellers, accounts) = total_balance(&db, &workload);
+        // Every transaction adds the same amount to one branch, one teller
+        // and one account, so the three totals must agree.
+        assert!((branches - tellers).abs() < 1e-6);
+        assert!((branches - accounts).abs() < 1e-6);
+        let tables = workload.tables(&db).unwrap();
+        assert_eq!(db.row_count(tables.history).unwrap(), 100);
+    }
+
+    #[test]
+    fn dora_preserves_balance_invariant_under_concurrency() {
+        let (db, workload) = small_tpcb();
+        let workload = Arc::new(workload);
+        let engine = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests()));
+        workload.bind_dora(&engine, 2).unwrap();
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                let workload = Arc::clone(&workload);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(100 + t);
+                    for _ in 0..50 {
+                        assert_eq!(workload.run_dora(&engine, &mut rng), TxnOutcome::Committed);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let (branches, tellers, accounts) = total_balance(&db, &workload);
+        assert!((branches - tellers).abs() < 1e-6, "branch={branches} teller={tellers}");
+        assert!((branches - accounts).abs() < 1e-6, "branch={branches} accounts={accounts}");
+        let tables = workload.tables(&db).unwrap();
+        assert_eq!(db.row_count(tables.history).unwrap(), 200);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn remote_accounts_route_to_other_branches() {
+        let workload = TpcB::new(10);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut remote = 0;
+        let total = 2_000;
+        for _ in 0..total {
+            let (home, account_branch, _, _, _) = workload.inputs(&mut rng);
+            if home != account_branch {
+                remote += 1;
+            }
+        }
+        let rate = remote as f64 / total as f64;
+        assert!(rate > 0.10 && rate < 0.20, "remote rate {rate} should be near 15%");
+    }
+}

@@ -1,0 +1,7 @@
+//! Workspace facade re-exporting the public API of every crate.
+pub use dora_common as common;
+pub use dora_core as dora;
+pub use dora_engine as engine;
+pub use dora_metrics as metrics;
+pub use dora_storage as storage;
+pub use dora_workloads as workloads;

@@ -1,0 +1,103 @@
+//! Cross-engine equivalence: the baseline (thread-to-transaction) and DORA
+//! (thread-to-data) engines must produce identical database states when fed
+//! the same deterministic transaction stream — DORA changes *where* code
+//! runs, never *what* it computes.
+
+use std::sync::Arc;
+
+use dora_repro::common::prelude::*;
+use dora_repro::dora::{DoraConfig, DoraEngine};
+use dora_repro::engine::BaselineEngine;
+use dora_repro::storage::Database;
+use dora_repro::workloads::{TpcB, Workload};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn table_totals(db: &Database, table_name: &str, column: usize) -> f64 {
+    let table = db.table_id(table_name).unwrap();
+    let txn = db.begin();
+    let mut total = 0.0;
+    db.scan_table(&txn, table, CcMode::Full, |_, row| {
+        total += row[column].as_float().unwrap_or(0.0);
+    })
+    .unwrap();
+    db.commit(&txn).unwrap();
+    total
+}
+
+#[test]
+fn tpcb_same_seed_same_state() {
+    let branches = 4;
+    let accounts = 50;
+
+    // Baseline run.
+    let db_base = Database::for_tests();
+    let workload_base = TpcB::with_accounts(branches, accounts);
+    workload_base.setup(&db_base).unwrap();
+    let baseline = BaselineEngine::new(Arc::clone(&db_base));
+    let mut rng = SmallRng::seed_from_u64(2024);
+    for _ in 0..200 {
+        workload_base.run_baseline(&baseline, &mut rng);
+    }
+
+    // DORA run with the same seed (and therefore the same inputs).
+    let db_dora = Database::for_tests();
+    let workload_dora = TpcB::with_accounts(branches, accounts);
+    workload_dora.setup(&db_dora).unwrap();
+    let dora = DoraEngine::new(Arc::clone(&db_dora), DoraConfig::for_tests());
+    workload_dora.bind_dora(&dora, 2).unwrap();
+    let mut rng = SmallRng::seed_from_u64(2024);
+    for _ in 0..200 {
+        workload_dora.run_dora(&dora, &mut rng);
+    }
+    dora.shutdown();
+
+    for (table, column) in [("branch", 1), ("teller", 2), ("account", 2)] {
+        let base_total = table_totals(&db_base, table, column);
+        let dora_total = table_totals(&db_dora, table, column);
+        assert!(
+            (base_total - dora_total).abs() < 1e-6,
+            "{table} totals diverged: baseline {base_total} vs DORA {dora_total}"
+        );
+    }
+    assert_eq!(
+        db_base.row_count(db_base.table_id("history_b").unwrap()).unwrap(),
+        db_dora.row_count(db_dora.table_id("history_b").unwrap()).unwrap(),
+        "both engines must have appended the same number of history rows"
+    );
+}
+
+#[test]
+fn dora_concurrent_clients_keep_tpcb_consistent() {
+    // The shape the paper cares about: many concurrent clients, transactions
+    // decomposed across executors, no centralized locking for probes and
+    // updates — yet the money invariant holds.
+    let db = Database::for_tests();
+    let workload = Arc::new(TpcB::with_accounts(6, 40));
+    workload.setup(&db).unwrap();
+    let engine = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests()));
+    workload.bind_dora(&engine, 3).unwrap();
+
+    let handles: Vec<_> = (0..6u64)
+        .map(|seed| {
+            let workload = Arc::clone(&workload);
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                for _ in 0..80 {
+                    workload.run_dora(&engine, &mut rng);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    engine.shutdown();
+
+    let branch = table_totals(&db, "branch", 1);
+    let teller = table_totals(&db, "teller", 2);
+    let account = table_totals(&db, "account", 2);
+    assert!((branch - teller).abs() < 1e-6);
+    assert!((branch - account).abs() < 1e-6);
+}

@@ -1,0 +1,118 @@
+//! Property-based tests over the core data structures and invariants, using
+//! the public API of the workspace crates.
+
+use dora_repro::common::prelude::*;
+use dora_repro::dora::routing::RoutingRule;
+use dora_repro::storage::btree::{BTreeIndex, IndexEntry};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every key in the domain maps to exactly one executor, executor indexes
+    /// are within range, and the mapping is monotone in the key (range rules
+    /// partition the domain into contiguous datasets).
+    #[test]
+    fn routing_rule_partitions_domain(
+        executors in 1usize..12,
+        low in -1_000i64..1_000,
+        span in 1i64..5_000,
+        probes in proptest::collection::vec(-2_000i64..7_000, 1..50),
+    ) {
+        let high = low + span;
+        let rule = RoutingRule::even_ranges(low, high, executors);
+        prop_assert_eq!(rule.executor_count(), executors);
+        let mut last_for_sorted: Option<(i64, usize)> = None;
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        for value in sorted {
+            let executor = rule.route(&Key::int(value)).unwrap();
+            prop_assert!(executor < executors);
+            if let Some((previous_value, previous_executor)) = last_for_sorted {
+                if value >= previous_value {
+                    prop_assert!(executor >= previous_executor);
+                }
+            }
+            last_for_sorted = Some((value, executor));
+        }
+    }
+
+    /// A composite identifier routes to the same executor as its leading
+    /// routing field alone — the property DORA relies on when it merges
+    /// actions and routes secondary-index accesses.
+    #[test]
+    fn routing_ignores_trailing_fields(
+        executors in 1usize..8,
+        key in 1i64..10_000,
+        trailing in -100i64..100,
+    ) {
+        let rule = RoutingRule::even_ranges(1, 10_000, executors);
+        prop_assert_eq!(
+            rule.route(&Key::int(key)),
+            rule.route(&Key::int2(key, trailing))
+        );
+    }
+
+    /// Key prefix overlap is symmetric and equality always overlaps.
+    #[test]
+    fn key_prefix_overlap_is_symmetric(
+        a in proptest::collection::vec(0i64..6, 0..4),
+        b in proptest::collection::vec(0i64..6, 0..4),
+    ) {
+        let key_a = Key::from_values(a.clone());
+        let key_b = Key::from_values(b.clone());
+        prop_assert_eq!(key_a.overlaps(&key_b), key_b.overlaps(&key_a));
+        prop_assert!(key_a.overlaps(&key_a));
+    }
+
+    /// The B-Tree behaves exactly like a sorted map: everything inserted is
+    /// found, everything removed disappears, and range scans return sorted,
+    /// correct windows.
+    #[test]
+    fn btree_matches_model(
+        keys in proptest::collection::btree_set(0i64..2_000, 1..300),
+        removals in proptest::collection::vec(0i64..2_000, 0..100),
+        window in (0i64..2_000, 1i64..500),
+    ) {
+        let index = BTreeIndex::new(true);
+        let mut model = std::collections::BTreeMap::new();
+        for (slot, key) in keys.iter().enumerate() {
+            let rid = Rid::new((slot / 100) as u32, (slot % 100) as u16);
+            index.insert(&Key::int(*key), IndexEntry::new(rid, Key::empty())).unwrap();
+            model.insert(*key, rid);
+        }
+        for key in &removals {
+            if let Some(rid) = model.remove(key) {
+                index.remove(&Key::int(*key), rid).unwrap();
+            }
+        }
+        prop_assert_eq!(index.len(), model.len());
+        for (key, rid) in &model {
+            let found = index.get(&Key::int(*key));
+            prop_assert_eq!(found.len(), 1);
+            prop_assert_eq!(found[0].rid, *rid);
+        }
+        let (start, len) = window;
+        let range = KeyRange::new(Some(Key::int(start)), Some(Key::int(start + len)));
+        let scanned: Vec<i64> = index
+            .range(&range)
+            .iter()
+            .map(|(key, _)| key.leading_int().unwrap())
+            .collect();
+        let expected: Vec<i64> = model.range(start..start + len).map(|(k, _)| *k).collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    /// Row encode/decode round-trips arbitrary rows.
+    #[test]
+    fn row_codec_roundtrip(
+        ints in proptest::collection::vec(any::<i64>(), 0..6),
+        floats in proptest::collection::vec(any::<f64>(), 0..4),
+        texts in proptest::collection::vec(".{0,24}", 0..4),
+    ) {
+        let mut row: Row = Vec::new();
+        row.extend(ints.into_iter().map(Value::Int));
+        row.extend(floats.into_iter().filter(|f| !f.is_nan()).map(Value::Float));
+        row.extend(texts.into_iter().map(Value::Text));
+        let decoded = Value::decode_row(&Value::encode_row(&row)).unwrap();
+        prop_assert_eq!(decoded, row);
+    }
+}
