@@ -1,9 +1,8 @@
 //! Run-time configuration shared by the baseline and DORA engines.
 
-use serde::{Deserialize, Serialize};
 
 /// Which execution architecture a run uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// Conventional thread-to-transaction execution: each worker thread runs
     /// whole transactions against the storage manager with full centralized
@@ -30,7 +29,7 @@ impl EngineKind {
 /// concurrency control for reads/updates executed by DORA executors, and a
 /// flag to acquire only the row-level lock (not the whole hierarchy) for
 /// inserts and deletes. `CcMode` models exactly those three behaviours.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CcMode {
     /// Acquire the full hierarchy of intention locks plus the record lock —
     /// what the conventional engine does for every access.
@@ -54,7 +53,7 @@ impl CcMode {
 
 /// Global knobs for a run. Defaults are sized so that unit and integration
 /// tests finish quickly; the benchmark harness overrides them.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// Number of worker threads the baseline engine uses / number of client
     /// threads generating load.

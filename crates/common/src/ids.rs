@@ -4,7 +4,6 @@
 //! file layer and the DORA routing layer from accidentally mixing up, say, a
 //! page number and a slot number. All identifiers are small `Copy` types.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -12,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// Transaction ids are allocated monotonically by the transaction manager;
 /// id `0` is reserved and never handed to a real transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxnId(pub u64);
 
 impl TxnId {
@@ -63,7 +62,7 @@ impl Default for TxnIdGenerator {
 }
 
 /// Identifier of a table in the catalog.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TableId(pub u32);
 
 impl fmt::Display for TableId {
@@ -73,7 +72,7 @@ impl fmt::Display for TableId {
 }
 
 /// Identifier of an index (primary or secondary) in the catalog.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IndexId(pub u32);
 
 impl fmt::Display for IndexId {
@@ -84,7 +83,7 @@ impl fmt::Display for IndexId {
 
 /// Identifier of a page inside a heap file. Pages are numbered from zero
 /// within their table's heap file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
 
 impl fmt::Display for PageId {
@@ -94,7 +93,7 @@ impl fmt::Display for PageId {
 }
 
 /// Identifier of a slot within a slotted page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SlotId(pub u16);
 
 impl fmt::Display for SlotId {
@@ -108,7 +107,7 @@ impl fmt::Display for SlotId {
 /// This mirrors the RID the paper talks about in Sections 4.2.1/4.2.2: DORA's
 /// secondary indexes store RIDs (plus the routing fields) in their leaves, and
 /// record inserts/deletes lock the RID through the centralized lock manager.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Rid {
     /// Page holding the record.
     pub page: PageId,

@@ -5,13 +5,12 @@
 //! operates on *key prefixes* (Section 4.1.3: "the locking scheme employed is
 //! similar to that of key-prefix locks"), so [`Key`] exposes prefix tests.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::value::Value;
 
 /// A composite key: an ordered tuple of column values.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Key(pub Vec<Value>);
 
 impl Key {
@@ -116,7 +115,7 @@ impl From<Vec<Value>> for Key {
 
 /// A half-open range of keys `[low, high)` used for range scans and for
 /// describing the dataset assigned to a DORA executor.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KeyRange {
     /// Inclusive lower bound; `None` means unbounded below.
     pub low: Option<Key>,

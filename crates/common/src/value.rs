@@ -6,14 +6,13 @@
 //! only has to round-trip within one process, like Shore-MT's record format.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 use crate::error::{DbError, DbResult};
 
 /// The type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueType {
     /// 64-bit signed integer.
     Int,
@@ -24,7 +23,7 @@ pub enum ValueType {
 }
 
 /// A single column value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// 64-bit signed integer.
     Int(i64),

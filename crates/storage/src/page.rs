@@ -8,12 +8,11 @@
 //! secondary indexes store RIDs in their leaves.
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 use dora_common::prelude::*;
 
 /// Per-slot metadata in the slot directory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Slot {
     /// Offset of the record payload within `data`.
     offset: u32,
@@ -28,7 +27,7 @@ struct Slot {
 /// The page owns a flat byte buffer of the configured page size. Free space
 /// sits between the end of the (conceptual) slot directory and
 /// `free_space_end`, the start of the payload area.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Page {
     /// The page's id within its heap file.
     pub id: PageId,

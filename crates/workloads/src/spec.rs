@@ -97,7 +97,7 @@ pub fn uniform(rng: &mut SmallRng, low: i64, high: i64) -> i64 {
 
 /// `true` with probability `percent` (0..=100).
 pub fn chance(rng: &mut SmallRng, percent: u32) -> bool {
-    rng.random_range(0..100) < percent
+    rng.random_range(0..100u32) < percent
 }
 
 #[cfg(test)]

@@ -1,118 +1,157 @@
 //! Property-based tests over the core data structures and invariants, using
 //! the public API of the workspace crates.
+//!
+//! The build environment cannot fetch `proptest`, so these use a small
+//! seeded-random harness: each property is checked against a few hundred
+//! randomly generated cases, and failures report the generated inputs so
+//! the case can be replayed by seed.
 
 use dora_repro::common::prelude::*;
 use dora_repro::dora::routing::RoutingRule;
 use dora_repro::storage::btree::{BTreeIndex, IndexEntry};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    /// Every key in the domain maps to exactly one executor, executor indexes
-    /// are within range, and the mapping is monotone in the key (range rules
-    /// partition the domain into contiguous datasets).
-    #[test]
-    fn routing_rule_partitions_domain(
-        executors in 1usize..12,
-        low in -1_000i64..1_000,
-        span in 1i64..5_000,
-        probes in proptest::collection::vec(-2_000i64..7_000, 1..50),
-    ) {
+const CASES: u64 = 300;
+
+/// Every key in the domain maps to exactly one executor, executor indexes
+/// are within range, and the mapping is monotone in the key (range rules
+/// partition the domain into contiguous datasets).
+#[test]
+fn routing_rule_partitions_domain() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xA100 + case);
+        let executors = rng.random_range(1usize..12);
+        let low = rng.random_range(-1_000i64..1_000);
+        let span = rng.random_range(1i64..5_000);
         let high = low + span;
         let rule = RoutingRule::even_ranges(low, high, executors);
-        prop_assert_eq!(rule.executor_count(), executors);
-        let mut last_for_sorted: Option<(i64, usize)> = None;
-        let mut sorted = probes.clone();
-        sorted.sort_unstable();
-        for value in sorted {
+        assert_eq!(rule.executor_count(), executors, "case {case}");
+
+        let mut probes: Vec<i64> =
+            (0..rng.random_range(1usize..50)).map(|_| rng.random_range(-2_000i64..7_000)).collect();
+        probes.sort_unstable();
+        let mut last: Option<(i64, usize)> = None;
+        for value in probes {
             let executor = rule.route(&Key::int(value)).unwrap();
-            prop_assert!(executor < executors);
-            if let Some((previous_value, previous_executor)) = last_for_sorted {
+            assert!(executor < executors, "case {case}: executor {executor} out of range");
+            if let Some((previous_value, previous_executor)) = last {
                 if value >= previous_value {
-                    prop_assert!(executor >= previous_executor);
+                    assert!(
+                        executor >= previous_executor,
+                        "case {case}: routing not monotone at key {value}"
+                    );
                 }
             }
-            last_for_sorted = Some((value, executor));
+            last = Some((value, executor));
         }
     }
+}
 
-    /// A composite identifier routes to the same executor as its leading
-    /// routing field alone — the property DORA relies on when it merges
-    /// actions and routes secondary-index accesses.
-    #[test]
-    fn routing_ignores_trailing_fields(
-        executors in 1usize..8,
-        key in 1i64..10_000,
-        trailing in -100i64..100,
-    ) {
+/// A composite identifier routes to the same executor as its leading routing
+/// field alone — the property DORA relies on when it merges actions and
+/// routes secondary-index accesses.
+#[test]
+fn routing_ignores_trailing_fields() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xA200 + case);
+        let executors = rng.random_range(1usize..8);
+        let key = rng.random_range(1i64..10_000);
+        let trailing = rng.random_range(-100i64..100);
         let rule = RoutingRule::even_ranges(1, 10_000, executors);
-        prop_assert_eq!(
+        assert_eq!(
             rule.route(&Key::int(key)),
-            rule.route(&Key::int2(key, trailing))
+            rule.route(&Key::int2(key, trailing)),
+            "case {case}: trailing field changed the route of {key}"
         );
     }
+}
 
-    /// Key prefix overlap is symmetric and equality always overlaps.
-    #[test]
-    fn key_prefix_overlap_is_symmetric(
-        a in proptest::collection::vec(0i64..6, 0..4),
-        b in proptest::collection::vec(0i64..6, 0..4),
-    ) {
-        let key_a = Key::from_values(a.clone());
-        let key_b = Key::from_values(b.clone());
-        prop_assert_eq!(key_a.overlaps(&key_b), key_b.overlaps(&key_a));
-        prop_assert!(key_a.overlaps(&key_a));
+/// Key prefix overlap is symmetric and equality always overlaps.
+#[test]
+fn key_prefix_overlap_is_symmetric() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xA300 + case);
+        let len_a = rng.random_range(0usize..4);
+        let len_b = rng.random_range(0usize..4);
+        let a: Vec<i64> = (0..len_a).map(|_| rng.random_range(0i64..6)).collect();
+        let b: Vec<i64> = (0..len_b).map(|_| rng.random_range(0i64..6)).collect();
+        let key_a = Key::from_values(a);
+        let key_b = Key::from_values(b);
+        assert_eq!(
+            key_a.overlaps(&key_b),
+            key_b.overlaps(&key_a),
+            "case {case}: overlap not symmetric for {key_a:?} / {key_b:?}"
+        );
+        assert!(key_a.overlaps(&key_a), "case {case}: key must overlap itself");
     }
+}
 
-    /// The B-Tree behaves exactly like a sorted map: everything inserted is
-    /// found, everything removed disappears, and range scans return sorted,
-    /// correct windows.
-    #[test]
-    fn btree_matches_model(
-        keys in proptest::collection::btree_set(0i64..2_000, 1..300),
-        removals in proptest::collection::vec(0i64..2_000, 0..100),
-        window in (0i64..2_000, 1i64..500),
-    ) {
+/// The B-Tree behaves exactly like a sorted map: everything inserted is
+/// found, everything removed disappears, and range scans return sorted,
+/// correct windows.
+#[test]
+fn btree_matches_model() {
+    for case in 0..60 {
+        let mut rng = SmallRng::seed_from_u64(0xA400 + case);
         let index = BTreeIndex::new(true);
         let mut model = std::collections::BTreeMap::new();
+
+        let inserts = rng.random_range(1usize..300);
+        let mut keys = std::collections::BTreeSet::new();
+        for _ in 0..inserts {
+            keys.insert(rng.random_range(0i64..2_000));
+        }
         for (slot, key) in keys.iter().enumerate() {
             let rid = Rid::new((slot / 100) as u32, (slot % 100) as u16);
             index.insert(&Key::int(*key), IndexEntry::new(rid, Key::empty())).unwrap();
             model.insert(*key, rid);
         }
-        for key in &removals {
-            if let Some(rid) = model.remove(key) {
-                index.remove(&Key::int(*key), rid).unwrap();
+        for _ in 0..rng.random_range(0usize..100) {
+            let key = rng.random_range(0i64..2_000);
+            if let Some(rid) = model.remove(&key) {
+                index.remove(&Key::int(key), rid).unwrap();
             }
         }
-        prop_assert_eq!(index.len(), model.len());
+        assert_eq!(index.len(), model.len(), "case {case}: size diverged");
         for (key, rid) in &model {
             let found = index.get(&Key::int(*key));
-            prop_assert_eq!(found.len(), 1);
-            prop_assert_eq!(found[0].rid, *rid);
+            assert_eq!(found.len(), 1, "case {case}: key {key} not unique");
+            assert_eq!(found[0].rid, *rid, "case {case}: key {key} wrong rid");
         }
-        let (start, len) = window;
+        let start = rng.random_range(0i64..2_000);
+        let len = rng.random_range(1i64..500);
         let range = KeyRange::new(Some(Key::int(start)), Some(Key::int(start + len)));
-        let scanned: Vec<i64> = index
-            .range(&range)
-            .iter()
-            .map(|(key, _)| key.leading_int().unwrap())
-            .collect();
+        let scanned: Vec<i64> =
+            index.range(&range).iter().map(|(key, _)| key.leading_int().unwrap()).collect();
         let expected: Vec<i64> = model.range(start..start + len).map(|(k, _)| *k).collect();
-        prop_assert_eq!(scanned, expected);
+        assert_eq!(scanned, expected, "case {case}: range scan diverged");
     }
+}
 
-    /// Row encode/decode round-trips arbitrary rows.
-    #[test]
-    fn row_codec_roundtrip(
-        ints in proptest::collection::vec(any::<i64>(), 0..6),
-        floats in proptest::collection::vec(any::<f64>(), 0..4),
-        texts in proptest::collection::vec(".{0,24}", 0..4),
-    ) {
+/// Row encode/decode round-trips arbitrary rows.
+#[test]
+fn row_codec_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xA500 + case);
         let mut row: Row = Vec::new();
-        row.extend(ints.into_iter().map(Value::Int));
-        row.extend(floats.into_iter().filter(|f| !f.is_nan()).map(Value::Float));
-        row.extend(texts.into_iter().map(Value::Text));
+        for _ in 0..rng.random_range(0usize..6) {
+            row.push(Value::Int(rng.random_range(i64::MIN..=i64::MAX)));
+        }
+        for _ in 0..rng.random_range(0usize..4) {
+            // f64 from random bits, skipping NaN (NaN != NaN under Eq-by-cmp).
+            let f = f64::from_bits(rng.random_range(0u64..=u64::MAX));
+            if !f.is_nan() {
+                row.push(Value::Float(f));
+            }
+        }
+        for _ in 0..rng.random_range(0usize..4) {
+            let len = rng.random_range(0usize..24);
+            let text: String =
+                (0..len).map(|_| char::from(rng.random_range(32u8..127))).collect();
+            row.push(Value::Text(text));
+        }
         let decoded = Value::decode_row(&Value::encode_row(&row)).unwrap();
-        prop_assert_eq!(decoded, row);
+        assert_eq!(decoded, row, "case {case}: row did not round-trip");
     }
 }
