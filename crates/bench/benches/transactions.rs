@@ -1,40 +1,33 @@
-//! End-to-end single-transaction latency, Baseline vs DORA, for the
-//! transactions Figure 7 reports. Criterion gives the per-transaction view;
-//! the `repro fig7` harness reports the normalized comparison.
+//! End-to-end single-transaction latency for every registered execution
+//! engine, for the transactions Figure 7 reports. Criterion gives the
+//! per-transaction view; the `repro fig7` harness reports the normalized
+//! comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
-use dora_core::{DoraConfig, DoraEngine};
-use dora_engine::BaselineEngine;
+use dora_common::EngineKind;
+use dora_engine::build_engine;
 use dora_storage::Database;
 use dora_workloads::{Tm1, Tm1Mix, TpcB, Tpcc, TpccMix, Workload};
 
 fn bench_workload(c: &mut Criterion, name: &str, make: impl Fn() -> Box<dyn Workload>) {
     let mut group = c.benchmark_group(name);
-
-    let db = Database::for_tests();
-    let workload = make();
-    workload.setup(&db).unwrap();
-    let baseline = BaselineEngine::new(Arc::clone(&db));
-    let mut rng = SmallRng::seed_from_u64(1);
-    group.bench_function("baseline", |b| {
-        b.iter(|| workload.run_baseline(&baseline, &mut rng));
-    });
-
-    let db = Database::for_tests();
-    let workload = make();
-    workload.setup(&db).unwrap();
-    let dora = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::default()));
-    workload.bind_dora(&dora, 2).unwrap();
-    let mut rng = SmallRng::seed_from_u64(1);
-    group.bench_function("dora", |b| {
-        b.iter(|| workload.run_dora(&dora, &mut rng));
-    });
+    for kind in EngineKind::ALL {
+        let db = Database::for_tests();
+        let workload: Arc<dyn Workload> = Arc::from(make());
+        workload.setup(&db).unwrap();
+        let engine = build_engine(kind, db);
+        engine.bind(workload, 2).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| engine.execute_one(&mut rng));
+        });
+        engine.shutdown();
+    }
     group.finish();
-    dora.shutdown();
 }
 
 fn transaction_latency(c: &mut Criterion) {

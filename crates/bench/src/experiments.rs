@@ -6,12 +6,10 @@
 
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use dora_common::prelude::*;
 use dora_core::{DoraConfig, DoraEngine};
-use dora_engine::{find_peak, BaselineEngine, ClientDriver, DriverConfig};
+use dora_engine::{build_engine, find_peak, BaselineEngine, ClientDriver, DriverConfig};
 use dora_storage::Database;
 use dora_workloads::{Tm1Mix, Tpcc, TpccMix, Workload};
 
@@ -23,7 +21,7 @@ use crate::trace::AccessTrace;
 /// load grows, plus the time breakdown of each system.
 pub fn fig1(scale: &Scale) -> Report {
     let mut report = Report::new("Figure 1: TM1-GetSubscriberData, Baseline vs DORA");
-    for system in [SystemUnderTest::Baseline, SystemUnderTest::Dora] {
+    for system in SystemUnderTest::ALL {
         report.line(format!("{}:", system.label()));
         let workload = scale.tm1().with_mix(Tm1Mix::GetSubscriberDataOnly);
         let results = sweep(workload, scale, system, &scale.load_points());
@@ -55,7 +53,7 @@ pub fn fig2(scale: &Scale) -> Report {
     let mut report = Report::new("Figure 2: time breakdown at 100% CPU utilization");
     for (label, which) in [("TM1 (full mix)", 0), ("TPC-C OrderStatus", 1)] {
         report.line(format!("{label}:"));
-        for system in [SystemUnderTest::Baseline, SystemUnderTest::Dora] {
+        for system in SystemUnderTest::ALL {
             let results = if which == 0 {
                 sweep(scale.tm1(), scale, system, &[100.0])
             } else {
@@ -137,7 +135,7 @@ pub fn fig5(scale: &Scale) -> Report {
     ));
     let load = [75.0];
     for which in 0..3 {
-        for system in [SystemUnderTest::Baseline, SystemUnderTest::Dora] {
+        for system in SystemUnderTest::ALL {
             let (name, results) = match which {
                 0 => ("TM1", sweep(scale.tm1(), scale, system, &load)),
                 1 => ("TPC-B", sweep(scale.tpcb(), scale, system, &load)),
@@ -170,7 +168,7 @@ pub fn fig6(scale: &Scale) -> Report {
         report.line(format!("{name}:"));
         report.line(format!("  {:>10} {:>16} {:>16}", "load(%)", "Baseline tps", "DORA tps"));
         let mut series: Vec<Vec<(f64, f64)>> = Vec::new();
-        for system in [SystemUnderTest::Baseline, SystemUnderTest::Dora] {
+        for system in SystemUnderTest::ALL {
             let results = match which {
                 0 => sweep(scale.tm1(), scale, system, &scale.load_points()),
                 1 => sweep(scale.tpcb(), scale, system, &scale.load_points()),
@@ -249,27 +247,24 @@ pub fn fig7(scale: &Scale) -> Report {
             warmup: scale.warmup,
             hardware_contexts: scale.hardware_contexts,
         });
-        // Baseline.
-        let db = Database::new(scale.system_config());
-        let workload = make();
-        workload.setup(&db).expect("setup");
-        let baseline = BaselineEngine::new(Arc::clone(&db));
-        let mut rng = SmallRng::seed_from_u64(42);
-        let base_latency =
-            driver.measure_single(iterations, |_| workload.run_baseline(&baseline, &mut rng));
-        // DORA.
-        let db = Database::new(scale.system_config());
-        let workload = make();
-        workload.setup(&db).expect("setup");
-        let dora = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::default()));
-        workload.bind_dora(&dora, scale.executors_per_table).expect("bind");
-        let mut rng = SmallRng::seed_from_u64(42);
-        let dora_latency =
-            driver.measure_single(iterations, |_| workload.run_dora(&dora, &mut rng));
-        dora.shutdown();
+        // One fresh database + bound engine per registered architecture; the
+        // measurement itself goes through the unified ExecutionEngine seam.
+        let mean_us: Vec<f64> = SystemUnderTest::ALL
+            .into_iter()
+            .map(|system| {
+                let db = Database::new(scale.system_config());
+                let workload: Arc<dyn Workload> = Arc::from(make());
+                workload.setup(&db).expect("setup");
+                let engine = build_engine(system, Arc::clone(&db));
+                engine.bind(workload, scale.executors_per_table).expect("bind");
+                let latency = driver.measure_engine(iterations, engine.as_ref());
+                engine.shutdown();
+                latency.mean().as_micros() as f64
+            })
+            .collect();
 
-        let base_us = base_latency.mean().as_micros() as f64;
-        let dora_us = dora_latency.mean().as_micros() as f64;
+        let base_us = mean_us[0];
+        let dora_us = mean_us[mean_us.len() - 1];
         report.line(format!(
             "  {:<26} {:>16.0} {:>16.0} {:>12.2}",
             label,
@@ -292,7 +287,7 @@ pub fn fig8(scale: &Scale) -> Report {
     for which in 0..3 {
         let name = ["TM1", "TPC-B", "TPC-C OrderStatus"][which];
         let mut base_peak = 0.0;
-        for system in [SystemUnderTest::Baseline, SystemUnderTest::Dora] {
+        for system in SystemUnderTest::ALL {
             let prepared = match which {
                 0 => prepare(scale.tm1(), scale, system),
                 1 => prepare(scale.tpcb(), scale, system),
@@ -302,7 +297,9 @@ pub fn fig8(scale: &Scale) -> Report {
                 scale.load_points().iter().map(|&p| scale.clients_for(p)).collect();
             let peak = find_peak(&client_counts, |clients| run_clients(&prepared, scale, clients));
             prepared.shutdown();
-            if system == SystemUnderTest::Baseline {
+            // The first registered engine is the normalization base (the
+            // paper normalizes to the conventional system).
+            if base_peak == 0.0 {
                 base_peak = peak.best_tps;
             }
             report.line(format!(

@@ -5,29 +5,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dora_common::{config::num_cpus, SystemConfig};
-use dora_core::{DoraConfig, DoraEngine};
-use dora_engine::{BaselineEngine, ClientDriver, DriverConfig, RunResult};
+use dora_engine::{build_engine, ClientDriver, DriverConfig, ExecutionEngine, RunResult};
 use dora_storage::Database;
 use dora_workloads::Workload;
 
-/// Which engine a run exercises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SystemUnderTest {
-    /// Conventional thread-to-transaction execution.
-    Baseline,
-    /// Data-oriented thread-to-data execution.
-    Dora,
-}
-
-impl SystemUnderTest {
-    /// Label matching the paper's figures.
-    pub fn label(self) -> &'static str {
-        match self {
-            SystemUnderTest::Baseline => "Baseline",
-            SystemUnderTest::Dora => "DORA",
-        }
-    }
-}
+/// Which engine a run exercises. This is the registered engine kind itself:
+/// the harness never branches on it — [`prepare`] hands it to the engine
+/// factory and everything downstream drives an `Arc<dyn ExecutionEngine>`.
+pub use dora_common::EngineKind as SystemUnderTest;
 
 /// Experiment scale: `quick` keeps dataset sizes and measurement intervals
 /// small enough for CI; `full` approaches the paper's setup more closely.
@@ -141,29 +126,25 @@ impl Scale {
     }
 }
 
-/// A fully prepared system: database + loaded workload + engine(s).
+/// A fully prepared system: database + loaded workload + bound engine.
 pub struct PreparedSystem {
     /// The storage manager.
     pub db: Arc<Database>,
-    /// The workload (already loaded into `db`).
+    /// The workload (already loaded into `db` and bound to `engine`).
     pub workload: Arc<dyn Workload>,
-    /// Baseline engine over `db`.
-    pub baseline: BaselineEngine,
-    /// DORA engine over `db` (bound only when the run targets DORA).
-    pub dora: Option<Arc<DoraEngine>>,
+    /// The engine under test, already bound to `workload`.
+    pub engine: Arc<dyn ExecutionEngine>,
 }
 
 impl PreparedSystem {
-    /// Shuts the DORA engine down (if any).
+    /// Shuts down any engine-owned threads.
     pub fn shutdown(&self) {
-        if let Some(dora) = &self.dora {
-            dora.shutdown();
-        }
+        self.engine.shutdown();
     }
 }
 
-/// Builds a database, loads `workload` into it and prepares the requested
-/// engine.
+/// Builds a database, loads `workload` into it and binds it to the requested
+/// engine via the engine factory — no per-architecture code here.
 pub fn prepare(
     workload: impl Workload + 'static,
     scale: &Scale,
@@ -172,16 +153,9 @@ pub fn prepare(
     let db = Database::new(scale.system_config());
     workload.setup(&db).expect("workload setup");
     let workload: Arc<dyn Workload> = Arc::new(workload);
-    let baseline = BaselineEngine::new(Arc::clone(&db));
-    let dora = match system {
-        SystemUnderTest::Baseline => None,
-        SystemUnderTest::Dora => {
-            let engine = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::default()));
-            workload.bind_dora(&engine, scale.executors_per_table).expect("bind DORA tables");
-            Some(engine)
-        }
-    };
-    PreparedSystem { db, workload, baseline, dora }
+    let engine = build_engine(system, Arc::clone(&db));
+    engine.bind(Arc::clone(&workload), scale.executors_per_table).expect("bind workload");
+    PreparedSystem { db, workload, engine }
 }
 
 /// Runs `clients` closed-loop clients against the prepared system for the
@@ -193,17 +167,7 @@ pub fn run_clients(prepared: &PreparedSystem, scale: &Scale, clients: usize) -> 
         warmup: scale.warmup,
         hardware_contexts: scale.hardware_contexts,
     });
-    let workload = Arc::clone(&prepared.workload);
-    match &prepared.dora {
-        Some(dora) => {
-            let dora = Arc::clone(dora);
-            driver.run(move |_client, rng| workload.run_dora(&dora, rng))
-        }
-        None => {
-            let baseline = prepared.baseline.clone();
-            driver.run(move |_client, rng| workload.run_baseline(&baseline, rng))
-        }
-    }
+    driver.run_engine(Arc::clone(&prepared.engine))
 }
 
 /// One-call helper: prepare the system, sweep the given offered-load points
@@ -257,18 +221,15 @@ mod tests {
     }
 
     #[test]
-    fn baseline_and_dora_runs_produce_commits() {
+    fn every_registered_engine_produces_commits() {
         let scale = tiny_scale();
-        let workload = Tm1::new(scale.tm1_subscribers).with_mix(Tm1Mix::GetSubscriberDataOnly);
-        let prepared = prepare(workload, &scale, SystemUnderTest::Baseline);
-        let result = run_clients(&prepared, &scale, 2);
-        assert!(result.committed > 0, "baseline run produced no commits");
-        prepared.shutdown();
-
-        let workload = Tm1::new(scale.tm1_subscribers).with_mix(Tm1Mix::GetSubscriberDataOnly);
-        let prepared = prepare(workload, &scale, SystemUnderTest::Dora);
-        let result = run_clients(&prepared, &scale, 2);
-        assert!(result.committed > 0, "DORA run produced no commits");
-        prepared.shutdown();
+        for system in SystemUnderTest::ALL {
+            let workload =
+                Tm1::new(scale.tm1_subscribers).with_mix(Tm1Mix::GetSubscriberDataOnly);
+            let prepared = prepare(workload, &scale, system);
+            let result = run_clients(&prepared, &scale, 2);
+            assert!(result.committed > 0, "{} run produced no commits", system.label());
+            prepared.shutdown();
+        }
     }
 }

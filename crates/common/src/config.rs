@@ -13,6 +13,12 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
+    /// Every registered execution architecture, in the order the paper's
+    /// figures list them. Sweeps, equivalence tests and examples iterate
+    /// this instead of hard-coding engines, so a new architecture only has
+    /// to be appended here (and given a factory arm in `dora-engine`).
+    pub const ALL: [EngineKind; 2] = [EngineKind::Baseline, EngineKind::Dora];
+
     /// Human-readable label matching the paper's figures.
     pub fn label(self) -> &'static str {
         match self {

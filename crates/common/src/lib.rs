@@ -14,12 +14,14 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod key;
+pub mod outcome;
 pub mod value;
 
 pub use config::{CcMode, EngineKind, SystemConfig};
 pub use error::{DbError, DbResult};
 pub use ids::{IndexId, PageId, Rid, SlotId, TableId, TxnId};
 pub use key::{Key, KeyRange};
+pub use outcome::{BaselineOutcome, TxnOutcome};
 pub use value::{Row, Value, ValueType};
 
 /// Convenience prelude re-exporting the types almost every module needs.
@@ -28,5 +30,6 @@ pub mod prelude {
     pub use crate::error::{DbError, DbResult};
     pub use crate::ids::{IndexId, PageId, Rid, SlotId, TableId, TxnId};
     pub use crate::key::{Key, KeyRange};
+    pub use crate::outcome::{BaselineOutcome, TxnOutcome};
     pub use crate::value::{Row, Value, ValueType};
 }

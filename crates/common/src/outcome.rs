@@ -1,0 +1,50 @@
+//! Transaction outcome vocabulary shared by every execution engine.
+//!
+//! These used to live in the engine crate, but they are pure vocabulary: the
+//! workloads produce them, the load driver counts them, and every execution
+//! architecture — conventional, DORA, or anything a future PR adds — reports
+//! them. Keeping them here lets the workload crate stay independent of any
+//! particular engine.
+
+/// Outcome of one transaction attempt as seen by the load driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnOutcome {
+    /// Committed.
+    Committed,
+    /// Aborted (workload abort, deadlock give-up, or any error).
+    Aborted,
+}
+
+/// Outcome of running one transaction body to completion on a conventional
+/// (thread-to-transaction) engine, which retries deadlock victims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineOutcome {
+    /// The transaction committed.
+    Committed,
+    /// The transaction aborted for a workload reason (e.g. TM1 invalid
+    /// input) and was *not* retried.
+    Aborted,
+    /// The transaction hit the retry limit (repeated deadlocks).
+    GaveUp,
+}
+
+impl From<BaselineOutcome> for TxnOutcome {
+    fn from(outcome: BaselineOutcome) -> Self {
+        match outcome {
+            BaselineOutcome::Committed => TxnOutcome::Committed,
+            BaselineOutcome::Aborted | BaselineOutcome::GaveUp => TxnOutcome::Aborted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_commit_maps_to_commit() {
+        assert_eq!(TxnOutcome::from(BaselineOutcome::Committed), TxnOutcome::Committed);
+        assert_eq!(TxnOutcome::from(BaselineOutcome::Aborted), TxnOutcome::Aborted);
+        assert_eq!(TxnOutcome::from(BaselineOutcome::GaveUp), TxnOutcome::Aborted);
+    }
+}

@@ -10,18 +10,9 @@ use std::sync::Arc;
 
 use dora_common::prelude::*;
 use dora_storage::{Database, TxnHandle};
+use dora_workloads::ConventionalExecutor;
 
-/// Outcome of running one transaction body to completion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BaselineOutcome {
-    /// The transaction committed.
-    Committed,
-    /// The transaction aborted for a workload reason (e.g. TM1 invalid
-    /// input) and was *not* retried.
-    Aborted,
-    /// The transaction hit the retry limit (repeated deadlocks).
-    GaveUp,
-}
+pub use dora_common::outcome::BaselineOutcome;
 
 /// The conventional execution engine.
 ///
@@ -29,17 +20,34 @@ pub enum BaselineOutcome {
 /// model there is no routing, no executors and no per-thread data — any
 /// thread may touch any record, which is precisely why every access must go
 /// through the centralized lock manager.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct BaselineEngine {
     db: Arc<Database>,
     max_retries: usize,
+    /// Workload bound through [`crate::exec::ExecutionEngine::bind`]; in an
+    /// `Arc` so clones share the binding, in a `OnceLock` so the per-txn
+    /// read path stays lock-free.
+    bound: Arc<std::sync::OnceLock<Arc<dyn dora_workloads::Workload>>>,
+}
+
+impl std::fmt::Debug for BaselineEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineEngine")
+            .field("max_retries", &self.max_retries)
+            .field("bound", &self.bound.get().map(|w| w.name()))
+            .finish_non_exhaustive()
+    }
 }
 
 impl BaselineEngine {
     /// Creates a baseline engine over `db`.
     pub fn new(db: Arc<Database>) -> Self {
         let max_retries = db.config().max_retries;
-        Self { db, max_retries }
+        Self { db, max_retries, bound: Arc::new(std::sync::OnceLock::new()) }
+    }
+
+    pub(crate) fn bound(&self) -> &std::sync::OnceLock<Arc<dyn dora_workloads::Workload>> {
+        &self.bound
     }
 
     /// The underlying storage manager.
@@ -80,6 +88,22 @@ impl BaselineEngine {
             }
         }
         Ok(BaselineOutcome::GaveUp)
+    }
+}
+
+/// The baseline engine is exactly what workloads mean by a "conventional
+/// executor": whole transactions on the calling thread, full centralized
+/// concurrency control, deadlock victims retried.
+impl ConventionalExecutor for BaselineEngine {
+    fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    fn execute_txn(
+        &self,
+        body: &dyn Fn(&Database, &TxnHandle) -> DbResult<()>,
+    ) -> DbResult<BaselineOutcome> {
+        self.execute(body)
     }
 }
 

@@ -22,14 +22,9 @@ use rand::SeedableRng;
 
 use dora_metrics::{global, CounterKind, LatencyHistogram, Snapshot, TimeBreakdown, TimeCategory};
 
-/// Outcome of one transaction attempt as seen by the driver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TxnOutcome {
-    /// Committed.
-    Committed,
-    /// Aborted (workload abort, deadlock give-up, or any error).
-    Aborted,
-}
+use crate::exec::ExecutionEngine;
+
+pub use dora_common::outcome::TxnOutcome;
 
 /// Driver parameters.
 #[derive(Debug, Clone)]
@@ -242,6 +237,25 @@ impl ClientDriver {
                 / self.config.hardware_contexts as f64,
             cpu_utilization_percent,
         }
+    }
+
+    /// Runs a closed-loop load against `engine`: every client thread draws
+    /// transactions from the engine's bound workload via
+    /// [`ExecutionEngine::execute_one`]. This is how every sweep-path caller
+    /// drives an engine — the driver knows nothing about which execution
+    /// architecture is behind the trait object.
+    pub fn run_engine(&self, engine: Arc<dyn ExecutionEngine>) -> RunResult {
+        self.run(move |_client, rng| engine.execute_one(rng))
+    }
+
+    /// Single-client latency measurement against `engine`, the methodology
+    /// of Figure 7.
+    pub fn measure_engine(
+        &self,
+        iterations: usize,
+        engine: &dyn ExecutionEngine,
+    ) -> LatencyHistogram {
+        self.measure_single(iterations, |rng| engine.execute_one(rng))
     }
 
     /// Runs `job` exactly once on a single client and reports the observed

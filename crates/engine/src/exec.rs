@@ -1,0 +1,207 @@
+//! The unified execution-engine abstraction.
+//!
+//! The paper compares two execution architectures — conventional
+//! thread-to-transaction (the Baseline) and data-oriented thread-to-data
+//! (DORA) — over the same storage manager and the same workloads.
+//! [`ExecutionEngine`] is the single seam through which the load driver, the
+//! benchmark harness, the equivalence tests and the examples drive either
+//! one: bind a [`Workload`], then repeatedly execute transactions drawn from
+//! its mix.
+//!
+//! Adding a third architecture (e.g. a physiologically-partitioned or
+//! HTAP-style engine) requires implementing this trait and registering a
+//! factory arm in [`build_engine_with`] — no workload, driver, test or
+//! experiment code changes.
+
+use std::sync::{Arc, OnceLock};
+
+use rand::rngs::SmallRng;
+
+use dora_common::prelude::*;
+use dora_core::{DoraConfig, DoraEngine};
+use dora_storage::Database;
+use dora_workloads::Workload;
+
+use crate::baseline::BaselineEngine;
+
+/// One execution architecture bound to one workload.
+///
+/// Implementations hold whatever per-architecture state they need (executor
+/// threads, routing tables, retry policy); callers see only:
+/// *setup* — [`bind`](Self::bind) a workload once, *execute* —
+/// [`execute_one`](Self::execute_one) transaction from the bound workload's
+/// mix, and *teardown* — [`shutdown`](Self::shutdown).
+pub trait ExecutionEngine: Send + Sync {
+    /// Which registered architecture this is.
+    fn kind(&self) -> EngineKind;
+
+    /// Label matching the paper's figures ("Baseline", "DORA").
+    fn name(&self) -> &'static str {
+        self.kind().label()
+    }
+
+    /// The underlying storage manager.
+    fn db(&self) -> &Arc<Database>;
+
+    /// Binds `workload` to this engine: whatever per-architecture setup the
+    /// workload needs (DORA binds tables to executors; the baseline has no
+    /// setup). Must be called exactly once, before `execute_one`.
+    fn bind(&self, workload: Arc<dyn Workload>, executors_per_table: usize) -> DbResult<()>;
+
+    /// Runs one transaction drawn from the bound workload's mix.
+    ///
+    /// # Panics
+    /// Panics if no workload has been bound.
+    fn execute_one(&self, rng: &mut SmallRng) -> TxnOutcome;
+
+    /// Stops any engine-owned threads. Idempotent; the default is a no-op.
+    fn shutdown(&self) {}
+}
+
+impl BaselineEngine {
+    fn bound_workload(&self) -> &Arc<dyn Workload> {
+        self.bound().get().expect("BaselineEngine: no workload bound")
+    }
+}
+
+impl ExecutionEngine for BaselineEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Baseline
+    }
+
+    fn db(&self) -> &Arc<Database> {
+        BaselineEngine::db(self)
+    }
+
+    fn bind(&self, workload: Arc<dyn Workload>, _executors_per_table: usize) -> DbResult<()> {
+        // The conventional engine needs no per-workload setup: any thread may
+        // touch any record, which is the whole point of the architecture.
+        self.bound()
+            .set(workload)
+            .map_err(|_| DbError::InvalidOperation("workload already bound to this engine".into()))
+    }
+
+    fn execute_one(&self, rng: &mut SmallRng) -> TxnOutcome {
+        self.bound_workload().clone().run_baseline(self, rng)
+    }
+}
+
+/// Adapter presenting [`DoraEngine`] (which lives below the workload crate
+/// and therefore cannot know about workloads) as an [`ExecutionEngine`].
+pub struct DoraExecution {
+    engine: Arc<DoraEngine>,
+    bound: OnceLock<Arc<dyn Workload>>,
+}
+
+impl DoraExecution {
+    /// Wraps an already-constructed DORA engine.
+    pub fn new(engine: Arc<DoraEngine>) -> Self {
+        Self { engine, bound: OnceLock::new() }
+    }
+
+    /// The wrapped DORA engine, for callers that need architecture-specific
+    /// access (routing tables, executor loads, flow-graph submission).
+    pub fn dora(&self) -> &Arc<DoraEngine> {
+        &self.engine
+    }
+}
+
+impl ExecutionEngine for DoraExecution {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Dora
+    }
+
+    fn db(&self) -> &Arc<Database> {
+        self.engine.db()
+    }
+
+    fn bind(&self, workload: Arc<dyn Workload>, executors_per_table: usize) -> DbResult<()> {
+        workload.bind_dora(&self.engine, executors_per_table)?;
+        self.bound
+            .set(workload)
+            .map_err(|_| DbError::InvalidOperation("workload already bound to this engine".into()))
+    }
+
+    fn execute_one(&self, rng: &mut SmallRng) -> TxnOutcome {
+        let workload = self.bound.get().expect("DoraExecution: no workload bound").clone();
+        workload.run_dora(&self.engine, rng)
+    }
+
+    fn shutdown(&self) {
+        self.engine.shutdown();
+    }
+}
+
+/// The engine registry: constructs the requested architecture over `db`.
+/// This `match` is the *only* place in the workspace that branches on the
+/// engine kind — everything downstream holds an `Arc<dyn ExecutionEngine>`.
+pub fn build_engine_with(
+    kind: EngineKind,
+    db: Arc<Database>,
+    dora_config: DoraConfig,
+) -> Arc<dyn ExecutionEngine> {
+    match kind {
+        EngineKind::Baseline => Arc::new(BaselineEngine::new(db)),
+        EngineKind::Dora => {
+            Arc::new(DoraExecution::new(Arc::new(DoraEngine::new(db, dora_config))))
+        }
+    }
+}
+
+/// [`build_engine_with`] using the default DORA configuration.
+pub fn build_engine(kind: EngineKind, db: Arc<Database>) -> Arc<dyn ExecutionEngine> {
+    build_engine_with(kind, db, DoraConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dora_workloads::TpcB;
+    use rand::SeedableRng;
+
+    fn bound_engine(kind: EngineKind) -> Arc<dyn ExecutionEngine> {
+        let db = Database::for_tests();
+        let workload: Arc<dyn Workload> = Arc::new(TpcB::with_accounts(2, 20));
+        workload.setup(&db).unwrap();
+        let engine = build_engine_with(kind, db, DoraConfig::for_tests());
+        engine.bind(workload, 2).unwrap();
+        engine
+    }
+
+    #[test]
+    fn every_registered_engine_executes_transactions() {
+        for kind in EngineKind::ALL {
+            let engine = bound_engine(kind);
+            assert_eq!(engine.kind(), kind);
+            assert_eq!(engine.name(), kind.label());
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut committed = 0;
+            for _ in 0..20 {
+                if engine.execute_one(&mut rng) == TxnOutcome::Committed {
+                    committed += 1;
+                }
+            }
+            assert!(committed > 0, "{} committed nothing", engine.name());
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn rebinding_is_rejected() {
+        for kind in EngineKind::ALL {
+            let engine = bound_engine(kind);
+            let other: Arc<dyn Workload> = Arc::new(TpcB::with_accounts(2, 20));
+            assert!(engine.bind(other, 2).is_err(), "{} allowed a second bind", engine.name());
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no workload bound")]
+    fn executing_unbound_engine_panics() {
+        let db = Database::for_tests();
+        let engine = build_engine(EngineKind::Baseline, db);
+        let mut rng = SmallRng::seed_from_u64(1);
+        engine.execute_one(&mut rng);
+    }
+}

@@ -19,7 +19,7 @@ pub mod tm1;
 pub mod tpcb;
 pub mod tpcc;
 
-pub use spec::{Workload, WorkloadStats};
+pub use spec::{ConventionalExecutor, Workload, WorkloadStats};
 pub use tm1::{Tm1, Tm1Mix};
 pub use tpcb::TpcB;
 pub use tpcc::{Tpcc, TpccMix};

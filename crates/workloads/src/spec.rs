@@ -8,8 +8,27 @@ use rand::Rng;
 
 use dora_common::prelude::*;
 use dora_core::DoraEngine;
-use dora_engine::{BaselineEngine, TxnOutcome};
-use dora_storage::Database;
+use dora_storage::{Database, TxnHandle};
+
+/// What a conventional (thread-to-transaction) engine exposes to workloads:
+/// run one closure-transaction to completion with full centralized
+/// concurrency control, retrying deadlock victims.
+///
+/// The concrete implementation is `dora_engine::BaselineEngine`; workloads
+/// only see this trait so that the workload crate stays independent of any
+/// particular engine crate (the dependency points the other way: engines
+/// consume workloads through [`Workload`]).
+pub trait ConventionalExecutor: Send + Sync {
+    /// The underlying storage manager.
+    fn db(&self) -> &Arc<Database>;
+
+    /// Executes `body` as one transaction, retrying deadlock victims up to
+    /// the engine's configured limit.
+    fn execute_txn(
+        &self,
+        body: &dyn Fn(&Database, &TxnHandle) -> DbResult<()>,
+    ) -> DbResult<BaselineOutcome>;
+}
 
 /// A benchmark workload: schema, loader and transaction bodies for both
 /// execution architectures.
@@ -26,9 +45,9 @@ pub trait Workload: Send + Sync {
     /// Binds every table of the workload to DORA executors.
     fn bind_dora(&self, engine: &DoraEngine, executors_per_table: usize) -> DbResult<()>;
 
-    /// Runs one transaction (drawn from the workload's mix) on the baseline
-    /// engine.
-    fn run_baseline(&self, engine: &BaselineEngine, rng: &mut SmallRng) -> TxnOutcome;
+    /// Runs one transaction (drawn from the workload's mix) on a
+    /// conventional thread-to-transaction engine.
+    fn run_baseline(&self, engine: &dyn ConventionalExecutor, rng: &mut SmallRng) -> TxnOutcome;
 
     /// Runs one transaction (drawn from the workload's mix) on the DORA
     /// engine.
@@ -67,6 +86,60 @@ impl WorkloadStats {
     /// (committed, aborted) for a transaction type.
     pub fn outcome_counts(&self, txn_type: &'static str) -> (u64, u64) {
         self.inner.lock().get(txn_type).copied().unwrap_or((0, 0))
+    }
+}
+
+/// A minimal [`ConventionalExecutor`] for this crate's unit tests: the same
+/// begin/commit/abort-and-retry loop as `dora_engine::BaselineEngine`, which
+/// lives above this crate in the dependency graph and therefore cannot be
+/// used here. Doubling as a second trait impl, it keeps the workload bodies
+/// honest about only using the trait surface.
+#[cfg(test)]
+pub(crate) struct TestExecutor {
+    db: Arc<Database>,
+    max_retries: usize,
+}
+
+#[cfg(test)]
+impl TestExecutor {
+    pub(crate) fn new(db: Arc<Database>) -> Self {
+        let max_retries = db.config().max_retries;
+        Self { db, max_retries }
+    }
+}
+
+#[cfg(test)]
+impl ConventionalExecutor for TestExecutor {
+    fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    fn execute_txn(
+        &self,
+        body: &dyn Fn(&Database, &TxnHandle) -> DbResult<()>,
+    ) -> DbResult<BaselineOutcome> {
+        for _attempt in 0..=self.max_retries {
+            let txn = self.db.begin();
+            match body(&self.db, &txn) {
+                Ok(()) => {
+                    self.db.commit(&txn)?;
+                    return Ok(BaselineOutcome::Committed);
+                }
+                Err(DbError::Deadlock { .. }) => {
+                    self.db.abort(&txn)?;
+                    continue;
+                }
+                Err(DbError::TxnAborted { .. }) => {
+                    self.db.abort(&txn)?;
+                    return Ok(BaselineOutcome::Aborted);
+                }
+                Err(other) => {
+                    self.db.abort(&txn)?;
+                    return Err(other);
+                }
+            }
+        }
+        Ok(BaselineOutcome::GaveUp)
     }
 }
 

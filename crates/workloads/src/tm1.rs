@@ -16,10 +16,10 @@ use rand::rngs::SmallRng;
 
 use dora_common::prelude::*;
 use dora_core::{ActionSpec, DoraEngine, FlowGraph, LocalMode};
-use dora_engine::{baseline::BaselineOutcome, BaselineEngine, TxnOutcome};
+
 use dora_storage::{ColumnDef, Database, IndexSpec, TableSchema};
 
-use crate::spec::{uniform, Workload};
+use crate::spec::{uniform, ConventionalExecutor, Workload};
 
 /// Which part of the TM1 mix to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -723,7 +723,7 @@ impl Workload for Tm1 {
         Ok(())
     }
 
-    fn run_baseline(&self, engine: &BaselineEngine, rng: &mut SmallRng) -> TxnOutcome {
+    fn run_baseline(&self, engine: &dyn ConventionalExecutor, rng: &mut SmallRng) -> TxnOutcome {
         let txn_type = self.pick(rng);
         let s_id = self.random_subscriber(rng);
         let sf_type = uniform(rng, 1, 4);
@@ -733,7 +733,7 @@ impl Workload for Tm1 {
         let data_a = uniform(rng, 0, 255);
         let location = uniform(rng, 0, 1_000_000);
         let end_time = start_time + uniform(rng, 1, 8);
-        let result = engine.execute(|db, txn| match txn_type {
+        let result = engine.execute_txn(&|db, txn| match txn_type {
             Tm1Txn::GetSubscriberData => self.get_subscriber_data_baseline(db, txn, s_id),
             Tm1Txn::GetNewDestination => {
                 self.get_new_destination_baseline(db, txn, s_id, sf_type, start_time)
@@ -825,7 +825,7 @@ mod tests {
     #[test]
     fn baseline_mix_commits_and_aborts() {
         let (db, workload) = small_tm1();
-        let engine = BaselineEngine::new(db);
+        let engine = crate::spec::TestExecutor::new(db);
         let mut rng = SmallRng::seed_from_u64(11);
         let mut committed = 0;
         let mut aborted = 0;
@@ -869,7 +869,6 @@ mod tests {
         let workload_dora = Tm1::new(50);
         workload_base.setup(&db_base).unwrap();
         workload_dora.setup(&db_dora).unwrap();
-        let _baseline = BaselineEngine::new(Arc::clone(&db_base));
         let dora = DoraEngine::new(Arc::clone(&db_dora), DoraConfig::for_tests());
         workload_dora.bind_dora(&dora, 2).unwrap();
 

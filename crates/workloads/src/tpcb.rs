@@ -17,10 +17,10 @@ use rand::rngs::SmallRng;
 
 use dora_common::prelude::*;
 use dora_core::{ActionSpec, DoraEngine, FlowGraph, LocalMode};
-use dora_engine::{baseline::BaselineOutcome, BaselineEngine, TxnOutcome};
+
 use dora_storage::{ColumnDef, Database, TableSchema};
 
-use crate::spec::{chance, uniform, Workload};
+use crate::spec::{chance, uniform, ConventionalExecutor, Workload};
 
 /// Tellers per branch (fixed by the TPC-B specification).
 pub const TELLERS_PER_BRANCH: i64 = 10;
@@ -328,9 +328,9 @@ impl Workload for TpcB {
         Ok(())
     }
 
-    fn run_baseline(&self, engine: &BaselineEngine, rng: &mut SmallRng) -> TxnOutcome {
+    fn run_baseline(&self, engine: &dyn ConventionalExecutor, rng: &mut SmallRng) -> TxnOutcome {
         let (home_branch, _account_branch, account, teller, amount) = self.inputs(rng);
-        let result = engine.execute(|db, txn| {
+        let result = engine.execute_txn(&|db, txn| {
             self.account_update_baseline(db, txn, home_branch, account, teller, amount)
         });
         match result {
@@ -408,7 +408,7 @@ mod tests {
     #[test]
     fn baseline_preserves_balance_invariant() {
         let (db, workload) = small_tpcb();
-        let engine = BaselineEngine::new(Arc::clone(&db));
+        let engine = crate::spec::TestExecutor::new(Arc::clone(&db));
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..100 {
             assert_eq!(workload.run_baseline(&engine, &mut rng), TxnOutcome::Committed);

@@ -18,10 +18,10 @@ use rand::rngs::SmallRng;
 
 use dora_common::prelude::*;
 use dora_core::{ActionSpec, DoraEngine, FlowGraph, LocalMode};
-use dora_engine::{baseline::BaselineOutcome, BaselineEngine, TxnOutcome};
+
 use dora_storage::{ColumnDef, Database, IndexSpec, TableSchema, TxnHandle};
 
-use crate::spec::{c_last, chance, nurand, uniform, Workload};
+use crate::spec::{c_last, chance, nurand, uniform, ConventionalExecutor, Workload};
 
 /// Districts per warehouse (fixed by the specification).
 pub const DISTRICTS_PER_WAREHOUSE: i64 = 10;
@@ -1334,11 +1334,11 @@ impl Workload for Tpcc {
         Ok(())
     }
 
-    fn run_baseline(&self, engine: &BaselineEngine, rng: &mut SmallRng) -> TxnOutcome {
+    fn run_baseline(&self, engine: &dyn ConventionalExecutor, rng: &mut SmallRng) -> TxnOutcome {
         let result = match self.pick(rng) {
             TpccTxn::Payment => {
                 let (w_id, d_id, c_w_id, c_d_id, selector, amount) = self.payment_inputs(rng);
-                engine.execute(|db, txn| {
+                engine.execute_txn(&|db, txn| {
                     self.payment_baseline(db, txn, w_id, d_id, c_w_id, c_d_id, selector.clone(), amount)
                 })
             }
@@ -1350,22 +1350,22 @@ impl Workload for Tpcc {
                 } else {
                     CustomerSelector::ById(self.random_customer(rng))
                 };
-                engine.execute(|db, txn| self.order_status_baseline(db, txn, w_id, d_id, selector.clone()))
+                engine.execute_txn(&|db, txn| self.order_status_baseline(db, txn, w_id, d_id, selector.clone()))
             }
             TpccTxn::NewOrder => {
                 let (w_id, d_id, c_id, items) = self.new_order_inputs(rng);
-                engine.execute(|db, txn| self.new_order_baseline(db, txn, w_id, d_id, c_id, &items))
+                engine.execute_txn(&|db, txn| self.new_order_baseline(db, txn, w_id, d_id, c_id, &items))
             }
             TpccTxn::Delivery => {
                 let w_id = uniform(rng, 1, self.warehouses);
                 let carrier = uniform(rng, 1, 10);
-                engine.execute(|db, txn| self.delivery_baseline(db, txn, w_id, carrier))
+                engine.execute_txn(&|db, txn| self.delivery_baseline(db, txn, w_id, carrier))
             }
             TpccTxn::StockLevel => {
                 let w_id = uniform(rng, 1, self.warehouses);
                 let d_id = uniform(rng, 1, DISTRICTS_PER_WAREHOUSE);
                 let threshold = uniform(rng, 10, 20);
-                engine.execute(|db, txn| self.stock_level_baseline(db, txn, w_id, d_id, threshold))
+                engine.execute_txn(&|db, txn| self.stock_level_baseline(db, txn, w_id, d_id, threshold))
             }
         };
         match result {
@@ -1451,7 +1451,7 @@ mod tests {
         let workload_dora = Tpcc::with_scale(2, 30, 50);
         workload_base.setup(&db_base).unwrap();
         workload_dora.setup(&db_dora).unwrap();
-        let baseline = BaselineEngine::new(Arc::clone(&db_base));
+        let baseline = crate::spec::TestExecutor::new(Arc::clone(&db_base));
         let dora = DoraEngine::new(Arc::clone(&db_dora), DoraConfig::for_tests());
         workload_dora.bind_dora(&dora, 2).unwrap();
 
@@ -1462,7 +1462,7 @@ mod tests {
             let c_id = (i % 30) + 1;
             let amount = i as f64;
             let outcome = baseline
-                .execute(|db, txn| {
+                .execute_txn(&|db, txn| {
                     workload_base.payment_baseline(
                         db,
                         txn,
@@ -1542,10 +1542,10 @@ mod tests {
     #[test]
     fn invalid_item_aborts_new_order_under_both_engines() {
         let (db, workload) = small_tpcc();
-        let baseline = BaselineEngine::new(Arc::clone(&db));
+        let baseline = crate::spec::TestExecutor::new(Arc::clone(&db));
         let bad_items = vec![(1, 1), (2, 1), (3, 1), (4, 1), (9_999_999, 1)];
         let outcome = baseline
-            .execute(|db, txn| workload.new_order_baseline(db, txn, 1, 1, 1, &bad_items))
+            .execute_txn(&|db, txn| workload.new_order_baseline(db, txn, 1, 1, 1, &bad_items))
             .unwrap();
         assert_eq!(outcome, BaselineOutcome::Aborted);
 
@@ -1568,11 +1568,11 @@ mod tests {
     #[test]
     fn payment_by_last_name_uses_secondary_index() {
         let (db, workload) = small_tpcc();
-        let baseline = BaselineEngine::new(Arc::clone(&db));
+        let baseline = crate::spec::TestExecutor::new(Arc::clone(&db));
         // Customer 7's last name under the loader's naming scheme.
         let last = c_last(7 % 1000);
         let outcome = baseline
-            .execute(|db, txn| {
+            .execute_txn(&|db, txn| {
                 workload.payment_baseline(
                     db,
                     txn,
@@ -1591,7 +1591,7 @@ mod tests {
     #[test]
     fn full_mix_runs_on_both_engines() {
         let (db, workload) = small_tpcc();
-        let baseline = BaselineEngine::new(Arc::clone(&db));
+        let baseline = crate::spec::TestExecutor::new(Arc::clone(&db));
         let mut rng = SmallRng::seed_from_u64(77);
         let mut baseline_committed = 0;
         for _ in 0..60 {

@@ -12,20 +12,22 @@ use std::time::Duration;
 
 use dora_repro::common::config::num_cpus;
 use dora_repro::common::prelude::*;
-use dora_repro::dora::{DoraConfig, DoraEngine};
-use dora_repro::engine::{ClientDriver, DriverConfig};
+use dora_repro::engine::{build_engine, ClientDriver, DriverConfig};
 use dora_repro::storage::Database;
 use dora_repro::workloads::{TpcB, Workload};
 
 fn main() {
     let branches = 50;
     let db = Database::new(SystemConfig::default());
-    let workload = Arc::new(TpcB::new(branches));
+    let workload: Arc<dyn Workload> = Arc::new(TpcB::new(branches));
     workload.setup(&db).expect("load TPC-B");
     println!("loaded TPC-B with {branches} branches");
 
-    let dora = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::default()));
-    workload.bind_dora(&dora, (num_cpus() / 4).max(2)).expect("bind");
+    // The engine is built and bound through the unified ExecutionEngine
+    // seam; swap EngineKind::Dora for any registered architecture and the
+    // rest of the example is unchanged.
+    let engine = build_engine(EngineKind::Dora, Arc::clone(&db));
+    engine.bind(Arc::clone(&workload), (num_cpus() / 4).max(2)).expect("bind");
 
     let driver = ClientDriver::new(DriverConfig {
         clients: num_cpus(),
@@ -33,12 +35,13 @@ fn main() {
         warmup: Duration::from_millis(100),
         hardware_contexts: num_cpus(),
     });
-    let result = {
-        let workload = Arc::clone(&workload);
-        let dora = Arc::clone(&dora);
-        driver.run(move |_, rng| workload.run_dora(&dora, rng))
-    };
-    println!("DORA executed {} account updates ({:.0} tps)", result.committed, result.throughput_tps);
+    let result = driver.run_engine(Arc::clone(&engine));
+    println!(
+        "{} executed {} account updates ({:.0} tps)",
+        engine.name(),
+        result.committed,
+        result.throughput_tps
+    );
 
     // Consistency audit.
     let check = db.begin();
@@ -62,5 +65,5 @@ fn main() {
     assert!((branch_total - teller_total).abs() < 1e-3, "teller totals diverged");
     assert!((branch_total - account_total).abs() < 1e-3, "account totals diverged");
     println!("ACID audit passed: all three totals agree");
-    dora.shutdown();
+    engine.shutdown();
 }

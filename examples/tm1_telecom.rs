@@ -1,6 +1,9 @@
-//! TM1 (TATP) telecom workload: drive both engines with a multi-client load
-//! and compare throughput and the lock classes they acquire — a miniature of
-//! the paper's Figures 5 and 6.
+//! TM1 (TATP) telecom workload: drive every registered execution engine with
+//! a multi-client load and compare throughput and the lock classes they
+//! acquire — a miniature of the paper's Figures 5 and 6.
+//!
+//! All engines are driven through the unified `ExecutionEngine` seam, so a
+//! newly registered architecture shows up here with no code changes.
 //!
 //! ```text
 //! cargo run --release --example tm1_telecom
@@ -10,9 +13,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dora_repro::common::config::num_cpus;
-use dora_repro::common::SystemConfig;
-use dora_repro::dora::{DoraConfig, DoraEngine};
-use dora_repro::engine::{BaselineEngine, ClientDriver, DriverConfig};
+use dora_repro::common::{EngineKind, SystemConfig};
+use dora_repro::engine::{build_engine, ClientDriver, DriverConfig};
 use dora_repro::storage::Database;
 use dora_repro::workloads::{Tm1, Workload};
 
@@ -26,34 +28,25 @@ fn main() {
         hardware_contexts: num_cpus(),
     });
 
-    // Conventional engine.
-    let db = Database::new(SystemConfig::default());
-    let workload = Arc::new(Tm1::new(subscribers));
-    workload.setup(&db).expect("load TM1");
-    let baseline = BaselineEngine::new(Arc::clone(&db));
-    let result = {
-        let workload = Arc::clone(&workload);
-        driver.run(move |_, rng| workload.run_baseline(&baseline, rng))
-    };
-    let (row, higher, local) = result.locks_per_100_txns();
-    println!("Baseline: {:>8.0} tps | aborts {:>5.1}% | locks/100txn: row {:.0} higher {:.0} local {:.0}",
-        result.throughput_tps, 100.0 * result.abort_rate(), row, higher, local);
-    println!("          breakdown: {}", result.breakdown);
+    for kind in EngineKind::ALL {
+        let db = Database::new(SystemConfig::default());
+        let workload: Arc<dyn Workload> = Arc::new(Tm1::new(subscribers));
+        workload.setup(db.as_ref()).expect("load TM1");
+        let engine = build_engine(kind, db);
+        engine.bind(workload, (num_cpus() / 4).max(1)).expect("bind");
 
-    // DORA engine.
-    let db = Database::new(SystemConfig::default());
-    let workload = Arc::new(Tm1::new(subscribers));
-    workload.setup(&db).expect("load TM1");
-    let dora = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::default()));
-    workload.bind_dora(&dora, (num_cpus() / 4).max(1)).expect("bind");
-    let result = {
-        let workload = Arc::clone(&workload);
-        let dora = Arc::clone(&dora);
-        driver.run(move |_, rng| workload.run_dora(&dora, rng))
-    };
-    let (row, higher, local) = result.locks_per_100_txns();
-    println!("DORA:     {:>8.0} tps | aborts {:>5.1}% | locks/100txn: row {:.0} higher {:.0} local {:.0}",
-        result.throughput_tps, 100.0 * result.abort_rate(), row, higher, local);
-    println!("          breakdown: {}", result.breakdown);
-    dora.shutdown();
+        let result = driver.run_engine(Arc::clone(&engine));
+        let (row, higher, local) = result.locks_per_100_txns();
+        println!(
+            "{:<9} {:>8.0} tps | aborts {:>5.1}% | locks/100txn: row {:.0} higher {:.0} local {:.0}",
+            format!("{}:", engine.name()),
+            result.throughput_tps,
+            100.0 * result.abort_rate(),
+            row,
+            higher,
+            local
+        );
+        println!("          breakdown: {}", result.breakdown);
+        engine.shutdown();
+    }
 }

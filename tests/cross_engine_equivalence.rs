@@ -1,13 +1,17 @@
-//! Cross-engine equivalence: the baseline (thread-to-transaction) and DORA
-//! (thread-to-data) engines must produce identical database states when fed
-//! the same deterministic transaction stream — DORA changes *where* code
-//! runs, never *what* it computes.
+//! Cross-engine equivalence: every registered execution engine must produce
+//! identical database states when fed the same deterministic transaction
+//! stream — DORA (and any future architecture) changes *where* code runs,
+//! never *what* it computes.
+//!
+//! The tests are table-driven over `EngineKind::ALL` through the unified
+//! `ExecutionEngine` seam: registering a third engine automatically enrolls
+//! it in both tests with no changes here.
 
 use std::sync::Arc;
 
 use dora_repro::common::prelude::*;
-use dora_repro::dora::{DoraConfig, DoraEngine};
-use dora_repro::engine::BaselineEngine;
+use dora_repro::dora::DoraConfig;
+use dora_repro::engine::{build_engine_with, ExecutionEngine};
 use dora_repro::storage::Database;
 use dora_repro::workloads::{TpcB, Workload};
 use rand::rngs::SmallRng;
@@ -25,79 +29,90 @@ fn table_totals(db: &Database, table_name: &str, column: usize) -> f64 {
     total
 }
 
-#[test]
-fn tpcb_same_seed_same_state() {
-    let branches = 4;
-    let accounts = 50;
-
-    // Baseline run.
-    let db_base = Database::for_tests();
-    let workload_base = TpcB::with_accounts(branches, accounts);
-    workload_base.setup(&db_base).unwrap();
-    let baseline = BaselineEngine::new(Arc::clone(&db_base));
-    let mut rng = SmallRng::seed_from_u64(2024);
-    for _ in 0..200 {
-        workload_base.run_baseline(&baseline, &mut rng);
-    }
-
-    // DORA run with the same seed (and therefore the same inputs).
-    let db_dora = Database::for_tests();
-    let workload_dora = TpcB::with_accounts(branches, accounts);
-    workload_dora.setup(&db_dora).unwrap();
-    let dora = DoraEngine::new(Arc::clone(&db_dora), DoraConfig::for_tests());
-    workload_dora.bind_dora(&dora, 2).unwrap();
-    let mut rng = SmallRng::seed_from_u64(2024);
-    for _ in 0..200 {
-        workload_dora.run_dora(&dora, &mut rng);
-    }
-    dora.shutdown();
-
-    for (table, column) in [("branch", 1), ("teller", 2), ("account", 2)] {
-        let base_total = table_totals(&db_base, table, column);
-        let dora_total = table_totals(&db_dora, table, column);
-        assert!(
-            (base_total - dora_total).abs() < 1e-6,
-            "{table} totals diverged: baseline {base_total} vs DORA {dora_total}"
-        );
-    }
-    assert_eq!(
-        db_base.row_count(db_base.table_id("history_b").unwrap()).unwrap(),
-        db_dora.row_count(db_dora.table_id("history_b").unwrap()).unwrap(),
-        "both engines must have appended the same number of history rows"
-    );
+/// Builds a fresh TPC-B database bound to the given engine kind.
+fn prepared_tpcb(kind: EngineKind, branches: i64, accounts: i64) -> Arc<dyn ExecutionEngine> {
+    let db = Database::for_tests();
+    let workload: Arc<dyn Workload> = Arc::new(TpcB::with_accounts(branches, accounts));
+    workload.setup(&db).unwrap();
+    let engine = build_engine_with(kind, db, DoraConfig::for_tests());
+    engine.bind(workload, 2).unwrap();
+    engine
 }
 
 #[test]
-fn dora_concurrent_clients_keep_tpcb_consistent() {
-    // The shape the paper cares about: many concurrent clients, transactions
-    // decomposed across executors, no centralized locking for probes and
-    // updates — yet the money invariant holds.
-    let db = Database::for_tests();
-    let workload = Arc::new(TpcB::with_accounts(6, 40));
-    workload.setup(&db).unwrap();
-    let engine = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests()));
-    workload.bind_dora(&engine, 3).unwrap();
+fn tpcb_same_seed_same_state_across_all_engines() {
+    // Run the identical deterministic stream through every registered engine
+    // and compare each state against the first engine's.
+    let mut reference: Option<(EngineKind, f64, f64, f64, usize)> = None;
+    for kind in EngineKind::ALL {
+        let engine = prepared_tpcb(kind, 4, 50);
+        let mut rng = SmallRng::seed_from_u64(2024);
+        for _ in 0..200 {
+            engine.execute_one(&mut rng);
+        }
+        engine.shutdown();
 
-    let handles: Vec<_> = (0..6u64)
-        .map(|seed| {
-            let workload = Arc::clone(&workload);
-            let engine = Arc::clone(&engine);
-            std::thread::spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(seed);
-                for _ in 0..80 {
-                    workload.run_dora(&engine, &mut rng);
-                }
-            })
-        })
-        .collect();
-    for handle in handles {
-        handle.join().unwrap();
+        let db = engine.db();
+        let branch = table_totals(db, "branch", 1);
+        let teller = table_totals(db, "teller", 2);
+        let account = table_totals(db, "account", 2);
+        let history = db.row_count(db.table_id("history_b").unwrap()).unwrap();
+
+        match &reference {
+            None => reference = Some((kind, branch, teller, account, history)),
+            Some((ref_kind, ref_branch, ref_teller, ref_account, ref_history)) => {
+                let base = ref_kind.label();
+                let this = kind.label();
+                assert!(
+                    (branch - ref_branch).abs() < 1e-6,
+                    "branch totals diverged: {base} {ref_branch} vs {this} {branch}"
+                );
+                assert!(
+                    (teller - ref_teller).abs() < 1e-6,
+                    "teller totals diverged: {base} {ref_teller} vs {this} {teller}"
+                );
+                assert!(
+                    (account - ref_account).abs() < 1e-6,
+                    "account totals diverged: {base} {ref_account} vs {this} {account}"
+                );
+                assert_eq!(
+                    history, *ref_history,
+                    "{base} and {this} appended different history row counts"
+                );
+            }
+        }
     }
-    engine.shutdown();
+}
 
-    let branch = table_totals(&db, "branch", 1);
-    let teller = table_totals(&db, "teller", 2);
-    let account = table_totals(&db, "account", 2);
-    assert!((branch - teller).abs() < 1e-6);
-    assert!((branch - account).abs() < 1e-6);
+#[test]
+fn concurrent_clients_keep_tpcb_consistent_on_every_engine() {
+    // The shape the paper cares about: many concurrent clients, transactions
+    // decomposed across executors (for DORA), no centralized locking for
+    // probes and updates — yet the money invariant holds on every engine.
+    for kind in EngineKind::ALL {
+        let engine = prepared_tpcb(kind, 6, 40);
+        let handles: Vec<_> = (0..6u64)
+            .map(|seed| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    for _ in 0..80 {
+                        engine.execute_one(&mut rng);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        engine.shutdown();
+
+        let db = engine.db();
+        let branch = table_totals(db, "branch", 1);
+        let teller = table_totals(db, "teller", 2);
+        let account = table_totals(db, "account", 2);
+        let label = kind.label();
+        assert!((branch - teller).abs() < 1e-6, "{label}: branch {branch} != teller {teller}");
+        assert!((branch - account).abs() < 1e-6, "{label}: branch {branch} != account {account}");
+    }
 }
