@@ -21,8 +21,12 @@ fn centralized_record_lock_full_hierarchy(c: &mut Criterion) {
             txn_counter += 1;
             let txn = TxnId(txn_counter);
             let mut held = HeldLocks::new();
-            manager.acquire(txn, &mut held, LockId::Database, LockMode::IX).unwrap();
-            manager.acquire(txn, &mut held, LockId::Table(table), LockMode::IX).unwrap();
+            manager
+                .acquire(txn, &mut held, LockId::Database, LockMode::IX)
+                .unwrap();
+            manager
+                .acquire(txn, &mut held, LockId::Table(table), LockMode::IX)
+                .unwrap();
             manager
                 .acquire(
                     txn,
@@ -84,14 +88,18 @@ fn contended_table_lock(c: &mut Criterion) {
             txn_counter += 1;
             let txn = TxnId(txn_counter);
             let mut held = HeldLocks::new();
-            manager.acquire(txn, &mut held, LockId::Table(table), LockMode::IX).unwrap();
+            manager
+                .acquire(txn, &mut held, LockId::Table(table), LockMode::IX)
+                .unwrap();
             manager.release_all(txn, held);
         })
     });
 }
 
 fn configure() -> Criterion {
-    Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_millis(800))
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_millis(800))
 }
 
 criterion_group! {

@@ -14,7 +14,12 @@ fn btree_probe(c: &mut Criterion) {
     let index = BTreeIndex::new(true);
     let n = 100_000i64;
     for i in 0..n {
-        index.insert(&Key::int(i), IndexEntry::new(Rid::new((i / 100) as u32, (i % 100) as u16), Key::empty())).unwrap();
+        index
+            .insert(
+                &Key::int(i),
+                IndexEntry::new(Rid::new((i / 100) as u32, (i % 100) as u16), Key::empty()),
+            )
+            .unwrap();
     }
     let mut probe = 0i64;
     c.bench_function("storage/btree_probe_100k", |b| {
@@ -30,7 +35,10 @@ fn heap_insert_and_read(c: &mut Criterion) {
     let table = db
         .create_table(TableSchema::new(
             "points",
-            vec![ColumnDef::new("id", ValueType::Int), ColumnDef::new("payload", ValueType::Text)],
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("payload", ValueType::Text),
+            ],
             vec![0],
         ))
         .unwrap();
@@ -42,7 +50,10 @@ fn heap_insert_and_read(c: &mut Criterion) {
             db.insert(
                 &txn,
                 table,
-                vec![Value::Int(next), Value::Text("payload-payload-payload".into())],
+                vec![
+                    Value::Int(next),
+                    Value::Text("payload-payload-payload".into()),
+                ],
                 CcMode::Full,
             )
             .unwrap();
@@ -54,19 +65,26 @@ fn heap_insert_and_read(c: &mut Criterion) {
     let table = db
         .create_table(TableSchema::new(
             "lookup",
-            vec![ColumnDef::new("id", ValueType::Int), ColumnDef::new("v", ValueType::Int)],
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("v", ValueType::Int),
+            ],
             vec![0],
         ))
         .unwrap();
     for i in 0..10_000i64 {
-        db.load_row(table, vec![Value::Int(i), Value::Int(i * 2)]).unwrap();
+        db.load_row(table, vec![Value::Int(i), Value::Int(i * 2)])
+            .unwrap();
     }
     let mut probe = 0i64;
     c.bench_function("storage/probe_primary_full_cc", |b| {
         b.iter(|| {
             probe = (probe + 7919) % 10_000;
             let txn = db.begin();
-            black_box(db.probe_primary(&txn, table, &Key::int(probe), false, CcMode::Full).unwrap());
+            black_box(
+                db.probe_primary(&txn, table, &Key::int(probe), false, CcMode::Full)
+                    .unwrap(),
+            );
             db.commit(&txn).unwrap();
         })
     });
@@ -75,14 +93,19 @@ fn heap_insert_and_read(c: &mut Criterion) {
         b.iter(|| {
             probe = (probe + 7919) % 10_000;
             let txn = db.begin();
-            black_box(db.probe_primary(&txn, table, &Key::int(probe), false, CcMode::None).unwrap());
+            black_box(
+                db.probe_primary(&txn, table, &Key::int(probe), false, CcMode::None)
+                    .unwrap(),
+            );
             db.commit(&txn).unwrap();
         })
     });
 }
 
 fn configure() -> Criterion {
-    Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_millis(800))
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_millis(800))
 }
 
 criterion_group! {

@@ -40,11 +40,15 @@ fn transaction_latency(c: &mut Criterion) {
     bench_workload(c, "tpcc_new_order", || {
         Box::new(Tpcc::with_scale(2, 60, 100).with_mix(TpccMix::NewOrderOnly))
     });
-    bench_workload(c, "tpcb_account_update", || Box::new(TpcB::with_accounts(4, 100)));
+    bench_workload(c, "tpcb_account_update", || {
+        Box::new(TpcB::with_accounts(4, 100))
+    });
 }
 
 fn configure() -> Criterion {
-    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(1))
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(1))
 }
 
 criterion_group! {

@@ -18,11 +18,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::full() } else { Scale::quick() };
-    let requested: Vec<&String> =
-        args.iter().filter(|a| !a.starts_with("--")).collect();
+    let requested: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     if requested.is_empty() || requested.iter().any(|a| a.as_str() == "all") {
-        println!("running every experiment at {} scale\n", if full { "full" } else { "quick" });
+        println!(
+            "running every experiment at {} scale\n",
+            if full { "full" } else { "quick" }
+        );
         for report in experiments::all(&scale) {
             println!("{report}");
         }

@@ -6,7 +6,6 @@
 
 use std::sync::Arc;
 
-
 use dora_common::prelude::*;
 use dora_core::{DoraConfig, DoraEngine};
 use dora_engine::{build_engine, find_peak, BaselineEngine, ClientDriver, DriverConfig};
@@ -40,7 +39,10 @@ pub fn fig1(scale: &Scale) -> Report {
         }
         report.line("  time breakdown:");
         for (load, result) in &results {
-            report.line(breakdown_row(&format!("@{load:.0}% offered"), &result.breakdown));
+            report.line(breakdown_row(
+                &format!("@{load:.0}% offered"),
+                &result.breakdown,
+            ));
         }
         report.blank();
     }
@@ -57,7 +59,12 @@ pub fn fig2(scale: &Scale) -> Report {
             let results = if which == 0 {
                 sweep(scale.tm1(), scale, system, &[100.0])
             } else {
-                sweep(scale.tpcc().with_mix(TpccMix::OrderStatusOnly), scale, system, &[100.0])
+                sweep(
+                    scale.tpcc().with_mix(TpccMix::OrderStatusOnly),
+                    scale,
+                    system,
+                    &[100.0],
+                )
             };
             let (_, result) = &results[0];
             report.line(breakdown_row(system.label(), &result.breakdown));
@@ -71,7 +78,12 @@ pub fn fig2(scale: &Scale) -> Report {
 /// baseline running TPC-B, as the load grows.
 pub fn fig3(scale: &Scale) -> Report {
     let mut report = Report::new("Figure 3: inside the lock manager (Baseline, TPC-B)");
-    let results = sweep(scale.tpcb(), scale, SystemUnderTest::Baseline, &scale.load_points());
+    let results = sweep(
+        scale.tpcb(),
+        scale,
+        SystemUnderTest::Baseline,
+        &scale.load_points(),
+    );
     report.line(format!(
         "  {:>10} {:>10} {:>12} {:>10} {:>12} {:>10}",
         "load(%)", "acquire", "acquire-cont", "release", "release-cont", "other"
@@ -113,7 +125,15 @@ pub fn fig4(scale: &Scale) -> Report {
     let tpcc = scale.tpcc();
     tpcc.setup(&db).expect("setup TPC-C");
     let graph = tpcc
-        .payment_graph(&db, 1, 1, 1, 1, dora_workloads::tpcc::CustomerSelector::ById(1), 10.0)
+        .payment_graph(
+            &db,
+            1,
+            1,
+            1,
+            1,
+            dora_workloads::tpcc::CustomerSelector::ById(1),
+            10.0,
+        )
         .expect("payment graph");
     for (index, phase) in graph.describe().iter().enumerate() {
         report.line(format!("  phase {}: {}", index + 1, phase.join(", ")));
@@ -121,7 +141,10 @@ pub fn fig4(scale: &Scale) -> Report {
             report.line(format!("  --- RVP{} ---", index + 1));
         }
     }
-    report.line(format!("  --- RVP{} (terminal: commit) ---", graph.phase_count()));
+    report.line(format!(
+        "  --- RVP{} (terminal: commit) ---",
+        graph.phase_count()
+    ));
     report
 }
 
@@ -141,7 +164,12 @@ pub fn fig5(scale: &Scale) -> Report {
                 1 => ("TPC-B", sweep(scale.tpcb(), scale, system, &load)),
                 _ => (
                     "TPC-C OrderStatus",
-                    sweep(scale.tpcc().with_mix(TpccMix::OrderStatusOnly), scale, system, &load),
+                    sweep(
+                        scale.tpcc().with_mix(TpccMix::OrderStatusOnly),
+                        scale,
+                        system,
+                        &load,
+                    ),
                 ),
             };
             let (_, result) = &results[0];
@@ -166,7 +194,10 @@ pub fn fig6(scale: &Scale) -> Report {
     for which in 0..3 {
         let name = ["TM1", "TPC-B", "TPC-C OrderStatus"][which];
         report.line(format!("{name}:"));
-        report.line(format!("  {:>10} {:>16} {:>16}", "load(%)", "Baseline tps", "DORA tps"));
+        report.line(format!(
+            "  {:>10} {:>16} {:>16}",
+            "load(%)", "Baseline tps", "DORA tps"
+        ));
         let mut series: Vec<Vec<(f64, f64)>> = Vec::new();
         for system in SystemUnderTest::ALL {
             let results = match which {
@@ -179,7 +210,12 @@ pub fn fig6(scale: &Scale) -> Report {
                     &scale.load_points(),
                 ),
             };
-            series.push(results.iter().map(|(load, r)| (*load, r.throughput_tps)).collect());
+            series.push(
+                results
+                    .iter()
+                    .map(|(load, r)| (*load, r.throughput_tps))
+                    .collect(),
+            );
         }
         for (index, load) in scale.load_points().iter().enumerate() {
             report.line(format!(
@@ -199,10 +235,15 @@ pub fn fig7(scale: &Scale) -> Report {
         "  {:<26} {:>16} {:>16} {:>12}",
         "transaction", "Baseline (us)", "DORA (us)", "DORA/Base"
     ));
-    let iterations = if scale.duration.as_millis() > 500 { 400 } else { 100 };
+    let iterations = if scale.duration.as_millis() > 500 {
+        400
+    } else {
+        100
+    };
 
-    // (label, workload constructor for baseline and for DORA)
-    let cases: Vec<(&str, Box<dyn Fn() -> Box<dyn Workload>>)> = vec![
+    // (label, workload constructor shared by every engine)
+    type WorkloadFactory = Box<dyn Fn() -> Box<dyn Workload>>;
+    let cases: Vec<(&str, WorkloadFactory)> = vec![
         (
             "TM1 GetSubscriberData",
             Box::new({
@@ -256,7 +297,9 @@ pub fn fig7(scale: &Scale) -> Report {
                 let workload: Arc<dyn Workload> = Arc::from(make());
                 workload.setup(&db).expect("setup");
                 let engine = build_engine(system, Arc::clone(&db));
-                engine.bind(workload, scale.executors_per_table).expect("bind");
+                engine
+                    .bind(workload, scale.executors_per_table)
+                    .expect("bind");
                 let latency = driver.measure_engine(iterations, engine.as_ref());
                 engine.shutdown();
                 latency.mean().as_micros() as f64
@@ -291,11 +334,20 @@ pub fn fig8(scale: &Scale) -> Report {
             let prepared = match which {
                 0 => prepare(scale.tm1(), scale, system),
                 1 => prepare(scale.tpcb(), scale, system),
-                _ => prepare(scale.tpcc().with_mix(TpccMix::OrderStatusOnly), scale, system),
+                _ => prepare(
+                    scale.tpcc().with_mix(TpccMix::OrderStatusOnly),
+                    scale,
+                    system,
+                ),
             };
-            let client_counts: Vec<usize> =
-                scale.load_points().iter().map(|&p| scale.clients_for(p)).collect();
-            let peak = find_peak(&client_counts, |clients| run_clients(&prepared, scale, clients));
+            let client_counts: Vec<usize> = scale
+                .load_points()
+                .iter()
+                .map(|&p| scale.clients_for(p))
+                .collect();
+            let peak = find_peak(&client_counts, |clients| {
+                run_clients(&prepared, scale, clients)
+            });
             prepared.shutdown();
             // The first registered engine is the normalization base (the
             // paper normalizes to the conventional system).
@@ -308,7 +360,8 @@ pub fn fig8(scale: &Scale) -> Report {
                 system.label(),
                 peak.best_tps,
                 peak.best_tps / base_peak.max(1.0),
-                peak.cpu_utilization_at_peak.unwrap_or(peak.offered_load_at_peak()),
+                peak.cpu_utilization_at_peak
+                    .unwrap_or(peak.offered_load_at_peak()),
             ));
         }
     }
@@ -322,9 +375,12 @@ pub fn fig10(scale: &Scale) -> Report {
     let warehouses = 10i64.min(scale.tpcc_warehouses.max(2));
     let districts = (warehouses * 10) as usize;
     let threads = 10usize;
-    let tpcc =
-        Tpcc::with_scale(warehouses, scale.tpcc_customers_per_district, scale.tpcc_items)
-            .with_mix(TpccMix::PaymentOnly);
+    let tpcc = Tpcc::with_scale(
+        warehouses,
+        scale.tpcc_customers_per_district,
+        scale.tpcc_items,
+    )
+    .with_mix(TpccMix::PaymentOnly);
 
     // Conventional (thread-to-transaction): any worker thread updates any
     // district.
@@ -347,7 +403,16 @@ pub fn fig10(scale: &Scale) -> Report {
             let (w_id, d_id, c_w_id, c_d_id, selector, amount) = tpcc.payment_inputs(rng);
             trace.record(client, ((w_id - 1) * 10 + (d_id - 1)) as usize);
             match baseline.execute(|db, txn| {
-                tpcc.payment_baseline(db, txn, w_id, d_id, c_w_id, c_d_id, selector.clone(), amount)
+                tpcc.payment_baseline(
+                    db,
+                    txn,
+                    w_id,
+                    d_id,
+                    c_w_id,
+                    c_d_id,
+                    selector.clone(),
+                    amount,
+                )
             }) {
                 Ok(dora_engine::baseline::BaselineOutcome::Committed) => {
                     dora_engine::TxnOutcome::Committed
@@ -360,14 +425,20 @@ pub fn fig10(scale: &Scale) -> Report {
     // DORA (thread-to-data): the district's executor — determined by the
     // routing rule — performs the access.
     let db = Database::new(scale.system_config());
-    let tpcc_dora = Tpcc::with_scale(warehouses, scale.tpcc_customers_per_district, scale.tpcc_items)
-        .with_mix(TpccMix::PaymentOnly);
+    let tpcc_dora = Tpcc::with_scale(
+        warehouses,
+        scale.tpcc_customers_per_district,
+        scale.tpcc_items,
+    )
+    .with_mix(TpccMix::PaymentOnly);
     tpcc_dora.setup(&db).expect("setup");
     let dora = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::default()));
     // Ten executors on the District table so the comparison uses the same
     // number of "threads" as the conventional run, like the paper's figure.
     let tpcc_dora = Arc::new(tpcc_dora);
-    tpcc_dora.bind_dora(&dora, threads.min(scale.executors_per_table.max(2))).expect("bind");
+    tpcc_dora
+        .bind_dora(&dora, threads.min(scale.executors_per_table.max(2)))
+        .expect("bind");
     let district_table = db.table_id("district").expect("district table");
     let trace_dora = AccessTrace::new();
     {
@@ -377,8 +448,7 @@ pub fn fig10(scale: &Scale) -> Report {
         let routing = dora.routing().rule(district_table).expect("district rule");
         driver.run(move |_client, rng| {
             let (w_id, d_id, c_w_id, c_d_id, selector, amount) = tpcc.payment_inputs(rng);
-            let executor =
-                routing.route(&Key::int2(w_id, d_id)).unwrap_or(0);
+            let executor = routing.route(&Key::int2(w_id, d_id)).unwrap_or(0);
             trace.record(executor, ((w_id - 1) * 10 + (d_id - 1)) as usize);
             match dora.execute(
                 tpcc.payment_graph(dora.db(), w_id, d_id, c_w_id, c_d_id, selector, amount)
@@ -431,13 +501,19 @@ pub fn fig11(scale: &Scale) -> Report {
         &loads,
     );
     let dora_p = sweep(
-        scale.tm1().with_mix(Tm1Mix::UpdateSubscriberDataOnly).with_serial_update_plan(false),
+        scale
+            .tm1()
+            .with_mix(Tm1Mix::UpdateSubscriberDataOnly)
+            .with_serial_update_plan(false),
         scale,
         SystemUnderTest::Dora,
         &loads,
     );
     let dora_s = sweep(
-        scale.tm1().with_mix(Tm1Mix::UpdateSubscriberDataOnly).with_serial_update_plan(true),
+        scale
+            .tm1()
+            .with_mix(Tm1Mix::UpdateSubscriberDataOnly)
+            .with_serial_update_plan(true),
         scale,
         SystemUnderTest::Dora,
         &loads,
@@ -445,11 +521,17 @@ pub fn fig11(scale: &Scale) -> Report {
     for (index, load) in loads.iter().enumerate() {
         report.line(format!(
             "  {:>10.0} {:>16.0} {:>16.0} {:>16.0}",
-            load, baseline[index].1.throughput_tps, dora_p[index].1.throughput_tps, dora_s[index].1.throughput_tps
+            load,
+            baseline[index].1.throughput_tps,
+            dora_p[index].1.throughput_tps,
+            dora_s[index].1.throughput_tps
         ));
     }
     report.blank();
-    report.kv("observed abort rate (Baseline, peak load)", pct(baseline.last().map(|(_, r)| r.abort_rate()).unwrap_or(0.0)));
+    report.kv(
+        "observed abort rate (Baseline, peak load)",
+        pct(baseline.last().map(|(_, r)| r.abort_rate()).unwrap_or(0.0)),
+    );
     report
 }
 

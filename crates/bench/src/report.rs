@@ -13,7 +13,10 @@ pub struct Report {
 impl Report {
     /// Creates a report with a title.
     pub fn new(title: impl Into<String>) -> Self {
-        Self { title: title.into(), lines: Vec::new() }
+        Self {
+            title: title.into(),
+            lines: Vec::new(),
+        }
     }
 
     /// The report title.

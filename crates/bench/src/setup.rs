@@ -93,7 +93,9 @@ impl Scale {
 
     /// Client-thread count producing approximately `percent` offered load.
     pub fn clients_for(&self, percent: f64) -> usize {
-        ((percent / 100.0) * self.hardware_contexts as f64).round().max(1.0) as usize
+        ((percent / 100.0) * self.hardware_contexts as f64)
+            .round()
+            .max(1.0) as usize
     }
 
     /// Storage configuration at this scale.
@@ -154,8 +156,14 @@ pub fn prepare(
     workload.setup(&db).expect("workload setup");
     let workload: Arc<dyn Workload> = Arc::new(workload);
     let engine = build_engine(system, Arc::clone(&db));
-    engine.bind(Arc::clone(&workload), scale.executors_per_table).expect("bind workload");
-    PreparedSystem { db, workload, engine }
+    engine
+        .bind(Arc::clone(&workload), scale.executors_per_table)
+        .expect("bind workload");
+    PreparedSystem {
+        db,
+        workload,
+        engine,
+    }
 }
 
 /// Runs `clients` closed-loop clients against the prepared system for the
@@ -207,7 +215,6 @@ mod tests {
             executors_per_table: 2,
             hardware_contexts: 4,
             log_flush_micros: 0,
-            ..Scale::quick()
         }
     }
 
@@ -224,11 +231,14 @@ mod tests {
     fn every_registered_engine_produces_commits() {
         let scale = tiny_scale();
         for system in SystemUnderTest::ALL {
-            let workload =
-                Tm1::new(scale.tm1_subscribers).with_mix(Tm1Mix::GetSubscriberDataOnly);
+            let workload = Tm1::new(scale.tm1_subscribers).with_mix(Tm1Mix::GetSubscriberDataOnly);
             let prepared = prepare(workload, &scale, system);
             let result = run_clients(&prepared, &scale, 2);
-            assert!(result.committed > 0, "{} run produced no commits", system.label());
+            assert!(
+                result.committed > 0,
+                "{} run produced no commits",
+                system.label()
+            );
             prepared.shutdown();
         }
     }

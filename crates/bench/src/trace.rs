@@ -44,12 +44,19 @@ impl Default for AccessTrace {
 impl AccessTrace {
     /// Starts an empty trace.
     pub fn new() -> Self {
-        Self { started: Instant::now(), events: Arc::new(Mutex::new(Vec::new())) }
+        Self {
+            started: Instant::now(),
+            events: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Records one access.
     pub fn record(&self, thread: usize, district: usize) {
-        let event = AccessEvent { elapsed: self.started.elapsed(), thread, district };
+        let event = AccessEvent {
+            elapsed: self.started.elapsed(),
+            thread,
+            district,
+        };
         self.events.lock().push(event);
     }
 

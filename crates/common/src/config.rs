@@ -1,6 +1,5 @@
 //! Run-time configuration shared by the baseline and DORA engines.
 
-
 /// Which execution architecture a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
@@ -103,7 +102,11 @@ impl Default for SystemConfig {
 impl SystemConfig {
     /// Configuration for quick unit tests: tiny buffer pool, no log latency.
     pub fn for_tests() -> Self {
-        Self { worker_threads: 2, buffer_pool_pages: 256, ..Self::default() }
+        Self {
+            worker_threads: 2,
+            buffer_pool_pages: 256,
+            ..Self::default()
+        }
     }
 
     /// Offered CPU load (percent) when `threads` client threads run on this
@@ -117,13 +120,17 @@ impl SystemConfig {
     /// Number of client threads that produces approximately `percent` offered
     /// CPU load (at least one).
     pub fn threads_for_load(&self, percent: f64) -> usize {
-        ((percent / 100.0) * self.hardware_contexts as f64).round().max(1.0) as usize
+        ((percent / 100.0) * self.hardware_contexts as f64)
+            .round()
+            .max(1.0) as usize
     }
 }
 
 /// Number of logical CPUs visible to the process.
 pub fn num_cpus() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[cfg(test)]
@@ -139,7 +146,10 @@ mod tests {
 
     #[test]
     fn offered_load_round_trips_thread_count() {
-        let config = SystemConfig { hardware_contexts: 8, ..SystemConfig::default() };
+        let config = SystemConfig {
+            hardware_contexts: 8,
+            ..SystemConfig::default()
+        };
         assert_eq!(config.threads_for_load(100.0), 8);
         assert_eq!(config.threads_for_load(50.0), 4);
         assert_eq!(config.threads_for_load(1.0), 1);

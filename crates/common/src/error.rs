@@ -25,7 +25,10 @@ pub enum DbError {
     /// The requested table or index does not exist in the catalog.
     NoSuchObject(String),
     /// A value had the wrong type for the requested operation.
-    TypeMismatch { expected: ValueType, found: ValueType },
+    TypeMismatch {
+        expected: ValueType,
+        found: ValueType,
+    },
     /// A page, slot or log record failed validation.
     Corruption(String),
     /// The referenced RID does not point at a live record.
@@ -77,14 +80,21 @@ mod tests {
     #[test]
     fn retryable_classification() {
         assert!(DbError::Deadlock { victim: TxnId(1) }.is_retryable());
-        assert!(DbError::TxnAborted { txn: TxnId(2), reason: "bad input".into() }.is_retryable());
+        assert!(DbError::TxnAborted {
+            txn: TxnId(2),
+            reason: "bad input".into()
+        }
+        .is_retryable());
         assert!(!DbError::Corruption("x".into()).is_retryable());
         assert!(!DbError::ShuttingDown.is_retryable());
     }
 
     #[test]
     fn display_is_informative() {
-        let err = DbError::NotFound { table: TableId(2), detail: "key (1)".into() };
+        let err = DbError::NotFound {
+            table: TableId(2),
+            detail: "key (1)".into(),
+        };
         let text = err.to_string();
         assert!(text.contains("table#2"));
         assert!(text.contains("key (1)"));

@@ -41,7 +41,9 @@ pub struct TxnIdGenerator {
 impl TxnIdGenerator {
     /// Creates a generator whose first issued id is `1`.
     pub fn new() -> Self {
-        Self { next: AtomicU64::new(1) }
+        Self {
+            next: AtomicU64::new(1),
+        }
     }
 
     /// Allocates the next transaction id.
@@ -118,7 +120,10 @@ pub struct Rid {
 impl Rid {
     /// Builds a RID from raw page/slot numbers.
     pub fn new(page: u32, slot: u16) -> Self {
-        Self { page: PageId(page), slot: SlotId(slot) }
+        Self {
+            page: PageId(page),
+            slot: SlotId(slot),
+        }
     }
 
     /// Packs the RID into a single `u64`, used as a hash key by the lock
@@ -129,7 +134,10 @@ impl Rid {
 
     /// Inverse of [`Rid::pack`].
     pub fn unpack(packed: u64) -> Self {
-        Self { page: PageId((packed >> 16) as u32), slot: SlotId((packed & 0xFFFF) as u16) }
+        Self {
+            page: PageId((packed >> 16) as u32),
+            slot: SlotId((packed & 0xFFFF) as u16),
+        }
     }
 }
 

@@ -126,7 +126,10 @@ pub struct KeyRange {
 impl KeyRange {
     /// The range covering every key.
     pub fn all() -> Self {
-        Self { low: None, high: None }
+        Self {
+            low: None,
+            high: None,
+        }
     }
 
     /// Builds `[low, high)`.

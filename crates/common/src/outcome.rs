@@ -43,8 +43,17 @@ mod tests {
 
     #[test]
     fn only_commit_maps_to_commit() {
-        assert_eq!(TxnOutcome::from(BaselineOutcome::Committed), TxnOutcome::Committed);
-        assert_eq!(TxnOutcome::from(BaselineOutcome::Aborted), TxnOutcome::Aborted);
-        assert_eq!(TxnOutcome::from(BaselineOutcome::GaveUp), TxnOutcome::Aborted);
+        assert_eq!(
+            TxnOutcome::from(BaselineOutcome::Committed),
+            TxnOutcome::Committed
+        );
+        assert_eq!(
+            TxnOutcome::from(BaselineOutcome::Aborted),
+            TxnOutcome::Aborted
+        );
+        assert_eq!(
+            TxnOutcome::from(BaselineOutcome::GaveUp),
+            TxnOutcome::Aborted
+        );
     }
 }

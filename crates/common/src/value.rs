@@ -105,7 +105,9 @@ impl Value {
     /// Deserializes one value from `buf`, advancing it.
     pub fn decode(buf: &mut Bytes) -> DbResult<Value> {
         if buf.remaining() < 1 {
-            return Err(DbError::Corruption("truncated value: missing type tag".into()));
+            return Err(DbError::Corruption(
+                "truncated value: missing type tag".into(),
+            ));
         }
         let tag = buf.get_u8();
         match tag {
@@ -291,13 +293,19 @@ mod tests {
         let row: Row = vec![Value::Text("abcdef".into())];
         let bytes = Value::encode_row(&row);
         let truncated = &bytes[..bytes.len() - 2];
-        assert!(matches!(Value::decode_row(truncated), Err(DbError::Corruption(_))));
+        assert!(matches!(
+            Value::decode_row(truncated),
+            Err(DbError::Corruption(_))
+        ));
     }
 
     #[test]
     fn decode_rejects_unknown_tag() {
         let bytes = vec![1u8, 0u8, 9u8];
-        assert!(matches!(Value::decode_row(&bytes), Err(DbError::Corruption(_))));
+        assert!(matches!(
+            Value::decode_row(&bytes),
+            Err(DbError::Corruption(_))
+        ));
     }
 
     #[test]

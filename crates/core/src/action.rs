@@ -124,7 +124,13 @@ impl ActionSpec {
         mode: LocalMode,
         body: impl FnOnce(&ActionContext<'_>) -> DbResult<()> + Send + 'static,
     ) -> Self {
-        Self { table, identifier, mode, body: Box::new(body), label }
+        Self {
+            table,
+            identifier,
+            mode,
+            body: Box::new(body),
+            label,
+        }
     }
 
     /// Builds a *secondary action*: one whose identifier contains none of the
@@ -135,7 +141,13 @@ impl ActionSpec {
         table: TableId,
         body: impl FnOnce(&ActionContext<'_>) -> DbResult<()> + Send + 'static,
     ) -> Self {
-        Self { table, identifier: Key::empty(), mode: LocalMode::Shared, body: Box::new(body), label }
+        Self {
+            table,
+            identifier: Key::empty(),
+            mode: LocalMode::Shared,
+            body: Box::new(body),
+            label,
+        }
     }
 
     /// `true` if this is a secondary action.
@@ -195,7 +207,13 @@ mod tests {
     fn secondary_actions_have_empty_identifiers() {
         let spec = ActionSpec::secondary("probe-by-name", TableId(1), |_| Ok(()));
         assert!(spec.is_secondary());
-        let primary = ActionSpec::new("update", TableId(1), Key::int(3), LocalMode::Exclusive, |_| Ok(()));
+        let primary = ActionSpec::new(
+            "update",
+            TableId(1),
+            Key::int(3),
+            LocalMode::Exclusive,
+            |_| Ok(()),
+        );
         assert!(!primary.is_secondary());
         assert_eq!(primary.identifier, Key::int(3));
     }

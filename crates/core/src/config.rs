@@ -35,7 +35,11 @@ impl DoraConfig {
     /// Configuration suitable for unit tests: few executors, eager
     /// rebalancing decisions.
     pub fn for_tests() -> Self {
-        Self { default_executors_per_table: 2, abort_monitor_min_samples: 10, ..Self::default() }
+        Self {
+            default_executors_per_table: 2,
+            abort_monitor_min_samples: 10,
+            ..Self::default()
+        }
     }
 }
 

@@ -87,8 +87,10 @@ impl EngineInner {
             time_section(TimeCategory::EngineOverhead, || {
                 // Latch every target queue in the global executor order
                 // before enqueueing anything.
-                let mut targets: Vec<Arc<ExecutorShared>> =
-                    routed.iter().map(|(executor, _)| Arc::clone(executor)).collect();
+                let mut targets: Vec<Arc<ExecutorShared>> = routed
+                    .iter()
+                    .map(|(executor, _)| Arc::clone(executor))
+                    .collect();
                 targets.sort_by_key(|executor| (executor.table.0, executor.index));
                 targets.dedup_by_key(|executor| (executor.table.0, executor.index));
                 let mut guards: Vec<_> = targets
@@ -162,7 +164,9 @@ impl EngineInner {
             Ok(None) | Err(_) => {
                 let txn = Arc::clone(&action.txn);
                 let phase = action.phase;
-                txn.mark_aborted(DbError::InvalidOperation("unroutable action after resize".into()));
+                txn.mark_aborted(DbError::InvalidOperation(
+                    "unroutable action after resize".into(),
+                ));
                 self.report_and_advance(&txn, phase);
             }
         }
@@ -171,8 +175,11 @@ impl EngineInner {
     fn execute_secondary(&self, txn: &Arc<DoraTxnInner>, phase: usize, spec: ActionSpec) {
         incr(CounterKind::ActionsExecuted);
         if !txn.is_aborted() {
-            let context =
-                ActionContext { db: &self.db, txn: &txn.handle, scratch: &txn.scratch };
+            let context = ActionContext {
+                db: &self.db,
+                txn: &txn.handle,
+                scratch: &txn.scratch,
+            };
             if let Err(error) = (spec.body)(&context) {
                 txn.mark_aborted(error);
             }
@@ -200,9 +207,10 @@ impl EngineInner {
     pub(crate) fn finalize(&self, txn: &Arc<DoraTxnInner>) {
         let result = if txn.is_aborted() {
             let _ = self.db.abort(&txn.handle);
-            Err(txn
-                .abort_reason()
-                .unwrap_or(DbError::TxnAborted { txn: txn.id(), reason: "aborted".into() }))
+            Err(txn.abort_reason().unwrap_or(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "aborted".into(),
+            }))
         } else {
             match self.db.commit(&txn.handle) {
                 Ok(()) => Ok(()),
@@ -280,7 +288,9 @@ pub struct DoraEngine {
 
 impl std::fmt::Debug for DoraEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DoraEngine").field("tables", &self.inner.routing.bound_tables()).finish()
+        f.debug_struct("DoraEngine")
+            .field("tables", &self.inner.routing.bound_tables())
+            .finish()
     }
 }
 
@@ -327,7 +337,11 @@ impl DoraEngine {
         key_high: i64,
     ) -> DbResult<()> {
         let executors = executors.max(1);
-        self.bind_table_with_rule(table, executors, RoutingRule::even_ranges(key_low, key_high, executors))
+        self.bind_table_with_rule(
+            table,
+            executors,
+            RoutingRule::even_ranges(key_low, key_high, executors),
+        )
     }
 
     /// Binds a table with an explicit routing rule. The rule's executor count
@@ -365,7 +379,9 @@ impl DoraEngine {
                 registry.resize_with(table.0 as usize + 1, Vec::new);
             }
             if !registry[table.0 as usize].is_empty() {
-                return Err(DbError::InvalidOperation(format!("{table} is already bound")));
+                return Err(DbError::InvalidOperation(format!(
+                    "{table} is already bound"
+                )));
             }
             registry[table.0 as usize] = table_executors;
         }
@@ -393,7 +409,9 @@ impl DoraEngine {
         }
         let phases = graph.into_phases();
         if phases.is_empty() {
-            return Err(DbError::InvalidOperation("empty transaction flow graph".into()));
+            return Err(DbError::InvalidOperation(
+                "empty transaction flow graph".into(),
+            ));
         }
         let handle = self.inner.db.begin();
         let txn = DoraTxnInner::new(handle, phases);
@@ -411,12 +429,20 @@ impl DoraEngine {
     /// Actions served per executor of `table` (the load statistic the
     /// resource manager uses).
     pub fn executor_loads(&self, table: TableId) -> DbResult<Vec<u64>> {
-        Ok(self.inner.executors_for(table)?.iter().map(|e| e.served()).collect())
+        Ok(self
+            .inner
+            .executors_for(table)?
+            .iter()
+            .map(|e| e.served())
+            .collect())
     }
 
     /// Number of executors bound to `table`.
     pub fn executor_count(&self, table: TableId) -> usize {
-        self.inner.executors_for(table).map(|e| e.len()).unwrap_or(0)
+        self.inner
+            .executors_for(table)
+            .map(|e| e.len())
+            .unwrap_or(0)
     }
 
     /// Begins the resize protocol: asks every executor of `table` to drain
@@ -479,12 +505,16 @@ mod tests {
         let table = db
             .create_table(TableSchema::new(
                 "counters",
-                vec![ColumnDef::new("id", ValueType::Int), ColumnDef::new("n", ValueType::Int)],
+                vec![
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("n", ValueType::Int),
+                ],
                 vec![0],
             ))
             .unwrap();
         for id in 1..=100i64 {
-            db.load_row(table, vec![Value::Int(id), Value::Int(0)]).unwrap();
+            db.load_row(table, vec![Value::Int(id), Value::Int(0)])
+                .unwrap();
         }
         (db, table)
     }
@@ -494,13 +524,20 @@ mod tests {
         let phase = graph.add_phase();
         graph.add_action(
             phase,
-            ActionSpec::new("bump", table, Key::int(id), LocalMode::Exclusive, move |ctx| {
-                ctx.db.update_primary(ctx.txn, table, &Key::int(id), CcMode::None, |row| {
-                    let n = row[1].as_int()?;
-                    row[1] = Value::Int(n + 1);
-                    Ok(())
-                })
-            }),
+            ActionSpec::new(
+                "bump",
+                table,
+                Key::int(id),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    ctx.db
+                        .update_primary(ctx.txn, table, &Key::int(id), CcMode::None, |row| {
+                            let n = row[1].as_int()?;
+                            row[1] = Value::Int(n + 1);
+                            Ok(())
+                        })
+                },
+            ),
         );
         graph
     }
@@ -512,7 +549,10 @@ mod tests {
         engine.bind_table(table, 2, 1, 100).unwrap();
         engine.execute(bump_graph(table, 7)).unwrap();
         let check = db.begin();
-        let (_, row) = db.probe_primary(&check, table, &Key::int(7), false, CcMode::Full).unwrap().unwrap();
+        let (_, row) = db
+            .probe_primary(&check, table, &Key::int(7), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
         assert_eq!(row[1], Value::Int(1));
         db.commit(&check).unwrap();
         engine.shutdown();
@@ -534,7 +574,10 @@ mod tests {
                 let (_, row) = ctx
                     .db
                     .probe_primary(ctx.txn, table, &Key::int(10), false, CcMode::None)?
-                    .ok_or(DbError::NotFound { table, detail: "10".into() })?;
+                    .ok_or(DbError::NotFound {
+                        table,
+                        detail: "10".into(),
+                    })?;
                 ctx.scratch.put("seen", row[1].clone());
                 Ok(())
             }),
@@ -542,19 +585,29 @@ mod tests {
         let p2 = graph.add_phase();
         graph.add_action(
             p2,
-            ActionSpec::new("add", table, Key::int(90), LocalMode::Exclusive, move |ctx| {
-                let seen = ctx.scratch.get_int("seen")?;
-                ctx.db.update_primary(ctx.txn, table, &Key::int(90), CcMode::None, |row| {
-                    let n = row[1].as_int()?;
-                    row[1] = Value::Int(n + seen + 5);
-                    Ok(())
-                })
-            }),
+            ActionSpec::new(
+                "add",
+                table,
+                Key::int(90),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    let seen = ctx.scratch.get_int("seen")?;
+                    ctx.db
+                        .update_primary(ctx.txn, table, &Key::int(90), CcMode::None, |row| {
+                            let n = row[1].as_int()?;
+                            row[1] = Value::Int(n + seen + 5);
+                            Ok(())
+                        })
+                },
+            ),
         );
         engine.execute(graph).unwrap();
 
         let check = db.begin();
-        let (_, row) = db.probe_primary(&check, table, &Key::int(90), false, CcMode::Full).unwrap().unwrap();
+        let (_, row) = db
+            .probe_primary(&check, table, &Key::int(90), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
         assert_eq!(row[1], Value::Int(5), "counter 10 was 0, so 0 + 5");
         db.commit(&check).unwrap();
         engine.shutdown();
@@ -570,25 +623,44 @@ mod tests {
         let p1 = graph.add_phase();
         graph.add_action(
             p1,
-            ActionSpec::new("bump", table, Key::int(3), LocalMode::Exclusive, move |ctx| {
-                ctx.db.update_primary(ctx.txn, table, &Key::int(3), CcMode::None, |row| {
-                    row[1] = Value::Int(99);
-                    Ok(())
-                })
-            }),
+            ActionSpec::new(
+                "bump",
+                table,
+                Key::int(3),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    ctx.db
+                        .update_primary(ctx.txn, table, &Key::int(3), CcMode::None, |row| {
+                            row[1] = Value::Int(99);
+                            Ok(())
+                        })
+                },
+            ),
         );
         graph.add_action(
             p1,
-            ActionSpec::new("fail", table, Key::int(80), LocalMode::Exclusive, move |_ctx| {
-                Err(DbError::TxnAborted { txn: TxnId::INVALID, reason: "invalid input".into() })
-            }),
+            ActionSpec::new(
+                "fail",
+                table,
+                Key::int(80),
+                LocalMode::Exclusive,
+                move |_ctx| {
+                    Err(DbError::TxnAborted {
+                        txn: TxnId::INVALID,
+                        reason: "invalid input".into(),
+                    })
+                },
+            ),
         );
         let result = engine.execute(graph);
         assert!(result.is_err());
 
         // The update of counter 3 must have been rolled back.
         let check = db.begin();
-        let (_, row) = db.probe_primary(&check, table, &Key::int(3), false, CcMode::Full).unwrap().unwrap();
+        let (_, row) = db
+            .probe_primary(&check, table, &Key::int(3), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
         assert_eq!(row[1], Value::Int(0));
         db.commit(&check).unwrap();
         engine.shutdown();
@@ -617,9 +689,15 @@ mod tests {
             handle.join().unwrap();
         }
         let check = db2.begin();
-        let (_, row) =
-            db2.probe_primary(&check, table, &Key::int(42), false, CcMode::Full).unwrap().unwrap();
-        assert_eq!(row[1], Value::Int(threads * per_thread), "every increment must be applied exactly once");
+        let (_, row) = db2
+            .probe_primary(&check, table, &Key::int(42), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            row[1],
+            Value::Int(threads * per_thread),
+            "every increment must be applied exactly once"
+        );
         db2.commit(&check).unwrap();
         engine.shutdown();
     }
@@ -649,7 +727,10 @@ mod tests {
         let engine = DoraEngine::new(db, DoraConfig::for_tests());
         engine.bind_table(table, 1, 1, 100).unwrap();
         engine.shutdown();
-        assert!(matches!(engine.execute(bump_graph(table, 1)), Err(DbError::ShuttingDown)));
+        assert!(matches!(
+            engine.execute(bump_graph(table, 1)),
+            Err(DbError::ShuttingDown)
+        ));
     }
 
     #[test]
@@ -666,7 +747,8 @@ mod tests {
                 // A "secondary" access that cannot be routed: count rows via a
                 // scan and stash the result.
                 let mut count = 0i64;
-                ctx.db.scan_table(ctx.txn, table, CcMode::None, |_, _| count += 1)?;
+                ctx.db
+                    .scan_table(ctx.txn, table, CcMode::None, |_, _| count += 1)?;
                 ctx.scratch.put("count", count);
                 Ok(())
             }),
@@ -674,17 +756,27 @@ mod tests {
         let p2 = graph.add_phase();
         graph.add_action(
             p2,
-            ActionSpec::new("store", table, Key::int(1), LocalMode::Exclusive, move |ctx| {
-                let count = ctx.scratch.get_int("count")?;
-                ctx.db.update_primary(ctx.txn, table, &Key::int(1), CcMode::None, |row| {
-                    row[1] = Value::Int(count);
-                    Ok(())
-                })
-            }),
+            ActionSpec::new(
+                "store",
+                table,
+                Key::int(1),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    let count = ctx.scratch.get_int("count")?;
+                    ctx.db
+                        .update_primary(ctx.txn, table, &Key::int(1), CcMode::None, |row| {
+                            row[1] = Value::Int(count);
+                            Ok(())
+                        })
+                },
+            ),
         );
         engine.execute(graph).unwrap();
         let check = db.begin();
-        let (_, row) = db.probe_primary(&check, table, &Key::int(1), false, CcMode::Full).unwrap().unwrap();
+        let (_, row) = db
+            .probe_primary(&check, table, &Key::int(1), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
         assert_eq!(row[1], Value::Int(100));
         db.commit(&check).unwrap();
         engine.shutdown();

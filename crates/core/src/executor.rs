@@ -220,17 +220,25 @@ impl ExecutorWorker {
             self.finish_action(&action.txn, action.phase);
             return;
         }
-        match self.locks.acquire(action.txn.id(), &action.identifier, action.mode) {
+        match self
+            .locks
+            .acquire(action.txn.id(), &action.identifier, action.mode)
+        {
             LocalAcquire::Granted => {
-                action.txn.note_involved(self.shared.table, self.shared.index);
+                action
+                    .txn
+                    .note_involved(self.shared.table, self.shared.index);
                 self.execute(action);
             }
             LocalAcquire::Conflict(owners) => {
                 // Feed the wait into the storage manager's deadlock detector
                 // (Section 4.2.3) before parking the action.
                 for owner in owners {
-                    if let Err(deadlock) =
-                        self.engine.db().lock_manager().add_external_wait(action.txn.id(), owner)
+                    if let Err(deadlock) = self
+                        .engine
+                        .db()
+                        .lock_manager()
+                        .add_external_wait(action.txn.id(), owner)
                     {
                         action.txn.mark_aborted(deadlock);
                         incr(CounterKind::WastedActions);
@@ -283,10 +291,18 @@ impl ExecutorWorker {
                 self.finish_action(&action.txn, action.phase);
                 continue;
             }
-            match self.locks.acquire(action.txn.id(), &action.identifier, action.mode) {
+            match self
+                .locks
+                .acquire(action.txn.id(), &action.identifier, action.mode)
+            {
                 LocalAcquire::Granted => {
-                    self.engine.db().lock_manager().remove_external_wait(action.txn.id());
-                    action.txn.note_involved(self.shared.table, self.shared.index);
+                    self.engine
+                        .db()
+                        .lock_manager()
+                        .remove_external_wait(action.txn.id());
+                    action
+                        .txn
+                        .note_involved(self.shared.table, self.shared.index);
                     self.execute(action);
                 }
                 LocalAcquire::Conflict(_) => remaining.push_back(action),
@@ -318,7 +334,6 @@ impl ExecutorWorker {
             self.engine.redispatch(action);
         }
     }
-
 }
 
 #[cfg(test)]

@@ -115,7 +115,13 @@ mod tests {
     use dora_common::prelude::*;
 
     fn action(label: &'static str, id: i64) -> ActionSpec {
-        ActionSpec::new(label, TableId(0), Key::int(id), LocalMode::Exclusive, |_| Ok(()))
+        ActionSpec::new(
+            label,
+            TableId(0),
+            Key::int(id),
+            LocalMode::Exclusive,
+            |_| Ok(()),
+        )
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl LocalLockTable {
             let entry = self
                 .entries
                 .entry(identifier.clone())
-                .or_insert_with(|| LocalLockEntry { identifier: identifier.clone(), owners: Vec::new() });
+                .or_insert_with(|| LocalLockEntry {
+                    identifier: identifier.clone(),
+                    owners: Vec::new(),
+                });
             if let Some(existing) = entry.owners.iter_mut().find(|(owner, _)| *owner == txn) {
                 // Upgrade in place if needed.
                 if existing.1 == LocalMode::Shared && mode == LocalMode::Exclusive {
@@ -131,7 +134,9 @@ impl LocalLockTable {
 
     /// `true` if `txn` holds at least one lock in this table.
     pub fn holds_any(&self, txn: TxnId) -> bool {
-        self.entries.values().any(|e| e.owners.iter().any(|(owner, _)| *owner == txn))
+        self.entries
+            .values()
+            .any(|e| e.owners.iter().any(|(owner, _)| *owner == txn))
     }
 }
 
@@ -142,8 +147,14 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut table = LocalLockTable::new();
-        assert_eq!(table.acquire(TxnId(1), &Key::int(5), LocalMode::Shared), LocalAcquire::Granted);
-        assert_eq!(table.acquire(TxnId(2), &Key::int(5), LocalMode::Shared), LocalAcquire::Granted);
+        assert_eq!(
+            table.acquire(TxnId(1), &Key::int(5), LocalMode::Shared),
+            LocalAcquire::Granted
+        );
+        assert_eq!(
+            table.acquire(TxnId(2), &Key::int(5), LocalMode::Shared),
+            LocalAcquire::Granted
+        );
         assert_eq!(table.len(), 1);
     }
 
@@ -160,7 +171,10 @@ mod tests {
             LocalAcquire::Conflict(vec![TxnId(1)])
         );
         // A different identifier is unaffected.
-        assert_eq!(table.acquire(TxnId(2), &Key::int(6), LocalMode::Exclusive), LocalAcquire::Granted);
+        assert_eq!(
+            table.acquire(TxnId(2), &Key::int(6), LocalMode::Exclusive),
+            LocalAcquire::Granted
+        );
     }
 
     #[test]
@@ -186,8 +200,14 @@ mod tests {
     #[test]
     fn reacquisition_and_upgrade_by_same_txn() {
         let mut table = LocalLockTable::new();
-        assert_eq!(table.acquire(TxnId(1), &Key::int(7), LocalMode::Shared), LocalAcquire::Granted);
-        assert_eq!(table.acquire(TxnId(1), &Key::int(7), LocalMode::Exclusive), LocalAcquire::Granted);
+        assert_eq!(
+            table.acquire(TxnId(1), &Key::int(7), LocalMode::Shared),
+            LocalAcquire::Granted
+        );
+        assert_eq!(
+            table.acquire(TxnId(1), &Key::int(7), LocalMode::Exclusive),
+            LocalAcquire::Granted
+        );
         // Only one grant is counted for the same (txn, identifier).
         assert_eq!(table.total_acquired(), 1);
         // Another transaction now conflicts with the upgraded lock.
@@ -206,7 +226,10 @@ mod tests {
         table.release_txn(TxnId(1));
         assert!(table.is_empty());
         assert!(!table.holds_any(TxnId(1)));
-        assert_eq!(table.acquire(TxnId(2), &Key::int(9), LocalMode::Exclusive), LocalAcquire::Granted);
+        assert_eq!(
+            table.acquire(TxnId(2), &Key::int(9), LocalMode::Exclusive),
+            LocalAcquire::Granted
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ impl AbortRateMonitor {
 
     /// Number of observations for the transaction type.
     pub fn samples(&self, txn_type: &'static str) -> u64 {
-        self.stats.lock().get(txn_type).map(|(total, _)| *total).unwrap_or(0)
+        self.stats
+            .lock()
+            .get(txn_type)
+            .map(|(total, _)| *total)
+            .unwrap_or(0)
     }
 
     /// `true` once the abort rate is high enough (and enough samples exist)
@@ -84,7 +88,10 @@ impl std::fmt::Debug for ResourceManager {
 impl ResourceManager {
     /// Creates a resource manager with the given configuration.
     pub fn new(config: DoraConfig) -> Self {
-        Self { config, monitor: AbortRateMonitor::new() }
+        Self {
+            config,
+            monitor: AbortRateMonitor::new(),
+        }
     }
 
     /// The abort-rate monitor.
@@ -101,7 +108,12 @@ impl ResourceManager {
     /// Appendix A.2.1: every executor of the table drains its in-flight
     /// transactions, the rule is swapped, and deferred actions are
     /// re-dispatched under the new rule. Blocks until the swap is complete.
-    pub fn rebalance(&self, engine: &DoraEngine, table: TableId, new_rule: RoutingRule) -> DbResult<()> {
+    pub fn rebalance(
+        &self,
+        engine: &DoraEngine,
+        table: TableId,
+        new_rule: RoutingRule,
+    ) -> DbResult<()> {
         if new_rule.executor_count() != engine.executor_count(table) {
             return Err(DbError::InvalidOperation(format!(
                 "new rule defines {} datasets but {table} has {} executors",
@@ -179,7 +191,11 @@ mod tests {
 
     #[test]
     fn abort_rate_monitor_recommends_serialization() {
-        let config = DoraConfig { abort_monitor_min_samples: 10, serialize_abort_threshold: 0.2, ..DoraConfig::default() };
+        let config = DoraConfig {
+            abort_monitor_min_samples: 10,
+            serialize_abort_threshold: 0.2,
+            ..DoraConfig::default()
+        };
         let monitor = AbortRateMonitor::new();
         for i in 0..20 {
             monitor.record("tm1-upd-sub-data", i % 3 == 0);
@@ -192,7 +208,10 @@ mod tests {
 
     #[test]
     fn abort_rate_requires_minimum_samples() {
-        let config = DoraConfig { abort_monitor_min_samples: 100, ..DoraConfig::default() };
+        let config = DoraConfig {
+            abort_monitor_min_samples: 100,
+            ..DoraConfig::default()
+        };
         let monitor = AbortRateMonitor::new();
         for _ in 0..10 {
             monitor.record("rare", true);
@@ -206,12 +225,16 @@ mod tests {
         let table = db
             .create_table(TableSchema::new(
                 "counters",
-                vec![ColumnDef::new("id", ValueType::Int), ColumnDef::new("n", ValueType::Int)],
+                vec![
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("n", ValueType::Int),
+                ],
                 vec![0],
             ))
             .unwrap();
         for id in 1..=100i64 {
-            db.load_row(table, vec![Value::Int(id), Value::Int(0)]).unwrap();
+            db.load_row(table, vec![Value::Int(id), Value::Int(0)])
+                .unwrap();
         }
         let engine = DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests());
         engine.bind_table(table, 2, 1, 100).unwrap();
@@ -223,13 +246,20 @@ mod tests {
         let phase = graph.add_phase();
         graph.add_action(
             phase,
-            ActionSpec::new("bump", table, Key::int(id), LocalMode::Exclusive, move |ctx| {
-                ctx.db.update_primary(ctx.txn, table, &Key::int(id), CcMode::None, |row| {
-                    let n = row[1].as_int()?;
-                    row[1] = Value::Int(n + 1);
-                    Ok(())
-                })
-            }),
+            ActionSpec::new(
+                "bump",
+                table,
+                Key::int(id),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    ctx.db
+                        .update_primary(ctx.txn, table, &Key::int(id), CcMode::None, |row| {
+                            let n = row[1].as_int()?;
+                            row[1] = Value::Int(n + 1);
+                            Ok(())
+                        })
+                },
+            ),
         );
         graph
     }
@@ -245,17 +275,34 @@ mod tests {
             engine.execute(bump(table, id)).unwrap();
         }
         manager
-            .rebalance(&engine, table, RoutingRule::Range { boundaries: vec![5] })
+            .rebalance(
+                &engine,
+                table,
+                RoutingRule::Range {
+                    boundaries: vec![5],
+                },
+            )
             .unwrap();
-        assert_eq!(engine.routing().rule(table).unwrap(), RoutingRule::Range { boundaries: vec![5] });
+        assert_eq!(
+            engine.routing().rule(table).unwrap(),
+            RoutingRule::Range {
+                boundaries: vec![5]
+            }
+        );
         for id in 1..=20i64 {
             engine.execute(bump(table, id)).unwrap();
         }
         let check = db.begin();
         for id in 1..=20i64 {
-            let (_, row) =
-                db.probe_primary(&check, table, &Key::int(id), false, CcMode::Full).unwrap().unwrap();
-            assert_eq!(row[1], Value::Int(2), "counter {id} must be bumped exactly twice");
+            let (_, row) = db
+                .probe_primary(&check, table, &Key::int(id), false, CcMode::Full)
+                .unwrap()
+                .unwrap();
+            assert_eq!(
+                row[1],
+                Value::Int(2),
+                "counter {id} must be bumped exactly twice"
+            );
         }
         db.commit(&check).unwrap();
         engine.shutdown();
@@ -284,7 +331,10 @@ mod tests {
         match engine.routing().rule(table).unwrap() {
             RoutingRule::Range { boundaries } => {
                 assert_eq!(boundaries.len(), 1);
-                assert!(boundaries[0] < 51, "boundary must move left, got {boundaries:?}");
+                assert!(
+                    boundaries[0] < 51,
+                    "boundary must move left, got {boundaries:?}"
+                );
             }
             other => panic!("unexpected rule {other:?}"),
         }

@@ -90,9 +90,16 @@ impl RoutingRule {
                 if index > boundaries.len() {
                     return None;
                 }
-                let low = if index == 0 { i64::MIN } else { boundaries[index - 1] };
-                let high =
-                    if index == boundaries.len() { i64::MAX } else { boundaries[index] - 1 };
+                let low = if index == 0 {
+                    i64::MIN
+                } else {
+                    boundaries[index - 1]
+                };
+                let high = if index == boundaries.len() {
+                    i64::MAX
+                } else {
+                    boundaries[index] - 1
+                };
                 Some((low, high))
             }
             RoutingRule::Hash { .. } => None,
@@ -161,7 +168,10 @@ mod tests {
             previous = executor;
             counts[executor] += 1;
         }
-        assert!(counts.iter().all(|&c| c == 25), "even split expected, got {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c == 25),
+            "even split expected, got {counts:?}"
+        );
     }
 
     #[test]
@@ -173,11 +183,86 @@ mod tests {
     }
 
     #[test]
+    fn domain_smaller_than_executor_count_still_partitions() {
+        // 3 key values spread over 8 executors: duplicate boundaries are
+        // fine — every value must route to exactly one valid executor and
+        // the mapping must stay monotone. Some executors simply own empty
+        // datasets.
+        let rule = RoutingRule::even_ranges(1, 3, 8);
+        assert_eq!(rule.executor_count(), 8);
+        let mut previous = 0usize;
+        for value in 1..=3i64 {
+            let executor = rule.route(&Key::int(value)).unwrap();
+            assert!(executor < 8, "value {value} routed to executor {executor}");
+            assert!(executor >= previous, "routing must stay monotone");
+            previous = executor;
+        }
+        // Out-of-domain values clamp into the first/last dataset instead of
+        // failing: the routing rule is total over i64.
+        assert!(rule.route(&Key::int(i64::MIN)).unwrap() < 8);
+        assert!(rule.route(&Key::int(i64::MAX)).unwrap() < 8);
+    }
+
+    #[test]
+    fn single_value_domain_routes_consistently() {
+        let rule = RoutingRule::even_ranges(5, 5, 4);
+        assert_eq!(rule.executor_count(), 4);
+        let owner = rule.route(&Key::int(5)).unwrap();
+        assert!(owner < 4);
+        // Repeated routing is deterministic.
+        assert_eq!(rule.route(&Key::int(5)).unwrap(), owner);
+    }
+
+    #[test]
+    fn uneven_splits_distribute_the_remainder() {
+        // 10 values over 3 executors cannot split evenly; dataset sizes must
+        // differ by at most one and cover the domain exactly once.
+        let rule = RoutingRule::even_ranges(1, 10, 3);
+        let mut counts = vec![0usize; 3];
+        for value in 1..=10i64 {
+            counts[rule.route(&Key::int(value)).unwrap()] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(
+            counts.iter().all(|&c| (3..=4).contains(&c)),
+            "sizes must differ by at most one, got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn range_of_tiles_the_domain_without_gaps_or_overlap() {
+        for executors in 1..=6usize {
+            let rule = RoutingRule::even_ranges(0, 17, executors);
+            let mut expected_low = i64::MIN;
+            for index in 0..executors {
+                let (low, high) = rule.range_of(index).unwrap();
+                assert_eq!(low, expected_low, "gap/overlap before executor {index}");
+                assert!(low <= high, "executor {index} has an inverted range");
+                if index + 1 == executors {
+                    assert_eq!(high, i64::MAX, "last executor must own the open top end");
+                } else {
+                    expected_low = high + 1;
+                }
+                // Routing agrees with the reported ownership at the edges.
+                if high < i64::MAX {
+                    assert_eq!(rule.route(&Key::int(high)), Some(index));
+                }
+                if low > i64::MIN {
+                    assert_eq!(rule.route(&Key::int(low)), Some(index));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn composite_identifiers_route_on_leading_field() {
         let rule = RoutingRule::even_ranges(1, 10, 2);
         let executor_a = rule.route(&Key::int2(2, 999)).unwrap();
         let executor_b = rule.route(&Key::int(2)).unwrap();
-        assert_eq!(executor_a, executor_b, "prefix and full identifier must agree");
+        assert_eq!(
+            executor_a, executor_b,
+            "prefix and full identifier must agree"
+        );
     }
 
     #[test]
@@ -215,7 +300,10 @@ mod tests {
         table.set_rule(TableId(2), RoutingRule::even_ranges(1, 10, 2));
         assert_eq!(table.bound_tables(), 1);
         assert_eq!(table.route(TableId(2), &Key::int(9)).unwrap(), Some(1));
-        assert!(table.route(TableId(0), &Key::int(1)).is_err(), "unbound table must error");
+        assert!(
+            table.route(TableId(0), &Key::int(1)).is_err(),
+            "unbound table must error"
+        );
         // Replacing the rule changes routing (what the resource manager does).
         table.set_rule(TableId(2), RoutingRule::even_ranges(1, 10, 1));
         assert_eq!(table.route(TableId(2), &Key::int(9)).unwrap(), Some(0));
@@ -225,8 +313,12 @@ mod tests {
     fn boundaries_move_records_between_executors() {
         // Shrinking executor 0 from [1,50] to [1,25] moves 26..=50 to
         // executor 1 — the resize the resource manager performs.
-        let before = RoutingRule::Range { boundaries: vec![51] };
-        let after = RoutingRule::Range { boundaries: vec![26] };
+        let before = RoutingRule::Range {
+            boundaries: vec![51],
+        };
+        let after = RoutingRule::Range {
+            boundaries: vec![26],
+        };
         assert_eq!(before.route(&Key::int(30)), Some(0));
         assert_eq!(after.route(&Key::int(30)), Some(1));
         assert_eq!(after.route(&Key::int(10)), Some(0));

@@ -22,7 +22,9 @@ pub struct Rvp {
 impl Rvp {
     /// Creates an RVP expecting `count` reports.
     pub fn new(count: usize) -> Self {
-        Self { remaining: AtomicUsize::new(count) }
+        Self {
+            remaining: AtomicUsize::new(count),
+        }
     }
 
     /// Reports one action's completion; returns `true` if this report zeroed
@@ -184,7 +186,9 @@ mod tests {
     use dora_storage::Database;
 
     fn spec(id: i64) -> ActionSpec {
-        ActionSpec::new("test", TableId(0), Key::int(id), LocalMode::Shared, |_| Ok(()))
+        ActionSpec::new("test", TableId(0), Key::int(id), LocalMode::Shared, |_| {
+            Ok(())
+        })
     }
 
     #[test]
@@ -212,8 +216,14 @@ mod tests {
         let db = Database::for_tests();
         let txn = DoraTxnInner::new(db.begin(), vec![vec![spec(1)], vec![spec(2)]]);
         assert!(!txn.is_aborted());
-        txn.mark_aborted(DbError::TxnAborted { txn: txn.id(), reason: "first".into() });
-        txn.mark_aborted(DbError::TxnAborted { txn: txn.id(), reason: "second".into() });
+        txn.mark_aborted(DbError::TxnAborted {
+            txn: txn.id(),
+            reason: "first".into(),
+        });
+        txn.mark_aborted(DbError::TxnAborted {
+            txn: txn.id(),
+            reason: "second".into(),
+        });
         assert!(txn.is_aborted());
         match txn.abort_reason() {
             Some(DbError::TxnAborted { reason, .. }) => assert_eq!(reason, "first"),

@@ -34,8 +34,14 @@ impl PeakResult {
 /// Sweeps the given client counts, calling `run_at` for each, and returns the
 /// point with the highest throughput — what a perfectly tuned admission
 /// controller would pick.
-pub fn find_peak(client_counts: &[usize], mut run_at: impl FnMut(usize) -> RunResult) -> PeakResult {
-    assert!(!client_counts.is_empty(), "sweep needs at least one client count");
+pub fn find_peak(
+    client_counts: &[usize],
+    mut run_at: impl FnMut(usize) -> RunResult,
+) -> PeakResult {
+    assert!(
+        !client_counts.is_empty(),
+        "sweep needs at least one client count"
+    );
     let mut sweep = Vec::with_capacity(client_counts.len());
     for &clients in client_counts {
         sweep.push(run_at(clients));

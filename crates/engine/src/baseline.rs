@@ -43,7 +43,11 @@ impl BaselineEngine {
     /// Creates a baseline engine over `db`.
     pub fn new(db: Arc<Database>) -> Self {
         let max_retries = db.config().max_retries;
-        Self { db, max_retries, bound: Arc::new(std::sync::OnceLock::new()) }
+        Self {
+            db,
+            max_retries,
+            bound: Arc::new(std::sync::OnceLock::new()),
+        }
     }
 
     pub(crate) fn bound(&self) -> &std::sync::OnceLock<Arc<dyn dora_workloads::Workload>> {
@@ -117,12 +121,17 @@ mod tests {
         let table = db
             .create_table(TableSchema::new(
                 "counters",
-                vec![ColumnDef::new("id", ValueType::Int), ColumnDef::new("n", ValueType::Int)],
+                vec![
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("n", ValueType::Int),
+                ],
                 vec![0],
             ))
             .unwrap();
-        db.load_row(table, vec![Value::Int(1), Value::Int(0)]).unwrap();
-        db.load_row(table, vec![Value::Int(2), Value::Int(0)]).unwrap();
+        db.load_row(table, vec![Value::Int(1), Value::Int(0)])
+            .unwrap();
+        db.load_row(table, vec![Value::Int(2), Value::Int(0)])
+            .unwrap();
         (db, table)
     }
 
@@ -140,7 +149,10 @@ mod tests {
             .unwrap();
         assert_eq!(outcome, BaselineOutcome::Committed);
         let check = db.begin();
-        let (_, row) = db.probe_primary(&check, table, &Key::int(1), false, CcMode::Full).unwrap().unwrap();
+        let (_, row) = db
+            .probe_primary(&check, table, &Key::int(1), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
         assert_eq!(row[1], Value::Int(5));
         db.commit(&check).unwrap();
     }
@@ -155,12 +167,18 @@ mod tests {
                     row[1] = Value::Int(77);
                     Ok(())
                 })?;
-                Err(DbError::TxnAborted { txn: txn.id(), reason: "invalid input".into() })
+                Err(DbError::TxnAborted {
+                    txn: txn.id(),
+                    reason: "invalid input".into(),
+                })
             })
             .unwrap();
         assert_eq!(outcome, BaselineOutcome::Aborted);
         let check = db.begin();
-        let (_, row) = db.probe_primary(&check, table, &Key::int(1), false, CcMode::Full).unwrap().unwrap();
+        let (_, row) = db
+            .probe_primary(&check, table, &Key::int(1), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
         assert_eq!(row[1], Value::Int(0), "aborted change must not be visible");
         db.commit(&check).unwrap();
     }
@@ -194,7 +212,10 @@ mod tests {
             handle.join().unwrap();
         }
         let check = db.begin();
-        let (_, row) = db.probe_primary(&check, table, &Key::int(2), false, CcMode::Full).unwrap().unwrap();
+        let (_, row) = db
+            .probe_primary(&check, table, &Key::int(2), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
         assert_eq!(row[1], Value::Int(threads * per_thread));
         db.commit(&check).unwrap();
     }

@@ -60,7 +60,9 @@ pub trait ExecutionEngine: Send + Sync {
 
 impl BaselineEngine {
     fn bound_workload(&self) -> &Arc<dyn Workload> {
-        self.bound().get().expect("BaselineEngine: no workload bound")
+        self.bound()
+            .get()
+            .expect("BaselineEngine: no workload bound")
     }
 }
 
@@ -96,7 +98,10 @@ pub struct DoraExecution {
 impl DoraExecution {
     /// Wraps an already-constructed DORA engine.
     pub fn new(engine: Arc<DoraEngine>) -> Self {
-        Self { engine, bound: OnceLock::new() }
+        Self {
+            engine,
+            bound: OnceLock::new(),
+        }
     }
 
     /// The wrapped DORA engine, for callers that need architecture-specific
@@ -123,7 +128,11 @@ impl ExecutionEngine for DoraExecution {
     }
 
     fn execute_one(&self, rng: &mut SmallRng) -> TxnOutcome {
-        let workload = self.bound.get().expect("DoraExecution: no workload bound").clone();
+        let workload = self
+            .bound
+            .get()
+            .expect("DoraExecution: no workload bound")
+            .clone();
         workload.run_dora(&self.engine, rng)
     }
 
@@ -142,9 +151,10 @@ pub fn build_engine_with(
 ) -> Arc<dyn ExecutionEngine> {
     match kind {
         EngineKind::Baseline => Arc::new(BaselineEngine::new(db)),
-        EngineKind::Dora => {
-            Arc::new(DoraExecution::new(Arc::new(DoraEngine::new(db, dora_config))))
-        }
+        EngineKind::Dora => Arc::new(DoraExecution::new(Arc::new(DoraEngine::new(
+            db,
+            dora_config,
+        )))),
     }
 }
 
@@ -191,7 +201,11 @@ mod tests {
         for kind in EngineKind::ALL {
             let engine = bound_engine(kind);
             let other: Arc<dyn Workload> = Arc::new(TpcB::with_accounts(2, 20));
-            assert!(engine.bind(other, 2).is_err(), "{} allowed a second bind", engine.name());
+            assert!(
+                engine.bind(other, 2).is_err(),
+                "{} allowed a second bind",
+                engine.name()
+            );
             engine.shutdown();
         }
     }

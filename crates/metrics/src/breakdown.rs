@@ -151,9 +151,15 @@ mod tests {
         let before = global().snapshot();
         record_time(TimeCategory::Work, Duration::from_nanos(600));
         record_time(TimeCategory::LockMgrAcquire, Duration::from_nanos(100));
-        record_time(TimeCategory::LockMgrAcquireContention, Duration::from_nanos(200));
+        record_time(
+            TimeCategory::LockMgrAcquireContention,
+            Duration::from_nanos(200),
+        );
         record_time(TimeCategory::LockMgrRelease, Duration::from_nanos(50));
-        record_time(TimeCategory::LockMgrReleaseContention, Duration::from_nanos(25));
+        record_time(
+            TimeCategory::LockMgrReleaseContention,
+            Duration::from_nanos(25),
+        );
         record_time(TimeCategory::OtherContention, Duration::from_nanos(25));
         let delta = global().snapshot().since(&before);
         let breakdown = TimeBreakdown::from_snapshot(&delta);

@@ -134,7 +134,10 @@ pub struct Snapshot {
 
 impl Default for Snapshot {
     fn default() -> Self {
-        Self { time_nanos: [0; TIME_CATEGORY_COUNT], counters: [0; COUNTER_KIND_COUNT] }
+        Self {
+            time_nanos: [0; TIME_CATEGORY_COUNT],
+            counters: [0; COUNTER_KIND_COUNT],
+        }
     }
 }
 

@@ -119,7 +119,11 @@ pub struct TimerGuard {
 impl TimerGuard {
     /// Starts timing against `category`.
     pub fn new(category: TimeCategory) -> Self {
-        Self { category, start: Instant::now(), stopped: false }
+        Self {
+            category,
+            start: Instant::now(),
+            stopped: false,
+        }
     }
 
     /// Charges the time accumulated so far to the current category and

@@ -43,7 +43,11 @@ impl Bytes {
     /// them. Both views keep sharing the same underlying storage.
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len(), "split_to out of bounds");
-        let head = Bytes { data: Arc::clone(&self.data), start: self.start, end: self.start + at };
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
         self.start += at;
         head
     }
@@ -74,7 +78,11 @@ impl AsRef<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
         let end = data.len();
-        Self { data: data.into(), start: 0, end }
+        Self {
+            data: data.into(),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -112,7 +120,9 @@ impl BytesMut {
 
     /// Creates an empty buffer with at least `capacity` bytes reserved.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { data: Vec::with_capacity(capacity) }
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
     }
 
     /// Length of the buffered data.

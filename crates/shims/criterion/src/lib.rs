@@ -63,7 +63,10 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.to_string() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
     }
 
     /// No-op in the shim (criterion finalizes reports here).
@@ -114,8 +117,7 @@ impl Bencher {
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
-        let budget_per_sample =
-            self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let budget_per_sample = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
         let batch = (budget_per_sample / per_iter.max(1)).clamp(1, u128::from(u32::MAX)) as u64;
 
         self.samples.clear();

@@ -21,7 +21,9 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Self {
-        Self { inner: std::sync::Mutex::new(value) }
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the underlying data.
@@ -33,16 +35,18 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())) }
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
     }
 
     /// Attempts to acquire the mutex without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => {
-                Some(MutexGuard { inner: Some(e.into_inner()) })
-            }
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -111,13 +115,18 @@ pub struct Condvar {
 impl Condvar {
     /// Creates a new condition variable.
     pub const fn new() -> Self {
-        Self { inner: std::sync::Condvar::new() }
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     /// Blocks until notified, releasing the guarded mutex while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.inner.take().expect("guard present");
-        let reacquired = self.inner.wait(std_guard).unwrap_or_else(|e| e.into_inner());
+        let reacquired = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(reacquired);
     }
 
@@ -136,7 +145,9 @@ impl Condvar {
             }
         };
         guard.inner = Some(reacquired);
-        WaitTimeoutResult { timed_out: result.timed_out() }
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
     }
 
     /// Wakes one waiting thread.
@@ -165,7 +176,9 @@ pub struct RwLock<T: ?Sized> {
 impl<T> RwLock<T> {
     /// Creates a new reader-writer lock.
     pub const fn new(value: T) -> Self {
-        Self { inner: std::sync::RwLock::new(value) }
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the underlying data.
@@ -177,12 +190,16 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard { inner: self.inner.read().unwrap_or_else(|e| e.into_inner()) }
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Acquires exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(|e| e.into_inner()) }
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Returns a mutable reference to the underlying data (no locking).

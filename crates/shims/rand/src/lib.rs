@@ -140,7 +140,9 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            Self { s: [next(), next(), next(), next()] }
+            Self {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
@@ -153,10 +155,7 @@ pub mod rngs {
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -213,7 +212,10 @@ mod tests {
         for _ in 0..1_000 {
             seen[rng.random_range(0..10usize)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all 10 values should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 10 values should appear in 1000 draws"
+        );
     }
 
     #[test]
@@ -230,7 +232,10 @@ mod tests {
             let mut buf = vec![0u8; len];
             rng.fill_bytes(&mut buf);
             if len >= 8 {
-                assert!(buf.iter().any(|&b| b != 0), "8+ random bytes should not all be zero");
+                assert!(
+                    buf.iter().any(|&b| b != 0),
+                    "8+ random bytes should not all be zero"
+                );
             }
         }
     }

@@ -41,22 +41,37 @@ pub struct IndexEntry {
 impl IndexEntry {
     /// Creates a live entry.
     pub fn new(rid: Rid, routing: Key) -> Self {
-        Self { rid, routing, deleted: false }
+        Self {
+            rid,
+            routing,
+            deleted: false,
+        }
     }
 }
 
 /// Maximum number of keys per node before it splits.
 const MAX_KEYS: usize = 64;
 
+// Children stay boxed so splits move a pointer, not a 64-key node body.
+#[allow(clippy::vec_box)]
 #[derive(Debug)]
 enum Node {
-    Internal { keys: Vec<Key>, children: Vec<Box<Node>> },
-    Leaf { keys: Vec<Key>, values: Vec<Vec<IndexEntry>> },
+    Internal {
+        keys: Vec<Key>,
+        children: Vec<Box<Node>>,
+    },
+    Leaf {
+        keys: Vec<Key>,
+        values: Vec<Vec<IndexEntry>>,
+    },
 }
 
 impl Node {
     fn new_leaf() -> Self {
-        Node::Leaf { keys: Vec::new(), values: Vec::new() }
+        Node::Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     fn is_over_capacity(&self) -> bool {
@@ -75,7 +90,13 @@ impl Node {
                 let right_keys = keys.split_off(mid);
                 let right_values = values.split_off(mid);
                 let separator = right_keys[0].clone();
-                (separator, Box::new(Node::Leaf { keys: right_keys, values: right_values }))
+                (
+                    separator,
+                    Box::new(Node::Leaf {
+                        keys: right_keys,
+                        values: right_values,
+                    }),
+                )
             }
             Node::Internal { keys, children } => {
                 let mid = keys.len() / 2;
@@ -85,7 +106,10 @@ impl Node {
                 let right_children = children.split_off(mid + 1);
                 (
                     separator,
-                    Box::new(Node::Internal { keys: right_keys, children: right_children }),
+                    Box::new(Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    }),
                 )
             }
         }
@@ -100,14 +124,19 @@ pub struct BTreeIndex {
 
 impl std::fmt::Debug for BTreeIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BTreeIndex").field("unique", &self.unique).finish()
+        f.debug_struct("BTreeIndex")
+            .field("unique", &self.unique)
+            .finish()
     }
 }
 
 impl BTreeIndex {
     /// Creates an empty index. A `unique` index rejects duplicate keys.
     pub fn new(unique: bool) -> Self {
-        Self { root: RwLock::new(Box::new(Node::new_leaf())), unique }
+        Self {
+            root: RwLock::new(Box::new(Node::new_leaf())),
+            unique,
+        }
     }
 
     /// Whether the index enforces key uniqueness.
@@ -122,7 +151,10 @@ impl BTreeIndex {
         if root.is_over_capacity() {
             let (separator, right) = root.split();
             let old_root = std::mem::replace(&mut *root, Box::new(Node::new_leaf()));
-            *root = Box::new(Node::Internal { keys: vec![separator], children: vec![old_root, right] });
+            **root = Node::Internal {
+                keys: vec![separator],
+                children: vec![old_root, right],
+            };
         }
         result
     }
@@ -169,9 +201,14 @@ impl BTreeIndex {
     /// Before splitting a leaf, first drop entries whose every value is
     /// flagged deleted (the paper's modified leaf-split algorithm); only if
     /// the leaf is still over capacity does it actually split.
+    #[allow(clippy::vec_box)]
     fn gc_or_split(keys: &mut Vec<Key>, children: &mut Vec<Box<Node>>, child_index: usize) {
         let child = &mut children[child_index];
-        if let Node::Leaf { keys: leaf_keys, values } = child.as_mut() {
+        if let Node::Leaf {
+            keys: leaf_keys,
+            values,
+        } = child.as_mut()
+        {
             let mut i = 0;
             while i < leaf_keys.len() {
                 if values[i].iter().all(|e| e.deleted) {
@@ -352,9 +389,10 @@ impl BTreeIndex {
 
     fn count(node: &Node) -> usize {
         match node {
-            Node::Leaf { values, .. } => {
-                values.iter().filter(|bucket| bucket.iter().any(|e| !e.deleted)).count()
-            }
+            Node::Leaf { values, .. } => values
+                .iter()
+                .filter(|bucket| bucket.iter().any(|e| !e.deleted))
+                .count(),
             Node::Internal { children, .. } => children.iter().map(|c| Self::count(c)).sum(),
         }
     }
@@ -416,7 +454,9 @@ mod tests {
         for i in 0..n {
             // Insert in a shuffled-ish order to exercise both split halves.
             let key = (i * 7919) % n;
-            index.insert(&Key::int(key), entry(0, (key % 1000) as u16)).unwrap();
+            index
+                .insert(&Key::int(key), entry(0, (key % 1000) as u16))
+                .unwrap();
         }
         assert_eq!(index.len(), n as usize);
         assert!(index.depth() >= 3);
@@ -428,8 +468,15 @@ mod tests {
     #[test]
     fn deleted_flag_hides_entries_but_keeps_them_visible_to_executors() {
         let index = BTreeIndex::new(false);
-        index.insert(&Key::int2(1, 10), IndexEntry::new(Rid::new(0, 1), Key::int(1))).unwrap();
-        index.set_deleted_flag(&Key::int2(1, 10), Rid::new(0, 1), true).unwrap();
+        index
+            .insert(
+                &Key::int2(1, 10),
+                IndexEntry::new(Rid::new(0, 1), Key::int(1)),
+            )
+            .unwrap();
+        index
+            .set_deleted_flag(&Key::int2(1, 10), Rid::new(0, 1), true)
+            .unwrap();
         assert!(index.get(&Key::int2(1, 10)).is_empty());
         let with_deleted = index.get_with_deleted(&Key::int2(1, 10));
         assert_eq!(with_deleted.len(), 1);
@@ -438,7 +485,9 @@ mod tests {
         // index.
         let unique = BTreeIndex::new(true);
         unique.insert(&Key::int(9), entry(0, 1)).unwrap();
-        unique.set_deleted_flag(&Key::int(9), Rid::new(0, 1), true).unwrap();
+        unique
+            .set_deleted_flag(&Key::int(9), Rid::new(0, 1), true)
+            .unwrap();
         unique.insert(&Key::int(9), entry(0, 2)).unwrap();
         assert_eq!(unique.get(&Key::int(9)).len(), 1);
     }
@@ -459,7 +508,9 @@ mod tests {
     fn range_scan_returns_sorted_window() {
         let index = BTreeIndex::new(true);
         for i in 0..1000i64 {
-            index.insert(&Key::int(i), entry(0, (i % 100) as u16)).unwrap();
+            index
+                .insert(&Key::int(i), entry(0, (i % 100) as u16))
+                .unwrap();
         }
         let range = KeyRange::new(Some(Key::int(100)), Some(Key::int(110)));
         let hits = index.range(&range);
@@ -480,12 +531,16 @@ mod tests {
             index.insert(&Key::int(i), entry(0, i as u16)).unwrap();
         }
         for i in 0..MAX_KEYS as i64 {
-            index.set_deleted_flag(&Key::int(i), Rid::new(0, i as u16), true).unwrap();
+            index
+                .set_deleted_flag(&Key::int(i), Rid::new(0, i as u16), true)
+                .unwrap();
         }
         // Keep inserting: the flagged entries must be collected instead of
         // causing the tree to grow.
         for i in 100_000..100_000 + (2 * MAX_KEYS as i64) {
-            index.insert(&Key::int(i), entry(1, (i % 1000) as u16)).unwrap();
+            index
+                .insert(&Key::int(i), entry(1, (i % 1000) as u16))
+                .unwrap();
         }
         assert_eq!(index.len(), 2 * MAX_KEYS);
         assert!(index.depth() <= 2);
@@ -497,7 +552,10 @@ mod tests {
         for warehouse in 1..=5i64 {
             for district in 1..=10i64 {
                 index
-                    .insert(&Key::int2(warehouse, district), entry(warehouse as u32, district as u16))
+                    .insert(
+                        &Key::int2(warehouse, district),
+                        entry(warehouse as u32, district as u16),
+                    )
                     .unwrap();
             }
         }

@@ -125,7 +125,9 @@ impl std::ops::Deref for PinnedFrame {
 
 impl Drop for PinnedFrame {
     fn drop(&mut self) {
-        self.frame.pins.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+        self.frame
+            .pins
+            .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -183,9 +185,15 @@ impl BufferPool {
         let mut state = self.state.lock(TimeCategory::OtherContention);
         if let Some(frame) = state.frames.get(&key) {
             incr(CounterKind::BufferHits);
-            frame.pins.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            frame.referenced.store(true, std::sync::atomic::Ordering::Relaxed);
-            return Ok(PinnedFrame { frame: Arc::clone(frame) });
+            frame
+                .pins
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            frame
+                .referenced
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+            return Ok(PinnedFrame {
+                frame: Arc::clone(frame),
+            });
         }
         incr(CounterKind::BufferMisses);
         if state.frames.len() >= self.capacity {
@@ -196,7 +204,9 @@ impl BufferPool {
             .read(key)
             .unwrap_or_else(|| Page::new(key.page, self.page_size));
         let frame = Arc::new(Frame::new(key, page));
-        frame.pins.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        frame
+            .pins
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         state.frames.insert(key, Arc::clone(&frame));
         state.clock.push(key);
         Ok(PinnedFrame { frame })
@@ -219,7 +229,9 @@ impl BufferPool {
     /// written back before being dropped.
     fn evict_one(&self, state: &mut PoolState) -> DbResult<()> {
         if state.clock.is_empty() {
-            return Err(DbError::InvalidOperation("buffer pool has no frames to evict".into()));
+            return Err(DbError::InvalidOperation(
+                "buffer pool has no frames to evict".into(),
+            ));
         }
         let mut sweeps = 0;
         let max_sweeps = state.clock.len() * 3;
@@ -229,13 +241,12 @@ impl BufferPool {
             let key = state.clock[idx];
             let evictable = {
                 let frame = state.frames.get(&key).expect("clock entry has a frame");
-                if frame.pin_count() > 0 {
-                    false
-                } else if frame.referenced.swap(false, std::sync::atomic::Ordering::Relaxed) {
-                    false
-                } else {
-                    true
-                }
+                // Short-circuit keeps the reference bit untouched while the
+                // frame is pinned.
+                frame.pin_count() == 0
+                    && !frame
+                        .referenced
+                        .swap(false, std::sync::atomic::Ordering::Relaxed)
             };
             if evictable {
                 let frame = state.frames.remove(&key).expect("frame exists");
@@ -255,7 +266,9 @@ impl BufferPool {
         // Every frame is pinned: the pool is over-committed. Callers treat
         // this as "pool too small"; with realistic configurations it cannot
         // happen because each thread pins at most a couple of pages at once.
-        Err(DbError::InvalidOperation("all buffer pool frames are pinned".into()))
+        Err(DbError::InvalidOperation(
+            "all buffer pool frames are pinned".into(),
+        ))
     }
 }
 
@@ -264,7 +277,10 @@ mod tests {
     use super::*;
 
     fn key(table: u32, page: u32) -> PageKey {
-        PageKey { table: TableId(table), page: PageId(page) }
+        PageKey {
+            table: TableId(table),
+            page: PageId(page),
+        }
     }
 
     #[test]
@@ -296,7 +312,7 @@ mod tests {
         // Third page forces an eviction of one of the first two.
         let _pinned = pool.pin(key(1, 2)).unwrap();
         assert!(pool.cached_frames() <= 2);
-        assert!(store.len() >= 1);
+        assert!(!store.is_empty());
         // Whatever was evicted can be read back with its contents intact.
         let p0 = pool.pin(key(1, 0)).unwrap();
         assert_eq!(p0.page.read().live_count(), 1);

@@ -24,7 +24,10 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Shorthand constructor.
     pub fn new(name: &str, ty: ValueType) -> Self {
-        Self { name: name.to_string(), ty }
+        Self {
+            name: name.to_string(),
+            ty,
+        }
     }
 }
 
@@ -49,7 +52,12 @@ impl TableSchema {
     /// column, which is the paper's recommended choice.
     pub fn new(name: &str, columns: Vec<ColumnDef>, primary_key: Vec<usize>) -> Self {
         let routing_fields = primary_key.first().map(|c| vec![*c]).unwrap_or_default();
-        Self { name: name.to_string(), columns, primary_key, routing_fields }
+        Self {
+            name: name.to_string(),
+            columns,
+            primary_key,
+            routing_fields,
+        }
     }
 
     /// Overrides the routing fields.
@@ -79,7 +87,11 @@ impl TableSchema {
     /// Extracts the routing-field values of a row (the key DORA's routing
     /// rule consumes).
     pub fn routing_key_of(&self, row: &Row) -> Key {
-        Key(self.routing_fields.iter().map(|&i| row[i].clone()).collect())
+        Key(self
+            .routing_fields
+            .iter()
+            .map(|&i| row[i].clone())
+            .collect())
     }
 
     /// Validates that a row matches the schema (arity and column types).
@@ -94,7 +106,10 @@ impl TableSchema {
         }
         for (value, column) in row.iter().zip(self.columns.iter()) {
             if value.value_type() != column.ty {
-                return Err(DbError::TypeMismatch { expected: column.ty, found: value.value_type() });
+                return Err(DbError::TypeMismatch {
+                    expected: column.ty,
+                    found: value.value_type(),
+                });
             }
         }
         Ok(())
@@ -158,11 +173,18 @@ impl Catalog {
     pub fn add_table(&self, schema: TableSchema) -> DbResult<TableId> {
         let mut inner = self.inner.write();
         if inner.table_names.contains_key(&schema.name) {
-            return Err(DbError::InvalidOperation(format!("table {} already exists", schema.name)));
+            return Err(DbError::InvalidOperation(format!(
+                "table {} already exists",
+                schema.name
+            )));
         }
         let id = TableId(inner.tables.len() as u32);
         inner.table_names.insert(schema.name.clone(), id);
-        inner.tables.push(TableMeta { id, schema, secondary_indexes: Vec::new() });
+        inner.tables.push(TableMeta {
+            id,
+            schema,
+            secondary_indexes: Vec::new(),
+        });
         Ok(id)
     }
 
@@ -170,7 +192,10 @@ impl Catalog {
     pub fn add_index(&self, spec: IndexSpec) -> DbResult<IndexId> {
         let mut inner = self.inner.write();
         if inner.index_names.contains_key(&spec.name) {
-            return Err(DbError::InvalidOperation(format!("index {} already exists", spec.name)));
+            return Err(DbError::InvalidOperation(format!(
+                "index {} already exists",
+                spec.name
+            )));
         }
         let table_idx = spec.table.0 as usize;
         if table_idx >= inner.tables.len() {
@@ -294,7 +319,10 @@ mod tests {
             Value::Text("SMITH".into()),
             Value::Float(10.0),
         ];
-        assert!(matches!(schema.validate(&bad_type), Err(DbError::TypeMismatch { .. })));
+        assert!(matches!(
+            schema.validate(&bad_type),
+            Err(DbError::TypeMismatch { .. })
+        ));
         let good: Row = vec![
             Value::Int(1),
             Value::Int(2),

@@ -83,7 +83,9 @@ pub struct Database {
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Database").field("tables", &self.catalog.table_count()).finish()
+        f.debug_struct("Database")
+            .field("tables", &self.catalog.table_count())
+            .finish()
     }
 }
 
@@ -91,8 +93,11 @@ impl Database {
     /// Creates an empty database with the given configuration.
     pub fn new(config: SystemConfig) -> Arc<Self> {
         let store = Arc::new(PageStore::new());
-        let pool =
-            Arc::new(BufferPool::new(Arc::clone(&store), config.buffer_pool_pages, config.page_size));
+        let pool = Arc::new(BufferPool::new(
+            Arc::clone(&store),
+            config.buffer_pool_pages,
+            config.page_size,
+        ));
         Arc::new(Self {
             catalog: Catalog::new(),
             pool,
@@ -196,14 +201,20 @@ impl Database {
     pub fn begin(&self) -> TxnHandle {
         let state = self.txns.begin();
         self.log.append(state.id, LogRecordKind::Begin);
-        TxnHandle { state, deferred_flags: Arc::new(parking_lot::Mutex::new(Vec::new())) }
+        TxnHandle {
+            state,
+            deferred_flags: Arc::new(parking_lot::Mutex::new(Vec::new())),
+        }
     }
 
     /// Commits a transaction: writes and flushes the commit record, applies
     /// deferred secondary-index delete flags, releases centralized locks.
     pub fn commit(&self, txn: &TxnHandle) -> DbResult<()> {
         if !txn.is_active() {
-            return Err(DbError::InvalidOperation(format!("{} is not active", txn.id())));
+            return Err(DbError::InvalidOperation(format!(
+                "{} is not active",
+                txn.id()
+            )));
         }
         // Read-only transactions have nothing to make durable: skip the
         // commit record and the log flush, as real engines do. `last_lsn` is
@@ -233,14 +244,19 @@ impl Database {
     /// backwards), writes an abort record and releases its locks.
     pub fn abort(&self, txn: &TxnHandle) -> DbResult<()> {
         if !txn.is_active() {
-            return Err(DbError::InvalidOperation(format!("{} is not active", txn.id())));
+            return Err(DbError::InvalidOperation(format!(
+                "{} is not active",
+                txn.id()
+            )));
         }
         for record in self.log.records_for_undo(txn.id()) {
             match record.kind {
                 LogRecordKind::Insert { table, rid, after } => {
                     self.undo_insert(table, rid, &after)?;
                 }
-                LogRecordKind::Update { table, rid, before, .. } => {
+                LogRecordKind::Update {
+                    table, rid, before, ..
+                } => {
                     let heap = self.heap(table)?;
                     heap.update(rid, &before)?;
                 }
@@ -267,7 +283,12 @@ impl Database {
         let primary_key = meta.schema.primary_key_of(&row);
         let _ = self.primary(table)?.remove(&primary_key, rid);
         for index_meta in self.catalog.secondary_indexes_of(table) {
-            let key = Key(index_meta.spec.key_columns.iter().map(|&c| row[c].clone()).collect());
+            let key = Key(index_meta
+                .spec
+                .key_columns
+                .iter()
+                .map(|&c| row[c].clone())
+                .collect());
             let _ = self.secondary(index_meta.id)?.remove(&key, rid);
         }
         Ok(())
@@ -279,10 +300,17 @@ impl Database {
         let row = Value::decode_row(before)?;
         heap.insert_at(rid, before)?;
         let primary_key = meta.schema.primary_key_of(&row);
-        self.primary(table)?
-            .insert(&primary_key, IndexEntry::new(rid, meta.schema.routing_key_of(&row)))?;
+        self.primary(table)?.insert(
+            &primary_key,
+            IndexEntry::new(rid, meta.schema.routing_key_of(&row)),
+        )?;
         for index_meta in self.catalog.secondary_indexes_of(table) {
-            let key = Key(index_meta.spec.key_columns.iter().map(|&c| row[c].clone()).collect());
+            let key = Key(index_meta
+                .spec
+                .key_columns
+                .iter()
+                .map(|&c| row[c].clone())
+                .collect());
             let index = self.secondary(index_meta.id)?;
             // The baseline removes secondary entries physically; DORA leaves
             // them in place (flagging happens only after commit). Restore
@@ -308,24 +336,36 @@ impl Database {
             CcMode::None => Ok(()),
             CcMode::RowOnly => {
                 let mut held = txn.state.held.lock();
-                self.locks.acquire(txn.id(), &mut held, LockId::record(table, rid), mode)
+                self.locks
+                    .acquire(txn.id(), &mut held, LockId::record(table, rid), mode)
             }
             CcMode::Full => {
                 let mut held = txn.state.held.lock();
-                self.locks.acquire(txn.id(), &mut held, LockId::Database, mode.intention())?;
-                self.locks.acquire(txn.id(), &mut held, LockId::Table(table), mode.intention())?;
-                self.locks.acquire(txn.id(), &mut held, LockId::record(table, rid), mode)
+                self.locks
+                    .acquire(txn.id(), &mut held, LockId::Database, mode.intention())?;
+                self.locks
+                    .acquire(txn.id(), &mut held, LockId::Table(table), mode.intention())?;
+                self.locks
+                    .acquire(txn.id(), &mut held, LockId::record(table, rid), mode)
             }
         }
     }
 
-    fn lock_table(&self, txn: &TxnHandle, table: TableId, mode: LockMode, cc: CcMode) -> DbResult<()> {
+    fn lock_table(
+        &self,
+        txn: &TxnHandle,
+        table: TableId,
+        mode: LockMode,
+        cc: CcMode,
+    ) -> DbResult<()> {
         match cc {
             CcMode::None => Ok(()),
             CcMode::RowOnly | CcMode::Full => {
                 let mut held = txn.state.held.lock();
-                self.locks.acquire(txn.id(), &mut held, LockId::Database, mode.intention())?;
-                self.locks.acquire(txn.id(), &mut held, LockId::Table(table), mode)
+                self.locks
+                    .acquire(txn.id(), &mut held, LockId::Database, mode.intention())?;
+                self.locks
+                    .acquire(txn.id(), &mut held, LockId::Table(table), mode)
             }
         }
     }
@@ -348,7 +388,10 @@ impl Database {
         let primary_key = meta.schema.primary_key_of(&row);
         let primary = self.primary(table)?;
         if !primary.get(&primary_key).is_empty() {
-            return Err(DbError::DuplicateKey { table, detail: format!("{primary_key}") });
+            return Err(DbError::DuplicateKey {
+                table,
+                detail: format!("{primary_key}"),
+            });
         }
         let bytes = Value::encode_row(&row);
         let heap = self.heap(table)?;
@@ -359,10 +402,17 @@ impl Database {
             self.lock_record(txn, table, rid, LockMode::X, CcMode::RowOnly)?;
         }
         let index_result = time_section(TimeCategory::Work, || -> DbResult<()> {
-            primary.insert(&primary_key, IndexEntry::new(rid, meta.schema.routing_key_of(&row)))?;
+            primary.insert(
+                &primary_key,
+                IndexEntry::new(rid, meta.schema.routing_key_of(&row)),
+            )?;
             for index_meta in self.catalog.secondary_indexes_of(table) {
-                let key =
-                    Key(index_meta.spec.key_columns.iter().map(|&c| row[c].clone()).collect());
+                let key = Key(index_meta
+                    .spec
+                    .key_columns
+                    .iter()
+                    .map(|&c| row[c].clone())
+                    .collect());
                 self.secondary(index_meta.id)?
                     .insert(&key, IndexEntry::new(rid, meta.schema.routing_key_of(&row)))?;
             }
@@ -374,7 +424,14 @@ impl Database {
             let _ = heap.delete(rid);
             return Err(err);
         }
-        let lsn = self.log.append(txn.id(), LogRecordKind::Insert { table, rid, after: bytes.to_vec() });
+        let lsn = self.log.append(
+            txn.id(),
+            LogRecordKind::Insert {
+                table,
+                rid,
+                after: bytes.to_vec(),
+            },
+        );
         txn.state.note_lsn(lsn);
         Ok(rid)
     }
@@ -396,7 +453,16 @@ impl Database {
             // Still touch the table intention lock: a conventional engine
             // acquires it before discovering the key is absent.
             if cc == CcMode::Full {
-                self.lock_table(txn, table, if for_update { LockMode::IX } else { LockMode::IS }, cc)?;
+                self.lock_table(
+                    txn,
+                    table,
+                    if for_update {
+                        LockMode::IX
+                    } else {
+                        LockMode::IS
+                    },
+                    cc,
+                )?;
             }
             return Ok(None);
         };
@@ -454,7 +520,12 @@ impl Database {
         time_section(TimeCategory::Work, || heap.update(rid, &after))?;
         let lsn = self.log.append(
             txn.id(),
-            LogRecordKind::Update { table, rid, before: before.to_vec(), after: after.to_vec() },
+            LogRecordKind::Update {
+                table,
+                rid,
+                before: before.to_vec(),
+                after: after.to_vec(),
+            },
         );
         txn.state.note_lsn(lsn);
         Ok(())
@@ -471,7 +542,10 @@ impl Database {
         f: impl FnOnce(&mut Row) -> DbResult<()>,
     ) -> DbResult<()> {
         let Some((rid, _)) = self.probe_primary(txn, table, key, true, cc)? else {
-            return Err(DbError::NotFound { table, detail: format!("{key}") });
+            return Err(DbError::NotFound {
+                table,
+                detail: format!("{key}"),
+            });
         };
         self.update_rid(txn, table, rid, cc, f)
     }
@@ -482,12 +556,21 @@ impl Database {
     /// (row locks make that safe). Under DORA modes the entries stay and are
     /// flagged `deleted` only after the transaction commits, following
     /// Section 4.2.2.
-    pub fn delete_primary(&self, txn: &TxnHandle, table: TableId, key: &Key, cc: CcMode) -> DbResult<()> {
+    pub fn delete_primary(
+        &self,
+        txn: &TxnHandle,
+        table: TableId,
+        key: &Key,
+        cc: CcMode,
+    ) -> DbResult<()> {
         self.ensure_active(txn)?;
         let primary = self.primary(table)?;
         let entries = time_section(TimeCategory::Work, || primary.get(key));
         let Some(entry) = entries.first() else {
-            return Err(DbError::NotFound { table, detail: format!("{key}") });
+            return Err(DbError::NotFound {
+                table,
+                detail: format!("{key}"),
+            });
         };
         let rid = entry.rid;
         // Deletes always lock the RID through the centralized manager, even
@@ -503,16 +586,28 @@ impl Database {
         time_section(TimeCategory::Work, || heap.delete(rid))?;
         primary.remove(key, rid)?;
         for index_meta in self.catalog.secondary_indexes_of(table) {
-            let secondary_key =
-                Key(index_meta.spec.key_columns.iter().map(|&c| row[c].clone()).collect());
+            let secondary_key = Key(index_meta
+                .spec
+                .key_columns
+                .iter()
+                .map(|&c| row[c].clone())
+                .collect());
             if cc == CcMode::Full {
                 let _ = self.secondary(index_meta.id)?.remove(&secondary_key, rid);
             } else {
-                txn.deferred_flags.lock().push((index_meta.id, secondary_key, rid));
+                txn.deferred_flags
+                    .lock()
+                    .push((index_meta.id, secondary_key, rid));
             }
         }
-        let lsn =
-            self.log.append(txn.id(), LogRecordKind::Delete { table, rid, before: before.to_vec() });
+        let lsn = self.log.append(
+            txn.id(),
+            LogRecordKind::Delete {
+                table,
+                rid,
+                before: before.to_vec(),
+            },
+        );
         txn.state.note_lsn(lsn);
         Ok(())
     }
@@ -569,10 +664,17 @@ impl Database {
         let heap = self.heap(table)?;
         let rid = heap.insert(&bytes)?;
         let primary_key = meta.schema.primary_key_of(&row);
-        self.primary(table)?
-            .insert(&primary_key, IndexEntry::new(rid, meta.schema.routing_key_of(&row)))?;
+        self.primary(table)?.insert(
+            &primary_key,
+            IndexEntry::new(rid, meta.schema.routing_key_of(&row)),
+        )?;
         for index_meta in self.catalog.secondary_indexes_of(table) {
-            let key = Key(index_meta.spec.key_columns.iter().map(|&c| row[c].clone()).collect());
+            let key = Key(index_meta
+                .spec
+                .key_columns
+                .iter()
+                .map(|&c| row[c].clone())
+                .collect());
             self.secondary(index_meta.id)?
                 .insert(&key, IndexEntry::new(rid, meta.schema.routing_key_of(&row)))?;
         }
@@ -605,19 +707,25 @@ impl Database {
                     let heap = fresh.heap(table)?;
                     heap.insert_at(rid, &after)?;
                     let primary_key = meta.schema.primary_key_of(&row);
-                    fresh
-                        .primary(table)?
-                        .insert(&primary_key, IndexEntry::new(rid, meta.schema.routing_key_of(&row)))?;
+                    fresh.primary(table)?.insert(
+                        &primary_key,
+                        IndexEntry::new(rid, meta.schema.routing_key_of(&row)),
+                    )?;
                     for index_meta in fresh.catalog.secondary_indexes_of(table) {
-                        let key = Key(
-                            index_meta.spec.key_columns.iter().map(|&c| row[c].clone()).collect(),
-                        );
+                        let key = Key(index_meta
+                            .spec
+                            .key_columns
+                            .iter()
+                            .map(|&c| row[c].clone())
+                            .collect());
                         fresh
                             .secondary(index_meta.id)?
                             .insert(&key, IndexEntry::new(rid, meta.schema.routing_key_of(&row)))?;
                     }
                 }
-                LogRecordKind::Update { table, rid, after, .. } => {
+                LogRecordKind::Update {
+                    table, rid, after, ..
+                } => {
                     fresh.heap(table)?.update(rid, &after)?;
                 }
                 LogRecordKind::Delete { table, rid, before } => {
@@ -627,9 +735,12 @@ impl Database {
                     let primary_key = meta.schema.primary_key_of(&row);
                     let _ = fresh.primary(table)?.remove(&primary_key, rid);
                     for index_meta in fresh.catalog.secondary_indexes_of(table) {
-                        let key = Key(
-                            index_meta.spec.key_columns.iter().map(|&c| row[c].clone()).collect(),
-                        );
+                        let key = Key(index_meta
+                            .spec
+                            .key_columns
+                            .iter()
+                            .map(|&c| row[c].clone())
+                            .collect());
                         let _ = fresh.secondary(index_meta.id)?.remove(&key, rid);
                     }
                 }
@@ -649,7 +760,10 @@ impl Database {
         if txn.is_active() {
             Ok(())
         } else {
-            Err(DbError::TxnAborted { txn: txn.id(), reason: "transaction is not active".into() })
+            Err(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "transaction is not active".into(),
+            })
         }
     }
 }
@@ -676,32 +790,48 @@ mod tests {
     }
 
     fn account_row(id: i64, owner: &str, balance: f64) -> Row {
-        vec![Value::Int(id), Value::Text(owner.into()), Value::Float(balance)]
+        vec![
+            Value::Int(id),
+            Value::Text(owner.into()),
+            Value::Float(balance),
+        ]
     }
 
     #[test]
     fn insert_probe_update_delete_commit() {
         let (db, table) = accounts_db();
         let txn = db.begin();
-        db.insert(&txn, table, account_row(1, "alice", 100.0), CcMode::Full).unwrap();
-        db.insert(&txn, table, account_row(2, "bob", 50.0), CcMode::Full).unwrap();
+        db.insert(&txn, table, account_row(1, "alice", 100.0), CcMode::Full)
+            .unwrap();
+        db.insert(&txn, table, account_row(2, "bob", 50.0), CcMode::Full)
+            .unwrap();
         db.commit(&txn).unwrap();
 
         let txn = db.begin();
-        let (_, row) = db.probe_primary(&txn, table, &Key::int(1), false, CcMode::Full).unwrap().unwrap();
+        let (_, row) = db
+            .probe_primary(&txn, table, &Key::int(1), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
         assert_eq!(row[1], Value::Text("alice".into()));
         db.update_primary(&txn, table, &Key::int(1), CcMode::Full, |row| {
             row[2] = Value::Float(75.0);
             Ok(())
         })
         .unwrap();
-        db.delete_primary(&txn, table, &Key::int(2), CcMode::Full).unwrap();
+        db.delete_primary(&txn, table, &Key::int(2), CcMode::Full)
+            .unwrap();
         db.commit(&txn).unwrap();
 
         let txn = db.begin();
-        let (_, row) = db.probe_primary(&txn, table, &Key::int(1), false, CcMode::Full).unwrap().unwrap();
+        let (_, row) = db
+            .probe_primary(&txn, table, &Key::int(1), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
         assert_eq!(row[2], Value::Float(75.0));
-        assert!(db.probe_primary(&txn, table, &Key::int(2), false, CcMode::Full).unwrap().is_none());
+        assert!(db
+            .probe_primary(&txn, table, &Key::int(2), false, CcMode::Full)
+            .unwrap()
+            .is_none());
         db.commit(&txn).unwrap();
         assert_eq!(db.row_count(table).unwrap(), 1);
     }
@@ -710,24 +840,36 @@ mod tests {
     fn abort_rolls_back_all_changes() {
         let (db, table) = accounts_db();
         let setup = db.begin();
-        db.insert(&setup, table, account_row(1, "alice", 100.0), CcMode::Full).unwrap();
+        db.insert(&setup, table, account_row(1, "alice", 100.0), CcMode::Full)
+            .unwrap();
         db.commit(&setup).unwrap();
 
         let txn = db.begin();
-        db.insert(&txn, table, account_row(2, "bob", 10.0), CcMode::Full).unwrap();
+        db.insert(&txn, table, account_row(2, "bob", 10.0), CcMode::Full)
+            .unwrap();
         db.update_primary(&txn, table, &Key::int(1), CcMode::Full, |row| {
             row[2] = Value::Float(0.0);
             Ok(())
         })
         .unwrap();
-        db.delete_primary(&txn, table, &Key::int(1), CcMode::Full).unwrap();
+        db.delete_primary(&txn, table, &Key::int(1), CcMode::Full)
+            .unwrap();
         db.abort(&txn).unwrap();
 
         let check = db.begin();
-        let (_, row) =
-            db.probe_primary(&check, table, &Key::int(1), false, CcMode::Full).unwrap().unwrap();
-        assert_eq!(row[2], Value::Float(100.0), "update and delete must both be undone");
-        assert!(db.probe_primary(&check, table, &Key::int(2), false, CcMode::Full).unwrap().is_none());
+        let (_, row) = db
+            .probe_primary(&check, table, &Key::int(1), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            row[2],
+            Value::Float(100.0),
+            "update and delete must both be undone"
+        );
+        assert!(db
+            .probe_primary(&check, table, &Key::int(2), false, CcMode::Full)
+            .unwrap()
+            .is_none());
         db.commit(&check).unwrap();
         assert_eq!(db.row_count(table).unwrap(), 1);
     }
@@ -736,7 +878,8 @@ mod tests {
     fn duplicate_primary_key_is_rejected() {
         let (db, table) = accounts_db();
         let txn = db.begin();
-        db.insert(&txn, table, account_row(1, "alice", 1.0), CcMode::Full).unwrap();
+        db.insert(&txn, table, account_row(1, "alice", 1.0), CcMode::Full)
+            .unwrap();
         let result = db.insert(&txn, table, account_row(1, "imposter", 2.0), CcMode::Full);
         assert!(matches!(result, Err(DbError::DuplicateKey { .. })));
         db.commit(&txn).unwrap();
@@ -754,8 +897,10 @@ mod tests {
             })
             .unwrap();
         let txn = db.begin();
-        db.insert(&txn, table, account_row(1, "alice", 1.0), CcMode::Full).unwrap();
-        db.insert(&txn, table, account_row(2, "alice", 2.0), CcMode::Full).unwrap();
+        db.insert(&txn, table, account_row(1, "alice", 1.0), CcMode::Full)
+            .unwrap();
+        db.insert(&txn, table, account_row(2, "alice", 2.0), CcMode::Full)
+            .unwrap();
         db.commit(&txn).unwrap();
 
         let txn = db.begin();
@@ -770,7 +915,8 @@ mod tests {
 
         // DORA-style delete: the entry is flagged only after commit.
         let txn = db.begin();
-        db.delete_primary(&txn, table, &Key::int(1), CcMode::RowOnly).unwrap();
+        db.delete_primary(&txn, table, &Key::int(1), CcMode::RowOnly)
+            .unwrap();
         let during = db
             .probe_secondary(&txn, index, &Key::from_values(["alice"]), CcMode::None)
             .unwrap();
@@ -796,19 +942,24 @@ mod tests {
             })
             .unwrap();
         let txn = db.begin();
-        db.insert(&txn, table, account_row(7, "carol", 5.0), CcMode::Full).unwrap();
+        db.insert(&txn, table, account_row(7, "carol", 5.0), CcMode::Full)
+            .unwrap();
         db.commit(&txn).unwrap();
 
         let txn = db.begin();
-        db.delete_primary(&txn, table, &Key::int(7), CcMode::RowOnly).unwrap();
+        db.delete_primary(&txn, table, &Key::int(7), CcMode::RowOnly)
+            .unwrap();
         db.abort(&txn).unwrap();
 
         let check = db.begin();
-        let hits =
-            db.probe_secondary(&check, index, &Key::from_values(["carol"]), CcMode::None).unwrap();
+        let hits = db
+            .probe_secondary(&check, index, &Key::from_values(["carol"]), CcMode::None)
+            .unwrap();
         assert_eq!(hits.len(), 1, "rollback must leave the index entry live");
-        let (_, row) =
-            db.probe_primary(&check, table, &Key::int(7), false, CcMode::Full).unwrap().unwrap();
+        let (_, row) = db
+            .probe_primary(&check, table, &Key::int(7), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
         assert_eq!(row[2], Value::Float(5.0));
         db.commit(&check).unwrap();
     }
@@ -820,12 +971,15 @@ mod tests {
         use dora_metrics::{current_thread_snapshot, CounterKind};
         let (db, table) = accounts_db();
         let txn = db.begin();
-        db.insert(&txn, table, account_row(1, "alice", 1.0), CcMode::Full).unwrap();
+        db.insert(&txn, table, account_row(1, "alice", 1.0), CcMode::Full)
+            .unwrap();
         db.commit(&txn).unwrap();
 
         let before = current_thread_snapshot();
         let txn = db.begin();
-        let _ = db.probe_primary(&txn, table, &Key::int(1), false, CcMode::None).unwrap();
+        let _ = db
+            .probe_primary(&txn, table, &Key::int(1), false, CcMode::None)
+            .unwrap();
         db.update_primary(&txn, table, &Key::int(1), CcMode::None, |row| {
             row[2] = Value::Float(3.0);
             Ok(())
@@ -843,7 +997,8 @@ mod tests {
         let accounts = 10i64;
         let txn = db.begin();
         for id in 0..accounts {
-            db.insert(&txn, table, account_row(id, "holder", 100.0), CcMode::Full).unwrap();
+            db.insert(&txn, table, account_row(id, "holder", 100.0), CcMode::Full)
+                .unwrap();
         }
         db.commit(&txn).unwrap();
 
@@ -855,7 +1010,9 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut rng = t as i64;
                     for i in 0..transfers {
-                        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        rng = rng
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         let from = (rng.unsigned_abs() % accounts as u64) as i64;
                         let to = ((rng.unsigned_abs() >> 8) % accounts as u64) as i64;
                         if from == to {
@@ -895,15 +1052,21 @@ mod tests {
         })
         .unwrap();
         db.commit(&check).unwrap();
-        assert_eq!(total, accounts as f64 * 100.0, "money must be conserved across transfers");
+        assert_eq!(
+            total,
+            accounts as f64 * 100.0,
+            "money must be conserved across transfers"
+        );
     }
 
     #[test]
     fn recovery_replays_committed_changes() {
         let (db, table) = accounts_db();
         let txn = db.begin();
-        db.insert(&txn, table, account_row(1, "alice", 10.0), CcMode::Full).unwrap();
-        db.insert(&txn, table, account_row(2, "bob", 20.0), CcMode::Full).unwrap();
+        db.insert(&txn, table, account_row(1, "alice", 10.0), CcMode::Full)
+            .unwrap();
+        db.insert(&txn, table, account_row(2, "bob", 20.0), CcMode::Full)
+            .unwrap();
         db.commit(&txn).unwrap();
         let txn = db.begin();
         db.update_primary(&txn, table, &Key::int(1), CcMode::Full, |row| {
@@ -914,16 +1077,22 @@ mod tests {
         db.commit(&txn).unwrap();
         // An uncommitted transaction whose changes must NOT survive recovery.
         let doomed = db.begin();
-        db.insert(&doomed, table, account_row(3, "ghost", 1.0), CcMode::Full).unwrap();
+        db.insert(&doomed, table, account_row(3, "ghost", 1.0), CcMode::Full)
+            .unwrap();
 
         let (fresh, fresh_table) = accounts_db();
         assert_eq!(fresh_table, table);
         db.recover_into(&fresh).unwrap();
         let check = fresh.begin();
-        let (_, row) =
-            fresh.probe_primary(&check, table, &Key::int(1), false, CcMode::Full).unwrap().unwrap();
+        let (_, row) = fresh
+            .probe_primary(&check, table, &Key::int(1), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
         assert_eq!(row[2], Value::Float(99.0));
-        assert!(fresh.probe_primary(&check, table, &Key::int(3), false, CcMode::Full).unwrap().is_none());
+        assert!(fresh
+            .probe_primary(&check, table, &Key::int(3), false, CcMode::Full)
+            .unwrap()
+            .is_none());
         fresh.commit(&check).unwrap();
         assert_eq!(fresh.row_count(table).unwrap(), 2);
     }

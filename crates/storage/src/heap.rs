@@ -30,7 +30,9 @@ pub struct HeapFile {
 
 impl std::fmt::Debug for HeapFile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HeapFile").field("table", &self.table).finish()
+        f.debug_struct("HeapFile")
+            .field("table", &self.table)
+            .finish()
     }
 }
 
@@ -40,7 +42,10 @@ impl HeapFile {
         Self {
             table,
             pool,
-            state: Latch::new(HeapState { page_count: 0, candidates: Vec::new() }),
+            state: Latch::new(HeapState {
+                page_count: 0,
+                candidates: Vec::new(),
+            }),
         }
     }
 
@@ -57,7 +62,10 @@ impl HeapFile {
     fn tag(&self, err: DbError) -> DbError {
         match err {
             DbError::PageFull { .. } => DbError::PageFull { table: self.table },
-            DbError::InvalidRid { rid, .. } => DbError::InvalidRid { table: self.table, rid },
+            DbError::InvalidRid { rid, .. } => DbError::InvalidRid {
+                table: self.table,
+                rid,
+            },
             other => other,
         }
     }
@@ -95,25 +103,37 @@ impl HeapFile {
     }
 
     fn try_insert_into(&self, page_id: PageId, record: &[u8]) -> DbResult<Option<Rid>> {
-        let pinned = self.pool.pin(PageKey { table: self.table, page: page_id })?;
+        let pinned = self.pool.pin(PageKey {
+            table: self.table,
+            page: page_id,
+        })?;
         let mut page = pinned.page.write();
         if !page.fits(record.len()) {
             return Ok(None);
         }
         let slot = page.insert(record).map_err(|e| self.tag(e))?;
-        Ok(Some(Rid { page: page_id, slot }))
+        Ok(Some(Rid {
+            page: page_id,
+            slot,
+        }))
     }
 
     /// Reads the record at `rid`.
     pub fn read(&self, rid: Rid) -> DbResult<Bytes> {
-        let pinned = self.pool.pin(PageKey { table: self.table, page: rid.page })?;
+        let pinned = self.pool.pin(PageKey {
+            table: self.table,
+            page: rid.page,
+        })?;
         let page = pinned.page.read();
         page.read(rid.slot).map_err(|e| self.tag(e))
     }
 
     /// Overwrites the record at `rid`.
     pub fn update(&self, rid: Rid, record: &[u8]) -> DbResult<()> {
-        let pinned = self.pool.pin(PageKey { table: self.table, page: rid.page })?;
+        let pinned = self.pool.pin(PageKey {
+            table: self.table,
+            page: rid.page,
+        })?;
         let mut page = pinned.page.write();
         page.update(rid.slot, record).map_err(|e| self.tag(e))
     }
@@ -122,7 +142,10 @@ impl HeapFile {
     /// inserts — which is why inserts and deletes must coordinate through the
     /// centralized lock manager even under DORA (Section 4.2.1).
     pub fn delete(&self, rid: Rid) -> DbResult<()> {
-        let pinned = self.pool.pin(PageKey { table: self.table, page: rid.page })?;
+        let pinned = self.pool.pin(PageKey {
+            table: self.table,
+            page: rid.page,
+        })?;
         let mut page = pinned.page.write();
         page.delete(rid.slot).map_err(|e| self.tag(e))?;
         drop(page);
@@ -142,14 +165,20 @@ impl HeapFile {
                 state.page_count = rid.page.0 + 1;
             }
         }
-        let pinned = self.pool.pin(PageKey { table: self.table, page: rid.page })?;
+        let pinned = self.pool.pin(PageKey {
+            table: self.table,
+            page: rid.page,
+        })?;
         let mut page = pinned.page.write();
         page.insert_at(rid.slot, record).map_err(|e| self.tag(e))
     }
 
     /// Returns `true` if `rid` points at a live record.
     pub fn is_live(&self, rid: Rid) -> DbResult<bool> {
-        let pinned = self.pool.pin(PageKey { table: self.table, page: rid.page })?;
+        let pinned = self.pool.pin(PageKey {
+            table: self.table,
+            page: rid.page,
+        })?;
         let page = pinned.page.read();
         Ok(page.is_live(rid.slot))
     }
@@ -160,11 +189,20 @@ impl HeapFile {
         let page_count = self.page_count();
         for page_number in 0..page_count {
             let page_id = PageId(page_number);
-            let pinned = self.pool.pin(PageKey { table: self.table, page: page_id })?;
+            let pinned = self.pool.pin(PageKey {
+                table: self.table,
+                page: page_id,
+            })?;
             let page = pinned.page.read();
             for slot in page.live_slots() {
                 let bytes = page.read(slot).map_err(|e| self.tag(e))?;
-                f(Rid { page: page_id, slot }, &bytes);
+                f(
+                    Rid {
+                        page: page_id,
+                        slot,
+                    },
+                    &bytes,
+                );
             }
         }
         Ok(())
@@ -213,7 +251,8 @@ mod tests {
         let c = heap.insert(b"c").unwrap();
         heap.delete(b).unwrap();
         let mut seen = Vec::new();
-        heap.scan(|rid, bytes| seen.push((rid, bytes.to_vec()))).unwrap();
+        heap.scan(|rid, bytes| seen.push((rid, bytes.to_vec())))
+            .unwrap();
         assert_eq!(seen.len(), 2);
         assert!(seen.iter().any(|(rid, data)| *rid == a && data == b"a"));
         assert!(seen.iter().any(|(rid, data)| *rid == c && data == b"c"));

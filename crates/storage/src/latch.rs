@@ -42,7 +42,10 @@ unsafe impl<T: Send> Sync for Latch<T> {}
 impl<T> Latch<T> {
     /// Creates a latch protecting `value`.
     pub fn new(value: T) -> Self {
-        Self { locked: AtomicBool::new(false), data: UnsafeCell::new(value) }
+        Self {
+            locked: AtomicBool::new(false),
+            data: UnsafeCell::new(value),
+        }
     }
 
     /// Acquires the latch, charging any spin time to `contention_category`.
@@ -167,7 +170,10 @@ mod tests {
         for handle in handles {
             handle.join().unwrap();
         }
-        assert_eq!(*latch.lock(TimeCategory::OtherContention), threads * iterations);
+        assert_eq!(
+            *latch.lock(TimeCategory::OtherContention),
+            threads * iterations
+        );
     }
 
     #[test]

@@ -201,7 +201,11 @@ impl LockHeadInner {
             .iter()
             .filter(|r| r.txn != except)
             .filter(|r| {
-                let other = if r.granted { r.granted_mode } else { r.wanted_mode };
+                let other = if r.granted {
+                    r.granted_mode
+                } else {
+                    r.wanted_mode
+                };
                 !mode.compatible(other)
             })
             .map(|r| r.txn)
@@ -214,7 +218,8 @@ impl LockHeadInner {
     fn grant_pending(&mut self) {
         // Upgrades (granted request whose wanted mode is stronger) first.
         for i in 0..self.requests.len() {
-            if self.requests[i].granted && self.requests[i].wanted_mode != self.requests[i].granted_mode
+            if self.requests[i].granted
+                && self.requests[i].wanted_mode != self.requests[i].granted_mode
             {
                 let wanted = self.requests[i].wanted_mode;
                 let txn = self.requests[i].txn;
@@ -261,7 +266,9 @@ struct LockHead {
 
 impl LockHead {
     fn new() -> Self {
-        Self { inner: Latch::new(LockHeadInner::default()) }
+        Self {
+            inner: Latch::new(LockHeadInner::default()),
+        }
     }
 }
 
@@ -277,7 +284,9 @@ pub struct LockManager {
 
 impl std::fmt::Debug for LockManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LockManager").field("buckets", &self.buckets.len()).finish()
+        f.debug_struct("LockManager")
+            .field("buckets", &self.buckets.len())
+            .finish()
     }
 }
 
@@ -337,7 +346,9 @@ impl LockManager {
     /// Creates a lock manager with deadlock detection enabled.
     pub fn new(deadlock_detection: bool) -> Self {
         Self {
-            buckets: (0..DEFAULT_BUCKETS).map(|_| Latch::new(HashMap::new())).collect(),
+            buckets: (0..DEFAULT_BUCKETS)
+                .map(|_| Latch::new(HashMap::new()))
+                .collect(),
             waits_for: Mutex::new(HashMap::new()),
             deadlock_detection,
             wait_timeout: DEFAULT_WAIT_TIMEOUT,
@@ -359,8 +370,14 @@ impl LockManager {
     fn head_for(&self, id: LockId) -> Arc<LockHead> {
         loop {
             let head = {
-                let mut bucket = self.bucket(&id).lock(TimeCategory::LockMgrAcquireContention);
-                Arc::clone(bucket.entry(id).or_insert_with(|| Arc::new(LockHead::new())))
+                let mut bucket = self
+                    .bucket(&id)
+                    .lock(TimeCategory::LockMgrAcquireContention);
+                Arc::clone(
+                    bucket
+                        .entry(id)
+                        .or_insert_with(|| Arc::new(LockHead::new())),
+                )
             };
             // The head may have been unlinked between our probe and latch; the
             // check happens under the head latch in the caller, so hand the
@@ -515,8 +532,8 @@ impl LockManager {
     fn cancel_request(&self, head: &Arc<LockHead>, txn: TxnId, _id: LockId) {
         let mut inner = head.inner.lock(TimeCategory::LockMgrAcquireContention);
         if let Some(pos) = inner.requests.iter().position(|r| r.txn == txn) {
-            let was_upgrade =
-                inner.requests[pos].granted && inner.requests[pos].wanted_mode != inner.requests[pos].granted_mode;
+            let was_upgrade = inner.requests[pos].granted
+                && inner.requests[pos].wanted_mode != inner.requests[pos].granted_mode;
             if was_upgrade {
                 // Keep the originally granted mode; just forget the upgrade.
                 let granted_mode = inner.requests[pos].granted_mode;
@@ -545,7 +562,9 @@ impl LockManager {
     fn release_one(&self, txn: TxnId, id: LockId) {
         let mut timer = TimerGuard::new(TimeCategory::LockMgrRelease);
         let head = {
-            let bucket = self.bucket(&id).lock(TimeCategory::LockMgrReleaseContention);
+            let bucket = self
+                .bucket(&id)
+                .lock(TimeCategory::LockMgrReleaseContention);
             match bucket.get(&id) {
                 Some(head) => Arc::clone(head),
                 None => return,
@@ -567,7 +586,9 @@ impl LockManager {
         timer.switch(TimeCategory::LockMgrRelease);
         if empty {
             // Unlink the now-empty head so record locks do not accumulate.
-            let mut bucket = self.bucket(&id).lock(TimeCategory::LockMgrReleaseContention);
+            let mut bucket = self
+                .bucket(&id)
+                .lock(TimeCategory::LockMgrReleaseContention);
             if let Some(candidate) = bucket.get(&id) {
                 if Arc::ptr_eq(candidate, &head) {
                     let mut inner = head.inner.lock(TimeCategory::LockMgrReleaseContention);
@@ -596,7 +617,10 @@ impl LockManager {
             return;
         }
         let mut graph = self.waits_for.lock();
-        graph.entry(waiter).or_default().extend(holders.iter().copied());
+        graph
+            .entry(waiter)
+            .or_default()
+            .extend(holders.iter().copied());
     }
 
     fn clear_waits(&self, waiter: TxnId) {
@@ -627,7 +651,10 @@ impl LockManager {
     /// DFS over the waits-for graph looking for a cycle through `start`.
     fn creates_cycle(&self, start: TxnId) -> bool {
         let graph = self.waits_for.lock();
-        let mut stack: Vec<TxnId> = graph.get(&start).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        let mut stack: Vec<TxnId> = graph
+            .get(&start)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
         let mut visited = HashSet::new();
         while let Some(current) = stack.pop() {
             if current == start {
@@ -691,6 +718,65 @@ mod tests {
     }
 
     #[test]
+    fn combine_is_a_least_upper_bound_over_covers() {
+        use LockMode::*;
+        let modes = [IS, IX, S, SIX, X];
+        for a in modes {
+            // Idempotent and reflexive.
+            assert_eq!(a.combine(a), a);
+            assert!(a.covers(a));
+            for b in modes {
+                let join = a.combine(b);
+                // Commutative.
+                assert_eq!(join, b.combine(a), "combine({a:?}, {b:?}) not commutative");
+                // Upper bound: the join satisfies both operands.
+                assert!(
+                    join.covers(a),
+                    "combine({a:?}, {b:?}) = {join:?} does not cover {a:?}"
+                );
+                assert!(
+                    join.covers(b),
+                    "combine({a:?}, {b:?}) = {join:?} does not cover {b:?}"
+                );
+                // Least: anything covering both operands covers the join.
+                for c in modes {
+                    if c.covers(a) && c.covers(b) {
+                        assert!(
+                            c.covers(join),
+                            "{c:?} covers {a:?} and {b:?} but not their join {join:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stronger_modes_conflict_with_at_least_as_much() {
+        // If `strong` covers `weak`, anything compatible with `strong` must
+        // also be compatible with `weak` — upgrades can only shrink the set
+        // of admissible concurrent holders.
+        use LockMode::*;
+        let modes = [IS, IX, S, SIX, X];
+        for strong in modes {
+            for weak in modes {
+                if !strong.covers(weak) {
+                    continue;
+                }
+                for other in modes {
+                    if strong.compatible(other) {
+                        assert!(
+                            weak.compatible(other),
+                            "{strong:?} covers {weak:?} and allows {other:?}, but {weak:?} \
+                             rejects it"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn intention_modes() {
         assert_eq!(LockMode::S.intention(), LockMode::IS);
         assert_eq!(LockMode::X.intention(), LockMode::IX);
@@ -703,8 +789,12 @@ mod tests {
         let id = LockId::Table(TableId(1));
         let mut held1 = HeldLocks::new();
         let mut held2 = HeldLocks::new();
-        manager.acquire(TxnId(1), &mut held1, id, LockMode::S).unwrap();
-        manager.acquire(TxnId(2), &mut held2, id, LockMode::S).unwrap();
+        manager
+            .acquire(TxnId(1), &mut held1, id, LockMode::S)
+            .unwrap();
+        manager
+            .acquire(TxnId(2), &mut held2, id, LockMode::S)
+            .unwrap();
         manager.release_all(TxnId(1), held1);
         manager.release_all(TxnId(2), held2);
     }
@@ -714,19 +804,26 @@ mod tests {
         let manager = manager();
         let id = LockId::record(TableId(1), Rid::new(0, 0));
         let mut held1 = HeldLocks::new();
-        manager.acquire(TxnId(1), &mut held1, id, LockMode::X).unwrap();
+        manager
+            .acquire(TxnId(1), &mut held1, id, LockMode::X)
+            .unwrap();
 
         let acquired = Arc::new(AtomicBool::new(false));
         let acquired_clone = Arc::clone(&acquired);
         let manager_clone = Arc::clone(&manager);
         let waiter = std::thread::spawn(move || {
             let mut held2 = HeldLocks::new();
-            manager_clone.acquire(TxnId(2), &mut held2, id, LockMode::X).unwrap();
+            manager_clone
+                .acquire(TxnId(2), &mut held2, id, LockMode::X)
+                .unwrap();
             acquired_clone.store(true, Ordering::SeqCst);
             manager_clone.release_all(TxnId(2), held2);
         });
         std::thread::sleep(Duration::from_millis(50));
-        assert!(!acquired.load(Ordering::SeqCst), "waiter should still be blocked");
+        assert!(
+            !acquired.load(Ordering::SeqCst),
+            "waiter should still be blocked"
+        );
         manager.release_all(TxnId(1), held1);
         waiter.join().unwrap();
         assert!(acquired.load(Ordering::SeqCst));
@@ -737,9 +834,15 @@ mod tests {
         let manager = manager();
         let id = LockId::Table(TableId(3));
         let mut held = HeldLocks::new();
-        manager.acquire(TxnId(1), &mut held, id, LockMode::X).unwrap();
-        manager.acquire(TxnId(1), &mut held, id, LockMode::S).unwrap();
-        manager.acquire(TxnId(1), &mut held, id, LockMode::IX).unwrap();
+        manager
+            .acquire(TxnId(1), &mut held, id, LockMode::X)
+            .unwrap();
+        manager
+            .acquire(TxnId(1), &mut held, id, LockMode::S)
+            .unwrap();
+        manager
+            .acquire(TxnId(1), &mut held, id, LockMode::IX)
+            .unwrap();
         assert_eq!(held.len(), 1);
         manager.release_all(TxnId(1), held);
     }
@@ -749,8 +852,12 @@ mod tests {
         let manager = manager();
         let id = LockId::record(TableId(1), Rid::new(1, 1));
         let mut held = HeldLocks::new();
-        manager.acquire(TxnId(1), &mut held, id, LockMode::S).unwrap();
-        manager.acquire(TxnId(1), &mut held, id, LockMode::X).unwrap();
+        manager
+            .acquire(TxnId(1), &mut held, id, LockMode::S)
+            .unwrap();
+        manager
+            .acquire(TxnId(1), &mut held, id, LockMode::X)
+            .unwrap();
         assert_eq!(held.mode(&id), Some(LockMode::X));
         manager.release_all(TxnId(1), held);
     }
@@ -762,12 +869,16 @@ mod tests {
         let id_b = LockId::record(TableId(1), Rid::new(0, 2));
 
         let mut held1 = HeldLocks::new();
-        manager.acquire(TxnId(1), &mut held1, id_a, LockMode::X).unwrap();
+        manager
+            .acquire(TxnId(1), &mut held1, id_a, LockMode::X)
+            .unwrap();
 
         let manager_clone = Arc::clone(&manager);
         let other = std::thread::spawn(move || {
             let mut held2 = HeldLocks::new();
-            manager_clone.acquire(TxnId(2), &mut held2, id_b, LockMode::X).unwrap();
+            manager_clone
+                .acquire(TxnId(2), &mut held2, id_b, LockMode::X)
+                .unwrap();
             // Now try to take A; this blocks on T1.
             let result = manager_clone.acquire(TxnId(2), &mut held2, id_a, LockMode::X);
             manager_clone.release_all(TxnId(2), held2);
@@ -790,10 +901,19 @@ mod tests {
         let before = global().snapshot();
         let manager = manager();
         let mut held = HeldLocks::new();
-        manager.acquire(TxnId(9), &mut held, LockId::Database, LockMode::IX).unwrap();
-        manager.acquire(TxnId(9), &mut held, LockId::Table(TableId(1)), LockMode::IX).unwrap();
         manager
-            .acquire(TxnId(9), &mut held, LockId::record(TableId(1), Rid::new(0, 0)), LockMode::X)
+            .acquire(TxnId(9), &mut held, LockId::Database, LockMode::IX)
+            .unwrap();
+        manager
+            .acquire(TxnId(9), &mut held, LockId::Table(TableId(1)), LockMode::IX)
+            .unwrap();
+        manager
+            .acquire(
+                TxnId(9),
+                &mut held,
+                LockId::record(TableId(1), Rid::new(0, 0)),
+                LockMode::X,
+            )
             .unwrap();
         manager.release_all(TxnId(9), held);
         let delta = global().snapshot().since(&before);
@@ -807,7 +927,12 @@ mod tests {
         let mut held = HeldLocks::new();
         for i in 0..100u16 {
             manager
-                .acquire(TxnId(5), &mut held, LockId::record(TableId(1), Rid::new(0, i)), LockMode::X)
+                .acquire(
+                    TxnId(5),
+                    &mut held,
+                    LockId::record(TableId(1), Rid::new(0, i)),
+                    LockMode::X,
+                )
                 .unwrap();
         }
         assert!(manager.live_lock_heads() >= 100);
@@ -831,12 +956,16 @@ mod tests {
         let manager = manager();
         let id = LockId::Table(TableId(7));
         let mut held_reader = HeldLocks::new();
-        manager.acquire(TxnId(1), &mut held_reader, id, LockMode::S).unwrap();
+        manager
+            .acquire(TxnId(1), &mut held_reader, id, LockMode::S)
+            .unwrap();
 
         let manager_writer = Arc::clone(&manager);
         let writer = std::thread::spawn(move || {
             let mut held = HeldLocks::new();
-            manager_writer.acquire(TxnId(2), &mut held, id, LockMode::X).unwrap();
+            manager_writer
+                .acquire(TxnId(2), &mut held, id, LockMode::X)
+                .unwrap();
             manager_writer.release_all(TxnId(2), held);
         });
         std::thread::sleep(Duration::from_millis(20));
@@ -845,7 +974,9 @@ mod tests {
         let manager_late = Arc::clone(&manager);
         let late_reader = std::thread::spawn(move || {
             let mut held = HeldLocks::new();
-            manager_late.acquire(TxnId(3), &mut held, id, LockMode::S).unwrap();
+            manager_late
+                .acquire(TxnId(3), &mut held, id, LockMode::S)
+                .unwrap();
             manager_late.release_all(TxnId(3), held);
         });
         std::thread::sleep(Duration::from_millis(20));

@@ -35,11 +35,24 @@ pub enum LogRecordKind {
     /// Transaction begin.
     Begin,
     /// A record insert: `after` holds the row image.
-    Insert { table: TableId, rid: Rid, after: Vec<u8> },
+    Insert {
+        table: TableId,
+        rid: Rid,
+        after: Vec<u8>,
+    },
     /// A record update: both images are kept for undo/redo.
-    Update { table: TableId, rid: Rid, before: Vec<u8>, after: Vec<u8> },
+    Update {
+        table: TableId,
+        rid: Rid,
+        before: Vec<u8>,
+        after: Vec<u8>,
+    },
     /// A record delete: `before` holds the row image for undo.
-    Delete { table: TableId, rid: Rid, before: Vec<u8> },
+    Delete {
+        table: TableId,
+        rid: Rid,
+        before: Vec<u8>,
+    },
     /// Transaction commit.
     Commit,
     /// Transaction abort (all updates undone).
@@ -100,7 +113,12 @@ impl LogManager {
             let mut last = self.last_lsn_per_txn.lock();
             last.insert(txn, lsn).unwrap_or(Lsn(0))
         };
-        let record = LogRecord { lsn, txn, prev_lsn, kind };
+        let record = LogRecord {
+            lsn,
+            txn,
+            prev_lsn,
+            kind,
+        };
         self.records.lock().push(record);
         incr(CounterKind::LogRecords);
         lsn
@@ -129,7 +147,8 @@ impl LogManager {
             }
         }
         let highest = self.next_lsn.load(Ordering::Relaxed).saturating_sub(1);
-        self.flushed_lsn.store(highest.max(lsn.0), Ordering::Release);
+        self.flushed_lsn
+            .store(highest.max(lsn.0), Ordering::Release);
         incr(CounterKind::LogFlushes);
         record_time(TimeCategory::LogWait, start.elapsed());
     }
@@ -154,7 +173,7 @@ impl LogManager {
     pub fn records_for_undo(&self, txn: TxnId) -> Vec<LogRecord> {
         let records = self.records.lock();
         let mut mine: Vec<LogRecord> = records.iter().filter(|r| r.txn == txn).cloned().collect();
-        mine.sort_by(|a, b| b.lsn.cmp(&a.lsn));
+        mine.sort_by_key(|record| std::cmp::Reverse(record.lsn));
         mine
     }
 
@@ -200,7 +219,11 @@ mod tests {
         let b1 = log.append(TxnId(2), LogRecordKind::Begin);
         let a2 = log.append(
             TxnId(1),
-            LogRecordKind::Insert { table: TableId(1), rid: Rid::new(0, 0), after: vec![1] },
+            LogRecordKind::Insert {
+                table: TableId(1),
+                rid: Rid::new(0, 0),
+                after: vec![1],
+            },
         );
         assert!(a1 < b1 && b1 < a2);
         let undo = log.records_for_undo(TxnId(1));
@@ -227,21 +250,33 @@ mod tests {
         log.append(TxnId(1), LogRecordKind::Begin);
         log.append(
             TxnId(1),
-            LogRecordKind::Insert { table: TableId(1), rid: Rid::new(0, 0), after: vec![1] },
+            LogRecordKind::Insert {
+                table: TableId(1),
+                rid: Rid::new(0, 0),
+                after: vec![1],
+            },
         );
         log.append(TxnId(1), LogRecordKind::Commit);
 
         log.append(TxnId(2), LogRecordKind::Begin);
         log.append(
             TxnId(2),
-            LogRecordKind::Insert { table: TableId(1), rid: Rid::new(0, 1), after: vec![2] },
+            LogRecordKind::Insert {
+                table: TableId(1),
+                rid: Rid::new(0, 1),
+                after: vec![2],
+            },
         );
         log.append(TxnId(2), LogRecordKind::Abort);
 
         log.append(TxnId(3), LogRecordKind::Begin);
         log.append(
             TxnId(3),
-            LogRecordKind::Insert { table: TableId(1), rid: Rid::new(0, 2), after: vec![3] },
+            LogRecordKind::Insert {
+                table: TableId(1),
+                rid: Rid::new(0, 2),
+                after: vec![3],
+            },
         );
 
         let committed = log.committed_changes();

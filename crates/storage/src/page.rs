@@ -121,7 +121,11 @@ impl Page {
         self.live_bytes += record.len();
         self.dirty = true;
 
-        let slot = Slot { offset: offset as u32, len: record.len() as u32, live: true };
+        let slot = Slot {
+            offset: offset as u32,
+            len: record.len() as u32,
+            live: true,
+        };
         // Prefer reusing a dead slot: this is exactly the physical-slot reuse
         // that creates the insert/delete conflict described in Section 4.2.1.
         if let Some(idx) = self.slots.iter().position(|s| !s.live) {
@@ -139,7 +143,10 @@ impl Page {
         if !entry.live {
             return Err(DbError::InvalidRid {
                 table: TableId(0),
-                rid: Rid { page: self.id, slot },
+                rid: Rid {
+                    page: self.id,
+                    slot,
+                },
             });
         }
         let start = entry.offset as usize;
@@ -155,7 +162,10 @@ impl Page {
         if !entry.live {
             return Err(DbError::InvalidRid {
                 table: TableId(0),
-                rid: Rid { page: self.id, slot },
+                rid: Rid {
+                    page: self.id,
+                    slot,
+                },
             });
         }
         self.dirty = true;
@@ -180,8 +190,11 @@ impl Page {
         self.data[offset..offset + record.len()].copy_from_slice(record);
         self.free_space_end = offset;
         self.live_bytes += record.len();
-        self.slots[slot.0 as usize] =
-            Slot { offset: offset as u32, len: record.len() as u32, live: true };
+        self.slots[slot.0 as usize] = Slot {
+            offset: offset as u32,
+            len: record.len() as u32,
+            live: true,
+        };
         Ok(())
     }
 
@@ -191,7 +204,10 @@ impl Page {
         if !entry.live {
             return Err(DbError::InvalidRid {
                 table: TableId(0),
-                rid: Rid { page: self.id, slot },
+                rid: Rid {
+                    page: self.id,
+                    slot,
+                },
             });
         }
         self.slots[slot.0 as usize].live = false;
@@ -212,7 +228,11 @@ impl Page {
                 return Err(DbError::PageFull { table: TableId(0) });
             }
             while self.slots.len() <= idx {
-                self.slots.push(Slot { offset: 0, len: 0, live: false });
+                self.slots.push(Slot {
+                    offset: 0,
+                    len: 0,
+                    live: false,
+                });
             }
         } else if self.slots[idx].live {
             return Err(DbError::InvalidOperation(format!(
@@ -230,14 +250,21 @@ impl Page {
         self.data[offset..offset + record.len()].copy_from_slice(record);
         self.free_space_end = offset;
         self.live_bytes += record.len();
-        self.slots[idx] = Slot { offset: offset as u32, len: record.len() as u32, live: true };
+        self.slots[idx] = Slot {
+            offset: offset as u32,
+            len: record.len() as u32,
+            live: true,
+        };
         self.dirty = true;
         Ok(())
     }
 
     /// Returns `true` if `slot` exists and currently holds a live record.
     pub fn is_live(&self, slot: SlotId) -> bool {
-        self.slots.get(slot.0 as usize).map(|s| s.live).unwrap_or(false)
+        self.slots
+            .get(slot.0 as usize)
+            .map(|s| s.live)
+            .unwrap_or(false)
     }
 
     /// Iterates over the live slots of the page.
@@ -252,7 +279,10 @@ impl Page {
     fn slot(&self, slot: SlotId) -> DbResult<&Slot> {
         self.slots.get(slot.0 as usize).ok_or(DbError::InvalidRid {
             table: TableId(0),
-            rid: Rid { page: self.id, slot },
+            rid: Rid {
+                page: self.id,
+                slot,
+            },
         })
     }
 
@@ -312,8 +342,12 @@ mod tests {
         let slot = p.insert(b"0123456789").unwrap();
         p.update(slot, b"short").unwrap();
         assert_eq!(p.read(slot).unwrap().as_ref(), b"short");
-        p.update(slot, b"a considerably longer record payload").unwrap();
-        assert_eq!(p.read(slot).unwrap().as_ref(), b"a considerably longer record payload");
+        p.update(slot, b"a considerably longer record payload")
+            .unwrap();
+        assert_eq!(
+            p.read(slot).unwrap().as_ref(),
+            b"a considerably longer record payload"
+        );
     }
 
     #[test]

@@ -94,7 +94,9 @@ pub struct TxnManager {
 
 impl std::fmt::Debug for TxnManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TxnManager").field("active", &self.active_count()).finish()
+        f.debug_struct("TxnManager")
+            .field("active", &self.active_count())
+            .finish()
     }
 }
 
@@ -107,7 +109,10 @@ impl Default for TxnManager {
 impl TxnManager {
     /// Creates a transaction manager.
     pub fn new() -> Self {
-        Self { next_id: AtomicU64::new(1), active: Mutex::new(HashMap::new()) }
+        Self {
+            next_id: AtomicU64::new(1),
+            active: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Starts a new transaction.
@@ -163,9 +168,7 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let manager = Arc::clone(&manager);
-                std::thread::spawn(move || {
-                    (0..250).map(|_| manager.begin().id).collect::<Vec<_>>()
-                })
+                std::thread::spawn(move || (0..250).map(|_| manager.begin().id).collect::<Vec<_>>())
             })
             .collect();
         let mut all = Vec::new();

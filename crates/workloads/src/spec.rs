@@ -152,10 +152,16 @@ pub fn nurand(rng: &mut SmallRng, a: i64, x: i64, y: i64) -> i64 {
 /// TPC-C customer last-name generator: concatenates three syllables chosen by
 /// the digits of `num` (0..=999).
 pub fn c_last(num: i64) -> String {
-    const SYLLABLES: [&str; 10] =
-        ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+    const SYLLABLES: [&str; 10] = [
+        "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+    ];
     let num = num.clamp(0, 999) as usize;
-    format!("{}{}{}", SYLLABLES[num / 100], SYLLABLES[(num / 10) % 10], SYLLABLES[num % 10])
+    format!(
+        "{}{}{}",
+        SYLLABLES[num / 100],
+        SYLLABLES[(num / 10) % 10],
+        SYLLABLES[num % 10]
+    )
 }
 
 /// Random TPC-C-style last name for probing (uses NURand(255, 0, 999)).

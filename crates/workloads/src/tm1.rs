@@ -118,9 +118,13 @@ impl Tm1 {
         s_id: i64,
     ) -> DbResult<()> {
         let tables = self.tables(db)?;
-        let found = db.probe_primary(txn, tables.subscriber, &Key::int(s_id), false, CcMode::Full)?;
+        let found =
+            db.probe_primary(txn, tables.subscriber, &Key::int(s_id), false, CcMode::Full)?;
         if found.is_none() {
-            return Err(DbError::TxnAborted { txn: txn.id(), reason: "subscriber missing".into() });
+            return Err(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "subscriber missing".into(),
+            });
         }
         Ok(())
     }
@@ -134,14 +138,22 @@ impl Tm1 {
         start_time: i64,
     ) -> DbResult<()> {
         let tables = self.tables(db)?;
-        let facility =
-            db.probe_primary(txn, tables.special_facility, &Key::int2(s_id, sf_type), false, CcMode::Full)?;
+        let facility = db.probe_primary(
+            txn,
+            tables.special_facility,
+            &Key::int2(s_id, sf_type),
+            false,
+            CcMode::Full,
+        )?;
         let active = match facility {
             Some((_, row)) => row[2].as_int()? == 1,
             None => false,
         };
         if !active {
-            return Err(DbError::TxnAborted { txn: txn.id(), reason: "facility inactive".into() });
+            return Err(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "facility inactive".into(),
+            });
         }
         let forwarding = db.probe_primary(
             txn,
@@ -152,7 +164,10 @@ impl Tm1 {
         )?;
         match forwarding {
             Some(_) => Ok(()),
-            None => Err(DbError::TxnAborted { txn: txn.id(), reason: "no forwarding".into() }),
+            None => Err(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "no forwarding".into(),
+            }),
         }
     }
 
@@ -164,9 +179,18 @@ impl Tm1 {
         ai_type: i64,
     ) -> DbResult<()> {
         let tables = self.tables(db)?;
-        match db.probe_primary(txn, tables.access_info, &Key::int2(s_id, ai_type), false, CcMode::Full)? {
+        match db.probe_primary(
+            txn,
+            tables.access_info,
+            &Key::int2(s_id, ai_type),
+            false,
+            CcMode::Full,
+        )? {
             Some(_) => Ok(()),
-            None => Err(DbError::TxnAborted { txn: txn.id(), reason: "no access info".into() }),
+            None => Err(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "no access info".into(),
+            }),
         }
     }
 
@@ -180,10 +204,16 @@ impl Tm1 {
         data_a: i64,
     ) -> DbResult<()> {
         let tables = self.tables(db)?;
-        db.update_primary(txn, tables.subscriber, &Key::int(s_id), CcMode::Full, |row| {
-            row[2] = Value::Int(bit);
-            Ok(())
-        })?;
+        db.update_primary(
+            txn,
+            tables.subscriber,
+            &Key::int(s_id),
+            CcMode::Full,
+            |row| {
+                row[2] = Value::Int(bit);
+                Ok(())
+            },
+        )?;
         // Fails for ~62.5% of inputs: the (s_id, sf_type) facility may not
         // exist, aborting the whole transaction.
         match db.update_primary(
@@ -197,9 +227,10 @@ impl Tm1 {
             },
         ) {
             Ok(()) => Ok(()),
-            Err(DbError::NotFound { .. }) => {
-                Err(DbError::TxnAborted { txn: txn.id(), reason: "no such facility".into() })
-            }
+            Err(DbError::NotFound { .. }) => Err(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "no such facility".into(),
+            }),
             Err(other) => Err(other),
         }
     }
@@ -221,7 +252,10 @@ impl Tm1 {
             CcMode::Full,
         )?;
         let Some(entry) = hits.first() else {
-            return Err(DbError::TxnAborted { txn: txn.id(), reason: "unknown sub_nbr".into() });
+            return Err(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "unknown sub_nbr".into(),
+            });
         };
         let rid = entry.rid;
         db.update_rid(txn, tables.subscriber, rid, CcMode::Full, |row| {
@@ -242,10 +276,19 @@ impl Tm1 {
         let tables = self.tables(db)?;
         // The facility must exist.
         if db
-            .probe_primary(txn, tables.special_facility, &Key::int2(s_id, sf_type), false, CcMode::Full)?
+            .probe_primary(
+                txn,
+                tables.special_facility,
+                &Key::int2(s_id, sf_type),
+                false,
+                CcMode::Full,
+            )?
             .is_none()
         {
-            return Err(DbError::TxnAborted { txn: txn.id(), reason: "no such facility".into() });
+            return Err(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "no such facility".into(),
+            });
         }
         let row: Row = vec![
             Value::Int(s_id),
@@ -256,9 +299,10 @@ impl Tm1 {
         ];
         match db.insert(txn, tables.call_forwarding, row, CcMode::Full) {
             Ok(_) => Ok(()),
-            Err(DbError::DuplicateKey { .. }) => {
-                Err(DbError::TxnAborted { txn: txn.id(), reason: "forwarding exists".into() })
-            }
+            Err(DbError::DuplicateKey { .. }) => Err(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "forwarding exists".into(),
+            }),
             Err(other) => Err(other),
         }
     }
@@ -272,12 +316,17 @@ impl Tm1 {
         start_time: i64,
     ) -> DbResult<()> {
         let tables = self.tables(db)?;
-        match db.delete_primary(txn, tables.call_forwarding, &Key::int3(s_id, sf_type, start_time), CcMode::Full)
-        {
+        match db.delete_primary(
+            txn,
+            tables.call_forwarding,
+            &Key::int3(s_id, sf_type, start_time),
+            CcMode::Full,
+        ) {
             Ok(()) => Ok(()),
-            Err(DbError::NotFound { .. }) => {
-                Err(DbError::TxnAborted { txn: txn.id(), reason: "no forwarding to delete".into() })
-            }
+            Err(DbError::NotFound { .. }) => Err(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "no forwarding to delete".into(),
+            }),
             Err(other) => Err(other),
         }
     }
@@ -292,12 +341,25 @@ impl Tm1 {
         let phase = graph.add_phase();
         graph.add_action(
             phase,
-            ActionSpec::new("get-subscriber", tables.subscriber, Key::int(s_id), LocalMode::Shared, move |ctx| {
-                match ctx.db.probe_primary(ctx.txn, tables.subscriber, &Key::int(s_id), false, CcMode::None)? {
+            ActionSpec::new(
+                "get-subscriber",
+                tables.subscriber,
+                Key::int(s_id),
+                LocalMode::Shared,
+                move |ctx| match ctx.db.probe_primary(
+                    ctx.txn,
+                    tables.subscriber,
+                    &Key::int(s_id),
+                    false,
+                    CcMode::None,
+                )? {
                     Some(_) => Ok(()),
-                    None => Err(DbError::TxnAborted { txn: ctx.txn.id(), reason: "subscriber missing".into() }),
-                }
-            }),
+                    None => Err(DbError::TxnAborted {
+                        txn: ctx.txn.id(),
+                        reason: "subscriber missing".into(),
+                    }),
+                },
+            ),
         );
         Ok(graph)
     }
@@ -316,29 +378,42 @@ impl Tm1 {
         let p1 = graph.add_phase();
         graph.add_action(
             p1,
-            ActionSpec::new("probe-facility", tables.special_facility, Key::int(s_id), LocalMode::Shared, move |ctx| {
-                let facility = ctx.db.probe_primary(
-                    ctx.txn,
-                    tables.special_facility,
-                    &Key::int2(s_id, sf_type),
-                    false,
-                    CcMode::None,
-                )?;
-                let active = match facility {
-                    Some((_, row)) => row[2].as_int()? == 1,
-                    None => false,
-                };
-                if !active {
-                    return Err(DbError::TxnAborted { txn: ctx.txn.id(), reason: "facility inactive".into() });
-                }
-                Ok(())
-            }),
+            ActionSpec::new(
+                "probe-facility",
+                tables.special_facility,
+                Key::int(s_id),
+                LocalMode::Shared,
+                move |ctx| {
+                    let facility = ctx.db.probe_primary(
+                        ctx.txn,
+                        tables.special_facility,
+                        &Key::int2(s_id, sf_type),
+                        false,
+                        CcMode::None,
+                    )?;
+                    let active = match facility {
+                        Some((_, row)) => row[2].as_int()? == 1,
+                        None => false,
+                    };
+                    if !active {
+                        return Err(DbError::TxnAborted {
+                            txn: ctx.txn.id(),
+                            reason: "facility inactive".into(),
+                        });
+                    }
+                    Ok(())
+                },
+            ),
         );
         let p2 = graph.add_phase();
         graph.add_action(
             p2,
-            ActionSpec::new("probe-forwarding", tables.call_forwarding, Key::int(s_id), LocalMode::Shared, move |ctx| {
-                match ctx.db.probe_primary(
+            ActionSpec::new(
+                "probe-forwarding",
+                tables.call_forwarding,
+                Key::int(s_id),
+                LocalMode::Shared,
+                move |ctx| match ctx.db.probe_primary(
                     ctx.txn,
                     tables.call_forwarding,
                     &Key::int3(s_id, sf_type, start_time),
@@ -346,26 +421,47 @@ impl Tm1 {
                     CcMode::None,
                 )? {
                     Some(_) => Ok(()),
-                    None => Err(DbError::TxnAborted { txn: ctx.txn.id(), reason: "no forwarding".into() }),
-                }
-            }),
+                    None => Err(DbError::TxnAborted {
+                        txn: ctx.txn.id(),
+                        reason: "no forwarding".into(),
+                    }),
+                },
+            ),
         );
         Ok(graph)
     }
 
     /// Flow graph of GetAccessData: one read-only action on AccessInfo.
-    pub fn get_access_data_graph(&self, db: &Database, s_id: i64, ai_type: i64) -> DbResult<FlowGraph> {
+    pub fn get_access_data_graph(
+        &self,
+        db: &Database,
+        s_id: i64,
+        ai_type: i64,
+    ) -> DbResult<FlowGraph> {
         let tables = self.tables(db)?;
         let mut graph = FlowGraph::new();
         let phase = graph.add_phase();
         graph.add_action(
             phase,
-            ActionSpec::new("get-access-data", tables.access_info, Key::int(s_id), LocalMode::Shared, move |ctx| {
-                match ctx.db.probe_primary(ctx.txn, tables.access_info, &Key::int2(s_id, ai_type), false, CcMode::None)? {
+            ActionSpec::new(
+                "get-access-data",
+                tables.access_info,
+                Key::int(s_id),
+                LocalMode::Shared,
+                move |ctx| match ctx.db.probe_primary(
+                    ctx.txn,
+                    tables.access_info,
+                    &Key::int2(s_id, ai_type),
+                    false,
+                    CcMode::None,
+                )? {
                     Some(_) => Ok(()),
-                    None => Err(DbError::TxnAborted { txn: ctx.txn.id(), reason: "no access info".into() }),
-                }
-            }),
+                    None => Err(DbError::TxnAborted {
+                        txn: ctx.txn.id(),
+                        reason: "no access info".into(),
+                    }),
+                },
+            ),
         );
         Ok(graph)
     }
@@ -393,10 +489,16 @@ impl Tm1 {
             Key::int(s_id),
             LocalMode::Exclusive,
             move |ctx| {
-                ctx.db.update_primary(ctx.txn, tables.subscriber, &Key::int(s_id), CcMode::None, |row| {
-                    row[2] = Value::Int(bit);
-                    Ok(())
-                })
+                ctx.db.update_primary(
+                    ctx.txn,
+                    tables.subscriber,
+                    &Key::int(s_id),
+                    CcMode::None,
+                    |row| {
+                        row[2] = Value::Int(bit);
+                        Ok(())
+                    },
+                )
             },
         );
         let facility_action = ActionSpec::new(
@@ -404,28 +506,29 @@ impl Tm1 {
             tables.special_facility,
             Key::int(s_id),
             LocalMode::Exclusive,
-            move |ctx| {
-                match ctx.db.update_primary(
-                    ctx.txn,
-                    tables.special_facility,
-                    &Key::int2(s_id, sf_type),
-                    CcMode::None,
-                    |row| {
-                        row[4] = Value::Int(data_a);
-                        Ok(())
-                    },
-                ) {
-                    Ok(()) => Ok(()),
-                    Err(DbError::NotFound { .. }) => {
-                        Err(DbError::TxnAborted { txn: ctx.txn.id(), reason: "no such facility".into() })
-                    }
-                    Err(other) => Err(other),
-                }
+            move |ctx| match ctx.db.update_primary(
+                ctx.txn,
+                tables.special_facility,
+                &Key::int2(s_id, sf_type),
+                CcMode::None,
+                |row| {
+                    row[4] = Value::Int(data_a);
+                    Ok(())
+                },
+            ) {
+                Ok(()) => Ok(()),
+                Err(DbError::NotFound { .. }) => Err(DbError::TxnAborted {
+                    txn: ctx.txn.id(),
+                    reason: "no such facility".into(),
+                }),
+                Err(other) => Err(other),
             },
         );
         let graph = if serial {
             // DORA-S: the failure-prone action runs first, alone in its phase.
-            FlowGraph::new().phase_with(vec![facility_action]).phase_with(vec![subscriber_action])
+            FlowGraph::new()
+                .phase_with(vec![facility_action])
+                .phase_with(vec![subscriber_action])
         } else {
             // DORA-P: both actions in the same phase.
             FlowGraph::new().phase_with(vec![subscriber_action, facility_action])
@@ -436,7 +539,12 @@ impl Tm1 {
     /// Flow graph of UpdateLocation: a secondary action resolves the
     /// subscriber through the `sub_nbr` secondary index (whose leaves carry
     /// the routing fields), then the routed action updates the record.
-    pub fn update_location_graph(&self, db: &Database, s_id: i64, location: i64) -> DbResult<FlowGraph> {
+    pub fn update_location_graph(
+        &self,
+        db: &Database,
+        s_id: i64,
+        location: i64,
+    ) -> DbResult<FlowGraph> {
         let tables = self.tables(db)?;
         let nbr = Self::sub_nbr(s_id);
         let mut graph = FlowGraph::new();
@@ -451,10 +559,14 @@ impl Tm1 {
                     CcMode::None,
                 )?;
                 let Some(entry) = hits.first() else {
-                    return Err(DbError::TxnAborted { txn: ctx.txn.id(), reason: "unknown sub_nbr".into() });
+                    return Err(DbError::TxnAborted {
+                        txn: ctx.txn.id(),
+                        reason: "unknown sub_nbr".into(),
+                    });
                 };
                 // Stash the routing field and RID for the next phase.
-                ctx.scratch.put("s_id", entry.routing.leading_int().unwrap_or(s_id));
+                ctx.scratch
+                    .put("s_id", entry.routing.leading_int().unwrap_or(s_id));
                 ctx.scratch.put("rid", entry.rid.pack() as i64);
                 Ok(())
             }),
@@ -462,13 +574,20 @@ impl Tm1 {
         let p2 = graph.add_phase();
         graph.add_action(
             p2,
-            ActionSpec::new("update-location", tables.subscriber, Key::int(s_id), LocalMode::Exclusive, move |ctx| {
-                let rid = Rid::unpack(ctx.scratch.get_int("rid")? as u64);
-                ctx.db.update_rid(ctx.txn, tables.subscriber, rid, CcMode::None, |row| {
-                    row[4] = Value::Int(location);
-                    Ok(())
-                })
-            }),
+            ActionSpec::new(
+                "update-location",
+                tables.subscriber,
+                Key::int(s_id),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    let rid = Rid::unpack(ctx.scratch.get_int("rid")? as u64);
+                    ctx.db
+                        .update_rid(ctx.txn, tables.subscriber, rid, CcMode::None, |row| {
+                            row[4] = Value::Int(location);
+                            Ok(())
+                        })
+                },
+            ),
         );
         Ok(graph)
     }
@@ -490,8 +609,12 @@ impl Tm1 {
         let p1 = graph.add_phase();
         graph.add_action(
             p1,
-            ActionSpec::new("probe-facility", tables.special_facility, Key::int(s_id), LocalMode::Shared, move |ctx| {
-                match ctx.db.probe_primary(
+            ActionSpec::new(
+                "probe-facility",
+                tables.special_facility,
+                Key::int(s_id),
+                LocalMode::Shared,
+                move |ctx| match ctx.db.probe_primary(
                     ctx.txn,
                     tables.special_facility,
                     &Key::int2(s_id, sf_type),
@@ -499,29 +622,42 @@ impl Tm1 {
                     CcMode::None,
                 )? {
                     Some(_) => Ok(()),
-                    None => Err(DbError::TxnAborted { txn: ctx.txn.id(), reason: "no such facility".into() }),
-                }
-            }),
+                    None => Err(DbError::TxnAborted {
+                        txn: ctx.txn.id(),
+                        reason: "no such facility".into(),
+                    }),
+                },
+            ),
         );
         let p2 = graph.add_phase();
         graph.add_action(
             p2,
-            ActionSpec::new("insert-forwarding", tables.call_forwarding, Key::int(s_id), LocalMode::Exclusive, move |ctx| {
-                let row: Row = vec![
-                    Value::Int(s_id),
-                    Value::Int(sf_type),
-                    Value::Int(start_time),
-                    Value::Int(end_time),
-                    Value::Text(format!("{:015}", s_id + 1)),
-                ];
-                match ctx.db.insert(ctx.txn, tables.call_forwarding, row, CcMode::RowOnly) {
-                    Ok(_) => Ok(()),
-                    Err(DbError::DuplicateKey { .. }) => {
-                        Err(DbError::TxnAborted { txn: ctx.txn.id(), reason: "forwarding exists".into() })
+            ActionSpec::new(
+                "insert-forwarding",
+                tables.call_forwarding,
+                Key::int(s_id),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    let row: Row = vec![
+                        Value::Int(s_id),
+                        Value::Int(sf_type),
+                        Value::Int(start_time),
+                        Value::Int(end_time),
+                        Value::Text(format!("{:015}", s_id + 1)),
+                    ];
+                    match ctx
+                        .db
+                        .insert(ctx.txn, tables.call_forwarding, row, CcMode::RowOnly)
+                    {
+                        Ok(_) => Ok(()),
+                        Err(DbError::DuplicateKey { .. }) => Err(DbError::TxnAborted {
+                            txn: ctx.txn.id(),
+                            reason: "forwarding exists".into(),
+                        }),
+                        Err(other) => Err(other),
                     }
-                    Err(other) => Err(other),
-                }
-            }),
+                },
+            ),
         );
         Ok(graph)
     }
@@ -541,20 +677,25 @@ impl Tm1 {
         let phase = graph.add_phase();
         graph.add_action(
             phase,
-            ActionSpec::new("delete-forwarding", tables.call_forwarding, Key::int(s_id), LocalMode::Exclusive, move |ctx| {
-                match ctx.db.delete_primary(
+            ActionSpec::new(
+                "delete-forwarding",
+                tables.call_forwarding,
+                Key::int(s_id),
+                LocalMode::Exclusive,
+                move |ctx| match ctx.db.delete_primary(
                     ctx.txn,
                     tables.call_forwarding,
                     &Key::int3(s_id, sf_type, start_time),
                     CcMode::RowOnly,
                 ) {
                     Ok(()) => Ok(()),
-                    Err(DbError::NotFound { .. }) => {
-                        Err(DbError::TxnAborted { txn: ctx.txn.id(), reason: "no forwarding to delete".into() })
-                    }
+                    Err(DbError::NotFound { .. }) => Err(DbError::TxnAborted {
+                        txn: ctx.txn.id(),
+                        reason: "no forwarding to delete".into(),
+                    }),
                     Err(other) => Err(other),
-                }
-            }),
+                },
+            ),
         );
         Ok(graph)
     }
@@ -717,7 +858,12 @@ impl Workload for Tm1 {
 
     fn bind_dora(&self, engine: &DoraEngine, executors_per_table: usize) -> DbResult<()> {
         let tables = self.tables(engine.db())?;
-        for table in [tables.subscriber, tables.access_info, tables.special_facility, tables.call_forwarding] {
+        for table in [
+            tables.subscriber,
+            tables.access_info,
+            tables.special_facility,
+            tables.call_forwarding,
+        ] {
             engine.bind_table(table, executors_per_table, 1, self.subscribers)?;
         }
         Ok(())
@@ -769,7 +915,9 @@ impl Workload for Tm1 {
         let end_time = start_time + uniform(rng, 1, 8);
         let graph = match txn_type {
             Tm1Txn::GetSubscriberData => self.get_subscriber_data_graph(db, s_id),
-            Tm1Txn::GetNewDestination => self.get_new_destination_graph(db, s_id, sf_type, start_time),
+            Tm1Txn::GetNewDestination => {
+                self.get_new_destination_graph(db, s_id, sf_type, start_time)
+            }
             Tm1Txn::GetAccessData => self.get_access_data_graph(db, s_id, ai_type),
             Tm1Txn::UpdateSubscriberData => self.update_subscriber_data_graph(
                 db,
@@ -835,7 +983,10 @@ mod tests {
                 TxnOutcome::Aborted => aborted += 1,
             }
         }
-        assert!(committed > 150, "most transactions should commit ({committed})");
+        assert!(
+            committed > 150,
+            "most transactions should commit ({committed})"
+        );
         assert!(aborted > 0, "TM1 has a sizable invalid-input abort rate");
     }
 
@@ -853,7 +1004,10 @@ mod tests {
                 TxnOutcome::Aborted => aborted += 1,
             }
         }
-        assert!(committed > 150, "most transactions should commit ({committed})");
+        assert!(
+            committed > 150,
+            "most transactions should commit ({committed})"
+        );
         assert!(aborted > 0);
         engine.shutdown();
     }
@@ -875,9 +1029,13 @@ mod tests {
         for s_id in 1..=50i64 {
             let location = s_id * 1000;
             let txn = db_base.begin();
-            workload_base.update_location_baseline(&db_base, &txn, s_id, location).unwrap();
+            workload_base
+                .update_location_baseline(&db_base, &txn, s_id, location)
+                .unwrap();
             db_base.commit(&txn).unwrap();
-            let graph = workload_dora.update_location_graph(&db_dora, s_id, location).unwrap();
+            let graph = workload_dora
+                .update_location_graph(&db_dora, s_id, location)
+                .unwrap();
             dora.execute(graph).unwrap();
         }
 
@@ -887,14 +1045,29 @@ mod tests {
         let check_dora = db_dora.begin();
         for s_id in 1..=50i64 {
             let (_, row_base) = db_base
-                .probe_primary(&check_base, tables_base.subscriber, &Key::int(s_id), false, CcMode::Full)
+                .probe_primary(
+                    &check_base,
+                    tables_base.subscriber,
+                    &Key::int(s_id),
+                    false,
+                    CcMode::Full,
+                )
                 .unwrap()
                 .unwrap();
             let (_, row_dora) = db_dora
-                .probe_primary(&check_dora, tables_dora.subscriber, &Key::int(s_id), false, CcMode::Full)
+                .probe_primary(
+                    &check_dora,
+                    tables_dora.subscriber,
+                    &Key::int(s_id),
+                    false,
+                    CcMode::Full,
+                )
                 .unwrap()
                 .unwrap();
-            assert_eq!(row_base[4], row_dora[4], "vlr_location must match for subscriber {s_id}");
+            assert_eq!(
+                row_base[4], row_dora[4],
+                "vlr_location must match for subscriber {s_id}"
+            );
             assert_eq!(row_base[4], Value::Int(s_id * 1000));
         }
         db_base.commit(&check_base).unwrap();
@@ -910,18 +1083,34 @@ mod tests {
         // Subscriber 3 has sf_types 1..=((3+1)%4)+1 = 1..=1, so sf_type 1
         // exists (parallel plan commits) and sf_type 4 does not (any plan
         // aborts and leaves no partial update).
-        let graph = workload.update_subscriber_data_graph(&db, 3, 1, 1, 42, false).unwrap();
+        let graph = workload
+            .update_subscriber_data_graph(&db, 3, 1, 1, 42, false)
+            .unwrap();
         engine.execute(graph).unwrap();
-        let graph = workload.update_subscriber_data_graph(&db, 3, 4, 0, 99, true).unwrap();
+        let graph = workload
+            .update_subscriber_data_graph(&db, 3, 4, 0, 99, true)
+            .unwrap();
         assert!(engine.execute(graph).is_err());
 
         let tables = workload.tables(&db).unwrap();
         let check = db.begin();
-        let (_, sub) =
-            db.probe_primary(&check, tables.subscriber, &Key::int(3), false, CcMode::Full).unwrap().unwrap();
-        assert_eq!(sub[2], Value::Int(1), "committed plan applied, aborted plan rolled back");
+        let (_, sub) = db
+            .probe_primary(&check, tables.subscriber, &Key::int(3), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            sub[2],
+            Value::Int(1),
+            "committed plan applied, aborted plan rolled back"
+        );
         let (_, sf) = db
-            .probe_primary(&check, tables.special_facility, &Key::int2(3, 1), false, CcMode::Full)
+            .probe_primary(
+                &check,
+                tables.special_facility,
+                &Key::int2(3, 1),
+                false,
+                CcMode::Full,
+            )
             .unwrap()
             .unwrap();
         assert_eq!(sf[4], Value::Int(42));
@@ -937,21 +1126,35 @@ mod tests {
         let tables = workload.tables(&db).unwrap();
         // Subscriber 10 has sf_type 1; use an unusual start time to avoid
         // colliding with loaded rows.
-        let graph = workload.insert_call_forwarding_graph(&db, 10, 1, 99, 120).unwrap();
+        let graph = workload
+            .insert_call_forwarding_graph(&db, 10, 1, 99, 120)
+            .unwrap();
         engine.execute(graph).unwrap();
         let check = db.begin();
         assert!(db
-            .probe_primary(&check, tables.call_forwarding, &Key::int3(10, 1, 99), false, CcMode::Full)
+            .probe_primary(
+                &check,
+                tables.call_forwarding,
+                &Key::int3(10, 1, 99),
+                false,
+                CcMode::Full
+            )
             .unwrap()
             .is_some());
         db.commit(&check).unwrap();
         // Duplicate insert aborts.
-        let graph = workload.insert_call_forwarding_graph(&db, 10, 1, 99, 120).unwrap();
+        let graph = workload
+            .insert_call_forwarding_graph(&db, 10, 1, 99, 120)
+            .unwrap();
         assert!(engine.execute(graph).is_err());
         // Delete removes it; a second delete aborts.
-        let graph = workload.delete_call_forwarding_graph(&db, 10, 1, 99).unwrap();
+        let graph = workload
+            .delete_call_forwarding_graph(&db, 10, 1, 99)
+            .unwrap();
         engine.execute(graph).unwrap();
-        let graph = workload.delete_call_forwarding_graph(&db, 10, 1, 99).unwrap();
+        let graph = workload
+            .delete_call_forwarding_graph(&db, 10, 1, 99)
+            .unwrap();
         assert!(engine.execute(graph).is_err());
         engine.shutdown();
     }

@@ -124,21 +124,33 @@ impl TpcB {
         amount: f64,
     ) -> DbResult<()> {
         let tables = self.tables(db)?;
-        db.update_primary(txn, tables.account, &Key::int(account), CcMode::Full, |row| {
-            let balance = row[2].as_float()?;
-            row[2] = Value::Float(balance + amount);
-            Ok(())
-        })?;
+        db.update_primary(
+            txn,
+            tables.account,
+            &Key::int(account),
+            CcMode::Full,
+            |row| {
+                let balance = row[2].as_float()?;
+                row[2] = Value::Float(balance + amount);
+                Ok(())
+            },
+        )?;
         db.update_primary(txn, tables.teller, &Key::int(teller), CcMode::Full, |row| {
             let balance = row[2].as_float()?;
             row[2] = Value::Float(balance + amount);
             Ok(())
         })?;
-        db.update_primary(txn, tables.branch, &Key::int(home_branch), CcMode::Full, |row| {
-            let balance = row[1].as_float()?;
-            row[1] = Value::Float(balance + amount);
-            Ok(())
-        })?;
+        db.update_primary(
+            txn,
+            tables.branch,
+            &Key::int(home_branch),
+            CcMode::Full,
+            |row| {
+                let balance = row[1].as_float()?;
+                row[1] = Value::Float(balance + amount);
+                Ok(())
+            },
+        )?;
         db.insert(
             txn,
             tables.history,
@@ -174,11 +186,17 @@ impl TpcB {
             Key::int(account),
             LocalMode::Exclusive,
             move |ctx| {
-                ctx.db.update_primary(ctx.txn, tables.account, &Key::int(account), CcMode::None, |row| {
-                    let balance = row[2].as_float()?;
-                    row[2] = Value::Float(balance + amount);
-                    Ok(())
-                })
+                ctx.db.update_primary(
+                    ctx.txn,
+                    tables.account,
+                    &Key::int(account),
+                    CcMode::None,
+                    |row| {
+                        let balance = row[2].as_float()?;
+                        row[2] = Value::Float(balance + amount);
+                        Ok(())
+                    },
+                )
             },
         );
         let teller_action = ActionSpec::new(
@@ -187,11 +205,17 @@ impl TpcB {
             Key::int(teller),
             LocalMode::Exclusive,
             move |ctx| {
-                ctx.db.update_primary(ctx.txn, tables.teller, &Key::int(teller), CcMode::None, |row| {
-                    let balance = row[2].as_float()?;
-                    row[2] = Value::Float(balance + amount);
-                    Ok(())
-                })
+                ctx.db.update_primary(
+                    ctx.txn,
+                    tables.teller,
+                    &Key::int(teller),
+                    CcMode::None,
+                    |row| {
+                        let balance = row[2].as_float()?;
+                        row[2] = Value::Float(balance + amount);
+                        Ok(())
+                    },
+                )
             },
         );
         let branch_action = ActionSpec::new(
@@ -200,11 +224,17 @@ impl TpcB {
             Key::int(home_branch),
             LocalMode::Exclusive,
             move |ctx| {
-                ctx.db.update_primary(ctx.txn, tables.branch, &Key::int(home_branch), CcMode::None, |row| {
-                    let balance = row[1].as_float()?;
-                    row[1] = Value::Float(balance + amount);
-                    Ok(())
-                })
+                ctx.db.update_primary(
+                    ctx.txn,
+                    tables.branch,
+                    &Key::int(home_branch),
+                    CcMode::None,
+                    |row| {
+                        let balance = row[1].as_float()?;
+                        row[1] = Value::Float(balance + amount);
+                        Ok(())
+                    },
+                )
             },
         );
         let history_action = ActionSpec::new(
@@ -292,7 +322,11 @@ impl Workload for TpcB {
             for teller in 1..=TELLERS_PER_BRANCH {
                 db.load_row(
                     tables.teller,
-                    vec![Value::Int(Self::teller_id(branch, teller)), Value::Int(branch), Value::Float(0.0)],
+                    vec![
+                        Value::Int(Self::teller_id(branch, teller)),
+                        Value::Int(branch),
+                        Value::Float(0.0),
+                    ],
                 )?;
             }
             for account in 1..=self.accounts_per_branch {
@@ -411,7 +445,10 @@ mod tests {
         let engine = crate::spec::TestExecutor::new(Arc::clone(&db));
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..100 {
-            assert_eq!(workload.run_baseline(&engine, &mut rng), TxnOutcome::Committed);
+            assert_eq!(
+                workload.run_baseline(&engine, &mut rng),
+                TxnOutcome::Committed
+            );
         }
         let (branches, tellers, accounts) = total_balance(&db, &workload);
         // Every transaction adds the same amount to one branch, one teller
@@ -444,8 +481,14 @@ mod tests {
             handle.join().unwrap();
         }
         let (branches, tellers, accounts) = total_balance(&db, &workload);
-        assert!((branches - tellers).abs() < 1e-6, "branch={branches} teller={tellers}");
-        assert!((branches - accounts).abs() < 1e-6, "branch={branches} accounts={accounts}");
+        assert!(
+            (branches - tellers).abs() < 1e-6,
+            "branch={branches} teller={tellers}"
+        );
+        assert!(
+            (branches - accounts).abs() < 1e-6,
+            "branch={branches} accounts={accounts}"
+        );
         let tables = workload.tables(&db).unwrap();
         assert_eq!(db.row_count(tables.history).unwrap(), 200);
         engine.shutdown();
@@ -464,6 +507,9 @@ mod tests {
             }
         }
         let rate = remote as f64 / total as f64;
-        assert!(rate > 0.10 && rate < 0.20, "remote rate {rate} should be near 15%");
+        assert!(
+            rate > 0.10 && rate < 0.20,
+            "remote rate {rate} should be near 15%"
+        );
     }
 }

@@ -160,6 +160,7 @@ impl Tpcc {
     /// Resolves a customer either by id or (60% of the time, as in the
     /// Payment specification) by last name through the secondary index,
     /// returning its (rid, c_id).
+    #[allow(clippy::too_many_arguments)]
     fn resolve_customer(
         &self,
         db: &Database,
@@ -181,14 +182,26 @@ impl Tpcc {
             // The specification picks the middle customer of the sorted
             // matches; entries are already grouped under one key.
             let Some(entry) = hits.get(hits.len() / 2) else {
-                return Err(DbError::TxnAborted { txn: txn.id(), reason: "no customer with last name".into() });
+                return Err(DbError::TxnAborted {
+                    txn: txn.id(),
+                    reason: "no customer with last name".into(),
+                });
             };
             let row = db.read_rid(txn, tables.customer, entry.rid, false, cc)?;
             Ok((entry.rid, row[2].as_int()?))
         } else {
-            match db.probe_primary(txn, tables.customer, &Key::int3(w_id, d_id, c_id), false, cc)? {
+            match db.probe_primary(
+                txn,
+                tables.customer,
+                &Key::int3(w_id, d_id, c_id),
+                false,
+                cc,
+            )? {
                 Some((rid, _)) => Ok((rid, c_id)),
-                None => Err(DbError::TxnAborted { txn: txn.id(), reason: "no such customer".into() }),
+                None => Err(DbError::TxnAborted {
+                    txn: txn.id(),
+                    reason: "no such customer".into(),
+                }),
             }
         }
     }
@@ -209,23 +222,42 @@ impl Tpcc {
         amount: f64,
     ) -> DbResult<()> {
         let tables = self.tables(db)?;
-        db.update_primary(txn, tables.warehouse, &Key::int(w_id), CcMode::Full, |row| {
-            let ytd = row[2].as_float()?;
-            row[2] = Value::Float(ytd + amount);
-            Ok(())
-        })?;
-        db.update_primary(txn, tables.district, &Key::int2(w_id, d_id), CcMode::Full, |row| {
-            let ytd = row[3].as_float()?;
-            row[3] = Value::Float(ytd + amount);
-            Ok(())
-        })?;
+        db.update_primary(
+            txn,
+            tables.warehouse,
+            &Key::int(w_id),
+            CcMode::Full,
+            |row| {
+                let ytd = row[2].as_float()?;
+                row[2] = Value::Float(ytd + amount);
+                Ok(())
+            },
+        )?;
+        db.update_primary(
+            txn,
+            tables.district,
+            &Key::int2(w_id, d_id),
+            CcMode::Full,
+            |row| {
+                let ytd = row[3].as_float()?;
+                row[3] = Value::Float(ytd + amount);
+                Ok(())
+            },
+        )?;
         let (customer_rid, c_id) = match &customer {
             CustomerSelector::ById(c_id) => {
                 self.resolve_customer(db, txn, &tables, c_w_id, c_d_id, None, *c_id, CcMode::Full)?
             }
-            CustomerSelector::ByLastName(last) => {
-                self.resolve_customer(db, txn, &tables, c_w_id, c_d_id, Some(last), 0, CcMode::Full)?
-            }
+            CustomerSelector::ByLastName(last) => self.resolve_customer(
+                db,
+                txn,
+                &tables,
+                c_w_id,
+                c_d_id,
+                Some(last),
+                0,
+                CcMode::Full,
+            )?,
         };
         db.update_rid(txn, tables.customer, customer_rid, CcMode::Full, |row| {
             let balance = row[4].as_float()?;
@@ -275,11 +307,17 @@ impl Tpcc {
             Key::int(w_id),
             LocalMode::Exclusive,
             move |ctx| {
-                ctx.db.update_primary(ctx.txn, tables.warehouse, &Key::int(w_id), CcMode::None, |row| {
-                    let ytd = row[2].as_float()?;
-                    row[2] = Value::Float(ytd + amount);
-                    Ok(())
-                })
+                ctx.db.update_primary(
+                    ctx.txn,
+                    tables.warehouse,
+                    &Key::int(w_id),
+                    CcMode::None,
+                    |row| {
+                        let ytd = row[2].as_float()?;
+                        row[2] = Value::Float(ytd + amount);
+                        Ok(())
+                    },
+                )
             },
         );
         let district_action = ActionSpec::new(
@@ -288,11 +326,17 @@ impl Tpcc {
             Key::int2(w_id, d_id),
             LocalMode::Exclusive,
             move |ctx| {
-                ctx.db.update_primary(ctx.txn, tables.district, &Key::int2(w_id, d_id), CcMode::None, |row| {
-                    let ytd = row[3].as_float()?;
-                    row[3] = Value::Float(ytd + amount);
-                    Ok(())
-                })
+                ctx.db.update_primary(
+                    ctx.txn,
+                    tables.district,
+                    &Key::int2(w_id, d_id),
+                    CcMode::None,
+                    |row| {
+                        let ytd = row[3].as_float()?;
+                        row[3] = Value::Float(ytd + amount);
+                        Ok(())
+                    },
+                )
             },
         );
         let customer_action = ActionSpec::new(
@@ -303,21 +347,36 @@ impl Tpcc {
             move |ctx| {
                 let (rid, c_id) = match &customer {
                     CustomerSelector::ById(c_id) => this.resolve_customer(
-                        ctx.db, ctx.txn, &tables, c_w_id, c_d_id, None, *c_id, CcMode::None,
+                        ctx.db,
+                        ctx.txn,
+                        &tables,
+                        c_w_id,
+                        c_d_id,
+                        None,
+                        *c_id,
+                        CcMode::None,
                     )?,
                     CustomerSelector::ByLastName(last) => this.resolve_customer(
-                        ctx.db, ctx.txn, &tables, c_w_id, c_d_id, Some(last), 0, CcMode::None,
+                        ctx.db,
+                        ctx.txn,
+                        &tables,
+                        c_w_id,
+                        c_d_id,
+                        Some(last),
+                        0,
+                        CcMode::None,
                     )?,
                 };
-                ctx.db.update_rid(ctx.txn, tables.customer, rid, CcMode::None, |row| {
-                    let balance = row[4].as_float()?;
-                    let ytd = row[5].as_float()?;
-                    let count = row[6].as_int()?;
-                    row[4] = Value::Float(balance - amount);
-                    row[5] = Value::Float(ytd + amount);
-                    row[6] = Value::Int(count + 1);
-                    Ok(())
-                })?;
+                ctx.db
+                    .update_rid(ctx.txn, tables.customer, rid, CcMode::None, |row| {
+                        let balance = row[4].as_float()?;
+                        let ytd = row[5].as_float()?;
+                        let count = row[6].as_int()?;
+                        row[4] = Value::Float(balance - amount);
+                        row[5] = Value::Float(ytd + amount);
+                        row[6] = Value::Int(count + 1);
+                        Ok(())
+                    })?;
                 ctx.scratch.put("c_id", c_id);
                 Ok(())
             },
@@ -377,25 +436,33 @@ impl Tpcc {
             CcMode::Full,
         )?;
         let Some(latest) = orders.iter().map(|e| e.rid).max_by_key(|rid| rid.pack()) else {
-            return Err(DbError::TxnAborted { txn: txn.id(), reason: "customer has no orders".into() });
+            return Err(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "customer has no orders".into(),
+            });
         };
         let order = db.read_rid(txn, tables.orders, latest, false, CcMode::Full)?;
         let o_id = order[2].as_int()?;
-        let lines = db.probe_secondary(txn, tables.orders_by_customer, &Key::int3(w_id, d_id, c_id), CcMode::Full)?;
+        let lines = db.probe_secondary(
+            txn,
+            tables.orders_by_customer,
+            &Key::int3(w_id, d_id, c_id),
+            CcMode::Full,
+        )?;
         let _ = lines;
         // Read every order line of the latest order.
         let mut line_number = 1;
-        loop {
-            match db.probe_primary(
+        while db
+            .probe_primary(
                 txn,
                 tables.order_line,
                 &Key::from_values([w_id, d_id, o_id, line_number]),
                 false,
                 CcMode::Full,
-            )? {
-                Some(_) => line_number += 1,
-                None => break,
-            }
+            )?
+            .is_some()
+        {
+            line_number += 1;
         }
         Ok(())
     }
@@ -421,10 +488,24 @@ impl Tpcc {
             move |ctx| {
                 let (_, c_id) = match &customer {
                     CustomerSelector::ById(c_id) => this.resolve_customer(
-                        ctx.db, ctx.txn, &tables, w_id, d_id, None, *c_id, CcMode::None,
+                        ctx.db,
+                        ctx.txn,
+                        &tables,
+                        w_id,
+                        d_id,
+                        None,
+                        *c_id,
+                        CcMode::None,
                     )?,
                     CustomerSelector::ByLastName(last) => this.resolve_customer(
-                        ctx.db, ctx.txn, &tables, w_id, d_id, Some(last), 0, CcMode::None,
+                        ctx.db,
+                        ctx.txn,
+                        &tables,
+                        w_id,
+                        d_id,
+                        Some(last),
+                        0,
+                        CcMode::None,
                     )?,
                 };
                 ctx.scratch.put("c_id", c_id);
@@ -450,7 +531,9 @@ impl Tpcc {
                         reason: "customer has no orders".into(),
                     });
                 };
-                let order = ctx.db.read_rid(ctx.txn, tables.orders, latest, false, CcMode::None)?;
+                let order = ctx
+                    .db
+                    .read_rid(ctx.txn, tables.orders, latest, false, CcMode::None)?;
                 ctx.scratch.put("o_id", order[2].as_int()?);
                 Ok(())
             },
@@ -463,17 +546,18 @@ impl Tpcc {
             move |ctx| {
                 let o_id = ctx.scratch.get_int("o_id")?;
                 let mut line_number = 1;
-                loop {
-                    match ctx.db.probe_primary(
+                while ctx
+                    .db
+                    .probe_primary(
                         ctx.txn,
                         tables.order_line,
                         &Key::from_values([w_id, d_id, o_id, line_number]),
                         false,
                         CcMode::None,
-                    )? {
-                        Some(_) => line_number += 1,
-                        None => break,
-                    }
+                    )?
+                    .is_some()
+                {
+                    line_number += 1;
                 }
                 Ok(())
             },
@@ -499,8 +583,20 @@ impl Tpcc {
         items: &[(i64, i64)],
     ) -> DbResult<()> {
         let tables = self.tables(db)?;
-        if db.probe_primary(txn, tables.customer, &Key::int3(w_id, d_id, c_id), false, CcMode::Full)?.is_none() {
-            return Err(DbError::TxnAborted { txn: txn.id(), reason: "no such customer".into() });
+        if db
+            .probe_primary(
+                txn,
+                tables.customer,
+                &Key::int3(w_id, d_id, c_id),
+                false,
+                CcMode::Full,
+            )?
+            .is_none()
+        {
+            return Err(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "no such customer".into(),
+            });
         }
         // Validate the items up front; an unknown item aborts.
         let mut prices = Vec::with_capacity(items.len());
@@ -508,16 +604,25 @@ impl Tpcc {
             match db.probe_primary(txn, tables.item, &Key::int(*item_id), false, CcMode::Full)? {
                 Some((_, row)) => prices.push(row[2].as_float()?),
                 None => {
-                    return Err(DbError::TxnAborted { txn: txn.id(), reason: "unused item id".into() })
+                    return Err(DbError::TxnAborted {
+                        txn: txn.id(),
+                        reason: "unused item id".into(),
+                    })
                 }
             }
         }
         let mut o_id = 0;
-        db.update_primary(txn, tables.district, &Key::int2(w_id, d_id), CcMode::Full, |row| {
-            o_id = row[4].as_int()?;
-            row[4] = Value::Int(o_id + 1);
-            Ok(())
-        })?;
+        db.update_primary(
+            txn,
+            tables.district,
+            &Key::int2(w_id, d_id),
+            CcMode::Full,
+            |row| {
+                o_id = row[4].as_int()?;
+                row[4] = Value::Int(o_id + 1);
+                Ok(())
+            },
+        )?;
         db.insert(
             txn,
             tables.orders,
@@ -538,15 +643,24 @@ impl Tpcc {
             CcMode::Full,
         )?;
         for (number, ((item_id, quantity), price)) in items.iter().zip(prices.iter()).enumerate() {
-            db.update_primary(txn, tables.stock, &Key::int2(w_id, *item_id), CcMode::Full, |row| {
-                let quantity_now = row[2].as_int()?;
-                let new_quantity =
-                    if quantity_now >= quantity + 10 { quantity_now - quantity } else { quantity_now + 91 - quantity };
-                row[2] = Value::Int(new_quantity);
-                row[3] = Value::Int(row[3].as_int()? + quantity);
-                row[4] = Value::Int(row[4].as_int()? + 1);
-                Ok(())
-            })?;
+            db.update_primary(
+                txn,
+                tables.stock,
+                &Key::int2(w_id, *item_id),
+                CcMode::Full,
+                |row| {
+                    let quantity_now = row[2].as_int()?;
+                    let new_quantity = if quantity_now >= quantity + 10 {
+                        quantity_now - quantity
+                    } else {
+                        quantity_now + 91 - quantity
+                    };
+                    row[2] = Value::Int(new_quantity);
+                    row[3] = Value::Int(row[3].as_int()? + quantity);
+                    row[4] = Value::Int(row[4].as_int()? + 1);
+                    Ok(())
+                },
+            )?;
             db.insert(
                 txn,
                 tables.order_line,
@@ -587,10 +701,19 @@ impl Tpcc {
             move |ctx| {
                 if ctx
                     .db
-                    .probe_primary(ctx.txn, tables.customer, &Key::int3(w_id, d_id, c_id), false, CcMode::None)?
+                    .probe_primary(
+                        ctx.txn,
+                        tables.customer,
+                        &Key::int3(w_id, d_id, c_id),
+                        false,
+                        CcMode::None,
+                    )?
                     .is_none()
                 {
-                    return Err(DbError::TxnAborted { txn: ctx.txn.id(), reason: "no such customer".into() });
+                    return Err(DbError::TxnAborted {
+                        txn: ctx.txn.id(),
+                        reason: "no such customer".into(),
+                    });
                 }
                 Ok(())
             },
@@ -602,11 +725,17 @@ impl Tpcc {
             LocalMode::Exclusive,
             move |ctx| {
                 let mut o_id = 0;
-                ctx.db.update_primary(ctx.txn, tables.district, &Key::int2(w_id, d_id), CcMode::None, |row| {
-                    o_id = row[4].as_int()?;
-                    row[4] = Value::Int(o_id + 1);
-                    Ok(())
-                })?;
+                ctx.db.update_primary(
+                    ctx.txn,
+                    tables.district,
+                    &Key::int2(w_id, d_id),
+                    CcMode::None,
+                    |row| {
+                        o_id = row[4].as_int()?;
+                        row[4] = Value::Int(o_id + 1);
+                        Ok(())
+                    },
+                )?;
                 ctx.scratch.put("o_id", o_id);
                 Ok(())
             },
@@ -621,17 +750,21 @@ impl Tpcc {
                 tables.item,
                 Key::int(item_id),
                 LocalMode::Shared,
-                move |ctx| {
-                    match ctx.db.probe_primary(ctx.txn, tables.item, &Key::int(item_id), false, CcMode::None)? {
-                        Some((_, row)) => {
-                            ctx.scratch.put(&slot, row[2].as_float()?);
-                            Ok(())
-                        }
-                        None => Err(DbError::TxnAborted {
-                            txn: ctx.txn.id(),
-                            reason: "unused item id".into(),
-                        }),
+                move |ctx| match ctx.db.probe_primary(
+                    ctx.txn,
+                    tables.item,
+                    &Key::int(item_id),
+                    false,
+                    CcMode::None,
+                )? {
+                    Some((_, row)) => {
+                        ctx.scratch.put(&slot, row[2].as_float()?);
+                        Ok(())
                     }
+                    None => Err(DbError::TxnAborted {
+                        txn: ctx.txn.id(),
+                        reason: "unused item id".into(),
+                    }),
                 },
             ));
         }
@@ -646,18 +779,24 @@ impl Tpcc {
             LocalMode::Exclusive,
             move |ctx| {
                 for (item_id, quantity) in &items_for_stock {
-                    ctx.db.update_primary(ctx.txn, tables.stock, &Key::int2(w_id, *item_id), CcMode::None, |row| {
-                        let quantity_now = row[2].as_int()?;
-                        let new_quantity = if quantity_now >= quantity + 10 {
-                            quantity_now - quantity
-                        } else {
-                            quantity_now + 91 - quantity
-                        };
-                        row[2] = Value::Int(new_quantity);
-                        row[3] = Value::Int(row[3].as_int()? + quantity);
-                        row[4] = Value::Int(row[4].as_int()? + 1);
-                        Ok(())
-                    })?;
+                    ctx.db.update_primary(
+                        ctx.txn,
+                        tables.stock,
+                        &Key::int2(w_id, *item_id),
+                        CcMode::None,
+                        |row| {
+                            let quantity_now = row[2].as_int()?;
+                            let new_quantity = if quantity_now >= quantity + 10 {
+                                quantity_now - quantity
+                            } else {
+                                quantity_now + 91 - quantity
+                            };
+                            row[2] = Value::Int(new_quantity);
+                            row[3] = Value::Int(row[3].as_int()? + quantity);
+                            row[4] = Value::Int(row[4].as_int()? + 1);
+                            Ok(())
+                        },
+                    )?;
                 }
                 Ok(())
             },
@@ -744,7 +883,13 @@ impl Tpcc {
 
     /// Baseline body of Delivery: for every district of the warehouse,
     /// deliver the oldest undelivered order.
-    pub fn delivery_baseline(&self, db: &Database, txn: &TxnHandle, w_id: i64, carrier: i64) -> DbResult<()> {
+    pub fn delivery_baseline(
+        &self,
+        db: &Database,
+        txn: &TxnHandle,
+        w_id: i64,
+        carrier: i64,
+    ) -> DbResult<()> {
         let tables = self.tables(db)?;
         for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
             // Oldest new-order entry for the district.
@@ -756,36 +901,48 @@ impl Tpcc {
                 }
             })?;
             let Some(o_id) = oldest else { continue };
-            db.delete_primary(txn, tables.new_order, &Key::int3(w_id, d_id, o_id), CcMode::Full)?;
+            db.delete_primary(
+                txn,
+                tables.new_order,
+                &Key::int3(w_id, d_id, o_id),
+                CcMode::Full,
+            )?;
             let mut c_id = 0;
-            db.update_primary(txn, tables.orders, &Key::int3(w_id, d_id, o_id), CcMode::Full, |row| {
-                c_id = row[3].as_int()?;
-                row[4] = Value::Int(carrier);
-                Ok(())
-            })?;
+            db.update_primary(
+                txn,
+                tables.orders,
+                &Key::int3(w_id, d_id, o_id),
+                CcMode::Full,
+                |row| {
+                    c_id = row[3].as_int()?;
+                    row[4] = Value::Int(carrier);
+                    Ok(())
+                },
+            )?;
             // Sum the order's lines.
             let mut amount = 0.0;
             let mut line_number = 1;
-            loop {
-                match db.probe_primary(
-                    txn,
-                    tables.order_line,
-                    &Key::from_values([w_id, d_id, o_id, line_number]),
-                    false,
-                    CcMode::Full,
-                )? {
-                    Some((_, row)) => {
-                        amount += row[6].as_float()?;
-                        line_number += 1;
-                    }
-                    None => break,
-                }
+            while let Some((_, row)) = db.probe_primary(
+                txn,
+                tables.order_line,
+                &Key::from_values([w_id, d_id, o_id, line_number]),
+                false,
+                CcMode::Full,
+            )? {
+                amount += row[6].as_float()?;
+                line_number += 1;
             }
-            db.update_primary(txn, tables.customer, &Key::int3(w_id, d_id, c_id), CcMode::Full, |row| {
-                row[4] = Value::Float(row[4].as_float()? + amount);
-                row[7] = Value::Int(row[7].as_int()? + 1);
-                Ok(())
-            })?;
+            db.update_primary(
+                txn,
+                tables.customer,
+                &Key::int3(w_id, d_id, c_id),
+                CcMode::Full,
+                |row| {
+                    row[4] = Value::Float(row[4].as_float()? + amount);
+                    row[7] = Value::Int(row[7].as_int()? + 1);
+                    Ok(())
+                },
+            )?;
         }
         Ok(())
     }
@@ -804,14 +961,21 @@ impl Tpcc {
             move |ctx| {
                 for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
                     let mut oldest: Option<i64> = None;
-                    ctx.db.scan_table(ctx.txn, tables.new_order, CcMode::None, |_, row| {
-                        if row[0] == Value::Int(w_id) && row[1] == Value::Int(d_id) {
-                            let o_id = row[2].as_int().unwrap_or(i64::MAX);
-                            oldest = Some(oldest.map_or(o_id, |current: i64| current.min(o_id)));
-                        }
-                    })?;
+                    ctx.db
+                        .scan_table(ctx.txn, tables.new_order, CcMode::None, |_, row| {
+                            if row[0] == Value::Int(w_id) && row[1] == Value::Int(d_id) {
+                                let o_id = row[2].as_int().unwrap_or(i64::MAX);
+                                oldest =
+                                    Some(oldest.map_or(o_id, |current: i64| current.min(o_id)));
+                            }
+                        })?;
                     if let Some(o_id) = oldest {
-                        ctx.db.delete_primary(ctx.txn, tables.new_order, &Key::int3(w_id, d_id, o_id), CcMode::RowOnly)?;
+                        ctx.db.delete_primary(
+                            ctx.txn,
+                            tables.new_order,
+                            &Key::int3(w_id, d_id, o_id),
+                            CcMode::RowOnly,
+                        )?;
                         ctx.scratch.put(&format!("deliver_{d_id}"), o_id);
                     }
                 }
@@ -825,14 +989,22 @@ impl Tpcc {
             LocalMode::Exclusive,
             move |ctx| {
                 for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
-                    let Some(o_id) = ctx.scratch.get(&format!("deliver_{d_id}")) else { continue };
+                    let Some(o_id) = ctx.scratch.get(&format!("deliver_{d_id}")) else {
+                        continue;
+                    };
                     let o_id = o_id.as_int()?;
                     let mut c_id = 0;
-                    ctx.db.update_primary(ctx.txn, tables.orders, &Key::int3(w_id, d_id, o_id), CcMode::None, |row| {
-                        c_id = row[3].as_int()?;
-                        row[4] = Value::Int(carrier);
-                        Ok(())
-                    })?;
+                    ctx.db.update_primary(
+                        ctx.txn,
+                        tables.orders,
+                        &Key::int3(w_id, d_id, o_id),
+                        CcMode::None,
+                        |row| {
+                            c_id = row[3].as_int()?;
+                            row[4] = Value::Int(carrier);
+                            Ok(())
+                        },
+                    )?;
                     ctx.scratch.put(&format!("customer_{d_id}"), c_id);
                     // Sum the order lines while we are here (same warehouse
                     // executor owns them under the same routing field, but
@@ -840,20 +1012,15 @@ impl Tpcc {
                     // by reading through the order_line primary key).
                     let mut amount = 0.0;
                     let mut line_number = 1;
-                    loop {
-                        match ctx.db.probe_primary(
-                            ctx.txn,
-                            tables.order_line,
-                            &Key::from_values([w_id, d_id, o_id, line_number]),
-                            false,
-                            CcMode::None,
-                        )? {
-                            Some((_, row)) => {
-                                amount += row[6].as_float()?;
-                                line_number += 1;
-                            }
-                            None => break,
-                        }
+                    while let Some((_, row)) = ctx.db.probe_primary(
+                        ctx.txn,
+                        tables.order_line,
+                        &Key::from_values([w_id, d_id, o_id, line_number]),
+                        false,
+                        CcMode::None,
+                    )? {
+                        amount += row[6].as_float()?;
+                        line_number += 1;
                     }
                     ctx.scratch.put(&format!("amount_{d_id}"), amount);
                 }
@@ -867,14 +1034,25 @@ impl Tpcc {
             LocalMode::Exclusive,
             move |ctx| {
                 for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
-                    let Some(c_id) = ctx.scratch.get(&format!("customer_{d_id}")) else { continue };
+                    let Some(c_id) = ctx.scratch.get(&format!("customer_{d_id}")) else {
+                        continue;
+                    };
                     let c_id = c_id.as_int()?;
-                    let amount = ctx.scratch.get_float(&format!("amount_{d_id}")).unwrap_or(0.0);
-                    ctx.db.update_primary(ctx.txn, tables.customer, &Key::int3(w_id, d_id, c_id), CcMode::None, |row| {
-                        row[4] = Value::Float(row[4].as_float()? + amount);
-                        row[7] = Value::Int(row[7].as_int()? + 1);
-                        Ok(())
-                    })?;
+                    let amount = ctx
+                        .scratch
+                        .get_float(&format!("amount_{d_id}"))
+                        .unwrap_or(0.0);
+                    ctx.db.update_primary(
+                        ctx.txn,
+                        tables.customer,
+                        &Key::int3(w_id, d_id, c_id),
+                        CcMode::None,
+                        |row| {
+                            row[4] = Value::Float(row[4].as_float()? + amount);
+                            row[7] = Value::Int(row[7].as_int()? + 1);
+                            Ok(())
+                        },
+                    )?;
                 }
                 Ok(())
             },
@@ -898,38 +1076,45 @@ impl Tpcc {
         threshold: i64,
     ) -> DbResult<()> {
         let tables = self.tables(db)?;
-        let Some((_, district)) =
-            db.probe_primary(txn, tables.district, &Key::int2(w_id, d_id), false, CcMode::Full)?
+        let Some((_, district)) = db.probe_primary(
+            txn,
+            tables.district,
+            &Key::int2(w_id, d_id),
+            false,
+            CcMode::Full,
+        )?
         else {
-            return Err(DbError::TxnAborted { txn: txn.id(), reason: "no such district".into() });
+            return Err(DbError::TxnAborted {
+                txn: txn.id(),
+                reason: "no such district".into(),
+            });
         };
         let next_o_id = district[4].as_int()?;
         let mut item_ids = Vec::new();
         for o_id in (next_o_id - 20).max(0)..next_o_id {
             let mut line_number = 1;
-            loop {
-                match db.probe_primary(
-                    txn,
-                    tables.order_line,
-                    &Key::from_values([w_id, d_id, o_id, line_number]),
-                    false,
-                    CcMode::Full,
-                )? {
-                    Some((_, row)) => {
-                        item_ids.push(row[4].as_int()?);
-                        line_number += 1;
-                    }
-                    None => break,
-                }
+            while let Some((_, row)) = db.probe_primary(
+                txn,
+                tables.order_line,
+                &Key::from_values([w_id, d_id, o_id, line_number]),
+                false,
+                CcMode::Full,
+            )? {
+                item_ids.push(row[4].as_int()?);
+                line_number += 1;
             }
         }
         item_ids.sort_unstable();
         item_ids.dedup();
         let mut low = 0;
         for item_id in item_ids {
-            if let Some((_, stock)) =
-                db.probe_primary(txn, tables.stock, &Key::int2(w_id, item_id), false, CcMode::Full)?
-            {
+            if let Some((_, stock)) = db.probe_primary(
+                txn,
+                tables.stock,
+                &Key::int2(w_id, item_id),
+                false,
+                CcMode::Full,
+            )? {
                 if stock[2].as_int()? < threshold {
                     low += 1;
                 }
@@ -942,7 +1127,13 @@ impl Tpcc {
     /// DORA flow graph of StockLevel: district read, then order-line
     /// collection, then the stock count — three phases chained by data
     /// dependencies, all keyed by the warehouse id.
-    pub fn stock_level_graph(&self, db: &Database, w_id: i64, d_id: i64, threshold: i64) -> DbResult<FlowGraph> {
+    pub fn stock_level_graph(
+        &self,
+        db: &Database,
+        w_id: i64,
+        d_id: i64,
+        threshold: i64,
+    ) -> DbResult<FlowGraph> {
         let tables = self.tables(db)?;
         let district_action = ActionSpec::new(
             "stocklevel-district",
@@ -950,10 +1141,18 @@ impl Tpcc {
             Key::int2(w_id, d_id),
             LocalMode::Shared,
             move |ctx| {
-                let Some((_, district)) =
-                    ctx.db.probe_primary(ctx.txn, tables.district, &Key::int2(w_id, d_id), false, CcMode::None)?
+                let Some((_, district)) = ctx.db.probe_primary(
+                    ctx.txn,
+                    tables.district,
+                    &Key::int2(w_id, d_id),
+                    false,
+                    CcMode::None,
+                )?
                 else {
-                    return Err(DbError::TxnAborted { txn: ctx.txn.id(), reason: "no such district".into() });
+                    return Err(DbError::TxnAborted {
+                        txn: ctx.txn.id(),
+                        reason: "no such district".into(),
+                    });
                 };
                 ctx.scratch.put("next_o_id", district[4].as_int()?);
                 Ok(())
@@ -969,20 +1168,15 @@ impl Tpcc {
                 let mut item_ids = Vec::new();
                 for o_id in (next_o_id - 20).max(0)..next_o_id {
                     let mut line_number = 1;
-                    loop {
-                        match ctx.db.probe_primary(
-                            ctx.txn,
-                            tables.order_line,
-                            &Key::from_values([w_id, d_id, o_id, line_number]),
-                            false,
-                            CcMode::None,
-                        )? {
-                            Some((_, row)) => {
-                                item_ids.push(row[4].as_int()?);
-                                line_number += 1;
-                            }
-                            None => break,
-                        }
+                    while let Some((_, row)) = ctx.db.probe_primary(
+                        ctx.txn,
+                        tables.order_line,
+                        &Key::from_values([w_id, d_id, o_id, line_number]),
+                        false,
+                        CcMode::None,
+                    )? {
+                        item_ids.push(row[4].as_int()?);
+                        line_number += 1;
                     }
                 }
                 item_ids.sort_unstable();
@@ -1004,9 +1198,13 @@ impl Tpcc {
                 let mut low = 0;
                 for index in 0..count {
                     let item_id = ctx.scratch.get_int(&format!("item_{index}"))?;
-                    if let Some((_, stock)) =
-                        ctx.db.probe_primary(ctx.txn, tables.stock, &Key::int2(w_id, item_id), false, CcMode::None)?
-                    {
+                    if let Some((_, stock)) = ctx.db.probe_primary(
+                        ctx.txn,
+                        tables.stock,
+                        &Key::int2(w_id, item_id),
+                        false,
+                        CcMode::None,
+                    )? {
                         if stock[2].as_int()? < threshold {
                             low += 1;
                         }
@@ -1025,7 +1223,10 @@ impl Tpcc {
     // ----- input generation ---------------------------------------------------
 
     /// Generates Payment inputs: (w_id, d_id, c_w_id, c_d_id, selector, amount).
-    pub fn payment_inputs(&self, rng: &mut SmallRng) -> (i64, i64, i64, i64, CustomerSelector, f64) {
+    pub fn payment_inputs(
+        &self,
+        rng: &mut SmallRng,
+    ) -> (i64, i64, i64, i64, CustomerSelector, f64) {
         let w_id = uniform(rng, 1, self.warehouses);
         let d_id = uniform(rng, 1, DISTRICTS_PER_WAREHOUSE);
         // 15% of payments are for a customer of a remote warehouse.
@@ -1239,7 +1440,11 @@ impl Workload for Tpcc {
         for w_id in 1..=self.warehouses {
             db.load_row(
                 tables.warehouse,
-                vec![Value::Int(w_id), Value::Text(format!("warehouse-{w_id}")), Value::Float(0.0)],
+                vec![
+                    Value::Int(w_id),
+                    Value::Text(format!("warehouse-{w_id}")),
+                    Value::Float(0.0),
+                ],
             )?;
             for item in 1..=self.items {
                 db.load_row(
@@ -1339,7 +1544,16 @@ impl Workload for Tpcc {
             TpccTxn::Payment => {
                 let (w_id, d_id, c_w_id, c_d_id, selector, amount) = self.payment_inputs(rng);
                 engine.execute_txn(&|db, txn| {
-                    self.payment_baseline(db, txn, w_id, d_id, c_w_id, c_d_id, selector.clone(), amount)
+                    self.payment_baseline(
+                        db,
+                        txn,
+                        w_id,
+                        d_id,
+                        c_w_id,
+                        c_d_id,
+                        selector.clone(),
+                        amount,
+                    )
                 })
             }
             TpccTxn::OrderStatus => {
@@ -1350,11 +1564,15 @@ impl Workload for Tpcc {
                 } else {
                     CustomerSelector::ById(self.random_customer(rng))
                 };
-                engine.execute_txn(&|db, txn| self.order_status_baseline(db, txn, w_id, d_id, selector.clone()))
+                engine.execute_txn(&|db, txn| {
+                    self.order_status_baseline(db, txn, w_id, d_id, selector.clone())
+                })
             }
             TpccTxn::NewOrder => {
                 let (w_id, d_id, c_id, items) = self.new_order_inputs(rng);
-                engine.execute_txn(&|db, txn| self.new_order_baseline(db, txn, w_id, d_id, c_id, &items))
+                engine.execute_txn(&|db, txn| {
+                    self.new_order_baseline(db, txn, w_id, d_id, c_id, &items)
+                })
             }
             TpccTxn::Delivery => {
                 let w_id = uniform(rng, 1, self.warehouses);
@@ -1365,7 +1583,9 @@ impl Workload for Tpcc {
                 let w_id = uniform(rng, 1, self.warehouses);
                 let d_id = uniform(rng, 1, DISTRICTS_PER_WAREHOUSE);
                 let threshold = uniform(rng, 10, 20);
-                engine.execute_txn(&|db, txn| self.stock_level_baseline(db, txn, w_id, d_id, threshold))
+                engine.execute_txn(&|db, txn| {
+                    self.stock_level_baseline(db, txn, w_id, d_id, threshold)
+                })
             }
         };
         match result {
@@ -1477,7 +1697,15 @@ mod tests {
                 .unwrap();
             assert_eq!(outcome, BaselineOutcome::Committed);
             let graph = workload_dora
-                .payment_graph(&db_dora, w_id, d_id, w_id, d_id, CustomerSelector::ById(c_id), amount)
+                .payment_graph(
+                    &db_dora,
+                    w_id,
+                    d_id,
+                    w_id,
+                    d_id,
+                    CustomerSelector::ById(c_id),
+                    amount,
+                )
                 .unwrap();
             dora.execute(graph).unwrap();
         }
@@ -1487,11 +1715,23 @@ mod tests {
         let check_dora = db_dora.begin();
         for w_id in 1..=2i64 {
             let (_, wh_base) = db_base
-                .probe_primary(&check_base, tables.warehouse, &Key::int(w_id), false, CcMode::Full)
+                .probe_primary(
+                    &check_base,
+                    tables.warehouse,
+                    &Key::int(w_id),
+                    false,
+                    CcMode::Full,
+                )
                 .unwrap()
                 .unwrap();
             let (_, wh_dora) = db_dora
-                .probe_primary(&check_dora, tables.warehouse, &Key::int(w_id), false, CcMode::Full)
+                .probe_primary(
+                    &check_dora,
+                    tables.warehouse,
+                    &Key::int(w_id),
+                    false,
+                    CcMode::Full,
+                )
                 .unwrap()
                 .unwrap();
             assert_eq!(wh_base[2], wh_dora[2], "warehouse {w_id} YTD must match");
@@ -1508,13 +1748,19 @@ mod tests {
         let (db, workload) = small_tpcc();
         let engine = DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests());
         workload.bind_dora(&engine, 2).unwrap();
-        let initial_order_lines = db.row_count(workload.tables(&db).unwrap().order_line).unwrap();
+        let initial_order_lines = db
+            .row_count(workload.tables(&db).unwrap().order_line)
+            .unwrap();
         // Place an order for customer 5 in (1, 1).
         let items = vec![(1, 2), (2, 3), (3, 1), (4, 4), (5, 1)];
-        let graph = workload.new_order_graph(&db, 1, 1, 5, items.clone()).unwrap();
+        let graph = workload
+            .new_order_graph(&db, 1, 1, 5, items.clone())
+            .unwrap();
         engine.execute(graph).unwrap();
         // OrderStatus for that customer must find the order and its lines.
-        let graph = workload.order_status_graph(&db, 1, 1, CustomerSelector::ById(5)).unwrap();
+        let graph = workload
+            .order_status_graph(&db, 1, 1, CustomerSelector::ById(5))
+            .unwrap();
         engine.execute(graph).unwrap();
         // Delivery picks it up.
         let graph = workload.delivery_graph(&db, 1, 7).unwrap();
@@ -1529,12 +1775,21 @@ mod tests {
         assert_eq!(db.row_count(tables.new_order).unwrap(), 0);
         // The customer received the delivery (delivery count bumped).
         let (_, customer) = db
-            .probe_primary(&check, tables.customer, &Key::int3(1, 1, 5), false, CcMode::Full)
+            .probe_primary(
+                &check,
+                tables.customer,
+                &Key::int3(1, 1, 5),
+                false,
+                CcMode::Full,
+            )
             .unwrap()
             .unwrap();
         assert_eq!(customer[7], Value::Int(1));
         // The new order added exactly its 5 lines on top of the loaded data.
-        assert_eq!(db.row_count(tables.order_line).unwrap(), initial_order_lines + 5);
+        assert_eq!(
+            db.row_count(tables.order_line).unwrap(),
+            initial_order_lines + 5
+        );
         db.commit(&check).unwrap();
         engine.shutdown();
     }
@@ -1558,8 +1813,16 @@ mod tests {
         // (one historical order per customer).
         let tables = workload.tables(&db).unwrap();
         let check = db.begin();
-        let (_, district) =
-            db.probe_primary(&check, tables.district, &Key::int2(1, 1), false, CcMode::Full).unwrap().unwrap();
+        let (_, district) = db
+            .probe_primary(
+                &check,
+                tables.district,
+                &Key::int2(1, 1),
+                false,
+                CcMode::Full,
+            )
+            .unwrap()
+            .unwrap();
         assert_eq!(district[4], Value::Int(31));
         db.commit(&check).unwrap();
         engine.shutdown();
@@ -1570,7 +1833,7 @@ mod tests {
         let (db, workload) = small_tpcc();
         let baseline = crate::spec::TestExecutor::new(Arc::clone(&db));
         // Customer 7's last name under the loader's naming scheme.
-        let last = c_last(7 % 1000);
+        let last = c_last(7);
         let outcome = baseline
             .execute_txn(&|db, txn| {
                 workload.payment_baseline(
@@ -1599,7 +1862,10 @@ mod tests {
                 baseline_committed += 1;
             }
         }
-        assert!(baseline_committed > 30, "baseline committed only {baseline_committed}/60");
+        assert!(
+            baseline_committed > 30,
+            "baseline committed only {baseline_committed}/60"
+        );
 
         let engine = DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests());
         workload.bind_dora(&engine, 2).unwrap();
@@ -1609,7 +1875,10 @@ mod tests {
                 dora_committed += 1;
             }
         }
-        assert!(dora_committed > 30, "DORA committed only {dora_committed}/60");
+        assert!(
+            dora_committed > 30,
+            "DORA committed only {dora_committed}/60"
+        );
         engine.shutdown();
     }
 }

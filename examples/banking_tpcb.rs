@@ -27,7 +27,9 @@ fn main() {
     // seam; swap EngineKind::Dora for any registered architecture and the
     // rest of the example is unchanged.
     let engine = build_engine(EngineKind::Dora, Arc::clone(&db));
-    engine.bind(Arc::clone(&workload), (num_cpus() / 4).max(2)).expect("bind");
+    engine
+        .bind(Arc::clone(&workload), (num_cpus() / 4).max(2))
+        .expect("bind");
 
     let driver = ClientDriver::new(DriverConfig {
         clients: num_cpus(),
@@ -48,22 +50,43 @@ fn main() {
     let mut branch_total = 0.0;
     let mut teller_total = 0.0;
     let mut account_total = 0.0;
-    db.scan_table(&check, db.table_id("branch").unwrap(), CcMode::Full, |_, row| {
-        branch_total += row[1].as_float().unwrap();
-    })
+    db.scan_table(
+        &check,
+        db.table_id("branch").unwrap(),
+        CcMode::Full,
+        |_, row| {
+            branch_total += row[1].as_float().unwrap();
+        },
+    )
     .unwrap();
-    db.scan_table(&check, db.table_id("teller").unwrap(), CcMode::Full, |_, row| {
-        teller_total += row[2].as_float().unwrap();
-    })
+    db.scan_table(
+        &check,
+        db.table_id("teller").unwrap(),
+        CcMode::Full,
+        |_, row| {
+            teller_total += row[2].as_float().unwrap();
+        },
+    )
     .unwrap();
-    db.scan_table(&check, db.table_id("account").unwrap(), CcMode::Full, |_, row| {
-        account_total += row[2].as_float().unwrap();
-    })
+    db.scan_table(
+        &check,
+        db.table_id("account").unwrap(),
+        CcMode::Full,
+        |_, row| {
+            account_total += row[2].as_float().unwrap();
+        },
+    )
     .unwrap();
     db.commit(&check).unwrap();
     println!("audit: branches {branch_total:.2} | tellers {teller_total:.2} | accounts {account_total:.2}");
-    assert!((branch_total - teller_total).abs() < 1e-3, "teller totals diverged");
-    assert!((branch_total - account_total).abs() < 1e-3, "account totals diverged");
+    assert!(
+        (branch_total - teller_total).abs() < 1e-3,
+        "teller totals diverged"
+    );
+    assert!(
+        (branch_total - account_total).abs() < 1e-3,
+        "account totals diverged"
+    );
     println!("ACID audit passed: all three totals agree");
     engine.shutdown();
 }

@@ -24,7 +24,10 @@ fn main() {
     let dora = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::default()));
     workload.bind_dora(&dora, 4).expect("bind");
     let subscriber_table = db.table_id("subscriber").unwrap();
-    println!("initial rule: {:?}", dora.routing().rule(subscriber_table).unwrap());
+    println!(
+        "initial rule: {:?}",
+        dora.routing().rule(subscriber_table).unwrap()
+    );
 
     // Hammer the low end of the key space: executor 0 gets almost all work.
     let mut rng = SmallRng::seed_from_u64(7);
@@ -34,7 +37,10 @@ fn main() {
             .expect("graph");
         dora.execute(graph).expect("probe");
     }
-    println!("executor loads after skewed phase: {:?}", dora.executor_loads(subscriber_table).unwrap());
+    println!(
+        "executor loads after skewed phase: {:?}",
+        dora.executor_loads(subscriber_table).unwrap()
+    );
 
     // Let the resource manager react.
     let manager = ResourceManager::new(DoraConfig::default());
@@ -42,14 +48,21 @@ fn main() {
         .rebalance_if_skewed(&dora, subscriber_table, 1, subscribers)
         .expect("rebalance");
     println!("rebalanced: {rebalanced}");
-    println!("new rule: {:?}", dora.routing().rule(subscriber_table).unwrap());
+    println!(
+        "new rule: {:?}",
+        dora.routing().rule(subscriber_table).unwrap()
+    );
 
     // Work continues under the new rule.
     for s_id in [10i64, 5_000, 9_999] {
-        let graph = workload.get_subscriber_data_graph(&db, s_id).expect("graph");
+        let graph = workload
+            .get_subscriber_data_graph(&db, s_id)
+            .expect("graph");
         dora.execute(graph).expect("probe after rebalance");
     }
-    println!("probes after the rebalance succeeded; executor loads: {:?}",
-        dora.executor_loads(subscriber_table).unwrap());
+    println!(
+        "probes after the rebalance succeeded; executor loads: {:?}",
+        dora.executor_loads(subscriber_table).unwrap()
+    );
     dora.shutdown();
 }

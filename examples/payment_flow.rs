@@ -23,7 +23,15 @@ fn main() {
 
     // Show the flow graph the paper draws in Figure 4.
     let graph = workload
-        .payment_graph(&db, 1, 4, 1, 4, CustomerSelector::ByLastName("BARBARBAR".into()), 42.0)
+        .payment_graph(
+            &db,
+            1,
+            4,
+            1,
+            4,
+            CustomerSelector::ByLastName("BARBARBAR".into()),
+            42.0,
+        )
         .expect("build graph");
     println!("\nPayment transaction flow graph:");
     for (index, phase) in graph.describe().iter().enumerate() {

@@ -27,8 +27,15 @@ fn main() {
         ))
         .expect("create table");
     for sku in 1..=1_000i64 {
-        db.load_row(inventory, vec![Value::Int(sku), Value::Text(format!("sku-{sku}")), Value::Int(100)])
-            .expect("load");
+        db.load_row(
+            inventory,
+            vec![
+                Value::Int(sku),
+                Value::Text(format!("sku-{sku}")),
+                Value::Int(100),
+            ],
+        )
+        .expect("load");
     }
 
     // 2. Conventional (thread-to-transaction) execution: the transaction runs
@@ -56,13 +63,20 @@ fn main() {
     for sku in [7i64, 400, 901] {
         graph.add_action(
             phase,
-            ActionSpec::new("restock", inventory, Key::int(sku), LocalMode::Exclusive, move |ctx| {
-                ctx.db.update_primary(ctx.txn, inventory, &Key::int(sku), CcMode::None, |row| {
-                    let on_hand = row[2].as_int()?;
-                    row[2] = Value::Int(on_hand + 10);
-                    Ok(())
-                })
-            }),
+            ActionSpec::new(
+                "restock",
+                inventory,
+                Key::int(sku),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    ctx.db
+                        .update_primary(ctx.txn, inventory, &Key::int(sku), CcMode::None, |row| {
+                            let on_hand = row[2].as_int()?;
+                            row[2] = Value::Int(on_hand + 10);
+                            Ok(())
+                        })
+                },
+            ),
         );
     }
     dora.execute(graph).expect("DORA transaction");

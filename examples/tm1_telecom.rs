@@ -33,7 +33,9 @@ fn main() {
         let workload: Arc<dyn Workload> = Arc::new(Tm1::new(subscribers));
         workload.setup(db.as_ref()).expect("load TM1");
         let engine = build_engine(kind, db);
-        engine.bind(workload, (num_cpus() / 4).max(1)).expect("bind");
+        engine
+            .bind(workload, (num_cpus() / 4).max(1))
+            .expect("bind");
 
         let result = driver.run_engine(Arc::clone(&engine));
         let (row, higher, local) = result.locks_per_100_txns();

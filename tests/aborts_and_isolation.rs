@@ -20,8 +20,11 @@ use rand::SeedableRng;
 fn high_abort_rate_parallel_plan_keeps_tables_consistent() {
     let subscribers = 100;
     let db = Database::for_tests();
-    let workload =
-        Arc::new(Tm1::new(subscribers).with_mix(Tm1Mix::UpdateSubscriberDataOnly).with_serial_update_plan(false));
+    let workload = Arc::new(
+        Tm1::new(subscribers)
+            .with_mix(Tm1Mix::UpdateSubscriberDataOnly)
+            .with_serial_update_plan(false),
+    );
     workload.setup(&db).unwrap();
     let engine = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests()));
     workload.bind_dora(&engine, 2).unwrap();
@@ -51,8 +54,14 @@ fn high_abort_rate_parallel_plan_keeps_tables_consistent() {
         aborted += a;
     }
     engine.shutdown();
-    assert!(committed > 0, "some UpdateSubscriberData transactions must commit");
-    assert!(aborted > 0, "the workload is defined to abort for a large input fraction");
+    assert!(
+        committed > 0,
+        "some UpdateSubscriberData transactions must commit"
+    );
+    assert!(
+        aborted > 0,
+        "the workload is defined to abort for a large input fraction"
+    );
 
     // Consistency: a subscriber whose bit_1 was flipped must belong to a
     // committed transaction, which also updated one of its facilities. We
@@ -75,7 +84,13 @@ fn high_abort_rate_parallel_plan_keeps_tables_consistent() {
             let mut facilities = 0;
             for sf_type in 1..=4 {
                 if db
-                    .probe_primary(&check, special_facility, &Key::int2(s_id, sf_type), false, CcMode::Full)
+                    .probe_primary(
+                        &check,
+                        special_facility,
+                        &Key::int2(s_id, sf_type),
+                        false,
+                        CcMode::Full,
+                    )
                     .unwrap()
                     .is_some()
                 {
@@ -88,7 +103,10 @@ fn high_abort_rate_parallel_plan_keeps_tables_consistent() {
         }
     }
     db.commit(&check).unwrap();
-    assert_eq!(inconsistent, 0, "bit flips must only survive for committable subscribers");
+    assert_eq!(
+        inconsistent, 0,
+        "bit flips must only survive for committable subscribers"
+    );
 }
 
 /// The classic deadlock-prone pattern (two transactions updating the same two
@@ -102,12 +120,17 @@ fn baseline_deadlocks_are_detected_and_retried() {
     let table = db
         .create_table(TableSchema::new(
             "pairs",
-            vec![ColumnDef::new("id", ValueType::Int), ColumnDef::new("n", ValueType::Int)],
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("n", ValueType::Int),
+            ],
             vec![0],
         ))
         .unwrap();
-    db.load_row(table, vec![Value::Int(1), Value::Int(0)]).unwrap();
-    db.load_row(table, vec![Value::Int(2), Value::Int(0)]).unwrap();
+    db.load_row(table, vec![Value::Int(1), Value::Int(0)])
+        .unwrap();
+    db.load_row(table, vec![Value::Int(2), Value::Int(0)])
+        .unwrap();
     let engine = BaselineEngine::new(Arc::clone(&db));
 
     let iterations = 60i64;
@@ -143,8 +166,14 @@ fn baseline_deadlocks_are_detected_and_retried() {
     }
 
     let check = db.begin();
-    let (_, a) = db.probe_primary(&check, table, &Key::int(1), false, CcMode::Full).unwrap().unwrap();
-    let (_, b) = db.probe_primary(&check, table, &Key::int(2), false, CcMode::Full).unwrap().unwrap();
+    let (_, a) = db
+        .probe_primary(&check, table, &Key::int(1), false, CcMode::Full)
+        .unwrap()
+        .unwrap();
+    let (_, b) = db
+        .probe_primary(&check, table, &Key::int(2), false, CcMode::Full)
+        .unwrap()
+        .unwrap();
     db.commit(&check).unwrap();
     // Every committed transaction increments both rows once. Deadlock victims
     // are retried until they commit, so both counters equal 2 * iterations.

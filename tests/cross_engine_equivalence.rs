@@ -112,7 +112,13 @@ fn concurrent_clients_keep_tpcb_consistent_on_every_engine() {
         let teller = table_totals(db, "teller", 2);
         let account = table_totals(db, "account", 2);
         let label = kind.label();
-        assert!((branch - teller).abs() < 1e-6, "{label}: branch {branch} != teller {teller}");
-        assert!((branch - account).abs() < 1e-6, "{label}: branch {branch} != account {account}");
+        assert!(
+            (branch - teller).abs() < 1e-6,
+            "{label}: branch {branch} != teller {teller}"
+        );
+        assert!(
+            (branch - account).abs() < 1e-6,
+            "{label}: branch {branch} != account {account}"
+        );
     }
 }

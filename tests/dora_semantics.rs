@@ -35,7 +35,11 @@ fn ledger_db() -> (Arc<Database>, TableId, IndexId) {
     for id in 1..=100i64 {
         db.load_row(
             table,
-            vec![Value::Int(id), Value::Text(format!("owner-{}", id % 10)), Value::Int(0)],
+            vec![
+                Value::Int(id),
+                Value::Text(format!("owner-{}", id % 10)),
+                Value::Int(0),
+            ],
         )
         .unwrap();
     }
@@ -64,12 +68,24 @@ fn same_dataset_transactions_serialize_without_centralized_locks() {
                     let phase = graph.add_phase();
                     graph.add_action(
                         phase,
-                        ActionSpec::new("add", table, Key::int(55), LocalMode::Exclusive, move |ctx| {
-                            ctx.db.update_primary(ctx.txn, table, &Key::int(55), CcMode::None, |row| {
-                                row[2] = Value::Int(row[2].as_int()? + 1);
-                                Ok(())
-                            })
-                        }),
+                        ActionSpec::new(
+                            "add",
+                            table,
+                            Key::int(55),
+                            LocalMode::Exclusive,
+                            move |ctx| {
+                                ctx.db.update_primary(
+                                    ctx.txn,
+                                    table,
+                                    &Key::int(55),
+                                    CcMode::None,
+                                    |row| {
+                                        row[2] = Value::Int(row[2].as_int()? + 1);
+                                        Ok(())
+                                    },
+                                )
+                            },
+                        ),
                     );
                     engine.execute(graph).unwrap();
                 }
@@ -84,7 +100,10 @@ fn same_dataset_transactions_serialize_without_centralized_locks() {
     assert!(delta.counter(CounterKind::DoraLocalLock) >= (clients as u64) * (per_client as u64));
 
     let check = db.begin();
-    let (_, row) = db.probe_primary(&check, table, &Key::int(55), false, CcMode::Full).unwrap().unwrap();
+    let (_, row) = db
+        .probe_primary(&check, table, &Key::int(55), false, CcMode::Full)
+        .unwrap()
+        .unwrap();
     assert_eq!(row[2], Value::Int(clients as i64 * per_client));
     db.commit(&check).unwrap();
 }
@@ -103,13 +122,23 @@ fn dora_delete_flags_secondary_entries_only_after_commit() {
         let phase = graph.add_phase();
         graph.add_action(
             phase,
-            ActionSpec::new("delete", table, Key::int(id), LocalMode::Exclusive, move |ctx| {
-                ctx.db.delete_primary(ctx.txn, table, &Key::int(id), CcMode::RowOnly)?;
-                if fail {
-                    return Err(DbError::TxnAborted { txn: ctx.txn.id(), reason: "forced".into() });
-                }
-                Ok(())
-            }),
+            ActionSpec::new(
+                "delete",
+                table,
+                Key::int(id),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    ctx.db
+                        .delete_primary(ctx.txn, table, &Key::int(id), CcMode::RowOnly)?;
+                    if fail {
+                        return Err(DbError::TxnAborted {
+                            txn: ctx.txn.id(),
+                            reason: "forced".into(),
+                        });
+                    }
+                    Ok(())
+                },
+            ),
         );
         graph
     };
@@ -126,9 +155,19 @@ fn dora_delete_flags_secondary_entries_only_after_commit() {
         .unwrap();
     let rids: Vec<_> = owner1.iter().map(|e| e.rid).collect();
     // Rows with id % 10 == 1: 1, 11, ..., 91 → 10 rows, minus the deleted 31.
-    assert_eq!(rids.len(), 9, "committed delete must hide exactly one entry");
-    assert!(db.probe_primary(&check, table, &Key::int(41), false, CcMode::Full).unwrap().is_some());
-    assert!(db.probe_primary(&check, table, &Key::int(31), false, CcMode::Full).unwrap().is_none());
+    assert_eq!(
+        rids.len(),
+        9,
+        "committed delete must hide exactly one entry"
+    );
+    assert!(db
+        .probe_primary(&check, table, &Key::int(41), false, CcMode::Full)
+        .unwrap()
+        .is_some());
+    assert!(db
+        .probe_primary(&check, table, &Key::int(31), false, CcMode::Full)
+        .unwrap()
+        .is_none());
     db.commit(&check).unwrap();
 }
 
@@ -140,14 +179,17 @@ fn read_only_transactions_skip_the_log_flush() {
     let flushes_before = dora_repro::metrics::current_thread_snapshot();
     let txn = db.begin();
     for id in [1i64, 2, 3] {
-        db.probe_primary(&txn, table, &Key::int(id), false, CcMode::Full).unwrap();
+        db.probe_primary(&txn, table, &Key::int(id), false, CcMode::Full)
+            .unwrap();
     }
     db.commit(&txn).unwrap();
     let flushes_after = dora_repro::metrics::current_thread_snapshot();
     // Only the Begin record was appended; no Commit record, no flush.
     assert_eq!(db.log_manager().len(), log_len_before + 1);
     assert_eq!(
-        flushes_after.since(&flushes_before).counter(CounterKind::LogFlushes),
+        flushes_after
+            .since(&flushes_before)
+            .counter(CounterKind::LogFlushes),
         0,
         "a read-only commit must not flush the log"
     );
@@ -183,13 +225,20 @@ fn unrelated_datasets_do_not_block_each_other() {
     let phase = slow.add_phase();
     slow.add_action(
         phase,
-        ActionSpec::new("slow", table, Key::int(10), LocalMode::Exclusive, move |ctx| {
-            std::thread::sleep(Duration::from_millis(300));
-            ctx.db.update_primary(ctx.txn, table, &Key::int(10), CcMode::None, |row| {
-                row[2] = Value::Int(1);
-                Ok(())
-            })
-        }),
+        ActionSpec::new(
+            "slow",
+            table,
+            Key::int(10),
+            LocalMode::Exclusive,
+            move |ctx| {
+                std::thread::sleep(Duration::from_millis(300));
+                ctx.db
+                    .update_primary(ctx.txn, table, &Key::int(10), CcMode::None, |row| {
+                        row[2] = Value::Int(1);
+                        Ok(())
+                    })
+            },
+        ),
     );
     let slow_handle = engine.submit(slow).unwrap();
 
@@ -200,12 +249,19 @@ fn unrelated_datasets_do_not_block_each_other() {
     let phase = fast.add_phase();
     fast.add_action(
         phase,
-        ActionSpec::new("fast", table, Key::int(90), LocalMode::Exclusive, move |ctx| {
-            ctx.db.update_primary(ctx.txn, table, &Key::int(90), CcMode::None, |row| {
-                row[2] = Value::Int(2);
-                Ok(())
-            })
-        }),
+        ActionSpec::new(
+            "fast",
+            table,
+            Key::int(90),
+            LocalMode::Exclusive,
+            move |ctx| {
+                ctx.db
+                    .update_primary(ctx.txn, table, &Key::int(90), CcMode::None, |row| {
+                        row[2] = Value::Int(2);
+                        Ok(())
+                    })
+            },
+        ),
     );
     engine.execute(fast).unwrap();
     let fast_elapsed = started.elapsed();

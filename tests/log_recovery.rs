@@ -38,7 +38,9 @@ fn dora_committed_state_survives_log_replay() {
     let history = db.table_id("history_b").unwrap();
     assert_eq!(
         db.row_count(history).unwrap(),
-        fresh.row_count(fresh.table_id("history_b").unwrap()).unwrap(),
+        fresh
+            .row_count(fresh.table_id("history_b").unwrap())
+            .unwrap(),
         "every committed history insert must be replayed"
     );
 

@@ -38,8 +38,16 @@ fn payment_twelve_steps() {
     let graph = workload
         .payment_graph(&db, 1, 3, 1, 3, CustomerSelector::ById(7), 120.0)
         .unwrap();
-    assert_eq!(graph.phase_count(), 2, "Figure 4: two phases separated by RVP1");
-    assert_eq!(graph.actions_in(0), 3, "warehouse, district and customer actions");
+    assert_eq!(
+        graph.phase_count(),
+        2,
+        "Figure 4: two phases separated by RVP1"
+    );
+    assert_eq!(
+        graph.actions_in(0),
+        3,
+        "warehouse, district and customer actions"
+    );
     assert_eq!(graph.actions_in(1), 1, "history insert");
     engine.execute(graph).unwrap();
 
@@ -59,12 +67,25 @@ fn payment_twelve_steps() {
 
     // Effects: all four tables reflect the payment.
     let check = db.begin();
-    let (_, wh) = db.probe_primary(&check, warehouse, &Key::int(1), false, CcMode::Full).unwrap().unwrap();
+    let (_, wh) = db
+        .probe_primary(&check, warehouse, &Key::int(1), false, CcMode::Full)
+        .unwrap()
+        .unwrap();
     assert_eq!(wh[2], Value::Float(120.0));
-    let (_, di) = db.probe_primary(&check, district, &Key::int2(1, 3), false, CcMode::Full).unwrap().unwrap();
+    let (_, di) = db
+        .probe_primary(&check, district, &Key::int2(1, 3), false, CcMode::Full)
+        .unwrap()
+        .unwrap();
     assert_eq!(di[3], Value::Float(120.0));
-    let (_, cu) = db.probe_primary(&check, customer, &Key::int3(1, 3, 7), false, CcMode::Full).unwrap().unwrap();
-    assert_eq!(cu[4], Value::Float(-130.0), "initial balance -10 minus the 120 payment");
+    let (_, cu) = db
+        .probe_primary(&check, customer, &Key::int3(1, 3, 7), false, CcMode::Full)
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        cu[4],
+        Value::Float(-130.0),
+        "initial balance -10 minus the 120 payment"
+    );
     assert_eq!(db.row_count(history).unwrap(), 1);
     db.commit(&check).unwrap();
 
@@ -95,8 +116,10 @@ fn remote_customer_payment_is_not_a_distributed_transaction() {
 
     let customer = db.table_id("customer").unwrap();
     let check = db.begin();
-    let (_, cu) =
-        db.probe_primary(&check, customer, &Key::int3(3, 9, 11), false, CcMode::Full).unwrap().unwrap();
+    let (_, cu) = db
+        .probe_primary(&check, customer, &Key::int3(3, 9, 11), false, CcMode::Full)
+        .unwrap()
+        .unwrap();
     assert_eq!(cu[4], Value::Float(-65.0));
     db.commit(&check).unwrap();
     engine.shutdown();

@@ -28,13 +28,17 @@ fn routing_rule_partitions_domain() {
         let rule = RoutingRule::even_ranges(low, high, executors);
         assert_eq!(rule.executor_count(), executors, "case {case}");
 
-        let mut probes: Vec<i64> =
-            (0..rng.random_range(1usize..50)).map(|_| rng.random_range(-2_000i64..7_000)).collect();
+        let mut probes: Vec<i64> = (0..rng.random_range(1usize..50))
+            .map(|_| rng.random_range(-2_000i64..7_000))
+            .collect();
         probes.sort_unstable();
         let mut last: Option<(i64, usize)> = None;
         for value in probes {
             let executor = rule.route(&Key::int(value)).unwrap();
-            assert!(executor < executors, "case {case}: executor {executor} out of range");
+            assert!(
+                executor < executors,
+                "case {case}: executor {executor} out of range"
+            );
             if let Some((previous_value, previous_executor)) = last {
                 if value >= previous_value {
                     assert!(
@@ -83,7 +87,10 @@ fn key_prefix_overlap_is_symmetric() {
             key_b.overlaps(&key_a),
             "case {case}: overlap not symmetric for {key_a:?} / {key_b:?}"
         );
-        assert!(key_a.overlaps(&key_a), "case {case}: key must overlap itself");
+        assert!(
+            key_a.overlaps(&key_a),
+            "case {case}: key must overlap itself"
+        );
     }
 }
 
@@ -104,7 +111,9 @@ fn btree_matches_model() {
         }
         for (slot, key) in keys.iter().enumerate() {
             let rid = Rid::new((slot / 100) as u32, (slot % 100) as u16);
-            index.insert(&Key::int(*key), IndexEntry::new(rid, Key::empty())).unwrap();
+            index
+                .insert(&Key::int(*key), IndexEntry::new(rid, Key::empty()))
+                .unwrap();
             model.insert(*key, rid);
         }
         for _ in 0..rng.random_range(0usize..100) {
@@ -122,8 +131,11 @@ fn btree_matches_model() {
         let start = rng.random_range(0i64..2_000);
         let len = rng.random_range(1i64..500);
         let range = KeyRange::new(Some(Key::int(start)), Some(Key::int(start + len)));
-        let scanned: Vec<i64> =
-            index.range(&range).iter().map(|(key, _)| key.leading_int().unwrap()).collect();
+        let scanned: Vec<i64> = index
+            .range(&range)
+            .iter()
+            .map(|(key, _)| key.leading_int().unwrap())
+            .collect();
         let expected: Vec<i64> = model.range(start..start + len).map(|(k, _)| *k).collect();
         assert_eq!(scanned, expected, "case {case}: range scan diverged");
     }
@@ -147,8 +159,9 @@ fn row_codec_roundtrip() {
         }
         for _ in 0..rng.random_range(0usize..4) {
             let len = rng.random_range(0usize..24);
-            let text: String =
-                (0..len).map(|_| char::from(rng.random_range(32u8..127))).collect();
+            let text: String = (0..len)
+                .map(|_| char::from(rng.random_range(32u8..127)))
+                .collect();
             row.push(Value::Text(text));
         }
         let decoded = Value::decode_row(&Value::encode_row(&row)).unwrap();

@@ -6,21 +6,25 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use dora_repro::common::prelude::*;
+use dora_repro::dora::{ActionSpec, FlowGraph, LocalMode};
 use dora_repro::dora::{DoraConfig, DoraEngine, ResourceManager, RoutingRule};
 use dora_repro::storage::{ColumnDef, Database, TableSchema};
-use dora_repro::dora::{ActionSpec, FlowGraph, LocalMode};
 
 fn counters_db(rows: i64) -> (Arc<Database>, TableId) {
     let db = Database::for_tests();
     let table = db
         .create_table(TableSchema::new(
             "counters",
-            vec![ColumnDef::new("id", ValueType::Int), ColumnDef::new("n", ValueType::Int)],
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("n", ValueType::Int),
+            ],
             vec![0],
         ))
         .unwrap();
     for id in 1..=rows {
-        db.load_row(table, vec![Value::Int(id), Value::Int(0)]).unwrap();
+        db.load_row(table, vec![Value::Int(id), Value::Int(0)])
+            .unwrap();
     }
     (db, table)
 }
@@ -30,13 +34,20 @@ fn bump(table: TableId, id: i64) -> FlowGraph {
     let phase = graph.add_phase();
     graph.add_action(
         phase,
-        ActionSpec::new("bump", table, Key::int(id), LocalMode::Exclusive, move |ctx| {
-            ctx.db.update_primary(ctx.txn, table, &Key::int(id), CcMode::None, |row| {
-                let n = row[1].as_int()?;
-                row[1] = Value::Int(n + 1);
-                Ok(())
-            })
-        }),
+        ActionSpec::new(
+            "bump",
+            table,
+            Key::int(id),
+            LocalMode::Exclusive,
+            move |ctx| {
+                ctx.db
+                    .update_primary(ctx.txn, table, &Key::int(id), CcMode::None, |row| {
+                        let n = row[1].as_int()?;
+                        row[1] = Value::Int(n + 1);
+                        Ok(())
+                    })
+            },
+        ),
     );
     graph
 }
@@ -69,7 +80,12 @@ fn rebalances_while_transactions_keep_running() {
         .collect();
 
     // Swap the routing rule several times while the workers hammer the table.
-    for boundaries in [vec![20, 40, 60], vec![50, 100, 150], vec![120, 160, 190], vec![50, 100, 150]] {
+    for boundaries in [
+        vec![20, 40, 60],
+        vec![50, 100, 150],
+        vec![120, 160, 190],
+        vec![50, 100, 150],
+    ] {
         std::thread::sleep(std::time::Duration::from_millis(30));
         manager
             .rebalance(&engine, table, RoutingRule::Range { boundaries })
@@ -89,6 +105,9 @@ fn rebalances_while_transactions_keep_running() {
     })
     .unwrap();
     db.commit(&check).unwrap();
-    assert_eq!(sum as u64, total_executed, "no increment may be lost or applied twice across resizes");
+    assert_eq!(
+        sum as u64, total_executed,
+        "no increment may be lost or applied twice across resizes"
+    );
     engine.shutdown();
 }
