@@ -3,14 +3,19 @@
 //! ```text
 //! cargo run -p dora-bench --release --bin repro -- all --quick
 //! cargo run -p dora-bench --release --bin repro -- fig1 fig6 --full
+//! cargo run -p dora-bench --release --bin repro -- skew --json=BENCH_skew.json
 //! ```
 //!
 //! Every figure of the evaluation section (and the appendix) has a
 //! subcommand; `fig9` is validated by the integration test
-//! `payment_twelve_steps` instead of a measurement. Reports are printed to
-//! stdout; absolute numbers depend on the host, but the *shapes* the paper
-//! reports (who wins, where the baseline collapses, which components dominate
-//! the breakdowns) should reproduce. See `EXPERIMENTS.md`.
+//! `payment_twelve_steps` instead of a measurement. `skew` is this
+//! reproduction's own experiment: adaptive repartitioning under a zipfian
+//! workload, optionally emitting a machine-readable summary for CI's
+//! bench-smoke artifact via `--json[=path]` (default `BENCH_skew.json`).
+//! Reports are printed to stdout; absolute numbers depend on the host, but
+//! the *shapes* the paper reports (who wins, where the baseline collapses,
+//! which components dominate the breakdowns) should reproduce. See
+//! `EXPERIMENTS.md`.
 
 use dora_bench::{experiments, Scale};
 
@@ -18,29 +23,61 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::full() } else { Scale::quick() };
+    let json_path: Option<String> = args.iter().find_map(|a| {
+        if a == "--json" {
+            Some("BENCH_skew.json".to_string())
+        } else {
+            a.strip_prefix("--json=").map(str::to_string)
+        }
+    });
     let requested: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    // The machine-readable skew summary is produced whenever --json is given
+    // and the skew experiment runs (directly or as part of `all`).
+    let run_skew_with_json = |scale: &Scale| {
+        let (report, summary) = experiments::skew_with_summary(scale);
+        println!("{report}");
+        if let Some(path) = &json_path {
+            std::fs::write(path, summary.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    };
 
     if requested.is_empty() || requested.iter().any(|a| a.as_str() == "all") {
         println!(
             "running every experiment at {} scale\n",
             if full { "full" } else { "quick" }
         );
-        for report in experiments::all(&scale) {
+        for report in experiments::figures(&scale) {
             println!("{report}");
         }
+        // One skew measurement serves both the printed report and the
+        // (optional) JSON artifact.
+        run_skew_with_json(&scale);
         return;
     }
 
     let mut unknown = Vec::new();
+    let mut ran_skew = false;
     for name in requested {
+        if name.as_str() == "skew" {
+            run_skew_with_json(&scale);
+            ran_skew = true;
+            continue;
+        }
         match experiments::by_name(name, &scale) {
             Some(report) => println!("{report}"),
             None => unknown.push(name.clone()),
         }
     }
+    if !ran_skew {
+        if let Some(path) = &json_path {
+            eprintln!("warning: --json={path} ignored — the skew experiment was not requested");
+        }
+    }
     if !unknown.is_empty() {
         eprintln!(
-            "unknown experiment(s): {} (valid: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 all)",
+            "unknown experiment(s): {} (valid: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 skew all)",
             unknown.join(", ")
         );
         std::process::exit(2);

@@ -6,9 +6,13 @@
 
 use std::sync::Arc;
 
+use dora_common::config::AdaptiveConfig;
 use dora_common::prelude::*;
 use dora_core::{DoraConfig, DoraEngine};
-use dora_engine::{build_engine, find_peak, BaselineEngine, ClientDriver, DriverConfig};
+use dora_engine::{
+    build_engine, find_peak, BaselineEngine, ClientDriver, DoraExecution, DriverConfig,
+    ExecutionEngine,
+};
 use dora_storage::Database;
 use dora_workloads::{Tm1Mix, Tpcc, TpccMix, Workload};
 
@@ -535,8 +539,220 @@ pub fn fig11(scale: &Scale) -> Report {
     report
 }
 
-/// Runs every experiment at the given scale, returning all reports.
-pub fn all(scale: &Scale) -> Vec<Report> {
+/// One phase of the adaptive-repartitioning experiment: two back-to-back
+/// driver intervals on one engine, so "before" captures the cold routing
+/// rule and "after" captures whatever the adaptive controller converged to
+/// during the first interval.
+#[derive(Debug, Clone)]
+pub struct SkewPhase {
+    /// Scenario label ("static" / "adaptive" / with "+drift").
+    pub label: &'static str,
+    /// Committed tps over the first interval (cold rule).
+    pub before_tps: f64,
+    /// Committed tps over the second interval.
+    pub after_tps: f64,
+    /// Resizes the adaptive controller drove (0 for static phases).
+    pub resizes: u64,
+    /// Actions served per executor during the second interval only.
+    pub final_loads: Vec<u64>,
+}
+
+impl SkewPhase {
+    /// Busiest over least-busy executor across the final interval (idle
+    /// executors count as one action so the ratio stays finite).
+    pub fn load_ratio(&self) -> f64 {
+        let max = self.final_loads.iter().copied().max().unwrap_or(0).max(1);
+        let min = self.final_loads.iter().copied().min().unwrap_or(0).max(1);
+        max as f64 / min as f64
+    }
+}
+
+/// Everything the skew experiment measured; serialized to `BENCH_skew.json`
+/// by the CI bench-smoke job so the perf trajectory is tracked per PR.
+#[derive(Debug, Clone)]
+pub struct SkewSummary {
+    /// Zipfian skew parameter.
+    pub theta: f64,
+    /// Counter rows.
+    pub keys: i64,
+    /// Executors on the counters table.
+    pub executors: usize,
+    /// Client threads driving load.
+    pub clients: usize,
+    /// Measured interval length per driver run, in milliseconds.
+    pub interval_ms: u64,
+    /// The four phases: static/adaptive × fixed/drifting hot range.
+    pub phases: Vec<SkewPhase>,
+}
+
+impl SkewSummary {
+    /// Renders the summary as a small JSON document (the workspace has no
+    /// serde; the fields are all numbers, so hand-rolling is safe).
+    pub fn to_json(&self) -> String {
+        let phases = self
+            .phases
+            .iter()
+            .map(|phase| {
+                let loads = phase
+                    .final_loads
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    concat!(
+                        "    {{\"label\": \"{}\", \"before_tps\": {:.1}, ",
+                        "\"after_tps\": {:.1}, \"resizes\": {}, ",
+                        "\"final_loads\": [{}], \"load_ratio\": {:.3}}}"
+                    ),
+                    phase.label,
+                    phase.before_tps,
+                    phase.after_tps,
+                    phase.resizes,
+                    loads,
+                    phase.load_ratio(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            concat!(
+                "{{\n  \"experiment\": \"skew\",\n  \"theta\": {},\n",
+                "  \"keys\": {},\n  \"executors\": {},\n  \"clients\": {},\n",
+                "  \"interval_ms\": {},\n  \"phases\": [\n{}\n  ]\n}}\n"
+            ),
+            self.theta, self.keys, self.executors, self.clients, self.interval_ms, phases
+        )
+    }
+}
+
+fn run_skew_phase(
+    scale: &Scale,
+    label: &'static str,
+    drift: Option<(u64, i64)>,
+    adaptive: bool,
+) -> SkewPhase {
+    let db = Database::new(scale.system_config());
+    let mut workload = scale.skewed();
+    if let Some((every, step)) = drift {
+        workload = workload.with_drift(every, step);
+    }
+    workload.setup(&db).expect("setup skewed workload");
+    let workload: Arc<dyn Workload> = Arc::new(workload);
+
+    let mut config = DoraConfig::default();
+    if adaptive {
+        config.adaptive = AdaptiveConfig::eager();
+    }
+    let executors = scale.executors_per_table.max(2);
+    let execution = Arc::new(DoraExecution::new(Arc::new(DoraEngine::new(
+        Arc::clone(&db),
+        config,
+    ))));
+    execution
+        .bind(Arc::clone(&workload), executors)
+        .expect("bind skewed workload");
+    let table = db.table_id("skewed_counters").expect("counters table");
+
+    let clients = scale.clients_for(75.0);
+    let driver = ClientDriver::new(DriverConfig {
+        clients,
+        duration: scale.duration,
+        warmup: scale.warmup,
+        hardware_contexts: scale.hardware_contexts,
+    });
+    let engine_dyn: Arc<dyn ExecutionEngine> = Arc::clone(&execution) as _;
+    let before = driver.run_engine(Arc::clone(&engine_dyn));
+    // The second run reuses the already-warm engine with no warm-up of its
+    // own, so the load delta around it is exactly the final interval.
+    let after_driver = ClientDriver::new(DriverConfig {
+        warmup: std::time::Duration::ZERO,
+        ..driver.config().clone()
+    });
+    let loads_mark = execution.dora().executor_loads(table).expect("loads");
+    let after = after_driver.run_engine(engine_dyn);
+    let loads_end = execution.dora().executor_loads(table).expect("loads");
+    let resizes = execution.adaptive_resizes();
+    execution.shutdown();
+
+    SkewPhase {
+        label,
+        before_tps: before.throughput_tps,
+        after_tps: after.throughput_tps,
+        resizes,
+        final_loads: loads_end
+            .iter()
+            .zip(&loads_mark)
+            .map(|(end, mark)| end.saturating_sub(*mark))
+            .collect(),
+    }
+}
+
+/// The adaptive-repartitioning experiment: a zipfian workload (θ from
+/// [`Scale::zipf_theta`]) run on DORA with a static even-range rule vs. the
+/// adaptive controller, each for a fixed and a drifting hot range. Not a
+/// paper figure — this probes the Appendix A.2.1 machinery the paper only
+/// sketches — so it reports before/after throughput and the per-executor
+/// load spread instead of mirroring a printed plot.
+pub fn skew(scale: &Scale) -> Report {
+    skew_with_summary(scale).0
+}
+
+/// [`skew`], also returning the machine-readable summary.
+pub fn skew_with_summary(scale: &Scale) -> (Report, SkewSummary) {
+    // Drift fast enough that the hot range moves several times per measured
+    // interval even at quick scale.
+    let drift = Some((1_000, (scale.skew_keys / 4).max(1)));
+    let phases = vec![
+        run_skew_phase(scale, "static", None, false),
+        run_skew_phase(scale, "adaptive", None, true),
+        run_skew_phase(scale, "static+drift", drift, false),
+        run_skew_phase(scale, "adaptive+drift", drift, true),
+    ];
+    let summary = SkewSummary {
+        theta: scale.zipf_theta,
+        keys: scale.skew_keys,
+        executors: scale.executors_per_table.max(2),
+        clients: scale.clients_for(75.0),
+        interval_ms: scale.duration.as_millis() as u64,
+        phases,
+    };
+
+    let mut report = Report::new(format!(
+        "Skew: adaptive repartitioning under zipfian load (theta={})",
+        summary.theta
+    ));
+    report.line(format!(
+        "  {} keys, {} executors, {} clients, {} ms per interval",
+        summary.keys, summary.executors, summary.clients, summary.interval_ms
+    ));
+    report.blank();
+    report.line(format!(
+        "  {:<16} {:>12} {:>12} {:>9} {:>12}  final loads",
+        "scenario", "before tps", "after tps", "resizes", "load ratio"
+    ));
+    for phase in &summary.phases {
+        report.line(format!(
+            "  {:<16} {:>12.0} {:>12.0} {:>9} {:>12.2}  {:?}",
+            phase.label,
+            phase.before_tps,
+            phase.after_tps,
+            phase.resizes,
+            phase.load_ratio(),
+            phase.final_loads,
+        ));
+    }
+    report.blank();
+    report.line("  (load ratio = busiest/least-busy executor over the final interval;");
+    report.line("   the adaptive rows should show >=1 resize and a ratio near 1)");
+    (report, summary)
+}
+
+/// Runs every paper figure at the given scale, returning the reports.
+/// The `skew` experiment is not included — run it through
+/// [`skew_with_summary`] so its report and machine-readable summary come
+/// from the same measurement.
+pub fn figures(scale: &Scale) -> Vec<Report> {
     vec![
         fig1(scale),
         fig2(scale),
@@ -549,6 +765,13 @@ pub fn all(scale: &Scale) -> Vec<Report> {
         fig10(scale),
         fig11(scale),
     ]
+}
+
+/// Runs every experiment (paper figures plus `skew`) at the given scale.
+pub fn all(scale: &Scale) -> Vec<Report> {
+    let mut reports = figures(scale);
+    reports.push(skew(scale));
+    reports
 }
 
 /// Looks an experiment up by name (`fig1`, `fig2`, ...). `fig9` is the
@@ -566,6 +789,7 @@ pub fn by_name(name: &str, scale: &Scale) -> Option<Report> {
         "fig8" => Some(fig8(scale)),
         "fig10" => Some(fig10(scale)),
         "fig11" => Some(fig11(scale)),
+        "skew" => Some(skew(scale)),
         _ => None,
     }
 }
@@ -588,6 +812,8 @@ mod tests {
             executors_per_table: 2,
             hardware_contexts: 4,
             log_flush_micros: 0,
+            skew_keys: 100,
+            zipf_theta: 0.99,
         }
     }
 
@@ -614,5 +840,55 @@ mod tests {
         let scale = micro_scale();
         assert!(by_name("fig4", &scale).is_some());
         assert!(by_name("fig99", &scale).is_none());
+    }
+
+    #[test]
+    fn skew_summary_renders_valid_json_shape() {
+        let summary = SkewSummary {
+            theta: 0.99,
+            keys: 100,
+            executors: 2,
+            clients: 3,
+            interval_ms: 80,
+            phases: vec![SkewPhase {
+                label: "adaptive",
+                before_tps: 1000.5,
+                after_tps: 2000.25,
+                resizes: 3,
+                final_loads: vec![40, 60],
+            }],
+        };
+        let json = summary.to_json();
+        assert!(json.contains("\"experiment\": \"skew\""), "{json}");
+        assert!(json.contains("\"theta\": 0.99"), "{json}");
+        assert!(json.contains("\"resizes\": 3"), "{json}");
+        assert!(json.contains("\"final_loads\": [40,60]"), "{json}");
+        assert!(json.contains("\"load_ratio\": 1.500"), "{json}");
+        // Balanced braces/brackets — the cheapest structural validity check
+        // without a JSON parser in the workspace.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_phase_load_ratio_clamps_idle_executors() {
+        let phase = SkewPhase {
+            label: "static",
+            before_tps: 0.0,
+            after_tps: 0.0,
+            resizes: 0,
+            final_loads: vec![100, 0],
+        };
+        assert_eq!(phase.load_ratio(), 100.0);
+        let empty = SkewPhase {
+            final_loads: vec![],
+            ..phase
+        };
+        assert_eq!(empty.load_ratio(), 1.0);
     }
 }

@@ -40,6 +40,11 @@ pub struct Scale {
     pub hardware_contexts: usize,
     /// Simulated log-flush latency in microseconds.
     pub log_flush_micros: u64,
+    /// Counter rows for the skewed-counters workload (the adaptive
+    /// repartitioning experiment).
+    pub skew_keys: i64,
+    /// Zipfian skew parameter θ for the skewed-counters workload.
+    pub zipf_theta: f64,
 }
 
 impl Scale {
@@ -63,6 +68,8 @@ impl Scale {
             executors_per_table: (contexts / 4).clamp(1, 4),
             hardware_contexts: contexts,
             log_flush_micros: 20,
+            skew_keys: 2_000,
+            zipf_theta: 0.99,
         }
     }
 
@@ -82,6 +89,8 @@ impl Scale {
             executors_per_table: (contexts / 4).clamp(1, 8),
             hardware_contexts: contexts,
             log_flush_micros: 40,
+            skew_keys: 50_000,
+            zipf_theta: 0.99,
         }
     }
 
@@ -125,6 +134,12 @@ impl Scale {
     /// TPC-B at this scale.
     pub fn tpcb(&self) -> dora_workloads::TpcB {
         dora_workloads::TpcB::with_accounts(self.tpcb_branches, self.tpcb_accounts_per_branch)
+    }
+
+    /// The zipfian skewed-counters workload at this scale (static hot range;
+    /// callers add drift for the migration scenario).
+    pub fn skewed(&self) -> dora_workloads::SkewedCounters {
+        dora_workloads::SkewedCounters::new(self.skew_keys, self.zipf_theta)
     }
 }
 
@@ -215,6 +230,8 @@ mod tests {
             executors_per_table: 2,
             hardware_contexts: 4,
             log_flush_micros: 0,
+            skew_keys: 100,
+            zipf_theta: 0.99,
         }
     }
 

@@ -1,5 +1,7 @@
 //! Run-time configuration shared by the baseline and DORA engines.
 
+use std::time::Duration;
+
 /// Which execution architecture a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
@@ -126,6 +128,67 @@ impl SystemConfig {
     }
 }
 
+/// Tuning knobs for adaptive skew-aware repartitioning (Appendix A.2.1).
+///
+/// The resource manager samples per-executor serviced-action counts and
+/// queue depths into a sliding window; when the busiest executor's windowed
+/// load exceeds the average by [`imbalance_threshold`](Self::imbalance_threshold),
+/// it synthesizes a rebalanced routing rule (splitting hot ranges, merging
+/// cold ones) and drives the dataset-resize drain protocol while
+/// transactions stay in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Whether the engine spawns the adaptive repartitioning controller when
+    /// a workload is bound.
+    pub enabled: bool,
+    /// Interval between two load samples.
+    pub sample_interval: Duration,
+    /// Number of samples in the sliding window the skew detector evaluates.
+    /// Imbalance is computed over the served-action delta across the window,
+    /// so larger windows react more slowly but resist noise.
+    pub window: usize,
+    /// Ratio of busiest executor's windowed load to the average past which a
+    /// rebalance is triggered (must be > 1.0).
+    pub imbalance_threshold: f64,
+    /// Minimum width (in routing-key values) of any range a rebalance may
+    /// produce; prevents the detector from shrinking a hot range below the
+    /// granularity at which routing stays meaningful.
+    pub min_range_width: i64,
+    /// Minimum time between two resizes of the same table. Each resize
+    /// drains the table's executors, so back-to-back resizes would stall the
+    /// pipeline; the cooldown also gives the window time to refill with
+    /// samples taken under the new rule.
+    pub cooldown: Duration,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            sample_interval: Duration::from_millis(50),
+            window: 3,
+            imbalance_threshold: 1.5,
+            min_range_width: 1,
+            cooldown: Duration::from_millis(200),
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// An enabled configuration that reacts quickly — suitable for tests and
+    /// the short measured intervals of the quick benchmark scale.
+    pub fn eager() -> Self {
+        Self {
+            enabled: true,
+            sample_interval: Duration::from_millis(10),
+            window: 2,
+            imbalance_threshold: 1.2,
+            min_range_width: 1,
+            cooldown: Duration::from_millis(40),
+        }
+    }
+}
+
 /// Number of logical CPUs visible to the process.
 pub fn num_cpus() -> usize {
     std::thread::available_parallelism()
@@ -154,6 +217,18 @@ mod tests {
         assert_eq!(config.threads_for_load(50.0), 4);
         assert_eq!(config.threads_for_load(1.0), 1);
         assert!((config.offered_load_percent(4) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_defaults_are_sane() {
+        let config = AdaptiveConfig::default();
+        assert!(!config.enabled, "adaptivity must be opt-in");
+        assert!(config.imbalance_threshold > 1.0);
+        assert!(config.window >= 2, "imbalance needs at least two samples");
+        assert!(config.min_range_width >= 1);
+        let eager = AdaptiveConfig::eager();
+        assert!(eager.enabled);
+        assert!(eager.sample_interval < config.sample_interval);
     }
 
     #[test]

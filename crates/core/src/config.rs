@@ -1,5 +1,7 @@
 //! Configuration knobs for the DORA engine.
 
+use dora_common::config::AdaptiveConfig;
+
 /// Tuning parameters for a [`crate::DoraEngine`].
 #[derive(Debug, Clone)]
 pub struct DoraConfig {
@@ -18,6 +20,11 @@ pub struct DoraConfig {
     /// Load-imbalance ratio (busiest executor / average) above which the
     /// resource manager rebalances a table's routing rule (Appendix A.2.1).
     pub rebalance_imbalance_ratio: f64,
+    /// Knobs for the adaptive skew-aware repartitioning controller
+    /// ([`crate::AdaptiveController`]). Disabled by default; when
+    /// `adaptive.enabled` is set, binding a workload through the
+    /// `ExecutionEngine` seam spawns the controller automatically.
+    pub adaptive: AdaptiveConfig,
 }
 
 impl Default for DoraConfig {
@@ -27,6 +34,7 @@ impl Default for DoraConfig {
             serialize_abort_threshold: 0.1,
             abort_monitor_min_samples: 100,
             rebalance_imbalance_ratio: 1.5,
+            adaptive: AdaptiveConfig::default(),
         }
     }
 }

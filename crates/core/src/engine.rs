@@ -24,6 +24,9 @@ pub(crate) struct EngineInner {
     config: DoraConfig,
     routing: RoutingTable,
     executors: RwLock<Vec<Vec<Arc<ExecutorShared>>>>,
+    /// Routing-key domain `[low, high]` per table, recorded at bind time so
+    /// the adaptive repartitioner knows the span it may redistribute.
+    domains: RwLock<Vec<Option<(i64, i64)>>>,
     shutting_down: AtomicBool,
 }
 
@@ -304,6 +307,7 @@ impl DoraEngine {
                 config,
                 routing: RoutingTable::new(),
                 executors: RwLock::new(Vec::new()),
+                domains: RwLock::new(Vec::new()),
                 shutting_down: AtomicBool::new(false),
             }),
             workers: Mutex::new(Vec::new()),
@@ -341,7 +345,13 @@ impl DoraEngine {
             table,
             executors,
             RoutingRule::even_ranges(key_low, key_high, executors),
-        )
+        )?;
+        let mut domains = self.inner.domains.write();
+        if domains.len() <= table.0 as usize {
+            domains.resize(table.0 as usize + 1, None);
+        }
+        domains[table.0 as usize] = Some((key_low, key_high));
+        Ok(())
     }
 
     /// Binds a table with an explicit routing rule. The rule's executor count
@@ -435,6 +445,56 @@ impl DoraEngine {
             .iter()
             .map(|e| e.served())
             .collect())
+    }
+
+    /// Incoming-queue depth per executor of `table` (the backlog statistic
+    /// the adaptive repartitioner samples alongside the serviced counts).
+    pub fn executor_queue_depths(&self, table: TableId) -> DbResult<Vec<usize>> {
+        Ok(self
+            .inner
+            .executors_for(table)?
+            .iter()
+            .map(|e| e.queue_depth())
+            .collect())
+    }
+
+    /// The routing-key domain `[low, high]` recorded when `table` was bound
+    /// through [`Self::bind_table`] (`None` for tables bound with an explicit
+    /// rule, whose domain the engine does not know).
+    pub fn table_domain(&self, table: TableId) -> Option<(i64, i64)> {
+        self.inner
+            .domains
+            .read()
+            .get(table.0 as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Tables eligible for adaptive repartitioning: bound with a [`Range`]
+    /// rule over a known key domain and served by at least two executors.
+    ///
+    /// [`Range`]: RoutingRule::Range
+    pub fn adaptive_tables(&self) -> Vec<(TableId, (i64, i64))> {
+        let domains = self.inner.domains.read();
+        domains
+            .iter()
+            .enumerate()
+            .filter_map(|(index, domain)| {
+                let domain = (*domain)?;
+                let table = TableId(index as u32);
+                match self.inner.routing.rule(table) {
+                    Some(RoutingRule::Range { .. }) if self.executor_count(table) >= 2 => {
+                        Some((table, domain))
+                    }
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// `true` once [`Self::shutdown`] has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutting_down.load(Ordering::Acquire)
     }
 
     /// Number of executors bound to `table`.

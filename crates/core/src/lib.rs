@@ -19,6 +19,10 @@
 //!   (the deadlock-avoidance rule of Section 4.2.3), the terminal-RVP commit
 //!   protocol (steps 9–12 of Figure 9) and secondary-action handling
 //!   (Section 4.2.2).
+//! * [`adaptive`] — adaptive skew-aware repartitioning: a skew detector over
+//!   sampled executor load and a background controller that synthesizes
+//!   rebalanced routing rules and drives the dataset-resize drain protocol
+//!   while transactions stay in flight (Appendix A.2.1 made reactive).
 //!
 //! The engine keeps the ACID properties of the underlying storage manager:
 //! probes and updates run without centralized concurrency control only
@@ -27,6 +31,7 @@
 //! the centralized lock manager (Section 4.2.1).
 
 pub mod action;
+pub mod adaptive;
 pub mod config;
 pub mod engine;
 pub mod executor;
@@ -37,6 +42,7 @@ pub mod routing;
 pub mod txn;
 
 pub use action::{ActionContext, ActionSpec, LocalMode};
+pub use adaptive::{balanced_rule, AdaptiveController, SkewDetector};
 pub use config::DoraConfig;
 pub use engine::DoraEngine;
 pub use flow::FlowGraph;

@@ -19,7 +19,9 @@ use std::collections::HashMap;
 use parking_lot::Mutex;
 
 use dora_common::prelude::*;
+use dora_metrics::{incr, CounterKind};
 
+use crate::adaptive::balanced_rule;
 use crate::config::DoraConfig;
 use crate::engine::DoraEngine;
 use crate::routing::RoutingRule;
@@ -125,17 +127,19 @@ impl ResourceManager {
         for barrier in &barriers {
             barrier.wait();
         }
-        engine.finish_resize(table, new_rule)
+        engine.finish_resize(table, new_rule)?;
+        incr(CounterKind::RoutingResizes);
+        Ok(())
     }
 
     /// Checks the per-executor load of `table` and, if the busiest executor
     /// exceeds the average by the configured imbalance ratio, computes and
     /// installs a rebalanced rule. Returns `true` when a rebalance happened.
     ///
-    /// The computed rule simply moves range boundaries so that the observed
-    /// load would have been split evenly — the same reactive policy the paper
-    /// describes (resize the dataset assigned to each executor to balance the
-    /// load).
+    /// The rule is synthesized by [`balanced_rule`] — the same equal-load
+    /// quantile splitter the adaptive controller uses, so the one-shot and
+    /// continuous paths cannot drift apart — honoring the configured minimum
+    /// range width.
     pub fn rebalance_if_skewed(
         &self,
         engine: &DoraEngine,
@@ -156,27 +160,18 @@ impl ResourceManager {
         if busiest / average < self.config.rebalance_imbalance_ratio {
             return Ok(false);
         }
-        // Build boundaries proportional to the inverse of the observed load:
-        // executors that served more actions get a smaller share of the key
-        // domain. With no per-key statistics this is a heuristic split of the
-        // domain weighted by 1/load.
-        let weights: Vec<f64> = loads.iter().map(|&l| 1.0 / (l as f64 + 1.0)).collect();
-        let weight_sum: f64 = weights.iter().sum();
-        let span = (key_high - key_low + 1) as f64;
-        let mut boundaries = Vec::with_capacity(loads.len() - 1);
-        let mut acc = 0.0;
-        for weight in weights.iter().take(loads.len() - 1) {
-            acc += weight / weight_sum;
-            let boundary = key_low + (span * acc).round() as i64;
-            boundaries.push(boundary.clamp(key_low + 1, key_high));
-        }
-        // Boundaries must be strictly increasing.
-        for i in 1..boundaries.len() {
-            if boundaries[i] <= boundaries[i - 1] {
-                boundaries[i] = boundaries[i - 1] + 1;
-            }
-        }
-        self.rebalance(engine, table, RoutingRule::Range { boundaries })?;
+        let Some(current) = engine.routing().rule(table) else {
+            return Ok(false);
+        };
+        let Some(rule) = balanced_rule(
+            &current,
+            &loads,
+            (key_low, key_high),
+            self.config.adaptive.min_range_width,
+        ) else {
+            return Ok(false);
+        };
+        self.rebalance(engine, table, rule)?;
         Ok(true)
     }
 }

@@ -12,11 +12,11 @@
 //! per class (Figure 5) and the process CPU time, from which the measured CPU
 //! utilization is derived.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -112,6 +112,71 @@ impl RunResult {
     }
 }
 
+/// A one-way completion latch coordinating a driver run.
+///
+/// Client threads read the cheap atomic flag once per transaction; the
+/// coordinating thread *sleeps on the condvar* for the warm-up and measured
+/// intervals instead of sleep-polling in fixed slices, so it wakes the
+/// moment the run completes early (e.g. every client thread exited) rather
+/// than burning the rest of the interval driving nothing.
+#[derive(Debug, Default)]
+pub struct StopLatch {
+    tripped: AtomicBool,
+    state: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl StopLatch {
+    /// Creates an untripped latch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the latch and wakes every waiter. Idempotent.
+    pub fn trip(&self) {
+        let mut done = self.state.lock();
+        *done = true;
+        self.tripped.store(true, Ordering::Release);
+        self.cond.notify_all();
+    }
+
+    /// Cheap check for the client hot path.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the latch trips or `timeout` elapses; returns `true` if
+    /// the latch tripped.
+    pub fn wait_for(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut done = self.state.lock();
+        while !*done {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.cond.wait_for(&mut done, deadline - now);
+        }
+        true
+    }
+}
+
+/// Drop guard run by every client thread: the last client to exit — whether
+/// normally or by unwinding out of a panicked job — trips the latch so the
+/// coordinator stops waiting on a run nobody is driving.
+struct ClientExit {
+    active: Arc<AtomicUsize>,
+    latch: Arc<StopLatch>,
+}
+
+impl Drop for ClientExit {
+    fn drop(&mut self) {
+        if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.latch.trip();
+        }
+    }
+}
+
 /// Reads the process's accumulated CPU time from `/proc/self/stat`
 /// (user + system). Returns `None` on platforms without procfs.
 pub fn process_cpu_time() -> Option<Duration> {
@@ -154,7 +219,8 @@ impl ClientDriver {
     {
         let job = Arc::new(job);
         let recording = Arc::new(AtomicBool::new(false));
-        let stop = Arc::new(AtomicBool::new(false));
+        let latch = Arc::new(StopLatch::new());
+        let active = Arc::new(AtomicUsize::new(self.config.clients));
         let committed = Arc::new(AtomicU64::new(0));
         let aborted = Arc::new(AtomicU64::new(0));
         let latencies = Arc::new(Mutex::new(LatencyHistogram::new()));
@@ -163,16 +229,21 @@ impl ClientDriver {
             .map(|client| {
                 let job = Arc::clone(&job);
                 let recording = Arc::clone(&recording);
-                let stop = Arc::clone(&stop);
+                let latch = Arc::clone(&latch);
+                let active = Arc::clone(&active);
                 let committed = Arc::clone(&committed);
                 let aborted = Arc::clone(&aborted);
                 let latencies = Arc::clone(&latencies);
                 std::thread::Builder::new()
                     .name(format!("client-{client}"))
                     .spawn(move || {
+                        let _exit = ClientExit {
+                            active,
+                            latch: Arc::clone(&latch),
+                        };
                         let mut rng = SmallRng::seed_from_u64(0x5EED_0000 + client as u64);
                         let mut local_latency = LatencyHistogram::new();
-                        while !stop.load(Ordering::Relaxed) {
+                        while !latch.is_tripped() {
                             let start = Instant::now();
                             let outcome = job(client, &mut rng);
                             if recording.load(Ordering::Relaxed) {
@@ -193,19 +264,22 @@ impl ClientDriver {
             })
             .collect();
 
-        std::thread::sleep(self.config.warmup);
+        // The coordinator parks on the latch for the warm-up and measured
+        // intervals; if every client exits early the wait returns
+        // immediately instead of sleeping out the schedule.
+        latch.wait_for(self.config.warmup);
         let metrics_before = global().snapshot();
         let cpu_before = process_cpu_time();
         let started = Instant::now();
         recording.store(true, Ordering::SeqCst);
 
-        std::thread::sleep(self.config.duration);
+        latch.wait_for(self.config.duration);
 
         recording.store(false, Ordering::SeqCst);
         let elapsed = started.elapsed();
         let metrics_after = global().snapshot();
         let cpu_after = process_cpu_time();
-        stop.store(true, Ordering::SeqCst);
+        latch.trip();
         for handle in handles {
             let _ = handle.join();
         }
@@ -315,6 +389,40 @@ mod tests {
         assert_eq!(result.clients, 2);
         assert!((result.offered_load_percent - 50.0).abs() < 1e-9);
         assert!(result.latency.count() == result.committed + result.aborted);
+    }
+
+    #[test]
+    fn dead_clients_wake_the_coordinator_early() {
+        // Every client panics immediately; the latch must wake the
+        // coordinator instead of letting it sleep out warmup + duration.
+        let driver = ClientDriver::new(DriverConfig {
+            clients: 2,
+            duration: Duration::from_secs(30),
+            warmup: Duration::from_secs(30),
+            hardware_contexts: 4,
+        });
+        let wall = Instant::now();
+        let result = driver.run(|_, _| panic!("client dies"));
+        assert!(
+            wall.elapsed() < Duration::from_secs(10),
+            "coordinator must not sleep out the full schedule"
+        );
+        assert_eq!(result.committed, 0);
+    }
+
+    #[test]
+    fn stop_latch_trips_waiters_and_is_idempotent() {
+        let latch = Arc::new(StopLatch::new());
+        assert!(!latch.is_tripped());
+        assert!(!latch.wait_for(Duration::from_millis(5)), "timeout path");
+        let latch2 = Arc::clone(&latch);
+        let waiter = std::thread::spawn(move || latch2.wait_for(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(10));
+        latch.trip();
+        latch.trip();
+        assert!(waiter.join().unwrap(), "waiter must observe the trip");
+        assert!(latch.is_tripped());
+        assert!(latch.wait_for(Duration::from_millis(1)));
     }
 
     #[test]

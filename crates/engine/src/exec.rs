@@ -15,10 +15,11 @@
 
 use std::sync::{Arc, OnceLock};
 
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 
 use dora_common::prelude::*;
-use dora_core::{DoraConfig, DoraEngine};
+use dora_core::{AdaptiveController, DoraConfig, DoraEngine};
 use dora_storage::Database;
 use dora_workloads::Workload;
 
@@ -93,6 +94,11 @@ impl ExecutionEngine for BaselineEngine {
 pub struct DoraExecution {
     engine: Arc<DoraEngine>,
     bound: OnceLock<Arc<dyn Workload>>,
+    /// The adaptive repartitioning controller, spawned at bind time when
+    /// `DoraConfig::adaptive.enabled` is set. Stopped before the engine in
+    /// [`ExecutionEngine::shutdown`] (a resize drains executors, so the
+    /// controller must never outlive them).
+    adaptive: Mutex<Option<AdaptiveController>>,
 }
 
 impl DoraExecution {
@@ -101,6 +107,7 @@ impl DoraExecution {
         Self {
             engine,
             bound: OnceLock::new(),
+            adaptive: Mutex::new(None),
         }
     }
 
@@ -108,6 +115,16 @@ impl DoraExecution {
     /// access (routing tables, executor loads, flow-graph submission).
     pub fn dora(&self) -> &Arc<DoraEngine> {
         &self.engine
+    }
+
+    /// Resizes the adaptive controller has driven so far (0 when adaptivity
+    /// is disabled).
+    pub fn adaptive_resizes(&self) -> u64 {
+        self.adaptive
+            .lock()
+            .as_ref()
+            .map(AdaptiveController::resizes)
+            .unwrap_or(0)
     }
 }
 
@@ -122,9 +139,17 @@ impl ExecutionEngine for DoraExecution {
 
     fn bind(&self, workload: Arc<dyn Workload>, executors_per_table: usize) -> DbResult<()> {
         workload.bind_dora(&self.engine, executors_per_table)?;
-        self.bound
-            .set(workload)
-            .map_err(|_| DbError::InvalidOperation("workload already bound to this engine".into()))
+        self.bound.set(workload).map_err(|_| {
+            DbError::InvalidOperation("workload already bound to this engine".into())
+        })?;
+        let adaptive_config = self.engine.config().adaptive.clone();
+        if adaptive_config.enabled {
+            *self.adaptive.lock() = Some(AdaptiveController::spawn(
+                Arc::clone(&self.engine),
+                adaptive_config,
+            ));
+        }
+        Ok(())
     }
 
     fn execute_one(&self, rng: &mut SmallRng) -> TxnOutcome {
@@ -137,6 +162,11 @@ impl ExecutionEngine for DoraExecution {
     }
 
     fn shutdown(&self) {
+        // Stop the controller first: it may be mid-resize, which needs live
+        // executors to drain.
+        if let Some(controller) = self.adaptive.lock().take() {
+            controller.stop();
+        }
         self.engine.shutdown();
     }
 }

@@ -25,5 +25,5 @@ pub mod exec;
 
 pub use admission::{find_peak, PeakResult};
 pub use baseline::{BaselineEngine, BaselineOutcome};
-pub use driver::{ClientDriver, DriverConfig, RunResult, TxnOutcome};
+pub use driver::{ClientDriver, DriverConfig, RunResult, StopLatch, TxnOutcome};
 pub use exec::{build_engine, build_engine_with, DoraExecution, ExecutionEngine};

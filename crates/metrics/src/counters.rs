@@ -45,10 +45,14 @@ pub enum CounterKind {
     /// commit notifications) — the "additional inter-core communication" the
     /// appendix mentions.
     DoraMessages = 15,
+    /// Routing-rule resizes completed (the drain/swap protocol of
+    /// Appendix A.2.1), whether triggered manually or by the adaptive
+    /// repartitioning controller.
+    RoutingResizes = 16,
 }
 
 /// Number of [`CounterKind`] variants; sizes the per-thread arrays.
-pub const COUNTER_KIND_COUNT: usize = 16;
+pub const COUNTER_KIND_COUNT: usize = 17;
 
 /// All counters, in `repr` order.
 pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
@@ -68,6 +72,7 @@ pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
     CounterKind::BufferMisses,
     CounterKind::WastedActions,
     CounterKind::DoraMessages,
+    CounterKind::RoutingResizes,
 ];
 
 impl CounterKind {
@@ -95,6 +100,7 @@ impl CounterKind {
             CounterKind::BufferMisses => "buffer-misses",
             CounterKind::WastedActions => "wasted-actions",
             CounterKind::DoraMessages => "dora-messages",
+            CounterKind::RoutingResizes => "routing-resizes",
         }
     }
 }

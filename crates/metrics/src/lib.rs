@@ -21,12 +21,14 @@
 pub mod breakdown;
 pub mod counters;
 pub mod histogram;
+pub mod load;
 pub mod registry;
 pub mod timing;
 
 pub use breakdown::TimeBreakdown;
 pub use counters::CounterKind;
 pub use histogram::LatencyHistogram;
+pub use load::{LoadMonitor, LoadSample};
 pub use registry::{current_thread_snapshot, global, MetricsRegistry, Snapshot};
 pub use timing::{record_time, time_section, TimeCategory, TimerGuard};
 

@@ -3,7 +3,8 @@
 //! Shore-MT protects the physical consistency of its in-memory structures
 //! with latches; the paper's testbed uses a preemption-resistant variation of
 //! the MCS queue-based spinlock and reports that, for the CPU loads studied,
-//! spinning beats blocking [12]. The time threads spend *spinning on latches
+//! spinning beats blocking (the paper's reference \[12\]). The time threads
+//! spend *spinning on latches
 //! inside the lock manager* is exactly the "Lock Mgr Cont." component of the
 //! paper's time breakdowns, so our latch records the time it spends spinning
 //! into a caller-supplied [`TimeCategory`].

@@ -11,15 +11,24 @@
 //!   decomposed into actions with routing-field identifiers and rendezvous
 //!   points.
 //!
-//! All three workloads route on the leading primary-key column (subscriber
-//! id, warehouse id, branch id), the choice the paper recommends.
+//! All workloads route on the leading primary-key column (subscriber id,
+//! warehouse id, branch id, counter id), the choice the paper recommends.
+//!
+//! Beyond the paper's three benchmarks, [`skewed`] adds a zipfian
+//! counter workload (backed by the [`zipf`] generators) whose hot range can
+//! drift over time — the adversarial distribution the adaptive
+//! repartitioning subsystem is exercised with.
 
+pub mod skewed;
 pub mod spec;
 pub mod tm1;
 pub mod tpcb;
 pub mod tpcc;
+pub mod zipf;
 
+pub use skewed::SkewedCounters;
 pub use spec::{ConventionalExecutor, Workload, WorkloadStats};
 pub use tm1::{Tm1, Tm1Mix};
 pub use tpcb::TpcB;
 pub use tpcc::{Tpcc, TpccMix};
+pub use zipf::{DriftingHotSpot, Zipfian};

@@ -7,6 +7,7 @@
 //! the case can be replayed by seed.
 
 use dora_repro::common::prelude::*;
+use dora_repro::dora::adaptive::balanced_rule;
 use dora_repro::dora::routing::RoutingRule;
 use dora_repro::storage::btree::{BTreeIndex, IndexEntry};
 use rand::rngs::SmallRng;
@@ -48,6 +49,112 @@ fn routing_rule_partitions_domain() {
                 }
             }
             last = Some((value, executor));
+        }
+    }
+}
+
+/// Checks that a range rule tiles the entire key domain with no gaps or
+/// overlaps: executor datasets are contiguous, every in-domain dataset is at
+/// least `min_width` keys wide, and routing agrees with the reported
+/// ownership at both edges of every dataset.
+fn assert_rule_tiles(rule: &RoutingRule, low: i64, high: i64, min_width: i64, context: &str) {
+    let executors = rule.executor_count();
+    let mut expected_low = i64::MIN;
+    for index in 0..executors {
+        let (range_low, range_high) = rule
+            .range_of(index)
+            .unwrap_or_else(|| panic!("{context}: executor {index} has no range"));
+        assert_eq!(range_low, expected_low, "{context}: gap/overlap at {index}");
+        assert!(
+            range_low <= range_high,
+            "{context}: inverted range at {index}"
+        );
+        let clipped = range_high.min(high) - range_low.max(low) + 1;
+        assert!(
+            clipped >= min_width,
+            "{context}: dataset {index} narrower than {min_width} in-domain keys"
+        );
+        if range_high < i64::MAX {
+            assert_eq!(
+                rule.route(&Key::int(range_high)),
+                Some(index),
+                "{context}: top edge of {index} routes elsewhere"
+            );
+        }
+        if range_low > i64::MIN {
+            assert_eq!(
+                rule.route(&Key::int(range_low)),
+                Some(index),
+                "{context}: bottom edge of {index} routes elsewhere"
+            );
+        }
+        if index + 1 == executors {
+            assert_eq!(range_high, i64::MAX, "{context}: open top end missing");
+        } else {
+            expected_low = range_high + 1;
+        }
+    }
+}
+
+/// Any rule the skew detector synthesizes — over arbitrary current rules,
+/// load vectors, domains and minimum widths — still tiles the full key
+/// domain with no gaps or overlaps, keeps the executor count, and honors
+/// the minimum range width.
+#[test]
+fn skew_detector_rules_tile_the_domain() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB100 + case);
+        let executors = rng.random_range(2usize..10);
+        let low = rng.random_range(-500i64..500);
+        let min_width = rng.random_range(1i64..6);
+        let span = rng.random_range(executors as i64 * min_width..4_000);
+        let high = low + span - 1;
+        let current = RoutingRule::even_ranges(low, high, executors);
+        let loads: Vec<u64> = (0..executors)
+            .map(|_| rng.random_range(0u64..10_000))
+            .collect();
+        let Some(rebalanced) = balanced_rule(&current, &loads, (low, high), min_width) else {
+            continue; // balanced already, or zero load — nothing to check
+        };
+        assert_eq!(
+            rebalanced.executor_count(),
+            executors,
+            "case {case}: executor count changed"
+        );
+        assert_rule_tiles(&rebalanced, low, high, min_width, &format!("case {case}"));
+    }
+}
+
+/// Iterated rebalancing (the controller's steady state) preserves the same
+/// invariants at every step of a random split/merge sequence: the output of
+/// one resize is the input of the next.
+#[test]
+fn iterated_rebalances_stay_sound() {
+    for case in 0..60 {
+        let mut rng = SmallRng::seed_from_u64(0xB200 + case);
+        let executors = rng.random_range(2usize..8);
+        let low = rng.random_range(-100i64..100);
+        let span = rng.random_range(executors as i64 * 4..2_000);
+        let high = low + span - 1;
+        let mut rule = RoutingRule::even_ranges(low, high, executors);
+        for step in 0..12 {
+            // Skewed load: one random executor gets the lion's share, so
+            // every step both splits (the hot range) and merges (cold ones).
+            let hot = rng.random_range(0usize..executors);
+            let loads: Vec<u64> = (0..executors)
+                .map(|i| {
+                    if i == hot {
+                        rng.random_range(5_000u64..50_000)
+                    } else {
+                        rng.random_range(0u64..500)
+                    }
+                })
+                .collect();
+            let Some(next) = balanced_rule(&rule, &loads, (low, high), 2) else {
+                continue;
+            };
+            assert_rule_tiles(&next, low, high, 2, &format!("case {case} step {step}"));
+            rule = next;
         }
     }
 }

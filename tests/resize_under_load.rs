@@ -6,9 +6,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use dora_repro::common::prelude::*;
+use dora_repro::dora::adaptive::balanced_rule;
 use dora_repro::dora::{ActionSpec, FlowGraph, LocalMode};
 use dora_repro::dora::{DoraConfig, DoraEngine, ResourceManager, RoutingRule};
 use dora_repro::storage::{ColumnDef, Database, TableSchema};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 fn counters_db(rows: i64) -> (Arc<Database>, TableId) {
     let db = Database::for_tests();
@@ -108,6 +111,82 @@ fn rebalances_while_transactions_keep_running() {
     assert_eq!(
         sum as u64, total_executed,
         "no increment may be lost or applied twice across resizes"
+    );
+    engine.shutdown();
+}
+
+/// The same exactly-once invariant, but with every new rule *synthesized by
+/// the skew detector's rebalancer* from random load vectors — the split and
+/// merge sequences the adaptive controller actually produces — instead of a
+/// hand-picked boundary list.
+#[test]
+fn detector_synthesized_resizes_never_lose_or_double_apply() {
+    let rows = 240i64;
+    let executors = 4usize;
+    let (db, table) = counters_db(rows);
+    let engine = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests()));
+    engine.bind_table(table, executors, 1, rows).unwrap();
+    let manager = ResourceManager::new(DoraConfig::for_tests());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..4u64)
+        .map(|seed| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut count = 0u64;
+                let mut value = 0x5EED ^ seed;
+                while !stop.load(Ordering::Relaxed) {
+                    value = value.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let id = 1 + (value % rows as u64) as i64;
+                    engine.execute(bump(table, id)).unwrap();
+                    count += 1;
+                }
+                count
+            })
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let mut applied = 0usize;
+    for _ in 0..12 {
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        let current = engine.routing().rule(table).unwrap();
+        // Random skewed load vector: what a drifting hot spot would report.
+        let hot = rng.random_range(0usize..executors);
+        let loads: Vec<u64> = (0..executors)
+            .map(|i| {
+                if i == hot {
+                    rng.random_range(2_000u64..20_000)
+                } else {
+                    rng.random_range(0u64..300)
+                }
+            })
+            .collect();
+        if let Some(rule) = balanced_rule(&current, &loads, (1, rows), 2) {
+            manager.rebalance(&engine, table, rule).unwrap();
+            applied += 1;
+        }
+    }
+    assert!(
+        applied >= 4,
+        "expected several synthesized resizes to apply"
+    );
+
+    std::thread::sleep(std::time::Duration::from_millis(15));
+    stop.store(true, Ordering::Relaxed);
+    let total_executed: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+
+    let check = db.begin();
+    let mut sum = 0i64;
+    db.scan_table(&check, table, CcMode::Full, |_, row| {
+        sum += row[1].as_int().unwrap();
+    })
+    .unwrap();
+    db.commit(&check).unwrap();
+    assert_eq!(
+        sum as u64, total_executed,
+        "synthesized resize sequence lost or double-applied work"
     );
     engine.shutdown();
 }
