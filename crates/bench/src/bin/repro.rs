@@ -4,18 +4,22 @@
 //! cargo run -p dora-bench --release --bin repro -- all --quick
 //! cargo run -p dora-bench --release --bin repro -- fig1 fig6 --full
 //! cargo run -p dora-bench --release --bin repro -- skew --json=BENCH_skew.json
+//! cargo run -p dora-bench --release --bin repro -- dispatch --json
 //! ```
 //!
 //! Every figure of the evaluation section (and the appendix) has a
 //! subcommand; `fig9` is validated by the integration test
-//! `payment_twelve_steps` instead of a measurement. `skew` is this
-//! reproduction's own experiment: adaptive repartitioning under a zipfian
-//! workload, optionally emitting a machine-readable summary for CI's
-//! bench-smoke artifact via `--json[=path]` (default `BENCH_skew.json`).
-//! Reports are printed to stdout; absolute numbers depend on the host, but
-//! the *shapes* the paper reports (who wins, where the baseline collapses,
-//! which components dominate the breakdowns) should reproduce. See
-//! `EXPERIMENTS.md`.
+//! `payment_twelve_steps` instead of a measurement. Two experiments are this
+//! reproduction's own: `skew` (adaptive repartitioning under a zipfian
+//! workload) and `dispatch` (the executor message path, per-message vs
+//! batched). Both optionally emit a machine-readable summary for CI's
+//! bench-smoke artifacts via `--json[=path]` (defaults `BENCH_skew.json` /
+//! `BENCH_dispatch.json`; an explicit path applies when a single
+//! JSON-producing experiment is requested, otherwise each falls back to its
+//! default). Reports are printed to stdout; absolute numbers depend on the
+//! host, but the *shapes* the paper reports (who wins, where the baseline
+//! collapses, which components dominate the breakdowns) should reproduce.
+//! See `EXPERIMENTS.md`.
 
 use dora_bench::{experiments, Scale};
 
@@ -23,27 +27,61 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::full() } else { Scale::quick() };
-    let json_path: Option<String> = args.iter().find_map(|a| {
-        if a == "--json" {
-            Some("BENCH_skew.json".to_string())
-        } else {
-            a.strip_prefix("--json=").map(str::to_string)
-        }
-    });
+    let json_requested = args
+        .iter()
+        .any(|a| a == "--json" || a.starts_with("--json="));
+    let json_explicit: Option<String> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--json=").map(str::to_string));
     let requested: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let run_all = requested.is_empty() || requested.iter().any(|a| a.as_str() == "all");
 
-    // The machine-readable skew summary is produced whenever --json is given
-    // and the skew experiment runs (directly or as part of `all`).
-    let run_skew_with_json = |scale: &Scale| {
+    // The JSON-producing experiments (skew, dispatch) each have a default
+    // artifact path; an explicit --json=path only applies when exactly one
+    // of them runs, so two experiments never clobber one file.
+    let json_producers_requested = if run_all {
+        2
+    } else {
+        ["skew", "dispatch"]
+            .iter()
+            .filter(|name| requested.iter().any(|a| a.as_str() == **name))
+            .count()
+    };
+    let json_path_for = |default: &str| -> Option<String> {
+        if !json_requested {
+            return None;
+        }
+        match (&json_explicit, json_producers_requested) {
+            (Some(path), 1) => Some(path.clone()),
+            _ => Some(default.to_string()),
+        }
+    };
+    if json_explicit.is_some() && json_producers_requested > 1 {
+        eprintln!(
+            "note: --json=<path> with several JSON experiments — each writes its default file"
+        );
+    }
+
+    let write_json = |path: &str, contents: String| {
+        std::fs::write(path, contents).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    };
+    let run_skew = |scale: &Scale| {
         let (report, summary) = experiments::skew_with_summary(scale);
         println!("{report}");
-        if let Some(path) = &json_path {
-            std::fs::write(path, summary.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
-            eprintln!("wrote {path}");
+        if let Some(path) = json_path_for("BENCH_skew.json") {
+            write_json(&path, summary.to_json());
+        }
+    };
+    let run_dispatch = |scale: &Scale| {
+        let (report, summary) = experiments::dispatch_with_summary(scale);
+        println!("{report}");
+        if let Some(path) = json_path_for("BENCH_dispatch.json") {
+            write_json(&path, summary.to_json());
         }
     };
 
-    if requested.is_empty() || requested.iter().any(|a| a.as_str() == "all") {
+    if run_all {
         println!(
             "running every experiment at {} scale\n",
             if full { "full" } else { "quick" }
@@ -51,33 +89,37 @@ fn main() {
         for report in experiments::figures(&scale) {
             println!("{report}");
         }
-        // One skew measurement serves both the printed report and the
-        // (optional) JSON artifact.
-        run_skew_with_json(&scale);
+        // One measurement per experiment serves both the printed report and
+        // the (optional) JSON artifact.
+        run_skew(&scale);
+        run_dispatch(&scale);
         return;
     }
 
     let mut unknown = Vec::new();
-    let mut ran_skew = false;
+    let mut ran_json_producer = false;
     for name in requested {
-        if name.as_str() == "skew" {
-            run_skew_with_json(&scale);
-            ran_skew = true;
-            continue;
-        }
-        match experiments::by_name(name, &scale) {
-            Some(report) => println!("{report}"),
-            None => unknown.push(name.clone()),
+        match name.as_str() {
+            "skew" => {
+                run_skew(&scale);
+                ran_json_producer = true;
+            }
+            "dispatch" => {
+                run_dispatch(&scale);
+                ran_json_producer = true;
+            }
+            other => match experiments::by_name(other, &scale) {
+                Some(report) => println!("{report}"),
+                None => unknown.push(other.to_string()),
+            },
         }
     }
-    if !ran_skew {
-        if let Some(path) = &json_path {
-            eprintln!("warning: --json={path} ignored — the skew experiment was not requested");
-        }
+    if json_requested && !ran_json_producer {
+        eprintln!("warning: --json ignored — neither skew nor dispatch was requested");
     }
     if !unknown.is_empty() {
         eprintln!(
-            "unknown experiment(s): {} (valid: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 skew all)",
+            "unknown experiment(s): {} (valid: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 skew dispatch all)",
             unknown.join(", ")
         );
         std::process::exit(2);

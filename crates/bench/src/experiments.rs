@@ -13,6 +13,7 @@ use dora_engine::{
     build_engine, find_peak, BaselineEngine, ClientDriver, DoraExecution, DriverConfig,
     ExecutionEngine,
 };
+use dora_metrics::CounterKind;
 use dora_storage::Database;
 use dora_workloads::{Tm1Mix, Tpcc, TpccMix, Workload};
 
@@ -748,6 +749,220 @@ pub fn skew_with_summary(scale: &Scale) -> (Report, SkewSummary) {
     (report, summary)
 }
 
+/// One mode of the `dispatch` experiment: the fan-out workload driven with
+/// the executor message path either per-message or batched.
+#[derive(Debug, Clone)]
+pub struct DispatchMode {
+    /// Mode label ("per-message" / "batched").
+    pub label: &'static str,
+    /// Committed tps over the measured interval.
+    pub tps: f64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted (per-message mode may abort deadlock victims —
+    /// its dispatches are not latched atomically).
+    pub aborted: u64,
+    /// DORA actions executed.
+    pub actions: u64,
+    /// Messages pushed to executor inboxes.
+    pub messages: u64,
+    /// Producer-side inbox lock acquisitions (one may carry many messages).
+    pub producer_batches: u64,
+    /// Consumer-side inbox lock acquisitions that yielded work.
+    pub inbox_drains: u64,
+}
+
+impl DispatchMode {
+    /// Inbox-mutex acquisitions (producer + consumer side) per executed
+    /// action — the figure of merit: batching must push this well below the
+    /// per-message mode's ~2.
+    pub fn mutex_acquisitions_per_action(&self) -> f64 {
+        (self.producer_batches + self.inbox_drains) as f64 / self.actions.max(1) as f64
+    }
+
+    /// Average messages per producer-side push.
+    pub fn avg_producer_batch(&self) -> f64 {
+        self.messages as f64 / self.producer_batches.max(1) as f64
+    }
+
+    /// Average messages per consumer-side drain.
+    pub fn avg_drain_batch(&self) -> f64 {
+        self.messages as f64 / self.inbox_drains.max(1) as f64
+    }
+}
+
+/// Everything the `dispatch` experiment measured; serialized to
+/// `BENCH_dispatch.json` by the CI bench-smoke job.
+#[derive(Debug, Clone)]
+pub struct DispatchSummary {
+    /// Counter rows.
+    pub keys: i64,
+    /// Actions per transaction (the phase's fan-out).
+    pub fanout: usize,
+    /// Executors on the counters table.
+    pub executors: usize,
+    /// Client threads driving load.
+    pub clients: usize,
+    /// Measured interval length, in milliseconds.
+    pub interval_ms: u64,
+    /// The measured modes, per-message first.
+    pub modes: Vec<DispatchMode>,
+}
+
+impl DispatchSummary {
+    /// Renders the summary as a small JSON document (the workspace has no
+    /// serde; the fields are all numbers, so hand-rolling is safe).
+    pub fn to_json(&self) -> String {
+        let modes = self
+            .modes
+            .iter()
+            .map(|mode| {
+                format!(
+                    concat!(
+                        "    {{\"label\": \"{}\", \"tps\": {:.1}, ",
+                        "\"committed\": {}, \"aborted\": {}, \"actions\": {}, ",
+                        "\"messages\": {}, \"producer_batches\": {}, ",
+                        "\"inbox_drains\": {}, \"mutex_acq_per_action\": {:.4}, ",
+                        "\"avg_producer_batch\": {:.3}, \"avg_drain_batch\": {:.3}}}"
+                    ),
+                    mode.label,
+                    mode.tps,
+                    mode.committed,
+                    mode.aborted,
+                    mode.actions,
+                    mode.messages,
+                    mode.producer_batches,
+                    mode.inbox_drains,
+                    mode.mutex_acquisitions_per_action(),
+                    mode.avg_producer_batch(),
+                    mode.avg_drain_batch(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            concat!(
+                "{{\n  \"experiment\": \"dispatch\",\n  \"keys\": {},\n",
+                "  \"fanout\": {},\n  \"executors\": {},\n  \"clients\": {},\n",
+                "  \"interval_ms\": {},\n  \"modes\": [\n{}\n  ]\n}}\n"
+            ),
+            self.keys, self.fanout, self.executors, self.clients, self.interval_ms, modes
+        )
+    }
+}
+
+fn run_dispatch_mode(scale: &Scale, label: &'static str, batched: bool) -> DispatchMode {
+    let db = Database::new(scale.system_config());
+    let workload = scale.fanout();
+    workload.setup(&db).expect("setup fanout workload");
+    let workload: Arc<dyn Workload> = Arc::new(workload);
+
+    let config = DoraConfig {
+        message_batching: batched,
+        ..DoraConfig::default()
+    };
+    // High executor count: the fan-out workload's point is many partitions,
+    // so it gets at least four executors even at quick scale.
+    let executors = scale.executors_per_table.max(4);
+    let execution = Arc::new(DoraExecution::new(Arc::new(DoraEngine::new(
+        Arc::clone(&db),
+        config,
+    ))));
+    execution
+        .bind(Arc::clone(&workload), executors)
+        .expect("bind fanout workload");
+
+    let driver = ClientDriver::new(DriverConfig {
+        clients: scale.clients_for(100.0),
+        duration: scale.duration,
+        warmup: scale.warmup,
+        hardware_contexts: scale.hardware_contexts,
+    });
+    let result = driver.run_engine(Arc::clone(&execution) as _);
+    execution.shutdown();
+
+    // The metric deltas cover exactly the measured interval; experiments run
+    // sequentially, so the executor-path counters are attributable to this
+    // engine.
+    DispatchMode {
+        label,
+        tps: result.throughput_tps,
+        committed: result.committed,
+        aborted: result.aborted,
+        actions: result.metrics.counter(CounterKind::ActionsExecuted),
+        messages: result.metrics.counter(CounterKind::DoraMessages),
+        producer_batches: result.metrics.counter(CounterKind::DispatchBatches),
+        inbox_drains: result.metrics.counter(CounterKind::InboxDrains),
+    }
+}
+
+/// The message-path experiment: the high-fan-out counters workload run with
+/// the executor message path per-message vs. batched. Not a paper figure —
+/// it quantifies the "additional inter-core communication" the appendix
+/// names as DORA's cost, and how far batching (amortized dispatch,
+/// drain-style dequeue) pushes it down. The mutex-acquisitions-per-action
+/// column is counter-derived, not sampled.
+pub fn dispatch(scale: &Scale) -> Report {
+    dispatch_with_summary(scale).0
+}
+
+/// [`dispatch`], also returning the machine-readable summary.
+pub fn dispatch_with_summary(scale: &Scale) -> (Report, DispatchSummary) {
+    let modes = vec![
+        run_dispatch_mode(scale, "per-message", false),
+        run_dispatch_mode(scale, "batched", true),
+    ];
+    let summary = DispatchSummary {
+        keys: scale.fanout_keys,
+        fanout: scale.fanout_actions,
+        executors: scale.executors_per_table.max(4),
+        clients: scale.clients_for(100.0),
+        interval_ms: scale.duration.as_millis() as u64,
+        modes,
+    };
+
+    let mut report = Report::new("Dispatch: executor message path, per-message vs batched");
+    report.line(format!(
+        "  {} keys, {} actions/txn, {} executors, {} clients, {} ms per interval",
+        summary.keys, summary.fanout, summary.executors, summary.clients, summary.interval_ms
+    ));
+    report.blank();
+    report.line(format!(
+        "  {:<12} {:>10} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "mode", "tps", "aborts", "actions", "locks/actn", "push batch", "drain batch"
+    ));
+    for mode in &summary.modes {
+        report.line(format!(
+            "  {:<12} {:>10.0} {:>8} {:>10} {:>12.3} {:>12.2} {:>12.2}",
+            mode.label,
+            mode.tps,
+            mode.aborted,
+            mode.actions,
+            mode.mutex_acquisitions_per_action(),
+            mode.avg_producer_batch(),
+            mode.avg_drain_batch(),
+        ));
+    }
+    report.blank();
+    if let [before, after] = &summary.modes[..] {
+        report.kv(
+            "throughput batched/per-message",
+            format!("{:.2}x", after.tps / before.tps.max(1.0)),
+        );
+        report.kv(
+            "lock acquisitions per action",
+            format!(
+                "{:.3} -> {:.3}",
+                before.mutex_acquisitions_per_action(),
+                after.mutex_acquisitions_per_action()
+            ),
+        );
+    }
+    report.line("  (locks/actn = producer pushes + consumer drains per executed action;");
+    report.line("   per-message mode pays ~2, batching amortizes both sides)");
+    (report, summary)
+}
+
 /// Runs every paper figure at the given scale, returning the reports.
 /// The `skew` experiment is not included — run it through
 /// [`skew_with_summary`] so its report and machine-readable summary come
@@ -767,10 +982,12 @@ pub fn figures(scale: &Scale) -> Vec<Report> {
     ]
 }
 
-/// Runs every experiment (paper figures plus `skew`) at the given scale.
+/// Runs every experiment (paper figures plus `skew` and `dispatch`) at the
+/// given scale.
 pub fn all(scale: &Scale) -> Vec<Report> {
     let mut reports = figures(scale);
     reports.push(skew(scale));
+    reports.push(dispatch(scale));
     reports
 }
 
@@ -790,6 +1007,7 @@ pub fn by_name(name: &str, scale: &Scale) -> Option<Report> {
         "fig10" => Some(fig10(scale)),
         "fig11" => Some(fig11(scale)),
         "skew" => Some(skew(scale)),
+        "dispatch" => Some(dispatch(scale)),
         _ => None,
     }
 }
@@ -814,6 +1032,8 @@ mod tests {
             log_flush_micros: 0,
             skew_keys: 100,
             zipf_theta: 0.99,
+            fanout_keys: 64,
+            fanout_actions: 4,
         }
     }
 
@@ -873,6 +1093,79 @@ mod tests {
                 "unbalanced {open}{close} in {json}"
             );
         }
+    }
+
+    #[test]
+    fn dispatch_summary_renders_valid_json_shape() {
+        let summary = DispatchSummary {
+            keys: 64,
+            fanout: 4,
+            executors: 2,
+            clients: 3,
+            interval_ms: 80,
+            modes: vec![
+                DispatchMode {
+                    label: "per-message",
+                    tps: 1000.0,
+                    committed: 100,
+                    aborted: 1,
+                    actions: 400,
+                    messages: 500,
+                    producer_batches: 500,
+                    inbox_drains: 500,
+                },
+                DispatchMode {
+                    label: "batched",
+                    tps: 2000.0,
+                    committed: 200,
+                    aborted: 0,
+                    actions: 800,
+                    messages: 1000,
+                    producer_batches: 250,
+                    inbox_drains: 125,
+                },
+            ],
+        };
+        let json = summary.to_json();
+        assert!(json.contains("\"experiment\": \"dispatch\""), "{json}");
+        assert!(json.contains("\"label\": \"per-message\""), "{json}");
+        assert!(json.contains("\"label\": \"batched\""), "{json}");
+        assert!(json.contains("\"mutex_acq_per_action\": 2.5000"), "{json}");
+        assert!(json.contains("\"avg_drain_batch\": 8.000"), "{json}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_mode_derived_metrics() {
+        let mode = DispatchMode {
+            label: "batched",
+            tps: 0.0,
+            committed: 0,
+            aborted: 0,
+            actions: 100,
+            messages: 120,
+            producer_batches: 30,
+            inbox_drains: 20,
+        };
+        assert!((mode.mutex_acquisitions_per_action() - 0.5).abs() < 1e-9);
+        assert!((mode.avg_producer_batch() - 4.0).abs() < 1e-9);
+        assert!((mode.avg_drain_batch() - 6.0).abs() < 1e-9);
+        let zero = DispatchMode {
+            actions: 0,
+            messages: 0,
+            producer_batches: 0,
+            inbox_drains: 0,
+            ..mode
+        };
+        // Degenerate runs must not divide by zero.
+        assert_eq!(zero.mutex_acquisitions_per_action(), 0.0);
+        assert_eq!(zero.avg_producer_batch(), 0.0);
     }
 
     #[test]

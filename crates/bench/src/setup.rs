@@ -45,6 +45,12 @@ pub struct Scale {
     pub skew_keys: i64,
     /// Zipfian skew parameter θ for the skewed-counters workload.
     pub zipf_theta: f64,
+    /// Counter rows for the fan-out workload (the `dispatch` message-path
+    /// experiment).
+    pub fanout_keys: i64,
+    /// Counters bumped per fan-out transaction — the phase's action count,
+    /// i.e. how many messages one dispatch sprays across the executors.
+    pub fanout_actions: usize,
 }
 
 impl Scale {
@@ -70,6 +76,8 @@ impl Scale {
             log_flush_micros: 20,
             skew_keys: 2_000,
             zipf_theta: 0.99,
+            fanout_keys: 4_096,
+            fanout_actions: 8,
         }
     }
 
@@ -91,6 +99,8 @@ impl Scale {
             log_flush_micros: 40,
             skew_keys: 50_000,
             zipf_theta: 0.99,
+            fanout_keys: 65_536,
+            fanout_actions: 8,
         }
     }
 
@@ -140,6 +150,12 @@ impl Scale {
     /// callers add drift for the migration scenario).
     pub fn skewed(&self) -> dora_workloads::SkewedCounters {
         dora_workloads::SkewedCounters::new(self.skew_keys, self.zipf_theta)
+    }
+
+    /// The high-fan-out counters workload at this scale (the `dispatch`
+    /// message-path experiment).
+    pub fn fanout(&self) -> dora_workloads::FanoutCounters {
+        dora_workloads::FanoutCounters::new(self.fanout_keys, self.fanout_actions)
     }
 }
 
@@ -232,6 +248,8 @@ mod tests {
             log_flush_micros: 0,
             skew_keys: 100,
             zipf_theta: 0.99,
+            fanout_keys: 64,
+            fanout_actions: 4,
         }
     }
 

@@ -4,77 +4,163 @@
 //! decisions and DORA action identifiers. DORA's thread-local lock table
 //! operates on *key prefixes* (Section 4.1.3: "the locking scheme employed is
 //! similar to that of key-prefix locks"), so [`Key`] exposes prefix tests.
+//!
+//! Keys sit on the executor hot path: every action carries one, every local
+//! lock probe compares them and every routing decision reads the leading
+//! field. To keep that path allocation-free, short keys (up to
+//! [`Key::INLINE_LEN`] components — the overwhelmingly common case: warehouse
+//! id, (warehouse, district), subscriber id, counter id) are stored *inline*
+//! on the stack; only longer keys spill to a heap vector. The two
+//! representations are an invisible implementation detail: equality, hashing
+//! and ordering are defined over the logical value sequence, so an inline key
+//! and a heap key with the same components are fully interchangeable (there
+//! is a property test pinning this down).
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::value::Value;
 
+/// Filler for unused inline slots (never observed through the public API).
+const FILL: Value = Value::Int(0);
+
+/// Inline capacity; re-exported as [`Key::INLINE_LEN`].
+const INLINE_LEN: usize = 2;
+
+/// Internal storage of a [`Key`].
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Up to [`Key::INLINE_LEN`] components stored in place; `len` of them
+    /// are live, the rest are [`FILL`].
+    Inline { len: u8, slots: [Value; INLINE_LEN] },
+    /// Longer keys fall back to a heap vector.
+    Heap(Vec<Value>),
+}
+
 /// A composite key: an ordered tuple of column values.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct Key(pub Vec<Value>);
+#[derive(Debug, Clone)]
+pub struct Key(Repr);
 
 impl Key {
+    /// Number of components a key stores without heap allocation.
+    pub const INLINE_LEN: usize = INLINE_LEN;
+
     /// The empty key. Used as the identifier of *secondary actions*, whose
     /// responsible executor cannot be determined from the action alone
     /// (Section 4.2.2).
     pub fn empty() -> Self {
-        Key(Vec::new())
+        Key(Repr::Inline {
+            len: 0,
+            slots: [FILL; INLINE_LEN],
+        })
     }
 
-    /// Builds a key from anything convertible to values.
+    /// Builds a key from anything convertible to values. Stays on the stack
+    /// for up to [`Key::INLINE_LEN`] components.
     pub fn from_values<I, V>(values: I) -> Self
     where
         I: IntoIterator<Item = V>,
         V: Into<Value>,
     {
-        Key(values.into_iter().map(Into::into).collect())
+        let mut key = Key::empty();
+        for value in values {
+            key.push(value);
+        }
+        key
     }
 
     /// Single-column integer key, the most common case in the benchmarks.
     pub fn int(v: i64) -> Self {
-        Key(vec![Value::Int(v)])
+        Key(Repr::Inline {
+            len: 1,
+            slots: [Value::Int(v), FILL],
+        })
     }
 
     /// Two-column integer key.
     pub fn int2(a: i64, b: i64) -> Self {
-        Key(vec![Value::Int(a), Value::Int(b)])
+        Key(Repr::Inline {
+            len: 2,
+            slots: [Value::Int(a), Value::Int(b)],
+        })
     }
 
     /// Three-column integer key.
     pub fn int3(a: i64, b: i64, c: i64) -> Self {
-        Key(vec![Value::Int(a), Value::Int(b), Value::Int(c)])
+        Key(Repr::Heap(vec![
+            Value::Int(a),
+            Value::Int(b),
+            Value::Int(c),
+        ]))
     }
 
     /// Number of components in the key.
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(values) => values.len(),
+        }
     }
 
     /// `true` if the key has no components (a secondary-action identifier).
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
+    }
+
+    /// `true` if the key is stored inline (no heap allocation). Diagnostics
+    /// and tests only — the representation never changes key semantics.
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
     }
 
     /// Returns the components.
     pub fn values(&self) -> &[Value] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, slots } => &slots[..*len as usize],
+            Repr::Heap(values) => values,
+        }
+    }
+
+    /// Appends a component in place. Spills to the heap only past
+    /// [`Key::INLINE_LEN`] components.
+    pub fn push(&mut self, value: impl Into<Value>) {
+        let value = value.into();
+        match &mut self.0 {
+            Repr::Inline { len, slots } => {
+                let live = *len as usize;
+                if live < Self::INLINE_LEN {
+                    slots[live] = value;
+                    *len += 1;
+                } else {
+                    let mut values = Vec::with_capacity(live + 1);
+                    for slot in slots.iter_mut() {
+                        values.push(std::mem::replace(slot, FILL));
+                    }
+                    values.push(value);
+                    self.0 = Repr::Heap(values);
+                }
+            }
+            Repr::Heap(values) => values.push(value),
+        }
     }
 
     /// Returns a new key containing only the first `n` components.
     pub fn prefix(&self, n: usize) -> Key {
-        Key(self.0.iter().take(n).cloned().collect())
+        Key::from_values(self.values().iter().take(n).cloned())
     }
 
     /// Appends a component, returning the extended key.
     pub fn extend(&self, value: impl Into<Value>) -> Key {
-        let mut values = self.0.clone();
-        values.push(value.into());
-        Key(values)
+        let mut key = self.clone();
+        key.push(value);
+        key
     }
 
     /// `true` if `self` is a (non-strict) prefix of `other`.
     pub fn is_prefix_of(&self, other: &Key) -> bool {
-        self.0.len() <= other.0.len() && self.0.iter().zip(other.0.iter()).all(|(a, b)| a == b)
+        let (a, b) = (self.values(), other.values());
+        a.len() <= b.len() && a.iter().zip(b.iter()).all(|(x, y)| x == y)
     }
 
     /// Key-prefix overlap test: two identifiers cover overlapping record sets
@@ -87,17 +173,53 @@ impl Key {
     /// First component interpreted as an integer, if present. Routing rules
     /// frequently partition on the leading routing field.
     pub fn leading_int(&self) -> Option<i64> {
-        match self.0.first() {
+        match self.values().first() {
             Some(Value::Int(v)) => Some(*v),
             _ => None,
         }
     }
 }
 
+impl Default for Key {
+    fn default() -> Self {
+        Key::empty()
+    }
+}
+
+// Equality, hashing and ordering go through `values()` so the inline and
+// heap representations of the same logical key are indistinguishable —
+// `HashMap<Key, _>` lookups and B-Tree ordering must not depend on how a key
+// happened to be built.
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.values() == other.values()
+    }
+}
+
+impl Eq for Key {}
+
+impl Hash for Key {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.values().hash(state);
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.values().cmp(other.values())
+    }
+}
+
 impl fmt::Display for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for (i, v) in self.values().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -108,8 +230,17 @@ impl fmt::Display for Key {
 }
 
 impl From<Vec<Value>> for Key {
+    /// Adopts the vector as-is (heap representation, no copying). Hot paths
+    /// that want short keys inline should build through [`Key::from_values`]
+    /// or the `int*` constructors instead.
     fn from(values: Vec<Value>) -> Self {
-        Key(values)
+        Key(Repr::Heap(values))
+    }
+}
+
+impl FromIterator<Value> for Key {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Key::from_values(iter)
     }
 }
 
@@ -197,5 +328,47 @@ mod tests {
         assert_eq!(key.prefix(2), Key::int2(1, 2));
         assert_eq!(key.leading_int(), Some(1));
         assert_eq!(Key::empty().leading_int(), None);
+    }
+
+    #[test]
+    fn short_keys_stay_inline_and_long_keys_spill() {
+        assert!(Key::empty().is_inline());
+        assert!(Key::int(7).is_inline());
+        assert!(Key::int2(7, 8).is_inline());
+        assert!(!Key::int3(7, 8, 9).is_inline());
+        assert!(Key::int2(7, 8).prefix(1).is_inline());
+        assert!(Key::int3(7, 8, 9).prefix(2).is_inline());
+        // Pushing past the inline capacity spills without losing components.
+        let mut key = Key::int2(1, 2);
+        key.push(3);
+        assert!(!key.is_inline());
+        assert_eq!(key, Key::int3(1, 2, 3));
+    }
+
+    #[test]
+    fn inline_and_heap_representations_are_interchangeable() {
+        use std::collections::hash_map::DefaultHasher;
+        let inline = Key::int2(5, 6);
+        let heap = Key::from(vec![Value::Int(5), Value::Int(6)]);
+        assert!(inline.is_inline());
+        assert!(!heap.is_inline());
+        assert_eq!(inline, heap);
+        assert_eq!(inline.cmp(&heap), Ordering::Equal);
+        let hash = |key: &Key| {
+            let mut hasher = DefaultHasher::new();
+            key.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(hash(&inline), hash(&heap));
+        let mut map = std::collections::HashMap::new();
+        map.insert(inline, 1);
+        assert_eq!(map.get(&heap), Some(&1));
+    }
+
+    #[test]
+    fn collect_builds_inline_keys() {
+        let key: Key = vec![Value::Int(1), Value::Int(2)].into_iter().collect();
+        assert!(key.is_inline());
+        assert_eq!(key, Key::int2(1, 2));
     }
 }

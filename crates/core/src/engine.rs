@@ -13,7 +13,7 @@ use dora_storage::Database;
 
 use crate::action::{Action, ActionContext, ActionSpec};
 use crate::config::DoraConfig;
-use crate::executor::{ExecutorShared, ExecutorWorker, Message, ResizeBarrier};
+use crate::executor::{ExecutorShared, ExecutorWorker, InboxGuard, Message, ResizeBarrier};
 use crate::flow::FlowGraph;
 use crate::routing::{RoutingRule, RoutingTable};
 use crate::txn::{DoraTxn, DoraTxnInner};
@@ -34,6 +34,11 @@ impl EngineInner {
     /// The storage manager.
     pub(crate) fn db(&self) -> &Database {
         &self.db
+    }
+
+    /// The engine configuration.
+    pub(crate) fn config(&self) -> &DoraConfig {
+        &self.config
     }
 
     fn executors_for(&self, table: TableId) -> DbResult<Vec<Arc<ExecutorShared>>> {
@@ -88,39 +93,67 @@ impl EngineInner {
 
         if !routed.is_empty() {
             time_section(TimeCategory::EngineOverhead, || {
-                // Latch every target queue in the global executor order
-                // before enqueueing anything.
-                let mut targets: Vec<Arc<ExecutorShared>> = routed
-                    .iter()
-                    .map(|(executor, _)| Arc::clone(executor))
-                    .collect();
-                targets.sort_by_key(|executor| (executor.table.0, executor.index));
-                targets.dedup_by_key(|executor| (executor.table.0, executor.index));
-                let mut guards: Vec<_> = targets
-                    .iter()
-                    .map(|executor| ((executor.table.0, executor.index), executor.lock_queue()))
-                    .collect();
-                for (executor, action) in routed {
-                    let key = (executor.table.0, executor.index);
-                    let guard = guards
-                        .iter_mut()
-                        .find(|(k, _)| *k == key)
-                        .map(|(_, g)| g)
-                        .expect("queue latched above");
-                    guard.push_back(Message::Action(action));
-                    incr(CounterKind::DoraMessages);
+                if self.config.message_batching {
+                    self.push_phase_batched(routed);
+                } else {
+                    // Per-message baseline: one lock/unlock and one wake per
+                    // action, pushes not latched together (see
+                    // `DoraConfig::message_batching`).
+                    for (executor, action) in routed {
+                        executor.enqueue(Message::Action(action));
+                        incr(CounterKind::DoraMessages);
+                        incr(CounterKind::DispatchBatches);
+                    }
                 }
-                drop(guards);
             });
         }
-        // Wake the executors after the latches are released.
-        self.notify_all_executors();
 
         // Secondary actions run on this thread — the thread that submitted
         // the phase — using the routing fields stored in the secondary index
         // leaves to reach the right records (Section 4.2.2).
         for spec in secondary {
             self.execute_secondary(txn, phase, spec);
+        }
+    }
+
+    /// Pushes one phase's routed actions grouped per destination executor:
+    /// every destination inbox is latched in the global executor order before
+    /// any action is pushed (DORA's deadlock-avoidance rule for transactions
+    /// sharing a flow graph, Section 4.2.3), each destination's group lands
+    /// under that single lock acquisition, and each destination is woken
+    /// exactly once after its latch is released. Message counters are bumped
+    /// once per batch, not once per message.
+    fn push_phase_batched(&self, mut routed: Vec<(Arc<ExecutorShared>, Action)>) {
+        // Stable sort: groups actions by destination while preserving each
+        // destination's arrival order (per-source FIFO).
+        routed.sort_by_key(|(executor, _)| (executor.table.0, executor.index));
+        let mut targets: Vec<Arc<ExecutorShared>> = Vec::with_capacity(routed.len());
+        for (executor, _) in &routed {
+            if targets
+                .last()
+                .is_none_or(|last| !Arc::ptr_eq(last, executor))
+            {
+                targets.push(Arc::clone(executor));
+            }
+        }
+        let mut guards: Vec<InboxGuard<'_>> = targets
+            .iter()
+            .map(|executor| executor.lock_inbox())
+            .collect();
+        let messages = routed.len() as u64;
+        let mut slot = 0usize;
+        for (executor, action) in routed {
+            if !Arc::ptr_eq(&targets[slot], &executor) {
+                slot += 1;
+            }
+            guards[slot].push(Message::Action(action));
+        }
+        incr_by(CounterKind::DoraMessages, messages);
+        incr_by(CounterKind::DispatchBatches, targets.len() as u64);
+        drop(guards);
+        // Wake each destination once, after the latches are released.
+        for target in &targets {
+            target.notify();
         }
     }
 
@@ -157,6 +190,7 @@ impl EngineInner {
                 if let Ok(executor) = self.executor(table, index) {
                     executor.enqueue(Message::Action(action));
                     incr(CounterKind::DoraMessages);
+                    incr(CounterKind::DispatchBatches);
                     return;
                 }
                 let txn = Arc::clone(&action.txn);
@@ -223,8 +257,13 @@ impl EngineInner {
                 }
             }
         };
+        // Commit fan-out: each involved executor receives exactly one
+        // `Completed` message, so every push is a batch of one — one lock
+        // acquisition and one wake per destination, with the counters bumped
+        // once for the whole fan-out.
         let involved: Vec<(TableId, usize)> = txn.involved.lock().iter().copied().collect();
         incr_by(CounterKind::DoraMessages, involved.len() as u64);
+        incr_by(CounterKind::DispatchBatches, involved.len() as u64);
         for (table, index) in involved {
             if let Ok(executor) = self.executor(table, index) {
                 executor.enqueue(Message::Completed(txn.id()));
@@ -232,22 +271,6 @@ impl EngineInner {
         }
         self.db.lock_manager().remove_external_wait(txn.id());
         txn.completion.finish(result);
-    }
-
-    fn notify_all_executors(&self) {
-        // Cheap: notifying a condvar with no waiters is a no-op. Waking every
-        // executor of every table would be wasteful, so only executors with
-        // queued work are woken by `enqueue`; after a batched (latched) push
-        // we conservatively notify all executors of the touched tables. To
-        // keep the code simple we notify every executor — benchmark profiles
-        // show the cost is negligible at the scales we run.
-        for table in self.executors.read().iter() {
-            for executor in table {
-                if executor.queue_depth() > 0 {
-                    executor.notify();
-                }
-            }
-        }
     }
 }
 
@@ -425,7 +448,9 @@ impl DoraEngine {
         }
         let handle = self.inner.db.begin();
         let txn = DoraTxnInner::new(handle, phases);
-        incr(CounterKind::DoraMessages);
+        // Deliberately not counted as a DoraMessage: the client->engine
+        // hand-off is a function call, not an inbox push, and the dispatch
+        // metrics divide DoraMessages by the inbox-push/drain counters.
         self.inner.dispatch_phase(&txn, 0);
         Ok(DoraTxn { inner: txn })
     }

@@ -14,7 +14,7 @@
 //! table.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -86,6 +86,30 @@ impl std::fmt::Debug for Message {
     }
 }
 
+/// A latched executor inbox: messages pushed through it become visible to
+/// the executor when the guard drops. The dispatcher holds guards on every
+/// destination of a phase before pushing any action, which is DORA's atomic
+/// phase submission (Section 4.2.3). The guard refreshes the lock-free depth
+/// mirror on release so [`ExecutorShared::queue_depth`] never touches the
+/// inbox mutex.
+pub(crate) struct InboxGuard<'a> {
+    depth: &'a AtomicUsize,
+    queue: MutexGuard<'a, VecDeque<Message>>,
+}
+
+impl InboxGuard<'_> {
+    /// Appends a message to the latched inbox.
+    pub(crate) fn push(&mut self, message: Message) {
+        self.queue.push_back(message);
+    }
+}
+
+impl Drop for InboxGuard<'_> {
+    fn drop(&mut self) {
+        self.depth.store(self.queue.len(), Ordering::Relaxed);
+    }
+}
+
 /// The shared (cross-thread) half of an executor: its identity and queue.
 pub(crate) struct ExecutorShared {
     /// Table this executor serves.
@@ -94,6 +118,10 @@ pub(crate) struct ExecutorShared {
     pub index: usize,
     queue: Mutex<VecDeque<Message>>,
     available: Condvar,
+    /// Lock-free mirror of the inbox length, refreshed by whoever last held
+    /// the queue mutex. Lets monitoring threads (the adaptive controller's
+    /// sampler) read backlogs without contending with the hot path.
+    depth: AtomicUsize,
     /// Number of actions served, read by the resource manager for load
     /// balancing.
     served: AtomicU64,
@@ -106,37 +134,59 @@ impl ExecutorShared {
             index,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
+            depth: AtomicUsize::new(0),
             served: AtomicU64::new(0),
         }
     }
 
-    /// Enqueues a message and wakes the executor.
+    /// Enqueues a single message and wakes the executor.
     pub(crate) fn enqueue(&self, message: Message) {
-        let mut queue = self.queue.lock();
-        queue.push_back(message);
+        self.lock_inbox().push(message);
         self.available.notify_one();
     }
 
-    /// Locks the incoming queue without enqueueing. The dispatcher uses this
-    /// to latch the queues of every executor of a phase before pushing any
-    /// action, making the submission atomic (Section 4.2.3).
-    pub(crate) fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Message>> {
-        self.queue.lock()
+    /// Latches the inbox for a batched push. Call [`Self::notify`] after the
+    /// guard drops to wake the executor.
+    pub(crate) fn lock_inbox(&self) -> InboxGuard<'_> {
+        InboxGuard {
+            depth: &self.depth,
+            queue: self.queue.lock(),
+        }
     }
 
-    /// Wakes the executor after an external push through [`Self::lock_queue`].
+    /// Wakes the executor after an external push through
+    /// [`Self::lock_inbox`].
     pub(crate) fn notify(&self) {
         self.available.notify_one();
     }
 
-    fn dequeue(&self) -> Message {
+    /// Pops a single message, blocking while the inbox is empty — the
+    /// per-message consumer path (one lock acquisition per message), kept as
+    /// the measurement baseline for `message_batching: false`.
+    pub(crate) fn dequeue(&self) -> Message {
         let mut queue = self.queue.lock();
         loop {
             if let Some(message) = queue.pop_front() {
+                self.depth.store(queue.len(), Ordering::Relaxed);
                 return message;
             }
             self.available.wait(&mut queue);
         }
+    }
+
+    /// Drains the whole inbox into `batch` under a single lock acquisition,
+    /// blocking while the inbox is empty. `batch` must be empty on entry; the
+    /// buffers are *swapped*, so the batch's spare capacity becomes the new
+    /// inbox allocation and the two buffers ping-pong between producer and
+    /// consumer without ever reallocating in steady state.
+    pub(crate) fn dequeue_batch(&self, batch: &mut VecDeque<Message>) {
+        debug_assert!(batch.is_empty(), "drain target must start empty");
+        let mut queue = self.queue.lock();
+        while queue.is_empty() {
+            self.available.wait(&mut queue);
+        }
+        std::mem::swap(&mut *queue, batch);
+        self.depth.store(0, Ordering::Relaxed);
     }
 
     /// Number of actions this executor has served so far.
@@ -144,9 +194,11 @@ impl ExecutorShared {
         self.served.load(Ordering::Relaxed)
     }
 
-    /// Current queue depth (diagnostics).
+    /// Current queue depth (diagnostics / load sampling). Reads the atomic
+    /// mirror — never the inbox mutex — so samplers cannot contend with the
+    /// message hot path.
     pub(crate) fn queue_depth(&self) -> usize {
-        self.queue.lock().len()
+        self.depth.load(Ordering::Relaxed)
     }
 }
 
@@ -179,20 +231,34 @@ impl ExecutorWorker {
         }
     }
 
-    /// The executor main loop.
+    /// The executor main loop: drain a batch of messages under one inbox
+    /// lock, then process it entirely thread-locally. Control messages
+    /// (`StartResize`/`FinishResize`/`Shutdown`) keep their FIFO position
+    /// relative to actions because the batch is processed in arrival order.
+    /// With `message_batching` off, every message is its own batch (one lock
+    /// acquisition per message — the measurement baseline).
     pub(crate) fn run(mut self) {
+        let batched = self.engine.config().message_batching;
+        let mut batch = VecDeque::new();
         loop {
-            let message = self.shared.dequeue();
-            match message {
-                Message::Shutdown => break,
-                Message::Action(action) => self.handle_incoming(action),
-                Message::Completed(txn) => self.handle_completed(txn),
-                Message::StartResize(barrier) => {
-                    self.draining = Some(barrier);
-                    self.awaiting_rule = false;
-                    self.maybe_signal_drained();
+            if batched {
+                self.shared.dequeue_batch(&mut batch);
+            } else {
+                batch.push_back(self.shared.dequeue());
+            }
+            incr(CounterKind::InboxDrains);
+            while let Some(message) = batch.pop_front() {
+                match message {
+                    Message::Shutdown => return,
+                    Message::Action(action) => self.handle_incoming(action),
+                    Message::Completed(txn) => self.handle_completed(txn),
+                    Message::StartResize(barrier) => {
+                        self.draining = Some(barrier);
+                        self.awaiting_rule = false;
+                        self.maybe_signal_drained();
+                    }
+                    Message::FinishResize => self.finish_resize(),
                 }
-                Message::FinishResize => self.finish_resize(),
             }
         }
     }
@@ -368,16 +434,53 @@ mod tests {
     }
 
     #[test]
-    fn lock_queue_then_notify_delivers_message() {
+    fn lock_inbox_then_notify_delivers_message() {
         let shared = Arc::new(ExecutorShared::new(TableId(1), 0));
         {
-            let mut queue = shared.lock_queue();
-            queue.push_back(Message::Completed(TxnId(9)));
+            let mut inbox = shared.lock_inbox();
+            inbox.push(Message::Completed(TxnId(9)));
         }
+        assert_eq!(shared.queue_depth(), 1, "guard drop must refresh depth");
         shared.notify();
         match shared.dequeue() {
             Message::Completed(txn) => assert_eq!(txn, TxnId(9)),
             other => panic!("unexpected {other:?}"),
         }
+        assert_eq!(shared.queue_depth(), 0);
+    }
+
+    #[test]
+    fn dequeue_batch_drains_everything_in_fifo_order() {
+        let shared = ExecutorShared::new(TableId(1), 0);
+        for id in 1..=5 {
+            shared.enqueue(Message::Completed(TxnId(id)));
+        }
+        assert_eq!(shared.queue_depth(), 5);
+        let mut batch = VecDeque::new();
+        shared.dequeue_batch(&mut batch);
+        assert_eq!(shared.queue_depth(), 0);
+        let drained: Vec<TxnId> = batch
+            .iter()
+            .map(|message| match message {
+                Message::Completed(txn) => *txn,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(drained, (1..=5).map(TxnId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dequeue_batch_blocks_until_work_arrives() {
+        let shared = Arc::new(ExecutorShared::new(TableId(1), 0));
+        let shared2 = Arc::clone(&shared);
+        let consumer = std::thread::spawn(move || {
+            let mut batch = VecDeque::new();
+            shared2.dequeue_batch(&mut batch);
+            batch.len()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(!consumer.is_finished(), "must block on an empty inbox");
+        shared.enqueue(Message::Completed(TxnId(1)));
+        assert_eq!(consumer.join().unwrap(), 1);
     }
 }

@@ -31,20 +31,16 @@ pub enum LocalAcquire {
     Conflict(Vec<TxnId>),
 }
 
-#[derive(Debug)]
-struct LocalLockEntry {
-    identifier: Key,
-    owners: Vec<(TxnId, LocalMode)>,
-}
-
 /// A thread-local lock table.
 #[derive(Debug, Default)]
 pub struct LocalLockTable {
-    /// Entries indexed by exact identifier. Conflict checking scans all
-    /// entries because key-prefix overlap cannot be answered by an exact
-    /// lookup; the table only ever holds entries for in-flight transactions
-    /// on one executor, so it stays small (tens of entries).
-    entries: HashMap<Key, LocalLockEntry>,
+    /// Owner lists indexed by exact identifier (the map key *is* the locked
+    /// identifier — short keys are stored inline, so populating an entry does
+    /// not allocate). Conflict checking scans all entries because key-prefix
+    /// overlap cannot be answered by an exact lookup; the table only ever
+    /// holds entries for in-flight transactions on one executor, so it stays
+    /// small (tens of entries).
+    entries: HashMap<Key, Vec<(TxnId, LocalMode)>>,
     /// Total number of grants, for Figure 5's thread-local lock counts.
     acquired: u64,
 }
@@ -63,11 +59,11 @@ impl LocalLockTable {
     pub fn acquire(&mut self, txn: TxnId, identifier: &Key, mode: LocalMode) -> LocalAcquire {
         time_section(TimeCategory::DoraLocal, || {
             let mut conflicts = Vec::new();
-            for entry in self.entries.values() {
-                if !entry.identifier.overlaps(identifier) {
+            for (locked, owners) in &self.entries {
+                if !locked.overlaps(identifier) {
                     continue;
                 }
-                for (owner, owner_mode) in &entry.owners {
+                for (owner, owner_mode) in owners {
                     if *owner == txn {
                         continue;
                     }
@@ -85,20 +81,14 @@ impl LocalLockTable {
                 conflicts.dedup();
                 return LocalAcquire::Conflict(conflicts);
             }
-            let entry = self
-                .entries
-                .entry(identifier.clone())
-                .or_insert_with(|| LocalLockEntry {
-                    identifier: identifier.clone(),
-                    owners: Vec::new(),
-                });
-            if let Some(existing) = entry.owners.iter_mut().find(|(owner, _)| *owner == txn) {
+            let owners = self.entries.entry(identifier.clone()).or_default();
+            if let Some(existing) = owners.iter_mut().find(|(owner, _)| *owner == txn) {
                 // Upgrade in place if needed.
                 if existing.1 == LocalMode::Shared && mode == LocalMode::Exclusive {
                     existing.1 = LocalMode::Exclusive;
                 }
             } else {
-                entry.owners.push((txn, mode));
+                owners.push((txn, mode));
                 self.acquired += 1;
                 incr(CounterKind::DoraLocalLock);
             }
@@ -110,9 +100,9 @@ impl LocalLockTable {
     /// or abort notification arrives on the completed queue).
     pub fn release_txn(&mut self, txn: TxnId) {
         time_section(TimeCategory::DoraLocal, || {
-            self.entries.retain(|_, entry| {
-                entry.owners.retain(|(owner, _)| *owner != txn);
-                !entry.owners.is_empty()
+            self.entries.retain(|_, owners| {
+                owners.retain(|(owner, _)| *owner != txn);
+                !owners.is_empty()
             });
         })
     }
@@ -136,7 +126,7 @@ impl LocalLockTable {
     pub fn holds_any(&self, txn: TxnId) -> bool {
         self.entries
             .values()
-            .any(|e| e.owners.iter().any(|(owner, _)| *owner == txn))
+            .any(|owners| owners.iter().any(|(owner, _)| *owner == txn))
     }
 }
 

@@ -49,10 +49,20 @@ pub enum CounterKind {
     /// Appendix A.2.1), whether triggered manually or by the adaptive
     /// repartitioning controller.
     RoutingResizes = 16,
+    /// Producer-side executor-inbox pushes: one per lock acquisition on a
+    /// destination queue (a push may carry many messages when batching is
+    /// on). `DoraMessages / DispatchBatches` is the average producer batch
+    /// size.
+    DispatchBatches = 17,
+    /// Consumer-side executor-inbox drains: one per lock acquisition that
+    /// handed the executor work (the whole backlog when batching is on, a
+    /// single message otherwise). `DoraMessages / InboxDrains` is the
+    /// average drain batch size.
+    InboxDrains = 18,
 }
 
 /// Number of [`CounterKind`] variants; sizes the per-thread arrays.
-pub const COUNTER_KIND_COUNT: usize = 17;
+pub const COUNTER_KIND_COUNT: usize = 19;
 
 /// All counters, in `repr` order.
 pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
@@ -73,6 +83,8 @@ pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
     CounterKind::WastedActions,
     CounterKind::DoraMessages,
     CounterKind::RoutingResizes,
+    CounterKind::DispatchBatches,
+    CounterKind::InboxDrains,
 ];
 
 impl CounterKind {
@@ -101,6 +113,8 @@ impl CounterKind {
             CounterKind::WastedActions => "wasted-actions",
             CounterKind::DoraMessages => "dora-messages",
             CounterKind::RoutingResizes => "routing-resizes",
+            CounterKind::DispatchBatches => "dispatch-batches",
+            CounterKind::InboxDrains => "inbox-drains",
         }
     }
 }

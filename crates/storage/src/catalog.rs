@@ -79,19 +79,17 @@ impl TableSchema {
             .ok_or_else(|| DbError::NoSuchObject(format!("{}.{}", self.name, name)))
     }
 
-    /// Extracts the primary key of a row.
+    /// Extracts the primary key of a row. Allocation-free for keys of up to
+    /// [`Key::INLINE_LEN`] columns.
     pub fn primary_key_of(&self, row: &Row) -> Key {
-        Key(self.primary_key.iter().map(|&i| row[i].clone()).collect())
+        Key::from_values(self.primary_key.iter().map(|&i| row[i].clone()))
     }
 
     /// Extracts the routing-field values of a row (the key DORA's routing
-    /// rule consumes).
+    /// rule consumes). Allocation-free for keys of up to [`Key::INLINE_LEN`]
+    /// columns.
     pub fn routing_key_of(&self, row: &Row) -> Key {
-        Key(self
-            .routing_fields
-            .iter()
-            .map(|&i| row[i].clone())
-            .collect())
+        Key::from_values(self.routing_fields.iter().map(|&i| row[i].clone()))
     }
 
     /// Validates that a row matches the schema (arity and column types).
@@ -127,6 +125,14 @@ pub struct IndexSpec {
     pub key_columns: Vec<usize>,
     /// Whether the key is unique.
     pub unique: bool,
+}
+
+impl IndexSpec {
+    /// Extracts this index's key from a row. Allocation-free for keys of up
+    /// to [`Key::INLINE_LEN`] columns.
+    pub fn key_of(&self, row: &Row) -> Key {
+        Key::from_values(self.key_columns.iter().map(|&c| row[c].clone()))
+    }
 }
 
 /// Catalog metadata for one table.

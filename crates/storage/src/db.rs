@@ -283,12 +283,7 @@ impl Database {
         let primary_key = meta.schema.primary_key_of(&row);
         let _ = self.primary(table)?.remove(&primary_key, rid);
         for index_meta in self.catalog.secondary_indexes_of(table) {
-            let key = Key(index_meta
-                .spec
-                .key_columns
-                .iter()
-                .map(|&c| row[c].clone())
-                .collect());
+            let key = index_meta.spec.key_of(&row);
             let _ = self.secondary(index_meta.id)?.remove(&key, rid);
         }
         Ok(())
@@ -305,12 +300,7 @@ impl Database {
             IndexEntry::new(rid, meta.schema.routing_key_of(&row)),
         )?;
         for index_meta in self.catalog.secondary_indexes_of(table) {
-            let key = Key(index_meta
-                .spec
-                .key_columns
-                .iter()
-                .map(|&c| row[c].clone())
-                .collect());
+            let key = index_meta.spec.key_of(&row);
             let index = self.secondary(index_meta.id)?;
             // The baseline removes secondary entries physically; DORA leaves
             // them in place (flagging happens only after commit). Restore
@@ -407,12 +397,7 @@ impl Database {
                 IndexEntry::new(rid, meta.schema.routing_key_of(&row)),
             )?;
             for index_meta in self.catalog.secondary_indexes_of(table) {
-                let key = Key(index_meta
-                    .spec
-                    .key_columns
-                    .iter()
-                    .map(|&c| row[c].clone())
-                    .collect());
+                let key = index_meta.spec.key_of(&row);
                 self.secondary(index_meta.id)?
                     .insert(&key, IndexEntry::new(rid, meta.schema.routing_key_of(&row)))?;
             }
@@ -586,12 +571,7 @@ impl Database {
         time_section(TimeCategory::Work, || heap.delete(rid))?;
         primary.remove(key, rid)?;
         for index_meta in self.catalog.secondary_indexes_of(table) {
-            let secondary_key = Key(index_meta
-                .spec
-                .key_columns
-                .iter()
-                .map(|&c| row[c].clone())
-                .collect());
+            let secondary_key = index_meta.spec.key_of(&row);
             if cc == CcMode::Full {
                 let _ = self.secondary(index_meta.id)?.remove(&secondary_key, rid);
             } else {
@@ -669,12 +649,7 @@ impl Database {
             IndexEntry::new(rid, meta.schema.routing_key_of(&row)),
         )?;
         for index_meta in self.catalog.secondary_indexes_of(table) {
-            let key = Key(index_meta
-                .spec
-                .key_columns
-                .iter()
-                .map(|&c| row[c].clone())
-                .collect());
+            let key = index_meta.spec.key_of(&row);
             self.secondary(index_meta.id)?
                 .insert(&key, IndexEntry::new(rid, meta.schema.routing_key_of(&row)))?;
         }
@@ -712,12 +687,7 @@ impl Database {
                         IndexEntry::new(rid, meta.schema.routing_key_of(&row)),
                     )?;
                     for index_meta in fresh.catalog.secondary_indexes_of(table) {
-                        let key = Key(index_meta
-                            .spec
-                            .key_columns
-                            .iter()
-                            .map(|&c| row[c].clone())
-                            .collect());
+                        let key = index_meta.spec.key_of(&row);
                         fresh
                             .secondary(index_meta.id)?
                             .insert(&key, IndexEntry::new(rid, meta.schema.routing_key_of(&row)))?;
@@ -735,12 +705,7 @@ impl Database {
                     let primary_key = meta.schema.primary_key_of(&row);
                     let _ = fresh.primary(table)?.remove(&primary_key, rid);
                     for index_meta in fresh.catalog.secondary_indexes_of(table) {
-                        let key = Key(index_meta
-                            .spec
-                            .key_columns
-                            .iter()
-                            .map(|&c| row[c].clone())
-                            .collect());
+                        let key = index_meta.spec.key_of(&row);
                         let _ = fresh.secondary(index_meta.id)?.remove(&key, rid);
                     }
                 }

@@ -1,0 +1,247 @@
+//! A high-fan-out counter workload for exercising the executor message path.
+//!
+//! One table of integer counters, one transaction type: bump `fanout`
+//! *distinct* counters spread evenly across the key domain in a single
+//! phase. Routed on the counter id, the phase fans out across many (often
+//! all) of the table's executors at once, which makes this the sharpest
+//! probe the harness has for dispatch cost: per transaction it generates
+//! `fanout` action messages, `fanout` RVP reports and up to `executors`
+//! commit notifications — exactly the "additional inter-core communication"
+//! the paper's appendix identifies as DORA's overhead. The `dispatch`
+//! benchmark drives it with message batching off and on and compares
+//! throughput and lock acquisitions per action.
+
+use std::sync::OnceLock;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use dora_common::prelude::*;
+use dora_core::{ActionSpec, DoraEngine, FlowGraph, LocalMode};
+use dora_storage::{ColumnDef, Database, TableSchema, TxnHandle};
+
+use crate::spec::{ConventionalExecutor, Workload};
+
+/// The fan-out counters workload.
+#[derive(Debug)]
+pub struct FanoutCounters {
+    keys: i64,
+    fanout: usize,
+    table: OnceLock<TableId>,
+}
+
+impl FanoutCounters {
+    /// Transaction label used in reports.
+    pub const BUMP: &'static str = "fanout-bump";
+
+    /// Creates the workload over keys `1..=keys`, each transaction touching
+    /// `fanout` distinct counters (`fanout` is clamped to the key count).
+    pub fn new(keys: i64, fanout: usize) -> Self {
+        let keys = keys.max(1);
+        Self {
+            keys,
+            fanout: fanout.clamp(1, keys as usize),
+            table: OnceLock::new(),
+        }
+    }
+
+    /// Number of counter rows.
+    pub fn keys(&self) -> i64 {
+        self.keys
+    }
+
+    /// Counters bumped per transaction.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    fn table(&self, db: &Database) -> DbResult<TableId> {
+        if let Some(table) = self.table.get() {
+            return Ok(*table);
+        }
+        let table = db.table_id("fanout_counters")?;
+        let _ = self.table.set(table);
+        Ok(table)
+    }
+
+    /// The `fanout` distinct keys one transaction touches: a random anchor
+    /// plus equal strides around the domain, so consecutive keys of one
+    /// transaction land on *different* executors under a range rule. Returned
+    /// sorted ascending (a deterministic global order keeps the baseline's
+    /// centralized lock acquisition deadlock-free).
+    pub fn pick_keys(&self, rng: &mut SmallRng) -> Vec<i64> {
+        let anchor = rng.random_range(0..self.keys as u64) as i64;
+        let stride = self.keys / self.fanout as i64;
+        let mut keys: Vec<i64> = (0..self.fanout as i64)
+            .map(|i| 1 + (anchor + i * stride).rem_euclid(self.keys))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Baseline body: bump every key under full concurrency control.
+    pub fn bump_baseline(&self, db: &Database, txn: &TxnHandle, keys: &[i64]) -> DbResult<()> {
+        let table = self.table(db)?;
+        for &key in keys {
+            db.update_primary(txn, table, &Key::int(key), CcMode::Full, |row| {
+                let n = row[1].as_int()?;
+                row[1] = Value::Int(n + 1);
+                Ok(())
+            })?;
+        }
+        Ok(())
+    }
+
+    /// DORA flow graph: one phase with one exclusive action per key, each
+    /// routed on its counter id.
+    pub fn bump_graph(&self, db: &Database, keys: &[i64]) -> DbResult<FlowGraph> {
+        let table = self.table(db)?;
+        let actions = keys
+            .iter()
+            .map(|&key| {
+                ActionSpec::new(
+                    Self::BUMP,
+                    table,
+                    Key::int(key),
+                    LocalMode::Exclusive,
+                    move |ctx| {
+                        ctx.db
+                            .update_primary(ctx.txn, table, &Key::int(key), CcMode::None, |row| {
+                                let n = row[1].as_int()?;
+                                row[1] = Value::Int(n + 1);
+                                Ok(())
+                            })
+                    },
+                )
+            })
+            .collect();
+        Ok(FlowGraph::new().phase_with(actions))
+    }
+}
+
+impl Workload for FanoutCounters {
+    fn name(&self) -> &'static str {
+        "Fanout-Counters"
+    }
+
+    fn create_schema(&self, db: &Database) -> DbResult<()> {
+        db.create_table(TableSchema::new(
+            "fanout_counters",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("n", ValueType::Int),
+            ],
+            vec![0],
+        ))?;
+        Ok(())
+    }
+
+    fn load(&self, db: &Database) -> DbResult<()> {
+        let table = self.table(db)?;
+        for id in 1..=self.keys {
+            db.load_row(table, vec![Value::Int(id), Value::Int(0)])?;
+        }
+        Ok(())
+    }
+
+    fn bind_dora(&self, engine: &DoraEngine, executors_per_table: usize) -> DbResult<()> {
+        let table = self.table(engine.db())?;
+        engine.bind_table(table, executors_per_table, 1, self.keys)
+    }
+
+    fn run_baseline(&self, engine: &dyn ConventionalExecutor, rng: &mut SmallRng) -> TxnOutcome {
+        let keys = self.pick_keys(rng);
+        match engine.execute_txn(&|db, txn| self.bump_baseline(db, txn, &keys)) {
+            Ok(BaselineOutcome::Committed) => TxnOutcome::Committed,
+            _ => TxnOutcome::Aborted,
+        }
+    }
+
+    fn run_dora(&self, engine: &DoraEngine, rng: &mut SmallRng) -> TxnOutcome {
+        let keys = self.pick_keys(rng);
+        let graph = match self.bump_graph(engine.db(), &keys) {
+            Ok(graph) => graph,
+            Err(_) => return TxnOutcome::Aborted,
+        };
+        match engine.execute(graph) {
+            Ok(()) => TxnOutcome::Committed,
+            Err(_) => TxnOutcome::Aborted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dora_core::DoraConfig;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn small() -> (Arc<Database>, FanoutCounters) {
+        let db = Database::for_tests();
+        let workload = FanoutCounters::new(64, 4);
+        workload.setup(&db).unwrap();
+        (db, workload)
+    }
+
+    fn total(db: &Database, workload: &FanoutCounters) -> i64 {
+        let table = workload.table(db).unwrap();
+        let txn = db.begin();
+        let mut sum = 0i64;
+        db.scan_table(&txn, table, CcMode::Full, |_, row| {
+            sum += row[1].as_int().unwrap();
+        })
+        .unwrap();
+        db.commit(&txn).unwrap();
+        sum
+    }
+
+    #[test]
+    fn picked_keys_are_distinct_in_range_and_spread() {
+        let workload = FanoutCounters::new(64, 4);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let keys = workload.pick_keys(&mut rng);
+            assert_eq!(keys.len(), 4, "strided keys must be distinct");
+            assert!(keys.iter().all(|&k| (1..=64).contains(&k)));
+            // Equal strides: consecutive picks are a full quarter-domain
+            // apart, so an even 4-range rule maps them to 4 executors.
+            let spread = keys.windows(2).map(|w| w[1] - w[0]).min().unwrap();
+            assert!(spread >= 8, "keys too clustered: {keys:?}");
+        }
+    }
+
+    #[test]
+    fn baseline_applies_every_bump_exactly_once() {
+        let (db, workload) = small();
+        let engine = crate::spec::TestExecutor::new(Arc::clone(&db));
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(
+                workload.run_baseline(&engine, &mut rng),
+                TxnOutcome::Committed
+            );
+        }
+        assert_eq!(total(&db, &workload), 400);
+    }
+
+    #[test]
+    fn dora_fans_actions_across_every_executor() {
+        let (db, workload) = small();
+        let engine = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests()));
+        workload.bind_dora(&engine, 4).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(workload.run_dora(&engine, &mut rng), TxnOutcome::Committed);
+        }
+        assert_eq!(total(&db, &workload), 400);
+        let table = workload.table(&db).unwrap();
+        let loads = engine.executor_loads(table).unwrap();
+        assert!(
+            loads.iter().all(|&load| load > 0),
+            "every executor must see work: {loads:?}"
+        );
+        engine.shutdown();
+    }
+}

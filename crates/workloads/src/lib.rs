@@ -17,8 +17,12 @@
 //! Beyond the paper's three benchmarks, [`skewed`] adds a zipfian
 //! counter workload (backed by the [`zipf`] generators) whose hot range can
 //! drift over time — the adversarial distribution the adaptive
-//! repartitioning subsystem is exercised with.
+//! repartitioning subsystem is exercised with — and [`fanout`] adds a
+//! high-fan-out counter workload whose every transaction sprays actions
+//! across the whole executor set, the stress test for the batched message
+//! path measured by the `dispatch` benchmark.
 
+pub mod fanout;
 pub mod skewed;
 pub mod spec;
 pub mod tm1;
@@ -26,6 +30,7 @@ pub mod tpcb;
 pub mod tpcc;
 pub mod zipf;
 
+pub use fanout::FanoutCounters;
 pub use skewed::SkewedCounters;
 pub use spec::{ConventionalExecutor, Workload, WorkloadStats};
 pub use tm1::{Tm1, Tm1Mix};

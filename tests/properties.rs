@@ -275,3 +275,95 @@ fn row_codec_roundtrip() {
         assert_eq!(decoded, row, "case {case}: row did not round-trip");
     }
 }
+
+/// A random short-ish value: small domains so equality, prefix and overlap
+/// relations actually occur between independently drawn keys.
+fn random_key_value(rng: &mut SmallRng) -> Value {
+    match rng.random_range(0u8..4) {
+        0 | 1 => Value::Int(rng.random_range(-3i64..3)),
+        2 => Value::Float(rng.random_range(0i64..3) as f64 / 2.0),
+        _ => Value::Text(
+            (0..rng.random_range(0usize..3))
+                .map(|_| char::from(rng.random_range(97u8..100)))
+                .collect(),
+        ),
+    }
+}
+
+/// The inline (stack) and heap representations of a `Key` are an invisible
+/// implementation detail: for the same logical value sequence they must be
+/// equal, hash identically, order identically against arbitrary other keys
+/// (of either representation), and agree on every prefix/overlap relation
+/// the DORA local lock tables rely on.
+#[test]
+fn key_inline_and_heap_representations_are_equivalent() {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let fingerprint = |key: &Key| {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        hasher.finish()
+    };
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD100 + case);
+        let values: Vec<Value> = (0..rng.random_range(0usize..5))
+            .map(|_| random_key_value(&mut rng))
+            .collect();
+        let other_values: Vec<Value> = (0..rng.random_range(0usize..5))
+            .map(|_| random_key_value(&mut rng))
+            .collect();
+
+        // `from_values` keeps short keys inline; `From<Vec<_>>` adopts the
+        // vector, i.e. always heap.
+        let inline = Key::from_values(values.clone());
+        let heap = Key::from(values.clone());
+        assert_eq!(
+            inline.is_inline(),
+            values.len() <= Key::INLINE_LEN,
+            "case {case}"
+        );
+        assert!(!heap.is_inline(), "case {case}");
+
+        assert_eq!(inline, heap, "case {case}: representations must be equal");
+        assert_eq!(inline.values(), values.as_slice(), "case {case}");
+        assert_eq!(heap.values(), values.as_slice(), "case {case}");
+        assert_eq!(fingerprint(&inline), fingerprint(&heap), "case {case}");
+        assert_eq!(inline.cmp(&heap), std::cmp::Ordering::Equal, "case {case}");
+
+        // Relations against an independent key must not depend on either
+        // side's representation.
+        let other_inline = Key::from_values(other_values.clone());
+        let other_heap = Key::from(other_values.clone());
+        assert_eq!(
+            inline.cmp(&other_inline),
+            heap.cmp(&other_heap),
+            "case {case}: ordering differs across representations"
+        );
+        assert_eq!(
+            inline.is_prefix_of(&other_inline),
+            heap.is_prefix_of(&other_heap),
+            "case {case}: prefix relation differs"
+        );
+        assert_eq!(
+            inline.overlaps(&other_inline),
+            heap.overlaps(&other_heap),
+            "case {case}: overlap relation differs"
+        );
+
+        // Prefixes and extensions agree component-wise regardless of the
+        // source representation.
+        let cut = rng.random_range(0usize..=values.len().max(1));
+        assert_eq!(inline.prefix(cut), heap.prefix(cut), "case {case}");
+        let extra = random_key_value(&mut rng);
+        assert_eq!(
+            inline.extend(extra.clone()),
+            heap.extend(extra),
+            "case {case}"
+        );
+
+        // A HashMap keyed by one representation must be probed by the other.
+        let mut map = std::collections::HashMap::new();
+        map.insert(inline, case);
+        assert_eq!(map.get(&heap), Some(&case), "case {case}: map probe");
+    }
+}

@@ -115,6 +115,65 @@ fn rebalances_while_transactions_keep_running() {
     engine.shutdown();
 }
 
+/// Resize control messages arriving *inside* a drained batch: the inboxes
+/// are flooded with asynchronously submitted transactions so the executors
+/// drain large batches, and several rebalances are issued back-to-back with
+/// no settling time — each executor then finds `StartResize`/`FinishResize`
+/// interleaved between actions of the same drain. The protocol must keep
+/// the control messages' FIFO position relative to the actions: every
+/// deferred action must be re-dispatched through the new rule exactly once.
+#[test]
+fn resize_messages_interleaved_inside_batches_stay_exact() {
+    let rows = 120i64;
+    let (db, table) = counters_db(rows);
+    let engine = Arc::new(DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests()));
+    engine.bind_table(table, 4, 1, rows).unwrap();
+    let manager = ResourceManager::new(DoraConfig::for_tests());
+
+    let mut submitted = 0u64;
+    let mut pending = Vec::new();
+    let mut value = 0x7EA5u64;
+    let mut flood = |engine: &DoraEngine, pending: &mut Vec<_>, submitted: &mut u64| {
+        for _ in 0..150 {
+            value = value.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let id = 1 + (value % rows as u64) as i64;
+            pending.push(engine.submit(bump(table, id)).unwrap());
+            *submitted += 1;
+        }
+    };
+
+    // Flood, resize, flood, resize... with no sleeps: the StartResize /
+    // FinishResize pairs land while hundreds of actions are still queued.
+    for boundaries in [
+        vec![10, 20, 30],
+        vec![40, 80, 110],
+        vec![30, 60, 90],
+        vec![15, 95, 100],
+    ] {
+        flood(&engine, &mut pending, &mut submitted);
+        manager
+            .rebalance(&engine, table, RoutingRule::Range { boundaries })
+            .unwrap();
+    }
+    flood(&engine, &mut pending, &mut submitted);
+    for txn in pending {
+        txn.wait().unwrap();
+    }
+
+    let check = db.begin();
+    let mut sum = 0i64;
+    db.scan_table(&check, table, CcMode::Full, |_, row| {
+        sum += row[1].as_int().unwrap();
+    })
+    .unwrap();
+    db.commit(&check).unwrap();
+    assert_eq!(
+        sum as u64, submitted,
+        "a resize inside a drained batch lost or double-applied actions"
+    );
+    engine.shutdown();
+}
+
 /// The same exactly-once invariant, but with every new rule *synthesized by
 /// the skew detector's rebalancer* from random load vectors — the split and
 /// merge sequences the adaptive controller actually produces — instead of a
