@@ -130,7 +130,7 @@ pub fn fig4(scale: &Scale) -> Report {
     let tpcc = scale.tpcc();
     tpcc.setup(&db).expect("setup TPC-C");
     let graph = tpcc
-        .payment_graph(
+        .payment_program(
             &db,
             1,
             1,
@@ -139,7 +139,8 @@ pub fn fig4(scale: &Scale) -> Report {
             dora_workloads::tpcc::CustomerSelector::ById(1),
             10.0,
         )
-        .expect("payment graph");
+        .expect("payment program")
+        .compile_dora();
     for (index, phase) in graph.describe().iter().enumerate() {
         report.line(format!("  phase {}: {}", index + 1, phase.join(", ")));
         if index + 1 < graph.phase_count() {
@@ -407,22 +408,12 @@ pub fn fig10(scale: &Scale) -> Report {
         driver.run(move |client, rng| {
             let (w_id, d_id, c_w_id, c_d_id, selector, amount) = tpcc.payment_inputs(rng);
             trace.record(client, ((w_id - 1) * 10 + (d_id - 1)) as usize);
-            match baseline.execute(|db, txn| {
-                tpcc.payment_baseline(
-                    db,
-                    txn,
-                    w_id,
-                    d_id,
-                    c_w_id,
-                    c_d_id,
-                    selector.clone(),
-                    amount,
-                )
-            }) {
-                Ok(dora_engine::baseline::BaselineOutcome::Committed) => {
-                    dora_engine::TxnOutcome::Committed
-                }
-                _ => dora_engine::TxnOutcome::Aborted,
+            match tpcc
+                .payment_program(baseline.db(), w_id, d_id, c_w_id, c_d_id, selector, amount)
+                .and_then(|program| baseline.execute_program(program))
+            {
+                Ok(outcome) => outcome.into(),
+                Err(_) => dora_engine::TxnOutcome::Aborted,
             }
         });
     }
@@ -456,8 +447,9 @@ pub fn fig10(scale: &Scale) -> Report {
             let executor = routing.route(&Key::int2(w_id, d_id)).unwrap_or(0);
             trace.record(executor, ((w_id - 1) * 10 + (d_id - 1)) as usize);
             match dora.execute(
-                tpcc.payment_graph(dora.db(), w_id, d_id, c_w_id, c_d_id, selector, amount)
-                    .expect("graph"),
+                tpcc.payment_program(dora.db(), w_id, d_id, c_w_id, c_d_id, selector, amount)
+                    .expect("program")
+                    .compile_dora(),
             ) {
                 Ok(()) => dora_engine::TxnOutcome::Committed,
                 Err(_) => dora_engine::TxnOutcome::Aborted,

@@ -11,8 +11,19 @@
 pub enum TxnOutcome {
     /// Committed.
     Committed,
-    /// Aborted (workload abort, deadlock give-up, or any error).
+    /// Aborted for a workload reason (invalid input) or any error.
     Aborted,
+    /// A conventional engine exhausted its deadlock-retry budget. Kept
+    /// distinct from [`Aborted`](Self::Aborted): a workload abort is expected
+    /// input behaviour, retry exhaustion is a contention signal.
+    GaveUp,
+}
+
+impl TxnOutcome {
+    /// `true` for any non-committed outcome.
+    pub fn is_failure(self) -> bool {
+        !matches!(self, TxnOutcome::Committed)
+    }
 }
 
 /// Outcome of running one transaction body to completion on a conventional
@@ -32,7 +43,8 @@ impl From<BaselineOutcome> for TxnOutcome {
     fn from(outcome: BaselineOutcome) -> Self {
         match outcome {
             BaselineOutcome::Committed => TxnOutcome::Committed,
-            BaselineOutcome::Aborted | BaselineOutcome::GaveUp => TxnOutcome::Aborted,
+            BaselineOutcome::Aborted => TxnOutcome::Aborted,
+            BaselineOutcome::GaveUp => TxnOutcome::GaveUp,
         }
     }
 }
@@ -42,7 +54,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn only_commit_maps_to_commit() {
+    fn baseline_outcomes_map_one_to_one() {
         assert_eq!(
             TxnOutcome::from(BaselineOutcome::Committed),
             TxnOutcome::Committed
@@ -53,7 +65,10 @@ mod tests {
         );
         assert_eq!(
             TxnOutcome::from(BaselineOutcome::GaveUp),
-            TxnOutcome::Aborted
+            TxnOutcome::GaveUp
         );
+        assert!(!TxnOutcome::Committed.is_failure());
+        assert!(TxnOutcome::Aborted.is_failure());
+        assert!(TxnOutcome::GaveUp.is_failure());
     }
 }

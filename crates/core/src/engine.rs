@@ -295,8 +295,7 @@ impl EngineInner {
 /// engine.bind_table(table, 2, 1, 100).unwrap();
 ///
 /// let mut graph = FlowGraph::new();
-/// let phase = graph.add_phase();
-/// graph.add_action(phase, ActionSpec::new("bump", table, Key::int(1), LocalMode::Exclusive,
+/// graph.push(ActionSpec::new("bump", table, Key::int(1), LocalMode::Exclusive,
 ///     move |ctx| {
 ///         ctx.db.update_primary(ctx.txn, table, &Key::int(1), CcMode::None, |row| {
 ///             let n = row[1].as_int()?;
@@ -606,24 +605,20 @@ mod tests {
 
     fn bump_graph(table: TableId, id: i64) -> FlowGraph {
         let mut graph = FlowGraph::new();
-        let phase = graph.add_phase();
-        graph.add_action(
-            phase,
-            ActionSpec::new(
-                "bump",
-                table,
-                Key::int(id),
-                LocalMode::Exclusive,
-                move |ctx| {
-                    ctx.db
-                        .update_primary(ctx.txn, table, &Key::int(id), CcMode::None, |row| {
-                            let n = row[1].as_int()?;
-                            row[1] = Value::Int(n + 1);
-                            Ok(())
-                        })
-                },
-            ),
-        );
+        graph.push(ActionSpec::new(
+            "bump",
+            table,
+            Key::int(id),
+            LocalMode::Exclusive,
+            move |ctx| {
+                ctx.db
+                    .update_primary(ctx.txn, table, &Key::int(id), CcMode::None, |row| {
+                        let n = row[1].as_int()?;
+                        row[1] = Value::Int(n + 1);
+                        Ok(())
+                    })
+            },
+        ));
         graph
     }
 
@@ -652,10 +647,12 @@ mod tests {
         // Phase 1 reads counter 10 into the scratchpad; phase 2 adds it to
         // counter 90 (which lives on the other executor).
         let mut graph = FlowGraph::new();
-        let p1 = graph.add_phase();
-        graph.add_action(
-            p1,
-            ActionSpec::new("read", table, Key::int(10), LocalMode::Shared, move |ctx| {
+        graph.push(ActionSpec::new(
+            "read",
+            table,
+            Key::int(10),
+            LocalMode::Shared,
+            move |ctx| {
                 let (_, row) = ctx
                     .db
                     .probe_primary(ctx.txn, table, &Key::int(10), false, CcMode::None)?
@@ -665,27 +662,23 @@ mod tests {
                     })?;
                 ctx.scratch.put("seen", row[1].clone());
                 Ok(())
-            }),
-        );
-        let p2 = graph.add_phase();
-        graph.add_action(
-            p2,
-            ActionSpec::new(
-                "add",
-                table,
-                Key::int(90),
-                LocalMode::Exclusive,
-                move |ctx| {
-                    let seen = ctx.scratch.get_int("seen")?;
-                    ctx.db
-                        .update_primary(ctx.txn, table, &Key::int(90), CcMode::None, |row| {
-                            let n = row[1].as_int()?;
-                            row[1] = Value::Int(n + seen + 5);
-                            Ok(())
-                        })
-                },
-            ),
-        );
+            },
+        ));
+        graph.begin_phase().push(ActionSpec::new(
+            "add",
+            table,
+            Key::int(90),
+            LocalMode::Exclusive,
+            move |ctx| {
+                let seen = ctx.scratch.get_int("seen")?;
+                ctx.db
+                    .update_primary(ctx.txn, table, &Key::int(90), CcMode::None, |row| {
+                        let n = row[1].as_int()?;
+                        row[1] = Value::Int(n + seen + 5);
+                        Ok(())
+                    })
+            },
+        ));
         engine.execute(graph).unwrap();
 
         let check = db.begin();
@@ -705,38 +698,31 @@ mod tests {
         engine.bind_table(table, 2, 1, 100).unwrap();
 
         let mut graph = FlowGraph::new();
-        let p1 = graph.add_phase();
-        graph.add_action(
-            p1,
-            ActionSpec::new(
-                "bump",
-                table,
-                Key::int(3),
-                LocalMode::Exclusive,
-                move |ctx| {
-                    ctx.db
-                        .update_primary(ctx.txn, table, &Key::int(3), CcMode::None, |row| {
-                            row[1] = Value::Int(99);
-                            Ok(())
-                        })
-                },
-            ),
-        );
-        graph.add_action(
-            p1,
-            ActionSpec::new(
-                "fail",
-                table,
-                Key::int(80),
-                LocalMode::Exclusive,
-                move |_ctx| {
-                    Err(DbError::TxnAborted {
-                        txn: TxnId::INVALID,
-                        reason: "invalid input".into(),
+        graph.push(ActionSpec::new(
+            "bump",
+            table,
+            Key::int(3),
+            LocalMode::Exclusive,
+            move |ctx| {
+                ctx.db
+                    .update_primary(ctx.txn, table, &Key::int(3), CcMode::None, |row| {
+                        row[1] = Value::Int(99);
+                        Ok(())
                     })
-                },
-            ),
-        );
+            },
+        ));
+        graph.push(ActionSpec::new(
+            "fail",
+            table,
+            Key::int(80),
+            LocalMode::Exclusive,
+            move |_ctx| {
+                Err(DbError::TxnAborted {
+                    txn: TxnId::INVALID,
+                    reason: "invalid input".into(),
+                })
+            },
+        ));
         let result = engine.execute(graph);
         assert!(result.is_err());
 
@@ -825,37 +811,29 @@ mod tests {
         engine.bind_table(table, 2, 1, 100).unwrap();
 
         let mut graph = FlowGraph::new();
-        let p1 = graph.add_phase();
-        graph.add_action(
-            p1,
-            ActionSpec::secondary("scan", table, move |ctx| {
-                // A "secondary" access that cannot be routed: count rows via a
-                // scan and stash the result.
-                let mut count = 0i64;
+        graph.push(ActionSpec::secondary("scan", table, move |ctx| {
+            // A "secondary" access that cannot be routed: count rows via a
+            // scan and stash the result.
+            let mut count = 0i64;
+            ctx.db
+                .scan_table(ctx.txn, table, CcMode::None, |_, _| count += 1)?;
+            ctx.scratch.put("count", count);
+            Ok(())
+        }));
+        graph.begin_phase().push(ActionSpec::new(
+            "store",
+            table,
+            Key::int(1),
+            LocalMode::Exclusive,
+            move |ctx| {
+                let count = ctx.scratch.get_int("count")?;
                 ctx.db
-                    .scan_table(ctx.txn, table, CcMode::None, |_, _| count += 1)?;
-                ctx.scratch.put("count", count);
-                Ok(())
-            }),
-        );
-        let p2 = graph.add_phase();
-        graph.add_action(
-            p2,
-            ActionSpec::new(
-                "store",
-                table,
-                Key::int(1),
-                LocalMode::Exclusive,
-                move |ctx| {
-                    let count = ctx.scratch.get_int("count")?;
-                    ctx.db
-                        .update_primary(ctx.txn, table, &Key::int(1), CcMode::None, |row| {
-                            row[1] = Value::Int(count);
-                            Ok(())
-                        })
-                },
-            ),
-        );
+                    .update_primary(ctx.txn, table, &Key::int(1), CcMode::None, |row| {
+                        row[1] = Value::Int(count);
+                        Ok(())
+                    })
+            },
+        ));
         engine.execute(graph).unwrap();
         let check = db.begin();
         let (_, row) = db

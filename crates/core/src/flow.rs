@@ -26,20 +26,34 @@ impl FlowGraph {
         Self::default()
     }
 
-    /// Appends a new, empty phase and returns its index.
-    pub fn add_phase(&mut self) -> usize {
+    /// Opens a new phase; subsequent [`push`](Self::push)es land in it.
+    /// Phases left empty are dropped at instantiation, so an extra
+    /// `begin_phase` is harmless rather than an error.
+    pub fn begin_phase(&mut self) -> &mut Self {
         self.phases.push(Vec::new());
-        self.phases.len() - 1
-    }
-
-    /// Adds an action to an existing phase.
-    pub fn add_action(&mut self, phase: usize, action: ActionSpec) -> &mut Self {
-        assert!(phase < self.phases.len(), "phase {phase} does not exist");
-        self.phases[phase].push(action);
         self
     }
 
-    /// Convenience: appends a phase containing exactly the given actions.
+    /// Appends an action to the current (last-opened) phase, opening phase 0
+    /// first if the graph is still empty. Never panics and never indexes by a
+    /// caller-supplied phase number — together with
+    /// [`begin_phase`](Self::begin_phase) and
+    /// [`phase_with`](Self::phase_with) this is the whole construction
+    /// surface, and it is what [`crate::TxnProgram::compile_dora`] lowers
+    /// programs through.
+    pub fn push(&mut self, action: ActionSpec) -> &mut Self {
+        if self.phases.is_empty() {
+            self.phases.push(Vec::new());
+        }
+        self.phases
+            .last_mut()
+            .expect("just ensured a phase exists")
+            .push(action);
+        self
+    }
+
+    /// Chaining convenience: appends a phase containing exactly the given
+    /// actions.
     pub fn phase_with(mut self, actions: Vec<ActionSpec>) -> Self {
         self.phases.push(actions);
         self
@@ -129,12 +143,11 @@ mod tests {
         // Mirrors Figure 4: three actions in phase one, the History insert in
         // phase two.
         let mut graph = FlowGraph::new();
-        let p1 = graph.add_phase();
-        graph.add_action(p1, action("warehouse", 1));
-        graph.add_action(p1, action("district", 1));
-        graph.add_action(p1, action("customer", 1));
-        let p2 = graph.add_phase();
-        graph.add_action(p2, action("history", 1));
+        graph
+            .push(action("warehouse", 1))
+            .push(action("district", 1))
+            .push(action("customer", 1));
+        graph.begin_phase().push(action("history", 1));
 
         assert_eq!(graph.phase_count(), 2);
         assert_eq!(graph.actions_in(0), 3);
@@ -156,20 +169,19 @@ mod tests {
     #[test]
     fn empty_phases_are_dropped_on_instantiation() {
         let mut graph = FlowGraph::new();
-        graph.add_phase();
-        let p = graph.add_phase();
-        graph.add_action(p, action("only", 1));
-        graph.add_phase();
+        graph.begin_phase();
+        graph.begin_phase().push(action("only", 1));
+        graph.begin_phase();
         let phases = graph.into_phases();
         assert_eq!(phases.len(), 1);
         assert_eq!(phases[0].len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "phase 3 does not exist")]
-    fn adding_to_missing_phase_panics() {
+    fn push_on_an_empty_graph_opens_the_first_phase() {
         let mut graph = FlowGraph::new();
-        graph.add_phase();
-        graph.add_action(3, action("x", 1));
+        graph.push(action("first", 1));
+        assert_eq!(graph.phase_count(), 1);
+        assert_eq!(graph.actions_in(0), 1);
     }
 }

@@ -10,6 +10,10 @@
 //! * [`flow`] / [`action`] — transactions are decomposed into *actions*
 //!   organized in a *transaction flow graph* whose phases are separated by
 //!   *rendezvous points* (Section 4.1.2).
+//! * [`program`] — declarative transaction programs ([`TxnProgram`]): one
+//!   definition per transaction, compiled to a DORA flow graph
+//!   (`compile_dora`) or to a sequential baseline closure
+//!   (`compile_baseline`), so workloads never write a transaction twice.
 //! * [`locallock`] — each executor's thread-local lock table with
 //!   shared/exclusive modes and key-prefix conflict semantics
 //!   (Section 4.1.3).
@@ -37,6 +41,7 @@ pub mod engine;
 pub mod executor;
 pub mod flow;
 pub mod locallock;
+pub mod program;
 pub mod resource;
 pub mod routing;
 pub mod txn;
@@ -47,6 +52,7 @@ pub use config::DoraConfig;
 pub use engine::DoraEngine;
 pub use flow::FlowGraph;
 pub use locallock::LocalLockTable;
+pub use program::{OnDuplicate, OnMissing, Step, StepCtx, TxnProgram};
 pub use resource::{AbortRateMonitor, ResourceManager};
 pub use routing::{RoutingRule, RoutingTable};
 pub use txn::DoraTxn;

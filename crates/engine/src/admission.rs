@@ -70,6 +70,7 @@ mod tests {
             elapsed: Duration::from_secs(1),
             committed: tps as u64,
             aborted: 0,
+            gave_up: 0,
             throughput_tps: tps,
             latency: LatencyHistogram::new(),
             metrics: Snapshot::default(),

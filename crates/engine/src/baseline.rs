@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use dora_common::prelude::*;
+use dora_metrics::{incr, CounterKind};
 use dora_storage::{Database, TxnHandle};
-use dora_workloads::ConventionalExecutor;
 
 pub use dora_common::outcome::BaselineOutcome;
 
@@ -64,7 +64,8 @@ impl BaselineEngine {
     ///
     /// Returns `Committed` if a (possibly retried) attempt committed,
     /// `Aborted` if the body requested an abort for workload reasons, and
-    /// `GaveUp` if every retry ended in a deadlock.
+    /// `GaveUp` if every retry ended in a deadlock (counted under
+    /// `CounterKind::TxnGaveUp` so retry exhaustion stays visible).
     pub fn execute<F>(&self, body: F) -> DbResult<BaselineOutcome>
     where
         F: Fn(&Database, &TxnHandle) -> DbResult<()>,
@@ -91,23 +92,13 @@ impl BaselineEngine {
                 }
             }
         }
+        incr(CounterKind::TxnGaveUp);
         Ok(BaselineOutcome::GaveUp)
     }
-}
 
-/// The baseline engine is exactly what workloads mean by a "conventional
-/// executor": whole transactions on the calling thread, full centralized
-/// concurrency control, deadlock victims retried.
-impl ConventionalExecutor for BaselineEngine {
-    fn db(&self) -> &Arc<Database> {
-        &self.db
-    }
-
-    fn execute_txn(
-        &self,
-        body: &dyn Fn(&Database, &TxnHandle) -> DbResult<()>,
-    ) -> DbResult<BaselineOutcome> {
-        self.execute(body)
+    /// Compiles `program` for this engine and runs it to completion.
+    pub fn execute_program(&self, program: dora_core::TxnProgram) -> DbResult<BaselineOutcome> {
+        self.execute(program.compile_baseline())
     }
 }
 

@@ -60,8 +60,13 @@ pub struct RunResult {
     pub elapsed: Duration,
     /// Transactions committed during the measured interval.
     pub committed: u64,
-    /// Transactions aborted during the measured interval.
+    /// Transactions aborted for workload reasons during the measured
+    /// interval.
     pub aborted: u64,
+    /// Transactions that exhausted their deadlock-retry budget during the
+    /// measured interval (conventional engines only; kept separate from
+    /// `aborted` so retry exhaustion is visible in reports).
+    pub gave_up: u64,
     /// Committed transactions per second.
     pub throughput_tps: f64,
     /// Client-observed latency distribution.
@@ -101,13 +106,24 @@ impl RunResult {
         self.throughput_tps / util
     }
 
-    /// Abort rate over the measured interval.
+    /// Abort rate over the measured interval (workload aborts plus retry
+    /// give-ups, over all finished transactions).
     pub fn abort_rate(&self) -> f64 {
-        let total = self.committed + self.aborted;
+        let total = self.committed + self.aborted + self.gave_up;
         if total == 0 {
             0.0
         } else {
-            self.aborted as f64 / total as f64
+            (self.aborted + self.gave_up) as f64 / total as f64
+        }
+    }
+
+    /// Share of finished transactions that exhausted their retry budget.
+    pub fn give_up_rate(&self) -> f64 {
+        let total = self.committed + self.aborted + self.gave_up;
+        if total == 0 {
+            0.0
+        } else {
+            self.gave_up as f64 / total as f64
         }
     }
 }
@@ -223,6 +239,7 @@ impl ClientDriver {
         let active = Arc::new(AtomicUsize::new(self.config.clients));
         let committed = Arc::new(AtomicU64::new(0));
         let aborted = Arc::new(AtomicU64::new(0));
+        let gave_up = Arc::new(AtomicU64::new(0));
         let latencies = Arc::new(Mutex::new(LatencyHistogram::new()));
 
         let handles: Vec<_> = (0..self.config.clients)
@@ -233,6 +250,7 @@ impl ClientDriver {
                 let active = Arc::clone(&active);
                 let committed = Arc::clone(&committed);
                 let aborted = Arc::clone(&aborted);
+                let gave_up = Arc::clone(&gave_up);
                 let latencies = Arc::clone(&latencies);
                 std::thread::Builder::new()
                     .name(format!("client-{client}"))
@@ -254,6 +272,9 @@ impl ClientDriver {
                                     }
                                     TxnOutcome::Aborted => {
                                         aborted.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    TxnOutcome::GaveUp => {
+                                        gave_up.fetch_add(1, Ordering::Relaxed);
                                     }
                                 }
                             }
@@ -288,6 +309,7 @@ impl ClientDriver {
         let breakdown = TimeBreakdown::from_snapshot(&metrics);
         let committed = committed.load(Ordering::Relaxed);
         let aborted = aborted.load(Ordering::Relaxed);
+        let gave_up = gave_up.load(Ordering::Relaxed);
         let cpu_utilization_percent = match (cpu_before, cpu_after) {
             (Some(before), Some(after)) => {
                 let busy = after.saturating_sub(before).as_secs_f64();
@@ -303,6 +325,7 @@ impl ClientDriver {
             elapsed,
             committed,
             aborted,
+            gave_up,
             throughput_tps: committed as f64 / elapsed.as_secs_f64(),
             latency,
             metrics,
@@ -375,20 +398,23 @@ mod tests {
         });
         let result = driver.run(|_client, rng| {
             use rand::Rng;
-            // Simulate a fast transaction that aborts 25% of the time.
+            // Simulate a fast transaction that aborts 25% of the time and
+            // exhausts its retry budget another 12.5%.
             std::thread::sleep(Duration::from_micros(100));
-            if rng.random_range(0..4) == 0 {
-                TxnOutcome::Aborted
-            } else {
-                TxnOutcome::Committed
+            match rng.random_range(0..8) {
+                0..=1 => TxnOutcome::Aborted,
+                2 => TxnOutcome::GaveUp,
+                _ => TxnOutcome::Committed,
             }
         });
         assert!(result.committed > 0);
+        assert!(result.gave_up > 0, "give-ups must be counted distinctly");
         assert!(result.throughput_tps > 0.0);
         assert!(result.abort_rate() > 0.0 && result.abort_rate() < 1.0);
+        assert!(result.give_up_rate() > 0.0 && result.give_up_rate() < result.abort_rate());
         assert_eq!(result.clients, 2);
         assert!((result.offered_load_percent - 50.0).abs() < 1e-9);
-        assert!(result.latency.count() == result.committed + result.aborted);
+        assert!(result.latency.count() == result.committed + result.aborted + result.gave_up);
     }
 
     #[test]

@@ -85,7 +85,17 @@ impl ExecutionEngine for BaselineEngine {
     }
 
     fn execute_one(&self, rng: &mut SmallRng) -> TxnOutcome {
-        self.bound_workload().clone().run_baseline(self, rng)
+        // Generic dispatch: draw the next declarative program from the bound
+        // workload's mix and run its sequential (baseline) compilation on
+        // the calling thread, retrying deadlock victims.
+        let workload = self.bound_workload().clone();
+        match workload
+            .next_program(self.db(), rng)
+            .and_then(|program| self.execute_program(program))
+        {
+            Ok(outcome) => outcome.into(),
+            Err(_) => TxnOutcome::Aborted,
+        }
     }
 }
 
@@ -153,12 +163,20 @@ impl ExecutionEngine for DoraExecution {
     }
 
     fn execute_one(&self, rng: &mut SmallRng) -> TxnOutcome {
+        // Generic dispatch: the same program the baseline would run, lowered
+        // to a transaction flow graph and submitted to the executors.
         let workload = self
             .bound
             .get()
             .expect("DoraExecution: no workload bound")
             .clone();
-        workload.run_dora(&self.engine, rng)
+        match workload
+            .next_program(self.engine.db(), rng)
+            .and_then(|program| self.engine.execute(program.compile_dora()))
+        {
+            Ok(()) => TxnOutcome::Committed,
+            Err(_) => TxnOutcome::Aborted,
+        }
     }
 
     fn shutdown(&self) {

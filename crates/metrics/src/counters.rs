@@ -59,10 +59,16 @@ pub enum CounterKind {
     /// single message otherwise). `DoraMessages / InboxDrains` is the
     /// average drain batch size.
     InboxDrains = 18,
+    /// Transactions that exhausted a conventional engine's deadlock-retry
+    /// budget (the `GaveUp` outcome). Kept separate from [`TxnAborted`]
+    /// (workload aborts) so retry exhaustion is visible in reports.
+    ///
+    /// [`TxnAborted`]: CounterKind::TxnAborted
+    TxnGaveUp = 19,
 }
 
 /// Number of [`CounterKind`] variants; sizes the per-thread arrays.
-pub const COUNTER_KIND_COUNT: usize = 19;
+pub const COUNTER_KIND_COUNT: usize = 20;
 
 /// All counters, in `repr` order.
 pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
@@ -85,6 +91,7 @@ pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
     CounterKind::RoutingResizes,
     CounterKind::DispatchBatches,
     CounterKind::InboxDrains,
+    CounterKind::TxnGaveUp,
 ];
 
 impl CounterKind {
@@ -115,6 +122,7 @@ impl CounterKind {
             CounterKind::RoutingResizes => "routing-resizes",
             CounterKind::DispatchBatches => "dispatch-batches",
             CounterKind::InboxDrains => "inbox-drains",
+            CounterKind::TxnGaveUp => "txn-gave-up",
         }
     }
 }

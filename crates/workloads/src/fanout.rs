@@ -17,10 +17,10 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use dora_common::prelude::*;
-use dora_core::{ActionSpec, DoraEngine, FlowGraph, LocalMode};
-use dora_storage::{ColumnDef, Database, TableSchema, TxnHandle};
+use dora_core::{DoraEngine, OnMissing, Step, TxnProgram};
+use dora_storage::{ColumnDef, Database, TableSchema};
 
-use crate::spec::{ConventionalExecutor, Workload};
+use crate::spec::Workload;
 
 /// The fan-out counters workload.
 #[derive(Debug)]
@@ -80,43 +80,28 @@ impl FanoutCounters {
         keys
     }
 
-    /// Baseline body: bump every key under full concurrency control.
-    pub fn bump_baseline(&self, db: &Database, txn: &TxnHandle, keys: &[i64]) -> DbResult<()> {
+    /// The bump transaction, defined once: one exclusive update per key, all
+    /// in a single phase. Under DORA each update routes to its counter's
+    /// executor (the fan-out); under the baseline they run sequentially in
+    /// the keys' sorted order.
+    pub fn bump_program(&self, db: &Database, keys: &[i64]) -> DbResult<TxnProgram> {
         let table = self.table(db)?;
+        let mut program = TxnProgram::new(Self::BUMP);
         for &key in keys {
-            db.update_primary(txn, table, &Key::int(key), CcMode::Full, |row| {
-                let n = row[1].as_int()?;
-                row[1] = Value::Int(n + 1);
-                Ok(())
-            })?;
+            program = program.step(Step::update(
+                Self::BUMP,
+                table,
+                Key::int(key),
+                Key::int(key),
+                OnMissing::Error,
+                |_ctx, row| {
+                    let n = row[1].as_int()?;
+                    row[1] = Value::Int(n + 1);
+                    Ok(())
+                },
+            ));
         }
-        Ok(())
-    }
-
-    /// DORA flow graph: one phase with one exclusive action per key, each
-    /// routed on its counter id.
-    pub fn bump_graph(&self, db: &Database, keys: &[i64]) -> DbResult<FlowGraph> {
-        let table = self.table(db)?;
-        let actions = keys
-            .iter()
-            .map(|&key| {
-                ActionSpec::new(
-                    Self::BUMP,
-                    table,
-                    Key::int(key),
-                    LocalMode::Exclusive,
-                    move |ctx| {
-                        ctx.db
-                            .update_primary(ctx.txn, table, &Key::int(key), CcMode::None, |row| {
-                                let n = row[1].as_int()?;
-                                row[1] = Value::Int(n + 1);
-                                Ok(())
-                            })
-                    },
-                )
-            })
-            .collect();
-        Ok(FlowGraph::new().phase_with(actions))
+        Ok(program)
     }
 }
 
@@ -150,30 +135,20 @@ impl Workload for FanoutCounters {
         engine.bind_table(table, executors_per_table, 1, self.keys)
     }
 
-    fn run_baseline(&self, engine: &dyn ConventionalExecutor, rng: &mut SmallRng) -> TxnOutcome {
-        let keys = self.pick_keys(rng);
-        match engine.execute_txn(&|db, txn| self.bump_baseline(db, txn, &keys)) {
-            Ok(BaselineOutcome::Committed) => TxnOutcome::Committed,
-            _ => TxnOutcome::Aborted,
-        }
+    fn txn_labels(&self) -> &'static [&'static str] {
+        &[Self::BUMP]
     }
 
-    fn run_dora(&self, engine: &DoraEngine, rng: &mut SmallRng) -> TxnOutcome {
+    fn next_program(&self, db: &Database, rng: &mut SmallRng) -> DbResult<TxnProgram> {
         let keys = self.pick_keys(rng);
-        let graph = match self.bump_graph(engine.db(), &keys) {
-            Ok(graph) => graph,
-            Err(_) => return TxnOutcome::Aborted,
-        };
-        match engine.execute(graph) {
-            Ok(()) => TxnOutcome::Committed,
-            Err(_) => TxnOutcome::Aborted,
-        }
+        self.bump_program(db, &keys)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{run_baseline_mix, run_dora_mix};
     use dora_core::DoraConfig;
     use rand::SeedableRng;
     use std::sync::Arc;
@@ -213,13 +188,23 @@ mod tests {
     }
 
     #[test]
+    fn program_fans_out_in_a_single_phase() {
+        let (db, workload) = small();
+        let program = workload.bump_program(&db, &[1, 17, 33, 49]).unwrap();
+        assert_eq!(program.step_count(), 4);
+        assert_eq!(program.phase_count(), 1);
+        let graph = program.compile_dora();
+        assert_eq!(graph.phase_count(), 1);
+        assert_eq!(graph.actions_in(0), 4);
+    }
+
+    #[test]
     fn baseline_applies_every_bump_exactly_once() {
         let (db, workload) = small();
-        let engine = crate::spec::TestExecutor::new(Arc::clone(&db));
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..100 {
             assert_eq!(
-                workload.run_baseline(&engine, &mut rng),
+                run_baseline_mix(&workload, &db, &mut rng),
                 TxnOutcome::Committed
             );
         }
@@ -233,7 +218,10 @@ mod tests {
         workload.bind_dora(&engine, 4).unwrap();
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..100 {
-            assert_eq!(workload.run_dora(&engine, &mut rng), TxnOutcome::Committed);
+            assert_eq!(
+                run_dora_mix(&workload, &engine, &mut rng),
+                TxnOutcome::Committed
+            );
         }
         assert_eq!(total(&db, &workload), 400);
         let table = workload.table(&db).unwrap();

@@ -1,15 +1,15 @@
 //! The OLTP workloads the paper evaluates with: Nokia's TM1 (Network
 //! Database Benchmark), transactions from TPC-C, and TPC-B.
 //!
-//! Each workload provides, like the paper's partially hard-coded transactions
-//! (Section 4.3):
-//!
-//! * the schema and a scaled data loader;
-//! * a **baseline body** for every transaction — ordinary code running under
-//!   the conventional engine with full centralized concurrency control;
-//! * a **DORA transaction flow graph** for every transaction — the same logic
-//!   decomposed into actions with routing-field identifiers and rendezvous
-//!   points.
+//! Each workload provides the schema, a scaled data loader and a transaction
+//! mix in which every transaction is defined **exactly once** as a
+//! declarative `dora_core::TxnProgram` — an ordered list of typed steps with
+//! explicit rendezvous points. The execution engines compile that single
+//! definition for their architecture: `compile_baseline` produces the
+//! sequential body a conventional engine runs under full centralized
+//! concurrency control, `compile_dora` produces the transaction flow graph
+//! of Section 4.1.2 (actions with routing-field identifiers, phases split at
+//! the RVPs).
 //!
 //! All workloads route on the leading primary-key column (subscriber id,
 //! warehouse id, branch id, counter id), the choice the paper recommends.
@@ -32,7 +32,7 @@ pub mod zipf;
 
 pub use fanout::FanoutCounters;
 pub use skewed::SkewedCounters;
-pub use spec::{ConventionalExecutor, Workload, WorkloadStats};
+pub use spec::{OutcomeCounts, Workload, WorkloadStats};
 pub use tm1::{Tm1, Tm1Mix};
 pub use tpcb::TpcB;
 pub use tpcc::{Tpcc, TpccMix};

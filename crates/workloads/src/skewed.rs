@@ -20,10 +20,10 @@ use std::sync::OnceLock;
 use rand::rngs::SmallRng;
 
 use dora_common::prelude::*;
-use dora_core::{ActionSpec, DoraEngine, FlowGraph, LocalMode};
-use dora_storage::{ColumnDef, Database, TableSchema, TxnHandle};
+use dora_core::{DoraEngine, OnMissing, TxnProgram};
+use dora_storage::{ColumnDef, Database, TableSchema};
 
-use crate::spec::{ConventionalExecutor, Workload};
+use crate::spec::Workload;
 use crate::zipf::DriftingHotSpot;
 
 /// The skewed-counters workload.
@@ -76,35 +76,22 @@ impl SkewedCounters {
         Ok(table)
     }
 
-    /// Baseline body: bump one counter under full concurrency control.
-    pub fn bump_baseline(&self, db: &Database, txn: &TxnHandle, key: i64) -> DbResult<()> {
+    /// The bump transaction, defined once: a single-phase, single-step
+    /// read-modify-write routed on the counter id.
+    pub fn bump_program(&self, db: &Database, key: i64) -> DbResult<TxnProgram> {
         let table = self.table(db)?;
-        db.update_primary(txn, table, &Key::int(key), CcMode::Full, |row| {
-            let n = row[1].as_int()?;
-            row[1] = Value::Int(n + 1);
-            Ok(())
-        })
-    }
-
-    /// DORA flow graph: a single-phase, single-action transaction routed on
-    /// the counter id.
-    pub fn bump_graph(&self, db: &Database, key: i64) -> DbResult<FlowGraph> {
-        let table = self.table(db)?;
-        let action = ActionSpec::new(
+        Ok(TxnProgram::new(Self::BUMP).update(
             Self::BUMP,
             table,
             Key::int(key),
-            LocalMode::Exclusive,
-            move |ctx| {
-                ctx.db
-                    .update_primary(ctx.txn, table, &Key::int(key), CcMode::None, |row| {
-                        let n = row[1].as_int()?;
-                        row[1] = Value::Int(n + 1);
-                        Ok(())
-                    })
+            Key::int(key),
+            OnMissing::Error,
+            |_ctx, row| {
+                let n = row[1].as_int()?;
+                row[1] = Value::Int(n + 1);
+                Ok(())
             },
-        );
-        Ok(FlowGraph::new().phase_with(vec![action]))
+        ))
     }
 }
 
@@ -138,30 +125,20 @@ impl Workload for SkewedCounters {
         engine.bind_table(table, executors_per_table, 1, self.keys)
     }
 
-    fn run_baseline(&self, engine: &dyn ConventionalExecutor, rng: &mut SmallRng) -> TxnOutcome {
-        let key = self.generator.key(rng);
-        match engine.execute_txn(&|db, txn| self.bump_baseline(db, txn, key)) {
-            Ok(BaselineOutcome::Committed) => TxnOutcome::Committed,
-            _ => TxnOutcome::Aborted,
-        }
+    fn txn_labels(&self) -> &'static [&'static str] {
+        &[Self::BUMP]
     }
 
-    fn run_dora(&self, engine: &DoraEngine, rng: &mut SmallRng) -> TxnOutcome {
+    fn next_program(&self, db: &Database, rng: &mut SmallRng) -> DbResult<TxnProgram> {
         let key = self.generator.key(rng);
-        let graph = match self.bump_graph(engine.db(), key) {
-            Ok(graph) => graph,
-            Err(_) => return TxnOutcome::Aborted,
-        };
-        match engine.execute(graph) {
-            Ok(()) => TxnOutcome::Committed,
-            Err(_) => TxnOutcome::Aborted,
-        }
+        self.bump_program(db, key)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{run_baseline_mix, run_dora_mix};
     use dora_core::DoraConfig;
     use rand::SeedableRng;
     use std::sync::Arc;
@@ -195,11 +172,10 @@ mod tests {
     #[test]
     fn baseline_applies_every_bump_exactly_once() {
         let (db, workload) = small();
-        let engine = crate::spec::TestExecutor::new(Arc::clone(&db));
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..200 {
             assert_eq!(
-                workload.run_baseline(&engine, &mut rng),
+                run_baseline_mix(&workload, &db, &mut rng),
                 TxnOutcome::Committed
             );
         }
@@ -214,7 +190,10 @@ mod tests {
         workload.bind_dora(&engine, 4).unwrap();
         let mut rng = SmallRng::seed_from_u64(9);
         for _ in 0..400 {
-            assert_eq!(workload.run_dora(&engine, &mut rng), TxnOutcome::Committed);
+            assert_eq!(
+                run_dora_mix(workload.as_ref(), &engine, &mut rng),
+                TxnOutcome::Committed
+            );
         }
         assert_eq!(total(&db, &workload), 400);
         let table = workload.table(&db).unwrap();

@@ -1,4 +1,11 @@
 //! The common workload interface and shared random-input helpers.
+//!
+//! A workload is a schema, a loader and a *mix* of transactions, each defined
+//! exactly once as a declarative [`TxnProgram`] (see
+//! `dora_core::program`). [`Workload::next_program`] draws one transaction
+//! from the mix; the execution engines compile it for their architecture
+//! (`compile_baseline` for the conventional engine, `compile_dora` for
+//! DORA), so no workload ever writes a transaction body twice.
 
 use std::sync::Arc;
 
@@ -7,31 +14,11 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use dora_common::prelude::*;
-use dora_core::DoraEngine;
-use dora_storage::{Database, TxnHandle};
+use dora_core::{DoraEngine, TxnProgram};
+use dora_storage::Database;
 
-/// What a conventional (thread-to-transaction) engine exposes to workloads:
-/// run one closure-transaction to completion with full centralized
-/// concurrency control, retrying deadlock victims.
-///
-/// The concrete implementation is `dora_engine::BaselineEngine`; workloads
-/// only see this trait so that the workload crate stays independent of any
-/// particular engine crate (the dependency points the other way: engines
-/// consume workloads through [`Workload`]).
-pub trait ConventionalExecutor: Send + Sync {
-    /// The underlying storage manager.
-    fn db(&self) -> &Arc<Database>;
-
-    /// Executes `body` as one transaction, retrying deadlock victims up to
-    /// the engine's configured limit.
-    fn execute_txn(
-        &self,
-        body: &dyn Fn(&Database, &TxnHandle) -> DbResult<()>,
-    ) -> DbResult<BaselineOutcome>;
-}
-
-/// A benchmark workload: schema, loader and transaction bodies for both
-/// execution architectures.
+/// A benchmark workload: schema, loader and a transaction mix expressed as
+/// single-source [`TxnProgram`]s.
 pub trait Workload: Send + Sync {
     /// Short name used in reports ("TM1", "TPC-B", "TPC-C OrderStatus", ...).
     fn name(&self) -> &'static str;
@@ -45,13 +32,17 @@ pub trait Workload: Send + Sync {
     /// Binds every table of the workload to DORA executors.
     fn bind_dora(&self, engine: &DoraEngine, executors_per_table: usize) -> DbResult<()>;
 
-    /// Runs one transaction (drawn from the workload's mix) on a
-    /// conventional thread-to-transaction engine.
-    fn run_baseline(&self, engine: &dyn ConventionalExecutor, rng: &mut SmallRng) -> TxnOutcome;
+    /// The mix-selection hook: every transaction-type label this workload's
+    /// mix can produce ([`TxnProgram::name`] of any program returned by
+    /// [`next_program`](Self::next_program) is one of these).
+    /// [`WorkloadStats::for_workload`] pre-registers them so per-type tallies
+    /// have stable rows even for types that never fired.
+    fn txn_labels(&self) -> &'static [&'static str];
 
-    /// Runs one transaction (drawn from the workload's mix) on the DORA
-    /// engine.
-    fn run_dora(&self, engine: &DoraEngine, rng: &mut SmallRng) -> TxnOutcome;
+    /// Draws one transaction from the workload's mix (inputs generated from
+    /// `rng`) as a declarative program, defined once and compiled by the
+    /// caller for whichever execution architecture is running it.
+    fn next_program(&self, db: &Database, rng: &mut SmallRng) -> DbResult<TxnProgram>;
 
     /// Convenience: create the schema and load the data in one call.
     fn setup(&self, db: &Database) -> DbResult<()> {
@@ -60,11 +51,24 @@ pub trait Workload: Send + Sync {
     }
 }
 
+/// Per-transaction-type outcome tallies.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted for workload reasons.
+    pub aborted: u64,
+    /// Transactions that exhausted a conventional engine's retry budget.
+    pub gave_up: u64,
+}
+
 /// Shared counters a workload can use to track per-transaction-type outcomes
 /// (used by the intra-transaction-parallelism and abort-rate experiments).
+/// Retry exhaustion ([`TxnOutcome::GaveUp`]) is tallied separately from
+/// workload aborts so contention-induced failures stay visible.
 #[derive(Debug, Default, Clone)]
 pub struct WorkloadStats {
-    inner: Arc<Mutex<std::collections::HashMap<&'static str, (u64, u64)>>>,
+    inner: Arc<Mutex<std::collections::HashMap<&'static str, OutcomeCounts>>>,
 }
 
 impl WorkloadStats {
@@ -73,73 +77,115 @@ impl WorkloadStats {
         Self::default()
     }
 
+    /// Creates statistics with every label of `workload`'s mix
+    /// pre-registered (all-zero tallies), so
+    /// [`all_counts`](Self::all_counts) lists a row per transaction type
+    /// even before — or without — the type ever firing.
+    pub fn for_workload(workload: &dyn Workload) -> Self {
+        let stats = Self::new();
+        {
+            let mut inner = stats.inner.lock();
+            for label in workload.txn_labels() {
+                inner.entry(label).or_default();
+            }
+        }
+        stats
+    }
+
+    /// Every registered transaction type with its tallies, sorted by label.
+    pub fn all_counts(&self) -> Vec<(&'static str, OutcomeCounts)> {
+        let mut rows: Vec<_> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(label, counts)| (*label, *counts))
+            .collect();
+        rows.sort_unstable_by_key(|(label, _)| *label);
+        rows
+    }
+
     /// Records an outcome for a transaction type.
     pub fn record(&self, txn_type: &'static str, outcome: TxnOutcome) {
         let mut inner = self.inner.lock();
-        let entry = inner.entry(txn_type).or_insert((0, 0));
+        let entry = inner.entry(txn_type).or_default();
         match outcome {
-            TxnOutcome::Committed => entry.0 += 1,
-            TxnOutcome::Aborted => entry.1 += 1,
+            TxnOutcome::Committed => entry.committed += 1,
+            TxnOutcome::Aborted => entry.aborted += 1,
+            TxnOutcome::GaveUp => entry.gave_up += 1,
         }
     }
 
-    /// (committed, aborted) for a transaction type.
-    pub fn outcome_counts(&self, txn_type: &'static str) -> (u64, u64) {
-        self.inner.lock().get(txn_type).copied().unwrap_or((0, 0))
+    /// The tallies for a transaction type.
+    pub fn outcome_counts(&self, txn_type: &'static str) -> OutcomeCounts {
+        self.inner.lock().get(txn_type).copied().unwrap_or_default()
     }
 }
 
-/// A minimal [`ConventionalExecutor`] for this crate's unit tests: the same
-/// begin/commit/abort-and-retry loop as `dora_engine::BaselineEngine`, which
-/// lives above this crate in the dependency graph and therefore cannot be
-/// used here. Doubling as a second trait impl, it keeps the workload bodies
-/// honest about only using the trait surface.
+/// Test support: compiles `program` for the conventional engine and runs it
+/// to completion with the same begin/commit/abort-and-retry loop as
+/// `dora_engine::BaselineEngine` (which lives above this crate in the
+/// dependency graph and therefore cannot be used here).
 #[cfg(test)]
-pub(crate) struct TestExecutor {
-    db: Arc<Database>,
-    max_retries: usize,
-}
-
-#[cfg(test)]
-impl TestExecutor {
-    pub(crate) fn new(db: Arc<Database>) -> Self {
-        let max_retries = db.config().max_retries;
-        Self { db, max_retries }
-    }
-}
-
-#[cfg(test)]
-impl ConventionalExecutor for TestExecutor {
-    fn db(&self) -> &Arc<Database> {
-        &self.db
-    }
-
-    fn execute_txn(
-        &self,
-        body: &dyn Fn(&Database, &TxnHandle) -> DbResult<()>,
-    ) -> DbResult<BaselineOutcome> {
-        for _attempt in 0..=self.max_retries {
-            let txn = self.db.begin();
-            match body(&self.db, &txn) {
-                Ok(()) => {
-                    self.db.commit(&txn)?;
-                    return Ok(BaselineOutcome::Committed);
-                }
-                Err(DbError::Deadlock { .. }) => {
-                    self.db.abort(&txn)?;
-                    continue;
-                }
-                Err(DbError::TxnAborted { .. }) => {
-                    self.db.abort(&txn)?;
-                    return Ok(BaselineOutcome::Aborted);
-                }
-                Err(other) => {
-                    self.db.abort(&txn)?;
-                    return Err(other);
-                }
+pub(crate) fn run_baseline_once(
+    db: &Arc<Database>,
+    program: TxnProgram,
+) -> DbResult<BaselineOutcome> {
+    let body = program.compile_baseline();
+    for _attempt in 0..=db.config().max_retries {
+        let txn = db.begin();
+        match body(db, &txn) {
+            Ok(()) => {
+                db.commit(&txn)?;
+                return Ok(BaselineOutcome::Committed);
+            }
+            Err(DbError::Deadlock { .. }) => {
+                db.abort(&txn)?;
+                continue;
+            }
+            Err(DbError::TxnAborted { .. }) => {
+                db.abort(&txn)?;
+                return Ok(BaselineOutcome::Aborted);
+            }
+            Err(other) => {
+                db.abort(&txn)?;
+                return Err(other);
             }
         }
-        Ok(BaselineOutcome::GaveUp)
+    }
+    Ok(BaselineOutcome::GaveUp)
+}
+
+/// Test support: draws the next transaction of `workload` and runs it on the
+/// conventional retry loop, reducing the result to a [`TxnOutcome`].
+#[cfg(test)]
+pub(crate) fn run_baseline_mix(
+    workload: &dyn Workload,
+    db: &Arc<Database>,
+    rng: &mut SmallRng,
+) -> TxnOutcome {
+    match workload
+        .next_program(db, rng)
+        .and_then(|program| run_baseline_once(db, program))
+    {
+        Ok(outcome) => outcome.into(),
+        Err(_) => TxnOutcome::Aborted,
+    }
+}
+
+/// Test support: draws the next transaction of `workload` and executes its
+/// DORA compilation on `engine`.
+#[cfg(test)]
+pub(crate) fn run_dora_mix(
+    workload: &dyn Workload,
+    engine: &DoraEngine,
+    rng: &mut SmallRng,
+) -> TxnOutcome {
+    match workload
+        .next_program(engine.db(), rng)
+        .and_then(|program| engine.execute(program.compile_dora()))
+    {
+        Ok(()) => TxnOutcome::Committed,
+        Err(_) => TxnOutcome::Aborted,
     }
 }
 
@@ -216,12 +262,42 @@ mod tests {
     }
 
     #[test]
-    fn workload_stats_accumulate() {
+    fn workload_stats_accumulate_three_way() {
         let stats = WorkloadStats::new();
         stats.record("payment", TxnOutcome::Committed);
         stats.record("payment", TxnOutcome::Committed);
         stats.record("payment", TxnOutcome::Aborted);
-        assert_eq!(stats.outcome_counts("payment"), (2, 1));
-        assert_eq!(stats.outcome_counts("unknown"), (0, 0));
+        stats.record("payment", TxnOutcome::GaveUp);
+        assert_eq!(
+            stats.outcome_counts("payment"),
+            OutcomeCounts {
+                committed: 2,
+                aborted: 1,
+                gave_up: 1
+            }
+        );
+        assert_eq!(stats.outcome_counts("unknown"), OutcomeCounts::default());
+    }
+
+    #[test]
+    fn for_workload_preregisters_every_mix_label() {
+        let workload = crate::tm1::Tm1::new(10);
+        let stats = WorkloadStats::for_workload(&workload);
+        let rows = stats.all_counts();
+        assert_eq!(rows.len(), workload.txn_labels().len());
+        assert!(rows
+            .iter()
+            .all(|(_, counts)| *counts == OutcomeCounts::default()));
+        // Labels stay present (and sorted) alongside recorded types.
+        stats.record(crate::tm1::Tm1::GET_SUBSCRIBER_DATA, TxnOutcome::Committed);
+        let rows = stats.all_counts();
+        assert_eq!(rows.len(), workload.txn_labels().len());
+        assert!(rows.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(
+            stats
+                .outcome_counts(crate::tm1::Tm1::GET_SUBSCRIBER_DATA)
+                .committed,
+            1
+        );
     }
 }

@@ -8,18 +8,19 @@
 //!
 //! All four tables route on the subscriber id, so in DORA every transaction's
 //! actions carry the subscriber id as their identifier and each executor owns
-//! a contiguous range of subscribers.
+//! a contiguous range of subscribers. Every transaction is defined exactly
+//! once as a [`TxnProgram`]; the engines compile it for their architecture.
 
 use std::sync::OnceLock;
 
 use rand::rngs::SmallRng;
 
 use dora_common::prelude::*;
-use dora_core::{ActionSpec, DoraEngine, FlowGraph, LocalMode};
+use dora_core::{DoraEngine, OnDuplicate, OnMissing, Step, TxnProgram};
 
 use dora_storage::{ColumnDef, Database, IndexSpec, TableSchema};
 
-use crate::spec::{uniform, ConventionalExecutor, Workload};
+use crate::spec::{uniform, Workload};
 
 /// Which part of the TM1 mix to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,10 +55,31 @@ pub struct Tm1 {
 }
 
 impl Tm1 {
-    /// Transaction-type labels (used by abort-rate monitoring and reports).
+    /// Label for GetSubscriberData.
     pub const GET_SUBSCRIBER_DATA: &'static str = "tm1-get-subscriber-data";
+    /// Label for GetNewDestination.
+    pub const GET_NEW_DESTINATION: &'static str = "tm1-get-new-destination";
+    /// Label for GetAccessData.
+    pub const GET_ACCESS_DATA: &'static str = "tm1-get-access-data";
     /// Label for UpdateSubscriberData.
     pub const UPDATE_SUBSCRIBER_DATA: &'static str = "tm1-update-subscriber-data";
+    /// Label for UpdateLocation.
+    pub const UPDATE_LOCATION: &'static str = "tm1-update-location";
+    /// Label for InsertCallForwarding.
+    pub const INSERT_CALL_FORWARDING: &'static str = "tm1-insert-call-forwarding";
+    /// Label for DeleteCallForwarding.
+    pub const DELETE_CALL_FORWARDING: &'static str = "tm1-delete-call-forwarding";
+
+    /// All seven transaction-type labels, in mix order.
+    pub const ALL_LABELS: [&'static str; 7] = [
+        Self::GET_SUBSCRIBER_DATA,
+        Self::GET_NEW_DESTINATION,
+        Self::GET_ACCESS_DATA,
+        Self::UPDATE_SUBSCRIBER_DATA,
+        Self::UPDATE_LOCATION,
+        Self::INSERT_CALL_FORWARDING,
+        Self::DELETE_CALL_FORWARDING,
+    ];
 
     /// Creates a TM1 workload with `subscribers` subscribers and the full mix.
     pub fn new(subscribers: i64) -> Self {
@@ -109,371 +131,83 @@ impl Tm1 {
         uniform(rng, 1, self.subscribers)
     }
 
-    // ----- baseline transaction bodies --------------------------------------
+    // ----- transaction programs (one definition per transaction) ------------
 
-    fn get_subscriber_data_baseline(
-        &self,
-        db: &Database,
-        txn: &dora_storage::TxnHandle,
-        s_id: i64,
-    ) -> DbResult<()> {
+    /// GetSubscriberData: a single read-only step on the Subscriber table.
+    pub fn get_subscriber_data_program(&self, db: &Database, s_id: i64) -> DbResult<TxnProgram> {
         let tables = self.tables(db)?;
-        let found =
-            db.probe_primary(txn, tables.subscriber, &Key::int(s_id), false, CcMode::Full)?;
-        if found.is_none() {
-            return Err(DbError::TxnAborted {
-                txn: txn.id(),
-                reason: "subscriber missing".into(),
-            });
-        }
-        Ok(())
-    }
-
-    fn get_new_destination_baseline(
-        &self,
-        db: &Database,
-        txn: &dora_storage::TxnHandle,
-        s_id: i64,
-        sf_type: i64,
-        start_time: i64,
-    ) -> DbResult<()> {
-        let tables = self.tables(db)?;
-        let facility = db.probe_primary(
-            txn,
-            tables.special_facility,
-            &Key::int2(s_id, sf_type),
-            false,
-            CcMode::Full,
-        )?;
-        let active = match facility {
-            Some((_, row)) => row[2].as_int()? == 1,
-            None => false,
-        };
-        if !active {
-            return Err(DbError::TxnAborted {
-                txn: txn.id(),
-                reason: "facility inactive".into(),
-            });
-        }
-        let forwarding = db.probe_primary(
-            txn,
-            tables.call_forwarding,
-            &Key::int3(s_id, sf_type, start_time),
-            false,
-            CcMode::Full,
-        )?;
-        match forwarding {
-            Some(_) => Ok(()),
-            None => Err(DbError::TxnAborted {
-                txn: txn.id(),
-                reason: "no forwarding".into(),
-            }),
-        }
-    }
-
-    fn get_access_data_baseline(
-        &self,
-        db: &Database,
-        txn: &dora_storage::TxnHandle,
-        s_id: i64,
-        ai_type: i64,
-    ) -> DbResult<()> {
-        let tables = self.tables(db)?;
-        match db.probe_primary(
-            txn,
-            tables.access_info,
-            &Key::int2(s_id, ai_type),
-            false,
-            CcMode::Full,
-        )? {
-            Some(_) => Ok(()),
-            None => Err(DbError::TxnAborted {
-                txn: txn.id(),
-                reason: "no access info".into(),
-            }),
-        }
-    }
-
-    fn update_subscriber_data_baseline(
-        &self,
-        db: &Database,
-        txn: &dora_storage::TxnHandle,
-        s_id: i64,
-        sf_type: i64,
-        bit: i64,
-        data_a: i64,
-    ) -> DbResult<()> {
-        let tables = self.tables(db)?;
-        db.update_primary(
-            txn,
+        Ok(TxnProgram::new(Self::GET_SUBSCRIBER_DATA).read(
+            "get-subscriber",
             tables.subscriber,
-            &Key::int(s_id),
-            CcMode::Full,
-            |row| {
-                row[2] = Value::Int(bit);
-                Ok(())
-            },
-        )?;
-        // Fails for ~62.5% of inputs: the (s_id, sf_type) facility may not
-        // exist, aborting the whole transaction.
-        match db.update_primary(
-            txn,
-            tables.special_facility,
-            &Key::int2(s_id, sf_type),
-            CcMode::Full,
-            |row| {
-                row[4] = Value::Int(data_a);
-                Ok(())
-            },
-        ) {
-            Ok(()) => Ok(()),
-            Err(DbError::NotFound { .. }) => Err(DbError::TxnAborted {
-                txn: txn.id(),
-                reason: "no such facility".into(),
-            }),
-            Err(other) => Err(other),
-        }
+            Key::int(s_id),
+            Key::int(s_id),
+            OnMissing::Abort("subscriber missing"),
+            |_ctx, _row| Ok(()),
+        ))
     }
 
-    fn update_location_baseline(
-        &self,
-        db: &Database,
-        txn: &dora_storage::TxnHandle,
-        s_id: i64,
-        location: i64,
-    ) -> DbResult<()> {
-        let tables = self.tables(db)?;
-        // Look the subscriber up through the secondary index on sub_nbr, as
-        // the TATP specification requires.
-        let hits = db.probe_secondary(
-            txn,
-            tables.subscriber_by_nbr,
-            &Key::from_values([Self::sub_nbr(s_id)]),
-            CcMode::Full,
-        )?;
-        let Some(entry) = hits.first() else {
-            return Err(DbError::TxnAborted {
-                txn: txn.id(),
-                reason: "unknown sub_nbr".into(),
-            });
-        };
-        let rid = entry.rid;
-        db.update_rid(txn, tables.subscriber, rid, CcMode::Full, |row| {
-            row[4] = Value::Int(location);
-            Ok(())
-        })
-    }
-
-    fn insert_call_forwarding_baseline(
-        &self,
-        db: &Database,
-        txn: &dora_storage::TxnHandle,
-        s_id: i64,
-        sf_type: i64,
-        start_time: i64,
-        end_time: i64,
-    ) -> DbResult<()> {
-        let tables = self.tables(db)?;
-        // The facility must exist.
-        if db
-            .probe_primary(
-                txn,
-                tables.special_facility,
-                &Key::int2(s_id, sf_type),
-                false,
-                CcMode::Full,
-            )?
-            .is_none()
-        {
-            return Err(DbError::TxnAborted {
-                txn: txn.id(),
-                reason: "no such facility".into(),
-            });
-        }
-        let row: Row = vec![
-            Value::Int(s_id),
-            Value::Int(sf_type),
-            Value::Int(start_time),
-            Value::Int(end_time),
-            Value::Text(format!("{:015}", s_id + 1)),
-        ];
-        match db.insert(txn, tables.call_forwarding, row, CcMode::Full) {
-            Ok(_) => Ok(()),
-            Err(DbError::DuplicateKey { .. }) => Err(DbError::TxnAborted {
-                txn: txn.id(),
-                reason: "forwarding exists".into(),
-            }),
-            Err(other) => Err(other),
-        }
-    }
-
-    fn delete_call_forwarding_baseline(
-        &self,
-        db: &Database,
-        txn: &dora_storage::TxnHandle,
-        s_id: i64,
-        sf_type: i64,
-        start_time: i64,
-    ) -> DbResult<()> {
-        let tables = self.tables(db)?;
-        match db.delete_primary(
-            txn,
-            tables.call_forwarding,
-            &Key::int3(s_id, sf_type, start_time),
-            CcMode::Full,
-        ) {
-            Ok(()) => Ok(()),
-            Err(DbError::NotFound { .. }) => Err(DbError::TxnAborted {
-                txn: txn.id(),
-                reason: "no forwarding to delete".into(),
-            }),
-            Err(other) => Err(other),
-        }
-    }
-
-    // ----- DORA flow graphs --------------------------------------------------
-
-    /// Flow graph of GetSubscriberData: a single read-only action on the
-    /// Subscriber table.
-    pub fn get_subscriber_data_graph(&self, db: &Database, s_id: i64) -> DbResult<FlowGraph> {
-        let tables = self.tables(db)?;
-        let mut graph = FlowGraph::new();
-        let phase = graph.add_phase();
-        graph.add_action(
-            phase,
-            ActionSpec::new(
-                "get-subscriber",
-                tables.subscriber,
-                Key::int(s_id),
-                LocalMode::Shared,
-                move |ctx| match ctx.db.probe_primary(
-                    ctx.txn,
-                    tables.subscriber,
-                    &Key::int(s_id),
-                    false,
-                    CcMode::None,
-                )? {
-                    Some(_) => Ok(()),
-                    None => Err(DbError::TxnAborted {
-                        txn: ctx.txn.id(),
-                        reason: "subscriber missing".into(),
-                    }),
-                },
-            ),
-        );
-        Ok(graph)
-    }
-
-    /// Flow graph of GetNewDestination: probe the SpecialFacility, then (next
-    /// phase, because of the data dependency) the CallForwarding record.
-    pub fn get_new_destination_graph(
+    /// GetNewDestination: probe the SpecialFacility, then (next phase,
+    /// because of the control dependency) the CallForwarding record.
+    pub fn get_new_destination_program(
         &self,
         db: &Database,
         s_id: i64,
         sf_type: i64,
         start_time: i64,
-    ) -> DbResult<FlowGraph> {
+    ) -> DbResult<TxnProgram> {
         let tables = self.tables(db)?;
-        let mut graph = FlowGraph::new();
-        let p1 = graph.add_phase();
-        graph.add_action(
-            p1,
-            ActionSpec::new(
+        Ok(TxnProgram::new(Self::GET_NEW_DESTINATION)
+            .read(
                 "probe-facility",
                 tables.special_facility,
                 Key::int(s_id),
-                LocalMode::Shared,
-                move |ctx| {
-                    let facility = ctx.db.probe_primary(
-                        ctx.txn,
-                        tables.special_facility,
-                        &Key::int2(s_id, sf_type),
-                        false,
-                        CcMode::None,
-                    )?;
-                    let active = match facility {
-                        Some((_, row)) => row[2].as_int()? == 1,
-                        None => false,
-                    };
-                    if !active {
-                        return Err(DbError::TxnAborted {
-                            txn: ctx.txn.id(),
-                            reason: "facility inactive".into(),
-                        });
+                Key::int2(s_id, sf_type),
+                OnMissing::Abort("facility inactive"),
+                |ctx, row| {
+                    if row[2].as_int()? == 1 {
+                        Ok(())
+                    } else {
+                        Err(ctx.abort("facility inactive"))
                     }
-                    Ok(())
                 },
-            ),
-        );
-        let p2 = graph.add_phase();
-        graph.add_action(
-            p2,
-            ActionSpec::new(
+            )
+            .rvp()
+            .read(
                 "probe-forwarding",
                 tables.call_forwarding,
                 Key::int(s_id),
-                LocalMode::Shared,
-                move |ctx| match ctx.db.probe_primary(
-                    ctx.txn,
-                    tables.call_forwarding,
-                    &Key::int3(s_id, sf_type, start_time),
-                    false,
-                    CcMode::None,
-                )? {
-                    Some(_) => Ok(()),
-                    None => Err(DbError::TxnAborted {
-                        txn: ctx.txn.id(),
-                        reason: "no forwarding".into(),
-                    }),
-                },
-            ),
-        );
-        Ok(graph)
+                Key::int3(s_id, sf_type, start_time),
+                OnMissing::Abort("no forwarding"),
+                |_ctx, _row| Ok(()),
+            ))
     }
 
-    /// Flow graph of GetAccessData: one read-only action on AccessInfo.
-    pub fn get_access_data_graph(
+    /// GetAccessData: one read-only step on AccessInfo.
+    pub fn get_access_data_program(
         &self,
         db: &Database,
         s_id: i64,
         ai_type: i64,
-    ) -> DbResult<FlowGraph> {
+    ) -> DbResult<TxnProgram> {
         let tables = self.tables(db)?;
-        let mut graph = FlowGraph::new();
-        let phase = graph.add_phase();
-        graph.add_action(
-            phase,
-            ActionSpec::new(
-                "get-access-data",
-                tables.access_info,
-                Key::int(s_id),
-                LocalMode::Shared,
-                move |ctx| match ctx.db.probe_primary(
-                    ctx.txn,
-                    tables.access_info,
-                    &Key::int2(s_id, ai_type),
-                    false,
-                    CcMode::None,
-                )? {
-                    Some(_) => Ok(()),
-                    None => Err(DbError::TxnAborted {
-                        txn: ctx.txn.id(),
-                        reason: "no access info".into(),
-                    }),
-                },
-            ),
-        );
-        Ok(graph)
+        Ok(TxnProgram::new(Self::GET_ACCESS_DATA).read(
+            "get-access-data",
+            tables.access_info,
+            Key::int(s_id),
+            Key::int2(s_id, ai_type),
+            OnMissing::Abort("no access info"),
+            |_ctx, _row| Ok(()),
+        ))
     }
 
-    /// Flow graph of UpdateSubscriberData.
+    /// UpdateSubscriberData.
     ///
-    /// The parallel plan (DORA-P) runs the Subscriber update and the
-    /// SpecialFacility update in the same phase; the serial plan (DORA-S)
-    /// first attempts the SpecialFacility update (which fails for 62.5% of
-    /// inputs) and only then updates the Subscriber — exactly the two plans
-    /// Figure 11 compares.
-    pub fn update_subscriber_data_graph(
+    /// One definition, two plans: the parallel plan (DORA-P) runs the
+    /// Subscriber update and the SpecialFacility update in the same phase;
+    /// the serial plan (DORA-S, Appendix A.4) orders the SpecialFacility
+    /// update — which fails for 62.5% of inputs — first and serializes the
+    /// graph, exactly the two plans Figure 11 compares.
+    pub fn update_subscriber_data_program(
         &self,
         db: &Database,
         s_id: i64,
@@ -481,223 +215,144 @@ impl Tm1 {
         bit: i64,
         data_a: i64,
         serial: bool,
-    ) -> DbResult<FlowGraph> {
+    ) -> DbResult<TxnProgram> {
         let tables = self.tables(db)?;
-        let subscriber_action = ActionSpec::new(
+        let subscriber_step = Step::update(
             "update-subscriber",
             tables.subscriber,
             Key::int(s_id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                ctx.db.update_primary(
-                    ctx.txn,
-                    tables.subscriber,
-                    &Key::int(s_id),
-                    CcMode::None,
-                    |row| {
-                        row[2] = Value::Int(bit);
-                        Ok(())
-                    },
-                )
+            Key::int(s_id),
+            OnMissing::Error,
+            move |_ctx, row| {
+                row[2] = Value::Int(bit);
+                Ok(())
             },
         );
-        let facility_action = ActionSpec::new(
+        let facility_step = Step::update(
             "update-facility",
             tables.special_facility,
             Key::int(s_id),
-            LocalMode::Exclusive,
-            move |ctx| match ctx.db.update_primary(
-                ctx.txn,
-                tables.special_facility,
-                &Key::int2(s_id, sf_type),
-                CcMode::None,
-                |row| {
-                    row[4] = Value::Int(data_a);
-                    Ok(())
-                },
-            ) {
-                Ok(()) => Ok(()),
-                Err(DbError::NotFound { .. }) => Err(DbError::TxnAborted {
-                    txn: ctx.txn.id(),
-                    reason: "no such facility".into(),
-                }),
-                Err(other) => Err(other),
+            Key::int2(s_id, sf_type),
+            OnMissing::Abort("no such facility"),
+            move |_ctx, row| {
+                row[4] = Value::Int(data_a);
+                Ok(())
             },
         );
-        let graph = if serial {
-            // DORA-S: the failure-prone action runs first, alone in its phase.
-            FlowGraph::new()
-                .phase_with(vec![facility_action])
-                .phase_with(vec![subscriber_action])
+        // The failure-prone step goes first under the serial plan so the
+        // transaction fails before any other work is wasted.
+        let (first, second) = if serial {
+            (facility_step, subscriber_step)
         } else {
-            // DORA-P: both actions in the same phase.
-            FlowGraph::new().phase_with(vec![subscriber_action, facility_action])
+            (subscriber_step, facility_step)
         };
-        Ok(graph)
+        Ok(TxnProgram::new(Self::UPDATE_SUBSCRIBER_DATA)
+            .step(first)
+            .step(second)
+            .serialized(serial))
     }
 
-    /// Flow graph of UpdateLocation: a secondary action resolves the
-    /// subscriber through the `sub_nbr` secondary index (whose leaves carry
-    /// the routing fields), then the routed action updates the record.
-    pub fn update_location_graph(
+    /// UpdateLocation: a secondary step resolves the subscriber through the
+    /// `sub_nbr` secondary index (whose leaves carry the routing fields),
+    /// then the routed step updates the record through its RID.
+    pub fn update_location_program(
         &self,
         db: &Database,
         s_id: i64,
         location: i64,
-    ) -> DbResult<FlowGraph> {
+    ) -> DbResult<TxnProgram> {
         let tables = self.tables(db)?;
         let nbr = Self::sub_nbr(s_id);
-        let mut graph = FlowGraph::new();
-        let p1 = graph.add_phase();
-        graph.add_action(
-            p1,
-            ActionSpec::secondary("resolve-sub-nbr", tables.subscriber, move |ctx| {
+        Ok(TxnProgram::new(Self::UPDATE_LOCATION)
+            .secondary("resolve-sub-nbr", tables.subscriber, move |ctx| {
                 let hits = ctx.db.probe_secondary(
                     ctx.txn,
                     tables.subscriber_by_nbr,
                     &Key::from_values([nbr.clone()]),
-                    CcMode::None,
+                    ctx.cc(),
                 )?;
                 let Some(entry) = hits.first() else {
-                    return Err(DbError::TxnAborted {
-                        txn: ctx.txn.id(),
-                        reason: "unknown sub_nbr".into(),
-                    });
+                    return Err(ctx.abort("unknown sub_nbr"));
                 };
                 // Stash the routing field and RID for the next phase.
                 ctx.scratch
                     .put("s_id", entry.routing.leading_int().unwrap_or(s_id));
                 ctx.scratch.put("rid", entry.rid.pack() as i64);
                 Ok(())
-            }),
-        );
-        let p2 = graph.add_phase();
-        graph.add_action(
-            p2,
-            ActionSpec::new(
+            })
+            .rvp()
+            .custom(
                 "update-location",
                 tables.subscriber,
                 Key::int(s_id),
-                LocalMode::Exclusive,
+                dora_core::LocalMode::Exclusive,
                 move |ctx| {
                     let rid = Rid::unpack(ctx.scratch.get_int("rid")? as u64);
                     ctx.db
-                        .update_rid(ctx.txn, tables.subscriber, rid, CcMode::None, |row| {
+                        .update_rid(ctx.txn, tables.subscriber, rid, ctx.cc(), |row| {
                             row[4] = Value::Int(location);
                             Ok(())
                         })
                 },
-            ),
-        );
-        Ok(graph)
+            ))
     }
 
-    /// Flow graph of InsertCallForwarding: probe the facility, then insert
-    /// the forwarding record. The insert takes a row-level lock through the
-    /// centralized lock manager ([`CcMode::RowOnly`]), as Section 4.2.1
-    /// requires.
-    pub fn insert_call_forwarding_graph(
+    /// InsertCallForwarding: probe the facility, then insert the forwarding
+    /// record. Under DORA the insert still takes a row-level lock through the
+    /// centralized lock manager, as Section 4.2.1 requires.
+    pub fn insert_call_forwarding_program(
         &self,
         db: &Database,
         s_id: i64,
         sf_type: i64,
         start_time: i64,
         end_time: i64,
-    ) -> DbResult<FlowGraph> {
+    ) -> DbResult<TxnProgram> {
         let tables = self.tables(db)?;
-        let mut graph = FlowGraph::new();
-        let p1 = graph.add_phase();
-        graph.add_action(
-            p1,
-            ActionSpec::new(
+        Ok(TxnProgram::new(Self::INSERT_CALL_FORWARDING)
+            .read(
                 "probe-facility",
                 tables.special_facility,
                 Key::int(s_id),
-                LocalMode::Shared,
-                move |ctx| match ctx.db.probe_primary(
-                    ctx.txn,
-                    tables.special_facility,
-                    &Key::int2(s_id, sf_type),
-                    false,
-                    CcMode::None,
-                )? {
-                    Some(_) => Ok(()),
-                    None => Err(DbError::TxnAborted {
-                        txn: ctx.txn.id(),
-                        reason: "no such facility".into(),
-                    }),
-                },
-            ),
-        );
-        let p2 = graph.add_phase();
-        graph.add_action(
-            p2,
-            ActionSpec::new(
+                Key::int2(s_id, sf_type),
+                OnMissing::Abort("no such facility"),
+                |_ctx, _row| Ok(()),
+            )
+            .rvp()
+            .insert(
                 "insert-forwarding",
                 tables.call_forwarding,
                 Key::int(s_id),
-                LocalMode::Exclusive,
-                move |ctx| {
-                    let row: Row = vec![
+                OnDuplicate::Abort("forwarding exists"),
+                move |_ctx| {
+                    Ok(vec![
                         Value::Int(s_id),
                         Value::Int(sf_type),
                         Value::Int(start_time),
                         Value::Int(end_time),
                         Value::Text(format!("{:015}", s_id + 1)),
-                    ];
-                    match ctx
-                        .db
-                        .insert(ctx.txn, tables.call_forwarding, row, CcMode::RowOnly)
-                    {
-                        Ok(_) => Ok(()),
-                        Err(DbError::DuplicateKey { .. }) => Err(DbError::TxnAborted {
-                            txn: ctx.txn.id(),
-                            reason: "forwarding exists".into(),
-                        }),
-                        Err(other) => Err(other),
-                    }
+                    ])
                 },
-            ),
-        );
-        Ok(graph)
+            ))
     }
 
-    /// Flow graph of DeleteCallForwarding: a single exclusive action that
-    /// deletes through the executor (the delete still takes the centralized
-    /// row lock inside the storage manager).
-    pub fn delete_call_forwarding_graph(
+    /// DeleteCallForwarding: a single exclusive step (the delete takes a
+    /// centralized row lock inside the storage manager on either engine).
+    pub fn delete_call_forwarding_program(
         &self,
         db: &Database,
         s_id: i64,
         sf_type: i64,
         start_time: i64,
-    ) -> DbResult<FlowGraph> {
+    ) -> DbResult<TxnProgram> {
         let tables = self.tables(db)?;
-        let mut graph = FlowGraph::new();
-        let phase = graph.add_phase();
-        graph.add_action(
-            phase,
-            ActionSpec::new(
-                "delete-forwarding",
-                tables.call_forwarding,
-                Key::int(s_id),
-                LocalMode::Exclusive,
-                move |ctx| match ctx.db.delete_primary(
-                    ctx.txn,
-                    tables.call_forwarding,
-                    &Key::int3(s_id, sf_type, start_time),
-                    CcMode::RowOnly,
-                ) {
-                    Ok(()) => Ok(()),
-                    Err(DbError::NotFound { .. }) => Err(DbError::TxnAborted {
-                        txn: ctx.txn.id(),
-                        reason: "no forwarding to delete".into(),
-                    }),
-                    Err(other) => Err(other),
-                },
-            ),
-        );
-        Ok(graph)
+        Ok(TxnProgram::new(Self::DELETE_CALL_FORWARDING).delete(
+            "delete-forwarding",
+            tables.call_forwarding,
+            Key::int(s_id),
+            Key::int3(s_id, sf_type, start_time),
+            OnMissing::Abort("no forwarding to delete"),
+        ))
     }
 
     /// Picks a transaction type according to the TATP mix (percentages are
@@ -869,42 +524,16 @@ impl Workload for Tm1 {
         Ok(())
     }
 
-    fn run_baseline(&self, engine: &dyn ConventionalExecutor, rng: &mut SmallRng) -> TxnOutcome {
-        let txn_type = self.pick(rng);
-        let s_id = self.random_subscriber(rng);
-        let sf_type = uniform(rng, 1, 4);
-        let ai_type = uniform(rng, 1, 4);
-        let start_time = uniform(rng, 0, 2) * 8;
-        let bit = uniform(rng, 0, 1);
-        let data_a = uniform(rng, 0, 255);
-        let location = uniform(rng, 0, 1_000_000);
-        let end_time = start_time + uniform(rng, 1, 8);
-        let result = engine.execute_txn(&|db, txn| match txn_type {
-            Tm1Txn::GetSubscriberData => self.get_subscriber_data_baseline(db, txn, s_id),
-            Tm1Txn::GetNewDestination => {
-                self.get_new_destination_baseline(db, txn, s_id, sf_type, start_time)
-            }
-            Tm1Txn::GetAccessData => self.get_access_data_baseline(db, txn, s_id, ai_type),
-            Tm1Txn::UpdateSubscriberData => {
-                self.update_subscriber_data_baseline(db, txn, s_id, sf_type, bit, data_a)
-            }
-            Tm1Txn::UpdateLocation => self.update_location_baseline(db, txn, s_id, location),
-            Tm1Txn::InsertCallForwarding => {
-                self.insert_call_forwarding_baseline(db, txn, s_id, sf_type, start_time, end_time)
-            }
-            Tm1Txn::DeleteCallForwarding => {
-                self.delete_call_forwarding_baseline(db, txn, s_id, sf_type, start_time)
-            }
-        });
-        match result {
-            Ok(BaselineOutcome::Committed) => TxnOutcome::Committed,
-            _ => TxnOutcome::Aborted,
+    fn txn_labels(&self) -> &'static [&'static str] {
+        match self.mix {
+            Tm1Mix::Full => &Self::ALL_LABELS,
+            Tm1Mix::GetSubscriberDataOnly => &[Self::GET_SUBSCRIBER_DATA],
+            Tm1Mix::UpdateSubscriberDataOnly => &[Self::UPDATE_SUBSCRIBER_DATA],
         }
     }
 
-    fn run_dora(&self, engine: &DoraEngine, rng: &mut SmallRng) -> TxnOutcome {
+    fn next_program(&self, db: &Database, rng: &mut SmallRng) -> DbResult<TxnProgram> {
         let txn_type = self.pick(rng);
-        let db = engine.db();
         let s_id = self.random_subscriber(rng);
         let sf_type = uniform(rng, 1, 4);
         let ai_type = uniform(rng, 1, 4);
@@ -913,13 +542,13 @@ impl Workload for Tm1 {
         let data_a = uniform(rng, 0, 255);
         let location = uniform(rng, 0, 1_000_000);
         let end_time = start_time + uniform(rng, 1, 8);
-        let graph = match txn_type {
-            Tm1Txn::GetSubscriberData => self.get_subscriber_data_graph(db, s_id),
+        match txn_type {
+            Tm1Txn::GetSubscriberData => self.get_subscriber_data_program(db, s_id),
             Tm1Txn::GetNewDestination => {
-                self.get_new_destination_graph(db, s_id, sf_type, start_time)
+                self.get_new_destination_program(db, s_id, sf_type, start_time)
             }
-            Tm1Txn::GetAccessData => self.get_access_data_graph(db, s_id, ai_type),
-            Tm1Txn::UpdateSubscriberData => self.update_subscriber_data_graph(
+            Tm1Txn::GetAccessData => self.get_access_data_program(db, s_id, ai_type),
+            Tm1Txn::UpdateSubscriberData => self.update_subscriber_data_program(
                 db,
                 s_id,
                 sf_type,
@@ -927,21 +556,13 @@ impl Workload for Tm1 {
                 data_a,
                 self.serial_update_plan,
             ),
-            Tm1Txn::UpdateLocation => self.update_location_graph(db, s_id, location),
+            Tm1Txn::UpdateLocation => self.update_location_program(db, s_id, location),
             Tm1Txn::InsertCallForwarding => {
-                self.insert_call_forwarding_graph(db, s_id, sf_type, start_time, end_time)
+                self.insert_call_forwarding_program(db, s_id, sf_type, start_time, end_time)
             }
             Tm1Txn::DeleteCallForwarding => {
-                self.delete_call_forwarding_graph(db, s_id, sf_type, start_time)
+                self.delete_call_forwarding_program(db, s_id, sf_type, start_time)
             }
-        };
-        let graph = match graph {
-            Ok(graph) => graph,
-            Err(_) => return TxnOutcome::Aborted,
-        };
-        match engine.execute(graph) {
-            Ok(()) => TxnOutcome::Committed,
-            Err(_) => TxnOutcome::Aborted,
         }
     }
 }
@@ -949,6 +570,7 @@ impl Workload for Tm1 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{run_baseline_mix, run_baseline_once, run_dora_mix};
     use dora_core::DoraConfig;
     use rand::SeedableRng;
     use std::sync::Arc;
@@ -973,14 +595,13 @@ mod tests {
     #[test]
     fn baseline_mix_commits_and_aborts() {
         let (db, workload) = small_tm1();
-        let engine = crate::spec::TestExecutor::new(db);
         let mut rng = SmallRng::seed_from_u64(11);
         let mut committed = 0;
         let mut aborted = 0;
         for _ in 0..300 {
-            match workload.run_baseline(&engine, &mut rng) {
+            match run_baseline_mix(&workload, &db, &mut rng) {
                 TxnOutcome::Committed => committed += 1,
-                TxnOutcome::Aborted => aborted += 1,
+                _ => aborted += 1,
             }
         }
         assert!(
@@ -999,9 +620,9 @@ mod tests {
         let mut committed = 0;
         let mut aborted = 0;
         for _ in 0..300 {
-            match workload.run_dora(&engine, &mut rng) {
+            match run_dora_mix(&workload, &engine, &mut rng) {
                 TxnOutcome::Committed => committed += 1,
-                TxnOutcome::Aborted => aborted += 1,
+                _ => aborted += 1,
             }
         }
         assert!(
@@ -1015,8 +636,8 @@ mod tests {
     #[test]
     fn baseline_and_dora_agree_on_final_state() {
         // Run the same deterministic sequence of UpdateLocation transactions
-        // through both engines (on separate databases) and compare subscriber
-        // locations afterwards.
+        // through both compilations of the same program (on separate
+        // databases) and compare subscriber locations afterwards.
         let db_base = Database::for_tests();
         let db_dora = Database::for_tests();
         let workload_base = Tm1::new(50);
@@ -1028,15 +649,17 @@ mod tests {
 
         for s_id in 1..=50i64 {
             let location = s_id * 1000;
-            let txn = db_base.begin();
-            workload_base
-                .update_location_baseline(&db_base, &txn, s_id, location)
+            let program = workload_base
+                .update_location_program(&db_base, s_id, location)
                 .unwrap();
-            db_base.commit(&txn).unwrap();
-            let graph = workload_dora
-                .update_location_graph(&db_dora, s_id, location)
+            assert_eq!(
+                run_baseline_once(&db_base, program).unwrap(),
+                BaselineOutcome::Committed
+            );
+            let program = workload_dora
+                .update_location_program(&db_dora, s_id, location)
                 .unwrap();
-            dora.execute(graph).unwrap();
+            dora.execute(program.compile_dora()).unwrap();
         }
 
         let tables_base = workload_base.tables(&db_base).unwrap();
@@ -1083,14 +706,14 @@ mod tests {
         // Subscriber 3 has sf_types 1..=((3+1)%4)+1 = 1..=1, so sf_type 1
         // exists (parallel plan commits) and sf_type 4 does not (any plan
         // aborts and leaves no partial update).
-        let graph = workload
-            .update_subscriber_data_graph(&db, 3, 1, 1, 42, false)
+        let program = workload
+            .update_subscriber_data_program(&db, 3, 1, 1, 42, false)
             .unwrap();
-        engine.execute(graph).unwrap();
-        let graph = workload
-            .update_subscriber_data_graph(&db, 3, 4, 0, 99, true)
+        engine.execute(program.compile_dora()).unwrap();
+        let program = workload
+            .update_subscriber_data_program(&db, 3, 4, 0, 99, true)
             .unwrap();
-        assert!(engine.execute(graph).is_err());
+        assert!(engine.execute(program.compile_dora()).is_err());
 
         let tables = workload.tables(&db).unwrap();
         let check = db.begin();
@@ -1119,6 +742,27 @@ mod tests {
     }
 
     #[test]
+    fn serial_plan_orders_the_failure_prone_step_first() {
+        let (db, workload) = small_tm1();
+        let parallel = workload
+            .update_subscriber_data_program(&db, 3, 1, 1, 42, false)
+            .unwrap()
+            .compile_dora();
+        assert_eq!(parallel.phase_count(), 1);
+        assert_eq!(parallel.actions_in(0), 2);
+        let serial = workload
+            .update_subscriber_data_program(&db, 3, 1, 1, 42, true)
+            .unwrap()
+            .compile_dora();
+        assert_eq!(serial.phase_count(), 2, "DORA-S: one action per phase");
+        assert!(
+            serial.describe()[0][0].starts_with("update-facility"),
+            "the 62.5%-failure step must run first under DORA-S: {:?}",
+            serial.describe()
+        );
+    }
+
+    #[test]
     fn insert_and_delete_call_forwarding_roundtrip_via_dora() {
         let (db, workload) = small_tm1();
         let engine = DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests());
@@ -1126,10 +770,10 @@ mod tests {
         let tables = workload.tables(&db).unwrap();
         // Subscriber 10 has sf_type 1; use an unusual start time to avoid
         // colliding with loaded rows.
-        let graph = workload
-            .insert_call_forwarding_graph(&db, 10, 1, 99, 120)
+        let program = workload
+            .insert_call_forwarding_program(&db, 10, 1, 99, 120)
             .unwrap();
-        engine.execute(graph).unwrap();
+        engine.execute(program.compile_dora()).unwrap();
         let check = db.begin();
         assert!(db
             .probe_primary(
@@ -1143,19 +787,19 @@ mod tests {
             .is_some());
         db.commit(&check).unwrap();
         // Duplicate insert aborts.
-        let graph = workload
-            .insert_call_forwarding_graph(&db, 10, 1, 99, 120)
+        let program = workload
+            .insert_call_forwarding_program(&db, 10, 1, 99, 120)
             .unwrap();
-        assert!(engine.execute(graph).is_err());
+        assert!(engine.execute(program.compile_dora()).is_err());
         // Delete removes it; a second delete aborts.
-        let graph = workload
-            .delete_call_forwarding_graph(&db, 10, 1, 99)
+        let program = workload
+            .delete_call_forwarding_program(&db, 10, 1, 99)
             .unwrap();
-        engine.execute(graph).unwrap();
-        let graph = workload
-            .delete_call_forwarding_graph(&db, 10, 1, 99)
+        engine.execute(program.compile_dora()).unwrap();
+        let program = workload
+            .delete_call_forwarding_program(&db, 10, 1, 99)
             .unwrap();
-        assert!(engine.execute(graph).is_err());
+        assert!(engine.execute(program.compile_dora()).is_err());
         engine.shutdown();
     }
 
@@ -1166,9 +810,11 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(workload.pick(&mut rng), Tm1Txn::GetSubscriberData);
         }
+        assert_eq!(workload.txn_labels(), &[Tm1::GET_SUBSCRIBER_DATA]);
         let workload = Tm1::new(10).with_mix(Tm1Mix::UpdateSubscriberDataOnly);
         for _ in 0..50 {
             assert_eq!(workload.pick(&mut rng), Tm1Txn::UpdateSubscriberData);
         }
+        assert_eq!(Tm1::new(10).txn_labels().len(), 7);
     }
 }

@@ -16,11 +16,11 @@ use std::sync::OnceLock;
 use rand::rngs::SmallRng;
 
 use dora_common::prelude::*;
-use dora_core::{ActionSpec, DoraEngine, FlowGraph, LocalMode};
+use dora_core::{DoraEngine, OnDuplicate, OnMissing, TxnProgram};
 
 use dora_storage::{ColumnDef, Database, TableSchema};
 
-use crate::spec::{chance, uniform, ConventionalExecutor, Workload};
+use crate::spec::{chance, uniform, Workload};
 
 /// Tellers per branch (fixed by the TPC-B specification).
 pub const TELLERS_PER_BRANCH: i64 = 10;
@@ -113,156 +113,73 @@ impl TpcB {
         (home_branch, account_branch, account, teller, amount)
     }
 
-    /// Baseline body of the account-update transaction.
-    pub fn account_update_baseline(
+    /// The account-update transaction, defined once: the three balance
+    /// updates form one phase (under DORA they run in parallel, possibly on
+    /// three different executors — the account may even belong to a remote
+    /// branch); after the RVP, the History append runs, like Payment's in
+    /// Figure 4.
+    pub fn account_update_program(
         &self,
         db: &Database,
-        txn: &dora_storage::TxnHandle,
         home_branch: i64,
         account: i64,
         teller: i64,
         amount: f64,
-    ) -> DbResult<()> {
+    ) -> DbResult<TxnProgram> {
         let tables = self.tables(db)?;
-        db.update_primary(
-            txn,
-            tables.account,
-            &Key::int(account),
-            CcMode::Full,
-            |row| {
-                let balance = row[2].as_float()?;
-                row[2] = Value::Float(balance + amount);
-                Ok(())
-            },
-        )?;
-        db.update_primary(txn, tables.teller, &Key::int(teller), CcMode::Full, |row| {
-            let balance = row[2].as_float()?;
-            row[2] = Value::Float(balance + amount);
-            Ok(())
-        })?;
-        db.update_primary(
-            txn,
-            tables.branch,
-            &Key::int(home_branch),
-            CcMode::Full,
-            |row| {
-                let balance = row[1].as_float()?;
-                row[1] = Value::Float(balance + amount);
-                Ok(())
-            },
-        )?;
-        db.insert(
-            txn,
-            tables.history,
-            vec![
-                Value::Int(home_branch),
-                Value::Int(teller),
-                Value::Int(account),
-                Value::Float(amount),
-                Value::Int(txn.id().0 as i64),
-            ],
-            CcMode::Full,
-        )?;
-        Ok(())
-    }
-
-    /// DORA flow graph of the account-update transaction: the three balance
-    /// updates run in parallel in phase one (they touch three different
-    /// tables, and under DORA possibly three different executors); the
-    /// History insert runs in phase two, like Payment's in Figure 4.
-    pub fn account_update_graph(
-        &self,
-        db: &Database,
-        home_branch: i64,
-        account_branch: i64,
-        account: i64,
-        teller: i64,
-        amount: f64,
-    ) -> DbResult<FlowGraph> {
-        let tables = self.tables(db)?;
-        let account_action = ActionSpec::new(
-            "update-account",
-            tables.account,
-            Key::int(account),
-            LocalMode::Exclusive,
-            move |ctx| {
-                ctx.db.update_primary(
-                    ctx.txn,
-                    tables.account,
-                    &Key::int(account),
-                    CcMode::None,
-                    |row| {
-                        let balance = row[2].as_float()?;
-                        row[2] = Value::Float(balance + amount);
-                        Ok(())
-                    },
-                )
-            },
-        );
-        let teller_action = ActionSpec::new(
-            "update-teller",
-            tables.teller,
-            Key::int(teller),
-            LocalMode::Exclusive,
-            move |ctx| {
-                ctx.db.update_primary(
-                    ctx.txn,
-                    tables.teller,
-                    &Key::int(teller),
-                    CcMode::None,
-                    |row| {
-                        let balance = row[2].as_float()?;
-                        row[2] = Value::Float(balance + amount);
-                        Ok(())
-                    },
-                )
-            },
-        );
-        let branch_action = ActionSpec::new(
-            "update-branch",
-            tables.branch,
-            Key::int(home_branch),
-            LocalMode::Exclusive,
-            move |ctx| {
-                ctx.db.update_primary(
-                    ctx.txn,
-                    tables.branch,
-                    &Key::int(home_branch),
-                    CcMode::None,
-                    |row| {
-                        let balance = row[1].as_float()?;
-                        row[1] = Value::Float(balance + amount);
-                        Ok(())
-                    },
-                )
-            },
-        );
-        let history_action = ActionSpec::new(
-            "insert-history",
-            tables.history,
-            Key::int(home_branch),
-            LocalMode::Exclusive,
-            move |ctx| {
-                ctx.db
-                    .insert(
-                        ctx.txn,
-                        tables.history,
-                        vec![
-                            Value::Int(home_branch),
-                            Value::Int(teller),
-                            Value::Int(account),
-                            Value::Float(amount),
-                            Value::Int(ctx.txn.id().0 as i64),
-                        ],
-                        CcMode::RowOnly,
-                    )
-                    .map(|_| ())
-            },
-        );
-        let _ = account_branch;
-        Ok(FlowGraph::new()
-            .phase_with(vec![account_action, teller_action, branch_action])
-            .phase_with(vec![history_action]))
+        Ok(TxnProgram::new(Self::ACCOUNT_UPDATE)
+            .update(
+                "update-account",
+                tables.account,
+                Key::int(account),
+                Key::int(account),
+                OnMissing::Error,
+                move |_ctx, row| {
+                    let balance = row[2].as_float()?;
+                    row[2] = Value::Float(balance + amount);
+                    Ok(())
+                },
+            )
+            .update(
+                "update-teller",
+                tables.teller,
+                Key::int(teller),
+                Key::int(teller),
+                OnMissing::Error,
+                move |_ctx, row| {
+                    let balance = row[2].as_float()?;
+                    row[2] = Value::Float(balance + amount);
+                    Ok(())
+                },
+            )
+            .update(
+                "update-branch",
+                tables.branch,
+                Key::int(home_branch),
+                Key::int(home_branch),
+                OnMissing::Error,
+                move |_ctx, row| {
+                    let balance = row[1].as_float()?;
+                    row[1] = Value::Float(balance + amount);
+                    Ok(())
+                },
+            )
+            .rvp()
+            .insert(
+                "insert-history",
+                tables.history,
+                Key::int(home_branch),
+                OnDuplicate::Error,
+                move |ctx| {
+                    Ok(vec![
+                        Value::Int(home_branch),
+                        Value::Int(teller),
+                        Value::Int(account),
+                        Value::Float(amount),
+                        Value::Int(ctx.txn.id().0 as i64),
+                    ])
+                },
+            ))
     }
 }
 
@@ -362,40 +279,20 @@ impl Workload for TpcB {
         Ok(())
     }
 
-    fn run_baseline(&self, engine: &dyn ConventionalExecutor, rng: &mut SmallRng) -> TxnOutcome {
-        let (home_branch, _account_branch, account, teller, amount) = self.inputs(rng);
-        let result = engine.execute_txn(&|db, txn| {
-            self.account_update_baseline(db, txn, home_branch, account, teller, amount)
-        });
-        match result {
-            Ok(BaselineOutcome::Committed) => TxnOutcome::Committed,
-            _ => TxnOutcome::Aborted,
-        }
+    fn txn_labels(&self) -> &'static [&'static str] {
+        &[Self::ACCOUNT_UPDATE]
     }
 
-    fn run_dora(&self, engine: &DoraEngine, rng: &mut SmallRng) -> TxnOutcome {
-        let (home_branch, account_branch, account, teller, amount) = self.inputs(rng);
-        let graph = match self.account_update_graph(
-            engine.db(),
-            home_branch,
-            account_branch,
-            account,
-            teller,
-            amount,
-        ) {
-            Ok(graph) => graph,
-            Err(_) => return TxnOutcome::Aborted,
-        };
-        match engine.execute(graph) {
-            Ok(()) => TxnOutcome::Committed,
-            Err(_) => TxnOutcome::Aborted,
-        }
+    fn next_program(&self, db: &Database, rng: &mut SmallRng) -> DbResult<TxnProgram> {
+        let (home_branch, _account_branch, account, teller, amount) = self.inputs(rng);
+        self.account_update_program(db, home_branch, account, teller, amount)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{run_baseline_mix, run_dora_mix};
     use dora_core::DoraConfig;
     use rand::SeedableRng;
     use std::sync::Arc;
@@ -440,13 +337,25 @@ mod tests {
     }
 
     #[test]
+    fn program_has_the_figure4_shape() {
+        let (db, workload) = small_tpcb();
+        let program = workload.account_update_program(&db, 1, 1, 1, 10.0).unwrap();
+        assert_eq!(program.name(), TpcB::ACCOUNT_UPDATE);
+        assert_eq!(program.step_count(), 4);
+        assert_eq!(program.phase_count(), 2);
+        let graph = program.compile_dora();
+        assert_eq!(graph.phase_count(), 2);
+        assert_eq!(graph.actions_in(0), 3);
+        assert_eq!(graph.actions_in(1), 1);
+    }
+
+    #[test]
     fn baseline_preserves_balance_invariant() {
         let (db, workload) = small_tpcb();
-        let engine = crate::spec::TestExecutor::new(Arc::clone(&db));
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..100 {
             assert_eq!(
-                workload.run_baseline(&engine, &mut rng),
+                run_baseline_mix(&workload, &db, &mut rng),
                 TxnOutcome::Committed
             );
         }
@@ -472,7 +381,10 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut rng = SmallRng::seed_from_u64(100 + t);
                     for _ in 0..50 {
-                        assert_eq!(workload.run_dora(&engine, &mut rng), TxnOutcome::Committed);
+                        assert_eq!(
+                            run_dora_mix(workload.as_ref(), &engine, &mut rng),
+                            TxnOutcome::Committed
+                        );
                     }
                 })
             })

@@ -1,10 +1,10 @@
 //! TPC-C: the order-entry benchmark.
 //!
-//! Five transactions over nine tables. The paper's evaluation uses Payment
-//! (the running example of Figure 4 and the access-pattern trace of
-//! Figure 10), OrderStatus (Figures 2b, 5, 6 and 8) and NewOrder (the
-//! intra-transaction-parallelism result of Figure 7); Delivery and StockLevel
-//! complete the mix.
+//! Five transactions over nine tables, each defined exactly once as a
+//! [`TxnProgram`]. The paper's evaluation uses Payment (the running example
+//! of Figure 4 and the access-pattern trace of Figure 10), OrderStatus
+//! (Figures 2b, 5, 6 and 8) and NewOrder (the intra-transaction-parallelism
+//! result of Figure 7); Delivery and StockLevel complete the mix.
 //!
 //! Every table except Item routes on the warehouse id. Item is a read-only
 //! catalog table routed on the item id. The Customer secondary index on
@@ -17,11 +17,11 @@ use std::sync::OnceLock;
 use rand::rngs::SmallRng;
 
 use dora_common::prelude::*;
-use dora_core::{ActionSpec, DoraEngine, FlowGraph, LocalMode};
+use dora_core::{DoraEngine, LocalMode, OnDuplicate, OnMissing, Step, StepCtx, TxnProgram};
 
-use dora_storage::{ColumnDef, Database, IndexSpec, TableSchema, TxnHandle};
+use dora_storage::{ColumnDef, Database, IndexSpec, TableSchema};
 
-use crate::spec::{c_last, chance, nurand, uniform, ConventionalExecutor, Workload};
+use crate::spec::{c_last, chance, nurand, uniform, Workload};
 
 /// Districts per warehouse (fixed by the specification).
 pub const DISTRICTS_PER_WAREHOUSE: i64 = 10;
@@ -80,6 +80,19 @@ impl Tpcc {
     pub const ORDER_STATUS: &'static str = "tpcc-order-status";
     /// Label for the NewOrder transaction.
     pub const NEW_ORDER: &'static str = "tpcc-new-order";
+    /// Label for the Delivery transaction.
+    pub const DELIVERY: &'static str = "tpcc-delivery";
+    /// Label for the StockLevel transaction.
+    pub const STOCK_LEVEL: &'static str = "tpcc-stock-level";
+
+    /// All five transaction-type labels.
+    pub const ALL_LABELS: [&'static str; 5] = [
+        Self::NEW_ORDER,
+        Self::PAYMENT,
+        Self::ORDER_STATUS,
+        Self::DELIVERY,
+        Self::STOCK_LEVEL,
+    ];
 
     /// Creates a TPC-C workload with full-size districts (3 000 customers)
     /// and a 10 000-item catalog.
@@ -159,137 +172,62 @@ impl Tpcc {
 
     /// Resolves a customer either by id or (60% of the time, as in the
     /// Payment specification) by last name through the secondary index,
-    /// returning its (rid, c_id).
-    #[allow(clippy::too_many_arguments)]
+    /// returning its (rid, c_id). The concurrency-control mode comes from
+    /// the step context, so the same code serves both compilations.
     fn resolve_customer(
-        &self,
-        db: &Database,
-        txn: &TxnHandle,
         tables: &TpccTables,
+        ctx: &StepCtx<'_>,
         w_id: i64,
         d_id: i64,
-        by_name: Option<&str>,
-        c_id: i64,
-        cc: CcMode,
+        customer: &CustomerSelector,
     ) -> DbResult<(Rid, i64)> {
-        if let Some(last) = by_name {
-            let hits = db.probe_secondary(
-                txn,
-                tables.customer_by_name,
-                &Key::from_values([Value::Int(w_id), Value::Int(d_id), Value::Text(last.into())]),
-                cc,
-            )?;
-            // The specification picks the middle customer of the sorted
-            // matches; entries are already grouped under one key.
-            let Some(entry) = hits.get(hits.len() / 2) else {
-                return Err(DbError::TxnAborted {
-                    txn: txn.id(),
-                    reason: "no customer with last name".into(),
-                });
-            };
-            let row = db.read_rid(txn, tables.customer, entry.rid, false, cc)?;
-            Ok((entry.rid, row[2].as_int()?))
-        } else {
-            match db.probe_primary(
-                txn,
-                tables.customer,
-                &Key::int3(w_id, d_id, c_id),
-                false,
-                cc,
-            )? {
-                Some((rid, _)) => Ok((rid, c_id)),
-                None => Err(DbError::TxnAborted {
-                    txn: txn.id(),
-                    reason: "no such customer".into(),
-                }),
+        match customer {
+            CustomerSelector::ByLastName(last) => {
+                let hits = ctx.db.probe_secondary(
+                    ctx.txn,
+                    tables.customer_by_name,
+                    &Key::from_values([
+                        Value::Int(w_id),
+                        Value::Int(d_id),
+                        Value::Text(last.clone()),
+                    ]),
+                    ctx.cc(),
+                )?;
+                // The specification picks the middle customer of the sorted
+                // matches; entries are already grouped under one key.
+                let Some(entry) = hits.get(hits.len() / 2) else {
+                    return Err(ctx.abort("no customer with last name"));
+                };
+                let row = ctx
+                    .db
+                    .read_rid(ctx.txn, tables.customer, entry.rid, false, ctx.cc())?;
+                Ok((entry.rid, row[2].as_int()?))
+            }
+            CustomerSelector::ById(c_id) => {
+                match ctx.db.probe_primary(
+                    ctx.txn,
+                    tables.customer,
+                    &Key::int3(w_id, d_id, *c_id),
+                    false,
+                    ctx.cc(),
+                )? {
+                    Some((rid, _)) => Ok((rid, *c_id)),
+                    None => Err(ctx.abort("no such customer")),
+                }
             }
         }
     }
 
     // ----- Payment -----------------------------------------------------------
 
-    /// Baseline body of the Payment transaction.
+    /// The Payment transaction, defined once — exactly Figure 4: phase one
+    /// updates the Warehouse, District and Customer (the customer possibly
+    /// on a remote warehouse's executor, which DORA handles by simply
+    /// routing that step elsewhere), an RVP, then phase two inserts the
+    /// History record (whose insert still takes a centralized row lock under
+    /// DORA, Section 4.2.1).
     #[allow(clippy::too_many_arguments)]
-    pub fn payment_baseline(
-        &self,
-        db: &Database,
-        txn: &TxnHandle,
-        w_id: i64,
-        d_id: i64,
-        c_w_id: i64,
-        c_d_id: i64,
-        customer: CustomerSelector,
-        amount: f64,
-    ) -> DbResult<()> {
-        let tables = self.tables(db)?;
-        db.update_primary(
-            txn,
-            tables.warehouse,
-            &Key::int(w_id),
-            CcMode::Full,
-            |row| {
-                let ytd = row[2].as_float()?;
-                row[2] = Value::Float(ytd + amount);
-                Ok(())
-            },
-        )?;
-        db.update_primary(
-            txn,
-            tables.district,
-            &Key::int2(w_id, d_id),
-            CcMode::Full,
-            |row| {
-                let ytd = row[3].as_float()?;
-                row[3] = Value::Float(ytd + amount);
-                Ok(())
-            },
-        )?;
-        let (customer_rid, c_id) = match &customer {
-            CustomerSelector::ById(c_id) => {
-                self.resolve_customer(db, txn, &tables, c_w_id, c_d_id, None, *c_id, CcMode::Full)?
-            }
-            CustomerSelector::ByLastName(last) => self.resolve_customer(
-                db,
-                txn,
-                &tables,
-                c_w_id,
-                c_d_id,
-                Some(last),
-                0,
-                CcMode::Full,
-            )?,
-        };
-        db.update_rid(txn, tables.customer, customer_rid, CcMode::Full, |row| {
-            let balance = row[4].as_float()?;
-            let ytd = row[5].as_float()?;
-            let count = row[6].as_int()?;
-            row[4] = Value::Float(balance - amount);
-            row[5] = Value::Float(ytd + amount);
-            row[6] = Value::Int(count + 1);
-            Ok(())
-        })?;
-        db.insert(
-            txn,
-            tables.history,
-            vec![
-                Value::Int(w_id),
-                Value::Int(d_id),
-                Value::Int(c_id),
-                Value::Float(amount),
-                Value::Int(txn.id().0 as i64),
-            ],
-            CcMode::Full,
-        )?;
-        Ok(())
-    }
-
-    /// DORA flow graph of Payment — exactly Figure 4: phase one updates the
-    /// Warehouse, District and Customer (the customer possibly on a remote
-    /// warehouse's executor, which DORA handles by simply routing that action
-    /// elsewhere), an RVP, then phase two inserts the History record (whose
-    /// insert still takes a centralized row lock, Section 4.2.1).
-    #[allow(clippy::too_many_arguments)]
-    pub fn payment_graph(
+    pub fn payment_program(
         &self,
         db: &Database,
         w_id: i64,
@@ -298,926 +236,505 @@ impl Tpcc {
         c_d_id: i64,
         customer: CustomerSelector,
         amount: f64,
-    ) -> DbResult<FlowGraph> {
+    ) -> DbResult<TxnProgram> {
         let tables = self.tables(db)?;
-        let this = self.clone_for_graph();
-        let warehouse_action = ActionSpec::new(
-            "payment-warehouse",
-            tables.warehouse,
-            Key::int(w_id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                ctx.db.update_primary(
-                    ctx.txn,
-                    tables.warehouse,
-                    &Key::int(w_id),
-                    CcMode::None,
-                    |row| {
-                        let ytd = row[2].as_float()?;
-                        row[2] = Value::Float(ytd + amount);
-                        Ok(())
-                    },
-                )
-            },
-        );
-        let district_action = ActionSpec::new(
-            "payment-district",
-            tables.district,
-            Key::int2(w_id, d_id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                ctx.db.update_primary(
-                    ctx.txn,
-                    tables.district,
-                    &Key::int2(w_id, d_id),
-                    CcMode::None,
-                    |row| {
-                        let ytd = row[3].as_float()?;
-                        row[3] = Value::Float(ytd + amount);
-                        Ok(())
-                    },
-                )
-            },
-        );
-        let customer_action = ActionSpec::new(
-            "payment-customer",
-            tables.customer,
-            Key::int2(c_w_id, c_d_id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                let (rid, c_id) = match &customer {
-                    CustomerSelector::ById(c_id) => this.resolve_customer(
-                        ctx.db,
-                        ctx.txn,
-                        &tables,
-                        c_w_id,
-                        c_d_id,
-                        None,
-                        *c_id,
-                        CcMode::None,
-                    )?,
-                    CustomerSelector::ByLastName(last) => this.resolve_customer(
-                        ctx.db,
-                        ctx.txn,
-                        &tables,
-                        c_w_id,
-                        c_d_id,
-                        Some(last),
-                        0,
-                        CcMode::None,
-                    )?,
-                };
-                ctx.db
-                    .update_rid(ctx.txn, tables.customer, rid, CcMode::None, |row| {
-                        let balance = row[4].as_float()?;
-                        let ytd = row[5].as_float()?;
-                        let count = row[6].as_int()?;
-                        row[4] = Value::Float(balance - amount);
-                        row[5] = Value::Float(ytd + amount);
-                        row[6] = Value::Int(count + 1);
-                        Ok(())
-                    })?;
-                ctx.scratch.put("c_id", c_id);
-                Ok(())
-            },
-        );
-        let history_action = ActionSpec::new(
-            "payment-history",
-            tables.history,
-            Key::int(w_id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                let c_id = ctx.scratch.get_int("c_id")?;
-                ctx.db
-                    .insert(
-                        ctx.txn,
-                        tables.history,
-                        vec![
-                            Value::Int(w_id),
-                            Value::Int(d_id),
-                            Value::Int(c_id),
-                            Value::Float(amount),
-                            Value::Int(ctx.txn.id().0 as i64),
-                        ],
-                        CcMode::RowOnly,
-                    )
-                    .map(|_| ())
-            },
-        );
-        Ok(FlowGraph::new()
-            .phase_with(vec![warehouse_action, district_action, customer_action])
-            .phase_with(vec![history_action]))
+        Ok(TxnProgram::new(Self::PAYMENT)
+            .update(
+                "payment-warehouse",
+                tables.warehouse,
+                Key::int(w_id),
+                Key::int(w_id),
+                OnMissing::Error,
+                move |_ctx, row| {
+                    let ytd = row[2].as_float()?;
+                    row[2] = Value::Float(ytd + amount);
+                    Ok(())
+                },
+            )
+            .update(
+                "payment-district",
+                tables.district,
+                Key::int2(w_id, d_id),
+                Key::int2(w_id, d_id),
+                OnMissing::Error,
+                move |_ctx, row| {
+                    let ytd = row[3].as_float()?;
+                    row[3] = Value::Float(ytd + amount);
+                    Ok(())
+                },
+            )
+            .custom(
+                "payment-customer",
+                tables.customer,
+                Key::int2(c_w_id, c_d_id),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    let (rid, c_id) =
+                        Self::resolve_customer(&tables, ctx, c_w_id, c_d_id, &customer)?;
+                    ctx.db
+                        .update_rid(ctx.txn, tables.customer, rid, ctx.cc(), |row| {
+                            let balance = row[4].as_float()?;
+                            let ytd = row[5].as_float()?;
+                            let count = row[6].as_int()?;
+                            row[4] = Value::Float(balance - amount);
+                            row[5] = Value::Float(ytd + amount);
+                            row[6] = Value::Int(count + 1);
+                            Ok(())
+                        })?;
+                    ctx.scratch.put("c_id", c_id);
+                    Ok(())
+                },
+            )
+            .rvp()
+            .insert(
+                "payment-history",
+                tables.history,
+                Key::int(w_id),
+                OnDuplicate::Error,
+                move |ctx| {
+                    let c_id = ctx.scratch.get_int("c_id")?;
+                    Ok(vec![
+                        Value::Int(w_id),
+                        Value::Int(d_id),
+                        Value::Int(c_id),
+                        Value::Float(amount),
+                        Value::Int(ctx.txn.id().0 as i64),
+                    ])
+                },
+            ))
     }
 
     // ----- OrderStatus -------------------------------------------------------
 
-    /// Baseline body of OrderStatus.
-    pub fn order_status_baseline(
+    /// The OrderStatus transaction: read the customer, then (after an RVP)
+    /// the latest order, then its order lines — three phases chained by data
+    /// dependencies, all of whose steps are routable because every
+    /// identifier starts with the warehouse id.
+    pub fn order_status_program(
         &self,
         db: &Database,
-        txn: &TxnHandle,
         w_id: i64,
         d_id: i64,
         customer: CustomerSelector,
-    ) -> DbResult<()> {
+    ) -> DbResult<TxnProgram> {
         let tables = self.tables(db)?;
-        let (_, c_id) = match &customer {
-            CustomerSelector::ById(c_id) => {
-                self.resolve_customer(db, txn, &tables, w_id, d_id, None, *c_id, CcMode::Full)?
-            }
-            CustomerSelector::ByLastName(last) => {
-                self.resolve_customer(db, txn, &tables, w_id, d_id, Some(last), 0, CcMode::Full)?
-            }
-        };
-        let orders = db.probe_secondary(
-            txn,
-            tables.orders_by_customer,
-            &Key::int3(w_id, d_id, c_id),
-            CcMode::Full,
-        )?;
-        let Some(latest) = orders.iter().map(|e| e.rid).max_by_key(|rid| rid.pack()) else {
-            return Err(DbError::TxnAborted {
-                txn: txn.id(),
-                reason: "customer has no orders".into(),
-            });
-        };
-        let order = db.read_rid(txn, tables.orders, latest, false, CcMode::Full)?;
-        let o_id = order[2].as_int()?;
-        let lines = db.probe_secondary(
-            txn,
-            tables.orders_by_customer,
-            &Key::int3(w_id, d_id, c_id),
-            CcMode::Full,
-        )?;
-        let _ = lines;
-        // Read every order line of the latest order.
-        let mut line_number = 1;
-        while db
-            .probe_primary(
-                txn,
+        Ok(TxnProgram::new(Self::ORDER_STATUS)
+            .custom(
+                "orderstatus-customer",
+                tables.customer,
+                Key::int2(w_id, d_id),
+                LocalMode::Shared,
+                move |ctx| {
+                    let (_, c_id) = Self::resolve_customer(&tables, ctx, w_id, d_id, &customer)?;
+                    ctx.scratch.put("c_id", c_id);
+                    Ok(())
+                },
+            )
+            .rvp()
+            .custom(
+                "orderstatus-order",
+                tables.orders,
+                Key::int2(w_id, d_id),
+                LocalMode::Shared,
+                move |ctx| {
+                    let c_id = ctx.scratch.get_int("c_id")?;
+                    let orders = ctx.db.probe_secondary(
+                        ctx.txn,
+                        tables.orders_by_customer,
+                        &Key::int3(w_id, d_id, c_id),
+                        ctx.cc(),
+                    )?;
+                    let Some(latest) = orders.iter().map(|e| e.rid).max_by_key(|rid| rid.pack())
+                    else {
+                        return Err(ctx.abort("customer has no orders"));
+                    };
+                    let order = ctx
+                        .db
+                        .read_rid(ctx.txn, tables.orders, latest, false, ctx.cc())?;
+                    ctx.scratch.put("o_id", order[2].as_int()?);
+                    Ok(())
+                },
+            )
+            .rvp()
+            .custom(
+                "orderstatus-orderlines",
                 tables.order_line,
-                &Key::from_values([w_id, d_id, o_id, line_number]),
-                false,
-                CcMode::Full,
-            )?
-            .is_some()
-        {
-            line_number += 1;
-        }
-        Ok(())
-    }
-
-    /// DORA flow graph of OrderStatus: read the customer, then (after the
-    /// RVP) the latest order, then its order lines — three phases, all of
-    /// whose actions are routable because every identifier starts with the
-    /// warehouse id.
-    pub fn order_status_graph(
-        &self,
-        db: &Database,
-        w_id: i64,
-        d_id: i64,
-        customer: CustomerSelector,
-    ) -> DbResult<FlowGraph> {
-        let tables = self.tables(db)?;
-        let this = self.clone_for_graph();
-        let customer_action = ActionSpec::new(
-            "orderstatus-customer",
-            tables.customer,
-            Key::int2(w_id, d_id),
-            LocalMode::Shared,
-            move |ctx| {
-                let (_, c_id) = match &customer {
-                    CustomerSelector::ById(c_id) => this.resolve_customer(
-                        ctx.db,
-                        ctx.txn,
-                        &tables,
-                        w_id,
-                        d_id,
-                        None,
-                        *c_id,
-                        CcMode::None,
-                    )?,
-                    CustomerSelector::ByLastName(last) => this.resolve_customer(
-                        ctx.db,
-                        ctx.txn,
-                        &tables,
-                        w_id,
-                        d_id,
-                        Some(last),
-                        0,
-                        CcMode::None,
-                    )?,
-                };
-                ctx.scratch.put("c_id", c_id);
-                Ok(())
-            },
-        );
-        let order_action = ActionSpec::new(
-            "orderstatus-order",
-            tables.orders,
-            Key::int2(w_id, d_id),
-            LocalMode::Shared,
-            move |ctx| {
-                let c_id = ctx.scratch.get_int("c_id")?;
-                let orders = ctx.db.probe_secondary(
-                    ctx.txn,
-                    tables.orders_by_customer,
-                    &Key::int3(w_id, d_id, c_id),
-                    CcMode::None,
-                )?;
-                let Some(latest) = orders.iter().map(|e| e.rid).max_by_key(|rid| rid.pack()) else {
-                    return Err(DbError::TxnAborted {
-                        txn: ctx.txn.id(),
-                        reason: "customer has no orders".into(),
-                    });
-                };
-                let order = ctx
-                    .db
-                    .read_rid(ctx.txn, tables.orders, latest, false, CcMode::None)?;
-                ctx.scratch.put("o_id", order[2].as_int()?);
-                Ok(())
-            },
-        );
-        let lines_action = ActionSpec::new(
-            "orderstatus-orderlines",
-            tables.order_line,
-            Key::int2(w_id, d_id),
-            LocalMode::Shared,
-            move |ctx| {
-                let o_id = ctx.scratch.get_int("o_id")?;
-                let mut line_number = 1;
-                while ctx
-                    .db
-                    .probe_primary(
-                        ctx.txn,
-                        tables.order_line,
-                        &Key::from_values([w_id, d_id, o_id, line_number]),
-                        false,
-                        CcMode::None,
-                    )?
-                    .is_some()
-                {
-                    line_number += 1;
-                }
-                Ok(())
-            },
-        );
-        Ok(FlowGraph::new()
-            .phase_with(vec![customer_action])
-            .phase_with(vec![order_action])
-            .phase_with(vec![lines_action]))
+                Key::int2(w_id, d_id),
+                LocalMode::Shared,
+                move |ctx| {
+                    let o_id = ctx.scratch.get_int("o_id")?;
+                    let mut line_number = 1;
+                    while ctx
+                        .db
+                        .probe_primary(
+                            ctx.txn,
+                            tables.order_line,
+                            &Key::from_values([w_id, d_id, o_id, line_number]),
+                            false,
+                            ctx.cc(),
+                        )?
+                        .is_some()
+                    {
+                        line_number += 1;
+                    }
+                    Ok(())
+                },
+            ))
     }
 
     // ----- NewOrder ----------------------------------------------------------
 
-    /// Baseline body of NewOrder. `items` is the order's item list
+    /// The NewOrder transaction. `items` is the order's item list
     /// (item id, quantity); an invalid item id aborts the whole transaction
     /// (as ~1% of generated NewOrders do, per the specification).
-    pub fn new_order_baseline(
-        &self,
-        db: &Database,
-        txn: &TxnHandle,
-        w_id: i64,
-        d_id: i64,
-        c_id: i64,
-        items: &[(i64, i64)],
-    ) -> DbResult<()> {
-        let tables = self.tables(db)?;
-        if db
-            .probe_primary(
-                txn,
-                tables.customer,
-                &Key::int3(w_id, d_id, c_id),
-                false,
-                CcMode::Full,
-            )?
-            .is_none()
-        {
-            return Err(DbError::TxnAborted {
-                txn: txn.id(),
-                reason: "no such customer".into(),
-            });
-        }
-        // Validate the items up front; an unknown item aborts.
-        let mut prices = Vec::with_capacity(items.len());
-        for (item_id, _) in items {
-            match db.probe_primary(txn, tables.item, &Key::int(*item_id), false, CcMode::Full)? {
-                Some((_, row)) => prices.push(row[2].as_float()?),
-                None => {
-                    return Err(DbError::TxnAborted {
-                        txn: txn.id(),
-                        reason: "unused item id".into(),
-                    })
-                }
-            }
-        }
-        let mut o_id = 0;
-        db.update_primary(
-            txn,
-            tables.district,
-            &Key::int2(w_id, d_id),
-            CcMode::Full,
-            |row| {
-                o_id = row[4].as_int()?;
-                row[4] = Value::Int(o_id + 1);
-                Ok(())
-            },
-        )?;
-        db.insert(
-            txn,
-            tables.orders,
-            vec![
-                Value::Int(w_id),
-                Value::Int(d_id),
-                Value::Int(o_id),
-                Value::Int(c_id),
-                Value::Int(0),
-                Value::Int(items.len() as i64),
-            ],
-            CcMode::Full,
-        )?;
-        db.insert(
-            txn,
-            tables.new_order,
-            vec![Value::Int(w_id), Value::Int(d_id), Value::Int(o_id)],
-            CcMode::Full,
-        )?;
-        for (number, ((item_id, quantity), price)) in items.iter().zip(prices.iter()).enumerate() {
-            db.update_primary(
-                txn,
-                tables.stock,
-                &Key::int2(w_id, *item_id),
-                CcMode::Full,
-                |row| {
-                    let quantity_now = row[2].as_int()?;
-                    let new_quantity = if quantity_now >= quantity + 10 {
-                        quantity_now - quantity
-                    } else {
-                        quantity_now + 91 - quantity
-                    };
-                    row[2] = Value::Int(new_quantity);
-                    row[3] = Value::Int(row[3].as_int()? + quantity);
-                    row[4] = Value::Int(row[4].as_int()? + 1);
-                    Ok(())
-                },
-            )?;
-            db.insert(
-                txn,
-                tables.order_line,
-                vec![
-                    Value::Int(w_id),
-                    Value::Int(d_id),
-                    Value::Int(o_id),
-                    Value::Int(number as i64 + 1),
-                    Value::Int(*item_id),
-                    Value::Int(*quantity),
-                    Value::Float(price * *quantity as f64),
-                ],
-                CcMode::Full,
-            )?;
-        }
-        Ok(())
-    }
-
-    /// DORA flow graph of NewOrder: phase one reads the customer and items
-    /// (item actions route on the item id) and advances the district's order
-    /// counter; phase two inserts the order, the new-order entry and the
-    /// order lines and updates the stock. The inserts take centralized row
-    /// locks (`CcMode::RowOnly`).
-    pub fn new_order_graph(
+    ///
+    /// Phase one reads the customer and the items (item steps route on the
+    /// item id — under DORA they fan out to the Item table's executors) and
+    /// advances the district's order counter; phase two inserts the order,
+    /// the new-order entry and the order lines and updates the stock.
+    pub fn new_order_program(
         &self,
         db: &Database,
         w_id: i64,
         d_id: i64,
         c_id: i64,
         items: Vec<(i64, i64)>,
-    ) -> DbResult<FlowGraph> {
+    ) -> DbResult<TxnProgram> {
         let tables = self.tables(db)?;
-        let customer_action = ActionSpec::new(
-            "neworder-customer",
-            tables.customer,
-            Key::int2(w_id, d_id),
-            LocalMode::Shared,
-            move |ctx| {
-                if ctx
-                    .db
-                    .probe_primary(
-                        ctx.txn,
-                        tables.customer,
-                        &Key::int3(w_id, d_id, c_id),
-                        false,
-                        CcMode::None,
-                    )?
-                    .is_none()
-                {
-                    return Err(DbError::TxnAborted {
-                        txn: ctx.txn.id(),
-                        reason: "no such customer".into(),
-                    });
-                }
-                Ok(())
-            },
-        );
-        let district_action = ActionSpec::new(
-            "neworder-district",
-            tables.district,
-            Key::int2(w_id, d_id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                let mut o_id = 0;
-                ctx.db.update_primary(
-                    ctx.txn,
-                    tables.district,
-                    &Key::int2(w_id, d_id),
-                    CcMode::None,
-                    |row| {
-                        o_id = row[4].as_int()?;
-                        row[4] = Value::Int(o_id + 1);
-                        Ok(())
-                    },
-                )?;
-                ctx.scratch.put("o_id", o_id);
-                Ok(())
-            },
-        );
-        let mut phase_one = vec![customer_action, district_action];
-        // One read-only action per distinct item, routed on the item id.
+        let mut program = TxnProgram::new(Self::NEW_ORDER)
+            .read(
+                "neworder-customer",
+                tables.customer,
+                Key::int2(w_id, d_id),
+                Key::int3(w_id, d_id, c_id),
+                OnMissing::Abort("no such customer"),
+                |_ctx, _row| Ok(()),
+            )
+            .update(
+                "neworder-district",
+                tables.district,
+                Key::int2(w_id, d_id),
+                Key::int2(w_id, d_id),
+                OnMissing::Error,
+                |ctx, row| {
+                    let o_id = row[4].as_int()?;
+                    row[4] = Value::Int(o_id + 1);
+                    ctx.scratch.put("o_id", o_id);
+                    Ok(())
+                },
+            );
+        // One read-only step per item, routed on the item id.
         for (index, (item_id, _)) in items.iter().enumerate() {
             let item_id = *item_id;
             let slot = format!("price_{index}");
-            phase_one.push(ActionSpec::new(
+            program = program.step(Step::read(
                 "neworder-item",
                 tables.item,
                 Key::int(item_id),
-                LocalMode::Shared,
-                move |ctx| match ctx.db.probe_primary(
-                    ctx.txn,
-                    tables.item,
-                    &Key::int(item_id),
-                    false,
-                    CcMode::None,
-                )? {
-                    Some((_, row)) => {
-                        ctx.scratch.put(&slot, row[2].as_float()?);
-                        Ok(())
-                    }
-                    None => Err(DbError::TxnAborted {
-                        txn: ctx.txn.id(),
-                        reason: "unused item id".into(),
-                    }),
+                Key::int(item_id),
+                OnMissing::Abort("unused item id"),
+                move |ctx, row| {
+                    ctx.scratch.put(&slot, row[2].as_float()?);
+                    Ok(())
                 },
             ));
         }
 
         // Phase two: all the inserts plus the stock updates, grouped per
-        // table into merged actions keyed by the warehouse.
+        // table into merged steps keyed by the warehouse (consecutive
+        // actions with the same identifier can be merged, Section 4.1.2).
         let items_for_stock = items.clone();
-        let stock_action = ActionSpec::new(
-            "neworder-stock",
-            tables.stock,
-            Key::int(w_id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                for (item_id, quantity) in &items_for_stock {
-                    ctx.db.update_primary(
-                        ctx.txn,
-                        tables.stock,
-                        &Key::int2(w_id, *item_id),
-                        CcMode::None,
-                        |row| {
-                            let quantity_now = row[2].as_int()?;
-                            let new_quantity = if quantity_now >= quantity + 10 {
-                                quantity_now - quantity
-                            } else {
-                                quantity_now + 91 - quantity
-                            };
-                            row[2] = Value::Int(new_quantity);
-                            row[3] = Value::Int(row[3].as_int()? + quantity);
-                            row[4] = Value::Int(row[4].as_int()? + 1);
-                            Ok(())
-                        },
-                    )?;
-                }
-                Ok(())
-            },
-        );
-        let item_count = items.len();
-        let orders_action = ActionSpec::new(
-            "neworder-orders",
-            tables.orders,
-            Key::int(w_id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                let o_id = ctx.scratch.get_int("o_id")?;
-                ctx.db
-                    .insert(
-                        ctx.txn,
-                        tables.orders,
-                        vec![
-                            Value::Int(w_id),
-                            Value::Int(d_id),
-                            Value::Int(o_id),
-                            Value::Int(c_id),
-                            Value::Int(0),
-                            Value::Int(item_count as i64),
-                        ],
-                        CcMode::RowOnly,
-                    )
-                    .map(|_| ())
-            },
-        );
-        let new_order_action = ActionSpec::new(
-            "neworder-newordertab",
-            tables.new_order,
-            Key::int(w_id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                let o_id = ctx.scratch.get_int("o_id")?;
-                ctx.db
-                    .insert(
-                        ctx.txn,
-                        tables.new_order,
-                        vec![Value::Int(w_id), Value::Int(d_id), Value::Int(o_id)],
-                        CcMode::RowOnly,
-                    )
-                    .map(|_| ())
-            },
-        );
         let items_for_lines = items.clone();
-        let order_line_action = ActionSpec::new(
-            "neworder-orderlines",
-            tables.order_line,
-            Key::int(w_id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                let o_id = ctx.scratch.get_int("o_id")?;
-                for (number, (item_id, quantity)) in items_for_lines.iter().enumerate() {
-                    let price = ctx.scratch.get_float(&format!("price_{number}"))?;
-                    ctx.db.insert(
-                        ctx.txn,
-                        tables.order_line,
-                        vec![
-                            Value::Int(w_id),
-                            Value::Int(d_id),
-                            Value::Int(o_id),
-                            Value::Int(number as i64 + 1),
-                            Value::Int(*item_id),
-                            Value::Int(*quantity),
-                            Value::Float(price * *quantity as f64),
-                        ],
-                        CcMode::RowOnly,
-                    )?;
-                }
-                Ok(())
-            },
-        );
-        Ok(FlowGraph::new().phase_with(phase_one).phase_with(vec![
-            stock_action,
-            orders_action,
-            new_order_action,
-            order_line_action,
-        ]))
+        let item_count = items.len();
+        Ok(program
+            .rvp()
+            .custom(
+                "neworder-stock",
+                tables.stock,
+                Key::int(w_id),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    for (item_id, quantity) in &items_for_stock {
+                        ctx.db.update_primary(
+                            ctx.txn,
+                            tables.stock,
+                            &Key::int2(w_id, *item_id),
+                            ctx.cc(),
+                            |row| {
+                                let quantity_now = row[2].as_int()?;
+                                let new_quantity = if quantity_now >= quantity + 10 {
+                                    quantity_now - quantity
+                                } else {
+                                    quantity_now + 91 - quantity
+                                };
+                                row[2] = Value::Int(new_quantity);
+                                row[3] = Value::Int(row[3].as_int()? + quantity);
+                                row[4] = Value::Int(row[4].as_int()? + 1);
+                                Ok(())
+                            },
+                        )?;
+                    }
+                    Ok(())
+                },
+            )
+            .insert(
+                "neworder-orders",
+                tables.orders,
+                Key::int(w_id),
+                OnDuplicate::Error,
+                move |ctx| {
+                    let o_id = ctx.scratch.get_int("o_id")?;
+                    Ok(vec![
+                        Value::Int(w_id),
+                        Value::Int(d_id),
+                        Value::Int(o_id),
+                        Value::Int(c_id),
+                        Value::Int(0),
+                        Value::Int(item_count as i64),
+                    ])
+                },
+            )
+            .insert(
+                "neworder-newordertab",
+                tables.new_order,
+                Key::int(w_id),
+                OnDuplicate::Error,
+                move |ctx| {
+                    let o_id = ctx.scratch.get_int("o_id")?;
+                    Ok(vec![Value::Int(w_id), Value::Int(d_id), Value::Int(o_id)])
+                },
+            )
+            .custom(
+                "neworder-orderlines",
+                tables.order_line,
+                Key::int(w_id),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    let o_id = ctx.scratch.get_int("o_id")?;
+                    for (number, (item_id, quantity)) in items_for_lines.iter().enumerate() {
+                        let price = ctx.scratch.get_float(&format!("price_{number}"))?;
+                        ctx.db.insert(
+                            ctx.txn,
+                            tables.order_line,
+                            vec![
+                                Value::Int(w_id),
+                                Value::Int(d_id),
+                                Value::Int(o_id),
+                                Value::Int(number as i64 + 1),
+                                Value::Int(*item_id),
+                                Value::Int(*quantity),
+                                Value::Float(price * *quantity as f64),
+                            ],
+                            ctx.write_cc(),
+                        )?;
+                    }
+                    Ok(())
+                },
+            ))
     }
 
     // ----- Delivery ----------------------------------------------------------
 
-    /// Baseline body of Delivery: for every district of the warehouse,
-    /// deliver the oldest undelivered order.
-    pub fn delivery_baseline(
-        &self,
-        db: &Database,
-        txn: &TxnHandle,
-        w_id: i64,
-        carrier: i64,
-    ) -> DbResult<()> {
+    /// The Delivery transaction: for every district of the warehouse,
+    /// deliver the oldest undelivered order. All steps are keyed by the
+    /// warehouse, so the per-district loops are merged into one step per
+    /// table, chained by RVPs for the data dependencies.
+    pub fn delivery_program(&self, db: &Database, w_id: i64, carrier: i64) -> DbResult<TxnProgram> {
         let tables = self.tables(db)?;
-        for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
-            // Oldest new-order entry for the district.
-            let mut oldest: Option<i64> = None;
-            db.scan_table(txn, tables.new_order, CcMode::Full, |_, row| {
-                if row[0] == Value::Int(w_id) && row[1] == Value::Int(d_id) {
-                    let o_id = row[2].as_int().unwrap_or(i64::MAX);
-                    oldest = Some(oldest.map_or(o_id, |current: i64| current.min(o_id)));
-                }
-            })?;
-            let Some(o_id) = oldest else { continue };
-            db.delete_primary(
-                txn,
+        Ok(TxnProgram::new(Self::DELIVERY)
+            .custom(
+                "delivery-neworder",
                 tables.new_order,
-                &Key::int3(w_id, d_id, o_id),
-                CcMode::Full,
-            )?;
-            let mut c_id = 0;
-            db.update_primary(
-                txn,
+                Key::int(w_id),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
+                        let mut oldest: Option<i64> = None;
+                        ctx.db
+                            .scan_table(ctx.txn, tables.new_order, ctx.cc(), |_, row| {
+                                if row[0] == Value::Int(w_id) && row[1] == Value::Int(d_id) {
+                                    let o_id = row[2].as_int().unwrap_or(i64::MAX);
+                                    oldest =
+                                        Some(oldest.map_or(o_id, |current: i64| current.min(o_id)));
+                                }
+                            })?;
+                        if let Some(o_id) = oldest {
+                            ctx.db.delete_primary(
+                                ctx.txn,
+                                tables.new_order,
+                                &Key::int3(w_id, d_id, o_id),
+                                ctx.write_cc(),
+                            )?;
+                            ctx.scratch.put(&format!("deliver_{d_id}"), o_id);
+                        }
+                    }
+                    Ok(())
+                },
+            )
+            .rvp()
+            .custom(
+                "delivery-orders",
                 tables.orders,
-                &Key::int3(w_id, d_id, o_id),
-                CcMode::Full,
-                |row| {
-                    c_id = row[3].as_int()?;
-                    row[4] = Value::Int(carrier);
-                    Ok(())
-                },
-            )?;
-            // Sum the order's lines.
-            let mut amount = 0.0;
-            let mut line_number = 1;
-            while let Some((_, row)) = db.probe_primary(
-                txn,
-                tables.order_line,
-                &Key::from_values([w_id, d_id, o_id, line_number]),
-                false,
-                CcMode::Full,
-            )? {
-                amount += row[6].as_float()?;
-                line_number += 1;
-            }
-            db.update_primary(
-                txn,
-                tables.customer,
-                &Key::int3(w_id, d_id, c_id),
-                CcMode::Full,
-                |row| {
-                    row[4] = Value::Float(row[4].as_float()? + amount);
-                    row[7] = Value::Int(row[7].as_int()? + 1);
-                    Ok(())
-                },
-            )?;
-        }
-        Ok(())
-    }
-
-    /// DORA flow graph of Delivery. All actions are keyed by the warehouse,
-    /// so the per-district loops are merged into one action per table
-    /// (consecutive actions with the same identifier can be merged,
-    /// Section 4.1.2).
-    pub fn delivery_graph(&self, db: &Database, w_id: i64, carrier: i64) -> DbResult<FlowGraph> {
-        let tables = self.tables(db)?;
-        let new_order_action = ActionSpec::new(
-            "delivery-neworder",
-            tables.new_order,
-            Key::int(w_id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
-                    let mut oldest: Option<i64> = None;
-                    ctx.db
-                        .scan_table(ctx.txn, tables.new_order, CcMode::None, |_, row| {
-                            if row[0] == Value::Int(w_id) && row[1] == Value::Int(d_id) {
-                                let o_id = row[2].as_int().unwrap_or(i64::MAX);
-                                oldest =
-                                    Some(oldest.map_or(o_id, |current: i64| current.min(o_id)));
-                            }
-                        })?;
-                    if let Some(o_id) = oldest {
-                        ctx.db.delete_primary(
+                Key::int(w_id),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
+                        let Some(o_id) = ctx.scratch.get(&format!("deliver_{d_id}")) else {
+                            continue;
+                        };
+                        let o_id = o_id.as_int()?;
+                        let mut c_id = 0;
+                        ctx.db.update_primary(
                             ctx.txn,
-                            tables.new_order,
+                            tables.orders,
                             &Key::int3(w_id, d_id, o_id),
-                            CcMode::RowOnly,
+                            ctx.cc(),
+                            |row| {
+                                c_id = row[3].as_int()?;
+                                row[4] = Value::Int(carrier);
+                                Ok(())
+                            },
                         )?;
-                        ctx.scratch.put(&format!("deliver_{d_id}"), o_id);
+                        ctx.scratch.put(&format!("customer_{d_id}"), c_id);
+                        // Sum the order lines while we are here (the same
+                        // warehouse executor owns them under the same routing
+                        // field, but they belong to another table; keep the
+                        // sum simple by reading through the order_line
+                        // primary key).
+                        let mut amount = 0.0;
+                        let mut line_number = 1;
+                        while let Some((_, row)) = ctx.db.probe_primary(
+                            ctx.txn,
+                            tables.order_line,
+                            &Key::from_values([w_id, d_id, o_id, line_number]),
+                            false,
+                            ctx.cc(),
+                        )? {
+                            amount += row[6].as_float()?;
+                            line_number += 1;
+                        }
+                        ctx.scratch.put(&format!("amount_{d_id}"), amount);
                     }
-                }
-                Ok(())
-            },
-        );
-        let orders_action = ActionSpec::new(
-            "delivery-orders",
-            tables.orders,
-            Key::int(w_id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
-                    let Some(o_id) = ctx.scratch.get(&format!("deliver_{d_id}")) else {
-                        continue;
-                    };
-                    let o_id = o_id.as_int()?;
-                    let mut c_id = 0;
-                    ctx.db.update_primary(
-                        ctx.txn,
-                        tables.orders,
-                        &Key::int3(w_id, d_id, o_id),
-                        CcMode::None,
-                        |row| {
-                            c_id = row[3].as_int()?;
-                            row[4] = Value::Int(carrier);
-                            Ok(())
-                        },
-                    )?;
-                    ctx.scratch.put(&format!("customer_{d_id}"), c_id);
-                    // Sum the order lines while we are here (same warehouse
-                    // executor owns them under the same routing field, but
-                    // they belong to another table; keep the sum here simple
-                    // by reading through the order_line primary key).
-                    let mut amount = 0.0;
-                    let mut line_number = 1;
-                    while let Some((_, row)) = ctx.db.probe_primary(
-                        ctx.txn,
-                        tables.order_line,
-                        &Key::from_values([w_id, d_id, o_id, line_number]),
-                        false,
-                        CcMode::None,
-                    )? {
-                        amount += row[6].as_float()?;
-                        line_number += 1;
+                    Ok(())
+                },
+            )
+            .rvp()
+            .custom(
+                "delivery-customer",
+                tables.customer,
+                Key::int(w_id),
+                LocalMode::Exclusive,
+                move |ctx| {
+                    for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
+                        let Some(c_id) = ctx.scratch.get(&format!("customer_{d_id}")) else {
+                            continue;
+                        };
+                        let c_id = c_id.as_int()?;
+                        let amount = ctx
+                            .scratch
+                            .get_float(&format!("amount_{d_id}"))
+                            .unwrap_or(0.0);
+                        ctx.db.update_primary(
+                            ctx.txn,
+                            tables.customer,
+                            &Key::int3(w_id, d_id, c_id),
+                            ctx.cc(),
+                            |row| {
+                                row[4] = Value::Float(row[4].as_float()? + amount);
+                                row[7] = Value::Int(row[7].as_int()? + 1);
+                                Ok(())
+                            },
+                        )?;
                     }
-                    ctx.scratch.put(&format!("amount_{d_id}"), amount);
-                }
-                Ok(())
-            },
-        );
-        let customer_action = ActionSpec::new(
-            "delivery-customer",
-            tables.customer,
-            Key::int(w_id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                for d_id in 1..=DISTRICTS_PER_WAREHOUSE {
-                    let Some(c_id) = ctx.scratch.get(&format!("customer_{d_id}")) else {
-                        continue;
-                    };
-                    let c_id = c_id.as_int()?;
-                    let amount = ctx
-                        .scratch
-                        .get_float(&format!("amount_{d_id}"))
-                        .unwrap_or(0.0);
-                    ctx.db.update_primary(
-                        ctx.txn,
-                        tables.customer,
-                        &Key::int3(w_id, d_id, c_id),
-                        CcMode::None,
-                        |row| {
-                            row[4] = Value::Float(row[4].as_float()? + amount);
-                            row[7] = Value::Int(row[7].as_int()? + 1);
-                            Ok(())
-                        },
-                    )?;
-                }
-                Ok(())
-            },
-        );
-        Ok(FlowGraph::new()
-            .phase_with(vec![new_order_action])
-            .phase_with(vec![orders_action])
-            .phase_with(vec![customer_action]))
+                    Ok(())
+                },
+            ))
     }
 
     // ----- StockLevel --------------------------------------------------------
 
-    /// Baseline body of StockLevel: count stock entries below `threshold`
-    /// among the items of the district's 20 most recent orders.
-    pub fn stock_level_baseline(
+    /// The StockLevel transaction: count stock entries below `threshold`
+    /// among the items of the district's 20 most recent orders — district
+    /// read, then order-line collection, then the stock count, three phases
+    /// chained by data dependencies, all keyed by the warehouse id.
+    pub fn stock_level_program(
         &self,
         db: &Database,
-        txn: &TxnHandle,
         w_id: i64,
         d_id: i64,
         threshold: i64,
-    ) -> DbResult<()> {
+    ) -> DbResult<TxnProgram> {
         let tables = self.tables(db)?;
-        let Some((_, district)) = db.probe_primary(
-            txn,
-            tables.district,
-            &Key::int2(w_id, d_id),
-            false,
-            CcMode::Full,
-        )?
-        else {
-            return Err(DbError::TxnAborted {
-                txn: txn.id(),
-                reason: "no such district".into(),
-            });
-        };
-        let next_o_id = district[4].as_int()?;
-        let mut item_ids = Vec::new();
-        for o_id in (next_o_id - 20).max(0)..next_o_id {
-            let mut line_number = 1;
-            while let Some((_, row)) = db.probe_primary(
-                txn,
+        Ok(TxnProgram::new(Self::STOCK_LEVEL)
+            .read(
+                "stocklevel-district",
+                tables.district,
+                Key::int2(w_id, d_id),
+                Key::int2(w_id, d_id),
+                OnMissing::Abort("no such district"),
+                |ctx, row| {
+                    ctx.scratch.put("next_o_id", row[4].as_int()?);
+                    Ok(())
+                },
+            )
+            .rvp()
+            .custom(
+                "stocklevel-orderlines",
                 tables.order_line,
-                &Key::from_values([w_id, d_id, o_id, line_number]),
-                false,
-                CcMode::Full,
-            )? {
-                item_ids.push(row[4].as_int()?);
-                line_number += 1;
-            }
-        }
-        item_ids.sort_unstable();
-        item_ids.dedup();
-        let mut low = 0;
-        for item_id in item_ids {
-            if let Some((_, stock)) = db.probe_primary(
-                txn,
-                tables.stock,
-                &Key::int2(w_id, item_id),
-                false,
-                CcMode::Full,
-            )? {
-                if stock[2].as_int()? < threshold {
-                    low += 1;
-                }
-            }
-        }
-        let _ = low;
-        Ok(())
-    }
-
-    /// DORA flow graph of StockLevel: district read, then order-line
-    /// collection, then the stock count — three phases chained by data
-    /// dependencies, all keyed by the warehouse id.
-    pub fn stock_level_graph(
-        &self,
-        db: &Database,
-        w_id: i64,
-        d_id: i64,
-        threshold: i64,
-    ) -> DbResult<FlowGraph> {
-        let tables = self.tables(db)?;
-        let district_action = ActionSpec::new(
-            "stocklevel-district",
-            tables.district,
-            Key::int2(w_id, d_id),
-            LocalMode::Shared,
-            move |ctx| {
-                let Some((_, district)) = ctx.db.probe_primary(
-                    ctx.txn,
-                    tables.district,
-                    &Key::int2(w_id, d_id),
-                    false,
-                    CcMode::None,
-                )?
-                else {
-                    return Err(DbError::TxnAborted {
-                        txn: ctx.txn.id(),
-                        reason: "no such district".into(),
-                    });
-                };
-                ctx.scratch.put("next_o_id", district[4].as_int()?);
-                Ok(())
-            },
-        );
-        let lines_action = ActionSpec::new(
-            "stocklevel-orderlines",
-            tables.order_line,
-            Key::int2(w_id, d_id),
-            LocalMode::Shared,
-            move |ctx| {
-                let next_o_id = ctx.scratch.get_int("next_o_id")?;
-                let mut item_ids = Vec::new();
-                for o_id in (next_o_id - 20).max(0)..next_o_id {
-                    let mut line_number = 1;
-                    while let Some((_, row)) = ctx.db.probe_primary(
-                        ctx.txn,
-                        tables.order_line,
-                        &Key::from_values([w_id, d_id, o_id, line_number]),
-                        false,
-                        CcMode::None,
-                    )? {
-                        item_ids.push(row[4].as_int()?);
-                        line_number += 1;
-                    }
-                }
-                item_ids.sort_unstable();
-                item_ids.dedup();
-                ctx.scratch.put("distinct_items", item_ids.len() as i64);
-                for (index, item_id) in item_ids.iter().enumerate() {
-                    ctx.scratch.put(&format!("item_{index}"), *item_id);
-                }
-                Ok(())
-            },
-        );
-        let stock_action = ActionSpec::new(
-            "stocklevel-stock",
-            tables.stock,
-            Key::int(w_id),
-            LocalMode::Shared,
-            move |ctx| {
-                let count = ctx.scratch.get_int("distinct_items")?;
-                let mut low = 0;
-                for index in 0..count {
-                    let item_id = ctx.scratch.get_int(&format!("item_{index}"))?;
-                    if let Some((_, stock)) = ctx.db.probe_primary(
-                        ctx.txn,
-                        tables.stock,
-                        &Key::int2(w_id, item_id),
-                        false,
-                        CcMode::None,
-                    )? {
-                        if stock[2].as_int()? < threshold {
-                            low += 1;
+                Key::int2(w_id, d_id),
+                LocalMode::Shared,
+                move |ctx| {
+                    let next_o_id = ctx.scratch.get_int("next_o_id")?;
+                    let mut item_ids = Vec::new();
+                    for o_id in (next_o_id - 20).max(0)..next_o_id {
+                        let mut line_number = 1;
+                        while let Some((_, row)) = ctx.db.probe_primary(
+                            ctx.txn,
+                            tables.order_line,
+                            &Key::from_values([w_id, d_id, o_id, line_number]),
+                            false,
+                            ctx.cc(),
+                        )? {
+                            item_ids.push(row[4].as_int()?);
+                            line_number += 1;
                         }
                     }
-                }
-                let _ = low;
-                Ok(())
-            },
-        );
-        Ok(FlowGraph::new()
-            .phase_with(vec![district_action])
-            .phase_with(vec![lines_action])
-            .phase_with(vec![stock_action]))
+                    item_ids.sort_unstable();
+                    item_ids.dedup();
+                    ctx.scratch.put("distinct_items", item_ids.len() as i64);
+                    for (index, item_id) in item_ids.iter().enumerate() {
+                        ctx.scratch.put(&format!("item_{index}"), *item_id);
+                    }
+                    Ok(())
+                },
+            )
+            .rvp()
+            .custom(
+                "stocklevel-stock",
+                tables.stock,
+                Key::int(w_id),
+                LocalMode::Shared,
+                move |ctx| {
+                    let count = ctx.scratch.get_int("distinct_items")?;
+                    let mut low = 0;
+                    for index in 0..count {
+                        let item_id = ctx.scratch.get_int(&format!("item_{index}"))?;
+                        if let Some((_, stock)) = ctx.db.probe_primary(
+                            ctx.txn,
+                            tables.stock,
+                            &Key::int2(w_id, item_id),
+                            false,
+                            ctx.cc(),
+                        )? {
+                            if stock[2].as_int()? < threshold {
+                                low += 1;
+                            }
+                        }
+                    }
+                    let _ = low;
+                    Ok(())
+                },
+            ))
     }
 
     // ----- input generation ---------------------------------------------------
@@ -1282,20 +799,6 @@ pub enum CustomerSelector {
     ById(i64),
     /// By last name through the `customer_by_name` secondary index.
     ByLastName(String),
-}
-
-impl Tpcc {
-    /// A lightweight clone used inside action closures (the closures may not
-    /// borrow `self`, and `Tpcc` owns only plain configuration).
-    fn clone_for_graph(&self) -> Tpcc {
-        Tpcc {
-            warehouses: self.warehouses,
-            customers_per_district: self.customers_per_district,
-            items: self.items,
-            mix: self.mix,
-            tables: self.tables.clone(),
-        }
-    }
 }
 
 impl Workload for Tpcc {
@@ -1539,67 +1042,20 @@ impl Workload for Tpcc {
         Ok(())
     }
 
-    fn run_baseline(&self, engine: &dyn ConventionalExecutor, rng: &mut SmallRng) -> TxnOutcome {
-        let result = match self.pick(rng) {
-            TpccTxn::Payment => {
-                let (w_id, d_id, c_w_id, c_d_id, selector, amount) = self.payment_inputs(rng);
-                engine.execute_txn(&|db, txn| {
-                    self.payment_baseline(
-                        db,
-                        txn,
-                        w_id,
-                        d_id,
-                        c_w_id,
-                        c_d_id,
-                        selector.clone(),
-                        amount,
-                    )
-                })
-            }
-            TpccTxn::OrderStatus => {
-                let w_id = uniform(rng, 1, self.warehouses);
-                let d_id = uniform(rng, 1, DISTRICTS_PER_WAREHOUSE);
-                let selector = if chance(rng, 60) {
-                    CustomerSelector::ByLastName(self.random_loaded_last_name(rng))
-                } else {
-                    CustomerSelector::ById(self.random_customer(rng))
-                };
-                engine.execute_txn(&|db, txn| {
-                    self.order_status_baseline(db, txn, w_id, d_id, selector.clone())
-                })
-            }
-            TpccTxn::NewOrder => {
-                let (w_id, d_id, c_id, items) = self.new_order_inputs(rng);
-                engine.execute_txn(&|db, txn| {
-                    self.new_order_baseline(db, txn, w_id, d_id, c_id, &items)
-                })
-            }
-            TpccTxn::Delivery => {
-                let w_id = uniform(rng, 1, self.warehouses);
-                let carrier = uniform(rng, 1, 10);
-                engine.execute_txn(&|db, txn| self.delivery_baseline(db, txn, w_id, carrier))
-            }
-            TpccTxn::StockLevel => {
-                let w_id = uniform(rng, 1, self.warehouses);
-                let d_id = uniform(rng, 1, DISTRICTS_PER_WAREHOUSE);
-                let threshold = uniform(rng, 10, 20);
-                engine.execute_txn(&|db, txn| {
-                    self.stock_level_baseline(db, txn, w_id, d_id, threshold)
-                })
-            }
-        };
-        match result {
-            Ok(BaselineOutcome::Committed) => TxnOutcome::Committed,
-            _ => TxnOutcome::Aborted,
+    fn txn_labels(&self) -> &'static [&'static str] {
+        match self.mix {
+            TpccMix::Full => &Self::ALL_LABELS,
+            TpccMix::PaymentOnly => &[Self::PAYMENT],
+            TpccMix::OrderStatusOnly => &[Self::ORDER_STATUS],
+            TpccMix::NewOrderOnly => &[Self::NEW_ORDER],
         }
     }
 
-    fn run_dora(&self, engine: &DoraEngine, rng: &mut SmallRng) -> TxnOutcome {
-        let db = engine.db();
-        let graph = match self.pick(rng) {
+    fn next_program(&self, db: &Database, rng: &mut SmallRng) -> DbResult<TxnProgram> {
+        match self.pick(rng) {
             TpccTxn::Payment => {
                 let (w_id, d_id, c_w_id, c_d_id, selector, amount) = self.payment_inputs(rng);
-                self.payment_graph(db, w_id, d_id, c_w_id, c_d_id, selector, amount)
+                self.payment_program(db, w_id, d_id, c_w_id, c_d_id, selector, amount)
             }
             TpccTxn::OrderStatus => {
                 let w_id = uniform(rng, 1, self.warehouses);
@@ -1609,31 +1065,23 @@ impl Workload for Tpcc {
                 } else {
                     CustomerSelector::ById(self.random_customer(rng))
                 };
-                self.order_status_graph(db, w_id, d_id, selector)
+                self.order_status_program(db, w_id, d_id, selector)
             }
             TpccTxn::NewOrder => {
                 let (w_id, d_id, c_id, items) = self.new_order_inputs(rng);
-                self.new_order_graph(db, w_id, d_id, c_id, items)
+                self.new_order_program(db, w_id, d_id, c_id, items)
             }
             TpccTxn::Delivery => {
                 let w_id = uniform(rng, 1, self.warehouses);
                 let carrier = uniform(rng, 1, 10);
-                self.delivery_graph(db, w_id, carrier)
+                self.delivery_program(db, w_id, carrier)
             }
             TpccTxn::StockLevel => {
                 let w_id = uniform(rng, 1, self.warehouses);
                 let d_id = uniform(rng, 1, DISTRICTS_PER_WAREHOUSE);
                 let threshold = uniform(rng, 10, 20);
-                self.stock_level_graph(db, w_id, d_id, threshold)
+                self.stock_level_program(db, w_id, d_id, threshold)
             }
-        };
-        let graph = match graph {
-            Ok(graph) => graph,
-            Err(_) => return TxnOutcome::Aborted,
-        };
-        match engine.execute(graph) {
-            Ok(()) => TxnOutcome::Committed,
-            Err(_) => TxnOutcome::Aborted,
         }
     }
 }
@@ -1641,6 +1089,7 @@ impl Workload for Tpcc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{run_baseline_mix, run_baseline_once, run_dora_mix};
     use dora_core::DoraConfig;
     use rand::SeedableRng;
     use std::sync::Arc;
@@ -1664,6 +1113,23 @@ mod tests {
     }
 
     #[test]
+    fn payment_program_compiles_to_the_figure4_graph() {
+        let (db, workload) = small_tpcc();
+        let graph = workload
+            .payment_program(&db, 1, 1, 1, 1, CustomerSelector::ById(1), 10.0)
+            .unwrap()
+            .compile_dora();
+        assert_eq!(graph.phase_count(), 2, "Figure 4: two phases");
+        assert_eq!(
+            graph.actions_in(0),
+            3,
+            "warehouse, district and customer actions"
+        );
+        assert_eq!(graph.actions_in(1), 1, "history insert");
+        assert!(graph.describe()[1][0].starts_with("payment-history"));
+    }
+
+    #[test]
     fn payment_baseline_and_dora_produce_identical_balances() {
         let db_base = Database::for_tests();
         let db_dora = Database::for_tests();
@@ -1671,33 +1137,32 @@ mod tests {
         let workload_dora = Tpcc::with_scale(2, 30, 50);
         workload_base.setup(&db_base).unwrap();
         workload_dora.setup(&db_dora).unwrap();
-        let baseline = crate::spec::TestExecutor::new(Arc::clone(&db_base));
         let dora = DoraEngine::new(Arc::clone(&db_dora), DoraConfig::for_tests());
         workload_dora.bind_dora(&dora, 2).unwrap();
 
-        // The same deterministic payments through both engines.
+        // The same deterministic payments through both compilations.
         for i in 1..=20i64 {
             let w_id = (i % 2) + 1;
             let d_id = (i % 10) + 1;
             let c_id = (i % 30) + 1;
             let amount = i as f64;
-            let outcome = baseline
-                .execute_txn(&|db, txn| {
-                    workload_base.payment_baseline(
-                        db,
-                        txn,
-                        w_id,
-                        d_id,
-                        w_id,
-                        d_id,
-                        CustomerSelector::ById(c_id),
-                        amount,
-                    )
-                })
+            let program = workload_base
+                .payment_program(
+                    &db_base,
+                    w_id,
+                    d_id,
+                    w_id,
+                    d_id,
+                    CustomerSelector::ById(c_id),
+                    amount,
+                )
                 .unwrap();
-            assert_eq!(outcome, BaselineOutcome::Committed);
-            let graph = workload_dora
-                .payment_graph(
+            assert_eq!(
+                run_baseline_once(&db_base, program).unwrap(),
+                BaselineOutcome::Committed
+            );
+            let program = workload_dora
+                .payment_program(
                     &db_dora,
                     w_id,
                     d_id,
@@ -1707,7 +1172,7 @@ mod tests {
                     amount,
                 )
                 .unwrap();
-            dora.execute(graph).unwrap();
+            dora.execute(program.compile_dora()).unwrap();
         }
 
         let tables = workload_base.tables(&db_base).unwrap();
@@ -1753,21 +1218,21 @@ mod tests {
             .unwrap();
         // Place an order for customer 5 in (1, 1).
         let items = vec![(1, 2), (2, 3), (3, 1), (4, 4), (5, 1)];
-        let graph = workload
-            .new_order_graph(&db, 1, 1, 5, items.clone())
+        let program = workload
+            .new_order_program(&db, 1, 1, 5, items.clone())
             .unwrap();
-        engine.execute(graph).unwrap();
+        engine.execute(program.compile_dora()).unwrap();
         // OrderStatus for that customer must find the order and its lines.
-        let graph = workload
-            .order_status_graph(&db, 1, 1, CustomerSelector::ById(5))
+        let program = workload
+            .order_status_program(&db, 1, 1, CustomerSelector::ById(5))
             .unwrap();
-        engine.execute(graph).unwrap();
+        engine.execute(program.compile_dora()).unwrap();
         // Delivery picks it up.
-        let graph = workload.delivery_graph(&db, 1, 7).unwrap();
-        engine.execute(graph).unwrap();
+        let program = workload.delivery_program(&db, 1, 7).unwrap();
+        engine.execute(program.compile_dora()).unwrap();
         // StockLevel still works afterwards.
-        let graph = workload.stock_level_graph(&db, 1, 1, 100).unwrap();
-        engine.execute(graph).unwrap();
+        let program = workload.stock_level_program(&db, 1, 1, 100).unwrap();
+        engine.execute(program.compile_dora()).unwrap();
 
         let tables = workload.tables(&db).unwrap();
         let check = db.begin();
@@ -1797,17 +1262,19 @@ mod tests {
     #[test]
     fn invalid_item_aborts_new_order_under_both_engines() {
         let (db, workload) = small_tpcc();
-        let baseline = crate::spec::TestExecutor::new(Arc::clone(&db));
         let bad_items = vec![(1, 1), (2, 1), (3, 1), (4, 1), (9_999_999, 1)];
-        let outcome = baseline
-            .execute_txn(&|db, txn| workload.new_order_baseline(db, txn, 1, 1, 1, &bad_items))
+        let program = workload
+            .new_order_program(&db, 1, 1, 1, bad_items.clone())
             .unwrap();
-        assert_eq!(outcome, BaselineOutcome::Aborted);
+        assert_eq!(
+            run_baseline_once(&db, program).unwrap(),
+            BaselineOutcome::Aborted
+        );
 
         let engine = DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests());
         workload.bind_dora(&engine, 2).unwrap();
-        let graph = workload.new_order_graph(&db, 1, 1, 1, bad_items).unwrap();
-        assert!(engine.execute(graph).is_err());
+        let program = workload.new_order_program(&db, 1, 1, 1, bad_items).unwrap();
+        assert!(engine.execute(program.compile_dora()).is_err());
         // District order counter must not have advanced permanently: both
         // attempts rolled back, so it still holds the loader's initial value
         // (one historical order per customer).
@@ -1831,34 +1298,24 @@ mod tests {
     #[test]
     fn payment_by_last_name_uses_secondary_index() {
         let (db, workload) = small_tpcc();
-        let baseline = crate::spec::TestExecutor::new(Arc::clone(&db));
         // Customer 7's last name under the loader's naming scheme.
         let last = c_last(7);
-        let outcome = baseline
-            .execute_txn(&|db, txn| {
-                workload.payment_baseline(
-                    db,
-                    txn,
-                    1,
-                    1,
-                    1,
-                    1,
-                    CustomerSelector::ByLastName(last.clone()),
-                    25.0,
-                )
-            })
+        let program = workload
+            .payment_program(&db, 1, 1, 1, 1, CustomerSelector::ByLastName(last), 25.0)
             .unwrap();
-        assert_eq!(outcome, BaselineOutcome::Committed);
+        assert_eq!(
+            run_baseline_once(&db, program).unwrap(),
+            BaselineOutcome::Committed
+        );
     }
 
     #[test]
     fn full_mix_runs_on_both_engines() {
         let (db, workload) = small_tpcc();
-        let baseline = crate::spec::TestExecutor::new(Arc::clone(&db));
         let mut rng = SmallRng::seed_from_u64(77);
         let mut baseline_committed = 0;
         for _ in 0..60 {
-            if workload.run_baseline(&baseline, &mut rng) == TxnOutcome::Committed {
+            if run_baseline_mix(&workload, &db, &mut rng) == TxnOutcome::Committed {
                 baseline_committed += 1;
             }
         }
@@ -1871,7 +1328,7 @@ mod tests {
         workload.bind_dora(&engine, 2).unwrap();
         let mut dora_committed = 0;
         for _ in 0..60 {
-            if workload.run_dora(&engine, &mut rng) == TxnOutcome::Committed {
+            if run_dora_mix(&workload, &engine, &mut rng) == TxnOutcome::Committed {
                 dora_committed += 1;
             }
         }

@@ -33,8 +33,9 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(7);
     for _ in 0..2_000 {
         let graph = workload
-            .get_subscriber_data_graph(&db, 1 + (rng.next_u64() % 500) as i64)
-            .expect("graph");
+            .get_subscriber_data_program(&db, 1 + (rng.next_u64() % 500) as i64)
+            .expect("program")
+            .compile_dora();
         dora.execute(graph).expect("probe");
     }
     println!(
@@ -56,8 +57,9 @@ fn main() {
     // Work continues under the new rule.
     for s_id in [10i64, 5_000, 9_999] {
         let graph = workload
-            .get_subscriber_data_graph(&db, s_id)
-            .expect("graph");
+            .get_subscriber_data_program(&db, s_id)
+            .expect("program")
+            .compile_dora();
         dora.execute(graph).expect("probe after rebalance");
     }
     println!(

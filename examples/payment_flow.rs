@@ -1,5 +1,7 @@
-//! The paper's running example: the TPC-C Payment transaction as a DORA
-//! transaction flow graph (Figure 4), executed step by step (Figure 9).
+//! The paper's running example: the TPC-C Payment transaction, defined once
+//! as a declarative `TxnProgram` and compiled to the DORA transaction flow
+//! graph of Figure 4 (executed step by step, Figure 9) as well as to the
+//! sequential body the conventional engine runs.
 //!
 //! ```text
 //! cargo run --release --example payment_flow
@@ -21,9 +23,10 @@ fn main() {
     workload.setup(&db).expect("load TPC-C");
     println!("loaded TPC-C with {warehouses} warehouses");
 
-    // Show the flow graph the paper draws in Figure 4.
+    // One declarative definition of Payment, compiled for DORA: the flow
+    // graph the paper draws in Figure 4.
     let graph = workload
-        .payment_graph(
+        .payment_program(
             &db,
             1,
             4,
@@ -32,7 +35,8 @@ fn main() {
             CustomerSelector::ByLastName("BARBARBAR".into()),
             42.0,
         )
-        .expect("build graph");
+        .expect("build program")
+        .compile_dora();
     println!("\nPayment transaction flow graph:");
     for (index, phase) in graph.describe().iter().enumerate() {
         println!("  phase {}: {}", index + 1, phase.join(", "));
@@ -46,8 +50,9 @@ fn main() {
     workload.bind_dora(&dora, 4).expect("bind");
     for w_id in 1..=warehouses {
         let graph = workload
-            .payment_graph(&db, w_id, 1, w_id, 1, CustomerSelector::ById(1), 10.0)
-            .expect("graph");
+            .payment_program(&db, w_id, 1, w_id, 1, CustomerSelector::ById(1), 10.0)
+            .expect("program")
+            .compile_dora();
         dora.execute(graph).expect("payment");
     }
     println!("\nexecuted {warehouses} Payment transactions under DORA");
@@ -56,18 +61,19 @@ fn main() {
     // shared-nothing system would need a distributed transaction; DORA simply
     // routes the customer action to the remote warehouse's executor.
     let graph = workload
-        .payment_graph(&db, 1, 1, 7, 3, CustomerSelector::ById(2), 99.0)
-        .expect("graph");
+        .payment_program(&db, 1, 1, 7, 3, CustomerSelector::ById(2), 99.0)
+        .expect("program")
+        .compile_dora();
     dora.execute(graph).expect("remote payment");
     println!("executed a remote-customer Payment (home warehouse 1, customer warehouse 7)");
 
-    // The same transaction under the conventional engine, for comparison.
+    // The *same definition* under the conventional engine: compile_baseline
+    // lowers the steps to a sequential body with full centralized locking.
     let baseline = BaselineEngine::new(Arc::clone(&db));
-    baseline
-        .execute(|db, txn| {
-            workload.payment_baseline(db, txn, 2, 2, 2, 2, CustomerSelector::ById(3), 15.0)
-        })
-        .expect("baseline payment");
+    let program = workload
+        .payment_program(&db, 2, 2, 2, 2, CustomerSelector::ById(3), 15.0)
+        .expect("program");
+    baseline.execute_program(program).expect("baseline payment");
     println!("executed one Payment under the conventional engine");
 
     let check = db.begin();

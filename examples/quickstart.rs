@@ -59,25 +59,21 @@ fn main() {
     dora.bind_table(inventory, 4, 1, 1_000).expect("bind table");
 
     let mut graph = FlowGraph::new();
-    let phase = graph.add_phase();
     for sku in [7i64, 400, 901] {
-        graph.add_action(
-            phase,
-            ActionSpec::new(
-                "restock",
-                inventory,
-                Key::int(sku),
-                LocalMode::Exclusive,
-                move |ctx| {
-                    ctx.db
-                        .update_primary(ctx.txn, inventory, &Key::int(sku), CcMode::None, |row| {
-                            let on_hand = row[2].as_int()?;
-                            row[2] = Value::Int(on_hand + 10);
-                            Ok(())
-                        })
-                },
-            ),
-        );
+        graph.push(ActionSpec::new(
+            "restock",
+            inventory,
+            Key::int(sku),
+            LocalMode::Exclusive,
+            move |ctx| {
+                ctx.db
+                    .update_primary(ctx.txn, inventory, &Key::int(sku), CcMode::None, |row| {
+                        let on_hand = row[2].as_int()?;
+                        row[2] = Value::Int(on_hand + 10);
+                        Ok(())
+                    })
+            },
+        ));
     }
     dora.execute(graph).expect("DORA transaction");
     println!("DORA engine: restocked skus 7, 400, 901 in parallel on their executors");

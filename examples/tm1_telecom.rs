@@ -40,10 +40,11 @@ fn main() {
         let result = driver.run_engine(Arc::clone(&engine));
         let (row, higher, local) = result.locks_per_100_txns();
         println!(
-            "{:<9} {:>8.0} tps | aborts {:>5.1}% | locks/100txn: row {:.0} higher {:.0} local {:.0}",
+            "{:<9} {:>8.0} tps | aborts {:>5.1}% (gave up {}) | locks/100txn: row {:.0} higher {:.0} local {:.0}",
             format!("{}:", engine.name()),
             result.throughput_tps,
             100.0 * result.abort_rate(),
+            result.gave_up,
             row,
             higher,
             local

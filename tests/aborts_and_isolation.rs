@@ -38,9 +38,10 @@ fn high_abort_rate_parallel_plan_keeps_tables_consistent() {
                 let mut committed = 0u64;
                 let mut aborted = 0u64;
                 for _ in 0..100 {
-                    match workload.run_dora(&engine, &mut rng) {
-                        dora_repro::engine::TxnOutcome::Committed => committed += 1,
-                        dora_repro::engine::TxnOutcome::Aborted => aborted += 1,
+                    let program = workload.next_program(engine.db(), &mut rng).unwrap();
+                    match engine.execute(program.compile_dora()) {
+                        Ok(()) => committed += 1,
+                        Err(_) => aborted += 1,
                     }
                 }
                 (committed, aborted)

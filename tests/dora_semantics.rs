@@ -65,28 +65,24 @@ fn same_dataset_transactions_serialize_without_centralized_locks() {
             std::thread::spawn(move || {
                 for _ in 0..per_client {
                     let mut graph = FlowGraph::new();
-                    let phase = graph.add_phase();
-                    graph.add_action(
-                        phase,
-                        ActionSpec::new(
-                            "add",
-                            table,
-                            Key::int(55),
-                            LocalMode::Exclusive,
-                            move |ctx| {
-                                ctx.db.update_primary(
-                                    ctx.txn,
-                                    table,
-                                    &Key::int(55),
-                                    CcMode::None,
-                                    |row| {
-                                        row[2] = Value::Int(row[2].as_int()? + 1);
-                                        Ok(())
-                                    },
-                                )
-                            },
-                        ),
-                    );
+                    graph.push(ActionSpec::new(
+                        "add",
+                        table,
+                        Key::int(55),
+                        LocalMode::Exclusive,
+                        move |ctx| {
+                            ctx.db.update_primary(
+                                ctx.txn,
+                                table,
+                                &Key::int(55),
+                                CcMode::None,
+                                |row| {
+                                    row[2] = Value::Int(row[2].as_int()? + 1);
+                                    Ok(())
+                                },
+                            )
+                        },
+                    ));
                     engine.execute(graph).unwrap();
                 }
             })
@@ -119,27 +115,23 @@ fn dora_delete_flags_secondary_entries_only_after_commit() {
 
     let delete_graph = |id: i64, fail: bool| {
         let mut graph = FlowGraph::new();
-        let phase = graph.add_phase();
-        graph.add_action(
-            phase,
-            ActionSpec::new(
-                "delete",
-                table,
-                Key::int(id),
-                LocalMode::Exclusive,
-                move |ctx| {
-                    ctx.db
-                        .delete_primary(ctx.txn, table, &Key::int(id), CcMode::RowOnly)?;
-                    if fail {
-                        return Err(DbError::TxnAborted {
-                            txn: ctx.txn.id(),
-                            reason: "forced".into(),
-                        });
-                    }
-                    Ok(())
-                },
-            ),
-        );
+        graph.push(ActionSpec::new(
+            "delete",
+            table,
+            Key::int(id),
+            LocalMode::Exclusive,
+            move |ctx| {
+                ctx.db
+                    .delete_primary(ctx.txn, table, &Key::int(id), CcMode::RowOnly)?;
+                if fail {
+                    return Err(DbError::TxnAborted {
+                        txn: ctx.txn.id(),
+                        reason: "forced".into(),
+                    });
+                }
+                Ok(())
+            },
+        ));
         graph
     };
 
@@ -222,47 +214,39 @@ fn unrelated_datasets_do_not_block_each_other() {
     // Submit (without waiting) a transaction that parks on key 10 by holding
     // its local lock while sleeping briefly inside the action.
     let mut slow = FlowGraph::new();
-    let phase = slow.add_phase();
-    slow.add_action(
-        phase,
-        ActionSpec::new(
-            "slow",
-            table,
-            Key::int(10),
-            LocalMode::Exclusive,
-            move |ctx| {
-                std::thread::sleep(Duration::from_millis(300));
-                ctx.db
-                    .update_primary(ctx.txn, table, &Key::int(10), CcMode::None, |row| {
-                        row[2] = Value::Int(1);
-                        Ok(())
-                    })
-            },
-        ),
-    );
+    slow.push(ActionSpec::new(
+        "slow",
+        table,
+        Key::int(10),
+        LocalMode::Exclusive,
+        move |ctx| {
+            std::thread::sleep(Duration::from_millis(300));
+            ctx.db
+                .update_primary(ctx.txn, table, &Key::int(10), CcMode::None, |row| {
+                    row[2] = Value::Int(1);
+                    Ok(())
+                })
+        },
+    ));
     let slow_handle = engine.submit(slow).unwrap();
 
     // A transaction on key 90 (the other executor) finishes well before the
     // slow one, proving the executors are independent.
     let started = std::time::Instant::now();
     let mut fast = FlowGraph::new();
-    let phase = fast.add_phase();
-    fast.add_action(
-        phase,
-        ActionSpec::new(
-            "fast",
-            table,
-            Key::int(90),
-            LocalMode::Exclusive,
-            move |ctx| {
-                ctx.db
-                    .update_primary(ctx.txn, table, &Key::int(90), CcMode::None, |row| {
-                        row[2] = Value::Int(2);
-                        Ok(())
-                    })
-            },
-        ),
-    );
+    fast.push(ActionSpec::new(
+        "fast",
+        table,
+        Key::int(90),
+        LocalMode::Exclusive,
+        move |ctx| {
+            ctx.db
+                .update_primary(ctx.txn, table, &Key::int(90), CcMode::None, |row| {
+                    row[2] = Value::Int(2);
+                    Ok(())
+                })
+        },
+    ));
     engine.execute(fast).unwrap();
     let fast_elapsed = started.elapsed();
     assert!(

@@ -22,7 +22,8 @@ fn dora_committed_state_survives_log_replay() {
     workload.bind_dora(&engine, 2).unwrap();
     let mut rng = SmallRng::seed_from_u64(99);
     for _ in 0..150 {
-        workload.run_dora(&engine, &mut rng);
+        let program = workload.next_program(&db, &mut rng).unwrap();
+        let _ = engine.execute(program.compile_dora());
     }
     engine.shutdown();
 

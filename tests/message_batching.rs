@@ -32,24 +32,20 @@ fn counters_db(rows: i64) -> (Arc<Database>, TableId) {
 /// A single-action transaction applying `f` to the counter at `id`.
 fn apply_graph(table: TableId, id: i64, f: impl Fn(i64) -> i64 + Send + 'static) -> FlowGraph {
     let mut graph = FlowGraph::new();
-    let phase = graph.add_phase();
-    graph.add_action(
-        phase,
-        ActionSpec::new(
-            "apply",
-            table,
-            Key::int(id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                ctx.db
-                    .update_primary(ctx.txn, table, &Key::int(id), CcMode::None, |row| {
-                        let n = row[1].as_int()?;
-                        row[1] = Value::Int(f(n));
-                        Ok(())
-                    })
-            },
-        ),
-    );
+    graph.push(ActionSpec::new(
+        "apply",
+        table,
+        Key::int(id),
+        LocalMode::Exclusive,
+        move |ctx| {
+            ctx.db
+                .update_primary(ctx.txn, table, &Key::int(id), CcMode::None, |row| {
+                    let n = row[1].as_int()?;
+                    row[1] = Value::Int(f(n));
+                    Ok(())
+                })
+        },
+    ));
     graph
 }
 

@@ -36,8 +36,9 @@ fn payment_twelve_steps() {
 
     // Steps 1-9: submit and wait for one Payment.
     let graph = workload
-        .payment_graph(&db, 1, 3, 1, 3, CustomerSelector::ById(7), 120.0)
-        .unwrap();
+        .payment_program(&db, 1, 3, 1, 3, CustomerSelector::ById(7), 120.0)
+        .unwrap()
+        .compile_dora();
     assert_eq!(
         graph.phase_count(),
         2,
@@ -92,8 +93,9 @@ fn payment_twelve_steps() {
     // Step 12: after completion the local locks are gone, so a conflicting
     // payment on the same district commits immediately.
     let graph = workload
-        .payment_graph(&db, 1, 3, 1, 3, CustomerSelector::ById(7), 30.0)
-        .unwrap();
+        .payment_program(&db, 1, 3, 1, 3, CustomerSelector::ById(7), 30.0)
+        .unwrap()
+        .compile_dora();
     engine.execute(graph).unwrap();
     engine.shutdown();
 }
@@ -110,8 +112,9 @@ fn remote_customer_payment_is_not_a_distributed_transaction() {
     workload.bind_dora(&engine, 3).unwrap();
 
     let graph = workload
-        .payment_graph(&db, 1, 1, 3, 9, CustomerSelector::ById(11), 55.0)
-        .unwrap();
+        .payment_program(&db, 1, 1, 3, 9, CustomerSelector::ById(11), 55.0)
+        .unwrap()
+        .compile_dora();
     engine.execute(graph).unwrap();
 
     let customer = db.table_id("customer").unwrap();

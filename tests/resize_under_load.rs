@@ -34,24 +34,20 @@ fn counters_db(rows: i64) -> (Arc<Database>, TableId) {
 
 fn bump(table: TableId, id: i64) -> FlowGraph {
     let mut graph = FlowGraph::new();
-    let phase = graph.add_phase();
-    graph.add_action(
-        phase,
-        ActionSpec::new(
-            "bump",
-            table,
-            Key::int(id),
-            LocalMode::Exclusive,
-            move |ctx| {
-                ctx.db
-                    .update_primary(ctx.txn, table, &Key::int(id), CcMode::None, |row| {
-                        let n = row[1].as_int()?;
-                        row[1] = Value::Int(n + 1);
-                        Ok(())
-                    })
-            },
-        ),
-    );
+    graph.push(ActionSpec::new(
+        "bump",
+        table,
+        Key::int(id),
+        LocalMode::Exclusive,
+        move |ctx| {
+            ctx.db
+                .update_primary(ctx.txn, table, &Key::int(id), CcMode::None, |row| {
+                    let n = row[1].as_int()?;
+                    row[1] = Value::Int(n + 1);
+                    Ok(())
+                })
+        },
+    ));
     graph
 }
 
