@@ -5,18 +5,20 @@
 //! cargo run -p dora-bench --release --bin repro -- fig1 fig6 --full
 //! cargo run -p dora-bench --release --bin repro -- skew --json=BENCH_skew.json
 //! cargo run -p dora-bench --release --bin repro -- dispatch --json
+//! cargo run -p dora-bench --release --bin repro -- commit --json
 //! ```
 //!
 //! Every figure of the evaluation section (and the appendix) has a
 //! subcommand; `fig9` is validated by the integration test
-//! `payment_twelve_steps` instead of a measurement. Two experiments are this
-//! reproduction's own: `skew` (adaptive repartitioning under a zipfian
-//! workload) and `dispatch` (the executor message path, per-message vs
-//! batched). Both optionally emit a machine-readable summary for CI's
-//! bench-smoke artifacts via `--json[=path]` (defaults `BENCH_skew.json` /
-//! `BENCH_dispatch.json`; an explicit path applies when a single
-//! JSON-producing experiment is requested, otherwise each falls back to its
-//! default). Reports are printed to stdout; absolute numbers depend on the
+//! `payment_twelve_steps` instead of a measurement. Three experiments are
+//! this reproduction's own: `skew` (adaptive repartitioning under a zipfian
+//! workload), `dispatch` (the executor message path, per-message vs
+//! batched) and `commit` (sync vs group commit vs group+ELR durability).
+//! Each optionally emits a machine-readable summary for CI's bench-smoke
+//! artifacts via `--json[=path]` (defaults `BENCH_skew.json` /
+//! `BENCH_dispatch.json` / `BENCH_commit.json`; an explicit path applies
+//! when a single JSON-producing experiment is requested, otherwise each
+//! falls back to its default). Reports are printed to stdout; absolute numbers depend on the
 //! host, but the *shapes* the paper reports (who wins, where the baseline
 //! collapses, which components dominate the breakdowns) should reproduce.
 //! See `EXPERIMENTS.md`.
@@ -40,9 +42,9 @@ fn main() {
     // artifact path; an explicit --json=path only applies when exactly one
     // of them runs, so two experiments never clobber one file.
     let json_producers_requested = if run_all {
-        2
+        3
     } else {
-        ["skew", "dispatch"]
+        ["skew", "dispatch", "commit"]
             .iter()
             .filter(|name| requested.iter().any(|a| a.as_str() == **name))
             .count()
@@ -80,6 +82,13 @@ fn main() {
             write_json(&path, summary.to_json());
         }
     };
+    let run_commit = |scale: &Scale| {
+        let (report, summary) = experiments::commit_with_summary(scale);
+        println!("{report}");
+        if let Some(path) = json_path_for("BENCH_commit.json") {
+            write_json(&path, summary.to_json());
+        }
+    };
 
     if run_all {
         println!(
@@ -93,6 +102,7 @@ fn main() {
         // the (optional) JSON artifact.
         run_skew(&scale);
         run_dispatch(&scale);
+        run_commit(&scale);
         return;
     }
 
@@ -108,6 +118,10 @@ fn main() {
                 run_dispatch(&scale);
                 ran_json_producer = true;
             }
+            "commit" => {
+                run_commit(&scale);
+                ran_json_producer = true;
+            }
             other => match experiments::by_name(other, &scale) {
                 Some(report) => println!("{report}"),
                 None => unknown.push(other.to_string()),
@@ -115,11 +129,11 @@ fn main() {
         }
     }
     if json_requested && !ran_json_producer {
-        eprintln!("warning: --json ignored — neither skew nor dispatch was requested");
+        eprintln!("warning: --json ignored — none of skew/dispatch/commit was requested");
     }
     if !unknown.is_empty() {
         eprintln!(
-            "unknown experiment(s): {} (valid: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 skew dispatch all)",
+            "unknown experiment(s): {} (valid: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 skew dispatch commit all)",
             unknown.join(", ")
         );
         std::process::exit(2);

@@ -955,6 +955,216 @@ pub fn dispatch_with_summary(scale: &Scale) -> (Report, DispatchSummary) {
     (report, summary)
 }
 
+/// One cell of the `commit` durability experiment: one engine × one commit
+/// mode × one simulated log-device latency.
+#[derive(Debug, Clone)]
+pub struct CommitRow {
+    /// Engine label ("Baseline" / "DORA").
+    pub engine: &'static str,
+    /// Commit-mode label ("sync" / "group" / "group+elr").
+    pub mode: &'static str,
+    /// Simulated log-device latency in microseconds.
+    pub flush_us: u64,
+    /// Committed tps over the measured interval.
+    pub tps: f64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Device writes the flusher daemon performed (0 in sync mode; the
+    /// whole run, warm-up included).
+    pub flush_groups: u64,
+    /// Mean commit records hardened per flusher device write.
+    pub mean_group: f64,
+    /// Largest flush group observed.
+    pub max_group: u64,
+    /// Transactions whose locks were released before durability.
+    pub elr_releases: u64,
+    /// Mean client-visible commit wait, in microseconds.
+    pub commit_wait_us: f64,
+    /// Mean client latency (execute + commit), in microseconds.
+    pub latency_us: f64,
+}
+
+/// Everything the `commit` experiment measured; serialized to
+/// `BENCH_commit.json` by the CI bench-smoke job.
+#[derive(Debug, Clone)]
+pub struct CommitSummary {
+    /// TPC-B branches / accounts-per-branch driving the log pressure.
+    pub branches: i64,
+    /// Client threads driving load.
+    pub clients: usize,
+    /// Measured interval length, in milliseconds.
+    pub interval_ms: u64,
+    /// The swept simulated device latencies, in microseconds.
+    pub flush_points: Vec<u64>,
+    /// One row per engine × mode × device latency.
+    pub rows: Vec<CommitRow>,
+}
+
+impl CommitSummary {
+    /// Renders the summary as a small JSON document (the workspace has no
+    /// serde; the fields are all numbers, so hand-rolling is safe).
+    pub fn to_json(&self) -> String {
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                format!(
+                    concat!(
+                        "    {{\"engine\": \"{}\", \"mode\": \"{}\", ",
+                        "\"flush_us\": {}, \"tps\": {:.1}, \"committed\": {}, ",
+                        "\"flush_groups\": {}, \"mean_group\": {:.3}, ",
+                        "\"max_group\": {}, \"elr_releases\": {}, ",
+                        "\"commit_wait_us\": {:.1}, \"latency_us\": {:.1}}}"
+                    ),
+                    row.engine,
+                    row.mode,
+                    row.flush_us,
+                    row.tps,
+                    row.committed,
+                    row.flush_groups,
+                    row.mean_group,
+                    row.max_group,
+                    row.elr_releases,
+                    row.commit_wait_us,
+                    row.latency_us,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let points = self
+            .flush_points
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                "{{\n  \"experiment\": \"commit\",\n  \"branches\": {},\n",
+                "  \"clients\": {},\n  \"interval_ms\": {},\n",
+                "  \"flush_points\": [{}],\n  \"rows\": [\n{}\n  ]\n}}\n"
+            ),
+            self.branches, self.clients, self.interval_ms, points, rows
+        )
+    }
+}
+
+/// The three commit modes the durability experiment compares.
+fn commit_modes() -> [(&'static str, dora_common::DurabilityConfig); 3] {
+    use dora_common::DurabilityConfig;
+    [
+        ("sync", DurabilityConfig::sync_commit()),
+        ("group", DurabilityConfig::group_commit_only()),
+        ("group+elr", DurabilityConfig::default()),
+    ]
+}
+
+fn run_commit_cell(
+    scale: &Scale,
+    system: SystemUnderTest,
+    mode: &'static str,
+    durability: dora_common::DurabilityConfig,
+    flush_us: u64,
+) -> CommitRow {
+    let config = dora_common::SystemConfig {
+        log_flush_micros: flush_us,
+        durability,
+        ..scale.system_config()
+    };
+    let db = Database::new(config);
+    let workload: Arc<dyn Workload> = Arc::new(scale.tpcb());
+    workload.setup(&db).expect("setup TPC-B");
+    let engine = build_engine(system, Arc::clone(&db));
+    engine
+        .bind(Arc::clone(&workload), scale.executors_per_table)
+        .expect("bind TPC-B");
+
+    let driver = ClientDriver::new(DriverConfig {
+        clients: scale.clients_for(100.0),
+        duration: scale.duration,
+        warmup: scale.warmup,
+        hardware_contexts: scale.hardware_contexts,
+    });
+    let result = driver.run_engine(Arc::clone(&engine));
+    engine.shutdown();
+
+    // The group-size histogram is per-database (whole run including
+    // warm-up); the counter deltas cover exactly the measured interval.
+    let groups = db.log_manager().flush_group_sizes();
+    CommitRow {
+        engine: system.label(),
+        mode,
+        flush_us,
+        tps: result.throughput_tps,
+        committed: result.committed,
+        flush_groups: groups.count(),
+        mean_group: groups.mean(),
+        max_group: groups.max(),
+        elr_releases: result.metrics.counter(CounterKind::ElrEarlyReleases),
+        commit_wait_us: result.mean_commit_wait().as_nanos() as f64 / 1_000.0,
+        latency_us: result.latency.mean().as_nanos() as f64 / 1_000.0,
+    }
+}
+
+/// The durability experiment: TPC-B (one log record stream per transfer)
+/// under synchronous commit vs. group commit vs. group commit with early
+/// lock release, across simulated log-device latencies, on both engines.
+/// Not a paper figure — it probes the Section 5.4 observation that the log
+/// becomes the next bottleneck once lock contention is gone, and quantifies
+/// how far the flusher daemon and ELR push it back.
+pub fn commit(scale: &Scale) -> Report {
+    commit_with_summary(scale).0
+}
+
+/// [`commit`], also returning the machine-readable summary.
+pub fn commit_with_summary(scale: &Scale) -> (Report, CommitSummary) {
+    let flush_points = scale.commit_flush_points();
+    let mut rows = Vec::new();
+    for &flush_us in &flush_points {
+        for system in SystemUnderTest::ALL {
+            for (mode, durability) in commit_modes() {
+                rows.push(run_commit_cell(scale, system, mode, durability, flush_us));
+            }
+        }
+    }
+    let summary = CommitSummary {
+        branches: scale.tpcb_branches,
+        clients: scale.clients_for(100.0),
+        interval_ms: scale.duration.as_millis() as u64,
+        flush_points,
+        rows,
+    };
+
+    let mut report = Report::new("Commit: sync vs group commit vs group+ELR (TPC-B)");
+    report.line(format!(
+        "  {} branches, {} clients, {} ms per interval",
+        summary.branches, summary.clients, summary.interval_ms
+    ));
+    for &flush_us in &summary.flush_points {
+        report.blank();
+        report.line(format!("  log-device latency {flush_us} us:"));
+        report.line(format!(
+            "  {:<10} {:<10} {:>10} {:>12} {:>10} {:>12} {:>12}",
+            "engine", "mode", "tps", "mean group", "elr", "commit(us)", "latency(us)"
+        ));
+        for row in summary.rows.iter().filter(|r| r.flush_us == flush_us) {
+            report.line(format!(
+                "  {:<10} {:<10} {:>10.0} {:>12.2} {:>10} {:>12.1} {:>12.1}",
+                row.engine,
+                row.mode,
+                row.tps,
+                row.mean_group,
+                row.elr_releases,
+                row.commit_wait_us,
+                row.latency_us,
+            ));
+        }
+    }
+    report.blank();
+    report.line("  (mean group = commit records hardened per flusher device write;");
+    report.line("   sync mode has no flusher, so its group column reads 0)");
+    (report, summary)
+}
+
 /// Runs every paper figure at the given scale, returning the reports.
 /// The `skew` experiment is not included — run it through
 /// [`skew_with_summary`] so its report and machine-readable summary come
@@ -974,12 +1184,13 @@ pub fn figures(scale: &Scale) -> Vec<Report> {
     ]
 }
 
-/// Runs every experiment (paper figures plus `skew` and `dispatch`) at the
-/// given scale.
+/// Runs every experiment (paper figures plus `skew`, `dispatch` and
+/// `commit`) at the given scale.
 pub fn all(scale: &Scale) -> Vec<Report> {
     let mut reports = figures(scale);
     reports.push(skew(scale));
     reports.push(dispatch(scale));
+    reports.push(commit(scale));
     reports
 }
 
@@ -1000,6 +1211,7 @@ pub fn by_name(name: &str, scale: &Scale) -> Option<Report> {
         "fig11" => Some(fig11(scale)),
         "skew" => Some(skew(scale)),
         "dispatch" => Some(dispatch(scale)),
+        "commit" => Some(commit(scale)),
         _ => None,
     }
 }
@@ -1131,6 +1343,67 @@ mod tests {
                 "unbalanced {open}{close} in {json}"
             );
         }
+    }
+
+    #[test]
+    fn commit_summary_renders_valid_json_shape() {
+        let summary = CommitSummary {
+            branches: 8,
+            clients: 4,
+            interval_ms: 80,
+            flush_points: vec![15, 60],
+            rows: vec![
+                CommitRow {
+                    engine: "Baseline",
+                    mode: "sync",
+                    flush_us: 15,
+                    tps: 1000.0,
+                    committed: 100,
+                    flush_groups: 0,
+                    mean_group: 0.0,
+                    max_group: 0,
+                    elr_releases: 0,
+                    commit_wait_us: 25.5,
+                    latency_us: 120.0,
+                },
+                CommitRow {
+                    engine: "DORA",
+                    mode: "group+elr",
+                    flush_us: 60,
+                    tps: 2500.0,
+                    committed: 250,
+                    flush_groups: 40,
+                    mean_group: 6.25,
+                    max_group: 16,
+                    elr_releases: 250,
+                    commit_wait_us: 80.0,
+                    latency_us: 150.0,
+                },
+            ],
+        };
+        let json = summary.to_json();
+        assert!(json.contains("\"experiment\": \"commit\""), "{json}");
+        assert!(json.contains("\"flush_points\": [15,60]"), "{json}");
+        assert!(json.contains("\"mode\": \"sync\""), "{json}");
+        assert!(json.contains("\"mode\": \"group+elr\""), "{json}");
+        assert!(json.contains("\"mean_group\": 6.250"), "{json}");
+        assert!(json.contains("\"elr_releases\": 250"), "{json}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_flush_points_are_nonzero() {
+        let scale = micro_scale();
+        let points = scale.commit_flush_points();
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|&p| p > 0));
+        assert!(points[1] > points[0]);
     }
 
     #[test]

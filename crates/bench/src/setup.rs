@@ -157,6 +157,15 @@ impl Scale {
     pub fn fanout(&self) -> dora_workloads::FanoutCounters {
         dora_workloads::FanoutCounters::new(self.fanout_keys, self.fanout_actions)
     }
+
+    /// Simulated log-device latencies (µs) the `commit` durability
+    /// experiment sweeps: the scale's own flush latency and a 4× slower
+    /// device, where group commit matters proportionally more. Clamped away
+    /// from zero — the experiment's point is a nonzero durability window.
+    pub fn commit_flush_points(&self) -> Vec<u64> {
+        let base = self.log_flush_micros.max(15);
+        vec![base, base * 4]
+    }
 }
 
 /// A fully prepared system: database + loaded workload + bound engine.

@@ -17,7 +17,7 @@ pub mod key;
 pub mod outcome;
 pub mod value;
 
-pub use config::{AdaptiveConfig, CcMode, EngineKind, SystemConfig};
+pub use config::{AdaptiveConfig, CcMode, DurabilityConfig, EngineKind, SystemConfig};
 pub use error::{DbError, DbResult};
 pub use ids::{IndexId, PageId, Rid, SlotId, TableId, TxnId};
 pub use key::{Key, KeyRange};
@@ -26,7 +26,7 @@ pub use value::{Row, Value, ValueType};
 
 /// Convenience prelude re-exporting the types almost every module needs.
 pub mod prelude {
-    pub use crate::config::{AdaptiveConfig, CcMode, EngineKind, SystemConfig};
+    pub use crate::config::{AdaptiveConfig, CcMode, DurabilityConfig, EngineKind, SystemConfig};
     pub use crate::error::{DbError, DbResult};
     pub use crate::ids::{IndexId, PageId, Rid, SlotId, TableId, TxnId};
     pub use crate::key::{Key, KeyRange};

@@ -65,7 +65,7 @@ impl EngineInner {
     /// transactions sharing a flow graph (Section 4.2.3). Secondary actions
     /// (empty identifier) are executed directly by the calling thread
     /// (Section 4.2.2).
-    pub(crate) fn dispatch_phase(&self, txn: &Arc<DoraTxnInner>, phase: usize) {
+    pub(crate) fn dispatch_phase(self: &Arc<Self>, txn: &Arc<DoraTxnInner>, phase: usize) {
         let specs = {
             let mut pending = txn.pending_phases.lock();
             match pending.get_mut(phase).and_then(Option::take) {
@@ -182,7 +182,7 @@ impl EngineInner {
 
     /// Re-routes an action after a routing-rule change (used by the resize
     /// protocol when a draining executor hands back deferred actions).
-    pub(crate) fn redispatch(&self, action: Action) {
+    pub(crate) fn redispatch(self: &Arc<Self>, action: Action) {
         let table = action.table;
         let identifier = action.identifier.clone();
         match self.routing.route(table, &identifier) {
@@ -209,7 +209,12 @@ impl EngineInner {
         }
     }
 
-    fn execute_secondary(&self, txn: &Arc<DoraTxnInner>, phase: usize, spec: ActionSpec) {
+    fn execute_secondary(
+        self: &Arc<Self>,
+        txn: &Arc<DoraTxnInner>,
+        phase: usize,
+        spec: ActionSpec,
+    ) {
         incr(CounterKind::ActionsExecuted);
         if !txn.is_aborted() {
             let context = ActionContext {
@@ -228,7 +233,7 @@ impl EngineInner {
 
     /// Reports one action completion to the phase RVP, advancing the
     /// transaction when the RVP reaches zero.
-    pub(crate) fn report_and_advance(&self, txn: &Arc<DoraTxnInner>, phase: usize) {
+    pub(crate) fn report_and_advance(self: &Arc<Self>, txn: &Arc<DoraTxnInner>, phase: usize) {
         if txn.rvps[phase].report() {
             if phase + 1 < txn.phase_count() && !txn.is_aborted() {
                 self.dispatch_phase(txn, phase + 1);
@@ -238,29 +243,58 @@ impl EngineInner {
         }
     }
 
-    /// Terminal-RVP processing (steps 9–12 of Figure 9): commit or roll back
-    /// through the storage manager, notify every involved executor so it
-    /// releases the transaction's local locks, and wake the client.
-    pub(crate) fn finalize(&self, txn: &Arc<DoraTxnInner>) {
-        let result = if txn.is_aborted() {
+    /// Terminal-RVP processing (steps 9–12 of Figure 9), rebuilt around
+    /// asynchronous group commit: the reporting executor *precommits*
+    /// (append commit record, apply deferred flags, optionally release
+    /// locks early) and hands the durable wait to the log-flusher daemon
+    /// with a completion callback — it never sleeps on log I/O and
+    /// immediately returns to its inbox. The client is woken from the
+    /// flusher once the commit's group hardens.
+    ///
+    /// With early lock release the `Completed` fan-out (which frees the
+    /// transaction's executor-local locks) also happens here, at precommit,
+    /// shrinking local-lock hold times to the pre-durability window; with
+    /// ELR off it happens in the durability callback, preserving
+    /// commit-duration locking for A/B runs.
+    pub(crate) fn finalize(self: &Arc<Self>, txn: &Arc<DoraTxnInner>) {
+        if txn.is_aborted() {
             let _ = self.db.abort(&txn.handle);
-            Err(txn.abort_reason().unwrap_or(DbError::TxnAborted {
+            let result = Err(txn.abort_reason().unwrap_or(DbError::TxnAborted {
                 txn: txn.id(),
                 reason: "aborted".into(),
-            }))
-        } else {
-            match self.db.commit(&txn.handle) {
-                Ok(()) => Ok(()),
-                Err(error) => {
-                    let _ = self.db.abort(&txn.handle);
-                    Err(error)
-                }
+            }));
+            self.commit_fanout(txn);
+            txn.completion.finish(result);
+            return;
+        }
+        match self.db.precommit(&txn.handle) {
+            Err(error) => {
+                let _ = self.db.abort(&txn.handle);
+                self.commit_fanout(txn);
+                txn.completion.finish(Err(error));
             }
-        };
-        // Commit fan-out: each involved executor receives exactly one
-        // `Completed` message, so every push is a batch of one — one lock
-        // acquisition and one wake per destination, with the counters bumped
-        // once for the whole fan-out.
+            Ok(handle) => {
+                let early_released = handle.early_released();
+                if early_released {
+                    self.commit_fanout(txn);
+                }
+                let engine = Arc::clone(self);
+                let txn2 = Arc::clone(txn);
+                self.db.commit_async(&txn.handle, handle, move || {
+                    if !early_released {
+                        engine.commit_fanout(&txn2);
+                    }
+                    txn2.completion.finish(Ok(()));
+                });
+            }
+        }
+    }
+
+    /// Commit fan-out: each involved executor receives exactly one
+    /// `Completed` message, so every push is a batch of one — one lock
+    /// acquisition and one wake per destination, with the counters bumped
+    /// once for the whole fan-out.
+    fn commit_fanout(&self, txn: &Arc<DoraTxnInner>) {
         let involved: Vec<(TableId, usize)> = txn.involved.lock().iter().copied().collect();
         incr_by(CounterKind::DoraMessages, involved.len() as u64);
         incr_by(CounterKind::DispatchBatches, involved.len() as u64);
@@ -270,7 +304,6 @@ impl EngineInner {
             }
         }
         self.db.lock_manager().remove_external_wait(txn.id());
-        txn.completion.finish(result);
     }
 }
 

@@ -62,6 +62,13 @@ impl BaselineEngine {
     /// Executes `body` as one transaction with full concurrency control,
     /// retrying deadlock victims up to the configured limit.
     ///
+    /// The commit rides the same durability path as DORA's: under group
+    /// commit the worker thread *parks* on the log's LSN-keyed ticket queue
+    /// until the flusher daemon hardens the group carrying its commit
+    /// record (with ELR, its locks are already released by then) — so the
+    /// Figure-style engine comparisons stay apples-to-apples across commit
+    /// modes.
+    ///
     /// Returns `Committed` if a (possibly retried) attempt committed,
     /// `Aborted` if the body requested an abort for workload reasons, and
     /// `GaveUp` if every retry ended in a deadlock (counted under

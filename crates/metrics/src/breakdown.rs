@@ -45,6 +45,12 @@ pub struct TimeBreakdown {
 
 impl TimeBreakdown {
     /// Builds a breakdown from a snapshot delta.
+    ///
+    /// [`TimeCategory::CommitWait`] is deliberately *not* rolled up: it is
+    /// the client-visible commit stall, which in synchronous-commit mode
+    /// overlaps the [`TimeCategory::LogWait`] device time already counted
+    /// under other contention. The driver reports it separately as commit
+    /// latency.
     pub fn from_snapshot(delta: &Snapshot) -> Self {
         let acquire = delta.nanos(TimeCategory::LockMgrAcquire);
         let acquire_cont = delta.nanos(TimeCategory::LockMgrAcquireContention);

@@ -65,10 +65,19 @@ pub enum CounterKind {
     ///
     /// [`TxnAborted`]: CounterKind::TxnAborted
     TxnGaveUp = 19,
+    /// Flush groups hardened by the log-flusher daemon: one per simulated
+    /// device write that made at least one commit record durable.
+    /// `LogRecords`-independent; divide the commit count by this for the
+    /// mean flush-group size (the log manager also keeps a histogram).
+    GroupCommits = 20,
+    /// Transactions whose locks (centralized and DORA thread-local) were
+    /// released at precommit, before their commit record was durable —
+    /// early lock release in action.
+    ElrEarlyReleases = 21,
 }
 
 /// Number of [`CounterKind`] variants; sizes the per-thread arrays.
-pub const COUNTER_KIND_COUNT: usize = 20;
+pub const COUNTER_KIND_COUNT: usize = 22;
 
 /// All counters, in `repr` order.
 pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
@@ -92,6 +101,8 @@ pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
     CounterKind::DispatchBatches,
     CounterKind::InboxDrains,
     CounterKind::TxnGaveUp,
+    CounterKind::GroupCommits,
+    CounterKind::ElrEarlyReleases,
 ];
 
 impl CounterKind {
@@ -123,6 +134,8 @@ impl CounterKind {
             CounterKind::DispatchBatches => "dispatch-batches",
             CounterKind::InboxDrains => "inbox-drains",
             CounterKind::TxnGaveUp => "txn-gave-up",
+            CounterKind::GroupCommits => "group-commits",
+            CounterKind::ElrEarlyReleases => "elr-early-releases",
         }
     }
 }

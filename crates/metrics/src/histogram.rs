@@ -18,6 +18,12 @@ pub struct LatencyHistogram {
 
 const BUCKETS: usize = 40;
 
+/// Index of the power-of-two bucket holding `value` (0 and 1 share bucket
+/// 1) — the single bucketing scheme both histograms use.
+fn bucket_of(value: u64) -> usize {
+    (64 - value.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+}
+
 impl Default for LatencyHistogram {
     fn default() -> Self {
         Self::new()
@@ -39,8 +45,7 @@ impl LatencyHistogram {
     /// Records one sample.
     pub fn record(&mut self, latency: Duration) {
         let micros = latency.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = (64 - micros.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket] += 1;
+        self.buckets[bucket_of(micros)] += 1;
         self.count += 1;
         self.total_micros += micros as u128;
         self.min_micros = self.min_micros.min(micros);
@@ -105,6 +110,80 @@ impl LatencyHistogram {
     }
 }
 
+/// Log-scaled histogram of dimensionless `u64` samples (power-of-two
+/// buckets), used for flush-group sizes. Same bucketing scheme as
+/// [`LatencyHistogram`], without the `Duration` framing.
+#[derive(Debug, Clone)]
+pub struct ValueHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total: u128,
+    max: u64,
+}
+
+impl Default for ValueHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ValueHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.total += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> u64 {
+        self.total.min(u64::MAX as u128) as u64
+    }
+
+    /// Mean sample, or zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Samples per power-of-two bucket, for text rendering: entry `i` counts
+    /// samples whose highest set bit is `i` (i.e. values in `[2^(i-1), 2^i)`,
+    /// with values 0 and 1 both in entry 1). Trailing empty buckets are
+    /// trimmed.
+    pub fn buckets(&self) -> Vec<u64> {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |i| i + 1);
+        self.buckets[..last].to_vec()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +216,22 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), Duration::from_micros(10));
         assert_eq!(a.max(), Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn value_histogram_tracks_mean_and_max() {
+        let mut histogram = ValueHistogram::new();
+        assert_eq!(histogram.mean(), 0.0);
+        assert!(histogram.buckets().is_empty());
+        for value in [1u64, 2, 4, 9] {
+            histogram.record(value);
+        }
+        assert_eq!(histogram.count(), 4);
+        assert_eq!(histogram.total(), 16);
+        assert_eq!(histogram.mean(), 4.0);
+        assert_eq!(histogram.max(), 9);
+        // 1 -> bucket 1, 2 -> bucket 2, 4 -> bucket 3, 9 -> bucket 4.
+        assert_eq!(histogram.buckets(), vec![0, 1, 1, 1, 1]);
     }
 
     #[test]

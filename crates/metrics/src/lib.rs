@@ -27,7 +27,7 @@ pub mod timing;
 
 pub use breakdown::TimeBreakdown;
 pub use counters::CounterKind;
-pub use histogram::LatencyHistogram;
+pub use histogram::{LatencyHistogram, ValueHistogram};
 pub use load::{LoadMonitor, LoadSample};
 pub use registry::{current_thread_snapshot, global, MetricsRegistry, Snapshot};
 pub use timing::{record_time, time_section, TimeCategory, TimerGuard};

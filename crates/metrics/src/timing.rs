@@ -40,15 +40,23 @@ pub enum TimeCategory {
     /// Time blocked on DORA local locks (waiting for a conflicting action of
     /// another in-flight transaction on the same executor).
     DoraLocalWait = 9,
-    /// Waiting for the log flush at commit.
+    /// Waiting for the log flush at commit (the device-latency share:
+    /// driving the flush, or spinning/parking while another thread does).
     LogWait = 10,
     /// Everything else attributable to the transaction-processing engine
     /// itself: queueing, dispatching, RVP bookkeeping.
     EngineOverhead = 11,
+    /// Client-visible commit wait: from precommit (commit record appended)
+    /// until the commit is durable and the transaction finished. Kept
+    /// separate from [`LogWait`] so the driver can report commit latency
+    /// separately from execute latency.
+    ///
+    /// [`LogWait`]: TimeCategory::LogWait
+    CommitWait = 12,
 }
 
 /// Number of [`TimeCategory`] variants; sizes the per-thread arrays.
-pub const TIME_CATEGORY_COUNT: usize = 12;
+pub const TIME_CATEGORY_COUNT: usize = 13;
 
 /// All categories, in `repr` order. Useful for iteration and reporting.
 pub const ALL_TIME_CATEGORIES: [TimeCategory; TIME_CATEGORY_COUNT] = [
@@ -64,6 +72,7 @@ pub const ALL_TIME_CATEGORIES: [TimeCategory; TIME_CATEGORY_COUNT] = [
     TimeCategory::DoraLocalWait,
     TimeCategory::LogWait,
     TimeCategory::EngineOverhead,
+    TimeCategory::CommitWait,
 ];
 
 impl TimeCategory {
@@ -87,6 +96,7 @@ impl TimeCategory {
             TimeCategory::DoraLocalWait => "dora-local-wait",
             TimeCategory::LogWait => "log-wait",
             TimeCategory::EngineOverhead => "engine-overhead",
+            TimeCategory::CommitWait => "commit-wait",
         }
     }
 }

@@ -20,14 +20,14 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use dora_common::prelude::*;
-use dora_metrics::{time_section, TimeCategory};
+use dora_metrics::{incr, record_time, time_section, CounterKind, TimeCategory};
 
 use crate::btree::{BTreeIndex, IndexEntry};
 use crate::buffer::{BufferPool, PageStore};
 use crate::catalog::{Catalog, IndexSpec, TableSchema};
 use crate::heap::HeapFile;
 use crate::lock::{LockId, LockManager, LockMode};
-use crate::log::{LogManager, LogRecordKind};
+use crate::log::{LogManager, LogRecord, LogRecordKind, Lsn};
 use crate::txn::{TxnManager, TxnState, TxnStatus};
 
 /// An entry returned by a secondary-index probe: the record's RID plus the
@@ -64,6 +64,30 @@ impl TxnHandle {
     /// Number of centralized locks currently held (diagnostics).
     pub fn held_lock_count(&self) -> usize {
         self.state.held_lock_count()
+    }
+}
+
+/// The outcome of a successful [`Database::precommit`]: the commit record's
+/// LSN (if the transaction wrote anything) and whether its locks were
+/// already released early. Redeemed exactly once, with
+/// [`Database::commit_wait`] or [`Database::commit_async`].
+#[derive(Debug)]
+#[must_use = "a precommitted transaction must be completed with commit_wait or commit_async"]
+pub struct CommitHandle {
+    lsn: Option<Lsn>,
+    early_released: bool,
+}
+
+impl CommitHandle {
+    /// LSN of the commit record (`None` for read-only transactions, which
+    /// have nothing to make durable).
+    pub fn lsn(&self) -> Option<Lsn> {
+        self.lsn
+    }
+
+    /// `true` if precommit released the transaction's locks early (ELR).
+    pub fn early_released(&self) -> bool {
+        self.early_released
     }
 }
 
@@ -106,7 +130,7 @@ impl Database {
             primaries: RwLock::new(Vec::new()),
             secondaries: RwLock::new(Vec::new()),
             locks: LockManager::new(config.deadlock_detection),
-            log: LogManager::new(config.log_flush_micros),
+            log: LogManager::with_durability(config.log_flush_micros, config.durability.clone()),
             txns: TxnManager::new(),
             config,
         })
@@ -197,19 +221,43 @@ impl Database {
 
     // ----- transactions ----------------------------------------------------
 
-    /// Begins a transaction.
+    /// Begins a transaction. No log record is written here: the `Begin`
+    /// record is appended lazily by the transaction's first data-change
+    /// record, so read-only transactions generate zero log traffic.
     pub fn begin(&self) -> TxnHandle {
         let state = self.txns.begin();
-        self.log.append(state.id, LogRecordKind::Begin);
         TxnHandle {
             state,
             deferred_flags: Arc::new(parking_lot::Mutex::new(Vec::new())),
         }
     }
 
-    /// Commits a transaction: writes and flushes the commit record, applies
-    /// deferred secondary-index delete flags, releases centralized locks.
-    pub fn commit(&self, txn: &TxnHandle) -> DbResult<()> {
+    /// Appends a data-change record for `txn`, writing the lazy `Begin`
+    /// record first if this is the transaction's first change.
+    fn log_change(&self, txn: &TxnHandle, kind: LogRecordKind) {
+        if txn.state.claim_begin_record() {
+            self.log.append(txn.id(), LogRecordKind::Begin);
+        }
+        let lsn = self.log.append(txn.id(), kind);
+        txn.state.note_lsn(lsn);
+    }
+
+    /// First half of commit: appends the commit record to the log buffer,
+    /// applies deferred secondary-index delete flags, and — when
+    /// [`DurabilityConfig::early_lock_release`] is on — releases the
+    /// transaction's centralized locks and marks it committed *before* the
+    /// record is durable. The returned [`CommitHandle`] is redeemed with
+    /// [`Self::commit_wait`] (block until durable) or [`Self::commit_async`]
+    /// (completion callback from the log flusher).
+    ///
+    /// After a successful precommit the transaction's outcome is decided:
+    /// it must not be aborted, only waited on. Safety of the early release
+    /// rests on the single log's LSN order — any dependent transaction's
+    /// commit record lands *after* this one, so no flushed prefix can
+    /// contain the dependent without also containing this transaction.
+    ///
+    /// [`DurabilityConfig::early_lock_release`]: dora_common::config::DurabilityConfig::early_lock_release
+    pub fn precommit(&self, txn: &TxnHandle) -> DbResult<CommitHandle> {
         if !txn.is_active() {
             return Err(DbError::InvalidOperation(format!(
                 "{} is not active",
@@ -219,11 +267,13 @@ impl Database {
         // Read-only transactions have nothing to make durable: skip the
         // commit record and the log flush, as real engines do. `last_lsn` is
         // only advanced by data-change records.
-        if txn.state.last_lsn() > crate::log::Lsn(0) {
+        let lsn = if txn.state.last_lsn() > Lsn(0) {
             let lsn = self.log.append(txn.id(), LogRecordKind::Commit);
             txn.state.note_lsn(lsn);
-            self.log.flush(lsn);
-        }
+            Some(lsn)
+        } else {
+            None
+        };
         // The paper: "once the deleting transaction commits, it goes back and
         // sets the flag for each index entry of a deleted record outside of
         // any transaction."
@@ -233,11 +283,86 @@ impl Database {
             // The entry may have been garbage collected already; ignore.
             let _ = index.set_deleted_flag(&key, rid, true);
         }
+        let early_released = self.config.durability.early_lock_release;
+        if early_released {
+            self.finish_commit(txn);
+            if lsn.is_some() {
+                incr(CounterKind::ElrEarlyReleases);
+            }
+        }
+        Ok(CommitHandle {
+            lsn,
+            early_released,
+        })
+    }
+
+    /// Releases centralized locks and retires the transaction as committed.
+    fn finish_commit(&self, txn: &TxnHandle) {
         let held = std::mem::take(&mut *txn.state.held.lock());
         self.locks.release_all(txn.id(), held);
         self.txns.finish(&txn.state, TxnStatus::Committed);
         self.log.forget(txn.id());
+    }
+
+    /// Second half of commit: blocks until the commit record is durable
+    /// (parking on the group-commit ticket queue, or driving the flush in
+    /// synchronous mode), then releases locks if precommit did not already.
+    /// The wall-clock wait is charged to [`TimeCategory::CommitWait`] so the
+    /// driver can report commit latency separately from execute latency.
+    pub fn commit_wait(&self, txn: &TxnHandle, handle: CommitHandle) -> DbResult<()> {
+        if let Some(lsn) = handle.lsn {
+            time_section(TimeCategory::CommitWait, || self.log.flush(lsn));
+        }
+        if !handle.early_released {
+            self.finish_commit(txn);
+        }
         Ok(())
+    }
+
+    /// Second half of commit, asynchronous: registers `on_durable` to fire
+    /// once the commit record hardens, without blocking the caller. This is
+    /// the path DORA's terminal RVP uses so executor threads never sleep on
+    /// log I/O: the callback (running on the log-flusher thread) releases
+    /// any remaining locks and notifies the client.
+    ///
+    /// Read-only transactions, and synchronous-commit configurations (where
+    /// the caller must pay the device latency for the A/B comparison to
+    /// hold), complete inline on the calling thread.
+    pub fn commit_async(
+        self: &Arc<Self>,
+        txn: &TxnHandle,
+        handle: CommitHandle,
+        on_durable: impl FnOnce() + Send + 'static,
+    ) {
+        let Some(lsn) = handle.lsn else {
+            if !handle.early_released {
+                self.finish_commit(txn);
+            }
+            on_durable();
+            return;
+        };
+        let db = Arc::clone(self);
+        let txn = txn.clone();
+        let early_released = handle.early_released;
+        let start = std::time::Instant::now();
+        self.log.submit_commit(
+            lsn,
+            Box::new(move || {
+                if !early_released {
+                    db.finish_commit(&txn);
+                }
+                record_time(TimeCategory::CommitWait, start.elapsed());
+                on_durable();
+            }),
+        );
+    }
+
+    /// Commits a transaction synchronously: [`Self::precommit`] followed by
+    /// [`Self::commit_wait`]. Under group commit the calling thread parks
+    /// until the flusher daemon hardens the group carrying this commit.
+    pub fn commit(&self, txn: &TxnHandle) -> DbResult<()> {
+        let handle = self.precommit(txn)?;
+        self.commit_wait(txn, handle)
     }
 
     /// Aborts a transaction: undoes its changes (walking its log records
@@ -267,7 +392,11 @@ impl Database {
             }
         }
         txn.deferred_flags.lock().clear();
-        self.log.append(txn.id(), LogRecordKind::Abort);
+        // A transaction that never logged a change has nothing to mark
+        // aborted either — read-only aborts stay off the log entirely.
+        if txn.state.has_logged() {
+            self.log.append(txn.id(), LogRecordKind::Abort);
+        }
         let held = std::mem::take(&mut *txn.state.held.lock());
         self.locks.release_all(txn.id(), held);
         self.txns.finish(&txn.state, TxnStatus::Aborted);
@@ -409,15 +538,14 @@ impl Database {
             let _ = heap.delete(rid);
             return Err(err);
         }
-        let lsn = self.log.append(
-            txn.id(),
+        self.log_change(
+            txn,
             LogRecordKind::Insert {
                 table,
                 rid,
                 after: bytes.to_vec(),
             },
         );
-        txn.state.note_lsn(lsn);
         Ok(rid)
     }
 
@@ -503,8 +631,8 @@ impl Database {
         f(&mut row)?;
         let after = Value::encode_row(&row);
         time_section(TimeCategory::Work, || heap.update(rid, &after))?;
-        let lsn = self.log.append(
-            txn.id(),
+        self.log_change(
+            txn,
             LogRecordKind::Update {
                 table,
                 rid,
@@ -512,7 +640,6 @@ impl Database {
                 after: after.to_vec(),
             },
         );
-        txn.state.note_lsn(lsn);
         Ok(())
     }
 
@@ -580,15 +707,14 @@ impl Database {
                     .push((index_meta.id, secondary_key, rid));
             }
         }
-        let lsn = self.log.append(
-            txn.id(),
+        self.log_change(
+            txn,
             LogRecordKind::Delete {
                 table,
                 rid,
                 before: before.to_vec(),
             },
         );
-        txn.state.note_lsn(lsn);
         Ok(())
     }
 
@@ -674,7 +800,21 @@ impl Database {
     /// committed transactions into a fresh instance with the same schema.
     /// Used by tests to validate that the log captures committed state.
     pub fn recover_into(&self, fresh: &Database) -> DbResult<()> {
-        for record in self.log.committed_changes() {
+        self.replay(fresh, self.log.committed_changes())
+    }
+
+    /// [`Self::recover_into`] restricted to the log prefix with LSN ≤
+    /// `upto` — what recovery would reconstruct if the log tail past `upto`
+    /// were lost in a crash. Only transactions whose commit record is inside
+    /// the prefix are replayed; the crash-consistency property tests use
+    /// this to show that early lock release leaves no torn transactions or
+    /// ghosts behind any flush horizon.
+    pub fn recover_prefix_into(&self, fresh: &Database, upto: Lsn) -> DbResult<()> {
+        self.replay(fresh, self.log.committed_changes_in_prefix(upto))
+    }
+
+    fn replay(&self, fresh: &Database, records: Vec<LogRecord>) -> DbResult<()> {
+        for record in records {
             match record.kind {
                 LogRecordKind::Insert { table, rid, after } => {
                     let row = Value::decode_row(&after)?;
@@ -1022,6 +1162,130 @@ mod tests {
             accounts as f64 * 100.0,
             "money must be conserved across transfers"
         );
+    }
+
+    fn accounts_db_with(durability: DurabilityConfig) -> (Arc<Database>, TableId) {
+        let config = SystemConfig {
+            durability,
+            ..SystemConfig::for_tests()
+        };
+        let db = Database::new(config);
+        let table = db
+            .create_table(TableSchema::new(
+                "accounts",
+                vec![
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("owner", ValueType::Text),
+                    ColumnDef::new("balance", ValueType::Float),
+                ],
+                vec![0],
+            ))
+            .unwrap();
+        (db, table)
+    }
+
+    #[test]
+    fn elr_releases_locks_at_precommit_before_durability() {
+        // A huge group window keeps the flusher from hardening anything
+        // until we actually wait, so the pre-durable state is observable.
+        let (db, table) = accounts_db_with(DurabilityConfig {
+            group_window_micros: 200_000,
+            ..DurabilityConfig::default()
+        });
+        let txn = db.begin();
+        db.insert(&txn, table, account_row(1, "alice", 1.0), CcMode::Full)
+            .unwrap();
+        assert!(txn.held_lock_count() > 0);
+        let handle = db.precommit(&txn).unwrap();
+        assert!(handle.early_released());
+        let lsn = handle.lsn().expect("data change must log a commit record");
+        assert_eq!(
+            txn.held_lock_count(),
+            0,
+            "ELR must release locks at precommit"
+        );
+        assert_eq!(txn.status(), TxnStatus::Committed);
+        assert!(
+            db.log_manager().flushed_lsn() < lsn,
+            "commit record must not be durable yet"
+        );
+        db.commit_wait(&txn, handle).unwrap();
+        assert!(db.log_manager().flushed_lsn() >= lsn);
+    }
+
+    #[test]
+    fn without_elr_locks_are_held_until_durable() {
+        for durability in [
+            DurabilityConfig::sync_commit(),
+            DurabilityConfig::group_commit_only(),
+        ] {
+            let (db, table) = accounts_db_with(durability);
+            let txn = db.begin();
+            db.insert(&txn, table, account_row(1, "alice", 1.0), CcMode::Full)
+                .unwrap();
+            let handle = db.precommit(&txn).unwrap();
+            assert!(!handle.early_released());
+            assert!(
+                txn.held_lock_count() > 0,
+                "without ELR, locks outlive precommit"
+            );
+            assert_eq!(txn.status(), TxnStatus::Active);
+            db.commit_wait(&txn, handle).unwrap();
+            assert_eq!(txn.held_lock_count(), 0);
+            assert_eq!(txn.status(), TxnStatus::Committed);
+        }
+    }
+
+    #[test]
+    fn commit_async_completes_from_the_flusher() {
+        let (db, table) = accounts_db();
+        let txn = db.begin();
+        db.insert(&txn, table, account_row(1, "alice", 1.0), CcMode::Full)
+            .unwrap();
+        let handle = db.precommit(&txn).unwrap();
+        let lsn = handle.lsn().unwrap();
+        let done = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
+        let done2 = Arc::clone(&done);
+        let db2 = Arc::clone(&db);
+        db.commit_async(&txn, handle, move || {
+            assert!(db2.log_manager().flushed_lsn() >= lsn);
+            let mut flag = done2.0.lock();
+            *flag = true;
+            done2.1.notify_all();
+        });
+        let mut flag = done.0.lock();
+        while !*flag {
+            done.1.wait(&mut flag);
+        }
+        assert_eq!(txn.status(), TxnStatus::Committed);
+    }
+
+    #[test]
+    fn begin_record_is_lazy_and_read_only_txns_log_nothing() {
+        let (db, table) = accounts_db();
+        let log = db.log_manager();
+
+        // Read-only commit: zero log records.
+        let reader = db.begin();
+        db.commit(&reader).unwrap();
+        assert!(log.is_empty());
+
+        // Read-only abort: still zero log records.
+        let reader = db.begin();
+        db.abort(&reader).unwrap();
+        assert!(log.is_empty());
+
+        // First data change appends Begin + the change; later changes only
+        // append themselves.
+        let writer = db.begin();
+        db.insert(&writer, table, account_row(1, "alice", 1.0), CcMode::Full)
+            .unwrap();
+        assert_eq!(log.len(), 2, "lazy Begin plus the insert");
+        db.insert(&writer, table, account_row(2, "bob", 2.0), CcMode::Full)
+            .unwrap();
+        assert_eq!(log.len(), 3);
+        db.commit(&writer).unwrap();
+        assert_eq!(log.len(), 4, "commit record closes the transaction");
     }
 
     #[test]

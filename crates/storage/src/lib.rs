@@ -41,7 +41,7 @@ pub mod page;
 pub mod txn;
 
 pub use catalog::{Catalog, ColumnDef, IndexSpec, TableSchema};
-pub use db::{Database, SecondaryEntry, TxnHandle};
+pub use db::{CommitHandle, Database, SecondaryEntry, TxnHandle};
 pub use latch::{Latch, LatchGuard};
 pub use lock::{LockId, LockManager, LockMode};
 pub use log::{LogManager, LogRecord, LogRecordKind, Lsn};

@@ -8,7 +8,7 @@
 //! executor threads.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -41,6 +41,10 @@ pub struct TxnState {
     pub(crate) held: Mutex<HeldLocks>,
     /// Last LSN written by this transaction (commit must flush up to here).
     last_lsn: Mutex<Lsn>,
+    /// Set by whichever thread appends the transaction's first data-change
+    /// record (the `Begin` record is written lazily just before it, so
+    /// read-only transactions generate zero log traffic).
+    begin_logged: AtomicBool,
 }
 
 impl TxnState {
@@ -50,6 +54,7 @@ impl TxnState {
             status: Mutex::new(TxnStatus::Active),
             held: Mutex::new(HeldLocks::new()),
             last_lsn: Mutex::new(Lsn(0)),
+            begin_logged: AtomicBool::new(false),
         }
     }
 
@@ -83,6 +88,19 @@ impl TxnState {
 
     pub(crate) fn set_status(&self, status: TxnStatus) {
         *self.status.lock() = status;
+    }
+
+    /// Flags the transaction as having logged its `Begin` record; returns
+    /// `true` exactly once (for the thread that must append it). Under DORA
+    /// several executor threads may race to write the first data-change
+    /// record, hence the atomic swap.
+    pub(crate) fn claim_begin_record(&self) -> bool {
+        !self.begin_logged.swap(true, Ordering::AcqRel)
+    }
+
+    /// `true` once any log record has been appended for this transaction.
+    pub(crate) fn has_logged(&self) -> bool {
+        self.begin_logged.load(Ordering::Acquire)
     }
 }
 
