@@ -6,17 +6,20 @@
 //! cargo run -p dora-bench --release --bin repro -- skew --json=BENCH_skew.json
 //! cargo run -p dora-bench --release --bin repro -- dispatch --json
 //! cargo run -p dora-bench --release --bin repro -- commit --json
+//! cargo run -p dora-bench --release --bin repro -- recover --json
 //! ```
 //!
 //! Every figure of the evaluation section (and the appendix) has a
 //! subcommand; `fig9` is validated by the integration test
-//! `payment_twelve_steps` instead of a measurement. Three experiments are
+//! `payment_twelve_steps` instead of a measurement. Four experiments are
 //! this reproduction's own: `skew` (adaptive repartitioning under a zipfian
 //! workload), `dispatch` (the executor message path, per-message vs
-//! batched) and `commit` (sync vs group commit vs group+ELR durability).
-//! Each optionally emits a machine-readable summary for CI's bench-smoke
-//! artifacts via `--json[=path]` (defaults `BENCH_skew.json` /
-//! `BENCH_dispatch.json` / `BENCH_commit.json`; an explicit path applies
+//! batched), `commit` (sync vs group commit vs group+ELR durability across
+//! log-stream counts) and `recover` (serial vs parallel vs checkpoint
+//! replay over the partitioned WAL). Each optionally emits a
+//! machine-readable summary for CI's bench-smoke artifacts via
+//! `--json[=path]` (defaults `BENCH_skew.json` / `BENCH_dispatch.json` /
+//! `BENCH_commit.json` / `BENCH_recover.json`; an explicit path applies
 //! when a single JSON-producing experiment is requested, otherwise each
 //! falls back to its default). Reports are printed to stdout; absolute numbers depend on the
 //! host, but the *shapes* the paper reports (who wins, where the baseline
@@ -38,13 +41,13 @@ fn main() {
     let requested: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let run_all = requested.is_empty() || requested.iter().any(|a| a.as_str() == "all");
 
-    // The JSON-producing experiments (skew, dispatch) each have a default
-    // artifact path; an explicit --json=path only applies when exactly one
-    // of them runs, so two experiments never clobber one file.
+    // The JSON-producing experiments each have a default artifact path; an
+    // explicit --json=path only applies when exactly one of them runs, so
+    // two experiments never clobber one file.
     let json_producers_requested = if run_all {
-        3
+        4
     } else {
-        ["skew", "dispatch", "commit"]
+        ["skew", "dispatch", "commit", "recover"]
             .iter()
             .filter(|name| requested.iter().any(|a| a.as_str() == **name))
             .count()
@@ -89,6 +92,13 @@ fn main() {
             write_json(&path, summary.to_json());
         }
     };
+    let run_recover = |scale: &Scale| {
+        let (report, summary) = experiments::recover_with_summary(scale);
+        println!("{report}");
+        if let Some(path) = json_path_for("BENCH_recover.json") {
+            write_json(&path, summary.to_json());
+        }
+    };
 
     if run_all {
         println!(
@@ -103,6 +113,7 @@ fn main() {
         run_skew(&scale);
         run_dispatch(&scale);
         run_commit(&scale);
+        run_recover(&scale);
         return;
     }
 
@@ -122,6 +133,10 @@ fn main() {
                 run_commit(&scale);
                 ran_json_producer = true;
             }
+            "recover" => {
+                run_recover(&scale);
+                ran_json_producer = true;
+            }
             other => match experiments::by_name(other, &scale) {
                 Some(report) => println!("{report}"),
                 None => unknown.push(other.to_string()),
@@ -129,11 +144,11 @@ fn main() {
         }
     }
     if json_requested && !ran_json_producer {
-        eprintln!("warning: --json ignored — none of skew/dispatch/commit was requested");
+        eprintln!("warning: --json ignored — none of skew/dispatch/commit/recover was requested");
     }
     if !unknown.is_empty() {
         eprintln!(
-            "unknown experiment(s): {} (valid: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 skew dispatch commit all)",
+            "unknown experiment(s): {} (valid: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 skew dispatch commit recover all)",
             unknown.join(", ")
         );
         std::process::exit(2);

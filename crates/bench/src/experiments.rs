@@ -5,6 +5,7 @@
 //! compares to the paper's.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use dora_common::config::AdaptiveConfig;
 use dora_common::prelude::*;
@@ -16,6 +17,8 @@ use dora_engine::{
 use dora_metrics::CounterKind;
 use dora_storage::Database;
 use dora_workloads::{Tm1Mix, Tpcc, TpccMix, Workload};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 use crate::report::{breakdown_row, pct, Report};
 use crate::setup::{prepare, run_clients, sweep, Scale, SystemUnderTest};
@@ -965,6 +968,9 @@ pub struct CommitRow {
     pub mode: &'static str,
     /// Simulated log-device latency in microseconds.
     pub flush_us: u64,
+    /// Log streams the WAL was partitioned into (1 = the classic single
+    /// serial log).
+    pub streams: usize,
     /// Committed tps over the measured interval.
     pub tps: f64,
     /// Transactions committed.
@@ -996,7 +1002,9 @@ pub struct CommitSummary {
     pub interval_ms: u64,
     /// The swept simulated device latencies, in microseconds.
     pub flush_points: Vec<u64>,
-    /// One row per engine × mode × device latency.
+    /// The swept log-stream counts (the partitioned-WAL axis).
+    pub stream_points: Vec<usize>,
+    /// One row per engine × mode × device latency × stream count.
     pub rows: Vec<CommitRow>,
 }
 
@@ -1011,7 +1019,7 @@ impl CommitSummary {
                 format!(
                     concat!(
                         "    {{\"engine\": \"{}\", \"mode\": \"{}\", ",
-                        "\"flush_us\": {}, \"tps\": {:.1}, \"committed\": {}, ",
+                        "\"flush_us\": {}, \"streams\": {}, \"tps\": {:.1}, \"committed\": {}, ",
                         "\"flush_groups\": {}, \"mean_group\": {:.3}, ",
                         "\"max_group\": {}, \"elr_releases\": {}, ",
                         "\"commit_wait_us\": {:.1}, \"latency_us\": {:.1}}}"
@@ -1019,6 +1027,7 @@ impl CommitSummary {
                     row.engine,
                     row.mode,
                     row.flush_us,
+                    row.streams,
                     row.tps,
                     row.committed,
                     row.flush_groups,
@@ -1037,13 +1046,20 @@ impl CommitSummary {
             .map(|p| p.to_string())
             .collect::<Vec<_>>()
             .join(",");
+        let stream_points = self
+            .stream_points
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\n  \"experiment\": \"commit\",\n  \"branches\": {},\n",
                 "  \"clients\": {},\n  \"interval_ms\": {},\n",
-                "  \"flush_points\": [{}],\n  \"rows\": [\n{}\n  ]\n}}\n"
+                "  \"flush_points\": [{}],\n  \"stream_points\": [{}],\n",
+                "  \"rows\": [\n{}\n  ]\n}}\n"
             ),
-            self.branches, self.clients, self.interval_ms, points, rows
+            self.branches, self.clients, self.interval_ms, points, stream_points, rows
         )
     }
 }
@@ -1064,10 +1080,11 @@ fn run_commit_cell(
     mode: &'static str,
     durability: dora_common::DurabilityConfig,
     flush_us: u64,
+    streams: usize,
 ) -> CommitRow {
     let config = dora_common::SystemConfig {
         log_flush_micros: flush_us,
-        durability,
+        durability: durability.with_log_streams(streams),
         ..scale.system_config()
     };
     let db = Database::new(config);
@@ -1094,6 +1111,7 @@ fn run_commit_cell(
         engine: system.label(),
         mode,
         flush_us,
+        streams,
         tps: result.throughput_tps,
         committed: result.committed,
         flush_groups: groups.count(),
@@ -1118,19 +1136,41 @@ pub fn commit(scale: &Scale) -> Report {
 /// [`commit`], also returning the machine-readable summary.
 pub fn commit_with_summary(scale: &Scale) -> (Report, CommitSummary) {
     let flush_points = scale.commit_flush_points();
+    let stream_points = scale.log_stream_points.clone();
     let mut rows = Vec::new();
     for &flush_us in &flush_points {
         for system in SystemUnderTest::ALL {
             for (mode, durability) in commit_modes() {
-                rows.push(run_commit_cell(scale, system, mode, durability, flush_us));
+                for &streams in &stream_points {
+                    rows.push(run_commit_cell(
+                        scale,
+                        system,
+                        mode,
+                        durability.clone(),
+                        flush_us,
+                        streams,
+                    ));
+                }
             }
         }
+    }
+    // The partitioned log must not regress the synchronous baseline: sync
+    // commit flushes every touched stream from the committing thread itself,
+    // so it stays a valid A/B point at every stream count.
+    for row in rows.iter().filter(|r| r.mode == "sync") {
+        assert!(
+            row.committed > 0,
+            "{} sync commit produced no transactions with {} log streams",
+            row.engine,
+            row.streams
+        );
     }
     let summary = CommitSummary {
         branches: scale.tpcb_branches,
         clients: scale.clients_for(100.0),
         interval_ms: scale.duration.as_millis() as u64,
         flush_points,
+        stream_points,
         rows,
     };
 
@@ -1143,14 +1183,15 @@ pub fn commit_with_summary(scale: &Scale) -> (Report, CommitSummary) {
         report.blank();
         report.line(format!("  log-device latency {flush_us} us:"));
         report.line(format!(
-            "  {:<10} {:<10} {:>10} {:>12} {:>10} {:>12} {:>12}",
-            "engine", "mode", "tps", "mean group", "elr", "commit(us)", "latency(us)"
+            "  {:<10} {:<10} {:>8} {:>10} {:>12} {:>10} {:>12} {:>12}",
+            "engine", "mode", "streams", "tps", "mean group", "elr", "commit(us)", "latency(us)"
         ));
         for row in summary.rows.iter().filter(|r| r.flush_us == flush_us) {
             report.line(format!(
-                "  {:<10} {:<10} {:>10.0} {:>12.2} {:>10} {:>12.1} {:>12.1}",
+                "  {:<10} {:<10} {:>8} {:>10.0} {:>12.2} {:>10} {:>12.1} {:>12.1}",
                 row.engine,
                 row.mode,
+                row.streams,
                 row.tps,
                 row.mean_group,
                 row.elr_releases,
@@ -1161,7 +1202,259 @@ pub fn commit_with_summary(scale: &Scale) -> (Report, CommitSummary) {
     }
     report.blank();
     report.line("  (mean group = commit records hardened per flusher device write;");
-    report.line("   sync mode has no flusher, so its group column reads 0)");
+    report.line("   sync mode has no flusher, so its group column reads 0;");
+    report.line("   streams = WAL partitions, each with its own flusher daemon)");
+    (report, summary)
+}
+
+/// One cell of the `recover` experiment: one log-stream count, measured
+/// three ways (serial replay, parallel replay, checkpoint + delta).
+#[derive(Debug, Clone)]
+pub struct RecoverRow {
+    /// Log streams the WAL was partitioned into while the workload ran.
+    pub streams: usize,
+    /// Replay worker threads (= the stream count, so the axis reads as
+    /// "recovery parallelism bought by partitioning the log").
+    pub workers: usize,
+    /// Committed transactions reconstructed by replay.
+    pub txns: usize,
+    /// Total log records across all streams.
+    pub records: usize,
+    /// Records past the checkpoint's low-water marks (what checkpoint
+    /// recovery replays instead of the whole log).
+    pub delta_records: usize,
+    /// Single-threaded full-log replay, in milliseconds.
+    pub serial_ms: f64,
+    /// Parallel full-log replay with `workers` threads, in milliseconds.
+    pub parallel_ms: f64,
+    /// Checkpoint snapshot + parallel delta replay, in milliseconds.
+    pub checkpoint_ms: f64,
+}
+
+impl RecoverRow {
+    /// Committed transactions replayed per second by the parallel path.
+    pub fn parallel_tps(&self) -> f64 {
+        if self.parallel_ms <= 0.0 {
+            0.0
+        } else {
+            self.txns as f64 * 1_000.0 / self.parallel_ms
+        }
+    }
+
+    /// Serial-over-parallel replay time ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_ms <= 0.0 {
+            0.0
+        } else {
+            self.serial_ms / self.parallel_ms
+        }
+    }
+}
+
+/// Everything the `recover` experiment measured; serialized to
+/// `BENCH_recover.json` by the CI bench-smoke job.
+#[derive(Debug, Clone)]
+pub struct RecoverSummary {
+    /// TPC-B branches generating the log.
+    pub branches: i64,
+    /// Transactions logged per cell before measuring replay.
+    pub txns_per_cell: usize,
+    /// The swept log-stream counts.
+    pub stream_points: Vec<usize>,
+    /// One row per stream count.
+    pub rows: Vec<RecoverRow>,
+}
+
+impl RecoverSummary {
+    /// Renders the summary as a small JSON document (the workspace has no
+    /// serde; the fields are all numbers, so hand-rolling is safe).
+    pub fn to_json(&self) -> String {
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                format!(
+                    concat!(
+                        "    {{\"streams\": {}, \"workers\": {}, \"txns\": {}, ",
+                        "\"records\": {}, \"delta_records\": {}, ",
+                        "\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, ",
+                        "\"checkpoint_ms\": {:.3}, \"parallel_tps\": {:.1}, ",
+                        "\"speedup\": {:.3}}}"
+                    ),
+                    row.streams,
+                    row.workers,
+                    row.txns,
+                    row.records,
+                    row.delta_records,
+                    row.serial_ms,
+                    row.parallel_ms,
+                    row.checkpoint_ms,
+                    row.parallel_tps(),
+                    row.speedup(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let points = self
+            .stream_points
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                "{{\n  \"experiment\": \"recover\",\n  \"branches\": {},\n",
+                "  \"txns_per_cell\": {},\n  \"stream_points\": [{}],\n",
+                "  \"rows\": [\n{}\n  ]\n}}\n"
+            ),
+            self.branches, self.txns_per_cell, points, rows
+        )
+    }
+}
+
+fn run_recover_cell(scale: &Scale, streams: usize) -> RecoverRow {
+    // Replay speed is the subject; a simulated device latency would only
+    // slow the logging phase down.
+    let config = dora_common::SystemConfig {
+        log_flush_micros: 0,
+        durability: dora_common::DurabilityConfig::default().with_log_streams(streams),
+        ..scale.system_config()
+    };
+    let db = Database::new(config);
+    let workload: Arc<dyn Workload> = Arc::new(scale.tpcb());
+    workload.setup(&db).expect("setup TPC-B");
+    // DORA drives the log so the appends genuinely spread across the
+    // executor-owned streams; at one stream this degenerates to the classic
+    // serial WAL and serves as the baseline row.
+    let engine = build_engine(SystemUnderTest::Dora, Arc::clone(&db));
+    engine
+        .bind(Arc::clone(&workload), scale.executors_per_table)
+        .expect("bind TPC-B");
+
+    // First half of the transactions, then a fuzzy checkpoint, then the
+    // second half — so checkpoint recovery has a real snapshot *and* a real
+    // delta to replay.
+    let mut rng = SmallRng::seed_from_u64(0x5EC0_4E41 + streams as u64);
+    let half = scale.recover_txns / 2;
+    for _ in 0..half {
+        let _ = engine.execute_one(&mut rng);
+    }
+    db.log_manager().take_checkpoint();
+    for _ in half..scale.recover_txns {
+        let _ = engine.execute_one(&mut rng);
+    }
+    engine.shutdown();
+
+    let log = db.log_manager();
+    let records = log.len();
+    let txns: std::collections::HashSet<TxnId> =
+        log.committed_changes().iter().map(|r| r.txn).collect();
+    let delta_records = log
+        .checkpoint_snapshot()
+        .map(|cp| cp.pending().len() + log.records_after(cp.low_water()).len())
+        .unwrap_or(records);
+
+    let fresh_replica = || {
+        let fresh = Database::new(scale.system_config());
+        workload.create_schema(&fresh).expect("replica schema");
+        workload.load(&fresh).expect("replica load");
+        fresh
+    };
+    // Two passes per path, keeping the faster one: the first replay after
+    // the logging phase pays one-off allocator and cache warm-up that would
+    // otherwise be billed to whichever path happens to run first.
+    let time_ms = |replay: &dyn Fn(&Database)| {
+        (0..2)
+            .map(|_| {
+                let replica = fresh_replica();
+                let start = Instant::now();
+                replay(&replica);
+                start.elapsed().as_secs_f64() * 1_000.0
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let workers = streams.max(1);
+    let serial_ms = time_ms(&|replica| db.recover_into(replica).expect("serial replay"));
+    let parallel_ms = time_ms(&|replica| {
+        db.recover_into_parallel(replica, workers)
+            .expect("parallel replay")
+    });
+    let checkpoint_ms = time_ms(&|replica| {
+        db.recover_checkpoint_into(replica, workers)
+            .expect("checkpoint replay")
+    });
+
+    RecoverRow {
+        streams,
+        workers,
+        txns: txns.len(),
+        records,
+        delta_records,
+        serial_ms,
+        parallel_ms,
+        checkpoint_ms,
+    }
+}
+
+/// The recovery experiment: log a fixed TPC-B transaction count per
+/// log-stream count, then measure serial replay vs. parallel replay (one
+/// worker per stream) vs. fuzzy-checkpoint + delta replay. Not a paper
+/// figure — it quantifies what partitioning the WAL buys at restart: replay
+/// parallelism that scales with the stream count, and a checkpoint delta
+/// that shrinks the work regardless of parallelism.
+pub fn recover(scale: &Scale) -> Report {
+    recover_with_summary(scale).0
+}
+
+/// [`recover`], also returning the machine-readable summary.
+pub fn recover_with_summary(scale: &Scale) -> (Report, RecoverSummary) {
+    let stream_points = scale.log_stream_points.clone();
+    let rows: Vec<RecoverRow> = stream_points
+        .iter()
+        .map(|&streams| run_recover_cell(scale, streams))
+        .collect();
+    let summary = RecoverSummary {
+        branches: scale.tpcb_branches,
+        txns_per_cell: scale.recover_txns,
+        stream_points,
+        rows,
+    };
+
+    let mut report = Report::new("Recover: parallel log replay over a partitioned WAL (TPC-B)");
+    report.line(format!(
+        "  {} branches, {} transactions per cell, checkpoint at the midpoint",
+        summary.branches, summary.txns_per_cell
+    ));
+    report.blank();
+    report.line(format!(
+        "  {:>8} {:>8} {:>8} {:>8} {:>11} {:>13} {:>9} {:>9} {:>12}",
+        "streams",
+        "workers",
+        "txns",
+        "records",
+        "serial(ms)",
+        "parallel(ms)",
+        "speedup",
+        "ckpt(ms)",
+        "replay-tps"
+    ));
+    for row in &summary.rows {
+        report.line(format!(
+            "  {:>8} {:>8} {:>8} {:>8} {:>11.2} {:>13.2} {:>8.2}x {:>9.2} {:>12.0}",
+            row.streams,
+            row.workers,
+            row.txns,
+            row.records,
+            row.serial_ms,
+            row.parallel_ms,
+            row.speedup(),
+            row.checkpoint_ms,
+            row.parallel_tps(),
+        ));
+    }
+    report.blank();
+    report.line("  (parallel replay shards committed records by page across one worker");
+    report.line("   per stream; ckpt = checkpoint snapshot + parallel delta replay)");
     (report, summary)
 }
 
@@ -1184,13 +1477,14 @@ pub fn figures(scale: &Scale) -> Vec<Report> {
     ]
 }
 
-/// Runs every experiment (paper figures plus `skew`, `dispatch` and
-/// `commit`) at the given scale.
+/// Runs every experiment (paper figures plus `skew`, `dispatch`, `commit`
+/// and `recover`) at the given scale.
 pub fn all(scale: &Scale) -> Vec<Report> {
     let mut reports = figures(scale);
     reports.push(skew(scale));
     reports.push(dispatch(scale));
     reports.push(commit(scale));
+    reports.push(recover(scale));
     reports
 }
 
@@ -1212,6 +1506,7 @@ pub fn by_name(name: &str, scale: &Scale) -> Option<Report> {
         "skew" => Some(skew(scale)),
         "dispatch" => Some(dispatch(scale)),
         "commit" => Some(commit(scale)),
+        "recover" => Some(recover(scale)),
         _ => None,
     }
 }
@@ -1238,6 +1533,8 @@ mod tests {
             zipf_theta: 0.99,
             fanout_keys: 64,
             fanout_actions: 4,
+            log_stream_points: vec![1, 2],
+            recover_txns: 120,
         }
     }
 
@@ -1352,11 +1649,13 @@ mod tests {
             clients: 4,
             interval_ms: 80,
             flush_points: vec![15, 60],
+            stream_points: vec![1, 4],
             rows: vec![
                 CommitRow {
                     engine: "Baseline",
                     mode: "sync",
                     flush_us: 15,
+                    streams: 1,
                     tps: 1000.0,
                     committed: 100,
                     flush_groups: 0,
@@ -1370,6 +1669,7 @@ mod tests {
                     engine: "DORA",
                     mode: "group+elr",
                     flush_us: 60,
+                    streams: 4,
                     tps: 2500.0,
                     committed: 250,
                     flush_groups: 40,
@@ -1384,6 +1684,8 @@ mod tests {
         let json = summary.to_json();
         assert!(json.contains("\"experiment\": \"commit\""), "{json}");
         assert!(json.contains("\"flush_points\": [15,60]"), "{json}");
+        assert!(json.contains("\"stream_points\": [1,4]"), "{json}");
+        assert!(json.contains("\"streams\": 4"), "{json}");
         assert!(json.contains("\"mode\": \"sync\""), "{json}");
         assert!(json.contains("\"mode\": \"group+elr\""), "{json}");
         assert!(json.contains("\"mean_group\": 6.250"), "{json}");
@@ -1395,6 +1697,66 @@ mod tests {
                 "unbalanced {open}{close} in {json}"
             );
         }
+    }
+
+    #[test]
+    fn recover_summary_renders_valid_json_shape() {
+        let summary = RecoverSummary {
+            branches: 8,
+            txns_per_cell: 3_000,
+            stream_points: vec![1, 4],
+            rows: vec![
+                RecoverRow {
+                    streams: 1,
+                    workers: 1,
+                    txns: 3_000,
+                    records: 12_000,
+                    delta_records: 6_000,
+                    serial_ms: 40.0,
+                    parallel_ms: 40.0,
+                    checkpoint_ms: 22.0,
+                },
+                RecoverRow {
+                    streams: 4,
+                    workers: 4,
+                    txns: 3_000,
+                    records: 12_000,
+                    delta_records: 6_000,
+                    serial_ms: 40.0,
+                    parallel_ms: 10.0,
+                    checkpoint_ms: 6.0,
+                },
+            ],
+        };
+        let json = summary.to_json();
+        assert!(json.contains("\"experiment\": \"recover\""), "{json}");
+        assert!(json.contains("\"stream_points\": [1,4]"), "{json}");
+        assert!(json.contains("\"speedup\": 4.000"), "{json}");
+        assert!(json.contains("\"parallel_tps\": 300000.0"), "{json}");
+        assert!(json.contains("\"delta_records\": 6000"), "{json}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn recover_row_derived_metrics_guard_zero_time() {
+        let row = RecoverRow {
+            streams: 2,
+            workers: 2,
+            txns: 100,
+            records: 400,
+            delta_records: 0,
+            serial_ms: 0.0,
+            parallel_ms: 0.0,
+            checkpoint_ms: 0.0,
+        };
+        assert_eq!(row.parallel_tps(), 0.0);
+        assert_eq!(row.speedup(), 0.0);
     }
 
     #[test]

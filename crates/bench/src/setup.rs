@@ -51,6 +51,12 @@ pub struct Scale {
     /// Counters bumped per fan-out transaction — the phase's action count,
     /// i.e. how many messages one dispatch sprays across the executors.
     pub fanout_actions: usize,
+    /// Log-stream counts swept by the `commit` and `recover` durability
+    /// experiments (the partitioned-WAL axis). Always starts at 1 so every
+    /// multi-stream row has its single-stream baseline in the same matrix.
+    pub log_stream_points: Vec<usize>,
+    /// Transactions logged before the `recover` experiment measures replay.
+    pub recover_txns: usize,
 }
 
 impl Scale {
@@ -78,6 +84,8 @@ impl Scale {
             zipf_theta: 0.99,
             fanout_keys: 4_096,
             fanout_actions: 8,
+            log_stream_points: vec![1, 4],
+            recover_txns: 3_000,
         }
     }
 
@@ -101,6 +109,8 @@ impl Scale {
             zipf_theta: 0.99,
             fanout_keys: 65_536,
             fanout_actions: 8,
+            log_stream_points: vec![1, 2, 4, 8],
+            recover_txns: 30_000,
         }
     }
 
@@ -259,6 +269,8 @@ mod tests {
             zipf_theta: 0.99,
             fanout_keys: 64,
             fanout_actions: 4,
+            log_stream_points: vec![1, 2],
+            recover_txns: 120,
         }
     }
 

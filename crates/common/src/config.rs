@@ -146,10 +146,15 @@ impl SystemConfig {
 ///   transaction.
 /// * **Early lock release** — a transaction's locks (centralized and DORA
 ///   thread-local) are released as soon as its commit record is *in the log
-///   buffer*, before it is durable. Because commit records of dependent
-///   transactions are strictly LSN-ordered in the single log, any flushed
-///   prefix that contains a reader's commit record also contains the commit
-///   record of every transaction it read from — no "ELR ghosts".
+///   buffer*, before it is durable. Dependent transactions draw strictly
+///   larger commit sequence numbers (the sequence is taken while the
+///   writer's locks are still held), and recovery only replays a
+///   sequence-dense prefix of fully fenced transactions — no "ELR ghosts".
+/// * **Partitioned log streams** — the log itself can be sharded into
+///   independent streams (one per DORA executor plus a dedicated stream for
+///   the baseline/secondary path), each with its own buffer, flusher daemon
+///   and simulated device, so commit batching parallelizes instead of
+///   serializing behind one mutex.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DurabilityConfig {
     /// Run the dedicated log-flusher daemon (asynchronous group commit).
@@ -170,6 +175,17 @@ pub struct DurabilityConfig {
     /// instead of after the record is durable. Off = strict two-phase
     /// commit-duration locking, kept as the A/B baseline.
     pub early_lock_release: bool,
+    /// Number of independent log streams the write-ahead log is sharded
+    /// into. Stream 0 serves unbound threads (baseline workers, clients,
+    /// secondary actions); DORA executor threads are spread round-robin over
+    /// the remaining streams. `1` (the default) reproduces the classic
+    /// single-log behaviour exactly.
+    pub log_streams: usize,
+    /// Log records appended between two fuzzy checkpoints. A checkpoint
+    /// folds the committed history into a net-effect snapshot with
+    /// per-stream low-water LSNs, so recovery replays only the delta since
+    /// the last checkpoint. `0` (the default) disables checkpointing.
+    pub checkpoint_interval: u64,
 }
 
 impl Default for DurabilityConfig {
@@ -179,6 +195,8 @@ impl Default for DurabilityConfig {
             group_window_micros: 0,
             max_group_size: 64,
             early_lock_release: true,
+            log_streams: 1,
+            checkpoint_interval: 0,
         }
     }
 }
@@ -201,6 +219,15 @@ impl DurabilityConfig {
         Self {
             early_lock_release: false,
             ..Self::default()
+        }
+    }
+
+    /// This configuration with the log sharded into `streams` streams (the
+    /// other knobs untouched), for sweeping the stream-count axis.
+    pub fn with_log_streams(self, streams: usize) -> Self {
+        Self {
+            log_streams: streams.max(1),
+            ..self
         }
     }
 }
@@ -314,11 +341,24 @@ mod tests {
         assert!(config.group_commit);
         assert!(config.early_lock_release);
         assert!(config.max_group_size >= 1);
+        assert_eq!(config.log_streams, 1, "single stream is the default");
+        assert_eq!(config.checkpoint_interval, 0, "checkpointing is opt-in");
         let sync = DurabilityConfig::sync_commit();
         assert!(!sync.group_commit && !sync.early_lock_release);
         let group = DurabilityConfig::group_commit_only();
         assert!(group.group_commit && !group.early_lock_release);
         assert_eq!(SystemConfig::default().durability, config);
+        // Sync commit composes with multiple streams (per-stream
+        // caller-driven flush), keeping the A/B baseline available on the
+        // stream-count axis.
+        let sharded_sync = DurabilityConfig::sync_commit().with_log_streams(4);
+        assert!(!sharded_sync.group_commit);
+        assert_eq!(sharded_sync.log_streams, 4);
+        assert_eq!(
+            DurabilityConfig::default().with_log_streams(0).log_streams,
+            1,
+            "stream counts clamp to at least one"
+        );
     }
 
     #[test]

@@ -101,6 +101,12 @@ pub struct ActionSpec {
     pub body: ActionBody,
     /// Human-readable label (used in diagnostics and the execution trace).
     pub label: &'static str,
+    /// `true` when the author explicitly built this as a secondary action
+    /// (via [`ActionSpec::secondary`] or `Step::secondary`). An action that
+    /// is [`is_secondary`](Self::is_secondary) *without* this flag fell back
+    /// to the secondary path because its identifier carried no routing
+    /// fields — usually a workload bug the engine warns about at dispatch.
+    pub declared_secondary: bool,
 }
 
 impl std::fmt::Debug for ActionSpec {
@@ -130,6 +136,7 @@ impl ActionSpec {
             mode,
             body: Box::new(body),
             label,
+            declared_secondary: false,
         }
     }
 
@@ -147,6 +154,7 @@ impl ActionSpec {
             mode: LocalMode::Shared,
             body: Box::new(body),
             label,
+            declared_secondary: true,
         }
     }
 

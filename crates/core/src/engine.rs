@@ -1,7 +1,8 @@
 //! The DORA engine: binding executors to data, dispatching transaction flow
 //! graphs, and the terminal-RVP commit protocol.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -27,6 +28,14 @@ pub(crate) struct EngineInner {
     /// Routing-key domain `[low, high]` per table, recorded at bind time so
     /// the adaptive repartitioner knows the span it may redistribute.
     domains: RwLock<Vec<Option<(i64, i64)>>>,
+    /// Total executor threads spawned, across all tables — the index used to
+    /// round-robin executors over the partitioned log streams.
+    executors_spawned: AtomicUsize,
+    /// `(table, label)` pairs already flagged for silently falling back to
+    /// the secondary path (routed step with an empty identifier). Reset for
+    /// a table each time it is bound, so every bind gets one warning per
+    /// offending step.
+    warned_secondary: Mutex<HashSet<(TableId, &'static str)>>,
     shutting_down: AtomicBool,
 }
 
@@ -77,6 +86,9 @@ impl EngineInner {
         let mut routed: Vec<(Arc<ExecutorShared>, Action)> = Vec::new();
         for spec in specs {
             if spec.is_secondary() {
+                if !spec.declared_secondary {
+                    self.warn_undeclared_secondary(spec.table, spec.label);
+                }
                 secondary.push(spec);
                 continue;
             }
@@ -113,6 +125,21 @@ impl EngineInner {
         // leaves to reach the right records (Section 4.2.2).
         for spec in secondary {
             self.execute_secondary(txn, phase, spec);
+        }
+    }
+
+    /// Flags a routed step that silently fell back to the secondary path
+    /// because its identifier carried none of the table's routing fields —
+    /// almost always a workload authoring bug (the step meant to route but
+    /// its key columns don't cover the routing fields). Warned once per
+    /// `(table, step label)` per bind so a hot loop cannot flood stderr.
+    fn warn_undeclared_secondary(&self, table: TableId, label: &'static str) {
+        if self.warned_secondary.lock().insert((table, label)) {
+            eprintln!(
+                "warning: step `{label}` on {table} has no routing fields and fell back to \
+                 the secondary path; declare it with Step::secondary (or fix its route) if \
+                 that is intended"
+            );
         }
     }
 
@@ -363,6 +390,8 @@ impl DoraEngine {
                 routing: RoutingTable::new(),
                 executors: RwLock::new(Vec::new()),
                 domains: RwLock::new(Vec::new()),
+                executors_spawned: AtomicUsize::new(0),
+                warned_secondary: Mutex::new(HashSet::new()),
                 shutting_down: AtomicBool::new(false),
             }),
             workers: Mutex::new(Vec::new()),
@@ -426,14 +455,27 @@ impl DoraEngine {
         }
         // Make sure the table exists.
         self.inner.db.catalog().table(table)?;
+        // A fresh bind warns anew about steps that cannot be routed.
+        self.inner
+            .warned_secondary
+            .lock()
+            .retain(|(warned_table, _)| *warned_table != table);
         let mut table_executors = Vec::with_capacity(executors);
         let mut new_workers = Vec::with_capacity(executors);
         for index in 0..executors {
             let shared = Arc::new(ExecutorShared::new(table, index));
             let worker = ExecutorWorker::new(Arc::clone(&shared), Arc::clone(&self.inner));
+            // Round-robin executors (across all tables) over the partitioned
+            // log streams, leaving stream 0 to unbound threads — the
+            // baseline engine and client dispatchers.
+            let spawned = self.inner.executors_spawned.fetch_add(1, Ordering::Relaxed);
+            let stream = self.inner.db.log_manager().executor_stream(spawned);
             let handle = std::thread::Builder::new()
                 .name(format!("dora-exec-{}-{}", table.0, index))
-                .spawn(move || worker.run())
+                .spawn(move || {
+                    dora_storage::bind_executor_log_stream(stream);
+                    worker.run()
+                })
                 .map_err(|e| DbError::InvalidOperation(format!("spawn failed: {e}")))?;
             table_executors.push(shared);
             new_workers.push(handle);

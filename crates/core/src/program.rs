@@ -191,6 +191,12 @@ pub struct Step {
     route: Key,
     mode: LocalMode,
     body: StepBody,
+    /// `true` only for steps built with [`Step::secondary`] — the author
+    /// declared up front that the step cannot be routed. A step whose route
+    /// turns out empty *without* this flag falls back to the secondary path
+    /// silently, which the engine flags once per bind (routing-coverage
+    /// warning).
+    declared_secondary: bool,
 }
 
 impl std::fmt::Debug for Step {
@@ -223,6 +229,7 @@ impl Step {
             route,
             mode,
             body: Box::new(body),
+            declared_secondary: false,
         }
     }
 
@@ -235,7 +242,10 @@ impl Step {
         table: TableId,
         body: impl Fn(&StepCtx<'_>) -> DbResult<()> + Send + Sync + 'static,
     ) -> Self {
-        Self::custom(label, table, Key::empty(), LocalMode::Shared, body)
+        Self {
+            declared_secondary: true,
+            ..Self::custom(label, table, Key::empty(), LocalMode::Shared, body)
+        }
     }
 
     /// Reads the record at `key` (primary key) and hands it to `on_row`.
@@ -522,7 +532,9 @@ impl TxnProgram {
             body(&ctx)
         };
         if step.route.is_empty() {
-            ActionSpec::secondary(step.label, step.table, run)
+            let mut spec = ActionSpec::secondary(step.label, step.table, run);
+            spec.declared_secondary = step.declared_secondary;
+            spec
         } else {
             ActionSpec::new(step.label, step.table, step.route, step.mode, run)
         }

@@ -1,11 +1,99 @@
-//! Perfect admission control.
+//! Admission control.
 //!
 //! Figure 8 of the paper compares the *maximum* throughput each system can
 //! reach if a perfect admission-control mechanism limits the number of
 //! outstanding transactions — i.e. the best point of the load sweep, even if
-//! it leaves the machine underutilized. This module implements that sweep.
+//! it leaves the machine underutilized. This module implements that sweep
+//! ([`find_peak`]) plus the runtime half of the mechanism: a bounded
+//! [`AdmissionController`] that decides, per arriving transaction, whether
+//! to run it now, queue it, or shed it once the queue is also full.
+
+use parking_lot::Mutex;
 
 use crate::driver::RunResult;
+
+/// What the controller decided for one arriving transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Run now: an execution slot was free and is now taken.
+    Admit,
+    /// All execution slots busy; the arrival holds a queue slot and should
+    /// wait to be promoted when a running transaction finishes.
+    Queue,
+    /// Execution slots *and* queue slots exhausted — the arrival is rejected
+    /// outright (the overload response that keeps the saturated system at
+    /// its peak instead of past it).
+    Shed,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    active: usize,
+    queued: usize,
+}
+
+/// A bounded admission controller: at most `max_active` transactions run
+/// concurrently, at most `max_queued` wait behind them, and everything else
+/// is shed. [`finish`](Self::finish) frees a slot and promotes the
+/// longest-waiting queued transaction, if any.
+#[derive(Debug)]
+pub struct AdmissionController {
+    max_active: usize,
+    max_queued: usize,
+    state: Mutex<AdmissionState>,
+}
+
+impl AdmissionController {
+    /// Creates a controller with `max_active` execution slots and
+    /// `max_queued` waiting slots. `max_active` is clamped to at least one
+    /// (a controller that can run nothing would shed every arrival).
+    pub fn new(max_active: usize, max_queued: usize) -> Self {
+        Self {
+            max_active: max_active.max(1),
+            max_queued,
+            state: Mutex::new(AdmissionState::default()),
+        }
+    }
+
+    /// Decides what to do with one arriving transaction.
+    pub fn admit(&self) -> AdmissionDecision {
+        let mut state = self.state.lock();
+        if state.active < self.max_active {
+            state.active += 1;
+            AdmissionDecision::Admit
+        } else if state.queued < self.max_queued {
+            state.queued += 1;
+            AdmissionDecision::Queue
+        } else {
+            AdmissionDecision::Shed
+        }
+    }
+
+    /// Reports one admitted transaction finished. If any transaction is
+    /// queued it is promoted into the freed slot; returns `true` exactly
+    /// when that happened (the caller should wake one waiter).
+    pub fn finish(&self) -> bool {
+        let mut state = self.state.lock();
+        debug_assert!(state.active > 0, "finish without a matching admit");
+        if state.queued > 0 {
+            state.queued -= 1;
+            true
+        } else {
+            state.active = state.active.saturating_sub(1);
+            false
+        }
+    }
+
+    /// Transactions currently holding execution slots.
+    pub fn active(&self) -> usize {
+        self.state.lock().active
+    }
+
+    /// Transactions currently waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.state.lock().queued
+    }
+}
 
 /// The best operating point found by an admission-control sweep.
 #[derive(Debug, Clone)]
@@ -99,5 +187,94 @@ mod tests {
     #[should_panic(expected = "at least one client count")]
     fn empty_sweep_panics() {
         find_peak(&[], |clients| fake_result(clients, 0.0));
+    }
+
+    #[test]
+    fn admits_until_slots_fill_then_queues_then_sheds() {
+        let controller = AdmissionController::new(2, 3);
+        assert_eq!(controller.admit(), AdmissionDecision::Admit);
+        assert_eq!(controller.admit(), AdmissionDecision::Admit);
+        assert_eq!(controller.active(), 2);
+        // Saturated: the next three arrivals hold queue slots.
+        for expected_depth in 1..=3 {
+            assert_eq!(controller.admit(), AdmissionDecision::Queue);
+            assert_eq!(controller.queued(), expected_depth);
+        }
+        // Queue full too: everything further is shed, repeatedly.
+        assert_eq!(controller.admit(), AdmissionDecision::Shed);
+        assert_eq!(controller.admit(), AdmissionDecision::Shed);
+        assert_eq!(controller.active(), 2);
+        assert_eq!(controller.queued(), 3);
+    }
+
+    #[test]
+    fn finish_promotes_queued_work_before_freeing_slots() {
+        let controller = AdmissionController::new(1, 2);
+        assert_eq!(controller.admit(), AdmissionDecision::Admit);
+        assert_eq!(controller.admit(), AdmissionDecision::Queue);
+        assert_eq!(controller.admit(), AdmissionDecision::Queue);
+        // Finishing while work waits promotes instead of freeing the slot.
+        assert!(controller.finish(), "must promote the queued transaction");
+        assert_eq!(controller.active(), 1);
+        assert_eq!(controller.queued(), 1);
+        // New arrivals still queue (the freed capacity went to the promoted
+        // waiter, not to late arrivals — FIFO fairness at saturation).
+        assert_eq!(controller.admit(), AdmissionDecision::Queue);
+        assert!(controller.finish());
+        assert!(controller.finish());
+        // Queue drained: the next finish genuinely frees the slot.
+        assert!(!controller.finish());
+        assert_eq!(controller.active(), 0);
+        assert_eq!(controller.queued(), 0);
+        assert_eq!(controller.admit(), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn zero_queue_sheds_immediately_at_saturation() {
+        let controller = AdmissionController::new(1, 0);
+        assert_eq!(controller.admit(), AdmissionDecision::Admit);
+        assert_eq!(controller.admit(), AdmissionDecision::Shed);
+        assert!(!controller.finish());
+        assert_eq!(controller.admit(), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn max_active_is_clamped_to_one() {
+        let controller = AdmissionController::new(0, 0);
+        assert_eq!(controller.admit(), AdmissionDecision::Admit);
+        assert_eq!(controller.admit(), AdmissionDecision::Shed);
+    }
+
+    #[test]
+    fn concurrent_admissions_never_exceed_the_limits() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let controller = Arc::new(AdmissionController::new(4, 4));
+        let shed = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let controller = Arc::clone(&controller);
+                let shed = Arc::clone(&shed);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        match controller.admit() {
+                            AdmissionDecision::Admit | AdmissionDecision::Queue => {
+                                assert!(controller.active() <= 4);
+                                assert!(controller.queued() <= 4);
+                                controller.finish();
+                            }
+                            AdmissionDecision::Shed => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(controller.queued(), 0);
+        assert_eq!(controller.active(), 0);
     }
 }

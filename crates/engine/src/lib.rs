@@ -23,7 +23,7 @@ pub mod baseline;
 pub mod driver;
 pub mod exec;
 
-pub use admission::{find_peak, PeakResult};
+pub use admission::{find_peak, AdmissionController, AdmissionDecision, PeakResult};
 pub use baseline::{BaselineEngine, BaselineOutcome};
 pub use driver::{ClientDriver, DriverConfig, RunResult, StopLatch, TxnOutcome};
 pub use exec::{build_engine, build_engine_with, DoraExecution, ExecutionEngine};

@@ -74,10 +74,18 @@ pub enum CounterKind {
     /// released at precommit, before their commit record was durable —
     /// early lock release in action.
     ElrEarlyReleases = 21,
+    /// Fuzzy checkpoints taken by the log manager (each folds the committed
+    /// history into a net-effect snapshot and advances the per-stream
+    /// low-water marks that bound recovery replay).
+    CheckpointsTaken = 22,
+    /// Commit-fence records appended. With a partitioned log a transaction
+    /// writes one fence to *every* stream it touched, so this exceeds
+    /// `TxnCommitted` exactly by the cross-stream fan-out.
+    CommitFences = 23,
 }
 
 /// Number of [`CounterKind`] variants; sizes the per-thread arrays.
-pub const COUNTER_KIND_COUNT: usize = 22;
+pub const COUNTER_KIND_COUNT: usize = 24;
 
 /// All counters, in `repr` order.
 pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
@@ -103,6 +111,8 @@ pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
     CounterKind::TxnGaveUp,
     CounterKind::GroupCommits,
     CounterKind::ElrEarlyReleases,
+    CounterKind::CheckpointsTaken,
+    CounterKind::CommitFences,
 ];
 
 impl CounterKind {
@@ -136,6 +146,8 @@ impl CounterKind {
             CounterKind::TxnGaveUp => "txn-gave-up",
             CounterKind::GroupCommits => "group-commits",
             CounterKind::ElrEarlyReleases => "elr-early-releases",
+            CounterKind::CheckpointsTaken => "checkpoints-taken",
+            CounterKind::CommitFences => "commit-fences",
         }
     }
 }

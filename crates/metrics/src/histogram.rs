@@ -146,6 +146,17 @@ impl ValueHistogram {
         self.max = self.max.max(value);
     }
 
+    /// Merges another histogram into this one (used to combine per-stream
+    /// recorders into a whole-log view).
+    pub fn merge(&mut self, other: &ValueHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -232,6 +243,19 @@ mod tests {
         assert_eq!(histogram.max(), 9);
         // 1 -> bucket 1, 2 -> bucket 2, 4 -> bucket 3, 9 -> bucket 4.
         assert_eq!(histogram.buckets(), vec![0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn value_histogram_merge_combines_streams() {
+        let mut a = ValueHistogram::new();
+        let mut b = ValueHistogram::new();
+        a.record(2);
+        b.record(8);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.total(), 13);
+        assert_eq!(a.max(), 8);
     }
 
     #[test]

@@ -147,13 +147,37 @@ impl BTreeIndex {
     /// Inserts an entry under `key`.
     pub fn insert(&self, key: &Key, entry: IndexEntry) -> DbResult<()> {
         let mut root = self.root.write();
-        let result = Self::insert_into(&mut root, key, entry, self.unique);
+        Self::insert_under_root(&mut root, key, entry, self.unique)
+    }
+
+    /// Inserts a batch of entries under a single root-lock acquisition —
+    /// the parallel-recovery fast path. Equivalent to calling
+    /// [`Self::insert`] for each pair in order, but replay workers stop
+    /// hammering the tree lock once per record.
+    pub fn insert_many(&self, entries: &[(Key, IndexEntry)]) -> DbResult<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let mut root = self.root.write();
+        for (key, entry) in entries {
+            Self::insert_under_root(&mut root, key, entry.clone(), self.unique)?;
+        }
+        Ok(())
+    }
+
+    fn insert_under_root(
+        root: &mut Box<Node>,
+        key: &Key,
+        entry: IndexEntry,
+        unique: bool,
+    ) -> DbResult<()> {
+        let result = Self::insert_into(root, key, entry, unique);
         if root.is_over_capacity() {
             let (separator, right) = root.split();
-            let old_root = std::mem::replace(&mut *root, Box::new(Node::new_leaf()));
+            let old_root = std::mem::replace(&mut **root, Node::new_leaf());
             **root = Node::Internal {
                 keys: vec![separator],
-                children: vec![old_root, right],
+                children: vec![Box::new(old_root), right],
             };
         }
         result

@@ -25,9 +25,9 @@ use dora_metrics::{incr, record_time, time_section, CounterKind, TimeCategory};
 use crate::btree::{BTreeIndex, IndexEntry};
 use crate::buffer::{BufferPool, PageStore};
 use crate::catalog::{Catalog, IndexSpec, TableSchema};
-use crate::heap::HeapFile;
+use crate::heap::{HeapFile, PageOp};
 use crate::lock::{LockId, LockManager, LockMode};
-use crate::log::{LogManager, LogRecord, LogRecordKind, Lsn};
+use crate::log::{LogManager, LogRecord, LogRecordKind, Lsn, StreamId};
 use crate::txn::{TxnManager, TxnState, TxnStatus};
 
 /// An entry returned by a secondary-index probe: the record's RID plus the
@@ -67,22 +67,24 @@ impl TxnHandle {
     }
 }
 
-/// The outcome of a successful [`Database::precommit`]: the commit record's
-/// LSN (if the transaction wrote anything) and whether its locks were
-/// already released early. Redeemed exactly once, with
-/// [`Database::commit_wait`] or [`Database::commit_async`].
+/// The outcome of a successful [`Database::precommit`]: the commit-fence
+/// positions on every log stream the transaction touched (empty for
+/// read-only transactions) and whether its locks were already released
+/// early. Redeemed exactly once, with [`Database::commit_wait`] or
+/// [`Database::commit_async`].
 #[derive(Debug)]
 #[must_use = "a precommitted transaction must be completed with commit_wait or commit_async"]
 pub struct CommitHandle {
-    lsn: Option<Lsn>,
+    fences: Vec<(StreamId, Lsn)>,
     early_released: bool,
 }
 
 impl CommitHandle {
-    /// LSN of the commit record (`None` for read-only transactions, which
-    /// have nothing to make durable).
-    pub fn lsn(&self) -> Option<Lsn> {
-        self.lsn
+    /// The commit-fence LSN on each touched stream (empty for read-only
+    /// transactions, which have nothing to make durable). The transaction is
+    /// durable once *every* fence is flushed.
+    pub fn fences(&self) -> &[(StreamId, Lsn)] {
+        &self.fences
     }
 
     /// `true` if precommit released the transaction's locks early (ELR).
@@ -238,23 +240,26 @@ impl Database {
         if txn.state.claim_begin_record() {
             self.log.append(txn.id(), LogRecordKind::Begin);
         }
-        let lsn = self.log.append(txn.id(), kind);
-        txn.state.note_lsn(lsn);
+        let (stream, lsn) = self.log.append(txn.id(), kind);
+        txn.state.note_lsn(stream, lsn);
     }
 
-    /// First half of commit: appends the commit record to the log buffer,
-    /// applies deferred secondary-index delete flags, and — when
-    /// [`DurabilityConfig::early_lock_release`] is on — releases the
-    /// transaction's centralized locks and marks it committed *before* the
-    /// record is durable. The returned [`CommitHandle`] is redeemed with
-    /// [`Self::commit_wait`] (block until durable) or [`Self::commit_async`]
-    /// (completion callback from the log flusher).
+    /// First half of commit: appends a commit-fence record to *every* log
+    /// stream the transaction touched, applies deferred secondary-index
+    /// delete flags, and — when [`DurabilityConfig::early_lock_release`] is
+    /// on — releases the transaction's centralized locks and marks it
+    /// committed *before* the fences are durable. The returned
+    /// [`CommitHandle`] is redeemed with [`Self::commit_wait`] (block until
+    /// every fence is durable) or [`Self::commit_async`] (completion
+    /// callback once the last fence hardens).
     ///
     /// After a successful precommit the transaction's outcome is decided:
     /// it must not be aborted, only waited on. Safety of the early release
-    /// rests on the single log's LSN order — any dependent transaction's
-    /// commit record lands *after* this one, so no flushed prefix can
-    /// contain the dependent without also containing this transaction.
+    /// rests on the global commit sequence stamped into the fences while the
+    /// locks are still held: any dependent transaction fences *after* this
+    /// one, and recovery only replays a sequence-dense prefix of fully
+    /// fenced transactions, so no recovered state can contain a dependent
+    /// without this transaction.
     ///
     /// [`DurabilityConfig::early_lock_release`]: dora_common::config::DurabilityConfig::early_lock_release
     pub fn precommit(&self, txn: &TxnHandle) -> DbResult<CommitHandle> {
@@ -265,14 +270,22 @@ impl Database {
             )));
         }
         // Read-only transactions have nothing to make durable: skip the
-        // commit record and the log flush, as real engines do. `last_lsn` is
+        // commit fences and the log flush, as real engines do. `touched` is
         // only advanced by data-change records.
-        let lsn = if txn.state.last_lsn() > Lsn(0) {
-            let lsn = self.log.append(txn.id(), LogRecordKind::Commit);
-            txn.state.note_lsn(lsn);
-            Some(lsn)
+        let fences = if txn.state.has_writes() {
+            let touched: Vec<StreamId> = txn
+                .state
+                .touched_streams()
+                .into_iter()
+                .map(|(stream, _)| stream)
+                .collect();
+            let (_seq, fences) = self.log.append_commit_fences(txn.id(), &touched);
+            for &(stream, lsn) in &fences {
+                txn.state.note_lsn(stream, lsn);
+            }
+            fences
         } else {
-            None
+            Vec::new()
         };
         // The paper: "once the deleting transaction commits, it goes back and
         // sets the flag for each index entry of a deleted record outside of
@@ -286,12 +299,13 @@ impl Database {
         let early_released = self.config.durability.early_lock_release;
         if early_released {
             self.finish_commit(txn);
-            if lsn.is_some() {
+            if !fences.is_empty() {
                 incr(CounterKind::ElrEarlyReleases);
             }
         }
+        self.log.maybe_checkpoint();
         Ok(CommitHandle {
-            lsn,
+            fences,
             early_released,
         })
     }
@@ -304,14 +318,17 @@ impl Database {
         self.log.forget(txn.id());
     }
 
-    /// Second half of commit: blocks until the commit record is durable
-    /// (parking on the group-commit ticket queue, or driving the flush in
-    /// synchronous mode), then releases locks if precommit did not already.
-    /// The wall-clock wait is charged to [`TimeCategory::CommitWait`] so the
-    /// driver can report commit latency separately from execute latency.
+    /// Second half of commit: blocks until every commit fence is durable
+    /// (parking on each stream's group-commit ticket queue, or driving the
+    /// flushes in synchronous mode), then releases locks if precommit did
+    /// not already. The wall-clock wait is charged to
+    /// [`TimeCategory::CommitWait`] so the driver can report commit latency
+    /// separately from execute latency.
     pub fn commit_wait(&self, txn: &TxnHandle, handle: CommitHandle) -> DbResult<()> {
-        if let Some(lsn) = handle.lsn {
-            time_section(TimeCategory::CommitWait, || self.log.flush(lsn));
+        if !handle.fences.is_empty() {
+            time_section(TimeCategory::CommitWait, || {
+                self.log.flush_fences(&handle.fences)
+            });
         }
         if !handle.early_released {
             self.finish_commit(txn);
@@ -320,10 +337,11 @@ impl Database {
     }
 
     /// Second half of commit, asynchronous: registers `on_durable` to fire
-    /// once the commit record hardens, without blocking the caller. This is
+    /// once every commit fence hardens, without blocking the caller. This is
     /// the path DORA's terminal RVP uses so executor threads never sleep on
-    /// log I/O: the callback (running on the log-flusher thread) releases
-    /// any remaining locks and notifies the client.
+    /// log I/O: the callback (running on whichever log-flusher thread
+    /// hardens the last fence) releases any remaining locks and notifies
+    /// the client.
     ///
     /// Read-only transactions, and synchronous-commit configurations (where
     /// the caller must pay the device latency for the A/B comparison to
@@ -334,19 +352,19 @@ impl Database {
         handle: CommitHandle,
         on_durable: impl FnOnce() + Send + 'static,
     ) {
-        let Some(lsn) = handle.lsn else {
+        if handle.fences.is_empty() {
             if !handle.early_released {
                 self.finish_commit(txn);
             }
             on_durable();
             return;
-        };
+        }
         let db = Arc::clone(self);
         let txn = txn.clone();
         let early_released = handle.early_released;
         let start = std::time::Instant::now();
         self.log.submit_commit(
-            lsn,
+            handle.fences,
             Box::new(move || {
                 if !early_released {
                     db.finish_commit(&txn);
@@ -803,54 +821,276 @@ impl Database {
         self.replay(fresh, self.log.committed_changes())
     }
 
-    /// [`Self::recover_into`] restricted to the log prefix with LSN ≤
-    /// `upto` — what recovery would reconstruct if the log tail past `upto`
-    /// were lost in a crash. Only transactions whose commit record is inside
-    /// the prefix are replayed; the crash-consistency property tests use
-    /// this to show that early lock release leaves no torn transactions or
-    /// ghosts behind any flush horizon.
-    pub fn recover_prefix_into(&self, fresh: &Database, upto: Lsn) -> DbResult<()> {
-        self.replay(fresh, self.log.committed_changes_in_prefix(upto))
+    /// [`Self::recover_into`] restricted to a per-stream torn prefix: stream
+    /// `i` keeps only records with LSN ≤ `cuts[i]` (streams past the end of
+    /// `cuts` keep everything) — what recovery would reconstruct if each
+    /// stream's tail past its cut were lost in a crash. Only the maximal
+    /// commit-sequence-dense prefix of *fully fenced* transactions is
+    /// replayed; the crash-consistency property tests use this to show that
+    /// early lock release plus log partitioning leaves no torn transactions
+    /// or ghosts behind any combination of flush horizons.
+    pub fn recover_prefixes_into(&self, fresh: &Database, cuts: &[Lsn]) -> DbResult<()> {
+        self.replay(fresh, self.log.committed_changes_in_prefixes(cuts))
+    }
+
+    /// [`Self::recover_into`] with the redo phase parallelized across
+    /// `workers` threads. Records are partitioned by page (stable hash of
+    /// `(table, page)`), which preserves per-row replay order — the only
+    /// order redo needs, since the commit sequence already ordered each
+    /// row's writers and a row never moves between pages. Log analysis runs
+    /// on borrowed records and each record is cloned exactly once, straight
+    /// into its worker's shard.
+    pub fn recover_into_parallel(&self, fresh: &Database, workers: usize) -> DbResult<()> {
+        let workers = workers.max(1);
+        if workers == 1 {
+            return self.recover_into(fresh);
+        }
+        self.log.with_redo_refs(|records| {
+            let mut shards: Vec<Vec<LogRecord>> = (0..workers).map(|_| Vec::new()).collect();
+            for &record in records {
+                shards[Self::replay_shard_of(record, workers)].push(record.clone());
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|shard| scope.spawn(move || Self::replay_shard(fresh, shard)))
+                    .collect();
+                for handle in handles {
+                    handle.join().expect("replay worker panicked")?;
+                }
+                Ok(())
+            })
+        })
+    }
+
+    /// Which replay worker (out of `workers`) a record belongs to: a stable
+    /// hash of `(table, page)`, so every record of a page — and therefore
+    /// of a row — lands on the same worker.
+    fn replay_shard_of(record: &LogRecord, workers: usize) -> usize {
+        match record.kind.row_key() {
+            Some((table, rid)) => {
+                use std::hash::{Hash, Hasher};
+                let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                (table, rid.page).hash(&mut hasher);
+                (hasher.finish() % workers as u64) as usize
+            }
+            None => 0,
+        }
+    }
+
+    /// Recovery from the last fuzzy checkpoint: bulk-applies the
+    /// checkpoint's net-effect rows, then replays only the log delta past
+    /// the per-stream low-water marks (plus the undecided records the
+    /// checkpoint carried forward), across `workers` threads — O(delta)
+    /// work, not O(history). Falls back to a full replay when no checkpoint
+    /// has been taken.
+    pub fn recover_checkpoint_into(&self, fresh: &Database, workers: usize) -> DbResult<()> {
+        let Some(checkpoint) = self.log.checkpoint_snapshot() else {
+            return self.replay_parallel(fresh, self.log.committed_changes(), workers);
+        };
+        self.replay_parallel(fresh, checkpoint.rows_flat(), workers)?;
+        let mut candidates = checkpoint.pending().to_vec();
+        candidates.extend(self.log.records_after(checkpoint.low_water()));
+        let delta = LogManager::redo_in_candidates(candidates, checkpoint.seq_horizon());
+        self.replay_parallel(fresh, delta, workers)
     }
 
     fn replay(&self, fresh: &Database, records: Vec<LogRecord>) -> DbResult<()> {
         for record in records {
-            match record.kind {
-                LogRecordKind::Insert { table, rid, after } => {
-                    let row = Value::decode_row(&after)?;
-                    let meta = fresh.catalog.table(table)?;
-                    let heap = fresh.heap(table)?;
-                    heap.insert_at(rid, &after)?;
-                    let primary_key = meta.schema.primary_key_of(&row);
-                    fresh.primary(table)?.insert(
-                        &primary_key,
-                        IndexEntry::new(rid, meta.schema.routing_key_of(&row)),
-                    )?;
-                    for index_meta in fresh.catalog.secondary_indexes_of(table) {
-                        let key = index_meta.spec.key_of(&row);
-                        fresh
-                            .secondary(index_meta.id)?
-                            .insert(&key, IndexEntry::new(rid, meta.schema.routing_key_of(&row)))?;
-                    }
-                }
-                LogRecordKind::Update {
-                    table, rid, after, ..
-                } => {
-                    fresh.heap(table)?.update(rid, &after)?;
-                }
-                LogRecordKind::Delete { table, rid, before } => {
-                    let row = Value::decode_row(&before)?;
-                    let meta = fresh.catalog.table(table)?;
-                    fresh.heap(table)?.delete(rid)?;
-                    let primary_key = meta.schema.primary_key_of(&row);
-                    let _ = fresh.primary(table)?.remove(&primary_key, rid);
-                    for index_meta in fresh.catalog.secondary_indexes_of(table) {
-                        let key = index_meta.spec.key_of(&row);
-                        let _ = fresh.secondary(index_meta.id)?.remove(&key, rid);
-                    }
-                }
-                _ => {}
+            Self::apply_record(fresh, record)?;
+        }
+        Ok(())
+    }
+
+    /// Applies `records` through `workers` threads, sharding by page so each
+    /// row's records are applied by one worker in their original order (a
+    /// row never moves between pages) and no two workers ever contend on a
+    /// page latch.
+    fn replay_parallel(
+        &self,
+        fresh: &Database,
+        records: Vec<LogRecord>,
+        workers: usize,
+    ) -> DbResult<()> {
+        let workers = workers.max(1);
+        if workers == 1 || records.len() < 2 {
+            return self.replay(fresh, records);
+        }
+        let mut shards: Vec<Vec<LogRecord>> = (0..workers).map(|_| Vec::new()).collect();
+        for record in records {
+            let shard = Self::replay_shard_of(&record, workers);
+            shards[shard].push(record);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|shard| scope.spawn(move || Self::replay_shard(fresh, shard)))
+                .collect();
+            for handle in handles {
+                handle.join().expect("replay worker panicked")?;
             }
+            Ok(())
+        })
+    }
+
+    /// One parallel-replay worker: applies its shard page run by page run.
+    /// The stable sort gathers each page's records together while keeping
+    /// the original commit-sequence order within every page — the only
+    /// order redo needs, since a row never moves between pages — so each
+    /// page is pinned and latched once for its whole history instead of
+    /// once per record.
+    fn replay_shard(fresh: &Database, mut shard: Vec<LogRecord>) -> DbResult<()> {
+        shard.sort_by_key(|record| record.kind.row_key().map(|(table, rid)| (table, rid.page)));
+        let mut start = 0;
+        while start < shard.len() {
+            let Some((table, rid)) = shard[start].kind.row_key() else {
+                start += 1;
+                continue;
+            };
+            let run_key = Some((table, rid.page));
+            let mut end = start + 1;
+            while end < shard.len()
+                && shard[end]
+                    .kind
+                    .row_key()
+                    .map(|(table, rid)| (table, rid.page))
+                    == run_key
+            {
+                end += 1;
+            }
+            Self::apply_page_run(fresh, table, rid.page, &shard[start..end])?;
+            start = end;
+        }
+        Ok(())
+    }
+
+    /// Applies one page's redo run: all slot-level changes in one batched
+    /// heap call, then the index maintenance. When the run holds no deletes
+    /// (the common case) the index inserts are batched per index so the
+    /// tree lock is taken once per run, not once per record; a run with
+    /// deletes falls back to per-record index maintenance in the run's
+    /// original order, which an insert-then-delete of the same key needs.
+    fn apply_page_run(
+        fresh: &Database,
+        table: TableId,
+        page: PageId,
+        records: &[LogRecord],
+    ) -> DbResult<()> {
+        let ops: Vec<PageOp<'_>> = records
+            .iter()
+            .filter_map(|record| match &record.kind {
+                LogRecordKind::Insert { rid, after, .. } => Some(PageOp::InsertAt(rid.slot, after)),
+                LogRecordKind::Update { rid, after, .. } => Some(PageOp::Update(rid.slot, after)),
+                LogRecordKind::Delete { rid, .. } => Some(PageOp::Delete(rid.slot)),
+                _ => None,
+            })
+            .collect();
+        fresh.heap(table)?.apply_page_ops(page, &ops)?;
+
+        let meta = fresh.catalog.table(table)?;
+        let secondaries = fresh.catalog.secondary_indexes_of(table);
+        let ordered = records
+            .iter()
+            .any(|record| matches!(record.kind, LogRecordKind::Delete { .. }));
+        if ordered {
+            for record in records {
+                match &record.kind {
+                    LogRecordKind::Insert { rid, after, .. } => {
+                        let row = Value::decode_row(after)?;
+                        let primary_key = meta.schema.primary_key_of(&row);
+                        fresh.primary(table)?.insert(
+                            &primary_key,
+                            IndexEntry::new(*rid, meta.schema.routing_key_of(&row)),
+                        )?;
+                        for index_meta in &secondaries {
+                            let key = index_meta.spec.key_of(&row);
+                            fresh.secondary(index_meta.id)?.insert(
+                                &key,
+                                IndexEntry::new(*rid, meta.schema.routing_key_of(&row)),
+                            )?;
+                        }
+                    }
+                    LogRecordKind::Delete { rid, before, .. } => {
+                        let row = Value::decode_row(before)?;
+                        let primary_key = meta.schema.primary_key_of(&row);
+                        let _ = fresh.primary(table)?.remove(&primary_key, *rid);
+                        for index_meta in &secondaries {
+                            let key = index_meta.spec.key_of(&row);
+                            let _ = fresh.secondary(index_meta.id)?.remove(&key, *rid);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            return Ok(());
+        }
+
+        let mut primary_batch = Vec::new();
+        let mut secondary_batches: Vec<Vec<(Key, IndexEntry)>> =
+            (0..secondaries.len()).map(|_| Vec::new()).collect();
+        for record in records {
+            if let LogRecordKind::Insert { rid, after, .. } = &record.kind {
+                let row = Value::decode_row(after)?;
+                let routing = meta.schema.routing_key_of(&row);
+                primary_batch.push((
+                    meta.schema.primary_key_of(&row),
+                    IndexEntry::new(*rid, routing.clone()),
+                ));
+                for (index_meta, batch) in secondaries.iter().zip(&mut secondary_batches) {
+                    batch.push((
+                        index_meta.spec.key_of(&row),
+                        IndexEntry::new(*rid, routing.clone()),
+                    ));
+                }
+            }
+        }
+        if !primary_batch.is_empty() {
+            fresh.primary(table)?.insert_many(&primary_batch)?;
+        }
+        for (index_meta, batch) in secondaries.iter().zip(&secondary_batches) {
+            if !batch.is_empty() {
+                fresh.secondary(index_meta.id)?.insert_many(batch)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_record(fresh: &Database, record: LogRecord) -> DbResult<()> {
+        match record.kind {
+            LogRecordKind::Insert { table, rid, after } => {
+                let row = Value::decode_row(&after)?;
+                let meta = fresh.catalog.table(table)?;
+                let heap = fresh.heap(table)?;
+                heap.insert_at(rid, &after)?;
+                let primary_key = meta.schema.primary_key_of(&row);
+                fresh.primary(table)?.insert(
+                    &primary_key,
+                    IndexEntry::new(rid, meta.schema.routing_key_of(&row)),
+                )?;
+                for index_meta in fresh.catalog.secondary_indexes_of(table) {
+                    let key = index_meta.spec.key_of(&row);
+                    fresh
+                        .secondary(index_meta.id)?
+                        .insert(&key, IndexEntry::new(rid, meta.schema.routing_key_of(&row)))?;
+                }
+            }
+            LogRecordKind::Update {
+                table, rid, after, ..
+            } => {
+                fresh.heap(table)?.update(rid, &after)?;
+            }
+            LogRecordKind::Delete { table, rid, before } => {
+                let row = Value::decode_row(&before)?;
+                let meta = fresh.catalog.table(table)?;
+                fresh.heap(table)?.delete(rid)?;
+                let primary_key = meta.schema.primary_key_of(&row);
+                let _ = fresh.primary(table)?.remove(&primary_key, rid);
+                for index_meta in fresh.catalog.secondary_indexes_of(table) {
+                    let key = index_meta.spec.key_of(&row);
+                    let _ = fresh.secondary(index_meta.id)?.remove(&key, rid);
+                }
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -1198,7 +1438,10 @@ mod tests {
         assert!(txn.held_lock_count() > 0);
         let handle = db.precommit(&txn).unwrap();
         assert!(handle.early_released());
-        let lsn = handle.lsn().expect("data change must log a commit record");
+        let &(stream, lsn) = handle
+            .fences()
+            .first()
+            .expect("data change must log a commit fence");
         assert_eq!(
             txn.held_lock_count(),
             0,
@@ -1206,11 +1449,11 @@ mod tests {
         );
         assert_eq!(txn.status(), TxnStatus::Committed);
         assert!(
-            db.log_manager().flushed_lsn() < lsn,
-            "commit record must not be durable yet"
+            db.log_manager().flushed_lsn(stream) < lsn,
+            "commit fence must not be durable yet"
         );
         db.commit_wait(&txn, handle).unwrap();
-        assert!(db.log_manager().flushed_lsn() >= lsn);
+        assert!(db.log_manager().flushed_lsn(stream) >= lsn);
     }
 
     #[test]
@@ -1243,12 +1486,15 @@ mod tests {
         db.insert(&txn, table, account_row(1, "alice", 1.0), CcMode::Full)
             .unwrap();
         let handle = db.precommit(&txn).unwrap();
-        let lsn = handle.lsn().unwrap();
+        let fences = handle.fences().to_vec();
+        assert!(!fences.is_empty());
         let done = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
         let done2 = Arc::clone(&done);
         let db2 = Arc::clone(&db);
         db.commit_async(&txn, handle, move || {
-            assert!(db2.log_manager().flushed_lsn() >= lsn);
+            for &(stream, lsn) in &fences {
+                assert!(db2.log_manager().flushed_lsn(stream) >= lsn);
+            }
             let mut flag = done2.0.lock();
             *flag = true;
             done2.1.notify_all();

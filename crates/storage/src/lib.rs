@@ -44,5 +44,8 @@ pub use catalog::{Catalog, ColumnDef, IndexSpec, TableSchema};
 pub use db::{CommitHandle, Database, SecondaryEntry, TxnHandle};
 pub use latch::{Latch, LatchGuard};
 pub use lock::{LockId, LockManager, LockMode};
-pub use log::{LogManager, LogRecord, LogRecordKind, Lsn};
+pub use log::{
+    bind_executor_log_stream, bound_log_stream, Checkpoint, LogManager, LogRecord, LogRecordKind,
+    Lsn, StreamId, StreamStats,
+};
 pub use txn::{TxnManager, TxnStatus};

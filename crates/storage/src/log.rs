@@ -1,36 +1,56 @@
-//! ARIES-style write-ahead logging with asynchronous group commit.
+//! ARIES-style write-ahead logging, partitioned into per-executor streams
+//! with asynchronous group commit.
 //!
-//! The log manager assigns LSNs, buffers log records in memory (the paper
-//! keeps the log on an in-memory file system), makes commit records durable
-//! with a configurable simulated device latency, and retains the full record
-//! history so that:
+//! The log is sharded into [`DurabilityConfig::log_streams`] independent
+//! streams. Stream 0 serves unbound threads (baseline workers, clients and
+//! secondary actions); DORA executor threads bind to the remaining streams
+//! round-robin ([`bind_executor_log_stream`]). Each stream assigns its own
+//! dense, stream-local LSNs, buffers records in memory (the paper keeps the
+//! log on an in-memory file system), and runs its *own* group-commit
+//! flusher daemon with an independent adaptive window — so commit batching
+//! parallelizes across streams instead of serializing behind one mutex
+//! (the log manager is the last centralized structure the paper calls out
+//! in Section 5.4).
 //!
-//! * transaction rollback can walk a transaction's records backwards through
-//!   the per-transaction `prev_lsn` chain (partial rollback support);
-//! * recovery ([`LogManager::committed_changes`]) can replay the effects of
-//!   committed transactions into a fresh database — including from any
-//!   *flushed prefix* of the log ([`LogManager::committed_changes_in_prefix`]),
-//!   which the crash-consistency property tests exercise.
+//! Cross-stream ordering is recovered from a cheap global **commit
+//! sequence**: at precommit a transaction draws the next sequence number
+//! (while its locks are still held, so dependents always draw larger
+//! numbers) and appends a **commit fence** carrying that sequence and the
+//! full list of streams it touched to *every* one of those streams.
+//! Recovery ([`LogManager::committed_changes_in_prefixes`]) treats a
+//! transaction as committed iff all of its streams contain the fence
+//! *and* every smaller sequence number is also fully fenced within the
+//! surviving prefixes (the maximal sequence-dense prefix). The density
+//! requirement is what makes early lock release safe across streams: a
+//! dependent's after-images never replay without the transaction it read
+//! from. The flip side — shared with every multi-log design that
+//! acknowledges commits at per-stream durability rather than at a global
+//! durable horizon — is that a crash can discard a fenced transaction
+//! whose concurrently-sequenced neighbour was torn.
 //!
-//! The paper points out that for TPC-C NewOrder/Payment and TPC-B the log
-//! manager becomes the next bottleneck once lock-manager contention is gone
-//! (Section 5.4). Two durability paths reproduce and then relieve that
-//! pressure, selected by [`DurabilityConfig::group_commit`]:
+//! Two durability paths per stream, selected by
+//! [`DurabilityConfig::group_commit`]:
 //!
 //! * **Synchronous** — the committing thread drives the simulated device
-//!   write itself under a single flush mutex (with the usual piggybacking
-//!   fast path). This serializes every commit behind the device and is kept
-//!   as the measurement baseline.
-//! * **Group commit** — a dedicated `log-flusher` daemon thread batches all
-//!   pending commit records into one device write per group. Committers
-//!   either *park* on an LSN-keyed condvar ticket queue
+//!   write itself under the stream's flush mutex (with the usual
+//!   piggybacking fast path). Kept as the measurement baseline; composes
+//!   with `log_streams > 1` (per-stream caller-driven flush).
+//! * **Group commit** — a dedicated `log-flusher-N` daemon per stream
+//!   batches pending commit fences into one device write per group.
+//!   Committers either *park* on an LSN-keyed condvar ticket queue
 //!   ([`LogManager::flush`]) or hand the flusher a completion callback
-//!   ([`LogManager::submit_commit`]) and return immediately — the path DORA
-//!   executors use so they never sleep on log I/O. Group sizes are recorded
-//!   in a [`ValueHistogram`] and counted under
-//!   [`CounterKind::GroupCommits`].
+//!   ([`LogManager::submit_commit`], which fires once *every* touched
+//!   stream's fence is durable) — the path DORA executors use so they
+//!   never sleep on log I/O.
+//!
+//! The log manager also takes **fuzzy checkpoints**
+//! ([`LogManager::maybe_checkpoint`]): the committed history is folded
+//! into a net-effect snapshot per `(table, rid)` plus per-stream low-water
+//! LSNs, so recovery bulk-applies the snapshot and replays only the delta
+//! since the last checkpoint — O(delta), not O(history).
 
-use std::collections::HashMap;
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -41,9 +61,32 @@ use parking_lot::{Condvar, Mutex};
 use dora_common::prelude::*;
 use dora_metrics::{incr, record_time, CounterKind, TimeCategory, ValueHistogram};
 
-/// Log sequence number.
+/// Log sequence number, local to one stream (dense from 1 per stream).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Lsn(pub u64);
+
+/// Identifier of a log stream (index into the partitioned log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StreamId(pub usize);
+
+thread_local! {
+    /// The log stream the current thread appends to (`None` = stream 0).
+    static BOUND_STREAM: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Binds the calling thread to `stream`: every record it appends from now
+/// on goes to that stream (clamped to the stream count of whichever log it
+/// appends to). DORA executor threads call this once at spawn; unbound
+/// threads — baseline workers, clients, secondary actions — use stream 0,
+/// the dedicated baseline stream.
+pub fn bind_executor_log_stream(stream: StreamId) {
+    BOUND_STREAM.with(|bound| bound.set(Some(stream.0)));
+}
+
+/// The stream the calling thread is bound to, if any.
+pub fn bound_log_stream() -> Option<StreamId> {
+    BOUND_STREAM.with(|bound| bound.get().map(StreamId))
+}
 
 /// What a log record describes.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,8 +114,17 @@ pub enum LogRecordKind {
         rid: Rid,
         before: Vec<u8>,
     },
-    /// Transaction commit.
-    Commit,
+    /// Transaction commit fence. Written to *every* stream the transaction
+    /// touched; recovery honours it only when all copies survive and the
+    /// sequence prefix below `seq` is dense.
+    Commit {
+        /// Global commit-order sequence (dense from 1; drawn while the
+        /// transaction's locks are still held, so dependents order after
+        /// their writers).
+        seq: u64,
+        /// Every stream the transaction wrote (each holds one fence copy).
+        streams: Vec<StreamId>,
+    },
     /// Transaction abort (all updates undone).
     Abort,
 }
@@ -87,17 +139,29 @@ impl LogRecordKind {
                 | LogRecordKind::Delete { .. }
         )
     }
+
+    /// The row a data-change record touches (`None` for begin/commit/abort).
+    pub fn row_key(&self) -> Option<(TableId, Rid)> {
+        match self {
+            LogRecordKind::Insert { table, rid, .. }
+            | LogRecordKind::Update { table, rid, .. }
+            | LogRecordKind::Delete { table, rid, .. } => Some((*table, *rid)),
+            _ => None,
+        }
+    }
 }
 
 /// A single log record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogRecord {
-    /// This record's LSN.
+    /// This record's stream-local LSN.
     pub lsn: Lsn,
+    /// The stream the record was appended to.
+    pub stream: StreamId,
     /// Owning transaction.
     pub txn: TxnId,
-    /// Previous LSN written by the same transaction ([`Lsn`] 0 if none):
-    /// the backward chain rollback walks.
+    /// Previous LSN written by the same transaction *on the same stream*
+    /// ([`Lsn`] 0 if none): the backward chain rollback walks.
     pub prev_lsn: Lsn,
     /// Payload.
     pub kind: LogRecordKind,
@@ -123,12 +187,12 @@ struct FlusherQueue {
     shutdown: bool,
 }
 
-/// State shared between the log manager, committers and the flusher daemon.
+/// State shared between one stream, its committers and its flusher daemon.
 struct FlushCore {
     /// Highest LSN known durable (lock-free fast path).
     flushed_lsn: AtomicU64,
-    /// Highest LSN ever assigned; a device write hardens everything
-    /// buffered, i.e. up to this point at write start.
+    /// Highest LSN ever assigned on this stream; a device write hardens
+    /// everything buffered, i.e. up to this point at write start.
     last_assigned: AtomicU64,
     /// Condvar ticket queue keyed by LSN: waiters park here until the
     /// mirror value reaches their LSN; the flusher broadcasts per group.
@@ -155,23 +219,30 @@ impl FlushCore {
         }
     }
 
-    /// Simulates the log-device write latency. Busy-wait rather than sleep:
-    /// sleeping rounds up to scheduler granularity and would distort the
-    /// microsecond-scale latencies we are simulating.
+    /// Simulates the log-device write latency. Deadline-polling rather than
+    /// sleep — sleeping rounds up to scheduler granularity and would
+    /// distort the microsecond-scale latencies we are simulating — but
+    /// yielding inside the loop, because a device write is I/O, not
+    /// compute: while one stream's write is in flight, other streams'
+    /// flushers and the executors feeding them must keep running even when
+    /// hardware contexts are scarce. On an idle core the yield returns
+    /// immediately, preserving accuracy.
     fn device_write(&self) {
         if self.flush_latency.is_zero() {
             return;
         }
         let deadline = Instant::now() + self.flush_latency;
         while Instant::now() < deadline {
-            std::hint::spin_loop();
+            std::thread::yield_now();
         }
     }
 
     /// The flusher daemon main loop: collect a group (waiting out the
     /// configured window unless the group is already full), perform one
     /// device write for the whole group, advance the durable horizon, wake
-    /// parked committers and fire completion callbacks.
+    /// parked committers and fire completion callbacks. Each stream runs
+    /// its own copy, so groups on different streams form and harden in
+    /// parallel.
     fn run_flusher(self: Arc<Self>) {
         let window = Duration::from_micros(self.durability.group_window_micros);
         let max_group = self.durability.max_group_size.max(1);
@@ -228,47 +299,27 @@ impl FlushCore {
     }
 }
 
-/// The write-ahead log.
-pub struct LogManager {
-    /// All records, in LSN order: the record with LSN `n` lives at index
-    /// `n - 1` (LSNs are assigned under this mutex).
+/// One partition of the log: its own record buffer, LSN space, flush mutex
+/// and flusher daemon.
+struct LogStream {
+    id: StreamId,
+    /// All records of this stream, in LSN order: the record with LSN `n`
+    /// lives at index `n - 1` (LSNs are assigned under this mutex).
     records: Mutex<Vec<LogRecord>>,
+    /// Per-transaction backward chain heads, for this stream only.
     last_lsn_per_txn: Mutex<HashMap<TxnId, Lsn>>,
     core: Arc<FlushCore>,
     /// Serializes caller-driven device writes in synchronous mode.
     flush_lock: Mutex<()>,
-    /// The `log-flusher` daemon, spawned lazily on the first group-commit
+    /// The `log-flusher-N` daemon, spawned lazily on the first group-commit
     /// request and joined on drop.
     flusher: Mutex<Option<JoinHandle<()>>>,
 }
 
-impl std::fmt::Debug for LogManager {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LogManager")
-            .field(
-                "last_assigned",
-                &self.core.last_assigned.load(Ordering::Relaxed),
-            )
-            .field(
-                "flushed_lsn",
-                &self.core.flushed_lsn.load(Ordering::Relaxed),
-            )
-            .field("group_commit", &self.core.durability.group_commit)
-            .finish()
-    }
-}
-
-impl LogManager {
-    /// Creates a log manager whose device write takes `flush_latency_micros`
-    /// simulated microseconds, with the default [`DurabilityConfig`]
-    /// (asynchronous group commit).
-    pub fn new(flush_latency_micros: u64) -> Self {
-        Self::with_durability(flush_latency_micros, DurabilityConfig::default())
-    }
-
-    /// Creates a log manager with explicit durability knobs.
-    pub fn with_durability(flush_latency_micros: u64, durability: DurabilityConfig) -> Self {
+impl LogStream {
+    fn new(id: StreamId, flush_latency_micros: u64, durability: DurabilityConfig) -> Self {
         Self {
+            id,
             records: Mutex::new(Vec::new()),
             last_lsn_per_txn: Mutex::new(HashMap::new()),
             core: Arc::new(FlushCore {
@@ -287,15 +338,8 @@ impl LogManager {
         }
     }
 
-    /// The durability knobs this log runs with.
-    pub fn durability(&self) -> &DurabilityConfig {
-        &self.core.durability
-    }
-
-    /// Appends a record for `txn`, returning its LSN. LSNs are assigned
-    /// under the records mutex, so the in-memory log is always a dense,
-    /// LSN-ordered sequence (record `n` at index `n - 1`).
-    pub fn append(&self, txn: TxnId, kind: LogRecordKind) -> Lsn {
+    /// Appends a record for `txn`, returning its stream-local LSN.
+    fn append(&self, txn: TxnId, kind: LogRecordKind) -> Lsn {
         let mut records = self.records.lock();
         let lsn = Lsn(records.len() as u64 + 1);
         self.core.last_assigned.store(lsn.0, Ordering::Release);
@@ -305,6 +349,7 @@ impl LogManager {
         };
         records.push(LogRecord {
             lsn,
+            stream: self.id,
             txn,
             prev_lsn,
             kind,
@@ -320,14 +365,14 @@ impl LogManager {
             let core = Arc::clone(&self.core);
             *flusher = Some(
                 std::thread::Builder::new()
-                    .name("log-flusher".into())
+                    .name(format!("log-flusher-{}", self.id.0))
                     .spawn(move || core.run_flusher())
                     .expect("spawn log-flusher"),
             );
         }
     }
 
-    /// Hands a pending commit to the flusher daemon.
+    /// Hands a pending commit to this stream's flusher daemon.
     fn enqueue(&self, lsn: Lsn, callback: Option<DurableCallback>) {
         self.ensure_flusher();
         let mut queue = self.core.queue.lock();
@@ -339,24 +384,42 @@ impl LogManager {
         self.core.work_cond.notify_one();
     }
 
-    /// Blocks until the log is durable up to (at least) `lsn`.
-    ///
-    /// Under group commit the calling thread enqueues the request and
-    /// *parks* on the LSN-keyed ticket queue until the flusher daemon
-    /// hardens a group covering it. In synchronous mode the caller drives
-    /// the device write itself under the flush mutex; threads that find
-    /// their LSN already flushed return immediately (the piggybacking
-    /// fast path both modes share).
-    pub fn flush(&self, lsn: Lsn) {
+    /// Starts hardening `lsn` without blocking, where the mode allows it.
+    /// In group-commit mode the request is handed to the flusher daemon and
+    /// `true` is returned — the caller still owes a [`Self::wait_durable`].
+    /// In synchronous mode the caller must drive the device write itself,
+    /// so this degenerates to a blocking [`Self::flush`] and returns
+    /// `false`. Multi-stream commit waits use this to overlap the group
+    /// windows of every touched stream (max-of-latencies, not sum).
+    fn start_flush(&self, lsn: Lsn) -> bool {
+        if self.core.flushed_lsn.load(Ordering::Acquire) >= lsn.0 {
+            return false;
+        }
+        if self.core.durability.group_commit {
+            self.enqueue(lsn, None);
+            return true;
+        }
+        self.flush(lsn);
+        false
+    }
+
+    /// Blocks until this stream's flusher reports durability up to `lsn`.
+    /// Only meaningful after a [`Self::start_flush`] that returned `true`.
+    fn wait_durable(&self, lsn: Lsn) {
+        let mut durable = self.core.durable.lock();
+        while *durable < lsn.0 {
+            self.core.durable_cond.wait(&mut durable);
+        }
+    }
+
+    /// Blocks until this stream is durable up to (at least) `lsn`.
+    fn flush(&self, lsn: Lsn) {
         if self.core.flushed_lsn.load(Ordering::Acquire) >= lsn.0 {
             return;
         }
         if self.core.durability.group_commit {
             self.enqueue(lsn, None);
-            let mut durable = self.core.durable.lock();
-            while *durable < lsn.0 {
-                self.core.durable_cond.wait(&mut durable);
-            }
+            self.wait_durable(lsn);
             return;
         }
         let start = Instant::now();
@@ -372,13 +435,10 @@ impl LogManager {
         record_time(TimeCategory::LogWait, start.elapsed());
     }
 
-    /// Registers `callback` to fire (on the flusher thread) once the log is
-    /// durable up to `lsn`, without blocking the caller — the asynchronous
-    /// commit path DORA executors use. If `lsn` is already durable, or the
-    /// log runs in synchronous mode (where the caller must pay the device
-    /// latency itself for the A/B comparison to mean anything), the flush
-    /// is completed on the calling thread and the callback fires inline.
-    pub fn submit_commit(&self, lsn: Lsn, callback: DurableCallback) {
+    /// Registers `callback` to fire once this stream is durable up to
+    /// `lsn`, without blocking the caller. Already-durable LSNs and
+    /// synchronous mode complete inline on the calling thread.
+    fn submit_commit(&self, lsn: Lsn, callback: DurableCallback) {
         if self.core.flushed_lsn.load(Ordering::Acquire) >= lsn.0 {
             callback();
             return;
@@ -391,94 +451,11 @@ impl LogManager {
         self.enqueue(lsn, Some(callback));
     }
 
-    /// Highest LSN known to be flushed.
-    pub fn flushed_lsn(&self) -> Lsn {
+    fn flushed_lsn(&self) -> Lsn {
         Lsn(self.core.flushed_lsn.load(Ordering::Acquire))
     }
 
-    /// Flush-group sizes observed so far (commit records hardened per
-    /// device write of the flusher daemon). Empty in synchronous mode.
-    pub fn flush_group_sizes(&self) -> ValueHistogram {
-        self.core.group_sizes.lock().clone()
-    }
-
-    /// Number of records appended so far.
-    pub fn len(&self) -> usize {
-        self.records.lock().len()
-    }
-
-    /// `true` if nothing has been logged.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Returns the records of `txn` in reverse order of appending (the order
-    /// rollback must apply undo in), by walking the transaction's `prev_lsn`
-    /// chain backwards from its last record — O(records of `txn`), not a
-    /// full-log scan.
-    pub fn records_for_undo(&self, txn: TxnId) -> Vec<LogRecord> {
-        let last = self
-            .last_lsn_per_txn
-            .lock()
-            .get(&txn)
-            .copied()
-            .unwrap_or(Lsn(0));
-        let records = self.records.lock();
-        let mut chain = Vec::new();
-        let mut cursor = last;
-        while cursor.0 != 0 {
-            let record = &records[(cursor.0 - 1) as usize];
-            debug_assert_eq!(record.txn, txn, "prev_lsn chain crossed transactions");
-            cursor = record.prev_lsn;
-            chain.push(record.clone());
-        }
-        chain
-    }
-
-    /// Analysis + redo view of the log: the data-change records of every
-    /// transaction that has a `Commit` record, in LSN order. Recovery applies
-    /// these to an empty database to reconstruct committed state.
-    pub fn committed_changes(&self) -> Vec<LogRecord> {
-        self.committed_changes_in_prefix(Lsn(u64::MAX))
-    }
-
-    /// [`Self::committed_changes`] restricted to the log prefix of records
-    /// with LSN ≤ `upto`: what recovery would see if the tail past `upto`
-    /// were lost in a crash. Only transactions whose `Commit` record is
-    /// *inside* the prefix contribute — a transaction whose locks were
-    /// released early but whose commit record missed the flushed prefix is
-    /// correctly treated as never having happened.
-    pub fn committed_changes_in_prefix(&self, upto: Lsn) -> Vec<LogRecord> {
-        let records = self.records.lock();
-        let len = (upto.0.min(records.len() as u64)) as usize;
-        let prefix = &records[..len];
-        let committed: std::collections::HashSet<TxnId> = prefix
-            .iter()
-            .filter(|r| matches!(r.kind, LogRecordKind::Commit))
-            .map(|r| r.txn)
-            .collect();
-        prefix
-            .iter()
-            .filter(|r| committed.contains(&r.txn) && r.kind.is_data_change())
-            .cloned()
-            .collect()
-    }
-
-    /// A point-in-time copy of the whole log, in LSN order. Diagnostics and
-    /// tests (e.g. the crash-prefix property test inspects commit-record
-    /// positions); not a hot path.
-    pub fn records_snapshot(&self) -> Vec<LogRecord> {
-        self.records.lock().clone()
-    }
-
-    /// Forgets per-transaction bookkeeping for a finished transaction.
-    pub fn forget(&self, txn: TxnId) {
-        self.last_lsn_per_txn.lock().remove(&txn);
-    }
-}
-
-impl Drop for LogManager {
-    fn drop(&mut self) {
+    fn shutdown(&self) {
         let handle = self.flusher.lock().take();
         if let Some(handle) = handle {
             {
@@ -486,7 +463,672 @@ impl Drop for LogManager {
                 queue.shutdown = true;
             }
             self.core.work_cond.notify_one();
-            let _ = handle.join();
+            // A durability callback can own the last reference to the
+            // database, so this drop chain may run ON a flusher thread.
+            // Joining yourself is a deadlock; detach instead — the thread
+            // has already seen `shutdown` and exits on its own.
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// A fuzzy checkpoint: the committed history up to `seq_horizon`, folded
+/// into net-effect records per row, plus the records of transactions that
+/// were still undecided when the checkpoint was cut (carried forward so a
+/// fence landing after the low-water mark loses nothing).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Per-stream cut: this checkpoint covers records with LSN ≤
+    /// `low_water[stream]`; recovery replays only the tail past it.
+    low_water: Vec<Lsn>,
+    /// Commit sequences ≤ this are folded into `rows`.
+    seq_horizon: u64,
+    /// Net effect per row, as the minimal record list replay must apply
+    /// (usually one record; two for delete-then-reinsert slot reuse).
+    rows: HashMap<(TableId, Rid), Vec<LogRecord>>,
+    /// Records (below the low-water marks) of transactions neither
+    /// committed ≤ `seq_horizon` nor aborted at build time.
+    pending: Vec<LogRecord>,
+}
+
+impl Checkpoint {
+    /// Per-stream LSNs this checkpoint's folded state already covers.
+    pub fn low_water(&self) -> &[Lsn] {
+        &self.low_water
+    }
+
+    /// Highest commit sequence folded into the checkpoint.
+    pub fn seq_horizon(&self) -> u64 {
+        self.seq_horizon
+    }
+
+    /// Number of distinct rows with folded state.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Carried records of transactions undecided at build time.
+    pub fn pending(&self) -> &[LogRecord] {
+        &self.pending
+    }
+
+    /// The folded rows as a replayable record list, sorted by row so
+    /// recovery output is deterministic. Net effects of different rows
+    /// commute, so recovery may also apply them sharded in parallel.
+    pub fn rows_flat(&self) -> Vec<LogRecord> {
+        let mut keys: Vec<(TableId, Rid)> = self.rows.keys().copied().collect();
+        keys.sort_unstable();
+        let mut out = Vec::new();
+        for key in keys {
+            out.extend(self.rows[&key].iter().cloned());
+        }
+        out
+    }
+}
+
+/// Result of scanning a candidate record set for commit fences: which
+/// transactions are committed (fully fenced with a dense sequence prefix),
+/// the new sequence horizon, and which transactions aborted.
+struct Analysis {
+    /// Transaction → its commit sequence, for every transaction whose
+    /// fences all survive and whose sequence is ≤ `horizon`.
+    committed: HashMap<TxnId, u64>,
+    /// Largest `c` such that every sequence in `(base, c]` belongs to a
+    /// fully fenced transaction in the candidate set.
+    horizon: u64,
+    aborted: HashSet<TxnId>,
+}
+
+/// Folds one data-change record into a row's net-effect slot
+/// (insert+update → insert, update+update → latest, insert+delete →
+/// nothing, update+delete → delete; delete-then-insert keeps both).
+fn fold_row(slot: &mut Vec<LogRecord>, record: LogRecord) {
+    use LogRecordKind as K;
+    enum Action {
+        Push,
+        Pop,
+        ReplaceKind(LogRecordKind),
+        ReplaceRecord,
+    }
+    let action = match (slot.last().map(|r| &r.kind), &record.kind) {
+        (Some(K::Insert { .. }), K::Delete { .. }) => Action::Pop,
+        (Some(K::Insert { table, rid, .. }), K::Update { after, .. }) => {
+            Action::ReplaceKind(K::Insert {
+                table: *table,
+                rid: *rid,
+                after: after.clone(),
+            })
+        }
+        // Replay only applies `after`, so the intermediate `before` image
+        // the replacing record carries is irrelevant.
+        (Some(K::Update { .. }), K::Update { .. }) | (Some(K::Update { .. }), K::Delete { .. }) => {
+            Action::ReplaceRecord
+        }
+        _ => Action::Push,
+    };
+    match action {
+        Action::Push => slot.push(record),
+        Action::Pop => {
+            slot.pop();
+        }
+        Action::ReplaceKind(kind) => slot.last_mut().expect("slot non-empty").kind = kind,
+        Action::ReplaceRecord => *slot.last_mut().expect("slot non-empty") = record,
+    }
+}
+
+/// The partitioned write-ahead log.
+pub struct LogManager {
+    streams: Vec<LogStream>,
+    /// Next global commit sequence − 1 (sequences are dense from 1).
+    commit_seq: AtomicU64,
+    /// Latest fuzzy checkpoint, if any.
+    checkpoint: Mutex<Option<Checkpoint>>,
+    /// Serializes checkpoint builds (committers `try_lock` so at most one
+    /// pays the build cost and the rest skip).
+    checkpoint_build: Mutex<()>,
+    /// Records appended since the last checkpoint.
+    records_since_checkpoint: AtomicU64,
+    durability: DurabilityConfig,
+}
+
+impl std::fmt::Debug for LogManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogManager")
+            .field("streams", &self.streams.len())
+            .field("commit_seq", &self.commit_seq.load(Ordering::Relaxed))
+            .field("group_commit", &self.durability.group_commit)
+            .finish()
+    }
+}
+
+impl LogManager {
+    /// Creates a log manager whose device writes take `flush_latency_micros`
+    /// simulated microseconds, with the default [`DurabilityConfig`]
+    /// (asynchronous group commit, a single stream).
+    pub fn new(flush_latency_micros: u64) -> Self {
+        Self::with_durability(flush_latency_micros, DurabilityConfig::default())
+    }
+
+    /// Creates a log manager with explicit durability knobs;
+    /// [`DurabilityConfig::log_streams`] sets the partition count.
+    pub fn with_durability(flush_latency_micros: u64, durability: DurabilityConfig) -> Self {
+        let count = durability.log_streams.max(1);
+        let streams = (0..count)
+            .map(|s| LogStream::new(StreamId(s), flush_latency_micros, durability.clone()))
+            .collect();
+        Self {
+            streams,
+            commit_seq: AtomicU64::new(0),
+            checkpoint: Mutex::new(None),
+            checkpoint_build: Mutex::new(()),
+            records_since_checkpoint: AtomicU64::new(0),
+            durability,
+        }
+    }
+
+    /// The durability knobs this log runs with.
+    pub fn durability(&self) -> &DurabilityConfig {
+        &self.durability
+    }
+
+    /// Number of log streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The stream serving executor number `index` (spawn order across all
+    /// tables): round-robin over streams 1.., keeping stream 0 as the
+    /// dedicated baseline/unbound stream — unless there is only one.
+    pub fn executor_stream(&self, index: usize) -> StreamId {
+        let count = self.streams.len();
+        if count <= 1 {
+            StreamId(0)
+        } else {
+            StreamId(1 + index % (count - 1))
+        }
+    }
+
+    /// The stream the calling thread appends to.
+    fn current_stream(&self) -> &LogStream {
+        let bound = bound_log_stream().map_or(0, |stream| stream.0);
+        &self.streams[bound % self.streams.len()]
+    }
+
+    /// Appends a record for `txn` to the calling thread's stream, returning
+    /// where it landed. Per stream, the in-memory log is always a dense,
+    /// LSN-ordered sequence (record `n` at index `n - 1`).
+    pub fn append(&self, txn: TxnId, kind: LogRecordKind) -> (StreamId, Lsn) {
+        let stream = self.current_stream();
+        let lsn = stream.append(txn, kind);
+        self.records_since_checkpoint
+            .fetch_add(1, Ordering::Relaxed);
+        (stream.id, lsn)
+    }
+
+    /// Draws the next global commit sequence and appends one commit fence
+    /// (carrying the sequence and the full `touched` list) to every touched
+    /// stream. Must be called while the transaction's locks are still held,
+    /// so dependents draw strictly larger sequences. Returns the sequence
+    /// and the per-stream fence LSNs the commit must flush.
+    pub fn append_commit_fences(
+        &self,
+        txn: TxnId,
+        touched: &[StreamId],
+    ) -> (u64, Vec<(StreamId, Lsn)>) {
+        let seq = self.commit_seq.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut streams: Vec<StreamId> = touched.to_vec();
+        streams.sort_unstable();
+        streams.dedup();
+        let mut fences = Vec::with_capacity(streams.len());
+        for &stream in &streams {
+            let lsn = self.streams[stream.0 % self.streams.len()].append(
+                txn,
+                LogRecordKind::Commit {
+                    seq,
+                    streams: streams.clone(),
+                },
+            );
+            self.records_since_checkpoint
+                .fetch_add(1, Ordering::Relaxed);
+            incr(CounterKind::CommitFences);
+            fences.push((stream, lsn));
+        }
+        (seq, fences)
+    }
+
+    /// Blocks until `stream` is durable up to (at least) `lsn`.
+    ///
+    /// Under group commit the calling thread enqueues the request and
+    /// *parks* on the stream's LSN-keyed ticket queue until its flusher
+    /// daemon hardens a covering group. In synchronous mode the caller
+    /// drives the device write itself under the stream's flush mutex;
+    /// threads that find their LSN already flushed return immediately (the
+    /// piggybacking fast path both modes share).
+    pub fn flush(&self, stream: StreamId, lsn: Lsn) {
+        self.streams[stream.0 % self.streams.len()].flush(lsn);
+    }
+
+    /// Flushes every fence of a commit (the multi-stream commit wait).
+    /// Every touched stream's flush is *started* before any is waited on,
+    /// so a commit that fenced N streams pays the longest group window
+    /// once, not N windows back to back.
+    pub fn flush_fences(&self, fences: &[(StreamId, Lsn)]) {
+        let mut waits: Vec<(usize, Lsn)> = Vec::new();
+        for &(stream, lsn) in fences {
+            let index = stream.0 % self.streams.len();
+            if self.streams[index].start_flush(lsn) {
+                waits.push((index, lsn));
+            }
+        }
+        for (index, lsn) in waits {
+            self.streams[index].wait_durable(lsn);
+        }
+    }
+
+    /// Registers `callback` to fire once *every* fence in `fences` is
+    /// durable, without blocking the caller — the asynchronous commit path
+    /// DORA executors use. The callback runs on whichever stream's flusher
+    /// hardens the last fence (inline on the caller if all fences are
+    /// already durable, or in synchronous mode, where the caller must pay
+    /// the device latency itself for the A/B comparison to mean anything).
+    pub fn submit_commit(&self, fences: Vec<(StreamId, Lsn)>, callback: DurableCallback) {
+        match fences.len() {
+            0 => callback(),
+            1 => {
+                let (stream, lsn) = fences[0];
+                self.streams[stream.0 % self.streams.len()].submit_commit(lsn, callback);
+            }
+            count => {
+                let remaining = Arc::new(AtomicU64::new(count as u64));
+                let shared = Arc::new(Mutex::new(Some(callback)));
+                for (stream, lsn) in fences {
+                    let remaining = Arc::clone(&remaining);
+                    let shared = Arc::clone(&shared);
+                    self.streams[stream.0 % self.streams.len()].submit_commit(
+                        lsn,
+                        Box::new(move || {
+                            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                if let Some(callback) = shared.lock().take() {
+                                    callback();
+                                }
+                            }
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Highest LSN known to be flushed on `stream`.
+    pub fn flushed_lsn(&self, stream: StreamId) -> Lsn {
+        self.streams[stream.0 % self.streams.len()].flushed_lsn()
+    }
+
+    /// Flush-group sizes observed so far across all streams (commit records
+    /// hardened per device write). Empty in synchronous mode.
+    pub fn flush_group_sizes(&self) -> ValueHistogram {
+        let mut merged = ValueHistogram::new();
+        for stream in &self.streams {
+            merged.merge(&stream.core.group_sizes.lock());
+        }
+        merged
+    }
+
+    /// Per-stream durability statistics (record counts, durable horizons,
+    /// flush-group histograms) for reporting.
+    pub fn stream_stats(&self) -> Vec<StreamStats> {
+        self.streams
+            .iter()
+            .map(|stream| StreamStats {
+                stream: stream.id,
+                records: stream.records.lock().len(),
+                flushed_lsn: stream.flushed_lsn(),
+                group_sizes: stream.core.group_sizes.lock().clone(),
+            })
+            .collect()
+    }
+
+    /// Total records appended across all streams.
+    pub fn len(&self) -> usize {
+        self.streams.iter().map(|s| s.records.lock().len()).sum()
+    }
+
+    /// `true` if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current length of each stream, as the cut vector that covers the
+    /// whole log right now.
+    pub fn stream_lens(&self) -> Vec<Lsn> {
+        self.streams
+            .iter()
+            .map(|s| Lsn(s.records.lock().len() as u64))
+            .collect()
+    }
+
+    /// Returns the records of `txn` in undo order: per stream, the
+    /// transaction's `prev_lsn` chain walked backwards from its last record
+    /// — O(records of `txn`), not a full-log scan. Streams are concatenated;
+    /// within a transaction each row is written via a single executor and
+    /// therefore a single stream, so cross-stream undo order is immaterial.
+    pub fn records_for_undo(&self, txn: TxnId) -> Vec<LogRecord> {
+        let mut chain = Vec::new();
+        for stream in &self.streams {
+            let last = stream
+                .last_lsn_per_txn
+                .lock()
+                .get(&txn)
+                .copied()
+                .unwrap_or(Lsn(0));
+            let records = stream.records.lock();
+            let mut cursor = last;
+            while cursor.0 != 0 {
+                let record = &records[(cursor.0 - 1) as usize];
+                debug_assert_eq!(record.txn, txn, "prev_lsn chain crossed transactions");
+                cursor = record.prev_lsn;
+                chain.push(record.clone());
+            }
+        }
+        chain
+    }
+
+    /// Analysis + redo view of the whole log: the data-change records of
+    /// every recoverable transaction, in replay order. Recovery applies
+    /// these to an empty database to reconstruct committed state.
+    pub fn committed_changes(&self) -> Vec<LogRecord> {
+        let cuts = self.stream_lens();
+        self.committed_changes_in_prefixes(&cuts)
+    }
+
+    /// [`Self::committed_changes`] restricted to per-stream prefixes: what
+    /// recovery would see if each stream `s` lost every record past
+    /// `cuts[s]` in a crash (missing entries mean "whole stream"). A
+    /// transaction contributes iff *all* its commit fences lie inside the
+    /// cuts **and** every smaller commit sequence is also fully fenced —
+    /// the maximal sequence-dense prefix. A transaction whose locks were
+    /// released early but whose fences were torn, and every transaction
+    /// sequenced after it, is correctly treated as never having happened.
+    ///
+    /// Records are returned grouped by transaction in commit-sequence
+    /// order; replaying them sequentially (or sharded by row) rebuilds the
+    /// exact committed state, because lock release orders dependent
+    /// transactions' sequences.
+    pub fn committed_changes_in_prefixes(&self, cuts: &[Lsn]) -> Vec<LogRecord> {
+        // Analysis runs on borrowed records (holding every stream lock, in
+        // stream order — each flusher only ever locks its own stream, so no
+        // cycle) and clones only the replayable subset, keeping the serial
+        // prefix of parallel recovery short.
+        let guards: Vec<_> = self
+            .streams
+            .iter()
+            .map(|stream| stream.records.lock())
+            .collect();
+        let mut candidates: Vec<&LogRecord> = Vec::new();
+        for (s, records) in guards.iter().enumerate() {
+            let len = cuts
+                .get(s)
+                .map_or(records.len(), |cut| (cut.0 as usize).min(records.len()));
+            candidates.extend(records[..len].iter());
+        }
+        Self::redo_in_candidate_refs(&candidates, 0)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Runs `f` over the replayable redo records (the same set
+    /// [`Self::committed_changes`] returns) without cloning them: the
+    /// records stay borrowed from the stream buffers, which remain locked
+    /// for the duration of the call. Parallel recovery hands the slice to
+    /// its workers and lets each clone only its own shard, keeping the
+    /// serial analysis prefix of recovery as short as possible.
+    pub fn with_redo_refs<R>(&self, f: impl FnOnce(&[&LogRecord]) -> R) -> R {
+        let guards: Vec<_> = self
+            .streams
+            .iter()
+            .map(|stream| stream.records.lock())
+            .collect();
+        let mut candidates: Vec<&LogRecord> = Vec::new();
+        for records in guards.iter() {
+            candidates.extend(records.iter());
+        }
+        let redo = Self::redo_in_candidate_refs(&candidates, 0);
+        f(&redo)
+    }
+
+    /// Scans `candidates` for commit fences and aborts, extending the dense
+    /// sequence horizon upward from `base_horizon`.
+    fn analyze(candidates: &[&LogRecord], base_horizon: u64) -> Analysis {
+        struct Fence {
+            seq: u64,
+            required: usize,
+            seen: usize,
+        }
+        let mut fences: HashMap<TxnId, Fence> = HashMap::new();
+        let mut aborted = HashSet::new();
+        for &record in candidates {
+            match &record.kind {
+                LogRecordKind::Commit { seq, streams } => {
+                    let fence = fences.entry(record.txn).or_insert(Fence {
+                        seq: *seq,
+                        required: streams.len(),
+                        seen: 0,
+                    });
+                    fence.seen += 1;
+                }
+                LogRecordKind::Abort => {
+                    aborted.insert(record.txn);
+                }
+                _ => {}
+            }
+        }
+        let mut fenced: Vec<(u64, TxnId)> = fences
+            .iter()
+            .filter(|(_, fence)| fence.seen >= fence.required)
+            .map(|(txn, fence)| (fence.seq, *txn))
+            .collect();
+        fenced.sort_unstable();
+        let mut horizon = base_horizon;
+        let mut committed = HashMap::new();
+        for (seq, txn) in fenced {
+            if seq == horizon + 1 {
+                horizon = seq;
+                committed.insert(txn, seq);
+            } else if seq > horizon + 1 {
+                break;
+            }
+        }
+        Analysis {
+            committed,
+            horizon,
+            aborted,
+        }
+    }
+
+    /// The replayable records among `candidates`: data changes of
+    /// transactions fully fenced with sequence in the dense range starting
+    /// past `base_horizon`, grouped per transaction in sequence order.
+    /// `candidates` must preserve per-stream append order (stream-major
+    /// concatenation does).
+    pub(crate) fn redo_in_candidates(
+        candidates: Vec<LogRecord>,
+        base_horizon: u64,
+    ) -> Vec<LogRecord> {
+        let refs: Vec<&LogRecord> = candidates.iter().collect();
+        Self::redo_in_candidate_refs(&refs, base_horizon)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Borrowed-record core of [`Self::redo_in_candidates`].
+    fn redo_in_candidate_refs<'a>(
+        candidates: &[&'a LogRecord],
+        base_horizon: u64,
+    ) -> Vec<&'a LogRecord> {
+        let analysis = Self::analyze(candidates, base_horizon);
+        let mut by_txn: HashMap<TxnId, Vec<&LogRecord>> = HashMap::new();
+        for &record in candidates {
+            if analysis.committed.contains_key(&record.txn) && record.kind.is_data_change() {
+                by_txn.entry(record.txn).or_default().push(record);
+            }
+        }
+        let mut order: Vec<(u64, TxnId)> = analysis
+            .committed
+            .iter()
+            .map(|(txn, seq)| (*seq, *txn))
+            .collect();
+        order.sort_unstable();
+        let mut out = Vec::new();
+        for (_, txn) in order {
+            out.extend(by_txn.remove(&txn).unwrap_or_default());
+        }
+        out
+    }
+
+    /// Takes a fuzzy checkpoint if the configured record interval has
+    /// elapsed since the last one; at most one thread builds (others skip
+    /// past the `try_lock`). Called from the precommit path.
+    pub fn maybe_checkpoint(&self) {
+        let interval = self.durability.checkpoint_interval;
+        if interval == 0 || self.records_since_checkpoint.load(Ordering::Relaxed) < interval {
+            return;
+        }
+        if let Some(_guard) = self.checkpoint_build.try_lock() {
+            if self.records_since_checkpoint.load(Ordering::Relaxed) < interval {
+                return;
+            }
+            self.records_since_checkpoint.store(0, Ordering::Relaxed);
+            self.build_checkpoint();
+        }
+    }
+
+    /// Takes a fuzzy checkpoint now (benchmarks and tests).
+    pub fn take_checkpoint(&self) {
+        let _guard = self.checkpoint_build.lock();
+        self.records_since_checkpoint.store(0, Ordering::Relaxed);
+        self.build_checkpoint();
+    }
+
+    /// Incrementally folds everything committed since the previous
+    /// checkpoint into the net-effect row snapshot. The cut is *fuzzy* —
+    /// each stream is cut at whatever length it has when visited — which is
+    /// safe because undecided transactions' records are carried in
+    /// `pending` and re-examined next time.
+    fn build_checkpoint(&self) {
+        let previous = self.checkpoint.lock().clone();
+        let (mut rows, base_horizon, previous_low, mut candidates) = match previous {
+            Some(cp) => (cp.rows, cp.seq_horizon, cp.low_water, cp.pending),
+            None => (
+                HashMap::new(),
+                0,
+                vec![Lsn(0); self.streams.len()],
+                Vec::new(),
+            ),
+        };
+        let mut cuts = Vec::with_capacity(self.streams.len());
+        for (s, stream) in self.streams.iter().enumerate() {
+            let records = stream.records.lock();
+            let cut = records.len();
+            cuts.push(Lsn(cut as u64));
+            let from = previous_low.get(s).map_or(0, |low| low.0 as usize);
+            candidates.extend_from_slice(&records[from..cut]);
+        }
+        let analysis = {
+            let refs: Vec<&LogRecord> = candidates.iter().collect();
+            Self::analyze(&refs, base_horizon)
+        };
+        let mut by_txn: HashMap<TxnId, Vec<LogRecord>> = HashMap::new();
+        let mut pending = Vec::new();
+        for record in candidates {
+            if analysis.committed.contains_key(&record.txn) {
+                if record.kind.is_data_change() {
+                    by_txn.entry(record.txn).or_default().push(record);
+                }
+            } else if !analysis.aborted.contains(&record.txn) {
+                pending.push(record);
+            }
+        }
+        let mut order: Vec<(u64, TxnId)> = analysis
+            .committed
+            .iter()
+            .map(|(txn, seq)| (*seq, *txn))
+            .collect();
+        order.sort_unstable();
+        for (_, txn) in order {
+            for record in by_txn.remove(&txn).unwrap_or_default() {
+                let key = record.kind.row_key().expect("data record has a row");
+                fold_row(rows.entry(key).or_default(), record);
+            }
+        }
+        rows.retain(|_, slot| !slot.is_empty());
+        *self.checkpoint.lock() = Some(Checkpoint {
+            low_water: cuts,
+            seq_horizon: analysis.horizon,
+            rows,
+            pending,
+        });
+        incr(CounterKind::CheckpointsTaken);
+    }
+
+    /// The latest fuzzy checkpoint, if one has been taken.
+    pub fn checkpoint_snapshot(&self) -> Option<Checkpoint> {
+        self.checkpoint.lock().clone()
+    }
+
+    /// Every record past the per-stream `low_water` marks, stream-major
+    /// (per-stream append order preserved): the delta checkpoint recovery
+    /// re-analyzes and replays.
+    pub fn records_after(&self, low_water: &[Lsn]) -> Vec<LogRecord> {
+        let mut out = Vec::new();
+        for (s, stream) in self.streams.iter().enumerate() {
+            let records = stream.records.lock();
+            let from = low_water
+                .get(s)
+                .map_or(0, |low| (low.0 as usize).min(records.len()));
+            out.extend_from_slice(&records[from..]);
+        }
+        out
+    }
+
+    /// A point-in-time copy of each stream's records, in LSN order.
+    /// Diagnostics and tests (the crash-prefix property test inspects
+    /// fence positions); not a hot path.
+    pub fn records_snapshot(&self) -> Vec<Vec<LogRecord>> {
+        self.streams
+            .iter()
+            .map(|stream| stream.records.lock().clone())
+            .collect()
+    }
+
+    /// Forgets per-transaction bookkeeping for a finished transaction.
+    pub fn forget(&self, txn: TxnId) {
+        for stream in &self.streams {
+            stream.last_lsn_per_txn.lock().remove(&txn);
+        }
+    }
+}
+
+/// Point-in-time durability statistics of one log stream.
+#[derive(Debug, Clone)]
+pub struct StreamStats {
+    /// Which stream.
+    pub stream: StreamId,
+    /// Records appended so far.
+    pub records: usize,
+    /// Durable horizon.
+    pub flushed_lsn: Lsn,
+    /// Flush-group size histogram of this stream's flusher.
+    pub group_sizes: ValueHistogram,
+}
+
+impl Drop for LogManager {
+    fn drop(&mut self) {
+        for stream in &self.streams {
+            stream.shutdown();
         }
     }
 }
@@ -495,19 +1137,25 @@ impl Drop for LogManager {
 mod tests {
     use super::*;
 
+    fn insert_record(table: u32, page: u32, slot: u16, after: Vec<u8>) -> LogRecordKind {
+        LogRecordKind::Insert {
+            table: TableId(table),
+            rid: Rid::new(page, slot),
+            after,
+        }
+    }
+
+    fn streams_config(streams: usize) -> DurabilityConfig {
+        DurabilityConfig::default().with_log_streams(streams)
+    }
+
     #[test]
     fn lsns_are_monotonic_and_chained_per_txn() {
         let log = LogManager::new(0);
-        let a1 = log.append(TxnId(1), LogRecordKind::Begin);
-        let b1 = log.append(TxnId(2), LogRecordKind::Begin);
-        let a2 = log.append(
-            TxnId(1),
-            LogRecordKind::Insert {
-                table: TableId(1),
-                rid: Rid::new(0, 0),
-                after: vec![1],
-            },
-        );
+        let (_, a1) = log.append(TxnId(1), LogRecordKind::Begin);
+        let (_, b1) = log.append(TxnId(2), LogRecordKind::Begin);
+        let (stream, a2) = log.append(TxnId(1), insert_record(1, 0, 0, vec![1]));
+        assert_eq!(stream, StreamId(0), "unbound threads use stream 0");
         assert!(a1 < b1 && b1 < a2);
         let undo = log.records_for_undo(TxnId(1));
         assert_eq!(undo.len(), 2);
@@ -544,15 +1192,81 @@ mod tests {
     }
 
     #[test]
+    fn bound_threads_append_to_their_stream() {
+        let log = Arc::new(LogManager::with_durability(0, streams_config(3)));
+        let handles: Vec<_> = (0..3)
+            .map(|s| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    bind_executor_log_stream(StreamId(s));
+                    assert_eq!(bound_log_stream(), Some(StreamId(s)));
+                    let (stream, _) = log.append(TxnId(s as u64 + 1), LogRecordKind::Begin);
+                    assert_eq!(stream, StreamId(s));
+                    let (stream, _) =
+                        log.append(TxnId(s as u64 + 1), insert_record(1, 0, s as u16, vec![1]));
+                    assert_eq!(stream, StreamId(s));
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        // Per-stream LSNs are dense from 1; undo chains span streams.
+        for snapshot in log.records_snapshot() {
+            for (i, record) in snapshot.iter().enumerate() {
+                assert_eq!(record.lsn, Lsn(i as u64 + 1));
+            }
+        }
+        assert_eq!(log.len(), 6);
+    }
+
+    #[test]
+    fn records_for_undo_spans_streams() {
+        let log = Arc::new(LogManager::with_durability(0, streams_config(2)));
+        log.append(TxnId(1), insert_record(1, 0, 0, vec![1]));
+        let log2 = Arc::clone(&log);
+        std::thread::spawn(move || {
+            bind_executor_log_stream(StreamId(1));
+            log2.append(TxnId(1), insert_record(1, 0, 1, vec![2]));
+        })
+        .join()
+        .unwrap();
+        let undo = log.records_for_undo(TxnId(1));
+        assert_eq!(undo.len(), 2);
+        let streams: HashSet<StreamId> = undo.iter().map(|r| r.stream).collect();
+        assert_eq!(streams.len(), 2, "undo must cover both streams");
+    }
+
+    #[test]
+    fn executor_stream_round_robins_past_the_baseline_stream() {
+        let single = LogManager::with_durability(0, streams_config(1));
+        assert_eq!(single.executor_stream(0), StreamId(0));
+        assert_eq!(single.executor_stream(7), StreamId(0));
+        let sharded = LogManager::with_durability(0, streams_config(3));
+        assert_eq!(sharded.executor_stream(0), StreamId(1));
+        assert_eq!(sharded.executor_stream(1), StreamId(2));
+        assert_eq!(sharded.executor_stream(2), StreamId(1));
+        assert!(
+            (0..16).all(|k| sharded.executor_stream(k) != StreamId(0)),
+            "stream 0 is reserved for unbound threads"
+        );
+    }
+
+    #[test]
     fn flush_advances_flushed_lsn() {
-        for durability in [DurabilityConfig::default(), DurabilityConfig::sync_commit()] {
-            let log = LogManager::with_durability(0, durability);
-            let lsn = log.append(TxnId(1), LogRecordKind::Commit);
-            assert!(log.flushed_lsn() < lsn);
-            log.flush(lsn);
-            assert!(log.flushed_lsn() >= lsn);
-            // Second flush of the same LSN is a no-op (piggyback fast path).
-            log.flush(lsn);
+        for streams in [1usize, 2] {
+            for durability in [
+                streams_config(streams),
+                DurabilityConfig::sync_commit().with_log_streams(streams),
+            ] {
+                let log = LogManager::with_durability(0, durability);
+                let (stream, lsn) = log.append(TxnId(1), LogRecordKind::Begin);
+                assert!(log.flushed_lsn(stream) < lsn);
+                log.flush(stream, lsn);
+                assert!(log.flushed_lsn(stream) >= lsn);
+                // Second flush of the same LSN is a no-op (piggyback path).
+                log.flush(stream, lsn);
+            }
         }
     }
 
@@ -560,36 +1274,15 @@ mod tests {
     fn committed_changes_exclude_uncommitted_and_aborted() {
         let log = LogManager::new(0);
         log.append(TxnId(1), LogRecordKind::Begin);
-        log.append(
-            TxnId(1),
-            LogRecordKind::Insert {
-                table: TableId(1),
-                rid: Rid::new(0, 0),
-                after: vec![1],
-            },
-        );
-        log.append(TxnId(1), LogRecordKind::Commit);
+        log.append(TxnId(1), insert_record(1, 0, 0, vec![1]));
+        log.append_commit_fences(TxnId(1), &[StreamId(0)]);
 
         log.append(TxnId(2), LogRecordKind::Begin);
-        log.append(
-            TxnId(2),
-            LogRecordKind::Insert {
-                table: TableId(1),
-                rid: Rid::new(0, 1),
-                after: vec![2],
-            },
-        );
+        log.append(TxnId(2), insert_record(1, 0, 1, vec![2]));
         log.append(TxnId(2), LogRecordKind::Abort);
 
         log.append(TxnId(3), LogRecordKind::Begin);
-        log.append(
-            TxnId(3),
-            LogRecordKind::Insert {
-                table: TableId(1),
-                rid: Rid::new(0, 2),
-                after: vec![3],
-            },
-        );
+        log.append(TxnId(3), insert_record(1, 0, 2, vec![3]));
 
         let committed = log.committed_changes();
         assert_eq!(committed.len(), 1);
@@ -597,33 +1290,49 @@ mod tests {
     }
 
     #[test]
+    fn torn_fence_on_any_stream_discards_the_transaction() {
+        let log = LogManager::with_durability(0, streams_config(2));
+        // Txn 1 writes on stream 0 and fences both streams (as if it had
+        // touched rows owned by an executor on stream 1 too).
+        log.append(TxnId(1), insert_record(1, 0, 0, vec![1]));
+        let (seq1, fences1) = log.append_commit_fences(TxnId(1), &[StreamId(0), StreamId(1)]);
+        assert_eq!(seq1, 1);
+        assert_eq!(fences1.len(), 2);
+        // Txn 2 writes and fences only stream 0.
+        log.append(TxnId(2), insert_record(1, 0, 1, vec![2]));
+        let (seq2, _) = log.append_commit_fences(TxnId(2), &[StreamId(0)]);
+        assert_eq!(seq2, 2);
+
+        // Cut stream 1 to zero: txn 1's second fence is torn. Txn 1 must
+        // not replay — and neither may txn 2, whose sequence sits past the
+        // hole (it could depend on txn 1 via early lock release).
+        let torn = log.committed_changes_in_prefixes(&[Lsn(4), Lsn(0)]);
+        assert!(
+            torn.is_empty(),
+            "a torn fence and everything sequenced after it must vanish"
+        );
+
+        // With both streams intact, both transactions replay, ordered by
+        // commit sequence.
+        let full = log.committed_changes();
+        assert_eq!(full.len(), 2);
+        assert_eq!(full[0].txn, TxnId(1));
+        assert_eq!(full[1].txn, TxnId(2));
+    }
+
+    #[test]
     fn prefix_excludes_commits_past_the_crash_point() {
         let log = LogManager::new(0);
-        log.append(
-            TxnId(1),
-            LogRecordKind::Insert {
-                table: TableId(1),
-                rid: Rid::new(0, 0),
-                after: vec![1],
-            },
-        );
-        let commit1 = log.append(TxnId(1), LogRecordKind::Commit);
-        log.append(
-            TxnId(2),
-            LogRecordKind::Insert {
-                table: TableId(1),
-                rid: Rid::new(0, 1),
-                after: vec![2],
-            },
-        );
-        let commit2 = log.append(TxnId(2), LogRecordKind::Commit);
-        // Crash right after txn 1's commit: txn 2's insert is in the prefix
-        // but its commit record is not — it must not be replayed.
-        let prefix = log.committed_changes_in_prefix(commit1);
+        log.append(TxnId(1), insert_record(1, 0, 0, vec![1]));
+        let (_, fences1) = log.append_commit_fences(TxnId(1), &[StreamId(0)]);
+        log.append(TxnId(2), insert_record(1, 0, 1, vec![2]));
+        log.append_commit_fences(TxnId(2), &[StreamId(0)]);
+        // Crash right after txn 1's fence: txn 2's insert is in the prefix
+        // but its fence is not — it must not be replayed.
+        let commit1 = fences1[0].1;
+        let prefix = log.committed_changes_in_prefixes(&[commit1]);
         assert_eq!(prefix.len(), 1);
         assert_eq!(prefix[0].txn, TxnId(1));
-        let full = log.committed_changes_in_prefix(commit2);
-        assert_eq!(full.len(), 2);
         assert_eq!(log.committed_changes().len(), 2);
     }
 
@@ -631,19 +1340,16 @@ mod tests {
     fn simulated_flush_latency_is_applied() {
         for durability in [DurabilityConfig::default(), DurabilityConfig::sync_commit()] {
             let log = LogManager::with_durability(200, durability);
-            let lsn = log.append(TxnId(1), LogRecordKind::Commit);
+            let (stream, lsn) = log.append(TxnId(1), LogRecordKind::Begin);
             let start = Instant::now();
-            log.flush(lsn);
+            log.flush(stream, lsn);
             assert!(start.elapsed() >= Duration::from_micros(200));
         }
     }
 
     #[test]
     fn group_flusher_batches_concurrent_commits() {
-        let log = Arc::new(LogManager::with_durability(
-            100,
-            DurabilityConfig::default(),
-        ));
+        let log = Arc::new(LogManager::with_durability(100, streams_config(1)));
         let threads = 8;
         let commits_each = 5;
         let handles: Vec<_> = (0..threads)
@@ -651,9 +1357,9 @@ mod tests {
                 let log = Arc::clone(&log);
                 std::thread::spawn(move || {
                     for _ in 0..commits_each {
-                        let lsn = log.append(TxnId(t + 1), LogRecordKind::Commit);
-                        log.flush(lsn);
-                        assert!(log.flushed_lsn() >= lsn);
+                        let (stream, lsn) = log.append(TxnId(t + 1), LogRecordKind::Begin);
+                        log.flush(stream, lsn);
+                        assert!(log.flushed_lsn(stream) >= lsn);
                     }
                 })
             })
@@ -673,24 +1379,27 @@ mod tests {
     }
 
     #[test]
-    fn submit_commit_fires_callback_after_durable() {
-        let log = Arc::new(LogManager::new(50));
-        let fired = Arc::new(Mutex::new(Vec::new()));
+    fn submit_commit_fires_after_every_fence_is_durable() {
+        let log = Arc::new(LogManager::with_durability(50, streams_config(2)));
         let done = Arc::new((Mutex::new(0usize), Condvar::new()));
         let count = 4;
         for t in 0..count {
-            let lsn = log.append(TxnId(t as u64 + 1), LogRecordKind::Commit);
-            let fired = Arc::clone(&fired);
+            let txn = TxnId(t as u64 + 1);
+            log.append(txn, insert_record(1, 0, t as u16, vec![t as u8]));
+            let (_, fences) = log.append_commit_fences(txn, &[StreamId(0), StreamId(1)]);
+            assert_eq!(fences.len(), 2);
             let done = Arc::clone(&done);
             let log2 = Arc::clone(&log);
+            let check = fences.clone();
             log.submit_commit(
-                lsn,
+                fences,
                 Box::new(move || {
-                    assert!(
-                        log2.flushed_lsn() >= lsn,
-                        "callback must run post-durability"
-                    );
-                    fired.lock().push(lsn);
+                    for &(stream, lsn) in &check {
+                        assert!(
+                            log2.flushed_lsn(stream) >= lsn,
+                            "callback must run only after every fence is durable"
+                        );
+                    }
                     let mut n = done.0.lock();
                     *n += 1;
                     done.1.notify_all();
@@ -701,8 +1410,6 @@ mod tests {
         while *n < count {
             done.1.wait(&mut n);
         }
-        drop(n);
-        assert_eq!(fired.lock().len(), count);
     }
 
     #[test]
@@ -712,9 +1419,9 @@ mod tests {
             ..DurabilityConfig::default()
         };
         let log = LogManager::with_durability(0, durability);
-        let lsn = log.append(TxnId(1), LogRecordKind::Commit);
+        let (stream, lsn) = log.append(TxnId(1), LogRecordKind::Begin);
         let start = Instant::now();
-        log.flush(lsn);
+        log.flush(stream, lsn);
         assert!(
             start.elapsed() >= Duration::from_micros(15_000),
             "a lone commit must wait out (most of) the group window"
@@ -729,7 +1436,7 @@ mod tests {
                 let log = Arc::clone(&log);
                 std::thread::spawn(move || {
                     (0..500)
-                        .map(|_| log.append(TxnId(t + 1), LogRecordKind::Begin))
+                        .map(|_| log.append(TxnId(t + 1), LogRecordKind::Begin).1)
                         .collect::<Vec<_>>()
                 })
             })
@@ -738,7 +1445,88 @@ mod tests {
         for handle in handles {
             all.extend(handle.join().unwrap());
         }
-        let unique: std::collections::HashSet<_> = all.iter().copied().collect();
+        let unique: HashSet<_> = all.iter().copied().collect();
         assert_eq!(unique.len(), all.len());
+    }
+
+    #[test]
+    fn checkpoint_folds_committed_history_to_net_effects() {
+        let log = LogManager::new(0);
+        // Txn 1 inserts a row; txn 2 updates it; txn 3 inserts and deletes
+        // another; txn 4 is still in flight at checkpoint time.
+        log.append(TxnId(1), insert_record(1, 0, 0, vec![1]));
+        log.append_commit_fences(TxnId(1), &[StreamId(0)]);
+        log.append(
+            TxnId(2),
+            LogRecordKind::Update {
+                table: TableId(1),
+                rid: Rid::new(0, 0),
+                before: vec![1],
+                after: vec![9],
+            },
+        );
+        log.append_commit_fences(TxnId(2), &[StreamId(0)]);
+        log.append(TxnId(3), insert_record(1, 0, 1, vec![3]));
+        log.append(
+            TxnId(3),
+            LogRecordKind::Delete {
+                table: TableId(1),
+                rid: Rid::new(0, 1),
+                before: vec![3],
+            },
+        );
+        log.append_commit_fences(TxnId(3), &[StreamId(0)]);
+        log.append(TxnId(4), insert_record(1, 0, 2, vec![4]));
+
+        log.take_checkpoint();
+        let checkpoint = log.checkpoint_snapshot().expect("checkpoint taken");
+        assert_eq!(checkpoint.seq_horizon(), 3);
+        assert_eq!(checkpoint.low_water(), &[Lsn(log.len() as u64)]);
+        // Insert+update folded to one insert of the final image; txn 3's
+        // insert+delete cancelled out entirely.
+        assert_eq!(checkpoint.row_count(), 1);
+        let rows = checkpoint.rows_flat();
+        assert_eq!(rows.len(), 1);
+        match &rows[0].kind {
+            LogRecordKind::Insert { after, .. } => assert_eq!(after, &vec![9]),
+            other => panic!("expected folded insert, got {other:?}"),
+        }
+        // Txn 4 is undecided: its record is carried, not lost.
+        assert!(checkpoint.pending().iter().any(|r| r.txn == TxnId(4)));
+
+        // Txn 4 commits after the checkpoint; the checkpoint's carried
+        // pending plus the post-low-water tail must yield its insert.
+        let (_, fences) = log.append_commit_fences(TxnId(4), &[StreamId(0)]);
+        assert_eq!(fences.len(), 1);
+        let mut candidates = checkpoint.pending().to_vec();
+        candidates.extend(log.records_after(checkpoint.low_water()));
+        let delta = LogManager::redo_in_candidates(candidates, checkpoint.seq_horizon());
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].txn, TxnId(4));
+    }
+
+    #[test]
+    fn maybe_checkpoint_respects_the_interval() {
+        let durability = DurabilityConfig {
+            checkpoint_interval: 4,
+            ..DurabilityConfig::default()
+        };
+        let log = LogManager::with_durability(0, durability);
+        log.append(TxnId(1), insert_record(1, 0, 0, vec![1]));
+        log.maybe_checkpoint();
+        assert!(log.checkpoint_snapshot().is_none(), "below the interval");
+        for slot in 1..4u16 {
+            log.append(TxnId(1), insert_record(1, 0, slot, vec![1]));
+        }
+        log.maybe_checkpoint();
+        assert!(log.checkpoint_snapshot().is_some(), "interval reached");
+
+        let disabled = LogManager::new(0);
+        disabled.append(TxnId(1), insert_record(1, 0, 0, vec![1]));
+        disabled.maybe_checkpoint();
+        assert!(
+            disabled.checkpoint_snapshot().is_none(),
+            "interval 0 disables checkpointing"
+        );
     }
 }

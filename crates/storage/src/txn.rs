@@ -2,8 +2,9 @@
 //!
 //! The transaction manager allocates transaction ids and tracks per
 //! transaction state: status, the ledger of centralized locks held (released
-//! at commit/abort), and the last LSN written (the point the log must be
-//! flushed to at commit). A transaction's state is shared behind an `Arc`
+//! at commit/abort), and the last LSN written on each log stream the
+//! transaction touched (the points every stream must be fenced and flushed
+//! to at commit). A transaction's state is shared behind an `Arc`
 //! because under DORA a single transaction's actions execute on several
 //! executor threads.
 
@@ -17,7 +18,7 @@ use dora_common::prelude::*;
 use dora_metrics::{incr, CounterKind};
 
 use crate::lock::HeldLocks;
-use crate::log::Lsn;
+use crate::log::{Lsn, StreamId};
 
 /// Lifecycle state of a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,8 +40,10 @@ pub struct TxnState {
     /// Centralized locks held; the lock manager's release path consumes this
     /// at commit/abort.
     pub(crate) held: Mutex<HeldLocks>,
-    /// Last LSN written by this transaction (commit must flush up to here).
-    last_lsn: Mutex<Lsn>,
+    /// Last LSN written by this transaction on each log stream it touched
+    /// (commit must fence and flush every one of them). Small vector: a
+    /// transaction rarely spans more than a few executors.
+    touched: Mutex<Vec<(StreamId, Lsn)>>,
     /// Set by whichever thread appends the transaction's first data-change
     /// record (the `Begin` record is written lazily just before it, so
     /// read-only transactions generate zero log traffic).
@@ -53,7 +56,7 @@ impl TxnState {
             id,
             status: Mutex::new(TxnStatus::Active),
             held: Mutex::new(HeldLocks::new()),
-            last_lsn: Mutex::new(Lsn(0)),
+            touched: Mutex::new(Vec::new()),
             begin_logged: AtomicBool::new(false),
         }
     }
@@ -68,17 +71,28 @@ impl TxnState {
         self.status() == TxnStatus::Active
     }
 
-    /// Records a newly written LSN.
-    pub fn note_lsn(&self, lsn: Lsn) {
-        let mut last = self.last_lsn.lock();
-        if lsn > *last {
-            *last = lsn;
+    /// Records a newly written LSN on `stream`.
+    pub fn note_lsn(&self, stream: StreamId, lsn: Lsn) {
+        let mut touched = self.touched.lock();
+        match touched.iter_mut().find(|(s, _)| *s == stream) {
+            Some((_, last)) => {
+                if lsn > *last {
+                    *last = lsn;
+                }
+            }
+            None => touched.push((stream, lsn)),
         }
     }
 
-    /// Last LSN written by the transaction.
-    pub fn last_lsn(&self) -> Lsn {
-        *self.last_lsn.lock()
+    /// The streams this transaction wrote, with the last LSN on each.
+    pub fn touched_streams(&self) -> Vec<(StreamId, Lsn)> {
+        self.touched.lock().clone()
+    }
+
+    /// `true` once the transaction has written any data-change record
+    /// (commit must then fence and flush its streams).
+    pub fn has_writes(&self) -> bool {
+        !self.touched.lock().is_empty()
     }
 
     /// Number of centralized locks currently held (diagnostics / tests).
@@ -198,12 +212,17 @@ mod tests {
     }
 
     #[test]
-    fn last_lsn_tracks_maximum() {
+    fn touched_streams_track_per_stream_maxima() {
         let manager = TxnManager::new();
         let txn = manager.begin();
-        txn.note_lsn(Lsn(5));
-        txn.note_lsn(Lsn(3));
-        txn.note_lsn(Lsn(9));
-        assert_eq!(txn.last_lsn(), Lsn(9));
+        assert!(!txn.has_writes());
+        txn.note_lsn(StreamId(0), Lsn(5));
+        txn.note_lsn(StreamId(0), Lsn(3));
+        txn.note_lsn(StreamId(2), Lsn(9));
+        txn.note_lsn(StreamId(0), Lsn(7));
+        assert!(txn.has_writes());
+        let mut touched = txn.touched_streams();
+        touched.sort_unstable();
+        assert_eq!(touched, vec![(StreamId(0), Lsn(7)), (StreamId(2), Lsn(9))]);
     }
 }
