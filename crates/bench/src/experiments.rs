@@ -14,14 +14,15 @@ use dora_engine::{
     build_engine, find_peak, BaselineEngine, ClientDriver, DoraExecution, DriverConfig,
     ExecutionEngine,
 };
-use dora_metrics::CounterKind;
+use dora_metrics::{CounterKind, LatencyHistogram};
+use dora_server::{AdmissionConfig, Server, ServerConfig, Statement, SubmitOutcome};
 use dora_storage::Database;
-use dora_workloads::{Tm1Mix, Tpcc, TpccMix, Workload};
+use dora_workloads::{Tm1Mix, TpcB, Tpcc, TpccMix, Workload, WorkloadStats};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::report::{breakdown_row, pct, Report};
-use crate::setup::{prepare, run_clients, sweep, Scale, SystemUnderTest};
+use crate::report::{breakdown_row, pct, txn_stats_table, Report};
+use crate::setup::{prepare, run_clients, sweep, sweep_stats, Scale, SystemUnderTest};
 use crate::trace::AccessTrace;
 
 /// Figure 1: TM1-GetSubscriberData — throughput per CPU utilization as the
@@ -31,7 +32,7 @@ pub fn fig1(scale: &Scale) -> Report {
     for system in SystemUnderTest::ALL {
         report.line(format!("{}:", system.label()));
         let workload = scale.tm1().with_mix(Tm1Mix::GetSubscriberDataOnly);
-        let results = sweep(workload, scale, system, &scale.load_points());
+        let (results, stats) = sweep_stats(workload, scale, system, &scale.load_points());
         report.line(format!(
             "  {:>10} {:>10} {:>14} {:>16}",
             "load(%)", "cpu(%)", "tps", "tps/cpu-util"
@@ -52,6 +53,8 @@ pub fn fig1(scale: &Scale) -> Report {
                 &result.breakdown,
             ));
         }
+        report.line("  per-transaction-type summary (all load points):");
+        txn_stats_table(&mut report, &stats);
         report.blank();
     }
     report
@@ -86,7 +89,7 @@ pub fn fig2(scale: &Scale) -> Report {
 /// baseline running TPC-B, as the load grows.
 pub fn fig3(scale: &Scale) -> Report {
     let mut report = Report::new("Figure 3: inside the lock manager (Baseline, TPC-B)");
-    let results = sweep(
+    let (results, stats) = sweep_stats(
         scale.tpcb(),
         scale,
         SystemUnderTest::Baseline,
@@ -122,6 +125,9 @@ pub fn fig3(scale: &Scale) -> Report {
             pct(result.breakdown.lock_mgr_internal_contention_fraction()),
         );
     }
+    report.blank();
+    report.line("  per-transaction-type summary (all load points):");
+    txn_stats_table(&mut report, &stats);
     report
 }
 
@@ -208,11 +214,12 @@ pub fn fig6(scale: &Scale) -> Report {
             "load(%)", "Baseline tps", "DORA tps"
         ));
         let mut series: Vec<Vec<(f64, f64)>> = Vec::new();
+        let mut per_type: Vec<(&'static str, WorkloadStats)> = Vec::new();
         for system in SystemUnderTest::ALL {
-            let results = match which {
-                0 => sweep(scale.tm1(), scale, system, &scale.load_points()),
-                1 => sweep(scale.tpcb(), scale, system, &scale.load_points()),
-                _ => sweep(
+            let (results, stats) = match which {
+                0 => sweep_stats(scale.tm1(), scale, system, &scale.load_points()),
+                1 => sweep_stats(scale.tpcb(), scale, system, &scale.load_points()),
+                _ => sweep_stats(
                     scale.tpcc().with_mix(TpccMix::OrderStatusOnly),
                     scale,
                     system,
@@ -225,12 +232,17 @@ pub fn fig6(scale: &Scale) -> Report {
                     .map(|(load, r)| (*load, r.throughput_tps))
                     .collect(),
             );
+            per_type.push((system.label(), stats));
         }
         for (index, load) in scale.load_points().iter().enumerate() {
             report.line(format!(
                 "  {:>10.0} {:>16.0} {:>16.0}",
                 load, series[0][index].1, series[1][index].1
             ));
+        }
+        for (label, stats) in &per_type {
+            report.line(format!("  {label} per-transaction-type summary:"));
+            txn_stats_table(&mut report, stats);
         }
         report.blank();
     }
@@ -1314,10 +1326,16 @@ impl RecoverSummary {
 
 fn run_recover_cell(scale: &Scale, streams: usize) -> RecoverRow {
     // Replay speed is the subject; a simulated device latency would only
-    // slow the logging phase down.
+    // slow the logging phase down. Reclamation is off because the serial
+    // and parallel rows deliberately measure *full-history* replay against
+    // the checkpoint path — the cells must all see the same intact log.
     let config = dora_common::SystemConfig {
         log_flush_micros: 0,
-        durability: dora_common::DurabilityConfig::default().with_log_streams(streams),
+        durability: dora_common::DurabilityConfig {
+            reclaim_log_at_checkpoint: false,
+            ..dora_common::DurabilityConfig::default()
+        }
+        .with_log_streams(streams),
         ..scale.system_config()
     };
     let db = Database::new(config);
@@ -1458,6 +1476,409 @@ pub fn recover_with_summary(scale: &Scale) -> (Report, RecoverSummary) {
     (report, summary)
 }
 
+/// One load point of one `saturation` series: outcome tallies and response
+/// times for a fixed offered load, as observed by the clients of the
+/// serving front-end (`dora-server`).
+#[derive(Debug, Clone)]
+pub struct SaturationPoint {
+    /// Offered load in percent of the hardware contexts.
+    pub load_percent: f64,
+    /// Closed-loop client threads (one session each).
+    pub clients: usize,
+    /// Submissions during the measured interval.
+    pub submitted: u64,
+    /// ... that committed.
+    pub committed: u64,
+    /// ... that aborted.
+    pub aborted: u64,
+    /// ... that exhausted the retry budget.
+    pub gave_up: u64,
+    /// ... that the admission controller shed without running.
+    pub shed: u64,
+    /// Committed transactions per second.
+    pub tps: f64,
+    /// Median response time (µs) of executed (non-shed) submissions,
+    /// including any time spent queued at the admission gate.
+    pub p50_us: u64,
+    /// 99th-percentile response time (µs), same population.
+    pub p99_us: u64,
+}
+
+impl SaturationPoint {
+    /// Fraction of submissions shed.
+    pub fn shed_rate(&self) -> f64 {
+        self.shed as f64 / self.submitted.max(1) as f64
+    }
+}
+
+/// One system × admission-policy series of the `saturation` experiment.
+#[derive(Debug, Clone)]
+pub struct SaturationSeries {
+    /// Engine label ("Baseline" / "DORA").
+    pub system: &'static str,
+    /// Whether the admission gate was active.
+    pub admission: bool,
+    /// One entry per offered-load point, in sweep order.
+    pub points: Vec<SaturationPoint>,
+}
+
+impl SaturationSeries {
+    /// Display label ("DORA+admission").
+    pub fn label(&self) -> String {
+        if self.admission {
+            format!("{}+admission", self.system)
+        } else {
+            self.system.to_string()
+        }
+    }
+
+    /// Best committed tps across the sweep.
+    pub fn peak_tps(&self) -> f64 {
+        self.points.iter().map(|p| p.tps).fold(0.0, f64::max)
+    }
+
+    /// Throughput at the last (most oversaturated) point as a fraction of
+    /// the peak — the figure of merit: admission control should hold this
+    /// near 1.0 while an ungated system degrades.
+    pub fn peak_retention(&self) -> f64 {
+        match self.points.last() {
+            Some(last) => last.tps / self.peak_tps().max(1.0),
+            None => 0.0,
+        }
+    }
+}
+
+/// Everything the `saturation` experiment measured; serialized to
+/// `BENCH_saturation.json` by the CI bench-smoke job.
+#[derive(Debug, Clone)]
+pub struct SaturationSummary {
+    /// Measured interval length per load point, in milliseconds.
+    pub interval_ms: u64,
+    /// Hardware contexts the offered load is normalized against.
+    pub hardware_contexts: usize,
+    /// Execution slots of the admission policy (for the gated series).
+    pub max_active: usize,
+    /// Queue slots behind them before arrivals are shed.
+    pub max_queued: usize,
+    /// TPC-B branches.
+    pub branches: i64,
+    /// The four series: {Baseline, DORA} × admission {off, on}.
+    pub series: Vec<SaturationSeries>,
+}
+
+impl SaturationSummary {
+    /// Renders the summary as a small JSON document (the workspace has no
+    /// serde; every field is a number, a bool or a fixed label, so
+    /// hand-rolling is safe).
+    pub fn to_json(&self) -> String {
+        let series = self
+            .series
+            .iter()
+            .map(|series| {
+                let points = series
+                    .points
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            concat!(
+                                "        {{\"load_percent\": {}, \"clients\": {}, ",
+                                "\"tps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, ",
+                                "\"shed_rate\": {:.4}, \"submitted\": {}, ",
+                                "\"committed\": {}, \"aborted\": {}, ",
+                                "\"gave_up\": {}, \"shed\": {}}}"
+                            ),
+                            p.load_percent,
+                            p.clients,
+                            p.tps,
+                            p.p50_us,
+                            p.p99_us,
+                            p.shed_rate(),
+                            p.submitted,
+                            p.committed,
+                            p.aborted,
+                            p.gave_up,
+                            p.shed,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!(
+                    concat!(
+                        "    {{\"label\": \"{}\", \"system\": \"{}\", ",
+                        "\"admission\": {}, \"peak_tps\": {:.1}, ",
+                        "\"peak_retention\": {:.3}, \"points\": [\n{}\n    ]}}"
+                    ),
+                    series.label(),
+                    series.system,
+                    series.admission,
+                    series.peak_tps(),
+                    series.peak_retention(),
+                    points,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            concat!(
+                "{{\n  \"experiment\": \"saturation\",\n  \"interval_ms\": {},\n",
+                "  \"hardware_contexts\": {},\n  \"max_active\": {},\n",
+                "  \"max_queued\": {},\n  \"branches\": {},\n",
+                "  \"series\": [\n{}\n  ]\n}}\n"
+            ),
+            self.interval_ms,
+            self.hardware_contexts,
+            self.max_active,
+            self.max_queued,
+            self.branches,
+            series
+        )
+    }
+}
+
+/// Runs one offered-load point against an open server: `clients` closed-loop
+/// threads, each on its own session, submitting spec-conformant TPC-B
+/// parameter bindings through the prepared template. A client whose submit
+/// is shed backs off briefly (a real client would retry later), so shed
+/// spinning neither floods the tally nor starves the admitted work.
+fn run_saturation_point(
+    server: &Arc<Server>,
+    statement: &Statement,
+    workload: &Arc<TpcB>,
+    scale: &Scale,
+    load: f64,
+    stats: &WorkloadStats,
+) -> SaturationPoint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let clients = scale.clients_for(load);
+    let recording = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let handles: Vec<_> = (0..clients)
+        .map(|client| {
+            let server = Arc::clone(server);
+            let statement = statement.clone();
+            let workload = Arc::clone(workload);
+            let recording = Arc::clone(&recording);
+            let stop = Arc::clone(&stop);
+            let stats = stats.clone();
+            std::thread::spawn(move || {
+                let session = server.session_with_window(1);
+                let mut rng = SmallRng::seed_from_u64(0xd07a + client as u64 * 7919 + load as u64);
+                let mut tally = [0u64; 5]; // submitted, committed, aborted, gave-up, shed
+                let mut latency = LatencyHistogram::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let (home_branch, _, account, teller, amount) = workload.inputs(&mut rng);
+                    let params = vec![
+                        Value::Int(home_branch),
+                        Value::Int(account),
+                        Value::Int(teller),
+                        Value::Float(amount),
+                    ];
+                    let start = Instant::now();
+                    let outcome = session.execute_with(&statement, &params);
+                    if recording.load(Ordering::Relaxed) {
+                        tally[0] += 1;
+                        let txn_outcome = match outcome {
+                            SubmitOutcome::Committed => {
+                                tally[1] += 1;
+                                Some(TxnOutcome::Committed)
+                            }
+                            SubmitOutcome::Aborted => {
+                                tally[2] += 1;
+                                Some(TxnOutcome::Aborted)
+                            }
+                            SubmitOutcome::GaveUp => {
+                                tally[3] += 1;
+                                Some(TxnOutcome::GaveUp)
+                            }
+                            SubmitOutcome::Shed => {
+                                tally[4] += 1;
+                                None
+                            }
+                        };
+                        if let Some(txn_outcome) = txn_outcome {
+                            let elapsed = start.elapsed();
+                            latency.record(elapsed);
+                            stats.record_timed(TpcB::ACCOUNT_UPDATE, txn_outcome, elapsed);
+                        }
+                    }
+                    if outcome == SubmitOutcome::Shed {
+                        // A shed client backs off for ~a transaction's worth
+                        // of work before retrying; immediate re-submission
+                        // would turn the gate itself into the hot spot and
+                        // measure the spin, not the admission policy.
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+                (tally, latency)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(scale.warmup);
+    recording.store(true, Ordering::Relaxed);
+    let started = Instant::now();
+    std::thread::sleep(scale.duration);
+    recording.store(false, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+
+    let mut totals = [0u64; 5];
+    let mut latency = LatencyHistogram::new();
+    for handle in handles {
+        let (tally, client_latency) = handle.join().expect("saturation client");
+        for (total, count) in totals.iter_mut().zip(tally) {
+            *total += count;
+        }
+        latency.merge(&client_latency);
+    }
+
+    SaturationPoint {
+        load_percent: load,
+        clients,
+        submitted: totals[0],
+        committed: totals[1],
+        aborted: totals[2],
+        gave_up: totals[3],
+        shed: totals[4],
+        tps: totals[1] as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: latency.percentile(0.50).as_micros() as u64,
+        p99_us: latency.percentile(0.99).as_micros() as u64,
+    }
+}
+
+fn run_saturation_series(
+    scale: &Scale,
+    system: SystemUnderTest,
+    admission: Option<AdmissionConfig>,
+    stats: &WorkloadStats,
+) -> SaturationSeries {
+    let db = Database::new(scale.system_config());
+    let tpcb = scale.tpcb();
+    tpcb.setup(&db).expect("setup TPC-B");
+    let workload = Arc::new(tpcb);
+
+    let server = Server::open(
+        Arc::clone(&db),
+        Arc::clone(&workload) as Arc<dyn Workload>,
+        ServerConfig {
+            engine: system,
+            executors_per_table: scale.executors_per_table,
+            dora: DoraConfig::default(),
+            admission,
+            session_window: 1,
+        },
+    )
+    .expect("open server");
+    let spec = Arc::clone(&workload);
+    let statement = server.prepare_template(TpcB::ACCOUNT_UPDATE, move |db, params| {
+        match params.as_slice() {
+            [Value::Int(branch), Value::Int(account), Value::Int(teller), Value::Float(amount)] => {
+                spec.account_update_program(db, *branch, *account, *teller, *amount)
+            }
+            _ => Err(DbError::InvalidOperation(
+                "tpcb binding: [branch, account, teller, amount]".to_string(),
+            )),
+        }
+    });
+
+    let server = Arc::new(server);
+    let points = scale
+        .saturation_points()
+        .iter()
+        .map(|&load| run_saturation_point(&server, &statement, &workload, scale, load, stats))
+        .collect();
+    server.close();
+
+    SaturationSeries {
+        system: system.label(),
+        admission: admission.is_some(),
+        points,
+    }
+}
+
+/// The overload experiment: TPC-B offered load swept from well under
+/// saturation to 2× over it, for {Baseline, DORA} × admission {off, on},
+/// driven end-to-end through the `dora-server` front-end (prepared
+/// template, one session per client, every submit through the admission
+/// gate). The vehicle for the paper's Figure 6 (ungated throughput
+/// collapses past saturation) and Figure 8 (admission control holds the
+/// peak) claims as *measured* rows rather than narrative.
+pub fn saturation(scale: &Scale) -> Report {
+    saturation_with_summary(scale).0
+}
+
+/// [`saturation`], also returning the machine-readable summary.
+pub fn saturation_with_summary(scale: &Scale) -> (Report, SaturationSummary) {
+    // One execution slot per hardware context: the gate caps concurrency at
+    // the machine's parallelism, which is what "perfect admission control"
+    // means operationally. The queue is kept shallow — half the slots — so
+    // that at 2x overload arrivals genuinely shed instead of all parking
+    // (a queue deeper than the client surplus would hide the shed path).
+    let policy = AdmissionConfig {
+        max_active: scale.hardware_contexts,
+        max_queued: (scale.hardware_contexts / 2).max(1),
+    };
+    let stats = WorkloadStats::new();
+    let mut series = Vec::new();
+    for system in SystemUnderTest::ALL {
+        for admission in [None, Some(policy)] {
+            series.push(run_saturation_series(scale, system, admission, &stats));
+        }
+    }
+    let summary = SaturationSummary {
+        interval_ms: scale.duration.as_millis() as u64,
+        hardware_contexts: scale.hardware_contexts,
+        max_active: policy.max_active,
+        max_queued: policy.max_queued,
+        branches: scale.tpcb_branches,
+        series,
+    };
+
+    let mut report = Report::new(
+        "Saturation: offered load vs throughput, admission control on/off (TPC-B via dora-server)",
+    );
+    report.line(format!(
+        "  {} hardware contexts, admission policy: {} active / {} queued, {} ms per point",
+        summary.hardware_contexts, summary.max_active, summary.max_queued, summary.interval_ms
+    ));
+    report.blank();
+    for series in &summary.series {
+        report.line(format!("{}:", series.label()));
+        report.line(format!(
+            "  {:>10} {:>10} {:>12} {:>10} {:>10} {:>8}",
+            "load(%)", "clients", "tps", "p50(us)", "p99(us)", "shed"
+        ));
+        for point in &series.points {
+            report.line(format!(
+                "  {:>10.0} {:>10} {:>12.0} {:>10} {:>10} {:>8}",
+                point.load_percent,
+                point.clients,
+                point.tps,
+                point.p50_us,
+                point.p99_us,
+                pct(point.shed_rate()),
+            ));
+        }
+        report.kv(
+            "peak tps / retention at 2x overload",
+            format!(
+                "{:.0} / {}",
+                series.peak_tps(),
+                pct(series.peak_retention())
+            ),
+        );
+        report.blank();
+    }
+    report.line("  per-transaction-type summary (all series, executed submissions):");
+    txn_stats_table(&mut report, &stats);
+    report.blank();
+    report.line("  (response times include admission-queue wait; shed submissions are");
+    report.line("   excluded from the latency population — they never execute)");
+    (report, summary)
+}
+
 /// Runs every paper figure at the given scale, returning the reports.
 /// The `skew` experiment is not included — run it through
 /// [`skew_with_summary`] so its report and machine-readable summary come
@@ -1477,14 +1898,15 @@ pub fn figures(scale: &Scale) -> Vec<Report> {
     ]
 }
 
-/// Runs every experiment (paper figures plus `skew`, `dispatch`, `commit`
-/// and `recover`) at the given scale.
+/// Runs every experiment (paper figures plus `skew`, `dispatch`, `commit`,
+/// `recover` and `saturation`) at the given scale.
 pub fn all(scale: &Scale) -> Vec<Report> {
     let mut reports = figures(scale);
     reports.push(skew(scale));
     reports.push(dispatch(scale));
     reports.push(commit(scale));
     reports.push(recover(scale));
+    reports.push(saturation(scale));
     reports
 }
 
@@ -1507,6 +1929,7 @@ pub fn by_name(name: &str, scale: &Scale) -> Option<Report> {
         "dispatch" => Some(dispatch(scale)),
         "commit" => Some(commit(scale)),
         "recover" => Some(recover(scale)),
+        "saturation" => Some(saturation(scale)),
         _ => None,
     }
 }
@@ -1561,6 +1984,49 @@ mod tests {
         let scale = micro_scale();
         assert!(by_name("fig4", &scale).is_some());
         assert!(by_name("fig99", &scale).is_none());
+    }
+
+    #[test]
+    fn saturation_runs_all_series_and_accounts_exactly() {
+        let scale = micro_scale();
+        let (report, summary) = saturation_with_summary(&scale);
+        let text = report.render();
+        assert!(text.contains("Baseline"), "{text}");
+        assert!(text.contains("DORA+admission"), "{text}");
+        assert!(text.contains("transaction type"), "{text}");
+
+        assert_eq!(summary.series.len(), 4, "{{Baseline, DORA}} x {{off, on}}");
+        for series in &summary.series {
+            assert_eq!(series.points.len(), scale.saturation_points().len());
+            for point in &series.points {
+                assert_eq!(
+                    point.submitted,
+                    point.committed + point.aborted + point.gave_up + point.shed,
+                    "{}: accounting must be exact",
+                    series.label()
+                );
+                if !series.admission {
+                    assert_eq!(point.shed, 0, "{}: nothing sheds ungated", series.label());
+                }
+            }
+            assert!(
+                series.peak_tps() > 0.0,
+                "{}: the sweep committed nothing",
+                series.label()
+            );
+        }
+
+        let json = summary.to_json();
+        assert!(json.contains("\"experiment\": \"saturation\""), "{json}");
+        assert!(json.contains("\"admission\": true"), "{json}");
+        assert!(json.contains("\"shed_rate\""), "{json}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in {json}"
+            );
+        }
     }
 
     #[test]

@@ -75,6 +75,28 @@ pub fn pct(fraction: f64) -> String {
     format!("{:5.1}%", 100.0 * fraction)
 }
 
+/// Appends the pg_meter-style per-transaction-type summary table: one row
+/// per transaction type of the mix with its commits, aborts, retry
+/// exhaustions, error rate and mean/p99 response time.
+pub fn txn_stats_table(report: &mut Report, stats: &dora_workloads::WorkloadStats) {
+    report.line(format!(
+        "    {:<28} {:>9} {:>8} {:>8} {:>7} {:>10} {:>10}",
+        "transaction type", "commits", "aborts", "gave-up", "err%", "mean(us)", "p99(us)"
+    ));
+    for (label, row) in stats.all_stats() {
+        report.line(format!(
+            "    {:<28} {:>9} {:>8} {:>8} {:>6.1}% {:>10} {:>10}",
+            label,
+            row.counts.committed,
+            row.counts.aborted,
+            row.counts.gave_up,
+            100.0 * row.error_rate(),
+            row.latency.mean().as_micros(),
+            row.latency.percentile(0.99).as_micros(),
+        ));
+    }
+}
+
 /// Formats a stacked time-breakdown row the way the paper's figures label it.
 pub fn breakdown_row(label: &str, breakdown: &dora_metrics::TimeBreakdown) -> String {
     format!(
@@ -106,5 +128,27 @@ mod tests {
     fn pct_formats_fractions() {
         assert_eq!(pct(0.5), " 50.0%");
         assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn txn_stats_table_renders_one_row_per_type() {
+        use dora_common::TxnOutcome;
+        use std::time::Duration;
+
+        let stats = dora_workloads::WorkloadStats::new();
+        stats.record_timed("payment", TxnOutcome::Committed, Duration::from_micros(120));
+        stats.record_timed("payment", TxnOutcome::Aborted, Duration::from_micros(80));
+        stats.record_timed(
+            "new-order",
+            TxnOutcome::Committed,
+            Duration::from_micros(400),
+        );
+        let mut report = Report::new("per-type");
+        txn_stats_table(&mut report, &stats);
+        let text = report.render();
+        assert!(text.contains("transaction type"), "{text}");
+        assert!(text.contains("payment"), "{text}");
+        assert!(text.contains("new-order"), "{text}");
+        assert!(text.contains("50.0%"), "{text}");
     }
 }

@@ -7,7 +7,7 @@ use std::time::Duration;
 use dora_common::{config::num_cpus, SystemConfig};
 use dora_engine::{build_engine, ClientDriver, DriverConfig, ExecutionEngine, RunResult};
 use dora_storage::Database;
-use dora_workloads::Workload;
+use dora_workloads::{Workload, WorkloadStats};
 
 /// Which engine a run exercises. This is the registered engine kind itself:
 /// the harness never branches on it — [`prepare`] hands it to the engine
@@ -120,6 +120,15 @@ impl Scale {
         vec![25.0, 50.0, 75.0, 100.0, 110.0]
     }
 
+    /// The offered-load points (percent) swept by the `saturation`
+    /// experiment: from well under saturation to 2× over it, so the series
+    /// show what each system does once arrivals outpace the hardware — the
+    /// regime of the paper's Figures 6 and 8 where the conventional system
+    /// collapses and admission control is supposed to hold the peak.
+    pub fn saturation_points(&self) -> Vec<f64> {
+        vec![50.0, 75.0, 100.0, 150.0, 200.0]
+    }
+
     /// Client-thread count producing approximately `percent` offered load.
     pub fn clients_for(&self, percent: f64) -> usize {
         ((percent / 100.0) * self.hardware_contexts as f64)
@@ -228,6 +237,35 @@ pub fn run_clients(prepared: &PreparedSystem, scale: &Scale, clients: usize) -> 
     driver.run_engine(Arc::clone(&prepared.engine))
 }
 
+/// [`run_clients`], also tallying each transaction's type, outcome and
+/// response time into `stats`. Each client records into its own private
+/// recorder (merged at the end) so the tallies add no shared mutex to the
+/// measured hot path. The tallies include the warm-up interval — they
+/// characterize the mix, not the measured window.
+pub fn run_clients_timed(
+    prepared: &PreparedSystem,
+    scale: &Scale,
+    clients: usize,
+    stats: &WorkloadStats,
+) -> RunResult {
+    let driver = ClientDriver::new(DriverConfig {
+        clients,
+        duration: scale.duration,
+        warmup: scale.warmup,
+        hardware_contexts: scale.hardware_contexts,
+    });
+    let per_client: Vec<WorkloadStats> = (0..clients).map(|_| WorkloadStats::new()).collect();
+    let result = {
+        let engine = Arc::clone(&prepared.engine);
+        let per_client = per_client.clone();
+        driver.run(move |client, rng| engine.execute_one_timed(rng, &per_client[client]))
+    };
+    for recorder in &per_client {
+        stats.merge(recorder);
+    }
+    result
+}
+
 /// One-call helper: prepare the system, sweep the given offered-load points
 /// and return `(load_percent, RunResult)` pairs. The system is shut down
 /// before returning.
@@ -237,14 +275,27 @@ pub fn sweep(
     system: SystemUnderTest,
     load_points: &[f64],
 ) -> Vec<(f64, RunResult)> {
+    sweep_stats(workload, scale, system, load_points).0
+}
+
+/// [`sweep`], also returning the per-transaction-type tallies (outcomes and
+/// response times) aggregated across every load point of the sweep — the
+/// rows of the pg_meter-style summary table the reports print.
+pub fn sweep_stats(
+    workload: impl Workload + 'static,
+    scale: &Scale,
+    system: SystemUnderTest,
+    load_points: &[f64],
+) -> (Vec<(f64, RunResult)>, WorkloadStats) {
     let prepared = prepare(workload, scale, system);
+    let stats = WorkloadStats::for_workload(&*prepared.workload);
     let mut results = Vec::with_capacity(load_points.len());
     for &load in load_points {
         let clients = scale.clients_for(load);
-        results.push((load, run_clients(&prepared, scale, clients)));
+        results.push((load, run_clients_timed(&prepared, scale, clients, &stats)));
     }
     prepared.shutdown();
-    results
+    (results, stats)
 }
 
 #[cfg(test)]
@@ -281,6 +332,24 @@ mod tests {
         assert_eq!(scale.clients_for(50.0), 2);
         assert_eq!(scale.clients_for(1.0), 1);
         assert_eq!(scale.load_points().len(), 5);
+    }
+
+    #[test]
+    fn sweep_stats_tallies_per_type_rows() {
+        let scale = tiny_scale();
+        let (results, stats) = sweep_stats(
+            Tm1::new(scale.tm1_subscribers),
+            &scale,
+            SystemUnderTest::Baseline,
+            &[50.0],
+        );
+        assert_eq!(results.len(), 1);
+        let rows = stats.all_stats();
+        assert!(!rows.is_empty(), "mix labels pre-registered");
+        let total: u64 = rows.iter().map(|(_, s)| s.total()).sum();
+        assert!(total > 0, "the sweep tallied no transactions");
+        let timed: u64 = rows.iter().map(|(_, s)| s.latency.count()).sum();
+        assert_eq!(total, timed, "every tallied transaction was timed");
     }
 
     #[test]

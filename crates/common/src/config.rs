@@ -186,6 +186,13 @@ pub struct DurabilityConfig {
     /// per-stream low-water LSNs, so recovery replays only the delta since
     /// the last checkpoint. `0` (the default) disables checkpointing.
     pub checkpoint_interval: u64,
+    /// Reclaim log space at each fuzzy checkpoint: truncate every stream's
+    /// folded prefix (up to its low-water mark, never past the first record
+    /// of a still-live transaction, whose undo chain must survive). On by
+    /// default — a no-op unless checkpoints actually run — but switched off
+    /// by harnesses that deliberately measure *full-history* replay after a
+    /// checkpoint was taken.
+    pub reclaim_log_at_checkpoint: bool,
 }
 
 impl Default for DurabilityConfig {
@@ -197,6 +204,7 @@ impl Default for DurabilityConfig {
             early_lock_release: true,
             log_streams: 1,
             checkpoint_interval: 0,
+            reclaim_log_at_checkpoint: true,
         }
     }
 }
@@ -343,6 +351,10 @@ mod tests {
         assert!(config.max_group_size >= 1);
         assert_eq!(config.log_streams, 1, "single stream is the default");
         assert_eq!(config.checkpoint_interval, 0, "checkpointing is opt-in");
+        assert!(
+            config.reclaim_log_at_checkpoint,
+            "reclamation rides checkpoints by default"
+        );
         let sync = DurabilityConfig::sync_commit();
         assert!(!sync.group_commit && !sync.early_lock_release);
         let group = DurabilityConfig::group_commit_only();

@@ -52,7 +52,7 @@ pub use config::DoraConfig;
 pub use engine::DoraEngine;
 pub use flow::FlowGraph;
 pub use locallock::LocalLockTable;
-pub use program::{OnDuplicate, OnMissing, Step, StepCtx, TxnProgram};
+pub use program::{OnDuplicate, OnMissing, PreparedProgram, Step, StepCtx, TxnProgram};
 pub use resource::{AbortRateMonitor, ResourceManager};
 pub use routing::{RoutingRule, RoutingTable};
 pub use txn::DoraTxn;

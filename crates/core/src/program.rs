@@ -71,6 +71,8 @@
 //! engine.shutdown();
 //! ```
 
+use std::sync::Arc;
+
 use dora_common::prelude::*;
 use dora_storage::{Database, TxnHandle};
 
@@ -556,6 +558,115 @@ impl TxnProgram {
             Ok(())
         }
     }
+
+    /// Compiles the program once into a [`PreparedProgram`] handle that can
+    /// be executed any number of times, on either engine, without paying the
+    /// lowering cost again. The prepared form is the seam servers and
+    /// drivers should hold on to; [`compile_dora`](Self::compile_dora) /
+    /// [`compile_baseline`](Self::compile_baseline) remain as the
+    /// compile-per-call convenience path.
+    pub fn prepare(self) -> PreparedProgram {
+        PreparedProgram {
+            name: self.name,
+            phases: Arc::new(self.phases),
+            serial: self.serial,
+        }
+    }
+}
+
+/// A [`TxnProgram`] compiled once, executable many times.
+///
+/// The step list is shared behind an [`Arc`], so cloning a prepared program
+/// (one clone per session, per execution) is a reference-count bump — no
+/// step bodies are rebuilt. Each [`flow_graph`](Self::flow_graph) call
+/// re-materializes only the per-instance [`ActionSpec`] shells around the
+/// shared bodies, and [`run_baseline`](Self::run_baseline) runs the steps
+/// directly with a fresh scratchpad per call.
+#[derive(Clone)]
+pub struct PreparedProgram {
+    name: &'static str,
+    phases: Arc<Vec<Vec<Step>>>,
+    serial: bool,
+}
+
+impl std::fmt::Debug for PreparedProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedProgram")
+            .field("name", &self.name)
+            .field("steps", &self.step_count())
+            .field("serial", &self.serial)
+            .finish()
+    }
+}
+
+impl PreparedProgram {
+    /// The transaction-type label.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of steps across all phases.
+    pub fn step_count(&self) -> usize {
+        self.phases.iter().map(Vec::len).sum()
+    }
+
+    /// Number of non-empty phases.
+    pub fn phase_count(&self) -> usize {
+        self.phases.iter().filter(|p| !p.is_empty()).count()
+    }
+
+    /// `true` if the serialized (DORA-S) plan was selected.
+    pub fn is_serialized(&self) -> bool {
+        self.serial
+    }
+
+    /// Materializes a DORA transaction flow graph for one execution. The
+    /// action bodies borrow the shared step list; only the spec shells
+    /// (label, table, route, mode) are rebuilt per instance.
+    pub fn flow_graph(&self) -> FlowGraph {
+        let mut graph = FlowGraph::new();
+        for (phase_idx, phase) in self.phases.iter().enumerate() {
+            if phase.is_empty() {
+                continue;
+            }
+            let actions = phase
+                .iter()
+                .enumerate()
+                .map(|(step_idx, step)| {
+                    let phases = Arc::clone(&self.phases);
+                    let run = move |actx: &crate::action::ActionContext<'_>| {
+                        let ctx = StepCtx::new(actx.db, actx.txn, actx.scratch, Backend::Dora);
+                        (phases[phase_idx][step_idx].body)(&ctx)
+                    };
+                    if step.route.is_empty() {
+                        let mut spec = ActionSpec::secondary(step.label, step.table, run);
+                        spec.declared_secondary = step.declared_secondary;
+                        spec
+                    } else {
+                        ActionSpec::new(step.label, step.table, step.route.clone(), step.mode, run)
+                    }
+                })
+                .collect();
+            graph = graph.phase_with(actions);
+        }
+        if self.serial {
+            graph.serialized()
+        } else {
+            graph
+        }
+    }
+
+    /// Runs the program sequentially on the conventional engine, with a
+    /// fresh scratchpad (safe to call repeatedly — the baseline retries
+    /// deadlock victims).
+    pub fn run_baseline(&self, db: &Database, txn: &TxnHandle) -> DbResult<()> {
+        let scratch = Scratch::new();
+        let ctx = StepCtx::new(db, txn, &scratch, Backend::Baseline);
+        for step in self.phases.iter().flatten() {
+            (step.body)(&ctx)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -751,6 +862,50 @@ mod tests {
             |_| Ok(vec![Value::Int(1), Value::Int(7)]),
         ));
         assert!(matches!(duplicate, Err(DbError::TxnAborted { .. })));
+    }
+
+    #[test]
+    fn prepared_program_executes_many_times_on_both_engines() {
+        let (db_base, table) = counter_db();
+        let (db_dora, _) = counter_db();
+        let engine = DoraEngine::new(Arc::clone(&db_dora), DoraConfig::for_tests());
+        engine.bind_table(table, 2, 1, 8).unwrap();
+
+        // Compile once; execute the same handle repeatedly on both engines.
+        let prepared = bump_program(table, 3).prepare();
+        assert_eq!(prepared.name(), "bump");
+        assert_eq!(prepared.step_count(), 1);
+        assert_eq!(prepared.phase_count(), 1);
+        for _ in 0..5 {
+            let txn = db_base.begin();
+            prepared.run_baseline(&db_base, &txn).unwrap();
+            db_base.commit(&txn).unwrap();
+            engine.execute(prepared.flow_graph()).unwrap();
+        }
+        assert_eq!(counter_value(&db_base, table, 3), 5);
+        assert_eq!(counter_value(&db_dora, table, 3), 5);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn prepared_flow_graph_preserves_shape_and_serialization() {
+        let (_db, table) = counter_db();
+        let prepared = bump_program(table, 1)
+            .step(bump_step(table, 2))
+            .rvp()
+            .secondary("probe", table, |_| Ok(()))
+            .serialized(true)
+            .prepare();
+        assert!(prepared.is_serialized());
+        // Like compile_dora, a serialized prepared program lowers to one
+        // action per phase, and the handle can do it again and again.
+        for _ in 0..2 {
+            let graph = prepared.flow_graph();
+            assert_eq!(graph.phase_count(), 3);
+            assert!((0..3).all(|p| graph.actions_in(p) == 1));
+        }
+        let clone = prepared.clone();
+        assert_eq!(clone.step_count(), prepared.step_count());
     }
 
     #[test]

@@ -84,6 +84,21 @@ impl AdmissionController {
         }
     }
 
+    /// Gives back one queue slot without ever running — a queued arrival
+    /// that stopped waiting (e.g. its session is draining and no execution
+    /// slot was promoted to it). Returns `true` if a slot was actually
+    /// released; callers count the cancelled arrival as shed so admission
+    /// accounting stays exact.
+    pub fn cancel_queued(&self) -> bool {
+        let mut state = self.state.lock();
+        if state.queued > 0 {
+            state.queued -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Transactions currently holding execution slots.
     pub fn active(&self) -> usize {
         self.state.lock().active
@@ -236,6 +251,24 @@ mod tests {
         assert_eq!(controller.admit(), AdmissionDecision::Shed);
         assert!(!controller.finish());
         assert_eq!(controller.admit(), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn cancel_queued_releases_exactly_the_held_slot() {
+        let controller = AdmissionController::new(1, 1);
+        assert_eq!(controller.admit(), AdmissionDecision::Admit);
+        assert_eq!(controller.admit(), AdmissionDecision::Queue);
+        assert_eq!(controller.admit(), AdmissionDecision::Shed);
+        // The queued arrival gives up: its slot opens for a later arrival.
+        assert!(controller.cancel_queued());
+        assert_eq!(controller.queued(), 0);
+        assert!(!controller.cancel_queued(), "queue already empty");
+        assert_eq!(controller.admit(), AdmissionDecision::Queue);
+        // With the queue drained by cancellation, finish frees the slot
+        // instead of promoting a ghost.
+        assert!(controller.finish(), "promotes the re-queued arrival");
+        assert!(!controller.finish());
+        assert_eq!(controller.active(), 0);
     }
 
     #[test]

@@ -107,6 +107,16 @@ impl BaselineEngine {
     pub fn execute_program(&self, program: dora_core::TxnProgram) -> DbResult<BaselineOutcome> {
         self.execute(program.compile_baseline())
     }
+
+    /// Runs one instance of a prepared program (compile-once/execute-many:
+    /// the handle's shared step list is executed directly, no per-call
+    /// lowering).
+    pub fn execute_prepared(
+        &self,
+        prepared: &dora_core::PreparedProgram,
+    ) -> DbResult<BaselineOutcome> {
+        self.execute(|db, txn| prepared.run_baseline(db, txn))
+    }
 }
 
 #[cfg(test)]

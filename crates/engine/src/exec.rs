@@ -14,14 +14,15 @@
 //! experiment code changes.
 
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 
 use dora_common::prelude::*;
-use dora_core::{AdaptiveController, DoraConfig, DoraEngine};
+use dora_core::{AdaptiveController, DoraConfig, DoraEngine, PreparedProgram, TxnProgram};
 use dora_storage::Database;
-use dora_workloads::Workload;
+use dora_workloads::{Workload, WorkloadStats};
 
 use crate::baseline::BaselineEngine;
 
@@ -54,6 +55,40 @@ pub trait ExecutionEngine: Send + Sync {
     /// # Panics
     /// Panics if no workload has been bound.
     fn execute_one(&self, rng: &mut SmallRng) -> TxnOutcome;
+
+    /// Like [`execute_one`](Self::execute_one), but also times the
+    /// transaction and tallies its outcome under its transaction-type label
+    /// in `stats` — the feed for the per-type summary tables (commits,
+    /// aborts, gave-up, error rate, response times) the benchmark reports
+    /// print. The default runs untimed and records nothing; both registered
+    /// architectures override it.
+    fn execute_one_timed(&self, rng: &mut SmallRng, stats: &WorkloadStats) -> TxnOutcome {
+        let _ = stats;
+        self.execute_one(rng)
+    }
+
+    /// Compiles `program` once into a reusable [`PreparedProgram`] handle —
+    /// the compile-once/execute-many seam servers hold on to. The default
+    /// just lowers; an architecture may also validate (e.g. that every
+    /// routed table is bound).
+    fn prepare(&self, program: TxnProgram) -> DbResult<PreparedProgram> {
+        Ok(program.prepare())
+    }
+
+    /// Executes one instance of a prepared program on this architecture.
+    /// Unlike [`execute_one`](Self::execute_one) this needs no bound
+    /// workload: the program *is* the work.
+    fn execute_prepared(&self, prepared: &PreparedProgram) -> TxnOutcome;
+
+    /// Compile-per-call convenience: prepares `program` and executes it
+    /// once. Source-compatible with the pre-prepared-handle API; hot paths
+    /// should [`prepare`](Self::prepare) once instead.
+    fn execute_program(&self, program: TxnProgram) -> TxnOutcome {
+        match self.prepare(program) {
+            Ok(prepared) => self.execute_prepared(&prepared),
+            Err(_) => TxnOutcome::Aborted,
+        }
+    }
 
     /// Stops any engine-owned threads. Idempotent; the default is a no-op.
     fn shutdown(&self) {}
@@ -91,8 +126,30 @@ impl ExecutionEngine for BaselineEngine {
         let workload = self.bound_workload().clone();
         match workload
             .next_program(self.db(), rng)
-            .and_then(|program| self.execute_program(program))
+            .and_then(|program| BaselineEngine::execute_program(self, program))
         {
+            Ok(outcome) => outcome.into(),
+            Err(_) => TxnOutcome::Aborted,
+        }
+    }
+
+    fn execute_one_timed(&self, rng: &mut SmallRng, stats: &WorkloadStats) -> TxnOutcome {
+        let workload = self.bound_workload().clone();
+        let Ok(program) = workload.next_program(self.db(), rng) else {
+            return TxnOutcome::Aborted;
+        };
+        let label = program.name();
+        let start = Instant::now();
+        let outcome = match BaselineEngine::execute_program(self, program) {
+            Ok(outcome) => outcome.into(),
+            Err(_) => TxnOutcome::Aborted,
+        };
+        stats.record_timed(label, outcome, start.elapsed());
+        outcome
+    }
+
+    fn execute_prepared(&self, prepared: &PreparedProgram) -> TxnOutcome {
+        match BaselineEngine::execute_prepared(self, prepared) {
             Ok(outcome) => outcome.into(),
             Err(_) => TxnOutcome::Aborted,
         }
@@ -179,6 +236,34 @@ impl ExecutionEngine for DoraExecution {
         }
     }
 
+    fn execute_one_timed(&self, rng: &mut SmallRng, stats: &WorkloadStats) -> TxnOutcome {
+        let workload = self
+            .bound
+            .get()
+            .expect("DoraExecution: no workload bound")
+            .clone();
+        let Ok(program) = workload.next_program(self.engine.db(), rng) else {
+            return TxnOutcome::Aborted;
+        };
+        let label = program.name();
+        let start = Instant::now();
+        let outcome = match self.engine.execute(program.compile_dora()) {
+            Ok(()) => TxnOutcome::Committed,
+            Err(_) => TxnOutcome::Aborted,
+        };
+        stats.record_timed(label, outcome, start.elapsed());
+        outcome
+    }
+
+    fn execute_prepared(&self, prepared: &PreparedProgram) -> TxnOutcome {
+        // The prepared handle re-materializes only the per-instance action
+        // shells; the step bodies are shared behind the handle's `Arc`.
+        match self.engine.execute(prepared.flow_graph()) {
+            Ok(()) => TxnOutcome::Committed,
+            Err(_) => TxnOutcome::Aborted,
+        }
+    }
+
     fn shutdown(&self) {
         // Stop the controller first: it may be mid-resize, which needs live
         // executors to drain.
@@ -240,6 +325,57 @@ mod tests {
                 }
             }
             assert!(committed > 0, "{} committed nothing", engine.name());
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn every_registered_engine_executes_prepared_programs() {
+        for kind in EngineKind::ALL {
+            let db = Database::for_tests();
+            let workload = TpcB::with_accounts(2, 20);
+            workload.setup(&db).unwrap();
+            let engine = build_engine_with(kind, Arc::clone(&db), DoraConfig::for_tests());
+            // DORA needs its executors even for prepared execution.
+            let arc_workload: Arc<dyn Workload> = Arc::new(TpcB::with_accounts(2, 20));
+            engine.bind(arc_workload, 2).unwrap();
+            // Prepare once, execute many: the same parameterized transfer.
+            let program = workload.account_update_program(&db, 1, 1, 1, 10.0).unwrap();
+            let prepared = engine.prepare(program).unwrap();
+            for _ in 0..5 {
+                assert_eq!(
+                    engine.execute_prepared(&prepared),
+                    TxnOutcome::Committed,
+                    "{} failed a prepared execution",
+                    engine.name()
+                );
+            }
+            // Compile-per-call wrapper stays available on the same engine.
+            let once = workload
+                .account_update_program(&db, 1, 2, 11, -5.0)
+                .unwrap();
+            assert_eq!(engine.execute_program(once), TxnOutcome::Committed);
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn timed_execution_feeds_per_type_stats() {
+        for kind in EngineKind::ALL {
+            let engine = bound_engine(kind);
+            let stats = WorkloadStats::new();
+            let mut rng = SmallRng::seed_from_u64(7);
+            for _ in 0..10 {
+                engine.execute_one_timed(&mut rng, &stats);
+            }
+            let row = stats.type_stats(TpcB::ACCOUNT_UPDATE);
+            assert_eq!(row.total(), 10, "{}: every run tallied", engine.name());
+            assert_eq!(
+                row.latency.count(),
+                10,
+                "{}: every run timed",
+                engine.name()
+            );
             engine.shutdown();
         }
     }

@@ -82,10 +82,20 @@ pub enum CounterKind {
     /// writes one fence to *every* stream it touched, so this exceeds
     /// `TxnCommitted` exactly by the cross-stream fan-out.
     CommitFences = 23,
+    /// Transactions rejected outright by the admission controller (load
+    /// shedding at saturation): never executed, reported to the client as
+    /// shed.
+    TxnShed = 24,
+    /// Transactions the admission controller parked in its bounded queue
+    /// before granting a slot (each queued admission is counted once, when
+    /// it first queues).
+    TxnQueued = 25,
+    /// Client sessions opened against a serving front-end.
+    SessionsOpened = 26,
 }
 
 /// Number of [`CounterKind`] variants; sizes the per-thread arrays.
-pub const COUNTER_KIND_COUNT: usize = 24;
+pub const COUNTER_KIND_COUNT: usize = 27;
 
 /// All counters, in `repr` order.
 pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
@@ -113,6 +123,9 @@ pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
     CounterKind::ElrEarlyReleases,
     CounterKind::CheckpointsTaken,
     CounterKind::CommitFences,
+    CounterKind::TxnShed,
+    CounterKind::TxnQueued,
+    CounterKind::SessionsOpened,
 ];
 
 impl CounterKind {
@@ -148,6 +161,9 @@ impl CounterKind {
             CounterKind::ElrEarlyReleases => "elr-early-releases",
             CounterKind::CheckpointsTaken => "checkpoints-taken",
             CounterKind::CommitFences => "commit-fences",
+            CounterKind::TxnShed => "txn-shed",
+            CounterKind::TxnQueued => "txn-queued",
+            CounterKind::SessionsOpened => "sessions-opened",
         }
     }
 }

@@ -1,0 +1,169 @@
+//! The admission gate: the runtime half of admission control, wired into
+//! every submit.
+//!
+//! [`dora_engine::AdmissionController`] decides *what* happens to an
+//! arrival (run / queue / shed); this module supplies the *mechanism*:
+//! queued submitters park on a condvar until a finishing transaction
+//! promotes them, new arrivals are shed outright once the queue is full,
+//! and a draining gate (server close) sheds late arrivals while letting
+//! everything already admitted or queued finish — the overload response
+//! that keeps a saturated system at its peak throughput instead of past
+//! it (the paper's Figure 8 premise, made operational).
+//!
+//! Every controller transition happens under one gate mutex, so promote
+//! tokens can never race with cancellations: a `finish` that promotes a
+//! queued waiter deposits a token, and exactly one parked waiter consumes
+//! it — or, if that waiter already gave up during a drain, the token
+//! stays valid for the next queued arrival (it represents a genuinely
+//! free execution slot either way).
+
+use parking_lot::{Condvar, Mutex};
+
+use dora_engine::{AdmissionController, AdmissionDecision};
+use dora_metrics::{incr, CounterKind};
+
+/// What the gate resolved an arrival to, after any queueing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GateOutcome {
+    /// The caller holds an execution slot and must call
+    /// [`Gate::finish`] when the transaction completes.
+    Run,
+    /// The arrival was shed (at the queue limit, or while draining).
+    Shed,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    /// Execution slots transferred by `finish` to parked waiters but not
+    /// yet consumed.
+    tokens: usize,
+    /// Set once by [`Gate::close`]; new arrivals are shed from then on.
+    draining: bool,
+}
+
+/// Admission policy: how many transactions may run at once and how many
+/// may wait behind them before arrivals are shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Execution slots (clamped to at least 1).
+    pub max_active: usize,
+    /// Queue slots behind the execution slots; `0` sheds immediately at
+    /// saturation.
+    pub max_queued: usize,
+}
+
+impl AdmissionConfig {
+    /// A policy sized for `max_active` concurrent transactions with a
+    /// queue of twice that depth — a reasonable default shed threshold.
+    pub fn for_slots(max_active: usize) -> Self {
+        Self {
+            max_active,
+            max_queued: max_active.saturating_mul(2),
+        }
+    }
+}
+
+/// The gate every submit passes through. `None` admission means the gate
+/// only tracks in-flight work for the graceful drain (nothing queues,
+/// nothing sheds until close).
+#[derive(Debug)]
+pub(crate) struct Gate {
+    controller: AdmissionController,
+    state: Mutex<GateState>,
+    cond: Condvar,
+}
+
+impl Gate {
+    pub(crate) fn new(admission: Option<AdmissionConfig>) -> Self {
+        let controller = match admission {
+            Some(policy) => AdmissionController::new(policy.max_active, policy.max_queued),
+            // Effectively unbounded: every arrival admits, so the
+            // controller degenerates to an in-flight counter the drain
+            // waits on.
+            None => AdmissionController::new(usize::MAX / 2, 0),
+        };
+        Self {
+            controller,
+            state: Mutex::new(GateState::default()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Resolves one arrival: admit now, park until promoted, or shed.
+    pub(crate) fn admit(&self) -> GateOutcome {
+        let mut state = self.state.lock();
+        if state.draining {
+            incr(CounterKind::TxnShed);
+            return GateOutcome::Shed;
+        }
+        match self.controller.admit() {
+            AdmissionDecision::Admit => GateOutcome::Run,
+            AdmissionDecision::Shed => {
+                incr(CounterKind::TxnShed);
+                GateOutcome::Shed
+            }
+            AdmissionDecision::Queue => {
+                incr(CounterKind::TxnQueued);
+                loop {
+                    // Wait *before* checking for a token: a promote's
+                    // queue-slot decrement already named some parked
+                    // waiter, so a fresh arrival grabbing the token
+                    // without ever sleeping would leave that waiter
+                    // parked with nothing left to promote it.
+                    self.cond.wait(&mut state);
+                    if state.tokens > 0 {
+                        // A finishing transaction promoted this waiter;
+                        // its slot transfers without touching the
+                        // controller again. Promoted work runs even
+                        // while draining — graceful, not abrupt.
+                        state.tokens -= 1;
+                        return GateOutcome::Run;
+                    }
+                    if state.draining {
+                        // Stop waiting: give the queue slot back and
+                        // report the arrival as shed so accounting stays
+                        // exact (submitted = finished + shed).
+                        self.controller.cancel_queued();
+                        incr(CounterKind::TxnShed);
+                        self.cond.notify_all();
+                        return GateOutcome::Shed;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reports one admitted transaction finished, promoting a queued
+    /// waiter into the freed slot if any is parked.
+    pub(crate) fn finish(&self) {
+        let mut state = self.state.lock();
+        if self.controller.finish() {
+            state.tokens += 1;
+            self.cond.notify_one();
+        } else if state.draining {
+            // The slot was freed outright; the drain may now be done.
+            self.cond.notify_all();
+        }
+    }
+
+    /// Sheds new arrivals from now on and blocks until everything already
+    /// admitted or queued has finished. Idempotent.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock();
+        state.draining = true;
+        self.cond.notify_all();
+        while self.controller.active() > 0 || self.controller.queued() > 0 {
+            self.cond.wait(&mut state);
+        }
+    }
+
+    /// Transactions currently holding execution slots.
+    pub(crate) fn active(&self) -> usize {
+        self.controller.active()
+    }
+
+    /// Transactions currently parked in the admission queue.
+    pub(crate) fn queued(&self) -> usize {
+        self.controller.queued()
+    }
+}

@@ -1,0 +1,266 @@
+//! The server: open → prepare → execute → close.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dora_common::prelude::*;
+use dora_core::{DoraConfig, TxnProgram};
+use dora_engine::{build_engine_with, ExecutionEngine};
+use dora_metrics::{incr, CounterKind};
+use dora_storage::Database;
+use dora_workloads::Workload;
+
+use crate::gate::{AdmissionConfig, Gate, GateOutcome};
+use crate::session::Session;
+use crate::statement::{Params, Statement, StatementKind};
+
+/// How a submitted transaction ended, as reported to the client.
+///
+/// The first three mirror [`TxnOutcome`]; [`Shed`](Self::Shed) is the
+/// admission controller's overload response — the transaction never
+/// executed and the client should back off or retry later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The transaction committed.
+    Committed,
+    /// The transaction aborted for workload reasons.
+    Aborted,
+    /// The transaction exhausted its deadlock-retry budget.
+    GaveUp,
+    /// The admission controller rejected the transaction without running
+    /// it (queue full at saturation, or the server is draining).
+    Shed,
+}
+
+impl From<TxnOutcome> for SubmitOutcome {
+    fn from(outcome: TxnOutcome) -> Self {
+        match outcome {
+            TxnOutcome::Committed => SubmitOutcome::Committed,
+            TxnOutcome::Aborted => SubmitOutcome::Aborted,
+            TxnOutcome::GaveUp => SubmitOutcome::GaveUp,
+        }
+    }
+}
+
+impl SubmitOutcome {
+    /// `true` only for [`Committed`](Self::Committed).
+    pub fn is_committed(self) -> bool {
+        self == SubmitOutcome::Committed
+    }
+
+    /// `true` only for [`Shed`](Self::Shed).
+    pub fn is_shed(self) -> bool {
+        self == SubmitOutcome::Shed
+    }
+}
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Which execution architecture serves the database.
+    pub engine: EngineKind,
+    /// DORA executors bound per table (ignored by the baseline).
+    pub executors_per_table: usize,
+    /// DORA engine configuration (ignored by the baseline).
+    pub dora: DoraConfig,
+    /// Admission policy wired into every submit; `None` disables shedding
+    /// and queueing entirely (every arrival runs — the A/B baseline the
+    /// saturation experiment compares against).
+    pub admission: Option<AdmissionConfig>,
+    /// Default per-session in-flight window ([`Server::session`]); a
+    /// session's concurrent submitters block past this depth, which is
+    /// both client-side backpressure and per-session fairness — no single
+    /// session can occupy more than `session_window` execution slots.
+    pub session_window: usize,
+}
+
+impl ServerConfig {
+    /// A configuration for `engine` with admission sized to the machine
+    /// (one execution slot per hardware context, queue twice as deep).
+    pub fn new(engine: EngineKind) -> Self {
+        let contexts = dora_common::config::num_cpus();
+        Self {
+            engine,
+            executors_per_table: 2,
+            dora: DoraConfig::default(),
+            admission: Some(AdmissionConfig::for_slots(contexts)),
+            session_window: 8,
+        }
+    }
+
+    /// A small-footprint configuration for tests.
+    pub fn for_tests(engine: EngineKind) -> Self {
+        Self {
+            engine,
+            executors_per_table: 2,
+            dora: DoraConfig::for_tests(),
+            admission: Some(AdmissionConfig {
+                max_active: 4,
+                max_queued: 8,
+            }),
+            session_window: 4,
+        }
+    }
+
+    /// This configuration with a different admission policy.
+    pub fn with_admission(self, admission: Option<AdmissionConfig>) -> Self {
+        Self { admission, ..self }
+    }
+}
+
+/// Shared server internals; sessions keep the core alive even if the
+/// [`Server`] handle is dropped first.
+pub(crate) struct ServerCore {
+    engine: Arc<dyn ExecutionEngine>,
+    gate: Gate,
+    closed: AtomicBool,
+    session_window: usize,
+}
+
+impl ServerCore {
+    /// One gated submit: admission decides, the engine executes, the slot
+    /// is returned. This is the *only* path work reaches the engine
+    /// through, so the admission policy really does govern everything.
+    pub(crate) fn submit(&self, statement: &Statement, params: &Params) -> SubmitOutcome {
+        match self.gate.admit() {
+            GateOutcome::Shed => SubmitOutcome::Shed,
+            GateOutcome::Run => {
+                let outcome = self.execute(statement, params);
+                self.gate.finish();
+                outcome
+            }
+        }
+    }
+
+    fn execute(&self, statement: &Statement, params: &Params) -> SubmitOutcome {
+        match &*statement.kind {
+            // Compile-once/execute-many: the shared step list behind the
+            // handle runs directly, no per-call lowering.
+            StatementKind::Prepared(prepared) => self.engine.execute_prepared(prepared).into(),
+            // Per-binding build (routing keys are baked in at build time),
+            // then the engine's prepare-and-run path.
+            StatementKind::Template(build) => match build(self.engine.db(), params) {
+                Ok(program) => self.engine.execute_program(program).into(),
+                Err(_) => SubmitOutcome::Aborted,
+            },
+        }
+    }
+
+    pub(crate) fn session_window(&self) -> usize {
+        self.session_window
+    }
+}
+
+/// A database being served: holds the execution engine behind the
+/// admission gate, hands out [`Statement`]s and [`Session`]s, and drains
+/// gracefully on [`close`](Self::close).
+pub struct Server {
+    core: Arc<ServerCore>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("engine", &self.core.engine.name())
+            .field("active", &self.core.gate.active())
+            .field("queued", &self.core.gate.queued())
+            .field("closed", &self.core.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Server {
+    /// Opens `db` for serving: builds the configured execution engine over
+    /// it and binds `workload` (which must already be set up — the server
+    /// serves data, it does not load it).
+    pub fn open(
+        db: Arc<Database>,
+        workload: Arc<dyn Workload>,
+        config: ServerConfig,
+    ) -> DbResult<Self> {
+        let engine = build_engine_with(config.engine, db, config.dora.clone());
+        engine.bind(workload, config.executors_per_table)?;
+        Ok(Self {
+            core: Arc::new(ServerCore {
+                engine,
+                gate: Gate::new(config.admission),
+                closed: AtomicBool::new(false),
+                session_window: config.session_window.max(1),
+            }),
+        })
+    }
+
+    /// Compiles `program` once into a reusable fixed-parameter
+    /// [`Statement`]. Every execution of the returned handle reuses the
+    /// compiled form — prepare once, execute many.
+    pub fn prepare(&self, program: TxnProgram) -> DbResult<Statement> {
+        Ok(Statement::prepared(self.core.engine.prepare(program)?))
+    }
+
+    /// Registers a parameterized statement: `build` is invoked per
+    /// parameter binding to produce the program for those routing keys
+    /// (see [`Statement`] for why parameter substitution needs a builder).
+    pub fn prepare_template(
+        &self,
+        name: &'static str,
+        build: impl Fn(&Database, &Params) -> DbResult<TxnProgram> + Send + Sync + 'static,
+    ) -> Statement {
+        Statement::template(name, build)
+    }
+
+    /// Opens a client session with the configured in-flight window.
+    pub fn session(&self) -> Session {
+        incr(CounterKind::SessionsOpened);
+        Session::new(Arc::clone(&self.core), self.core.session_window())
+    }
+
+    /// Opens a client session with an explicit in-flight window (clamped
+    /// to at least 1).
+    pub fn session_with_window(&self, window: usize) -> Session {
+        incr(CounterKind::SessionsOpened);
+        Session::new(Arc::clone(&self.core), window.max(1))
+    }
+
+    /// The underlying storage manager.
+    pub fn db(&self) -> &Arc<Database> {
+        self.core.engine.db()
+    }
+
+    /// The serving architecture.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.core.engine.kind()
+    }
+
+    /// Transactions currently executing.
+    pub fn in_flight(&self) -> usize {
+        self.core.gate.active()
+    }
+
+    /// Transactions currently parked in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.core.gate.queued()
+    }
+
+    /// `true` once [`close`](Self::close) has begun.
+    pub fn is_closed(&self) -> bool {
+        self.core.closed.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: new submissions are shed immediately, everything
+    /// already admitted or queued runs to completion, then the engine's
+    /// threads stop. Blocks until the drain is complete; idempotent
+    /// (late callers wait for the same drain). Sessions remain valid but
+    /// every subsequent submit returns [`SubmitOutcome::Shed`].
+    pub fn close(&self) {
+        self.core.gate.close();
+        if !self.core.closed.swap(true, Ordering::AcqRel) {
+            self.core.engine.shutdown();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

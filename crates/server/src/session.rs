@@ -1,0 +1,126 @@
+//! Client sessions: the submit surface with a bounded in-flight window.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::server::{ServerCore, SubmitOutcome};
+use crate::statement::{Params, Statement};
+
+/// The per-session in-flight bound: `acquire` blocks while the window is
+/// full, `release` wakes one blocked submitter. This is client-side
+/// backpressure (a flooding session stalls in its own window instead of
+/// stacking work on the server) and per-session fairness (no session can
+/// hold more than `limit` execution slots, however many threads share it).
+struct Window {
+    in_flight: Mutex<usize>,
+    freed: Condvar,
+    limit: usize,
+}
+
+impl Window {
+    fn new(limit: usize) -> Self {
+        Self {
+            in_flight: Mutex::new(0),
+            freed: Condvar::new(),
+            limit: limit.max(1),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut in_flight = self.in_flight.lock();
+        while *in_flight >= self.limit {
+            self.freed.wait(&mut in_flight);
+        }
+        *in_flight += 1;
+    }
+
+    fn release(&self) {
+        let mut in_flight = self.in_flight.lock();
+        debug_assert!(*in_flight > 0, "release without a matching acquire");
+        *in_flight -= 1;
+        self.freed.notify_one();
+    }
+
+    fn occupancy(&self) -> usize {
+        *self.in_flight.lock()
+    }
+}
+
+/// One client's connection to a [`Server`](crate::Server).
+///
+/// Sessions are cheap, `Send + Sync`, and independent: threads sharing a
+/// session share its in-flight window, threads on different sessions only
+/// contend at the server's admission gate. A session outlives `close` —
+/// submits after the server drains simply return
+/// [`SubmitOutcome::Shed`].
+pub struct Session {
+    core: Arc<ServerCore>,
+    window: Arc<Window>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("window", &self.window.limit)
+            .field("in_flight", &self.window.occupancy())
+            .finish()
+    }
+}
+
+impl Clone for Session {
+    /// Clones share the same in-flight window — hand clones to worker
+    /// threads when they should count as *one* client; open separate
+    /// sessions when they should not.
+    fn clone(&self) -> Self {
+        Self {
+            core: Arc::clone(&self.core),
+            window: Arc::clone(&self.window),
+        }
+    }
+}
+
+impl Session {
+    pub(crate) fn new(core: Arc<ServerCore>, window: usize) -> Self {
+        Self {
+            core,
+            window: Arc::new(Window::new(window)),
+        }
+    }
+
+    /// Executes a fixed-parameter statement (or a template with no
+    /// parameters), blocking first if the session window is full.
+    pub fn execute(&self, statement: &Statement) -> SubmitOutcome {
+        self.execute_with(statement, &Params::new())
+    }
+
+    /// Executes `statement` with one parameter binding, blocking first if
+    /// the session window is full. Fixed-parameter statements ignore
+    /// `params`.
+    pub fn execute_with(&self, statement: &Statement, params: &Params) -> SubmitOutcome {
+        self.window.acquire();
+        let outcome = self.core.submit(statement, params);
+        self.window.release();
+        outcome
+    }
+
+    /// Executes one binding after another, returning the per-binding
+    /// outcomes in order. Batches from concurrent threads interleave
+    /// freely subject to the shared window.
+    pub fn execute_batch(&self, statement: &Statement, bindings: &[Params]) -> Vec<SubmitOutcome> {
+        bindings
+            .iter()
+            .map(|params| self.execute_with(statement, params))
+            .collect()
+    }
+
+    /// Submissions from this session currently inside `execute*` calls.
+    pub fn in_flight(&self) -> usize {
+        self.window.occupancy()
+    }
+
+    /// The session's in-flight window limit.
+    pub fn window(&self) -> usize {
+        self.window.limit
+    }
+}

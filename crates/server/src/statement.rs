@@ -1,0 +1,87 @@
+//! Prepared statements: what a client holds after [`prepare`].
+//!
+//! A [`TxnProgram`] bakes its routing keys into its steps when it is
+//! built, so the compile-once/execute-many seam splits naturally in two:
+//!
+//! * [`Statement::prepared`] — a fixed-parameter program lowered once to a
+//!   [`PreparedProgram`]; every execution reuses the shared step list with
+//!   zero per-call compilation. The right shape for hot singleton
+//!   transactions (a watchdog ping, a fixed maintenance sweep).
+//! * [`Statement::template`] — a parameterized *builder*: each submitted
+//!   parameter binding builds a program for those routing keys and runs it
+//!   through the engine's prepare-then-execute path. The template itself
+//!   (mix logic, step bodies, schema lookups) is authored and validated
+//!   once; only the per-binding routing differs.
+//!
+//! [`prepare`]: crate::Server::prepare
+
+use std::sync::Arc;
+
+use dora_common::prelude::*;
+use dora_core::{PreparedProgram, TxnProgram};
+use dora_storage::Database;
+
+/// One parameter binding for a template statement.
+pub type Params = Vec<Value>;
+
+/// Builds a [`TxnProgram`] for one parameter binding.
+pub type TemplateFn = dyn Fn(&Database, &Params) -> DbResult<TxnProgram> + Send + Sync;
+
+pub(crate) enum StatementKind {
+    Prepared(PreparedProgram),
+    Template(Arc<TemplateFn>),
+}
+
+/// A handle returned by [`Server::prepare`] / [`Server::prepare_template`]:
+/// cheap to clone, shareable across sessions and threads.
+///
+/// [`Server::prepare`]: crate::Server::prepare
+/// [`Server::prepare_template`]: crate::Server::prepare_template
+#[derive(Clone)]
+pub struct Statement {
+    name: &'static str,
+    pub(crate) kind: Arc<StatementKind>,
+}
+
+impl std::fmt::Debug for Statement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match *self.kind {
+            StatementKind::Prepared(_) => "prepared",
+            StatementKind::Template(_) => "template",
+        };
+        f.debug_struct("Statement")
+            .field("name", &self.name)
+            .field("kind", &kind)
+            .finish()
+    }
+}
+
+impl Statement {
+    pub(crate) fn prepared(prepared: PreparedProgram) -> Self {
+        Self {
+            name: prepared.name(),
+            kind: Arc::new(StatementKind::Prepared(prepared)),
+        }
+    }
+
+    pub(crate) fn template(
+        name: &'static str,
+        build: impl Fn(&Database, &Params) -> DbResult<TxnProgram> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name,
+            kind: Arc::new(StatementKind::Template(Arc::new(build))),
+        }
+    }
+
+    /// The statement's transaction-type label.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// `true` for fixed-parameter statements (no per-call compilation at
+    /// all), `false` for parameterized templates.
+    pub fn is_compiled(&self) -> bool {
+        matches!(*self.kind, StatementKind::Prepared(_))
+    }
+}

@@ -817,7 +817,13 @@ impl Database {
     /// Rebuilds a database from this database's log, replaying the changes of
     /// committed transactions into a fresh instance with the same schema.
     /// Used by tests to validate that the log captures committed state.
+    ///
+    /// When a checkpoint has reclaimed log space, the truncated prefix only
+    /// exists folded inside the checkpoint, so recovery routes through it.
     pub fn recover_into(&self, fresh: &Database) -> DbResult<()> {
+        if self.log.reclaimed_records() > 0 {
+            return self.recover_checkpoint_into(fresh, 1);
+        }
         self.replay(fresh, self.log.committed_changes())
     }
 
@@ -842,6 +848,10 @@ impl Database {
     /// into its worker's shard.
     pub fn recover_into_parallel(&self, fresh: &Database, workers: usize) -> DbResult<()> {
         let workers = workers.max(1);
+        if self.log.reclaimed_records() > 0 {
+            // The reclaimed prefix survives only inside the checkpoint.
+            return self.recover_checkpoint_into(fresh, workers);
+        }
         if workers == 1 {
             return self.recover_into(fresh);
         }

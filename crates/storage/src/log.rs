@@ -299,13 +299,57 @@ impl FlushCore {
     }
 }
 
+/// One stream's in-memory record buffer with a reclaimable prefix.
+///
+/// LSNs are stable identities, the buffer is not: fuzzy checkpoints may
+/// truncate an already-folded prefix, after which the record with LSN `n`
+/// lives at buffered index `n - 1 - base`. `base` counts the truncated
+/// records, so `total()` keeps reporting the full appended history and LSN
+/// assignment stays dense across reclamation.
+#[derive(Default)]
+struct StreamBuffer {
+    /// Records reclaimed (truncated) off the front at checkpoints.
+    base: u64,
+    /// The retained suffix, in LSN order.
+    buffered: Vec<LogRecord>,
+}
+
+impl StreamBuffer {
+    /// Total records ever appended to this stream (reclaimed + retained).
+    fn total(&self) -> u64 {
+        self.base + self.buffered.len() as u64
+    }
+
+    /// Buffered index of `lsn`. Panics (via slice indexing at the caller)
+    /// only if the record was reclaimed — which the checkpoint's live-
+    /// transaction floor rules out for every chain still walked.
+    fn index_of(&self, lsn: Lsn) -> usize {
+        debug_assert!(lsn.0 > self.base, "LSN {lsn:?} was reclaimed");
+        (lsn.0 - 1 - self.base) as usize
+    }
+
+    /// The retained records whose LSN is ≤ `cut` (everything retained when
+    /// `cut` is past the end).
+    fn retained_up_to(&self, cut: Lsn) -> &[LogRecord] {
+        let len = (cut.0.saturating_sub(self.base) as usize).min(self.buffered.len());
+        &self.buffered[..len]
+    }
+
+    /// The retained records whose LSN is > `low` (reclaimed records are
+    /// below every valid low-water mark, so clamping to the base is exact).
+    fn retained_after(&self, low: Lsn) -> &[LogRecord] {
+        let from = (low.0.saturating_sub(self.base) as usize).min(self.buffered.len());
+        &self.buffered[from..]
+    }
+}
+
 /// One partition of the log: its own record buffer, LSN space, flush mutex
 /// and flusher daemon.
 struct LogStream {
     id: StreamId,
-    /// All records of this stream, in LSN order: the record with LSN `n`
-    /// lives at index `n - 1` (LSNs are assigned under this mutex).
-    records: Mutex<Vec<LogRecord>>,
+    /// This stream's records in LSN order, behind a reclaimable prefix
+    /// (LSNs are assigned under this mutex).
+    records: Mutex<StreamBuffer>,
     /// Per-transaction backward chain heads, for this stream only.
     last_lsn_per_txn: Mutex<HashMap<TxnId, Lsn>>,
     core: Arc<FlushCore>,
@@ -320,7 +364,7 @@ impl LogStream {
     fn new(id: StreamId, flush_latency_micros: u64, durability: DurabilityConfig) -> Self {
         Self {
             id,
-            records: Mutex::new(Vec::new()),
+            records: Mutex::new(StreamBuffer::default()),
             last_lsn_per_txn: Mutex::new(HashMap::new()),
             core: Arc::new(FlushCore {
                 flushed_lsn: AtomicU64::new(0),
@@ -341,13 +385,13 @@ impl LogStream {
     /// Appends a record for `txn`, returning its stream-local LSN.
     fn append(&self, txn: TxnId, kind: LogRecordKind) -> Lsn {
         let mut records = self.records.lock();
-        let lsn = Lsn(records.len() as u64 + 1);
+        let lsn = Lsn(records.total() + 1);
         self.core.last_assigned.store(lsn.0, Ordering::Release);
         let prev_lsn = {
             let mut last = self.last_lsn_per_txn.lock();
             last.insert(txn, lsn).unwrap_or(Lsn(0))
         };
-        records.push(LogRecord {
+        records.buffered.push(LogRecord {
             lsn,
             stream: self.id,
             txn,
@@ -781,18 +825,27 @@ impl LogManager {
     pub fn stream_stats(&self) -> Vec<StreamStats> {
         self.streams
             .iter()
-            .map(|stream| StreamStats {
-                stream: stream.id,
-                records: stream.records.lock().len(),
-                flushed_lsn: stream.flushed_lsn(),
-                group_sizes: stream.core.group_sizes.lock().clone(),
+            .map(|stream| {
+                let buffer = stream.records.lock();
+                StreamStats {
+                    stream: stream.id,
+                    records: buffer.total() as usize,
+                    reclaimed: buffer.base,
+                    flushed_lsn: stream.flushed_lsn(),
+                    group_sizes: stream.core.group_sizes.lock().clone(),
+                }
             })
             .collect()
     }
 
-    /// Total records appended across all streams.
+    /// Total records appended across all streams — the full history,
+    /// including any prefix already reclaimed at checkpoints (LSNs are
+    /// stable, so a truncation never shrinks this).
     pub fn len(&self) -> usize {
-        self.streams.iter().map(|s| s.records.lock().len()).sum()
+        self.streams
+            .iter()
+            .map(|s| s.records.lock().total() as usize)
+            .sum()
     }
 
     /// `true` if nothing has been logged.
@@ -800,12 +853,25 @@ impl LogManager {
         self.len() == 0
     }
 
+    /// Records truncated off stream prefixes by checkpoint reclamation.
+    pub fn reclaimed_records(&self) -> u64 {
+        self.streams.iter().map(|s| s.records.lock().base).sum()
+    }
+
+    /// Records currently held in memory (the retained suffixes).
+    pub fn retained_records(&self) -> usize {
+        self.streams
+            .iter()
+            .map(|s| s.records.lock().buffered.len())
+            .sum()
+    }
+
     /// Current length of each stream, as the cut vector that covers the
     /// whole log right now.
     pub fn stream_lens(&self) -> Vec<Lsn> {
         self.streams
             .iter()
-            .map(|s| Lsn(s.records.lock().len() as u64))
+            .map(|s| Lsn(s.records.lock().total()))
             .collect()
     }
 
@@ -826,7 +892,9 @@ impl LogManager {
             let records = stream.records.lock();
             let mut cursor = last;
             while cursor.0 != 0 {
-                let record = &records[(cursor.0 - 1) as usize];
+                // Reclamation never truncates past the first record of a
+                // live transaction, so the whole chain is still buffered.
+                let record = &records.buffered[records.index_of(cursor)];
                 debug_assert_eq!(record.txn, txn, "prev_lsn chain crossed transactions");
                 cursor = record.prev_lsn;
                 chain.push(record.clone());
@@ -838,6 +906,12 @@ impl LogManager {
     /// Analysis + redo view of the whole log: the data-change records of
     /// every recoverable transaction, in replay order. Recovery applies
     /// these to an empty database to reconstruct committed state.
+    ///
+    /// Sees only the *retained* records: once a checkpoint has reclaimed a
+    /// prefix ([`Self::reclaimed_records`] > 0) the dense commit-sequence
+    /// analysis finds a hole at the truncation point and this view goes
+    /// empty — callers must recover from the checkpoint instead (the folded
+    /// rows carry exactly the truncated history).
     pub fn committed_changes(&self) -> Vec<LogRecord> {
         let cuts = self.stream_lens();
         self.committed_changes_in_prefixes(&cuts)
@@ -867,11 +941,9 @@ impl LogManager {
             .map(|stream| stream.records.lock())
             .collect();
         let mut candidates: Vec<&LogRecord> = Vec::new();
-        for (s, records) in guards.iter().enumerate() {
-            let len = cuts
-                .get(s)
-                .map_or(records.len(), |cut| (cut.0 as usize).min(records.len()));
-            candidates.extend(records[..len].iter());
+        for (s, buffer) in guards.iter().enumerate() {
+            let cut = cuts.get(s).copied().unwrap_or(Lsn(u64::MAX));
+            candidates.extend(buffer.retained_up_to(cut).iter());
         }
         Self::redo_in_candidate_refs(&candidates, 0)
             .into_iter()
@@ -892,8 +964,8 @@ impl LogManager {
             .map(|stream| stream.records.lock())
             .collect();
         let mut candidates: Vec<&LogRecord> = Vec::new();
-        for records in guards.iter() {
-            candidates.extend(records.iter());
+        for buffer in guards.iter() {
+            candidates.extend(buffer.buffered.iter());
         }
         let redo = Self::redo_in_candidate_refs(&candidates, 0);
         f(&redo)
@@ -1032,10 +1104,13 @@ impl LogManager {
         let mut cuts = Vec::with_capacity(self.streams.len());
         for (s, stream) in self.streams.iter().enumerate() {
             let records = stream.records.lock();
-            let cut = records.len();
-            cuts.push(Lsn(cut as u64));
-            let from = previous_low.get(s).map_or(0, |low| low.0 as usize);
-            candidates.extend_from_slice(&records[from..cut]);
+            let cut = Lsn(records.total());
+            cuts.push(cut);
+            // The previous low-water mark is ≥ the reclaimed base (we only
+            // truncate up to an already-built checkpoint's cut), so the
+            // uncovered window is entirely retained.
+            let from = previous_low.get(s).copied().unwrap_or(Lsn(0));
+            candidates.extend_from_slice(records.retained_after(from));
         }
         let analysis = {
             let refs: Vec<&LogRecord> = candidates.iter().collect();
@@ -1066,12 +1141,44 @@ impl LogManager {
         }
         rows.retain(|_, slot| !slot.is_empty());
         *self.checkpoint.lock() = Some(Checkpoint {
-            low_water: cuts,
+            low_water: cuts.clone(),
             seq_horizon: analysis.horizon,
             rows,
             pending,
         });
         incr(CounterKind::CheckpointsTaken);
+        if self.durability.reclaim_log_at_checkpoint {
+            self.reclaim_up_to(&cuts);
+        }
+    }
+
+    /// Truncates each stream's buffered prefix up to its checkpoint cut,
+    /// but never past the first buffered record of a *live* transaction
+    /// (one still in `last_lsn_per_txn`, i.e. not yet committed or
+    /// aborted): rollback walks those chains through buffered indices.
+    /// Everything truncated is covered by the just-built checkpoint —
+    /// committed history lives in its folded rows, undecided transactions'
+    /// records ride its `pending` list — so recovery loses nothing.
+    fn reclaim_up_to(&self, cuts: &[Lsn]) {
+        for (s, stream) in self.streams.iter().enumerate() {
+            let mut buffer = stream.records.lock();
+            let live: HashSet<TxnId> = stream.last_lsn_per_txn.lock().keys().copied().collect();
+            let mut floor = cuts.get(s).copied().unwrap_or(Lsn(0)).0;
+            for record in buffer.buffered.iter() {
+                if record.lsn.0 > floor {
+                    break;
+                }
+                if live.contains(&record.txn) {
+                    floor = record.lsn.0 - 1;
+                    break;
+                }
+            }
+            let drain = floor.saturating_sub(buffer.base) as usize;
+            if drain > 0 {
+                buffer.buffered.drain(..drain);
+                buffer.base += drain as u64;
+            }
+        }
     }
 
     /// The latest fuzzy checkpoint, if one has been taken.
@@ -1086,21 +1193,20 @@ impl LogManager {
         let mut out = Vec::new();
         for (s, stream) in self.streams.iter().enumerate() {
             let records = stream.records.lock();
-            let from = low_water
-                .get(s)
-                .map_or(0, |low| (low.0 as usize).min(records.len()));
-            out.extend_from_slice(&records[from..]);
+            let from = low_water.get(s).copied().unwrap_or(Lsn(0));
+            out.extend_from_slice(records.retained_after(from));
         }
         out
     }
 
-    /// A point-in-time copy of each stream's records, in LSN order.
+    /// A point-in-time copy of each stream's *retained* records, in LSN
+    /// order (checkpoint reclamation may have truncated a prefix).
     /// Diagnostics and tests (the crash-prefix property test inspects
     /// fence positions); not a hot path.
     pub fn records_snapshot(&self) -> Vec<Vec<LogRecord>> {
         self.streams
             .iter()
-            .map(|stream| stream.records.lock().clone())
+            .map(|stream| stream.records.lock().buffered.clone())
             .collect()
     }
 
@@ -1117,8 +1223,11 @@ impl LogManager {
 pub struct StreamStats {
     /// Which stream.
     pub stream: StreamId,
-    /// Records appended so far.
+    /// Records appended so far (full history, including any reclaimed
+    /// prefix).
     pub records: usize,
+    /// Records truncated off the front by checkpoint reclamation.
+    pub reclaimed: u64,
     /// Durable horizon.
     pub flushed_lsn: Lsn,
     /// Flush-group size histogram of this stream's flusher.
@@ -1478,6 +1587,12 @@ mod tests {
         log.append_commit_fences(TxnId(3), &[StreamId(0)]);
         log.append(TxnId(4), insert_record(1, 0, 2, vec![4]));
 
+        // Txns 1–3 are finished (the database calls `forget` when a
+        // transaction commits or aborts); txn 4 is still live.
+        for txn in 1..=3 {
+            log.forget(TxnId(txn));
+        }
+
         log.take_checkpoint();
         let checkpoint = log.checkpoint_snapshot().expect("checkpoint taken");
         assert_eq!(checkpoint.seq_horizon(), 3);
@@ -1494,15 +1609,46 @@ mod tests {
         // Txn 4 is undecided: its record is carried, not lost.
         assert!(checkpoint.pending().iter().any(|r| r.txn == TxnId(4)));
 
+        // Reclamation truncated the folded prefix — everything up to the
+        // cut except live txn 4's record (lsn 8), whose undo chain must
+        // stay walkable. LSNs and totals are unaffected.
+        assert_eq!(log.reclaimed_records(), 7);
+        assert_eq!(log.retained_records(), 1);
+        assert_eq!(log.len(), 8, "len() reports the full appended history");
+        let undo = log.records_for_undo(TxnId(4));
+        assert_eq!(undo.len(), 1, "live undo chain survives reclamation");
+        // Full-log analysis now sees a sequence hole where the prefix was;
+        // recovery must come from the checkpoint instead.
+        assert!(log.committed_changes().is_empty());
+
         // Txn 4 commits after the checkpoint; the checkpoint's carried
         // pending plus the post-low-water tail must yield its insert.
         let (_, fences) = log.append_commit_fences(TxnId(4), &[StreamId(0)]);
         assert_eq!(fences.len(), 1);
+        assert_eq!(fences[0].1, Lsn(9), "LSNs stay dense across reclamation");
         let mut candidates = checkpoint.pending().to_vec();
         candidates.extend(log.records_after(checkpoint.low_water()));
         let delta = LogManager::redo_in_candidates(candidates, checkpoint.seq_horizon());
         assert_eq!(delta.len(), 1);
         assert_eq!(delta[0].txn, TxnId(4));
+    }
+
+    #[test]
+    fn reclamation_can_be_opted_out_for_full_replay_harnesses() {
+        let durability = DurabilityConfig {
+            reclaim_log_at_checkpoint: false,
+            ..DurabilityConfig::default()
+        };
+        let log = LogManager::with_durability(0, durability);
+        log.append(TxnId(1), insert_record(1, 0, 0, vec![1]));
+        log.append_commit_fences(TxnId(1), &[StreamId(0)]);
+        log.forget(TxnId(1));
+        log.take_checkpoint();
+        assert!(log.checkpoint_snapshot().is_some());
+        assert_eq!(log.reclaimed_records(), 0, "opt-out keeps the history");
+        assert_eq!(log.retained_records(), 2);
+        // The full-history replay view is still intact.
+        assert_eq!(log.committed_changes().len(), 1);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod zipf;
 
 pub use fanout::FanoutCounters;
 pub use skewed::SkewedCounters;
-pub use spec::{OutcomeCounts, Workload, WorkloadStats};
+pub use spec::{OutcomeCounts, TxnTypeStats, Workload, WorkloadStats};
 pub use tm1::{Tm1, Tm1Mix};
 pub use tpcb::TpcB;
 pub use tpcc::{Tpcc, TpccMix};

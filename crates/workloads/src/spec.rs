@@ -8,6 +8,7 @@
 //! DORA), so no workload ever writes a transaction body twice.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -15,6 +16,7 @@ use rand::Rng;
 
 use dora_common::prelude::*;
 use dora_core::{DoraEngine, TxnProgram};
+use dora_metrics::LatencyHistogram;
 use dora_storage::Database;
 
 /// A benchmark workload: schema, loader and a transaction mix expressed as
@@ -62,13 +64,43 @@ pub struct OutcomeCounts {
     pub gave_up: u64,
 }
 
+/// One transaction type's full tally: outcomes plus response-time samples
+/// (pg_meter-style per-type reporting — commits, aborts, gave-up, error rate
+/// and mean/p99 response time in one row).
+#[derive(Debug, Default, Clone)]
+pub struct TxnTypeStats {
+    /// Outcome tallies.
+    pub counts: OutcomeCounts,
+    /// Response-time samples for *every* outcome (aborts take time too).
+    pub latency: LatencyHistogram,
+}
+
+impl TxnTypeStats {
+    /// Transactions of this type that ran (any outcome).
+    pub fn total(&self) -> u64 {
+        self.counts.committed + self.counts.aborted + self.counts.gave_up
+    }
+
+    /// Fraction of runs that did not commit (0.0 when the type never fired).
+    pub fn error_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.counts.aborted + self.counts.gave_up) as f64 / total as f64
+        }
+    }
+}
+
 /// Shared counters a workload can use to track per-transaction-type outcomes
 /// (used by the intra-transaction-parallelism and abort-rate experiments).
 /// Retry exhaustion ([`TxnOutcome::GaveUp`]) is tallied separately from
-/// workload aborts so contention-induced failures stay visible.
+/// workload aborts so contention-induced failures stay visible. When the
+/// caller times each transaction, [`record_timed`](Self::record_timed) also
+/// feeds a per-type latency histogram for mean/p99 response-time reporting.
 #[derive(Debug, Default, Clone)]
 pub struct WorkloadStats {
-    inner: Arc<Mutex<std::collections::HashMap<&'static str, OutcomeCounts>>>,
+    inner: Arc<Mutex<std::collections::HashMap<&'static str, TxnTypeStats>>>,
 }
 
 impl WorkloadStats {
@@ -98,7 +130,21 @@ impl WorkloadStats {
             .inner
             .lock()
             .iter()
-            .map(|(label, counts)| (*label, *counts))
+            .map(|(label, stats)| (*label, stats.counts))
+            .collect();
+        rows.sort_unstable_by_key(|(label, _)| *label);
+        rows
+    }
+
+    /// Every registered transaction type with its full per-type statistics
+    /// (outcomes *and* latency), sorted by label — the rows of the
+    /// pg_meter-style summary table.
+    pub fn all_stats(&self) -> Vec<(&'static str, TxnTypeStats)> {
+        let mut rows: Vec<_> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(label, stats)| (*label, stats.clone()))
             .collect();
         rows.sort_unstable_by_key(|(label, _)| *label);
         rows
@@ -109,15 +155,53 @@ impl WorkloadStats {
         let mut inner = self.inner.lock();
         let entry = inner.entry(txn_type).or_default();
         match outcome {
-            TxnOutcome::Committed => entry.committed += 1,
-            TxnOutcome::Aborted => entry.aborted += 1,
-            TxnOutcome::GaveUp => entry.gave_up += 1,
+            TxnOutcome::Committed => entry.counts.committed += 1,
+            TxnOutcome::Aborted => entry.counts.aborted += 1,
+            TxnOutcome::GaveUp => entry.counts.gave_up += 1,
+        }
+    }
+
+    /// Records an outcome *and* its response time for a transaction type.
+    pub fn record_timed(&self, txn_type: &'static str, outcome: TxnOutcome, latency: Duration) {
+        let mut inner = self.inner.lock();
+        let entry = inner.entry(txn_type).or_default();
+        match outcome {
+            TxnOutcome::Committed => entry.counts.committed += 1,
+            TxnOutcome::Aborted => entry.counts.aborted += 1,
+            TxnOutcome::GaveUp => entry.counts.gave_up += 1,
+        }
+        entry.latency.record(latency);
+    }
+
+    /// Merges another recorder's tallies into this one (used to combine
+    /// per-thread recorders after a run).
+    pub fn merge(&self, other: &WorkloadStats) {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return;
+        }
+        let theirs = other.inner.lock();
+        let mut ours = self.inner.lock();
+        for (label, stats) in theirs.iter() {
+            let entry = ours.entry(label).or_default();
+            entry.counts.committed += stats.counts.committed;
+            entry.counts.aborted += stats.counts.aborted;
+            entry.counts.gave_up += stats.counts.gave_up;
+            entry.latency.merge(&stats.latency);
         }
     }
 
     /// The tallies for a transaction type.
     pub fn outcome_counts(&self, txn_type: &'static str) -> OutcomeCounts {
-        self.inner.lock().get(txn_type).copied().unwrap_or_default()
+        self.inner
+            .lock()
+            .get(txn_type)
+            .map(|stats| stats.counts)
+            .unwrap_or_default()
+    }
+
+    /// The full statistics (outcomes and latency) for a transaction type.
+    pub fn type_stats(&self, txn_type: &'static str) -> TxnTypeStats {
+        self.inner.lock().get(txn_type).cloned().unwrap_or_default()
     }
 }
 
@@ -277,6 +361,35 @@ mod tests {
             }
         );
         assert_eq!(stats.outcome_counts("unknown"), OutcomeCounts::default());
+    }
+
+    #[test]
+    fn record_timed_feeds_per_type_latency_and_merge_combines() {
+        let stats = WorkloadStats::new();
+        stats.record_timed("payment", TxnOutcome::Committed, Duration::from_micros(100));
+        stats.record_timed("payment", TxnOutcome::Aborted, Duration::from_micros(300));
+        let row = stats.type_stats("payment");
+        assert_eq!(row.total(), 2);
+        assert_eq!(row.counts.committed, 1);
+        assert_eq!(row.error_rate(), 0.5);
+        assert_eq!(row.latency.count(), 2);
+        assert_eq!(row.latency.mean(), Duration::from_micros(200));
+        // Untimed records still tally outcomes without latency samples.
+        stats.record("payment", TxnOutcome::GaveUp);
+        assert_eq!(stats.type_stats("payment").total(), 3);
+        assert_eq!(stats.type_stats("payment").latency.count(), 2);
+        // Merging a second per-thread recorder combines both dimensions.
+        let other = WorkloadStats::new();
+        other.record_timed("payment", TxnOutcome::Committed, Duration::from_micros(500));
+        other.record_timed("deposit", TxnOutcome::Committed, Duration::from_micros(50));
+        stats.merge(&other);
+        assert_eq!(stats.type_stats("payment").total(), 4);
+        assert_eq!(stats.type_stats("payment").latency.count(), 3);
+        assert_eq!(stats.type_stats("deposit").counts.committed, 1);
+        // Self-merge is a no-op, not a deadlock or a double-count.
+        stats.merge(&stats.clone());
+        assert_eq!(stats.type_stats("payment").total(), 4);
+        assert!(stats.all_stats().windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]

@@ -94,8 +94,11 @@ impl TpcB {
     }
 
     /// Generates the inputs of one transaction: (branch of the teller,
-    /// account branch, account id, teller id, amount).
-    fn inputs(&self, rng: &mut SmallRng) -> (i64, i64, i64, i64, f64) {
+    /// account branch, account id, teller id, amount). Public so external
+    /// drivers (e.g. a serving front-end submitting parameter batches) can
+    /// draw spec-conformant inputs without going through
+    /// [`Workload::next_program`].
+    pub fn inputs(&self, rng: &mut SmallRng) -> (i64, i64, i64, i64, f64) {
         let home_branch = uniform(rng, 1, self.branches);
         let teller = Self::teller_id(home_branch, uniform(rng, 1, TELLERS_PER_BRANCH));
         let account_branch = if self.branches > 1 && chance(rng, self.remote_percent) {

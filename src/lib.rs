@@ -3,5 +3,6 @@ pub use dora_common as common;
 pub use dora_core as dora;
 pub use dora_engine as engine;
 pub use dora_metrics as metrics;
+pub use dora_server as server;
 pub use dora_storage as storage;
 pub use dora_workloads as workloads;

@@ -46,6 +46,10 @@ fn async_elr_config() -> SystemConfig {
         durability: DurabilityConfig {
             group_commit: true,
             early_lock_release: true,
+            // These tests cut arbitrary per-stream prefixes and compare
+            // checkpoint recovery against genuine full-history replay, so
+            // the log must keep every record even after a checkpoint.
+            reclaim_log_at_checkpoint: false,
             ..DurabilityConfig::default()
         }
         .with_log_streams(STREAMS),
