@@ -8,22 +8,25 @@
 //! cargo run -p dora-bench --release --bin repro -- commit --json
 //! cargo run -p dora-bench --release --bin repro -- recover --json
 //! cargo run -p dora-bench --release --bin repro -- saturation --json
+//! cargo run -p dora-bench --release --bin repro -- chaos --json
 //! ```
 //!
 //! Every figure of the evaluation section (and the appendix) has a
 //! subcommand; `fig9` is validated by the integration test
-//! `payment_twelve_steps` instead of a measurement. Five experiments are
+//! `payment_twelve_steps` instead of a measurement. Six experiments are
 //! this reproduction's own: `skew` (adaptive repartitioning under a zipfian
 //! workload), `dispatch` (the executor message path, per-message vs
 //! batched), `commit` (sync vs group commit vs group+ELR durability across
 //! log-stream counts), `recover` (serial vs parallel vs checkpoint
-//! replay over the partitioned WAL) and `saturation` (offered load swept
+//! replay over the partitioned WAL), `saturation` (offered load swept
 //! past saturation through the `dora-server` front-end, admission control
-//! on/off). Each optionally emits a
+//! on/off) and `chaos` (goodput under a seeded deterministic fault
+//! schedule — log-device errors, latency spikes, flusher stalls, executor
+//! panics — with the self-healing paths off vs on). Each optionally emits a
 //! machine-readable summary for CI's bench-smoke artifacts via
 //! `--json[=path]` (defaults `BENCH_skew.json` / `BENCH_dispatch.json` /
-//! `BENCH_commit.json` / `BENCH_recover.json` / `BENCH_saturation.json`;
-//! an explicit path applies
+//! `BENCH_commit.json` / `BENCH_recover.json` / `BENCH_saturation.json` /
+//! `BENCH_chaos.json`; an explicit path applies
 //! when a single JSON-producing experiment is requested, otherwise each
 //! falls back to its default). Reports are printed to stdout; absolute numbers depend on the
 //! host, but the *shapes* the paper reports (who wins, where the baseline
@@ -49,12 +52,19 @@ fn main() {
     // explicit --json=path only applies when exactly one of them runs, so
     // two experiments never clobber one file.
     let json_producers_requested = if run_all {
-        5
+        6
     } else {
-        ["skew", "dispatch", "commit", "recover", "saturation"]
-            .iter()
-            .filter(|name| requested.iter().any(|a| a.as_str() == **name))
-            .count()
+        [
+            "skew",
+            "dispatch",
+            "commit",
+            "recover",
+            "saturation",
+            "chaos",
+        ]
+        .iter()
+        .filter(|name| requested.iter().any(|a| a.as_str() == **name))
+        .count()
     };
     let json_path_for = |default: &str| -> Option<String> {
         if !json_requested {
@@ -110,6 +120,13 @@ fn main() {
             write_json(&path, summary.to_json());
         }
     };
+    let run_chaos = |scale: &Scale| {
+        let (report, summary) = experiments::chaos_with_summary(scale);
+        println!("{report}");
+        if let Some(path) = json_path_for("BENCH_chaos.json") {
+            write_json(&path, summary.to_json());
+        }
+    };
 
     if run_all {
         println!(
@@ -126,6 +143,7 @@ fn main() {
         run_commit(&scale);
         run_recover(&scale);
         run_saturation(&scale);
+        run_chaos(&scale);
         return;
     }
 
@@ -153,6 +171,10 @@ fn main() {
                 run_saturation(&scale);
                 ran_json_producer = true;
             }
+            "chaos" => {
+                run_chaos(&scale);
+                ran_json_producer = true;
+            }
             other => match experiments::by_name(other, &scale) {
                 Some(report) => println!("{report}"),
                 None => unknown.push(other.to_string()),
@@ -161,12 +183,12 @@ fn main() {
     }
     if json_requested && !ran_json_producer {
         eprintln!(
-            "warning: --json ignored — none of skew/dispatch/commit/recover/saturation was requested"
+            "warning: --json ignored — none of skew/dispatch/commit/recover/saturation/chaos was requested"
         );
     }
     if !unknown.is_empty() {
         eprintln!(
-            "unknown experiment(s): {} (valid: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 skew dispatch commit recover saturation all)",
+            "unknown experiment(s): {} (valid: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 skew dispatch commit recover saturation chaos all)",
             unknown.join(", ")
         );
         std::process::exit(2);

@@ -5,7 +5,7 @@
 //! compares to the paper's.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dora_common::config::AdaptiveConfig;
 use dora_common::prelude::*;
@@ -14,8 +14,8 @@ use dora_engine::{
     build_engine, find_peak, BaselineEngine, ClientDriver, DoraExecution, DriverConfig,
     ExecutionEngine,
 };
-use dora_metrics::{CounterKind, LatencyHistogram};
-use dora_server::{AdmissionConfig, Server, ServerConfig, Statement, SubmitOutcome};
+use dora_metrics::{global, CounterKind, LatencyHistogram};
+use dora_server::{AdmissionConfig, RetryPolicy, Server, ServerConfig, Statement, SubmitOutcome};
 use dora_storage::Database;
 use dora_workloads::{Tm1Mix, TpcB, Tpcc, TpccMix, Workload, WorkloadStats};
 use rand::rngs::SmallRng;
@@ -1696,6 +1696,19 @@ fn run_saturation_point(
                                 tally[4] += 1;
                                 None
                             }
+                            // Unreachable in this experiment (no submit
+                            // deadline, no fault injection), but accounted
+                            // so the tally stays exact if the config grows:
+                            // a timed-out submission never ran (like a
+                            // shed), a failed one executed (like an abort).
+                            SubmitOutcome::TimedOut => {
+                                tally[4] += 1;
+                                None
+                            }
+                            SubmitOutcome::Failed => {
+                                tally[2] += 1;
+                                Some(TxnOutcome::Aborted)
+                            }
                         };
                         if let Some(txn_outcome) = txn_outcome {
                             let elapsed = start.elapsed();
@@ -1768,6 +1781,8 @@ fn run_saturation_series(
             dora: DoraConfig::default(),
             admission,
             session_window: 1,
+            submit_deadline: None,
+            retry: RetryPolicy::default(),
         },
     )
     .expect("open server");
@@ -1879,6 +1894,574 @@ pub fn saturation_with_summary(scale: &Scale) -> (Report, SaturationSummary) {
     (report, summary)
 }
 
+/// Seed of every chaos run's fault plan. Fixed so the experiment is
+/// reproducible: re-running `repro chaos` replays the identical per-site
+/// fault schedule (see `FaultPlan`).
+pub const CHAOS_SEED: u64 = 0xC4A0_5D07;
+
+/// The fault knobs of one chaos cell. The log-device error and spike sites
+/// run at `rate`; flusher stalls and executor panics at a quarter of it
+/// (they are per-batch / per-action sites, which fire against far larger
+/// populations). Spike and stall magnitudes are pinned to moderate values
+/// (a few device-write times, not milliseconds) so the measured gap is the
+/// *healing policy* — dead streams vs. retried writes — rather than the
+/// injected latency itself, which taxes healed and unhealed series alike.
+/// `healing` toggles the storage half of self-healing: with it off, the
+/// first failed device write kills its stream for good.
+fn chaos_fault_config(rate: f64, healing: bool) -> FaultConfig {
+    FaultConfig {
+        seed: CHAOS_SEED,
+        device_error_rate: rate,
+        device_spike_rate: rate,
+        device_spike_micros: 100,
+        flusher_stall_rate: rate / 4.0,
+        flusher_stall_micros: 500,
+        executor_panic_rate: rate / 4.0,
+        max_write_retries: if healing { 8 } else { 0 },
+        ..FaultConfig::default()
+    }
+}
+
+/// Storage configuration of one chaos cell: the scale's baseline config
+/// with the WAL sharded (so a single failed stream is a partial outage,
+/// not a total one) and the cell's fault plan installed.
+fn chaos_system_config(scale: &Scale, rate: f64, healing: bool) -> SystemConfig {
+    let streams = scale.log_stream_points.last().copied().unwrap_or(1);
+    SystemConfig {
+        durability: DurabilityConfig::default().with_log_streams(streams),
+        faults: chaos_fault_config(rate, healing),
+        ..scale.system_config()
+    }
+}
+
+/// One measured cell of the `chaos` experiment: a fixed fault rate driven
+/// through the serving front-end, with every submission resolved to exactly
+/// one outcome and the fault-path counters recorded alongside.
+#[derive(Debug, Clone)]
+pub struct ChaosPoint {
+    /// Per-write fault probability of the simulated log device (error and
+    /// spike sites; stalls and panics run at a quarter of this).
+    pub fault_rate: f64,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Submissions during the measured interval.
+    pub submitted: u64,
+    /// ... that committed durably.
+    pub committed: u64,
+    /// ... that aborted (after any server-side retries).
+    pub aborted: u64,
+    /// ... that exhausted the engine's deadlock-retry budget.
+    pub gave_up: u64,
+    /// ... shed by admission control.
+    pub shed: u64,
+    /// ... that expired in the admission queue.
+    pub timed_out: u64,
+    /// ... that committed in memory but lost durability for good (ghost
+    /// commits on a permanently failed log stream — never safe to retry).
+    pub failed: u64,
+    /// Durably committed transactions per second: goodput, not throughput.
+    pub goodput_tps: f64,
+    /// Median response time (µs) of executed submissions, *including* time
+    /// spent in server-side retries and backoff.
+    pub p50_us: u64,
+    /// 99th-percentile response time (µs), same population.
+    pub p99_us: u64,
+    /// Faults the plan injected over the whole run (including warm-up).
+    pub faults_injected: u64,
+    /// Failed device writes the flushers retried (the storage half of
+    /// self-healing at work).
+    pub flush_retries: u64,
+    /// Commit waiters told durability was lost for good.
+    pub durability_lost: u64,
+    /// Injected panics caught and quarantined by executor supervision.
+    pub panics_recovered: u64,
+    /// Stalled-flusher nudges by the log watchdog.
+    pub watchdog_nudges: u64,
+    /// Aborted submissions the sessions re-ran (the serving half of
+    /// self-healing at work).
+    pub txn_retries: u64,
+    /// Post-run consistency: the live database conserves money across
+    /// branches/tellers/accounts, and replaying the surviving log into a
+    /// fresh replica does too (no torn transactions, even mid-chaos).
+    pub consistent: bool,
+}
+
+impl ChaosPoint {
+    /// Fraction of submissions that ended as unrecoverable ghost commits.
+    pub fn failure_rate(&self) -> f64 {
+        self.failed as f64 / self.submitted.max(1) as f64
+    }
+}
+
+/// One system × self-healing series of the `chaos` experiment. The first
+/// point is always the fault-free baseline the retention is computed
+/// against.
+#[derive(Debug, Clone)]
+pub struct ChaosSeries {
+    /// Engine label ("Baseline" / "DORA").
+    pub system: &'static str,
+    /// Whether the self-healing paths were on (flusher write retries,
+    /// server-side abort retries, submit deadline).
+    pub healing: bool,
+    /// One entry per fault rate, in sweep order; `points[0]` is fault-free.
+    pub points: Vec<ChaosPoint>,
+}
+
+impl ChaosSeries {
+    /// Display label ("DORA+healing").
+    pub fn label(&self) -> String {
+        if self.healing {
+            format!("{}+healing", self.system)
+        } else {
+            self.system.to_string()
+        }
+    }
+
+    /// Goodput of the fault-free point.
+    pub fn clean_tps(&self) -> f64 {
+        self.points.first().map(|p| p.goodput_tps).unwrap_or(0.0)
+    }
+
+    /// `point`'s goodput as a fraction of the fault-free goodput — the
+    /// figure of merit: self-healing should hold this near 1.0 at moderate
+    /// fault rates while the unhealed system collapses.
+    pub fn retention(&self, point: &ChaosPoint) -> f64 {
+        point.goodput_tps / self.clean_tps().max(1.0)
+    }
+}
+
+/// Everything the `chaos` experiment measured; serialized to
+/// `BENCH_chaos.json` by the CI bench-smoke job.
+#[derive(Debug, Clone)]
+pub struct ChaosSummary {
+    /// Measured interval length per cell, in milliseconds.
+    pub interval_ms: u64,
+    /// Closed-loop client threads per cell.
+    pub clients: usize,
+    /// TPC-B branches.
+    pub branches: i64,
+    /// Log streams the WAL is sharded into.
+    pub log_streams: usize,
+    /// The fault plan's seed.
+    pub seed: u64,
+    /// Fault rates swept (first entry is the fault-free 0.0).
+    pub fault_points: Vec<f64>,
+    /// Whether two plans built from the same config previewed the identical
+    /// per-site decision schedule (the seeded-determinism guarantee).
+    pub deterministic: bool,
+    /// The four series: {Baseline, DORA} × healing {off, on}.
+    pub series: Vec<ChaosSeries>,
+}
+
+impl ChaosSummary {
+    /// Renders the summary as a small JSON document (hand-rolled like the
+    /// other summaries — every field is a number, a bool or a fixed label).
+    pub fn to_json(&self) -> String {
+        let fault_points = self
+            .fault_points
+            .iter()
+            .map(|r| format!("{r}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let series = self
+            .series
+            .iter()
+            .map(|series| {
+                let points = series
+                    .points
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            concat!(
+                                "        {{\"fault_rate\": {}, \"goodput_tps\": {:.1}, ",
+                                "\"retention\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, ",
+                                "\"submitted\": {}, \"committed\": {}, \"aborted\": {}, ",
+                                "\"gave_up\": {}, \"shed\": {}, \"timed_out\": {}, ",
+                                "\"failed\": {}, \"faults_injected\": {}, ",
+                                "\"flush_retries\": {}, \"durability_lost\": {}, ",
+                                "\"panics_recovered\": {}, \"watchdog_nudges\": {}, ",
+                                "\"txn_retries\": {}, \"consistent\": {}}}"
+                            ),
+                            p.fault_rate,
+                            p.goodput_tps,
+                            series.retention(p),
+                            p.p50_us,
+                            p.p99_us,
+                            p.submitted,
+                            p.committed,
+                            p.aborted,
+                            p.gave_up,
+                            p.shed,
+                            p.timed_out,
+                            p.failed,
+                            p.faults_injected,
+                            p.flush_retries,
+                            p.durability_lost,
+                            p.panics_recovered,
+                            p.watchdog_nudges,
+                            p.txn_retries,
+                            p.consistent,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!(
+                    concat!(
+                        "    {{\"label\": \"{}\", \"system\": \"{}\", ",
+                        "\"healing\": {}, \"clean_tps\": {:.1}, ",
+                        "\"points\": [\n{}\n    ]}}"
+                    ),
+                    series.label(),
+                    series.system,
+                    series.healing,
+                    series.clean_tps(),
+                    points,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            concat!(
+                "{{\n  \"experiment\": \"chaos\",\n  \"interval_ms\": {},\n",
+                "  \"clients\": {},\n  \"branches\": {},\n",
+                "  \"log_streams\": {},\n  \"seed\": {},\n",
+                "  \"deterministic\": {},\n  \"fault_points\": [{}],\n",
+                "  \"series\": [\n{}\n  ]\n}}\n"
+            ),
+            self.interval_ms,
+            self.clients,
+            self.branches,
+            self.log_streams,
+            self.seed,
+            self.deterministic,
+            fault_points,
+            series
+        )
+    }
+}
+
+/// Sums one balance column of a TPC-B table.
+fn chaos_balance_total(db: &Database, table: &str, column: usize) -> f64 {
+    let id = db.table_id(table).expect("tpcb table");
+    let txn = db.begin();
+    let mut total = 0.0;
+    db.scan_table(&txn, id, CcMode::Full, |_, row| {
+        total += row[column].as_float().unwrap_or(0.0);
+    })
+    .expect("scan tpcb table");
+    db.commit(&txn).expect("read-only commit");
+    total
+}
+
+/// TPC-B money conservation: every transaction applies the same delta to
+/// one branch, one teller and one account, so the three totals agree iff
+/// no transaction was torn.
+fn chaos_balances_agree(db: &Database) -> bool {
+    let branches = chaos_balance_total(db, "branch", 1);
+    let tellers = chaos_balance_total(db, "teller", 2);
+    let accounts = chaos_balance_total(db, "account", 2);
+    (branches - tellers).abs() < 1e-6 && (tellers - accounts).abs() < 1e-6
+}
+
+/// Post-run consistency of one chaos cell: the live database conserves
+/// money (panic-quarantined and aborted transactions rolled back fully),
+/// and replaying whatever survived in the log into a fresh replica does
+/// too — even when chaos permanently failed a stream mid-run, recovery
+/// must reconstruct a consistent (possibly shorter) history.
+fn chaos_consistency_check(db: &Database, scale: &Scale) -> bool {
+    if !chaos_balances_agree(db) {
+        return false;
+    }
+    let replica = Database::new(chaos_system_config(scale, 0.0, true));
+    let tpcb = scale.tpcb();
+    if tpcb.create_schema(&replica).is_err() || tpcb.load(&replica).is_err() {
+        return false;
+    }
+    if db.recover_into(&replica).is_err() {
+        return false;
+    }
+    chaos_balances_agree(&replica)
+}
+
+/// Runs one chaos cell: `clients` closed-loop threads submitting TPC-B
+/// through the serving front-end while the cell's fault plan injects
+/// device errors, latency spikes, flusher stalls and executor panics.
+fn run_chaos_point(
+    scale: &Scale,
+    system: SystemUnderTest,
+    healing: bool,
+    rate: f64,
+    stats: &WorkloadStats,
+) -> ChaosPoint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let db = Database::new(chaos_system_config(scale, rate, healing));
+    let tpcb = scale.tpcb();
+    tpcb.setup(&db).expect("setup TPC-B");
+    let workload = Arc::new(tpcb);
+
+    let mut config = ServerConfig {
+        engine: system,
+        executors_per_table: scale.executors_per_table,
+        dora: DoraConfig::default(),
+        admission: Some(AdmissionConfig::for_slots(scale.hardware_contexts)),
+        session_window: 1,
+        submit_deadline: None,
+        retry: RetryPolicy::default(),
+    };
+    if healing {
+        // The serving half of self-healing: bounded retries of aborted
+        // submissions (with jittered backoff) under a per-submit deadline.
+        config.submit_deadline = Some(Duration::from_millis(50));
+        config.retry = RetryPolicy::retries(3);
+    }
+    let server = Server::open(
+        Arc::clone(&db),
+        Arc::clone(&workload) as Arc<dyn Workload>,
+        config,
+    )
+    .expect("open server");
+    let spec = Arc::clone(&workload);
+    let statement = server.prepare_template(TpcB::ACCOUNT_UPDATE, move |db, params| {
+        match params.as_slice() {
+            [Value::Int(branch), Value::Int(account), Value::Int(teller), Value::Float(amount)] => {
+                spec.account_update_program(db, *branch, *account, *teller, *amount)
+            }
+            _ => Err(DbError::InvalidOperation(
+                "tpcb binding: [branch, account, teller, amount]".to_string(),
+            )),
+        }
+    });
+    let server = Arc::new(server);
+
+    let clients = scale.clients_for(100.0);
+    let recording = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    // Counter deltas cover the whole run (warm-up included): they diagnose
+    // the fault paths, while the tallies below measure the recorded window.
+    let before = global().snapshot();
+
+    let handles: Vec<_> = (0..clients)
+        .map(|client| {
+            let server = Arc::clone(&server);
+            let statement = statement.clone();
+            let workload = Arc::clone(&workload);
+            let recording = Arc::clone(&recording);
+            let stop = Arc::clone(&stop);
+            let stats = stats.clone();
+            std::thread::spawn(move || {
+                let session = server.session_with_window(1);
+                let mut rng = SmallRng::seed_from_u64(0xC4A05 + client as u64 * 6151);
+                // submitted, committed, aborted, gave-up, shed, timed-out,
+                // failed — exactly the SubmitOutcome buckets.
+                let mut tally = [0u64; 7];
+                let mut latency = LatencyHistogram::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let (home_branch, _, account, teller, amount) = workload.inputs(&mut rng);
+                    let params = vec![
+                        Value::Int(home_branch),
+                        Value::Int(account),
+                        Value::Int(teller),
+                        Value::Float(amount),
+                    ];
+                    let start = Instant::now();
+                    let outcome = session.execute_with(&statement, &params);
+                    if recording.load(Ordering::Relaxed) {
+                        tally[0] += 1;
+                        let txn_outcome = match outcome {
+                            SubmitOutcome::Committed => {
+                                tally[1] += 1;
+                                Some(TxnOutcome::Committed)
+                            }
+                            SubmitOutcome::Aborted => {
+                                tally[2] += 1;
+                                Some(TxnOutcome::Aborted)
+                            }
+                            SubmitOutcome::GaveUp => {
+                                tally[3] += 1;
+                                Some(TxnOutcome::GaveUp)
+                            }
+                            SubmitOutcome::Shed => {
+                                tally[4] += 1;
+                                None
+                            }
+                            SubmitOutcome::TimedOut => {
+                                tally[5] += 1;
+                                None
+                            }
+                            // Executed but not durable; for the per-type
+                            // stats it counts as an abort (the response
+                            // time is real), the tally keeps it distinct.
+                            SubmitOutcome::Failed => {
+                                tally[6] += 1;
+                                Some(TxnOutcome::Aborted)
+                            }
+                        };
+                        if let Some(txn_outcome) = txn_outcome {
+                            let elapsed = start.elapsed();
+                            latency.record(elapsed);
+                            stats.record_timed(TpcB::ACCOUNT_UPDATE, txn_outcome, elapsed);
+                        }
+                    }
+                    if outcome == SubmitOutcome::Shed {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+                (tally, latency)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(scale.warmup);
+    recording.store(true, Ordering::Relaxed);
+    let started = Instant::now();
+    std::thread::sleep(scale.duration);
+    recording.store(false, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+
+    let mut totals = [0u64; 7];
+    let mut latency = LatencyHistogram::new();
+    for handle in handles {
+        let (tally, client_latency) = handle.join().expect("chaos client");
+        for (total, count) in totals.iter_mut().zip(tally) {
+            *total += count;
+        }
+        latency.merge(&client_latency);
+    }
+    server.close();
+    let delta = global().snapshot().since(&before);
+    let consistent = chaos_consistency_check(&db, scale);
+
+    ChaosPoint {
+        fault_rate: rate,
+        clients,
+        submitted: totals[0],
+        committed: totals[1],
+        aborted: totals[2],
+        gave_up: totals[3],
+        shed: totals[4],
+        timed_out: totals[5],
+        failed: totals[6],
+        goodput_tps: totals[1] as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: latency.percentile(0.50).as_micros() as u64,
+        p99_us: latency.percentile(0.99).as_micros() as u64,
+        faults_injected: delta.counter(CounterKind::FaultsInjected),
+        flush_retries: delta.counter(CounterKind::FlushRetries),
+        durability_lost: delta.counter(CounterKind::DurabilityLost),
+        panics_recovered: delta.counter(CounterKind::ExecutorPanicsRecovered),
+        watchdog_nudges: delta.counter(CounterKind::WatchdogNudges),
+        txn_retries: delta.counter(CounterKind::TxnRetried),
+        consistent,
+    }
+}
+
+/// The chaos experiment: TPC-B through the serving front-end while a
+/// seeded fault plan injects log-device errors, latency spikes, flusher
+/// stalls and executor panics, for {Baseline, DORA} × self-healing
+/// {off, on}. With healing off, the first failed device write kills its
+/// log stream and aborted work is never re-offered; with healing on, the
+/// flushers retry with capped backoff, supervision quarantines panicked
+/// transactions, and sessions retry aborts under a submit deadline —
+/// goodput should hold near the fault-free level at moderate fault rates
+/// where the unhealed system visibly degrades.
+pub fn chaos(scale: &Scale) -> Report {
+    chaos_with_summary(scale).0
+}
+
+/// [`chaos`], also returning the machine-readable summary.
+pub fn chaos_with_summary(scale: &Scale) -> (Report, ChaosSummary) {
+    // The seeded-determinism guarantee, checked live: two plans built from
+    // the same config must preview the identical decision sequence at every
+    // site. (Which *operation* consumes decision k depends on thread
+    // interleaving; what decision k *is* does not.)
+    let probe = chaos_fault_config(0.05, true);
+    let (a, b) = (FaultPlan::new(probe.clone()), FaultPlan::new(probe));
+    let deterministic = FaultSite::ALL
+        .iter()
+        .all(|&site| a.schedule(site, 4096) == b.schedule(site, 4096));
+
+    let mut fault_points = vec![0.0];
+    fault_points.extend(scale.chaos_fault_points());
+    let stats = WorkloadStats::new();
+    let mut series = Vec::new();
+    for system in SystemUnderTest::ALL {
+        for healing in [false, true] {
+            let points = fault_points
+                .iter()
+                .map(|&rate| run_chaos_point(scale, system, healing, rate, &stats))
+                .collect();
+            series.push(ChaosSeries {
+                system: system.label(),
+                healing,
+                points,
+            });
+        }
+    }
+    let summary = ChaosSummary {
+        interval_ms: scale.duration.as_millis() as u64,
+        clients: scale.clients_for(100.0),
+        branches: scale.tpcb_branches,
+        log_streams: scale.log_stream_points.last().copied().unwrap_or(1),
+        seed: CHAOS_SEED,
+        fault_points,
+        deterministic,
+        series,
+    };
+
+    let mut report = Report::new(
+        "Chaos: goodput under injected faults, self-healing on/off (TPC-B via dora-server)",
+    );
+    report.line(format!(
+        "  {} clients, {} log streams, fault seed {:#x}, {} ms per cell",
+        summary.clients, summary.log_streams, summary.seed, summary.interval_ms
+    ));
+    report.kv(
+        "deterministic schedule",
+        if summary.deterministic { "yes" } else { "NO" },
+    );
+    report.blank();
+    for series in &summary.series {
+        report.line(format!("{}:", series.label()));
+        report.line(format!(
+            "  {:>8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}",
+            "rate",
+            "tps",
+            "retain",
+            "p99(us)",
+            "failed",
+            "t-out",
+            "retried",
+            "faults",
+            "panics",
+            "ok"
+        ));
+        for point in &series.points {
+            report.line(format!(
+                "  {:>8.3} {:>10.0} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}",
+                point.fault_rate,
+                point.goodput_tps,
+                pct(series.retention(point)),
+                point.p99_us,
+                point.failed,
+                point.timed_out,
+                point.txn_retries,
+                point.faults_injected,
+                point.panics_recovered,
+                if point.consistent { "yes" } else { "NO" },
+            ));
+        }
+        report.blank();
+    }
+    report.line("  per-transaction-type summary (all series, executed submissions):");
+    txn_stats_table(&mut report, &stats);
+    report.blank();
+    report.line("  (retain = goodput vs the series' own fault-free cell; failed =");
+    report.line("   ghost commits on a dead log stream; ok = live state and log");
+    report.line("   replay both conserve money after the run)");
+    (report, summary)
+}
+
 /// Runs every paper figure at the given scale, returning the reports.
 /// The `skew` experiment is not included — run it through
 /// [`skew_with_summary`] so its report and machine-readable summary come
@@ -1899,7 +2482,7 @@ pub fn figures(scale: &Scale) -> Vec<Report> {
 }
 
 /// Runs every experiment (paper figures plus `skew`, `dispatch`, `commit`,
-/// `recover` and `saturation`) at the given scale.
+/// `recover`, `saturation` and `chaos`) at the given scale.
 pub fn all(scale: &Scale) -> Vec<Report> {
     let mut reports = figures(scale);
     reports.push(skew(scale));
@@ -1907,6 +2490,7 @@ pub fn all(scale: &Scale) -> Vec<Report> {
     reports.push(commit(scale));
     reports.push(recover(scale));
     reports.push(saturation(scale));
+    reports.push(chaos(scale));
     reports
 }
 
@@ -1930,6 +2514,7 @@ pub fn by_name(name: &str, scale: &Scale) -> Option<Report> {
         "commit" => Some(commit(scale)),
         "recover" => Some(recover(scale)),
         "saturation" => Some(saturation(scale)),
+        "chaos" => Some(chaos(scale)),
         _ => None,
     }
 }
@@ -2020,6 +2605,132 @@ mod tests {
         assert!(json.contains("\"experiment\": \"saturation\""), "{json}");
         assert!(json.contains("\"admission\": true"), "{json}");
         assert!(json.contains("\"shed_rate\""), "{json}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_runs_all_series_and_accounts_exactly() {
+        dora_common::silence_injected_panics();
+        let scale = micro_scale();
+        let (report, summary) = chaos_with_summary(&scale);
+        let text = report.render();
+        assert!(text.contains("Baseline"), "{text}");
+        assert!(text.contains("DORA+healing"), "{text}");
+
+        assert!(summary.deterministic, "seeded schedules must reproduce");
+        assert_eq!(summary.series.len(), 4, "{{Baseline, DORA}} x {{off, on}}");
+        for series in &summary.series {
+            assert_eq!(series.points.len(), summary.fault_points.len());
+            for point in &series.points {
+                assert_eq!(
+                    point.submitted,
+                    point.committed
+                        + point.aborted
+                        + point.gave_up
+                        + point.shed
+                        + point.timed_out
+                        + point.failed,
+                    "{}: accounting must be exact",
+                    series.label()
+                );
+                assert!(
+                    point.consistent,
+                    "{}@{}: post-run state or recovery inconsistent",
+                    series.label(),
+                    point.fault_rate
+                );
+            }
+            let clean = &series.points[0];
+            assert_eq!(clean.faults_injected, 0, "rate 0 must draw nothing");
+            assert_eq!(clean.failed, 0);
+            assert!(
+                clean.committed > 0,
+                "{}: fault-free cell idle",
+                series.label()
+            );
+        }
+
+        let json = summary.to_json();
+        assert!(json.contains("\"experiment\": \"chaos\""), "{json}");
+        assert!(json.contains("\"healing\": true"), "{json}");
+        assert!(json.contains("\"flush_retries\""), "{json}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_summary_renders_valid_json_shape() {
+        let point = ChaosPoint {
+            fault_rate: 0.02,
+            clients: 4,
+            submitted: 100,
+            committed: 90,
+            aborted: 5,
+            gave_up: 1,
+            shed: 2,
+            timed_out: 1,
+            failed: 1,
+            goodput_tps: 900.0,
+            p50_us: 120,
+            p99_us: 900,
+            faults_injected: 40,
+            flush_retries: 12,
+            durability_lost: 1,
+            panics_recovered: 3,
+            watchdog_nudges: 0,
+            txn_retries: 7,
+            consistent: true,
+        };
+        let clean = ChaosPoint {
+            fault_rate: 0.0,
+            submitted: 110,
+            committed: 100,
+            aborted: 6,
+            gave_up: 1,
+            shed: 3,
+            timed_out: 0,
+            failed: 0,
+            goodput_tps: 1000.0,
+            faults_injected: 0,
+            flush_retries: 0,
+            durability_lost: 0,
+            panics_recovered: 0,
+            txn_retries: 0,
+            ..point.clone()
+        };
+        let summary = ChaosSummary {
+            interval_ms: 80,
+            clients: 4,
+            branches: 2,
+            log_streams: 2,
+            seed: CHAOS_SEED,
+            fault_points: vec![0.0, 0.02],
+            deterministic: true,
+            series: vec![ChaosSeries {
+                system: "DORA",
+                healing: true,
+                points: vec![clean, point],
+            }],
+        };
+        assert!((summary.series[0].retention(&summary.series[0].points[1]) - 0.9).abs() < 1e-9);
+        let json = summary.to_json();
+        assert!(json.contains("\"experiment\": \"chaos\""), "{json}");
+        assert!(json.contains("\"label\": \"DORA+healing\""), "{json}");
+        assert!(json.contains("\"deterministic\": true"), "{json}");
+        assert!(json.contains("\"retention\": 0.900"), "{json}");
+        assert!(json.contains("\"fault_points\": [0,0.02]"), "{json}");
+        assert!(json.contains("\"watchdog_nudges\": 0"), "{json}");
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(
                 json.matches(open).count(),

@@ -177,6 +177,16 @@ impl Scale {
         dora_workloads::FanoutCounters::new(self.fanout_keys, self.fanout_actions)
     }
 
+    /// Fault rates swept by the `chaos` experiment: a moderate rate where
+    /// the self-healing paths should hold goodput near the fault-free
+    /// level, and a harsher one where even the healed system visibly pays.
+    /// The fault-free 0.0 every series is normalized against is prepended
+    /// by the experiment itself. Rates are probabilities, so the points
+    /// are scale-independent.
+    pub fn chaos_fault_points(&self) -> Vec<f64> {
+        vec![0.02, 0.08]
+    }
+
     /// Simulated log-device latencies (µs) the `commit` durability
     /// experiment sweeps: the scale's own flush latency and a 4× slower
     /// device, where group commit matters proportionally more. Clamped away

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::fault::FaultConfig;
+
 /// Which execution architecture a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
@@ -86,6 +88,9 @@ pub struct SystemConfig {
     pub max_retries: usize,
     /// Commit-path durability knobs: group commit and early lock release.
     pub durability: DurabilityConfig,
+    /// Deterministic fault-injection knobs (inert by default): transient log
+    /// device errors, latency spikes, flusher stalls and executor panics.
+    pub faults: FaultConfig,
 }
 
 impl Default for SystemConfig {
@@ -100,6 +105,7 @@ impl Default for SystemConfig {
             deadlock_detection: true,
             max_retries: 10,
             durability: DurabilityConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 }

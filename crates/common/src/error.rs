@@ -39,6 +39,12 @@ pub enum DbError {
     InvalidOperation(String),
     /// The engine is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The transaction's commit record can never become durable: its log
+    /// stream's device writes failed past the retry budget. With early lock
+    /// release the transaction's effects may already be applied in memory
+    /// (a "ghost commit"), so this is **not** retryable — re-running it
+    /// could apply it twice.
+    DurabilityLost,
 }
 
 impl DbError {
@@ -67,6 +73,9 @@ impl fmt::Display for DbError {
             DbError::PageFull { table } => write!(f, "no space left in heap of {table}"),
             DbError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
             DbError::ShuttingDown => write!(f, "engine is shutting down"),
+            DbError::DurabilityLost => {
+                write!(f, "durability lost: log stream failed past retry budget")
+            }
         }
     }
 }
@@ -87,6 +96,10 @@ mod tests {
         .is_retryable());
         assert!(!DbError::Corruption("x".into()).is_retryable());
         assert!(!DbError::ShuttingDown.is_retryable());
+        assert!(
+            !DbError::DurabilityLost.is_retryable(),
+            "a ghost commit must never be re-run"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod key;
 pub mod outcome;
@@ -19,6 +20,7 @@ pub mod value;
 
 pub use config::{AdaptiveConfig, CcMode, DurabilityConfig, EngineKind, SystemConfig};
 pub use error::{DbError, DbResult};
+pub use fault::{silence_injected_panics, FaultConfig, FaultPlan, FaultSite, InjectedPanic};
 pub use ids::{IndexId, PageId, Rid, SlotId, TableId, TxnId};
 pub use key::{Key, KeyRange};
 pub use outcome::{BaselineOutcome, TxnOutcome};
@@ -28,6 +30,9 @@ pub use value::{Row, Value, ValueType};
 pub mod prelude {
     pub use crate::config::{AdaptiveConfig, CcMode, DurabilityConfig, EngineKind, SystemConfig};
     pub use crate::error::{DbError, DbResult};
+    pub use crate::fault::{
+        silence_injected_panics, FaultConfig, FaultPlan, FaultSite, InjectedPanic,
+    };
     pub use crate::ids::{IndexId, PageId, Rid, SlotId, TableId, TxnId};
     pub use crate::key::{Key, KeyRange};
     pub use crate::outcome::{BaselineOutcome, TxnOutcome};

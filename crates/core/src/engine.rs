@@ -307,11 +307,19 @@ impl EngineInner {
                 }
                 let engine = Arc::clone(self);
                 let txn2 = Arc::clone(txn);
-                self.db.commit_async(&txn.handle, handle, move || {
+                self.db.commit_async(&txn.handle, handle, move |durable| {
                     if !early_released {
                         engine.commit_fanout(&txn2);
                     }
-                    txn2.completion.finish(Ok(()));
+                    // A commit whose log stream died past its retry budget
+                    // was applied in memory (ghost commit) but never
+                    // hardened; the client must hear the distinct,
+                    // non-retryable outcome.
+                    txn2.completion.finish(if durable {
+                        Ok(())
+                    } else {
+                        Err(DbError::DurabilityLost)
+                    });
                 });
             }
         }
@@ -808,6 +816,55 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(row[1], Value::Int(0));
+        db.commit(&check).unwrap();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn panicking_action_aborts_its_txn_but_the_executor_survives() {
+        silence_injected_panics();
+        let (db, table) = counters_db();
+        let engine = DoraEngine::new(Arc::clone(&db), DoraConfig::for_tests());
+        engine.bind_table(table, 2, 1, 100).unwrap();
+
+        let mut graph = FlowGraph::new();
+        graph.push(ActionSpec::new(
+            "bump",
+            table,
+            Key::int(3),
+            LocalMode::Exclusive,
+            move |ctx| {
+                ctx.db
+                    .update_primary(ctx.txn, table, &Key::int(3), CcMode::None, |row| {
+                        row[1] = Value::Int(99);
+                        Ok(())
+                    })
+            },
+        ));
+        graph.push(ActionSpec::new(
+            "boom",
+            table,
+            Key::int(80),
+            LocalMode::Exclusive,
+            move |_ctx| std::panic::panic_any(InjectedPanic),
+        ));
+        let result = engine.execute(graph);
+        assert!(
+            result.is_err(),
+            "a panicked transaction aborts, never hangs"
+        );
+
+        // Supervision quarantined only that transaction: both executors keep
+        // serving (including the one that caught the panic), local locks on
+        // keys 3 and 80 were released, and the partial update rolled back.
+        engine.execute(bump_graph(table, 80)).unwrap();
+        engine.execute(bump_graph(table, 3)).unwrap();
+        let check = db.begin();
+        let (_, row) = db
+            .probe_primary(&check, table, &Key::int(3), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
+        assert_eq!(row[1], Value::Int(1), "rolled back, then one clean bump");
         db.commit(&check).unwrap();
         engine.shutdown();
     }

@@ -317,18 +317,36 @@ impl ExecutorWorker {
         }
     }
 
+    /// Executes an action body under supervision: a panic — injected by the
+    /// chaos plan or a genuine bug — aborts and quarantines the owning
+    /// transaction (undo via its log chain, local locks released, its RVP
+    /// still reported) instead of killing the executor thread. The executor
+    /// returns to its inbox either way.
     fn execute(&mut self, mut action: Action) {
         let body = action.body.take().expect("action body executed once");
-        let result = {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let faults = self.engine.db().faults();
+            if faults.enabled() && faults.should_inject(FaultSite::ExecutorPanic) {
+                incr(CounterKind::FaultsInjected);
+                std::panic::panic_any(InjectedPanic);
+            }
             let context = ActionContext {
                 db: self.engine.db(),
                 txn: &action.txn.handle,
                 scratch: &action.txn.scratch,
             };
             body(&context)
-        };
-        if let Err(error) = result {
-            action.txn.mark_aborted(error);
+        }));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(error)) => action.txn.mark_aborted(error),
+            Err(_payload) => {
+                incr(CounterKind::ExecutorPanicsRecovered);
+                action.txn.mark_aborted(DbError::TxnAborted {
+                    txn: action.txn.id(),
+                    reason: "action panicked; quarantined by executor supervision".into(),
+                });
+            }
         }
         self.finish_action(&action.txn, action.phase);
     }

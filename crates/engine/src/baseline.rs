@@ -79,7 +79,26 @@ impl BaselineEngine {
     {
         for _attempt in 0..=self.max_retries {
             let txn = self.db.begin();
-            match body(&self.db, &txn) {
+            // Worker supervision, symmetric to the DORA executors': a panic
+            // in the transaction body — injected by the chaos plan or a
+            // genuine bug — aborts this transaction instead of killing the
+            // worker thread.
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let faults = self.db.faults();
+                if faults.enabled() && faults.should_inject(FaultSite::ExecutorPanic) {
+                    incr(CounterKind::FaultsInjected);
+                    std::panic::panic_any(InjectedPanic);
+                }
+                body(&self.db, &txn)
+            }))
+            .unwrap_or_else(|_payload| {
+                incr(CounterKind::ExecutorPanicsRecovered);
+                Err(DbError::TxnAborted {
+                    txn: txn.id(),
+                    reason: "transaction body panicked; quarantined by worker supervision".into(),
+                })
+            });
+            match attempt {
                 Ok(()) => {
                     self.db.commit(&txn)?;
                     return Ok(BaselineOutcome::Committed);
@@ -226,6 +245,34 @@ mod tests {
             .unwrap();
         assert_eq!(row[1], Value::Int(threads * per_thread));
         db.commit(&check).unwrap();
+    }
+
+    #[test]
+    fn panicking_body_is_quarantined_and_the_worker_survives() {
+        silence_injected_panics();
+        let (db, table) = db_with_counter();
+        let engine = BaselineEngine::new(Arc::clone(&db));
+        let outcome = engine
+            .execute(|db, txn| {
+                db.update_primary(txn, table, &Key::int(1), CcMode::Full, |row| {
+                    row[1] = Value::Int(42);
+                    Ok(())
+                })?;
+                std::panic::panic_any(InjectedPanic)
+            })
+            .unwrap();
+        assert_eq!(outcome, BaselineOutcome::Aborted);
+        // The partial update rolled back and the same engine keeps serving.
+        let check = engine
+            .execute(|db, txn| {
+                let (_, row) = db
+                    .probe_primary(txn, table, &Key::int(1), false, CcMode::Full)?
+                    .expect("row 1 exists");
+                assert_eq!(row[1], Value::Int(0), "panicked change must roll back");
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(check, BaselineOutcome::Committed);
     }
 
     #[test]

@@ -75,17 +75,38 @@ pub trait ExecutionEngine: Send + Sync {
         Ok(program.prepare())
     }
 
-    /// Executes one instance of a prepared program on this architecture.
-    /// Unlike [`execute_one`](Self::execute_one) this needs no bound
-    /// workload: the program *is* the work.
-    fn execute_prepared(&self, prepared: &PreparedProgram) -> TxnOutcome;
+    /// Executes one instance of a prepared program, surfacing the terminal
+    /// error instead of folding every failure into an outcome. The serving
+    /// front-end uses this to tell a retryable abort apart from a
+    /// non-retryable failure such as [`DbError::DurabilityLost`] (a ghost
+    /// commit must never be re-run). Unlike [`execute_one`](Self::execute_one)
+    /// this needs no bound workload: the program *is* the work.
+    fn execute_prepared_checked(&self, prepared: &PreparedProgram) -> DbResult<TxnOutcome>;
+
+    /// Outcome-folding convenience over
+    /// [`execute_prepared_checked`](Self::execute_prepared_checked): every
+    /// error becomes `Aborted`. Kept for callers that never need to
+    /// distinguish failure modes (the load driver, the equivalence tests).
+    fn execute_prepared(&self, prepared: &PreparedProgram) -> TxnOutcome {
+        match self.execute_prepared_checked(prepared) {
+            Ok(outcome) => outcome,
+            Err(_) => TxnOutcome::Aborted,
+        }
+    }
+
+    /// Checked compile-per-call path: prepares `program` and executes it
+    /// once, surfacing terminal errors like the prepared variant.
+    fn execute_program_checked(&self, program: TxnProgram) -> DbResult<TxnOutcome> {
+        let prepared = self.prepare(program)?;
+        self.execute_prepared_checked(&prepared)
+    }
 
     /// Compile-per-call convenience: prepares `program` and executes it
     /// once. Source-compatible with the pre-prepared-handle API; hot paths
     /// should [`prepare`](Self::prepare) once instead.
     fn execute_program(&self, program: TxnProgram) -> TxnOutcome {
-        match self.prepare(program) {
-            Ok(prepared) => self.execute_prepared(&prepared),
+        match self.execute_program_checked(program) {
+            Ok(outcome) => outcome,
             Err(_) => TxnOutcome::Aborted,
         }
     }
@@ -148,11 +169,8 @@ impl ExecutionEngine for BaselineEngine {
         outcome
     }
 
-    fn execute_prepared(&self, prepared: &PreparedProgram) -> TxnOutcome {
-        match BaselineEngine::execute_prepared(self, prepared) {
-            Ok(outcome) => outcome.into(),
-            Err(_) => TxnOutcome::Aborted,
-        }
+    fn execute_prepared_checked(&self, prepared: &PreparedProgram) -> DbResult<TxnOutcome> {
+        BaselineEngine::execute_prepared(self, prepared).map(TxnOutcome::from)
     }
 }
 
@@ -255,13 +273,12 @@ impl ExecutionEngine for DoraExecution {
         outcome
     }
 
-    fn execute_prepared(&self, prepared: &PreparedProgram) -> TxnOutcome {
+    fn execute_prepared_checked(&self, prepared: &PreparedProgram) -> DbResult<TxnOutcome> {
         // The prepared handle re-materializes only the per-instance action
         // shells; the step bodies are shared behind the handle's `Arc`.
-        match self.engine.execute(prepared.flow_graph()) {
-            Ok(()) => TxnOutcome::Committed,
-            Err(_) => TxnOutcome::Aborted,
-        }
+        self.engine
+            .execute(prepared.flow_graph())
+            .map(|()| TxnOutcome::Committed)
     }
 
     fn shutdown(&self) {
@@ -374,6 +391,36 @@ mod tests {
                 row.latency.count(),
                 10,
                 "{}: every run timed",
+                engine.name()
+            );
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn checked_execution_surfaces_outcomes_for_every_engine() {
+        for kind in EngineKind::ALL {
+            let db = Database::for_tests();
+            let workload = TpcB::with_accounts(2, 20);
+            workload.setup(&db).unwrap();
+            let engine = build_engine_with(kind, Arc::clone(&db), DoraConfig::for_tests());
+            let arc_workload: Arc<dyn Workload> = Arc::new(TpcB::with_accounts(2, 20));
+            engine.bind(arc_workload, 2).unwrap();
+            let program = workload.account_update_program(&db, 1, 1, 1, 10.0).unwrap();
+            let prepared = engine.prepare(program).unwrap();
+            assert_eq!(
+                engine.execute_prepared_checked(&prepared).unwrap(),
+                TxnOutcome::Committed,
+                "{}: checked prepared path",
+                engine.name()
+            );
+            let once = workload
+                .account_update_program(&db, 1, 2, 11, -5.0)
+                .unwrap();
+            assert_eq!(
+                engine.execute_program_checked(once).unwrap(),
+                TxnOutcome::Committed,
+                "{}: checked compile-per-call path",
                 engine.name()
             );
             engine.shutdown();

@@ -92,10 +92,32 @@ pub enum CounterKind {
     TxnQueued = 25,
     /// Client sessions opened against a serving front-end.
     SessionsOpened = 26,
+    /// Faults fired by the deterministic injector (all sites: device write
+    /// errors, latency spikes, flusher stalls, executor panics).
+    FaultsInjected = 27,
+    /// Log-device writes retried by a flusher after a transient failure
+    /// (the self-healing capped-backoff path).
+    FlushRetries = 28,
+    /// Commits whose durability was lost for good: their log stream's
+    /// device writes failed past the retry budget. With early lock release
+    /// these are ghost commits — applied in memory, never durable.
+    DurabilityLost = 29,
+    /// Executor-thread panics caught by supervision: the owning transaction
+    /// was aborted and quarantined while the executor kept draining.
+    ExecutorPanicsRecovered = 30,
+    /// Submissions that exceeded their admission deadline while queued.
+    TxnTimedOut = 31,
+    /// Aborted submissions re-run by the serving front-end's retry policy.
+    TxnRetried = 32,
+    /// Durability-callback panics swallowed (and survived) by a log flusher.
+    CallbackPanics = 33,
+    /// Stalled-flusher nudges issued by the log watchdog after it observed a
+    /// stream's flush horizon stop advancing with work pending.
+    WatchdogNudges = 34,
 }
 
 /// Number of [`CounterKind`] variants; sizes the per-thread arrays.
-pub const COUNTER_KIND_COUNT: usize = 27;
+pub const COUNTER_KIND_COUNT: usize = 35;
 
 /// All counters, in `repr` order.
 pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
@@ -126,6 +148,14 @@ pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
     CounterKind::TxnShed,
     CounterKind::TxnQueued,
     CounterKind::SessionsOpened,
+    CounterKind::FaultsInjected,
+    CounterKind::FlushRetries,
+    CounterKind::DurabilityLost,
+    CounterKind::ExecutorPanicsRecovered,
+    CounterKind::TxnTimedOut,
+    CounterKind::TxnRetried,
+    CounterKind::CallbackPanics,
+    CounterKind::WatchdogNudges,
 ];
 
 impl CounterKind {
@@ -164,6 +194,14 @@ impl CounterKind {
             CounterKind::TxnShed => "txn-shed",
             CounterKind::TxnQueued => "txn-queued",
             CounterKind::SessionsOpened => "sessions-opened",
+            CounterKind::FaultsInjected => "faults-injected",
+            CounterKind::FlushRetries => "flush-retries",
+            CounterKind::DurabilityLost => "durability-lost",
+            CounterKind::ExecutorPanicsRecovered => "executor-panics-recovered",
+            CounterKind::TxnTimedOut => "txn-timed-out",
+            CounterKind::TxnRetried => "txn-retried",
+            CounterKind::CallbackPanics => "callback-panics",
+            CounterKind::WatchdogNudges => "watchdog-nudges",
         }
     }
 }

@@ -17,6 +17,8 @@
 //! stays valid for the next queued arrival (it represents a genuinely
 //! free execution slot either way).
 
+use std::time::{Duration, Instant};
+
 use parking_lot::{Condvar, Mutex};
 
 use dora_engine::{AdmissionController, AdmissionDecision};
@@ -30,6 +32,9 @@ pub(crate) enum GateOutcome {
     Run,
     /// The arrival was shed (at the queue limit, or while draining).
     Shed,
+    /// The arrival's deadline expired while it was parked in the queue;
+    /// its queue slot was given back and it never ran.
+    TimedOut,
 }
 
 #[derive(Debug, Default)]
@@ -89,8 +94,12 @@ impl Gate {
         }
     }
 
-    /// Resolves one arrival: admit now, park until promoted, or shed.
-    pub(crate) fn admit(&self) -> GateOutcome {
+    /// Resolves one arrival: admit now, park until promoted, shed, or —
+    /// with a deadline — time out. A queued arrival still parked when
+    /// `deadline` expires gives its queue slot back and resolves to
+    /// [`GateOutcome::TimedOut`], so a saturated gate degrades into bounded
+    /// waiting instead of unbounded queueing delay; `None` waits forever.
+    pub(crate) fn admit_within(&self, deadline: Option<Duration>) -> GateOutcome {
         let mut state = self.state.lock();
         if state.draining {
             incr(CounterKind::TxnShed);
@@ -104,18 +113,26 @@ impl Gate {
             }
             AdmissionDecision::Queue => {
                 incr(CounterKind::TxnQueued);
+                let parked = Instant::now();
                 loop {
                     // Wait *before* checking for a token: a promote's
                     // queue-slot decrement already named some parked
                     // waiter, so a fresh arrival grabbing the token
                     // without ever sleeping would leave that waiter
                     // parked with nothing left to promote it.
-                    self.cond.wait(&mut state);
+                    match deadline {
+                        None => self.cond.wait(&mut state),
+                        Some(limit) => {
+                            let remaining = limit.saturating_sub(parked.elapsed());
+                            let _ = self.cond.wait_for(&mut state, remaining);
+                        }
+                    }
                     if state.tokens > 0 {
                         // A finishing transaction promoted this waiter;
                         // its slot transfers without touching the
                         // controller again. Promoted work runs even
-                        // while draining — graceful, not abrupt.
+                        // while draining — graceful, not abrupt. A token
+                        // beats a concurrent timeout: the slot is ours.
                         state.tokens -= 1;
                         return GateOutcome::Run;
                     }
@@ -127,6 +144,16 @@ impl Gate {
                         incr(CounterKind::TxnShed);
                         self.cond.notify_all();
                         return GateOutcome::Shed;
+                    }
+                    if let Some(limit) = deadline {
+                        if parked.elapsed() >= limit {
+                            // Same slot-return dance as the drain path,
+                            // under the distinct timed-out outcome.
+                            self.controller.cancel_queued();
+                            incr(CounterKind::TxnTimedOut);
+                            self.cond.notify_all();
+                            return GateOutcome::TimedOut;
+                        }
                     }
                 }
             }

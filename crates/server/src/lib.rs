@@ -64,7 +64,7 @@ mod session;
 mod statement;
 
 pub use gate::AdmissionConfig;
-pub use server::{Server, ServerConfig, SubmitOutcome};
+pub use server::{RetryPolicy, Server, ServerConfig, SubmitOutcome};
 pub use session::Session;
 pub use statement::{Params, Statement, TemplateFn};
 

@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use dora_common::prelude::*;
 use dora_core::{DoraConfig, TxnProgram};
@@ -19,6 +20,9 @@ use crate::statement::{Params, Statement, StatementKind};
 /// The first three mirror [`TxnOutcome`]; [`Shed`](Self::Shed) is the
 /// admission controller's overload response — the transaction never
 /// executed and the client should back off or retry later.
+/// [`TimedOut`](Self::TimedOut) and [`Failed`](Self::Failed) come from the
+/// resilience layer: a submit deadline expiring in the admission queue, and
+/// a commit whose durability was lost for good.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitOutcome {
     /// The transaction committed.
@@ -30,6 +34,15 @@ pub enum SubmitOutcome {
     /// The admission controller rejected the transaction without running
     /// it (queue full at saturation, or the server is draining).
     Shed,
+    /// The submission exceeded its deadline while parked in the admission
+    /// queue; it never executed and is safe to retry later.
+    TimedOut,
+    /// The transaction executed but its commit can never become durable:
+    /// its log stream's device failed past the retry budget
+    /// ([`DbError::DurabilityLost`]). With early lock release its effects
+    /// may already be applied in memory (a ghost commit), so clients must
+    /// **not** resubmit — re-running could apply it twice.
+    Failed,
 }
 
 impl From<TxnOutcome> for SubmitOutcome {
@@ -52,6 +65,87 @@ impl SubmitOutcome {
     pub fn is_shed(self) -> bool {
         self == SubmitOutcome::Shed
     }
+
+    /// `true` only for [`TimedOut`](Self::TimedOut).
+    pub fn is_timed_out(self) -> bool {
+        self == SubmitOutcome::TimedOut
+    }
+
+    /// `true` only for [`Failed`](Self::Failed).
+    pub fn is_failed(self) -> bool {
+        self == SubmitOutcome::Failed
+    }
+
+    /// `true` for outcomes a client may safely resubmit: the transaction
+    /// either never executed ([`Shed`](Self::Shed),
+    /// [`TimedOut`](Self::TimedOut)) or aborted cleanly
+    /// ([`Aborted`](Self::Aborted), [`GaveUp`](Self::GaveUp)). `false` for
+    /// [`Committed`](Self::Committed) and — crucially — for
+    /// [`Failed`](Self::Failed), whose ghost commit must never be re-run.
+    pub fn is_safe_to_resubmit(self) -> bool {
+        matches!(
+            self,
+            SubmitOutcome::Aborted
+                | SubmitOutcome::GaveUp
+                | SubmitOutcome::Shed
+                | SubmitOutcome::TimedOut
+        )
+    }
+}
+
+/// Bounded, jittered-backoff retry for aborted submissions, applied inside
+/// [`Session::execute_with`](crate::Session::execute_with). Only
+/// [`SubmitOutcome::Aborted`] is retried: shed and timed-out work never ran
+/// (the client decides whether to re-offer load), gave-up already burned an
+/// engine-level retry budget, and failed must never be re-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-submissions after the first attempt; `0` disables retrying.
+    pub max_retries: u32,
+    /// Base backoff before the first retry, in microseconds; doubled per
+    /// attempt (capped at 64x) with uniform jitter over the top half.
+    pub backoff_micros: u64,
+    /// Upper bound on any single backoff, in microseconds.
+    pub backoff_cap_micros: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Retrying is opt-in: the default policy never resubmits.
+    fn default() -> Self {
+        Self {
+            max_retries: 0,
+            backoff_micros: 100,
+            backoff_cap_micros: 5_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries aborts up to `max_retries` times with the
+    /// default backoff shape.
+    pub fn retries(max_retries: u32) -> Self {
+        Self {
+            max_retries,
+            ..Self::default()
+        }
+    }
+
+    /// The backoff before retry number `attempt` (0-based). `jitter` is any
+    /// random word; the sleep lands uniformly in `[base/2, base]` so
+    /// synchronized retry herds spread out.
+    pub(crate) fn backoff_for(&self, attempt: u32, jitter: u64) -> Duration {
+        let base = self
+            .backoff_micros
+            .saturating_mul(1u64 << attempt.min(6))
+            .min(self.backoff_cap_micros);
+        let span = base / 2;
+        let jittered = if span > 0 {
+            span + jitter % (span + 1)
+        } else {
+            base
+        };
+        Duration::from_micros(jittered)
+    }
 }
 
 /// Server construction knobs.
@@ -72,6 +166,14 @@ pub struct ServerConfig {
     /// both client-side backpressure and per-session fairness — no single
     /// session can occupy more than `session_window` execution slots.
     pub session_window: usize,
+    /// Per-submit deadline: a submission still parked in the admission
+    /// queue when it expires gives its queue slot back and returns
+    /// [`SubmitOutcome::TimedOut`] instead of waiting forever. It also
+    /// bounds the total time the retry policy may spend on one submission.
+    /// `None` (the default) waits indefinitely.
+    pub submit_deadline: Option<Duration>,
+    /// Retry policy for aborted submissions (default: off).
+    pub retry: RetryPolicy,
 }
 
 impl ServerConfig {
@@ -85,6 +187,8 @@ impl ServerConfig {
             dora: DoraConfig::default(),
             admission: Some(AdmissionConfig::for_slots(contexts)),
             session_window: 8,
+            submit_deadline: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -99,12 +203,27 @@ impl ServerConfig {
                 max_queued: 8,
             }),
             session_window: 4,
+            submit_deadline: None,
+            retry: RetryPolicy::default(),
         }
     }
 
     /// This configuration with a different admission policy.
     pub fn with_admission(self, admission: Option<AdmissionConfig>) -> Self {
         Self { admission, ..self }
+    }
+
+    /// This configuration with a per-submit deadline.
+    pub fn with_submit_deadline(self, deadline: Duration) -> Self {
+        Self {
+            submit_deadline: Some(deadline),
+            ..self
+        }
+    }
+
+    /// This configuration with a retry policy for aborted submissions.
+    pub fn with_retry(self, retry: RetryPolicy) -> Self {
+        Self { retry, ..self }
     }
 }
 
@@ -115,15 +234,19 @@ pub(crate) struct ServerCore {
     gate: Gate,
     closed: AtomicBool,
     session_window: usize,
+    submit_deadline: Option<Duration>,
+    retry: RetryPolicy,
 }
 
 impl ServerCore {
-    /// One gated submit: admission decides, the engine executes, the slot
-    /// is returned. This is the *only* path work reaches the engine
-    /// through, so the admission policy really does govern everything.
+    /// One gated submit: admission decides (within the configured
+    /// deadline), the engine executes, the slot is returned. This is the
+    /// *only* path work reaches the engine through, so the admission
+    /// policy really does govern everything.
     pub(crate) fn submit(&self, statement: &Statement, params: &Params) -> SubmitOutcome {
-        match self.gate.admit() {
+        match self.gate.admit_within(self.submit_deadline) {
             GateOutcome::Shed => SubmitOutcome::Shed,
+            GateOutcome::TimedOut => SubmitOutcome::TimedOut,
             GateOutcome::Run => {
                 let outcome = self.execute(statement, params);
                 self.gate.finish();
@@ -133,21 +256,37 @@ impl ServerCore {
     }
 
     fn execute(&self, statement: &Statement, params: &Params) -> SubmitOutcome {
-        match &*statement.kind {
+        let result = match &*statement.kind {
             // Compile-once/execute-many: the shared step list behind the
             // handle runs directly, no per-call lowering.
-            StatementKind::Prepared(prepared) => self.engine.execute_prepared(prepared).into(),
+            StatementKind::Prepared(prepared) => self.engine.execute_prepared_checked(prepared),
             // Per-binding build (routing keys are baked in at build time),
             // then the engine's prepare-and-run path.
             StatementKind::Template(build) => match build(self.engine.db(), params) {
-                Ok(program) => self.engine.execute_program(program).into(),
-                Err(_) => SubmitOutcome::Aborted,
+                Ok(program) => self.engine.execute_program_checked(program),
+                Err(_) => return SubmitOutcome::Aborted,
             },
+        };
+        match result {
+            Ok(outcome) => outcome.into(),
+            // Durability lost for good: surface the distinct, non-retryable
+            // outcome so no layer (including our own retry policy) re-runs
+            // a possible ghost commit.
+            Err(DbError::DurabilityLost) => SubmitOutcome::Failed,
+            Err(_) => SubmitOutcome::Aborted,
         }
     }
 
     pub(crate) fn session_window(&self) -> usize {
         self.session_window
+    }
+
+    pub(crate) fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    pub(crate) fn submit_deadline(&self) -> Option<Duration> {
+        self.submit_deadline
     }
 }
 
@@ -186,6 +325,8 @@ impl Server {
                 gate: Gate::new(config.admission),
                 closed: AtomicBool::new(false),
                 session_window: config.session_window.max(1),
+                submit_deadline: config.submit_deadline,
+                retry: config.retry,
             }),
         })
     }

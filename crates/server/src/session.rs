@@ -1,8 +1,12 @@
 //! Client sessions: the submit surface with a bounded in-flight window.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
+
+use dora_metrics::{incr, CounterKind};
 
 use crate::server::{ServerCore, SubmitOutcome};
 use crate::statement::{Params, Statement};
@@ -57,6 +61,9 @@ impl Window {
 pub struct Session {
     core: Arc<ServerCore>,
     window: Arc<Window>,
+    /// xorshift state for retry-backoff jitter; shared by clones (like the
+    /// window) so a session's worker threads draw from one stream.
+    jitter: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for Session {
@@ -76,6 +83,7 @@ impl Clone for Session {
         Self {
             core: Arc::clone(&self.core),
             window: Arc::clone(&self.window),
+            jitter: Arc::clone(&self.jitter),
         }
     }
 }
@@ -85,7 +93,19 @@ impl Session {
         Self {
             core,
             window: Arc::new(Window::new(window)),
+            jitter: Arc::new(AtomicU64::new(0x9E37_79B9_7F4A_7C15)),
         }
+    }
+
+    /// Next word of the session's jitter stream (xorshift64; cheap, racy by
+    /// design — jitter needs no sequential consistency).
+    fn next_jitter(&self) -> u64 {
+        let mut x = self.jitter.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter.store(x, Ordering::Relaxed);
+        x
     }
 
     /// Executes a fixed-parameter statement (or a template with no
@@ -97,10 +117,40 @@ impl Session {
     /// Executes `statement` with one parameter binding, blocking first if
     /// the session window is full. Fixed-parameter statements ignore
     /// `params`.
+    ///
+    /// If the server was configured with a [`RetryPolicy`], aborted
+    /// submissions are re-run with jittered backoff, within the submit
+    /// deadline; the outcome reported is the last attempt's. Only aborts
+    /// retry — shed/timed-out work never ran (re-offering load to an
+    /// overloaded gate makes overload worse), and a failed (ghost) commit
+    /// must never be re-run.
+    ///
+    /// [`RetryPolicy`]: crate::RetryPolicy
     pub fn execute_with(&self, statement: &Statement, params: &Params) -> SubmitOutcome {
         self.window.acquire();
-        let outcome = self.core.submit(statement, params);
+        let outcome = self.submit_with_retry(statement, params);
         self.window.release();
+        outcome
+    }
+
+    fn submit_with_retry(&self, statement: &Statement, params: &Params) -> SubmitOutcome {
+        let policy = self.core.retry_policy();
+        let deadline = self.core.submit_deadline();
+        let started = Instant::now();
+        let mut outcome = self.core.submit(statement, params);
+        for attempt in 0..policy.max_retries {
+            if outcome != SubmitOutcome::Aborted {
+                break;
+            }
+            if let Some(limit) = deadline {
+                if started.elapsed() >= limit {
+                    break;
+                }
+            }
+            incr(CounterKind::TxnRetried);
+            std::thread::sleep(policy.backoff_for(attempt, self.next_jitter()));
+            outcome = self.core.submit(statement, params);
+        }
         outcome
     }
 

@@ -9,7 +9,7 @@ use std::thread;
 use std::time::Duration;
 
 use dora_common::prelude::*;
-use dora_server::{AdmissionConfig, Server, ServerConfig, SubmitOutcome};
+use dora_server::{AdmissionConfig, RetryPolicy, Server, ServerConfig, SubmitOutcome};
 use dora_storage::Database;
 use dora_workloads::{TpcB, Workload};
 
@@ -42,6 +42,8 @@ struct Tally {
     aborted: AtomicUsize,
     gave_up: AtomicUsize,
     shed: AtomicUsize,
+    timed_out: AtomicUsize,
+    failed: AtomicUsize,
 }
 
 impl Tally {
@@ -52,8 +54,19 @@ impl Tally {
             SubmitOutcome::Aborted => &self.aborted,
             SubmitOutcome::GaveUp => &self.gave_up,
             SubmitOutcome::Shed => &self.shed,
+            SubmitOutcome::TimedOut => &self.timed_out,
+            SubmitOutcome::Failed => &self.failed,
         };
         bucket.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn resolved(&self) -> usize {
+        self.committed.load(Ordering::Relaxed)
+            + self.aborted.load(Ordering::Relaxed)
+            + self.gave_up.load(Ordering::Relaxed)
+            + self.shed.load(Ordering::Relaxed)
+            + self.timed_out.load(Ordering::Relaxed)
+            + self.failed.load(Ordering::Relaxed)
     }
 }
 
@@ -112,10 +125,7 @@ fn flood_respects_queue_bound_and_accounts_for_every_submission() {
 
         // Exactness: every submission resolved to exactly one outcome.
         let submitted = tally.submitted.load(Ordering::Relaxed);
-        let resolved = tally.committed.load(Ordering::Relaxed)
-            + tally.aborted.load(Ordering::Relaxed)
-            + tally.gave_up.load(Ordering::Relaxed)
-            + tally.shed.load(Ordering::Relaxed);
+        let resolved = tally.resolved();
         assert_eq!(submitted, (MAX_ACTIVE + MAX_QUEUED) * 4 * 50);
         assert_eq!(
             submitted, resolved,
@@ -174,11 +184,7 @@ fn close_drains_gracefully_under_fire() {
     }
 
     let submitted = tally.submitted.load(Ordering::Relaxed);
-    let resolved = tally.committed.load(Ordering::Relaxed)
-        + tally.aborted.load(Ordering::Relaxed)
-        + tally.gave_up.load(Ordering::Relaxed)
-        + tally.shed.load(Ordering::Relaxed);
-    assert_eq!(submitted, resolved);
+    assert_eq!(submitted, tally.resolved());
     assert!(
         tally.shed.load(Ordering::Relaxed) >= 8,
         "every flooder ends on a shed"
@@ -189,4 +195,145 @@ fn close_drains_gracefully_under_fire() {
     for _ in 0..4 {
         assert_eq!(session.execute(&statement), SubmitOutcome::Shed);
     }
+}
+
+/// Opens a server whose single execution slot can be pinned by a "slow"
+/// template statement (its per-binding build sleeps for `hold`), so tests
+/// can force later submissions into the condvar-FIFO admission queue.
+fn pinned_server(
+    config: ServerConfig,
+    hold: Duration,
+) -> (Server, dora_server::Statement, dora_server::Statement) {
+    let tpcb = TpcB::with_accounts(4, 64);
+    let db = Database::for_tests();
+    tpcb.setup(&db).unwrap();
+    let workload = Arc::new(tpcb);
+    let server = Server::open(Arc::clone(&db), workload.clone(), config).unwrap();
+    let slow_spec = Arc::clone(&workload);
+    let slow = server.prepare_template("slow-transfer", move |db, _| {
+        thread::sleep(hold);
+        slow_spec.account_update_program(db, 1, 1, 1, 1.0)
+    });
+    let program = workload
+        .account_update_program(&db, 2, 65, 11, 2.0)
+        .unwrap();
+    let fast = server.prepare(program).unwrap();
+    (server, slow, fast)
+}
+
+/// The satellite race from the issue: a client parked in the admission
+/// queue while `Server::close` fires must observe `Shed` — never hang on
+/// the condvar, never lose its queue slot silently.
+#[test]
+fn queued_waiter_racing_close_observes_shed_not_a_hang() {
+    let config =
+        ServerConfig::for_tests(EngineKind::Baseline).with_admission(Some(AdmissionConfig {
+            max_active: 1,
+            max_queued: 4,
+        }));
+    let (server, slow, fast) = pinned_server(config, Duration::from_millis(100));
+    let server = Arc::new(server);
+
+    // Pin the single execution slot.
+    let pin = {
+        let session = server.session();
+        thread::spawn(move || session.execute(&slow))
+    };
+    while server.in_flight() == 0 {
+        thread::yield_now();
+    }
+
+    // Park two clients in the queue behind it.
+    let queued: Vec<_> = (0..2)
+        .map(|_| {
+            let session = server.session();
+            let fast = fast.clone();
+            thread::spawn(move || session.execute(&fast))
+        })
+        .collect();
+    while server.queue_depth() < 2 {
+        thread::yield_now();
+    }
+
+    // Close under them. close() blocks until the drain completes, so by
+    // the time it returns every queued waiter must have resolved.
+    server.close();
+    assert_eq!(server.queue_depth(), 0);
+    assert_eq!(server.in_flight(), 0);
+
+    // The pinned transaction was already admitted: it runs to completion.
+    assert!(pin.join().unwrap().is_committed());
+    // The queued waiters must observe Shed (close never promotes them).
+    for waiter in queued {
+        assert_eq!(waiter.join().unwrap(), SubmitOutcome::Shed);
+    }
+}
+
+#[test]
+fn submit_deadline_times_out_queued_work() {
+    let config = ServerConfig::for_tests(EngineKind::Baseline)
+        .with_admission(Some(AdmissionConfig {
+            max_active: 1,
+            max_queued: 4,
+        }))
+        .with_submit_deadline(Duration::from_millis(5));
+    let (server, slow, fast) = pinned_server(config, Duration::from_millis(80));
+    let server = Arc::new(server);
+
+    let pin = {
+        let session = server.session();
+        thread::spawn(move || session.execute(&slow))
+    };
+    while server.in_flight() == 0 {
+        thread::yield_now();
+    }
+
+    // This submission queues behind the pinned slot and must give up at
+    // its deadline — long before the 80ms hold ends.
+    let session = server.session();
+    let outcome = session.execute(&fast);
+    assert_eq!(outcome, SubmitOutcome::TimedOut);
+    assert!(outcome.is_timed_out() && outcome.is_safe_to_resubmit());
+    assert_eq!(server.queue_depth(), 0, "the timed-out slot was returned");
+
+    assert!(pin.join().unwrap().is_committed());
+    server.close();
+}
+
+#[test]
+fn retry_policy_reruns_aborted_submissions() {
+    let tpcb = TpcB::with_accounts(4, 64);
+    let db = Database::for_tests();
+    tpcb.setup(&db).unwrap();
+    let workload = Arc::new(tpcb);
+    let server = Server::open(
+        Arc::clone(&db),
+        workload.clone(),
+        ServerConfig::for_tests(EngineKind::Dora).with_retry(RetryPolicy::retries(3)),
+    )
+    .unwrap();
+
+    // A statement that aborts twice before building a clean program; with
+    // three retries the session's final answer must be the commit.
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&attempts);
+    let spec = Arc::clone(&workload);
+    let flaky = server.prepare_template("flaky-transfer", move |db, _| {
+        if seen.fetch_add(1, Ordering::Relaxed) < 2 {
+            return Err(DbError::TxnAborted {
+                txn: TxnId::INVALID,
+                reason: "transient".into(),
+            });
+        }
+        spec.account_update_program(db, 1, 1, 1, 3.0)
+    });
+
+    let session = server.session();
+    assert_eq!(session.execute(&flaky), SubmitOutcome::Committed);
+    assert_eq!(
+        attempts.load(Ordering::Relaxed),
+        3,
+        "two aborts, one commit"
+    );
+    server.close();
 }

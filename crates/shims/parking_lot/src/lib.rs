@@ -5,6 +5,22 @@
 //! non-poisoning API: `lock()`/`read()`/`write()` return guards directly and
 //! a panicked holder never poisons the lock (we recover the inner guard).
 //!
+//! Non-poisoning is a deliberate workspace-wide decision, not a convenience:
+//! the executor-supervision layer (`dora-core`/`dora-engine`) catches panics
+//! at action boundaries and *quarantines the transaction*, then keeps the
+//! worker thread serving. Under `std`'s poisoning semantics, a caught panic
+//! that had briefly held any shared storage lock (lock-manager shards, log
+//! queues, buffer-pool latches) would wedge every later `unwrap()` on that
+//! lock — turning one supervised, rolled-back transaction into a
+//! process-wide outage. Data integrity across such a panic is instead
+//! guaranteed by the transactional machinery itself (undo via the per-txn
+//! log chain), which is strictly stronger than poisoning's "taint everything
+//! the panicking thread could see" heuristic. The audit rule for the
+//! workspace: every shared-state lock goes through this shim (no raw
+//! `std::sync::Mutex`/`RwLock` outside it), so there is no poisoned-lock
+//! `unwrap()` to get wrong. `poisoned_lock_recovers` below pins the recovery
+//! behavior.
+//!
 //! Only the API surface the workspace actually calls is provided; extend it
 //! here if new call sites need more.
 

@@ -118,6 +118,11 @@ impl std::fmt::Debug for Database {
 impl Database {
     /// Creates an empty database with the given configuration.
     pub fn new(config: SystemConfig) -> Arc<Self> {
+        if config.faults.enabled() {
+            // Chaos runs inject panics by the thousand; keep the default
+            // hook's backtraces for genuine bugs only.
+            silence_injected_panics();
+        }
         let store = Arc::new(PageStore::new());
         let pool = Arc::new(BufferPool::new(
             Arc::clone(&store),
@@ -132,7 +137,11 @@ impl Database {
             primaries: RwLock::new(Vec::new()),
             secondaries: RwLock::new(Vec::new()),
             locks: LockManager::new(config.deadlock_detection),
-            log: LogManager::with_durability(config.log_flush_micros, config.durability.clone()),
+            log: LogManager::with_faults(
+                config.log_flush_micros,
+                config.durability.clone(),
+                Arc::new(FaultPlan::new(config.faults.clone())),
+            ),
             txns: TxnManager::new(),
             config,
         })
@@ -162,6 +171,12 @@ impl Database {
     /// The log manager.
     pub fn log_manager(&self) -> &LogManager {
         &self.log
+    }
+
+    /// The deterministic fault schedule this database runs under (inert
+    /// unless [`SystemConfig::faults`] enables a site).
+    pub fn faults(&self) -> &Arc<FaultPlan> {
+        self.log.faults()
     }
 
     // ----- schema ----------------------------------------------------------
@@ -325,15 +340,26 @@ impl Database {
     /// [`TimeCategory::CommitWait`] so the driver can report commit latency
     /// separately from execute latency.
     pub fn commit_wait(&self, txn: &TxnHandle, handle: CommitHandle) -> DbResult<()> {
+        let mut durable = true;
         if !handle.fences.is_empty() {
-            time_section(TimeCategory::CommitWait, || {
+            durable = time_section(TimeCategory::CommitWait, || {
                 self.log.flush_fences(&handle.fences)
             });
         }
+        // Locks are released either way: the transaction is finished, its
+        // fate (durable commit or ghost) decided. On lost durability the
+        // effects may already be applied in memory, so the caller gets the
+        // distinct non-retryable outcome instead of an "aborted" it might
+        // re-run.
         if !handle.early_released {
             self.finish_commit(txn);
         }
-        Ok(())
+        if durable {
+            Ok(())
+        } else {
+            incr(CounterKind::DurabilityLost);
+            Err(DbError::DurabilityLost)
+        }
     }
 
     /// Second half of commit, asynchronous: registers `on_durable` to fire
@@ -350,13 +376,13 @@ impl Database {
         self: &Arc<Self>,
         txn: &TxnHandle,
         handle: CommitHandle,
-        on_durable: impl FnOnce() + Send + 'static,
+        on_durable: impl FnOnce(bool) + Send + 'static,
     ) {
         if handle.fences.is_empty() {
             if !handle.early_released {
                 self.finish_commit(txn);
             }
-            on_durable();
+            on_durable(true);
             return;
         }
         let db = Arc::clone(self);
@@ -365,12 +391,18 @@ impl Database {
         let start = std::time::Instant::now();
         self.log.submit_commit(
             handle.fences,
-            Box::new(move || {
+            Box::new(move |durable| {
+                // Locks are released even when durability was lost: the
+                // transaction's fate is decided (ghost commit), holding its
+                // locks forever would wedge everything behind it.
                 if !early_released {
                     db.finish_commit(&txn);
                 }
+                if !durable {
+                    incr(CounterKind::DurabilityLost);
+                }
                 record_time(TimeCategory::CommitWait, start.elapsed());
-                on_durable();
+                on_durable(durable);
             }),
         );
     }
@@ -1501,7 +1533,8 @@ mod tests {
         let done = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
         let done2 = Arc::clone(&done);
         let db2 = Arc::clone(&db);
-        db.commit_async(&txn, handle, move || {
+        db.commit_async(&txn, handle, move |durable| {
+            assert!(durable, "no faults configured, so the commit hardens");
             for &(stream, lsn) in &fences {
                 assert!(db2.log_manager().flushed_lsn(stream) >= lsn);
             }

@@ -51,7 +51,7 @@
 
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -167,9 +167,11 @@ pub struct LogRecord {
     pub kind: LogRecordKind,
 }
 
-/// Completion callback fired by the flusher once a submitted commit record
-/// is durable. Runs on the flusher thread; must not block on the log.
-pub type DurableCallback = Box<dyn FnOnce() + Send + 'static>;
+/// Completion callback fired by the flusher once a submitted commit record's
+/// fate is decided: `true` means durable, `false` means the stream's device
+/// writes failed past the retry budget and this commit can never harden
+/// (durability lost). Runs on the flusher thread; must not block on the log.
+pub type DurableCallback = Box<dyn FnOnce(bool) + Send + 'static>;
 
 /// One commit record waiting for the flusher, with its optional completion
 /// callback (parked waiters use the condvar ticket queue instead).
@@ -201,11 +203,21 @@ struct FlushCore {
     /// Work queue for the flusher daemon.
     queue: Mutex<FlusherQueue>,
     work_cond: Condvar,
+    /// Commits the flusher has taken out of the queue but not yet resolved —
+    /// the watchdog's view of a group currently riding (or stuck in) a
+    /// device write.
+    inflight: AtomicU64,
     /// Simulated log-device latency per write.
     flush_latency: Duration,
     durability: DurabilityConfig,
     /// Commit records hardened per device write.
     group_sizes: Mutex<ValueHistogram>,
+    /// The deterministic fault schedule device writes draw from.
+    faults: Arc<FaultPlan>,
+    /// Set once this stream's device writes failed past the retry budget:
+    /// nothing on this stream will ever harden again, and every current and
+    /// future durability wait resolves to "lost".
+    failed: AtomicBool,
 }
 
 impl FlushCore {
@@ -227,14 +239,57 @@ impl FlushCore {
     /// flushers and the executors feeding them must keep running even when
     /// hardware contexts are scarce. On an idle core the yield returns
     /// immediately, preserving accuracy.
-    fn device_write(&self) {
-        if self.flush_latency.is_zero() {
-            return;
+    ///
+    /// The fault plan can make one attempt take a latency spike or fail
+    /// outright (`false`); a failed attempt still pays its device latency,
+    /// like a real write that errors only at completion.
+    fn device_write_once(&self) -> bool {
+        let mut latency = self.flush_latency;
+        if self.faults.enabled() && self.faults.should_inject(FaultSite::DeviceLatencySpike) {
+            incr(CounterKind::FaultsInjected);
+            latency += Duration::from_micros(self.faults.config().device_spike_micros);
         }
-        let deadline = Instant::now() + self.flush_latency;
-        while Instant::now() < deadline {
-            std::thread::yield_now();
+        busy_wait(latency);
+        if self.faults.enabled() && self.faults.should_inject(FaultSite::DeviceWriteError) {
+            incr(CounterKind::FaultsInjected);
+            return false;
         }
+        true
+    }
+
+    /// One *logical* device write: retries transient failures with capped
+    /// exponential backoff up to the configured retry budget. Returns
+    /// `false` only when the budget is exhausted — the caller must then
+    /// declare this stream's durability lost. With `max_write_retries == 0`
+    /// (self-healing off) the first transient failure is final.
+    fn device_write_with_retry(&self) -> bool {
+        let config = self.faults.config();
+        let mut attempt: u32 = 0;
+        loop {
+            if self.device_write_once() {
+                return true;
+            }
+            if attempt >= config.max_write_retries {
+                return false;
+            }
+            incr(CounterKind::FlushRetries);
+            // Exponential backoff, capped at 32x the base so a deep retry
+            // chain never parks the flusher for longer than the workload.
+            let backoff = config
+                .retry_backoff_micros
+                .saturating_mul(1u64 << attempt.min(5));
+            busy_wait(Duration::from_micros(backoff));
+            attempt += 1;
+        }
+    }
+
+    /// Declares this stream's durability permanently lost and wakes every
+    /// parked committer so they observe the failure instead of sleeping on a
+    /// horizon that will never advance.
+    fn fail(&self) {
+        self.failed.store(true, Ordering::Release);
+        let _durable = self.durable.lock();
+        self.durable_cond.notify_all();
     }
 
     /// The flusher daemon main loop: collect a group (waiting out the
@@ -272,30 +327,82 @@ impl FlushCore {
                 queue.first_arrival = None;
                 std::mem::take(&mut queue.pending)
             };
+            self.inflight.store(batch.len() as u64, Ordering::Release);
+            // A stream whose durability is already lost fast-fails every
+            // later group: no device writes, every callback hears `false`.
+            if self.failed.load(Ordering::Acquire) {
+                for commit in batch {
+                    if let Some(callback) = commit.callback {
+                        fire_callback(callback, false);
+                    }
+                }
+                self.inflight.store(0, Ordering::Release);
+                continue;
+            }
+            if self.faults.enabled() && self.faults.should_inject(FaultSite::FlusherStall) {
+                incr(CounterKind::FaultsInjected);
+                std::thread::sleep(Duration::from_micros(
+                    self.faults.config().flusher_stall_micros,
+                ));
+            }
             // Everything appended up to this point rides this device write.
             let horizon = self.last_assigned.load(Ordering::Acquire);
             let target = batch.iter().map(|p| p.lsn.0).max().unwrap_or(0);
             let start = Instant::now();
-            self.device_write();
+            let wrote = self.device_write_with_retry();
             record_time(TimeCategory::LogWait, start.elapsed());
+            if !wrote {
+                self.fail();
+                for commit in batch {
+                    if let Some(callback) = commit.callback {
+                        fire_callback(callback, false);
+                    }
+                }
+                self.inflight.store(0, Ordering::Release);
+                continue;
+            }
             self.advance(horizon.max(target));
             incr(CounterKind::LogFlushes);
             incr(CounterKind::GroupCommits);
             self.group_sizes.lock().record(batch.len() as u64);
             for commit in batch {
                 if let Some(callback) = commit.callback {
-                    // The durability work for this group is already done
-                    // (horizon advanced, parked waiters woken); a panicking
-                    // completion callback must not kill the daemon, or every
-                    // later commit would park forever on a dead flusher.
-                    if let Err(panic) =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(callback))
-                    {
-                        eprintln!("log-flusher: durability callback panicked: {panic:?}");
-                    }
+                    fire_callback(callback, true);
                 }
             }
+            self.inflight.store(0, Ordering::Release);
         }
+    }
+}
+
+/// Runs a durability callback on the flusher thread. The durability work for
+/// the callback's group is already done (horizon advanced, parked waiters
+/// woken), so a panicking callback must not kill the daemon — every later
+/// commit would park forever on a dead flusher. Panics are swallowed,
+/// counted ([`CounterKind::CallbackPanics`]) and reported once per process.
+fn fire_callback(callback: DurableCallback, durable: bool) {
+    if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| callback(durable)))
+    {
+        incr(CounterKind::CallbackPanics);
+        static WARNED: AtomicBool = AtomicBool::new(false);
+        if !WARNED.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "log-flusher: durability callback panicked (counted as callback-panics, \
+                 reported once): {panic:?}"
+            );
+        }
+    }
+}
+
+/// Deadline-polls for `duration` (see [`FlushCore::device_write_once`] for
+/// why polling, not sleeping), yielding so other threads keep running.
+fn busy_wait(duration: Duration) {
+    if duration.is_zero() {
+        return;
+    }
+    let deadline = Instant::now() + duration;
+    while Instant::now() < deadline {
+        std::thread::yield_now();
     }
 }
 
@@ -361,7 +468,12 @@ struct LogStream {
 }
 
 impl LogStream {
-    fn new(id: StreamId, flush_latency_micros: u64, durability: DurabilityConfig) -> Self {
+    fn new(
+        id: StreamId,
+        flush_latency_micros: u64,
+        durability: DurabilityConfig,
+        faults: Arc<FaultPlan>,
+    ) -> Self {
         Self {
             id,
             records: Mutex::new(StreamBuffer::default()),
@@ -373,9 +485,12 @@ impl LogStream {
                 durable_cond: Condvar::new(),
                 queue: Mutex::new(FlusherQueue::default()),
                 work_cond: Condvar::new(),
+                inflight: AtomicU64::new(0),
                 flush_latency: Duration::from_micros(flush_latency_micros),
                 durability,
                 group_sizes: Mutex::new(ValueHistogram::new()),
+                faults,
+                failed: AtomicBool::new(false),
             }),
             flush_lock: Mutex::new(()),
             flusher: Mutex::new(None),
@@ -429,67 +544,95 @@ impl LogStream {
     }
 
     /// Starts hardening `lsn` without blocking, where the mode allows it.
-    /// In group-commit mode the request is handed to the flusher daemon and
-    /// `true` is returned — the caller still owes a [`Self::wait_durable`].
-    /// In synchronous mode the caller must drive the device write itself,
-    /// so this degenerates to a blocking [`Self::flush`] and returns
-    /// `false`. Multi-stream commit waits use this to overlap the group
-    /// windows of every touched stream (max-of-latencies, not sum).
-    fn start_flush(&self, lsn: Lsn) -> bool {
+    /// Returns `(owes_wait, ok_so_far)`: in group-commit mode the request is
+    /// handed to the flusher daemon and the caller still owes a
+    /// [`Self::wait_durable`]; in synchronous mode the caller must drive the
+    /// device write itself, so this degenerates to a blocking
+    /// [`Self::flush`] whose success lands in `ok_so_far`. Multi-stream
+    /// commit waits use this to overlap the group windows of every touched
+    /// stream (max-of-latencies, not sum).
+    fn start_flush(&self, lsn: Lsn) -> (bool, bool) {
         if self.core.flushed_lsn.load(Ordering::Acquire) >= lsn.0 {
-            return false;
+            return (false, true);
+        }
+        if self.core.failed.load(Ordering::Acquire) {
+            return (false, false);
         }
         if self.core.durability.group_commit {
             self.enqueue(lsn, None);
-            return true;
+            return (true, true);
         }
-        self.flush(lsn);
-        false
+        (false, self.flush(lsn))
     }
 
-    /// Blocks until this stream's flusher reports durability up to `lsn`.
-    /// Only meaningful after a [`Self::start_flush`] that returned `true`.
-    fn wait_durable(&self, lsn: Lsn) {
+    /// Blocks until this stream's flusher reports durability up to `lsn`
+    /// (`true`), or until the stream's durability is lost for good
+    /// (`false`). Only meaningful after a [`Self::start_flush`] that said
+    /// the caller owes a wait.
+    fn wait_durable(&self, lsn: Lsn) -> bool {
         let mut durable = self.core.durable.lock();
-        while *durable < lsn.0 {
+        loop {
+            if *durable >= lsn.0 {
+                return true;
+            }
+            if self.core.failed.load(Ordering::Acquire) {
+                return false;
+            }
             self.core.durable_cond.wait(&mut durable);
         }
     }
 
-    /// Blocks until this stream is durable up to (at least) `lsn`.
-    fn flush(&self, lsn: Lsn) {
+    /// Blocks until this stream is durable up to (at least) `lsn`; `false`
+    /// means durability was lost for good before `lsn` hardened.
+    fn flush(&self, lsn: Lsn) -> bool {
         if self.core.flushed_lsn.load(Ordering::Acquire) >= lsn.0 {
-            return;
+            return true;
+        }
+        if self.core.failed.load(Ordering::Acquire) {
+            return false;
         }
         if self.core.durability.group_commit {
             self.enqueue(lsn, None);
-            self.wait_durable(lsn);
-            return;
+            return self.wait_durable(lsn);
         }
         let start = Instant::now();
         let _guard = self.flush_lock.lock();
         if self.core.flushed_lsn.load(Ordering::Acquire) >= lsn.0 {
             record_time(TimeCategory::LogWait, start.elapsed());
-            return;
+            return true;
+        }
+        if self.core.failed.load(Ordering::Acquire) {
+            return false;
         }
         let horizon = self.core.last_assigned.load(Ordering::Acquire);
-        self.core.device_write();
+        let wrote = self.core.device_write_with_retry();
+        if !wrote {
+            self.core.fail();
+            record_time(TimeCategory::LogWait, start.elapsed());
+            return false;
+        }
         self.core.advance(horizon.max(lsn.0));
         incr(CounterKind::LogFlushes);
         record_time(TimeCategory::LogWait, start.elapsed());
+        true
     }
 
-    /// Registers `callback` to fire once this stream is durable up to
-    /// `lsn`, without blocking the caller. Already-durable LSNs and
-    /// synchronous mode complete inline on the calling thread.
+    /// Registers `callback` to fire once this stream is durable up to `lsn`
+    /// — or once that can never happen — without blocking the caller.
+    /// Already-durable LSNs, already-failed streams and synchronous mode
+    /// complete inline on the calling thread.
     fn submit_commit(&self, lsn: Lsn, callback: DurableCallback) {
         if self.core.flushed_lsn.load(Ordering::Acquire) >= lsn.0 {
-            callback();
+            callback(true);
+            return;
+        }
+        if self.core.failed.load(Ordering::Acquire) {
+            callback(false);
             return;
         }
         if !self.core.durability.group_commit {
-            self.flush(lsn);
-            callback();
+            let durable = self.flush(lsn);
+            callback(durable);
             return;
         }
         self.enqueue(lsn, Some(callback));
@@ -635,6 +778,13 @@ pub struct LogManager {
     /// Records appended since the last checkpoint.
     records_since_checkpoint: AtomicU64,
     durability: DurabilityConfig,
+    /// The deterministic fault schedule all streams draw from.
+    faults: Arc<FaultPlan>,
+    /// Tells the watchdog thread to exit.
+    watchdog_stop: Arc<AtomicBool>,
+    /// The `log-watchdog` thread, spawned only when faults are enabled under
+    /// group commit; joined on drop.
+    watchdog: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for LogManager {
@@ -658,10 +808,49 @@ impl LogManager {
     /// Creates a log manager with explicit durability knobs;
     /// [`DurabilityConfig::log_streams`] sets the partition count.
     pub fn with_durability(flush_latency_micros: u64, durability: DurabilityConfig) -> Self {
+        Self::with_faults(
+            flush_latency_micros,
+            durability,
+            Arc::new(FaultPlan::disabled()),
+        )
+    }
+
+    /// [`Self::with_durability`] plus a live fault schedule shared by every
+    /// stream's simulated device. When the plan can fire under group
+    /// commit, a `log-watchdog` thread is also spawned: it samples each
+    /// stream's flush horizon and, when a stream has pending commits but a
+    /// horizon that stopped advancing, re-nudges the flusher's work condvar
+    /// (and counts the nudge) — the safety net against a stalled or
+    /// wakeup-starved flusher wedging every committer behind it.
+    pub fn with_faults(
+        flush_latency_micros: u64,
+        durability: DurabilityConfig,
+        faults: Arc<FaultPlan>,
+    ) -> Self {
         let count = durability.log_streams.max(1);
-        let streams = (0..count)
-            .map(|s| LogStream::new(StreamId(s), flush_latency_micros, durability.clone()))
+        let streams: Vec<LogStream> = (0..count)
+            .map(|s| {
+                LogStream::new(
+                    StreamId(s),
+                    flush_latency_micros,
+                    durability.clone(),
+                    Arc::clone(&faults),
+                )
+            })
             .collect();
+        let watchdog_stop = Arc::new(AtomicBool::new(false));
+        let watchdog = if faults.enabled() && durability.group_commit {
+            let cores: Vec<Arc<FlushCore>> = streams.iter().map(|s| Arc::clone(&s.core)).collect();
+            let stop = Arc::clone(&watchdog_stop);
+            Some(
+                std::thread::Builder::new()
+                    .name("log-watchdog".into())
+                    .spawn(move || run_watchdog(cores, stop))
+                    .expect("spawn log-watchdog"),
+            )
+        } else {
+            None
+        };
         Self {
             streams,
             commit_seq: AtomicU64::new(0),
@@ -669,7 +858,22 @@ impl LogManager {
             checkpoint_build: Mutex::new(()),
             records_since_checkpoint: AtomicU64::new(0),
             durability,
+            faults,
+            watchdog_stop,
+            watchdog: Mutex::new(watchdog),
         }
+    }
+
+    /// The fault schedule this log's devices draw from.
+    pub fn faults(&self) -> &Arc<FaultPlan> {
+        &self.faults
+    }
+
+    /// `true` if any stream's durability has been lost for good.
+    pub fn any_stream_failed(&self) -> bool {
+        self.streams
+            .iter()
+            .any(|s| s.core.failed.load(Ordering::Acquire))
     }
 
     /// The durability knobs this log runs with.
@@ -742,7 +946,8 @@ impl LogManager {
         (seq, fences)
     }
 
-    /// Blocks until `stream` is durable up to (at least) `lsn`.
+    /// Blocks until `stream` is durable up to (at least) `lsn`; `false`
+    /// means the stream's durability was lost for good first.
     ///
     /// Under group commit the calling thread enqueues the request and
     /// *parks* on the stream's LSN-keyed ticket queue until its flusher
@@ -750,25 +955,31 @@ impl LogManager {
     /// drives the device write itself under the stream's flush mutex;
     /// threads that find their LSN already flushed return immediately (the
     /// piggybacking fast path both modes share).
-    pub fn flush(&self, stream: StreamId, lsn: Lsn) {
-        self.streams[stream.0 % self.streams.len()].flush(lsn);
+    pub fn flush(&self, stream: StreamId, lsn: Lsn) -> bool {
+        self.streams[stream.0 % self.streams.len()].flush(lsn)
     }
 
     /// Flushes every fence of a commit (the multi-stream commit wait).
     /// Every touched stream's flush is *started* before any is waited on,
     /// so a commit that fenced N streams pays the longest group window
-    /// once, not N windows back to back.
-    pub fn flush_fences(&self, fences: &[(StreamId, Lsn)]) {
+    /// once, not N windows back to back. Returns `false` if any touched
+    /// stream lost durability before its fence hardened — the commit is
+    /// then a ghost and must surface [`DbError::DurabilityLost`].
+    pub fn flush_fences(&self, fences: &[(StreamId, Lsn)]) -> bool {
+        let mut ok = true;
         let mut waits: Vec<(usize, Lsn)> = Vec::new();
         for &(stream, lsn) in fences {
             let index = stream.0 % self.streams.len();
-            if self.streams[index].start_flush(lsn) {
+            let (owes_wait, started_ok) = self.streams[index].start_flush(lsn);
+            ok &= started_ok;
+            if owes_wait {
                 waits.push((index, lsn));
             }
         }
         for (index, lsn) in waits {
-            self.streams[index].wait_durable(lsn);
+            ok &= self.streams[index].wait_durable(lsn);
         }
+        ok
     }
 
     /// Registers `callback` to fire once *every* fence in `fences` is
@@ -779,23 +990,28 @@ impl LogManager {
     /// the device latency itself for the A/B comparison to mean anything).
     pub fn submit_commit(&self, fences: Vec<(StreamId, Lsn)>, callback: DurableCallback) {
         match fences.len() {
-            0 => callback(),
+            0 => callback(true),
             1 => {
                 let (stream, lsn) = fences[0];
                 self.streams[stream.0 % self.streams.len()].submit_commit(lsn, callback);
             }
             count => {
                 let remaining = Arc::new(AtomicU64::new(count as u64));
+                let all_durable = Arc::new(AtomicBool::new(true));
                 let shared = Arc::new(Mutex::new(Some(callback)));
                 for (stream, lsn) in fences {
                     let remaining = Arc::clone(&remaining);
+                    let all_durable = Arc::clone(&all_durable);
                     let shared = Arc::clone(&shared);
                     self.streams[stream.0 % self.streams.len()].submit_commit(
                         lsn,
-                        Box::new(move || {
+                        Box::new(move |durable| {
+                            if !durable {
+                                all_durable.store(false, Ordering::Release);
+                            }
                             if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                                 if let Some(callback) = shared.lock().take() {
-                                    callback();
+                                    callback(all_durable.load(Ordering::Acquire));
                                 }
                             }
                         }),
@@ -1236,8 +1452,37 @@ pub struct StreamStats {
 
 impl Drop for LogManager {
     fn drop(&mut self) {
+        self.watchdog_stop.store(true, Ordering::Release);
+        if let Some(handle) = self.watchdog.lock().take() {
+            let _ = handle.join();
+        }
         for stream in &self.streams {
             stream.shutdown();
+        }
+    }
+}
+
+/// The log watchdog main loop: detect streams whose flush horizon stopped
+/// advancing while commits are pending and nudge their flusher awake. A
+/// nudge is deliberately just a condvar broadcast — it cannot *unstick* a
+/// flusher sleeping inside an injected stall, but it recovers lost-wakeup
+/// shapes and, crucially, makes the stall observable
+/// ([`CounterKind::WatchdogNudges`]) instead of silent.
+fn run_watchdog(cores: Vec<Arc<FlushCore>>, stop: Arc<AtomicBool>) {
+    let mut last_horizon: Vec<u64> = vec![0; cores.len()];
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_micros(500));
+        for (i, core) in cores.iter().enumerate() {
+            let horizon = core.flushed_lsn.load(Ordering::Acquire);
+            let outstanding =
+                core.inflight.load(Ordering::Acquire) > 0 || !core.queue.lock().pending.is_empty();
+            let stalled =
+                horizon == last_horizon[i] && outstanding && !core.failed.load(Ordering::Acquire);
+            if stalled {
+                incr(CounterKind::WatchdogNudges);
+                core.work_cond.notify_all();
+            }
+            last_horizon[i] = horizon;
         }
     }
 }
@@ -1502,7 +1747,8 @@ mod tests {
             let check = fences.clone();
             log.submit_commit(
                 fences,
-                Box::new(move || {
+                Box::new(move |durable| {
+                    assert!(durable, "no faults configured, so every fence hardens");
                     for &(stream, lsn) in &check {
                         assert!(
                             log2.flushed_lsn(stream) >= lsn,
@@ -1674,5 +1920,182 @@ mod tests {
             disabled.checkpoint_snapshot().is_none(),
             "interval 0 disables checkpointing"
         );
+    }
+
+    fn faulty_log(
+        config: FaultConfig,
+        durability: DurabilityConfig,
+    ) -> (Arc<FaultPlan>, LogManager) {
+        let faults = Arc::new(FaultPlan::new(config));
+        let log = LogManager::with_faults(10, durability, Arc::clone(&faults));
+        (faults, log)
+    }
+
+    #[test]
+    fn transient_write_errors_retry_until_the_group_hardens() {
+        let (faults, log) = faulty_log(
+            FaultConfig {
+                seed: 7,
+                device_error_rate: 0.4,
+                max_write_retries: 16,
+                retry_backoff_micros: 5,
+                ..FaultConfig::default()
+            },
+            streams_config(1),
+        );
+        for t in 1..=20u64 {
+            let txn = TxnId(t);
+            log.append(txn, insert_record(1, 0, t as u16, vec![t as u8]));
+            let (_, fences) = log.append_commit_fences(txn, &[StreamId(0)]);
+            assert!(
+                log.flush_fences(&fences),
+                "retries must ride out transient write errors"
+            );
+        }
+        assert!(!log.any_stream_failed());
+        assert!(
+            faults.draws(FaultSite::DeviceWriteError) > 0,
+            "error decisions were actually drawn"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_lose_durability_for_good() {
+        let (_, log) = faulty_log(
+            FaultConfig {
+                device_error_rate: 1.0,
+                max_write_retries: 2,
+                retry_backoff_micros: 1,
+                ..FaultConfig::default()
+            },
+            streams_config(1),
+        );
+        let txn = TxnId(1);
+        log.append(txn, insert_record(1, 0, 0, vec![1]));
+        let (_, fences) = log.append_commit_fences(txn, &[StreamId(0)]);
+        assert!(
+            !log.flush_fences(&fences),
+            "a stream past its retry budget must report durability lost"
+        );
+        assert!(log.any_stream_failed());
+
+        // Later commits fast-fail through the callback path too.
+        let txn2 = TxnId(2);
+        log.append(txn2, insert_record(1, 0, 1, vec![2]));
+        let (_, fences2) = log.append_commit_fences(txn2, &[StreamId(0)]);
+        let heard = Arc::new((Mutex::new(None::<bool>), Condvar::new()));
+        let heard2 = Arc::clone(&heard);
+        log.submit_commit(
+            fences2,
+            Box::new(move |durable| {
+                *heard2.0.lock() = Some(durable);
+                heard2.1.notify_all();
+            }),
+        );
+        let mut answer = heard.0.lock();
+        while answer.is_none() {
+            heard.1.wait(&mut answer);
+        }
+        assert_eq!(
+            *answer,
+            Some(false),
+            "dead streams must not fake durability"
+        );
+    }
+
+    #[test]
+    fn panicking_durability_callback_leaves_the_flusher_alive() {
+        silence_injected_panics();
+        let before = dora_metrics::global().snapshot();
+        let log = LogManager::with_durability(10, streams_config(1));
+        let txn = TxnId(1);
+        log.append(txn, insert_record(1, 0, 0, vec![1]));
+        let (_, fences) = log.append_commit_fences(txn, &[StreamId(0)]);
+        log.submit_commit(fences, Box::new(|_| std::panic::panic_any(InjectedPanic)));
+        // The flusher must survive the client's panic and harden later
+        // commits on the very same thread.
+        let txn2 = TxnId(2);
+        log.append(txn2, insert_record(1, 0, 1, vec![2]));
+        let (_, fences2) = log.append_commit_fences(txn2, &[StreamId(0)]);
+        assert!(log.flush_fences(&fences2), "flusher survived the panic");
+        // The panicking callback runs on the flusher thread; txn2's fence
+        // hardening does not order after txn1's callback having been
+        // *counted*, so poll instead of snapshotting once.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let delta = dora_metrics::global().snapshot().since(&before);
+            if delta.counter(CounterKind::CallbackPanics) >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "the swallowed panic must be counted"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn watchdog_nudges_a_stalled_flusher() {
+        let before = dora_metrics::global().snapshot();
+        let (_, log) = faulty_log(
+            FaultConfig {
+                flusher_stall_rate: 1.0,
+                flusher_stall_micros: 20_000,
+                ..FaultConfig::default()
+            },
+            streams_config(1),
+        );
+        let txn = TxnId(1);
+        log.append(txn, insert_record(1, 0, 0, vec![1]));
+        let (_, fences) = log.append_commit_fences(txn, &[StreamId(0)]);
+        assert!(log.flush_fences(&fences), "a stall delays, never fails");
+        // The nudge is counted on the watchdog thread; on a loaded host the
+        // stall can expire on its own before the watchdog's count lands, so
+        // poll — and keep fresh stalled work in front of the watchdog while
+        // waiting (every batch stalls at rate 1.0, so a nudge must arrive).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut next_txn = 2u64;
+        loop {
+            let delta = dora_metrics::global().snapshot().since(&before);
+            if delta.counter(CounterKind::WatchdogNudges) >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "the watchdog must notice a horizon that stopped advancing"
+            );
+            let txn = TxnId(next_txn);
+            next_txn += 1;
+            log.append(txn, insert_record(1, 0, 1, vec![2]));
+            let (_, fences) = log.append_commit_fences(txn, &[StreamId(0)]);
+            log.flush_fences(&fences);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_fault_draws() {
+        let run = |seed: u64| {
+            let (faults, log) = faulty_log(
+                FaultConfig {
+                    seed,
+                    device_error_rate: 0.3,
+                    retry_backoff_micros: 1,
+                    ..FaultConfig::default()
+                },
+                streams_config(1),
+            );
+            for t in 1..=30u64 {
+                let txn = TxnId(t);
+                log.append(txn, insert_record(1, 0, t as u16, vec![1]));
+                let (_, fences) = log.append_commit_fences(txn, &[StreamId(0)]);
+                log.flush_fences(&fences);
+            }
+            (
+                faults.draws(FaultSite::DeviceWriteError),
+                log.any_stream_failed(),
+            )
+        };
+        assert_eq!(run(11), run(11), "same seed, same schedule, same fate");
     }
 }
