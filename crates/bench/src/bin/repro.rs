@@ -9,11 +9,12 @@
 //! cargo run -p dora-bench --release --bin repro -- recover --json
 //! cargo run -p dora-bench --release --bin repro -- saturation --json
 //! cargo run -p dora-bench --release --bin repro -- chaos --json
+//! cargo run -p dora-bench --release --bin repro -- htap --json
 //! ```
 //!
 //! Every figure of the evaluation section (and the appendix) has a
 //! subcommand; `fig9` is validated by the integration test
-//! `payment_twelve_steps` instead of a measurement. Six experiments are
+//! `payment_twelve_steps` instead of a measurement. Seven experiments are
 //! this reproduction's own: `skew` (adaptive repartitioning under a zipfian
 //! workload), `dispatch` (the executor message path, per-message vs
 //! batched), `commit` (sync vs group commit vs group+ELR durability across
@@ -22,11 +23,14 @@
 //! past saturation through the `dora-server` front-end, admission control
 //! on/off) and `chaos` (goodput under a seeded deterministic fault
 //! schedule — log-device errors, latency spikes, flusher stalls, executor
-//! panics — with the self-healing paths off vs on). Each optionally emits a
+//! panics — with the self-healing paths off vs on) and `htap` (live
+//! analytical snapshot scans against full-load OLTP: interference,
+//! scan throughput, snapshot staleness and the scans' lock-freedom).
+//! Each optionally emits a
 //! machine-readable summary for CI's bench-smoke artifacts via
 //! `--json[=path]` (defaults `BENCH_skew.json` / `BENCH_dispatch.json` /
 //! `BENCH_commit.json` / `BENCH_recover.json` / `BENCH_saturation.json` /
-//! `BENCH_chaos.json`; an explicit path applies
+//! `BENCH_chaos.json` / `BENCH_htap.json`; an explicit path applies
 //! when a single JSON-producing experiment is requested, otherwise each
 //! falls back to its default). Reports are printed to stdout; absolute numbers depend on the
 //! host, but the *shapes* the paper reports (who wins, where the baseline
@@ -52,7 +56,7 @@ fn main() {
     // explicit --json=path only applies when exactly one of them runs, so
     // two experiments never clobber one file.
     let json_producers_requested = if run_all {
-        6
+        7
     } else {
         [
             "skew",
@@ -61,6 +65,7 @@ fn main() {
             "recover",
             "saturation",
             "chaos",
+            "htap",
         ]
         .iter()
         .filter(|name| requested.iter().any(|a| a.as_str() == **name))
@@ -127,6 +132,13 @@ fn main() {
             write_json(&path, summary.to_json());
         }
     };
+    let run_htap = |scale: &Scale| {
+        let (report, summary) = experiments::htap_with_summary(scale);
+        println!("{report}");
+        if let Some(path) = json_path_for("BENCH_htap.json") {
+            write_json(&path, summary.to_json());
+        }
+    };
 
     if run_all {
         println!(
@@ -144,6 +156,7 @@ fn main() {
         run_recover(&scale);
         run_saturation(&scale);
         run_chaos(&scale);
+        run_htap(&scale);
         return;
     }
 
@@ -175,6 +188,10 @@ fn main() {
                 run_chaos(&scale);
                 ran_json_producer = true;
             }
+            "htap" => {
+                run_htap(&scale);
+                ran_json_producer = true;
+            }
             other => match experiments::by_name(other, &scale) {
                 Some(report) => println!("{report}"),
                 None => unknown.push(other.to_string()),
@@ -183,12 +200,12 @@ fn main() {
     }
     if json_requested && !ran_json_producer {
         eprintln!(
-            "warning: --json ignored — none of skew/dispatch/commit/recover/saturation/chaos was requested"
+            "warning: --json ignored — none of skew/dispatch/commit/recover/saturation/chaos/htap was requested"
         );
     }
     if !unknown.is_empty() {
         eprintln!(
-            "unknown experiment(s): {} (valid: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 skew dispatch commit recover saturation chaos all)",
+            "unknown experiment(s): {} (valid: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig10 fig11 skew dispatch commit recover saturation chaos htap all)",
             unknown.join(", ")
         );
         std::process::exit(2);

@@ -1783,6 +1783,7 @@ fn run_saturation_series(
             session_window: 1,
             submit_deadline: None,
             retry: RetryPolicy::default(),
+            snapshot_reads: true,
         },
     )
     .expect("open server");
@@ -2208,6 +2209,7 @@ fn run_chaos_point(
         session_window: 1,
         submit_deadline: None,
         retry: RetryPolicy::default(),
+        snapshot_reads: true,
     };
     if healing {
         // The serving half of self-healing: bounded retries of aborted
@@ -2462,6 +2464,388 @@ pub fn chaos_with_summary(scale: &Scale) -> (Report, ChaosSummary) {
     (report, summary)
 }
 
+/// One measured cell of the `htap` experiment: closed-loop TPC-B OLTP at
+/// 100% offered load with `scan_threads` analytical scan threads running
+/// concurrently, each repeatedly pinning a snapshot and sweeping the whole
+/// account table through the lock-free MVCC read path.
+#[derive(Debug, Clone)]
+pub struct HtapPoint {
+    /// Concurrent analytical scan threads (0 = the scan-free OLTP baseline
+    /// the interference is measured against).
+    pub scan_threads: usize,
+    /// Closed-loop OLTP client threads.
+    pub oltp_clients: usize,
+    /// OLTP transactions committed during the measured interval.
+    pub oltp_committed: u64,
+    /// OLTP commits per second.
+    pub oltp_tps: f64,
+    /// Full-table scans completed during the measured interval (all scan
+    /// threads).
+    pub scans_completed: u64,
+    /// Completed scans per second.
+    pub scans_per_sec: f64,
+    /// Rows the last completed scan visited (sanity: the whole table).
+    pub rows_per_scan: u64,
+    /// Mean snapshot staleness at scan completion, in commit tickets: how
+    /// many transactions committed while the scan was running.
+    pub avg_staleness: f64,
+    /// Worst-case staleness observed (commit tickets).
+    pub max_staleness: u64,
+    /// Centralized + DORA-local lock acquisitions on the scan threads over
+    /// the whole run. The snapshot path's claim is that this is **zero**.
+    pub scan_lock_acquisitions: u64,
+    /// Row versions installed during the measured window (all threads).
+    pub versions_created: u64,
+    /// Row versions reclaimed by the background collector in the window.
+    pub versions_reclaimed: u64,
+    /// Live version-chain count at the end of the cell.
+    pub live_chains: usize,
+    /// Mean live version-chain length at the end of the cell.
+    pub chain_mean: f64,
+    /// Longest live version chain at the end of the cell.
+    pub chain_max: u64,
+}
+
+/// One engine's `htap` sweep over the scan-thread counts.
+#[derive(Debug, Clone)]
+pub struct HtapSeries {
+    /// Engine label ("Baseline" / "DORA").
+    pub system: &'static str,
+    /// One entry per scan-thread count, in sweep order; `points[0]` is the
+    /// scan-free baseline.
+    pub points: Vec<HtapPoint>,
+}
+
+impl HtapSeries {
+    /// OLTP throughput of the scan-free cell.
+    pub fn baseline_tps(&self) -> f64 {
+        self.points.first().map(|p| p.oltp_tps).unwrap_or(0.0)
+    }
+
+    /// `point`'s OLTP throughput as a fraction of the scan-free cell —
+    /// the interference figure of merit: snapshot scans should hold this
+    /// near 1.0 no matter how many scan threads run.
+    pub fn retention(&self, point: &HtapPoint) -> f64 {
+        point.oltp_tps / self.baseline_tps().max(1.0)
+    }
+}
+
+/// Everything the `htap` experiment measured; serialized to
+/// `BENCH_htap.json` by the CI bench-smoke job.
+#[derive(Debug, Clone)]
+pub struct HtapSummary {
+    /// Measured interval length per cell, in milliseconds.
+    pub interval_ms: u64,
+    /// Per-thread scan pacing interval, in milliseconds (one sweep starts
+    /// per interval; back-to-back when a sweep runs longer).
+    pub scan_interval_ms: u64,
+    /// TPC-B branches.
+    pub branches: i64,
+    /// TPC-B accounts per branch (the scanned table has
+    /// `branches × accounts_per_branch` rows).
+    pub accounts_per_branch: i64,
+    /// Closed-loop OLTP clients per cell.
+    pub oltp_clients: usize,
+    /// The scan-thread counts swept.
+    pub scan_points: Vec<usize>,
+    /// The two series: one per engine.
+    pub series: Vec<HtapSeries>,
+}
+
+impl HtapSummary {
+    /// Renders the summary as a small JSON document (hand-rolled like the
+    /// other summaries; no serde in the workspace).
+    pub fn to_json(&self) -> String {
+        let series = self
+            .series
+            .iter()
+            .map(|series| {
+                let points = series
+                    .points
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            concat!(
+                                "        {{\"scan_threads\": {}, \"oltp_clients\": {}, ",
+                                "\"oltp_tps\": {:.1}, \"oltp_retention\": {:.3}, ",
+                                "\"scans_per_sec\": {:.2}, \"scans_completed\": {}, ",
+                                "\"rows_per_scan\": {}, \"avg_staleness\": {:.1}, ",
+                                "\"max_staleness\": {}, \"scan_lock_acquisitions\": {}, ",
+                                "\"versions_created\": {}, \"versions_reclaimed\": {}, ",
+                                "\"live_chains\": {}, \"chain_mean\": {:.2}, ",
+                                "\"chain_max\": {}}}"
+                            ),
+                            p.scan_threads,
+                            p.oltp_clients,
+                            p.oltp_tps,
+                            series.retention(p),
+                            p.scans_per_sec,
+                            p.scans_completed,
+                            p.rows_per_scan,
+                            p.avg_staleness,
+                            p.max_staleness,
+                            p.scan_lock_acquisitions,
+                            p.versions_created,
+                            p.versions_reclaimed,
+                            p.live_chains,
+                            p.chain_mean,
+                            p.chain_max,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!(
+                    concat!(
+                        "    {{\"system\": \"{}\", \"baseline_tps\": {:.1}, ",
+                        "\"points\": [\n{}\n    ]}}"
+                    ),
+                    series.system,
+                    series.baseline_tps(),
+                    points,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            concat!(
+                "{{\n  \"experiment\": \"htap\",\n  \"interval_ms\": {},\n",
+                "  \"scan_interval_ms\": {},\n",
+                "  \"branches\": {},\n  \"accounts_per_branch\": {},\n",
+                "  \"oltp_clients\": {},\n  \"series\": [\n{}\n  ]\n}}\n"
+            ),
+            self.interval_ms,
+            self.scan_interval_ms,
+            self.branches,
+            self.accounts_per_branch,
+            self.oltp_clients,
+            series
+        )
+    }
+}
+
+/// Runs one `htap` cell: OLTP clients and scan threads share one recording
+/// window; the scan threads verify their own lock-freedom through their
+/// thread-local counter slots.
+fn run_htap_point(scale: &Scale, system: SystemUnderTest, scan_threads: usize) -> HtapPoint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    use dora_metrics::current_thread_snapshot;
+    use dora_workloads::AnalyticalScan;
+
+    let prepared = prepare(scale.tpcb(), scale, system);
+    let oltp_clients = scale.clients_for(100.0);
+
+    let recording = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let before = global().snapshot();
+
+    // Analytical side: each scan thread owns its prepared program and result
+    // sink, and pins a fresh snapshot per sweep. Sweeps are paced — one per
+    // `scale.htap_scan_interval` (back-to-back when a sweep runs longer) —
+    // so the analytical load scales with the thread count without the scan
+    // threads flat-out monopolizing cores; the interference measured against
+    // the scan-free cell is then the lock/latch kind, not CPU starvation.
+    // Lock-freedom is checked per thread: the thread-local counter delta
+    // across the whole loop must contain zero lock acquisitions of any
+    // flavor.
+    let interval = scale.htap_scan_interval;
+    let scanners: Vec<_> = (0..scan_threads)
+        .map(|_| {
+            let engine = Arc::clone(&prepared.engine);
+            let db = Arc::clone(&prepared.db);
+            let recording = Arc::clone(&recording);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let sink = AnalyticalScan::sink();
+                let program = AnalyticalScan::tpcb_branch_balances(&db, Arc::clone(&sink))
+                    .expect("build scan program");
+                let scan = engine.prepare(program).expect("prepare scan program");
+                let thread_before = current_thread_snapshot();
+                let (mut scans, mut rows) = (0u64, 0u64);
+                let (mut staleness_sum, mut staleness_max) = (0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let tick = Instant::now();
+                    let snapshot = Arc::new(engine.snapshot());
+                    engine
+                        .execute_on_snapshot(&scan, &snapshot)
+                        .expect("snapshot scan");
+                    if recording.load(Ordering::Relaxed) {
+                        scans += 1;
+                        let staleness = snapshot.staleness();
+                        staleness_sum += staleness;
+                        staleness_max = staleness_max.max(staleness);
+                        rows = sink.lock().rows_scanned;
+                    }
+                    if let Some(rest) = interval.checked_sub(tick.elapsed()) {
+                        std::thread::sleep(rest);
+                    }
+                }
+                let delta = current_thread_snapshot().since(&thread_before);
+                let locks = delta.counter(CounterKind::RowLevelLock)
+                    + delta.counter(CounterKind::HigherLevelLock)
+                    + delta.counter(CounterKind::DoraLocalLock);
+                (scans, staleness_sum, staleness_max, rows, locks)
+            })
+        })
+        .collect();
+
+    // OLTP side: closed-loop clients at 100% offered load, exactly like the
+    // load-sweep figures.
+    let oltp: Vec<_> = (0..oltp_clients)
+        .map(|client| {
+            let engine = Arc::clone(&prepared.engine);
+            let recording = Arc::clone(&recording);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x47a9 + client as u64 * 6007);
+                let mut committed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let outcome = engine.execute_one(&mut rng);
+                    if recording.load(Ordering::Relaxed) && outcome == TxnOutcome::Committed {
+                        committed += 1;
+                    }
+                }
+                committed
+            })
+        })
+        .collect();
+
+    std::thread::sleep(scale.warmup);
+    recording.store(true, Ordering::Relaxed);
+    let started = Instant::now();
+    std::thread::sleep(scale.duration);
+    recording.store(false, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+
+    let oltp_committed: u64 = oltp
+        .into_iter()
+        .map(|h| h.join().expect("oltp client"))
+        .sum();
+    let (mut scans, mut staleness_sum, mut staleness_max) = (0u64, 0u64, 0u64);
+    let (mut rows_per_scan, mut scan_locks) = (0u64, 0u64);
+    for handle in scanners {
+        let (s, sum, max, rows, locks) = handle.join().expect("scan thread");
+        scans += s;
+        staleness_sum += sum;
+        staleness_max = staleness_max.max(max);
+        rows_per_scan = rows_per_scan.max(rows);
+        scan_locks += locks;
+    }
+
+    let delta = global().snapshot().since(&before);
+    let mvcc = prepared.db.mvcc_stats();
+    prepared.shutdown();
+
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    HtapPoint {
+        scan_threads,
+        oltp_clients,
+        oltp_committed,
+        oltp_tps: oltp_committed as f64 / secs,
+        scans_completed: scans,
+        scans_per_sec: scans as f64 / secs,
+        rows_per_scan,
+        avg_staleness: staleness_sum as f64 / scans.max(1) as f64,
+        max_staleness: staleness_max,
+        scan_lock_acquisitions: scan_locks,
+        versions_created: delta.counter(CounterKind::VersionsCreated),
+        versions_reclaimed: delta.counter(CounterKind::VersionsReclaimed),
+        live_chains: mvcc.chains,
+        chain_mean: mvcc.chain_lengths.mean(),
+        chain_max: mvcc.chain_lengths.max(),
+    }
+}
+
+/// The HTAP experiment: TPC-B OLTP at full load with live analytical scans
+/// sharing the same database through MVCC snapshots. For each engine the
+/// scan-thread count is swept from 0 (the interference baseline) upward;
+/// the claims under test are (1) scan throughput scales with scan threads,
+/// (2) OLTP throughput stays near the scan-free baseline, and (3) the scan
+/// threads acquire **zero** locks — centralized or DORA-local — which their
+/// own thread-local counters prove.
+pub fn htap(scale: &Scale) -> Report {
+    htap_with_summary(scale).0
+}
+
+/// The scan-thread counts the `htap` experiment sweeps.
+const HTAP_SCAN_POINTS: [usize; 4] = [0, 1, 2, 4];
+
+/// [`htap`], also returning the machine-readable summary.
+pub fn htap_with_summary(scale: &Scale) -> (Report, HtapSummary) {
+    let scan_points: Vec<usize> = HTAP_SCAN_POINTS.to_vec();
+    let mut series = Vec::new();
+    for system in SystemUnderTest::ALL {
+        let points = scan_points
+            .iter()
+            .map(|&threads| run_htap_point(scale, system, threads))
+            .collect();
+        series.push(HtapSeries {
+            system: system.label(),
+            points,
+        });
+    }
+    let summary = HtapSummary {
+        interval_ms: scale.duration.as_millis() as u64,
+        scan_interval_ms: scale.htap_scan_interval.as_millis() as u64,
+        branches: scale.tpcb_branches,
+        accounts_per_branch: scale.tpcb_accounts_per_branch,
+        oltp_clients: scale.clients_for(100.0),
+        scan_points,
+        series,
+    };
+
+    let mut report =
+        Report::new("HTAP: OLTP interference vs live snapshot scans (TPC-B + analytical sweep)");
+    report.line(format!(
+        concat!(
+            "  {} OLTP clients at 100% load, {} x {} accounts scanned per sweep, ",
+            "{} ms per cell, one sweep per {} ms per scan thread"
+        ),
+        summary.oltp_clients,
+        summary.branches,
+        summary.accounts_per_branch,
+        summary.interval_ms,
+        summary.scan_interval_ms
+    ));
+    report.blank();
+    for series in &summary.series {
+        report.line(format!("{}:", series.system));
+        report.line(format!(
+            "  {:>6} {:>10} {:>8} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9}",
+            "scans",
+            "oltp-tps",
+            "retain",
+            "scans/s",
+            "stale-avg",
+            "stale-max",
+            "scan-lks",
+            "v-made",
+            "v-freed",
+        ));
+        for point in &series.points {
+            report.line(format!(
+                "  {:>6} {:>10.0} {:>8} {:>9.1} {:>10.1} {:>10} {:>10} {:>9} {:>9}",
+                point.scan_threads,
+                point.oltp_tps,
+                pct(series.retention(point)),
+                point.scans_per_sec,
+                point.avg_staleness,
+                point.max_staleness,
+                point.scan_lock_acquisitions,
+                point.versions_created,
+                point.versions_reclaimed,
+            ));
+        }
+        report.blank();
+    }
+    report.line("  (retain = OLTP tps vs the engine's own scan-free cell; stale-* =");
+    report.line("   commit tickets that landed while a scan ran; scan-lks = lock");
+    report.line("   acquisitions on the scan threads, proving the snapshot path");
+    report.line("   never touches the lock manager or the local lock tables)");
+    (report, summary)
+}
+
 /// Runs every paper figure at the given scale, returning the reports.
 /// The `skew` experiment is not included — run it through
 /// [`skew_with_summary`] so its report and machine-readable summary come
@@ -2482,7 +2866,7 @@ pub fn figures(scale: &Scale) -> Vec<Report> {
 }
 
 /// Runs every experiment (paper figures plus `skew`, `dispatch`, `commit`,
-/// `recover`, `saturation` and `chaos`) at the given scale.
+/// `recover`, `saturation`, `chaos` and `htap`) at the given scale.
 pub fn all(scale: &Scale) -> Vec<Report> {
     let mut reports = figures(scale);
     reports.push(skew(scale));
@@ -2491,6 +2875,7 @@ pub fn all(scale: &Scale) -> Vec<Report> {
     reports.push(recover(scale));
     reports.push(saturation(scale));
     reports.push(chaos(scale));
+    reports.push(htap(scale));
     reports
 }
 
@@ -2515,6 +2900,7 @@ pub fn by_name(name: &str, scale: &Scale) -> Option<Report> {
         "recover" => Some(recover(scale)),
         "saturation" => Some(saturation(scale)),
         "chaos" => Some(chaos(scale)),
+        "htap" => Some(htap(scale)),
         _ => None,
     }
 }
@@ -2541,6 +2927,7 @@ mod tests {
             zipf_theta: 0.99,
             fanout_keys: 64,
             fanout_actions: 4,
+            htap_scan_interval: Duration::from_millis(5),
             log_stream_points: vec![1, 2],
             recover_txns: 120,
         }
@@ -2605,6 +2992,59 @@ mod tests {
         assert!(json.contains("\"experiment\": \"saturation\""), "{json}");
         assert!(json.contains("\"admission\": true"), "{json}");
         assert!(json.contains("\"shed_rate\""), "{json}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn htap_scans_are_lock_free_and_json_is_well_formed() {
+        let scale = micro_scale();
+        let (report, summary) = htap_with_summary(&scale);
+        let text = report.render();
+        assert!(text.contains("Baseline"), "{text}");
+        assert!(text.contains("DORA"), "{text}");
+
+        assert_eq!(summary.series.len(), 2, "{{Baseline, DORA}}");
+        let rows = (scale.tpcb_branches * scale.tpcb_accounts_per_branch) as u64;
+        for series in &summary.series {
+            assert_eq!(series.points.len(), summary.scan_points.len());
+            assert_eq!(series.points[0].scan_threads, 0);
+            assert!(
+                series.baseline_tps() > 0.0,
+                "{}: scan-free cell committed nothing",
+                series.system
+            );
+            for point in &series.points {
+                assert_eq!(
+                    point.scan_lock_acquisitions, 0,
+                    "{}@{} scans: snapshot scans must never lock",
+                    series.system, point.scan_threads
+                );
+                if point.scan_threads > 0 {
+                    assert!(
+                        point.scans_completed > 0,
+                        "{}@{} scans: no sweep finished",
+                        series.system,
+                        point.scan_threads
+                    );
+                    assert_eq!(
+                        point.rows_per_scan, rows,
+                        "{}: a sweep must visit the whole table",
+                        series.system
+                    );
+                }
+            }
+        }
+
+        let json = summary.to_json();
+        assert!(json.contains("\"experiment\": \"htap\""), "{json}");
+        assert!(json.contains("\"oltp_retention\""), "{json}");
+        assert!(json.contains("\"scan_lock_acquisitions\": 0"), "{json}");
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(
                 json.matches(open).count(),

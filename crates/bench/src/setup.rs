@@ -51,6 +51,13 @@ pub struct Scale {
     /// Counters bumped per fan-out transaction — the phase's action count,
     /// i.e. how many messages one dispatch sprays across the executors.
     pub fanout_actions: usize,
+    /// Pacing interval for the `htap` experiment's analytical clients: each
+    /// scan thread starts one snapshot sweep per interval (back-to-back when
+    /// a sweep runs longer). Pacing makes the analytical load scale with the
+    /// thread count while keeping the scan-side CPU demand bounded, so the
+    /// OLTP-interference measurement isolates lock/latch effects instead of
+    /// raw CPU oversubscription on small hosts.
+    pub htap_scan_interval: Duration,
     /// Log-stream counts swept by the `commit` and `recover` durability
     /// experiments (the partitioned-WAL axis). Always starts at 1 so every
     /// multi-stream row has its single-stream baseline in the same matrix.
@@ -84,6 +91,7 @@ impl Scale {
             zipf_theta: 0.99,
             fanout_keys: 4_096,
             fanout_actions: 8,
+            htap_scan_interval: Duration::from_millis(50),
             log_stream_points: vec![1, 4],
             recover_txns: 3_000,
         }
@@ -109,6 +117,7 @@ impl Scale {
             zipf_theta: 0.99,
             fanout_keys: 65_536,
             fanout_actions: 8,
+            htap_scan_interval: Duration::from_millis(200),
             log_stream_points: vec![1, 2, 4, 8],
             recover_txns: 30_000,
         }
@@ -330,6 +339,7 @@ mod tests {
             zipf_theta: 0.99,
             fanout_keys: 64,
             fanout_actions: 4,
+            htap_scan_interval: Duration::from_millis(5),
             log_stream_points: vec![1, 2],
             recover_txns: 120,
         }

@@ -199,6 +199,13 @@ pub struct DurabilityConfig {
     /// by harnesses that deliberately measure *full-history* replay after a
     /// checkpoint was taken.
     pub reclaim_log_at_checkpoint: bool,
+    /// Per-stream simulated device write latencies, in microseconds. Stream
+    /// `s` uses `stream_flush_micros[s]` when present and falls back to the
+    /// system-wide `log_flush_micros` otherwise, so a heterogeneous log
+    /// farm (one fast NVMe stream, several slow SATA streams) can be
+    /// modelled without giving up the single shared default. Empty (the
+    /// default) keeps every stream on the shared value.
+    pub stream_flush_micros: Vec<u64>,
 }
 
 impl Default for DurabilityConfig {
@@ -211,6 +218,7 @@ impl Default for DurabilityConfig {
             log_streams: 1,
             checkpoint_interval: 0,
             reclaim_log_at_checkpoint: true,
+            stream_flush_micros: Vec::new(),
         }
     }
 }
@@ -243,6 +251,25 @@ impl DurabilityConfig {
             log_streams: streams.max(1),
             ..self
         }
+    }
+
+    /// This configuration with per-stream device write latencies. Stream `s`
+    /// takes `micros[s]`; streams past the end of the slice keep the shared
+    /// system-wide latency.
+    pub fn with_stream_device_micros(self, micros: Vec<u64>) -> Self {
+        Self {
+            stream_flush_micros: micros,
+            ..self
+        }
+    }
+
+    /// Device write latency for stream `index`: the per-stream override when
+    /// one is configured, the shared `default_micros` otherwise.
+    pub fn device_micros_for(&self, index: usize, default_micros: u64) -> u64 {
+        self.stream_flush_micros
+            .get(index)
+            .copied()
+            .unwrap_or(default_micros)
     }
 }
 
@@ -376,6 +403,20 @@ mod tests {
             DurabilityConfig::default().with_log_streams(0).log_streams,
             1,
             "stream counts clamp to at least one"
+        );
+        assert!(
+            config.stream_flush_micros.is_empty(),
+            "per-stream device latencies are opt-in"
+        );
+        let mixed = DurabilityConfig::default()
+            .with_log_streams(3)
+            .with_stream_device_micros(vec![5, 80]);
+        assert_eq!(mixed.device_micros_for(0, 25), 5);
+        assert_eq!(mixed.device_micros_for(1, 25), 80);
+        assert_eq!(
+            mixed.device_micros_for(2, 25),
+            25,
+            "streams past the override slice keep the shared default"
         );
     }
 

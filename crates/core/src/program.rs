@@ -74,7 +74,7 @@
 use std::sync::Arc;
 
 use dora_common::prelude::*;
-use dora_storage::{Database, TxnHandle};
+use dora_storage::{Database, Snapshot, TxnHandle};
 
 use crate::action::{ActionSpec, LocalMode, Scratch};
 use crate::flow::FlowGraph;
@@ -429,6 +429,15 @@ impl TxnProgram {
             .count()
     }
 
+    /// `true` if every step declares [`LocalMode::Shared`] — the program
+    /// never writes, so it is eligible for lock-free snapshot execution.
+    pub fn is_read_only(&self) -> bool {
+        self.phases
+            .iter()
+            .flatten()
+            .all(|s| s.mode == LocalMode::Shared)
+    }
+
     // ----- typed-step sugar (delegates to the [`Step`] constructors) --------
 
     /// Appends a [`Step::read`] to the current phase.
@@ -666,6 +675,49 @@ impl PreparedProgram {
             (step.body)(&ctx)?;
         }
         Ok(())
+    }
+
+    /// `true` if every step declares [`LocalMode::Shared`] — the program
+    /// never writes, so it is eligible for lock-free snapshot execution.
+    pub fn is_read_only(&self) -> bool {
+        self.phases
+            .iter()
+            .flatten()
+            .all(|s| s.mode == LocalMode::Shared)
+    }
+
+    /// Runs the program against a pinned [`Snapshot`]: every read is served
+    /// at the snapshot's horizon from the version chains, with no DORA
+    /// routing, no local-lock-table probes, and no centralized lock manager
+    /// involvement — so it can run on *any* thread, concurrently with OLTP,
+    /// without disturbing either engine's partitioning.
+    ///
+    /// The program must be [`is_read_only`](Self::is_read_only); programs
+    /// with write steps are rejected up front (a write slipping through
+    /// would also be rejected by the storage layer).
+    pub fn run_snapshot(&self, db: &Database, snapshot: &Arc<Snapshot>) -> DbResult<()> {
+        if !self.is_read_only() {
+            return Err(DbError::InvalidOperation(format!(
+                "program `{}` has write steps; snapshot execution is read-only",
+                self.name
+            )));
+        }
+        let txn = db.begin_snapshot(Arc::clone(snapshot));
+        let scratch = Scratch::new();
+        let result = {
+            let ctx = StepCtx::new(db, &txn, &scratch, Backend::Baseline);
+            self.phases
+                .iter()
+                .flatten()
+                .try_for_each(|step| (step.body)(&ctx))
+        };
+        match result {
+            Ok(()) => db.commit(&txn),
+            Err(err) => {
+                let _ = db.abort(&txn);
+                Err(err)
+            }
+        }
     }
 }
 

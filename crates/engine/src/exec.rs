@@ -21,7 +21,7 @@ use rand::rngs::SmallRng;
 
 use dora_common::prelude::*;
 use dora_core::{AdaptiveController, DoraConfig, DoraEngine, PreparedProgram, TxnProgram};
-use dora_storage::Database;
+use dora_storage::{Database, Snapshot};
 use dora_workloads::{Workload, WorkloadStats};
 
 use crate::baseline::BaselineEngine;
@@ -109,6 +109,34 @@ pub trait ExecutionEngine: Send + Sync {
             Ok(outcome) => outcome,
             Err(_) => TxnOutcome::Aborted,
         }
+    }
+
+    /// Pins a [`Snapshot`] at the current published commit-ticket horizon.
+    /// Engine-agnostic: snapshots live in the storage manager, below the
+    /// execution architecture, so both registered engines share this.
+    fn snapshot(&self) -> Snapshot {
+        self.db().snapshot()
+    }
+
+    /// Executes a read-only prepared program against an already-pinned
+    /// [`Snapshot`] — the HTAP scan path. The program runs on the calling
+    /// thread with no DORA routing, no local-lock-table probes, and no
+    /// centralized lock manager involvement; several scans may share one
+    /// snapshot to amortize the pin.
+    fn execute_on_snapshot(
+        &self,
+        prepared: &PreparedProgram,
+        snapshot: &Arc<Snapshot>,
+    ) -> DbResult<TxnOutcome> {
+        prepared.run_snapshot(self.db(), snapshot)?;
+        Ok(TxnOutcome::Committed)
+    }
+
+    /// Pins a fresh snapshot and executes a read-only prepared program on
+    /// it. Rejects programs with write steps.
+    fn execute_snapshot_checked(&self, prepared: &PreparedProgram) -> DbResult<TxnOutcome> {
+        let snapshot = Arc::new(self.snapshot());
+        self.execute_on_snapshot(prepared, &snapshot)
     }
 
     /// Stops any engine-owned threads. Idempotent; the default is a no-op.
@@ -448,5 +476,56 @@ mod tests {
         let engine = build_engine(EngineKind::Baseline, db);
         let mut rng = SmallRng::seed_from_u64(1);
         engine.execute_one(&mut rng);
+    }
+
+    #[test]
+    fn every_registered_engine_serves_snapshot_reads() {
+        use dora_core::{OnMissing, TxnProgram};
+
+        for kind in EngineKind::ALL {
+            let engine = bound_engine(kind);
+            let table = engine.db().table_id("account").unwrap();
+
+            let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let sink = Arc::clone(&seen);
+            let program = TxnProgram::new("snapshot-read").read(
+                "read-account",
+                table,
+                Key::int(1),
+                Key::int(1),
+                OnMissing::Error,
+                move |_, row| {
+                    sink.lock().push(row[2].clone());
+                    Ok(())
+                },
+            );
+            let prepared = program.prepare();
+            assert!(prepared.is_read_only());
+            assert_eq!(
+                engine.execute_snapshot_checked(&prepared).unwrap(),
+                TxnOutcome::Committed,
+                "{}: snapshot execution",
+                engine.name()
+            );
+            assert_eq!(seen.lock().len(), 1);
+
+            // A program with a write step is rejected before it runs.
+            let writer = TxnProgram::new("snapshot-write").update(
+                "bump",
+                table,
+                Key::int(1),
+                Key::int(1),
+                OnMissing::Error,
+                |_, _| Ok(()),
+            );
+            let prepared = writer.prepare();
+            assert!(!prepared.is_read_only());
+            assert!(
+                engine.execute_snapshot_checked(&prepared).is_err(),
+                "{}: write program must be rejected",
+                engine.name()
+            );
+            engine.shutdown();
+        }
     }
 }

@@ -114,10 +114,24 @@ pub enum CounterKind {
     /// Stalled-flusher nudges issued by the log watchdog after it observed a
     /// stream's flush horizon stop advancing with work pending.
     WatchdogNudges = 34,
+    /// Row versions installed in the multi-version store (one per committed
+    /// write, plus the copy-on-write base version seeded the first time a
+    /// bulk-loaded row is touched transactionally).
+    VersionsCreated = 35,
+    /// Row versions pruned by the version-chain garbage collector once no
+    /// live snapshot could still read them.
+    VersionsReclaimed = 36,
+    /// Snapshot handles taken (each pins a commit-ticket horizon until it is
+    /// dropped, bounding what the version GC may reclaim).
+    SnapshotsTaken = 37,
+    /// Reads served from a snapshot: point probes and scanned rows resolved
+    /// against a pinned horizon with no lock-manager or local-lock-table
+    /// traffic at all.
+    SnapshotReads = 38,
 }
 
 /// Number of [`CounterKind`] variants; sizes the per-thread arrays.
-pub const COUNTER_KIND_COUNT: usize = 35;
+pub const COUNTER_KIND_COUNT: usize = 39;
 
 /// All counters, in `repr` order.
 pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
@@ -156,6 +170,10 @@ pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
     CounterKind::TxnRetried,
     CounterKind::CallbackPanics,
     CounterKind::WatchdogNudges,
+    CounterKind::VersionsCreated,
+    CounterKind::VersionsReclaimed,
+    CounterKind::SnapshotsTaken,
+    CounterKind::SnapshotReads,
 ];
 
 impl CounterKind {
@@ -202,6 +220,10 @@ impl CounterKind {
             CounterKind::TxnRetried => "txn-retried",
             CounterKind::CallbackPanics => "callback-panics",
             CounterKind::WatchdogNudges => "watchdog-nudges",
+            CounterKind::VersionsCreated => "versions-created",
+            CounterKind::VersionsReclaimed => "versions-reclaimed",
+            CounterKind::SnapshotsTaken => "snapshots-taken",
+            CounterKind::SnapshotReads => "snapshot-reads",
         }
     }
 }

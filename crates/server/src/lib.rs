@@ -171,6 +171,79 @@ mod tests {
     }
 
     #[test]
+    fn read_only_statements_are_served_from_snapshots() {
+        use dora_metrics::{current_thread_snapshot, CounterKind};
+        use dora_workloads::AnalyticalScan;
+
+        for kind in [EngineKind::Baseline, EngineKind::Dora] {
+            let tpcb = TpcB::with_accounts(4, 64);
+            let db = Database::for_tests();
+            tpcb.setup(&db).unwrap();
+            let workload = Arc::new(tpcb);
+            let server = Server::open(
+                Arc::clone(&db),
+                workload.clone(),
+                ServerConfig::for_tests(kind),
+            )
+            .unwrap();
+
+            let sink = AnalyticalScan::sink();
+            let scan = server
+                .prepare(AnalyticalScan::tpcb_branch_balances(&db, Arc::clone(&sink)).unwrap())
+                .unwrap();
+            assert!(scan.snapshot_eligible());
+            let transfer = server
+                .prepare(workload.account_update_program(&db, 1, 1, 1, 7.5).unwrap())
+                .unwrap();
+            assert!(!transfer.snapshot_eligible());
+
+            let before = current_thread_snapshot();
+            let session = server.session();
+            assert_eq!(session.execute(&scan), SubmitOutcome::Committed);
+            let after = current_thread_snapshot();
+            assert!(
+                after.since(&before).counter(CounterKind::SnapshotsTaken) >= 1,
+                "{kind:?}: eligible statement must pin a snapshot"
+            );
+            assert_eq!(sink.lock().rows_scanned, 4 * 64);
+            server.close();
+        }
+    }
+
+    #[test]
+    fn snapshot_serving_can_be_disabled() {
+        use dora_metrics::{current_thread_snapshot, CounterKind};
+        use dora_workloads::AnalyticalScan;
+
+        let tpcb = TpcB::with_accounts(2, 32);
+        let db = Database::for_tests();
+        tpcb.setup(&db).unwrap();
+        let workload = Arc::new(tpcb);
+        let server = Server::open(
+            Arc::clone(&db),
+            workload.clone(),
+            ServerConfig::for_tests(EngineKind::Baseline).with_snapshot_reads(false),
+        )
+        .unwrap();
+
+        let sink = AnalyticalScan::sink();
+        let scan = server
+            .prepare(AnalyticalScan::tpcb_branch_balances(&db, Arc::clone(&sink)).unwrap())
+            .unwrap();
+        let before = current_thread_snapshot();
+        let session = server.session();
+        assert_eq!(session.execute(&scan), SubmitOutcome::Committed);
+        let after = current_thread_snapshot();
+        assert_eq!(
+            after.since(&before).counter(CounterKind::SnapshotsTaken),
+            0,
+            "disabled snapshot serving must use the locked path"
+        );
+        assert_eq!(sink.lock().rows_scanned, 2 * 32);
+        server.close();
+    }
+
+    #[test]
     fn session_window_caps_concurrent_submitters() {
         let (server, statement) = served(EngineKind::Baseline, None);
         let session = server.session_with_window(2);

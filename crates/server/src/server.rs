@@ -174,6 +174,12 @@ pub struct ServerConfig {
     pub submit_deadline: Option<Duration>,
     /// Retry policy for aborted submissions (default: off).
     pub retry: RetryPolicy,
+    /// Serve read-only statements from a lock-free MVCC snapshot instead of
+    /// running them through the engine's locked path (default: on). Each
+    /// eligible submission pins a fresh snapshot, so it sees every commit
+    /// published before it started and never blocks — or is blocked by —
+    /// OLTP writers.
+    pub snapshot_reads: bool,
 }
 
 impl ServerConfig {
@@ -189,6 +195,7 @@ impl ServerConfig {
             session_window: 8,
             submit_deadline: None,
             retry: RetryPolicy::default(),
+            snapshot_reads: true,
         }
     }
 
@@ -205,6 +212,7 @@ impl ServerConfig {
             session_window: 4,
             submit_deadline: None,
             retry: RetryPolicy::default(),
+            snapshot_reads: true,
         }
     }
 
@@ -225,6 +233,15 @@ impl ServerConfig {
     pub fn with_retry(self, retry: RetryPolicy) -> Self {
         Self { retry, ..self }
     }
+
+    /// This configuration with snapshot serving of read-only statements
+    /// switched on or off.
+    pub fn with_snapshot_reads(self, snapshot_reads: bool) -> Self {
+        Self {
+            snapshot_reads,
+            ..self
+        }
+    }
 }
 
 /// Shared server internals; sessions keep the core alive even if the
@@ -236,6 +253,7 @@ pub(crate) struct ServerCore {
     session_window: usize,
     submit_deadline: Option<Duration>,
     retry: RetryPolicy,
+    snapshot_reads: bool,
 }
 
 impl ServerCore {
@@ -257,12 +275,24 @@ impl ServerCore {
 
     fn execute(&self, statement: &Statement, params: &Params) -> SubmitOutcome {
         let result = match &*statement.kind {
+            // Read-only statements skip both engines entirely: they run on
+            // this thread against a freshly pinned snapshot, with no DORA
+            // routing and no lock-manager traffic.
+            StatementKind::Prepared(prepared) if self.snapshot_reads && prepared.is_read_only() => {
+                self.engine.execute_snapshot_checked(prepared)
+            }
             // Compile-once/execute-many: the shared step list behind the
             // handle runs directly, no per-call lowering.
             StatementKind::Prepared(prepared) => self.engine.execute_prepared_checked(prepared),
             // Per-binding build (routing keys are baked in at build time),
-            // then the engine's prepare-and-run path.
+            // then the engine's prepare-and-run path. Eligibility for the
+            // snapshot path is decided per build: the program only exists
+            // once the parameters are bound.
             StatementKind::Template(build) => match build(self.engine.db(), params) {
+                Ok(program) if self.snapshot_reads && program.is_read_only() => self
+                    .engine
+                    .prepare(program)
+                    .and_then(|prepared| self.engine.execute_snapshot_checked(&prepared)),
                 Ok(program) => self.engine.execute_program_checked(program),
                 Err(_) => return SubmitOutcome::Aborted,
             },
@@ -327,6 +357,7 @@ impl Server {
                 session_window: config.session_window.max(1),
                 submit_deadline: config.submit_deadline,
                 retry: config.retry,
+                snapshot_reads: config.snapshot_reads,
             }),
         })
     }

@@ -84,4 +84,16 @@ impl Statement {
     pub fn is_compiled(&self) -> bool {
         matches!(*self.kind, StatementKind::Prepared(_))
     }
+
+    /// `true` if this statement is *statically* known to be read-only and
+    /// therefore eligible for lock-free snapshot execution (when the server
+    /// has snapshot reads enabled). Fixed-parameter statements answer from
+    /// their compiled step list; templates answer `false` here — their
+    /// programs only exist per binding, so eligibility is decided per build.
+    pub fn snapshot_eligible(&self) -> bool {
+        match &*self.kind {
+            StatementKind::Prepared(prepared) => prepared.is_read_only(),
+            StatementKind::Template(_) => false,
+        }
+    }
 }

@@ -84,6 +84,17 @@ impl HeapFile {
 
     /// Inserts a record, returning its new RID.
     pub fn insert(&self, record: &[u8]) -> DbResult<Rid> {
+        self.insert_with(record, |_| {})
+    }
+
+    /// [`Self::insert`], invoking `on_insert` with the new RID *while the
+    /// destination page's write latch is still held*. The multi-version
+    /// store uses this window to seed the row's version chain before any
+    /// snapshot reader can observe the slot: a reader's page latch
+    /// acquisition happens-after the latch release, so by the time it can
+    /// read the bytes the chain already says whether they are visible.
+    pub fn insert_with(&self, record: &[u8], on_insert: impl FnOnce(Rid)) -> DbResult<Rid> {
+        let mut on_insert = Some(on_insert);
         // Try candidate pages with space first, newest candidates last so
         // inserts cluster.
         let candidates: Vec<PageId> = {
@@ -91,7 +102,7 @@ impl HeapFile {
             state.candidates.iter().rev().take(4).cloned().collect()
         };
         for page_id in candidates {
-            if let Some(rid) = self.try_insert_into(page_id, record)? {
+            if let Some(rid) = self.try_insert_into(page_id, record, &mut on_insert)? {
                 return Ok(rid);
             }
             // Page turned out to be full: forget it as a candidate.
@@ -106,7 +117,7 @@ impl HeapFile {
             state.candidates.push(id);
             id
         };
-        match self.try_insert_into(page_id, record)? {
+        match self.try_insert_into(page_id, record, &mut on_insert)? {
             Some(rid) => Ok(rid),
             // A freshly allocated page refusing the record means the record
             // is larger than a page.
@@ -114,7 +125,12 @@ impl HeapFile {
         }
     }
 
-    fn try_insert_into(&self, page_id: PageId, record: &[u8]) -> DbResult<Option<Rid>> {
+    fn try_insert_into(
+        &self,
+        page_id: PageId,
+        record: &[u8],
+        on_insert: &mut Option<impl FnOnce(Rid)>,
+    ) -> DbResult<Option<Rid>> {
         let pinned = self.pool.pin(PageKey {
             table: self.table,
             page: page_id,
@@ -124,10 +140,14 @@ impl HeapFile {
             return Ok(None);
         }
         let slot = page.insert(record).map_err(|e| self.tag(e))?;
-        Ok(Some(Rid {
+        let rid = Rid {
             page: page_id,
             slot,
-        }))
+        };
+        if let Some(hook) = on_insert.take() {
+            hook(rid);
+        }
+        Ok(Some(rid))
     }
 
     /// Reads the record at `rid`.

@@ -37,6 +37,7 @@ pub mod heap;
 pub mod latch;
 pub mod lock;
 pub mod log;
+pub mod mvcc;
 pub mod page;
 pub mod txn;
 
@@ -48,4 +49,5 @@ pub use log::{
     bind_executor_log_stream, bound_log_stream, Checkpoint, LogManager, LogRecord, LogRecordKind,
     Lsn, StreamId, StreamStats,
 };
+pub use mvcc::{ChainRead, MvccStats, Snapshot, VersionStore};
 pub use txn::{TxnManager, TxnStatus};

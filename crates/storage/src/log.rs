@@ -832,7 +832,7 @@ impl LogManager {
             .map(|s| {
                 LogStream::new(
                     StreamId(s),
-                    flush_latency_micros,
+                    durability.device_micros_for(s, flush_latency_micros),
                     durability.clone(),
                     Arc::clone(&faults),
                 )
@@ -1699,6 +1699,28 @@ mod tests {
             log.flush(stream, lsn);
             assert!(start.elapsed() >= Duration::from_micros(200));
         }
+    }
+
+    #[test]
+    fn per_stream_device_latency_overrides_shared_default() {
+        // Stream 0 simulates a fast device (50us), stream 1 falls back to
+        // the shared 400us default; synchronous commit makes the caller
+        // drive the device write so the latency is observable directly.
+        let durability = DurabilityConfig::sync_commit()
+            .with_log_streams(2)
+            .with_stream_device_micros(vec![50]);
+        let log = LogManager::with_durability(400, durability);
+        log.append(TxnId(1), insert_record(1, 0, 0, vec![1]));
+        let (_, fences) = log.append_commit_fences(TxnId(1), &[StreamId(0), StreamId(1)]);
+        let fast = Instant::now();
+        assert!(log.flush(fences[0].0, fences[0].1));
+        let fast = fast.elapsed();
+        let slow = Instant::now();
+        assert!(log.flush(fences[1].0, fences[1].1));
+        let slow = slow.elapsed();
+        assert!(fast >= Duration::from_micros(50));
+        assert!(slow >= Duration::from_micros(400));
+        assert!(slow > fast, "override stream must be faster than default");
     }
 
     #[test]

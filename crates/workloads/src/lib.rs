@@ -22,6 +22,7 @@
 //! across the whole executor set, the stress test for the batched message
 //! path measured by the `dispatch` benchmark.
 
+pub mod analytics;
 pub mod fanout;
 pub mod skewed;
 pub mod spec;
@@ -30,6 +31,7 @@ pub mod tpcb;
 pub mod tpcc;
 pub mod zipf;
 
+pub use analytics::{AnalyticalScan, ScanSink, ScanSummary};
 pub use fanout::FanoutCounters;
 pub use skewed::SkewedCounters;
 pub use spec::{OutcomeCounts, TxnTypeStats, Workload, WorkloadStats};

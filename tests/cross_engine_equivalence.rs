@@ -13,7 +13,7 @@ use dora_repro::common::prelude::*;
 use dora_repro::dora::DoraConfig;
 use dora_repro::engine::{build_engine_with, ExecutionEngine};
 use dora_repro::storage::Database;
-use dora_repro::workloads::{TpcB, Workload};
+use dora_repro::workloads::{AnalyticalScan, TpcB, Workload};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -78,6 +78,89 @@ fn tpcb_same_seed_same_state_across_all_engines() {
                 assert_eq!(
                     history, *ref_history,
                     "{base} and {this} appended different history row counts"
+                );
+            }
+        }
+    }
+}
+
+/// The MVCC snapshot read path is an *execution* alternative, not a
+/// semantic one: the same read-only program, over the same seeded state,
+/// returns identical results whether it runs through the locked path or
+/// against a snapshot — on every registered engine, and identically across
+/// engines.
+#[test]
+fn snapshot_and_locked_paths_agree_on_read_only_programs() {
+    fn assert_groups_match(
+        context: &str,
+        left: &std::collections::BTreeMap<i64, f64>,
+        right: &std::collections::BTreeMap<i64, f64>,
+    ) {
+        assert_eq!(
+            left.keys().collect::<Vec<_>>(),
+            right.keys().collect::<Vec<_>>(),
+            "{context}: different branch sets"
+        );
+        for (branch, total) in left {
+            assert!(
+                (total - right[branch]).abs() < 1e-6,
+                "{context}: branch {branch} totals diverged: {total} vs {}",
+                right[branch]
+            );
+        }
+    }
+
+    let mut reference: Option<(EngineKind, u64, std::collections::BTreeMap<i64, f64>)> = None;
+    for kind in EngineKind::ALL {
+        let engine = prepared_tpcb(kind, 4, 50);
+        let mut rng = SmallRng::seed_from_u64(77);
+        for _ in 0..150 {
+            engine.execute_one(&mut rng);
+        }
+        let db = engine.db();
+        let label = kind.label();
+
+        let run = |snapshot_path: bool| {
+            let sink = AnalyticalScan::sink();
+            let program = AnalyticalScan::tpcb_branch_balances(db, Arc::clone(&sink)).unwrap();
+            let prepared = engine.prepare(program).unwrap();
+            assert!(prepared.is_read_only(), "{label}: scan must be read-only");
+            let outcome = if snapshot_path {
+                engine.execute_snapshot_checked(&prepared).unwrap()
+            } else {
+                engine.execute_prepared_checked(&prepared).unwrap()
+            };
+            assert!(!outcome.is_failure(), "{label}: scan did not commit");
+            let summary = sink.lock();
+            (summary.rows_scanned, summary.group_totals.clone())
+        };
+
+        let (locked_rows, locked_groups) = run(false);
+        let (snap_rows, snap_groups) = run(true);
+        assert_eq!(
+            locked_rows, snap_rows,
+            "{label}: the two paths scanned different row counts"
+        );
+        assert_groups_match(
+            &format!("{label}: locked vs snapshot path"),
+            &locked_groups,
+            &snap_groups,
+        );
+
+        engine.shutdown();
+        match &reference {
+            None => reference = Some((kind, snap_rows, snap_groups)),
+            Some((ref_kind, ref_rows, ref_groups)) => {
+                assert_eq!(
+                    snap_rows,
+                    *ref_rows,
+                    "{} and {label} scanned different row counts",
+                    ref_kind.label()
+                );
+                assert_groups_match(
+                    &format!("{} vs {label}", ref_kind.label()),
+                    ref_groups,
+                    &snap_groups,
                 );
             }
         }
