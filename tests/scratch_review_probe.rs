@@ -1,0 +1,62 @@
+//! Scratch review test: snapshot probe across a delete + re-insert of the
+//! same key. DELETE BEFORE MERGING — review-only.
+
+use std::sync::Arc;
+
+use dora_repro::common::prelude::*;
+use dora_repro::storage::{ColumnDef, Database, TableSchema};
+
+fn accounts_db() -> (Arc<Database>, TableId) {
+    let db = Database::for_tests();
+    let table = db
+        .create_table(TableSchema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("owner", ValueType::Text),
+                ColumnDef::new("balance", ValueType::Float),
+            ],
+            vec![0],
+        ))
+        .unwrap();
+    (db, table)
+}
+
+fn account_row(id: i64, owner: &str, balance: f64) -> Row {
+    vec![
+        Value::Int(id),
+        Value::Text(owner.into()),
+        Value::Float(balance),
+    ]
+}
+
+#[test]
+fn snapshot_probe_survives_delete_then_reinsert() {
+    let (db, table) = accounts_db();
+    let setup = db.begin();
+    db.insert(&setup, table, account_row(1, "alice", 100.0), CcMode::Full)
+        .unwrap();
+    db.commit(&setup).unwrap();
+
+    let old = Arc::new(db.snapshot());
+
+    // Delete key 1, then re-insert it (new RID), both after the snapshot.
+    let deleter = db.begin();
+    db.delete_primary(&deleter, table, &Key::int(1), CcMode::Full)
+        .unwrap();
+    db.commit(&deleter).unwrap();
+    let inserter = db.begin();
+    db.insert(&inserter, table, account_row(1, "alice-v2", 7.0), CcMode::Full)
+        .unwrap();
+    db.commit(&inserter).unwrap();
+
+    // The pinned snapshot predates both: it must still see the original row.
+    let reader = db.begin_snapshot(Arc::clone(&old));
+    let got = db
+        .probe_primary(&reader, table, &Key::int(1), false, CcMode::Full)
+        .unwrap();
+    db.commit(&reader).unwrap();
+    let (_, row) = got.expect("snapshot pinned before the delete must still see key 1");
+    assert_eq!(row[1], Value::Text("alice".into()));
+    assert_eq!(row[2], Value::Float(100.0));
+}
