@@ -5,7 +5,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dora_common::{config::num_cpus, SystemConfig};
-use dora_engine::{build_engine, ClientDriver, DriverConfig, ExecutionEngine, RunResult};
+use dora_core::DoraConfig;
+use dora_engine::{build_engine_with, ClientDriver, DriverConfig, ExecutionEngine, RunResult};
 use dora_storage::Database;
 use dora_workloads::{Workload, WorkloadStats};
 
@@ -230,10 +231,24 @@ pub fn prepare(
     scale: &Scale,
     system: SystemUnderTest,
 ) -> PreparedSystem {
+    prepare_with_config(workload, scale, system, DoraConfig::default())
+}
+
+/// [`prepare`] with an explicit DORA configuration — the hook experiments use
+/// to pin configuration axes (e.g. `conflict_elision` off for the A/B
+/// baseline of the `conflicts` experiment, or for Figure 11, whose hand-built
+/// DORA-P plan must not be silently auto-serialized by the conflict
+/// analyzer).
+pub fn prepare_with_config(
+    workload: impl Workload + 'static,
+    scale: &Scale,
+    system: SystemUnderTest,
+    dora_config: DoraConfig,
+) -> PreparedSystem {
     let db = Database::new(scale.system_config());
     workload.setup(&db).expect("workload setup");
     let workload: Arc<dyn Workload> = Arc::new(workload);
-    let engine = build_engine(system, Arc::clone(&db));
+    let engine = build_engine_with(system, Arc::clone(&db), dora_config);
     engine
         .bind(Arc::clone(&workload), scale.executors_per_table)
         .expect("bind workload");
@@ -306,7 +321,31 @@ pub fn sweep_stats(
     system: SystemUnderTest,
     load_points: &[f64],
 ) -> (Vec<(f64, RunResult)>, WorkloadStats) {
-    let prepared = prepare(workload, scale, system);
+    sweep_stats_with_config(workload, scale, system, load_points, DoraConfig::default())
+}
+
+/// [`sweep`] with an explicit DORA configuration (see
+/// [`prepare_with_config`]). The system is shut down before returning.
+pub fn sweep_with_config(
+    workload: impl Workload + 'static,
+    scale: &Scale,
+    system: SystemUnderTest,
+    load_points: &[f64],
+    dora_config: DoraConfig,
+) -> Vec<(f64, RunResult)> {
+    sweep_stats_with_config(workload, scale, system, load_points, dora_config).0
+}
+
+/// [`sweep_stats`] with an explicit DORA configuration (see
+/// [`prepare_with_config`]).
+pub fn sweep_stats_with_config(
+    workload: impl Workload + 'static,
+    scale: &Scale,
+    system: SystemUnderTest,
+    load_points: &[f64],
+    dora_config: DoraConfig,
+) -> (Vec<(f64, RunResult)>, WorkloadStats) {
+    let prepared = prepare_with_config(workload, scale, system, dora_config);
     let stats = WorkloadStats::for_workload(&*prepared.workload);
     let mut results = Vec::with_capacity(load_points.len());
     for &load in load_points {

@@ -107,6 +107,11 @@ pub struct ActionSpec {
     /// to the secondary path because its identifier carried no routing
     /// fields — usually a workload bug the engine warns about at dispatch.
     pub declared_secondary: bool,
+    /// `true` when the bind-time conflict matrix proved this step's template
+    /// conflicts with nothing in the workload: the executor skips the
+    /// local-lock-table probe entirely (counter `LockProbesElided`). Set by
+    /// `TxnProgram::with_conflicts`, never by hand.
+    pub elide_probe: bool,
 }
 
 impl std::fmt::Debug for ActionSpec {
@@ -137,6 +142,7 @@ impl ActionSpec {
             body: Box::new(body),
             label,
             declared_secondary: false,
+            elide_probe: false,
         }
     }
 
@@ -155,6 +161,7 @@ impl ActionSpec {
             body: Box::new(body),
             label,
             declared_secondary: true,
+            elide_probe: false,
         }
     }
 
@@ -173,6 +180,7 @@ pub(crate) struct Action {
     pub phase: usize,
     pub label: &'static str,
     pub body: Option<ActionBody>,
+    pub elide_probe: bool,
 }
 
 impl std::fmt::Debug for Action {

@@ -39,6 +39,19 @@ pub struct DoraConfig {
     /// exists to prevent). It is a measurement baseline for the `dispatch`
     /// benchmark, not a production setting.
     pub message_batching: bool,
+    /// Apply the bind-time static conflict analysis (default `true`): steps
+    /// whose [`crate::conflict::ConflictMatrix`] template conflicts with
+    /// nothing skip the local-lock-table probe entirely (counter
+    /// `LockProbesElided`), and programs whose predicted abort rate exceeds
+    /// [`serialize_abort_threshold`](Self::serialize_abort_threshold) are
+    /// auto-derived as DORA-S serialized plans (Figure 11) instead of
+    /// relying on a hand-set `serialized(true)`.
+    ///
+    /// `false` disables both: every routed action probes its executor's
+    /// local lock table and plans run exactly as authored — the A/B baseline
+    /// of the `conflicts` benchmark, and the right setting for experiments
+    /// that measure hand-set plans (e.g. Figure 11 itself).
+    pub conflict_elision: bool,
 }
 
 impl Default for DoraConfig {
@@ -50,6 +63,7 @@ impl Default for DoraConfig {
             rebalance_imbalance_ratio: 1.5,
             adaptive: AdaptiveConfig::default(),
             message_batching: true,
+            conflict_elision: true,
         }
     }
 }

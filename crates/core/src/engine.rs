@@ -87,6 +87,10 @@ impl EngineInner {
         for spec in specs {
             if spec.is_secondary() {
                 if !spec.declared_secondary {
+                    // Undeclared fallback: a routed step whose identifier
+                    // carried no routing fields. Counted on every dispatch so
+                    // benchmarks can see the rate; warned once per step.
+                    incr(CounterKind::SecondaryFallbacks);
                     self.warn_undeclared_secondary(spec.table, spec.label);
                 }
                 secondary.push(spec);
@@ -132,13 +136,16 @@ impl EngineInner {
     /// because its identifier carried none of the table's routing fields —
     /// almost always a workload authoring bug (the step meant to route but
     /// its key columns don't cover the routing fields). Warned once per
-    /// `(table, step label)` per bind so a hot loop cannot flood stderr.
+    /// `(table, step label)` per bind so a hot loop cannot flood stderr; the
+    /// bind-time conflict-analysis coverage report lists the same steps up
+    /// front for workloads that declare templates, and the
+    /// `SecondaryFallbacks` counter records every occurrence.
     fn warn_undeclared_secondary(&self, table: TableId, label: &'static str) {
         if self.warned_secondary.lock().insert((table, label)) {
             eprintln!(
                 "warning: step `{label}` on {table} has no routing fields and fell back to \
                  the secondary path; declare it with Step::secondary (or fix its route) if \
-                 that is intended"
+                 that is intended — see the bind-time routing coverage report"
             );
         }
     }
@@ -203,6 +210,7 @@ impl EngineInner {
             phase,
             label: spec.label,
             body: Some(spec.body),
+            elide_probe: spec.elide_probe,
         };
         Ok((executor, action))
     }
@@ -285,6 +293,9 @@ impl EngineInner {
     /// commit-duration locking for A/B runs.
     pub(crate) fn finalize(self: &Arc<Self>, txn: &Arc<DoraTxnInner>) {
         if txn.is_aborted() {
+            // Abort never leaks locks even if an undo step fails (the error
+            // reports the undo failure, cleanup has already happened); the
+            // client sees the original abort reason either way.
             let _ = self.db.abort(&txn.handle);
             let result = Err(txn.abort_reason().unwrap_or(DbError::TxnAborted {
                 txn: txn.id(),

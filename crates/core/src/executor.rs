@@ -202,13 +202,22 @@ impl ExecutorShared {
     }
 }
 
+/// An action parked on the local lock table, together with the wait edges
+/// it registered in the global deadlock detector — so that resolving this
+/// wait removes exactly these edges and no others (the same transaction may
+/// be parked at other executors at the same time).
+struct Parked {
+    action: Action,
+    waits_on: Vec<TxnId>,
+}
+
 /// The thread-private half of an executor.
 pub(crate) struct ExecutorWorker {
     shared: Arc<ExecutorShared>,
     engine: Arc<EngineInner>,
     locks: LocalLockTable,
     /// Actions blocked on the local lock table, in arrival order.
-    waiters: VecDeque<Action>,
+    waiters: VecDeque<Parked>,
     /// Actions deferred while a dataset resize is draining.
     deferred: Vec<Action>,
     /// Barrier to signal once drained (while a resize is in progress).
@@ -286,6 +295,17 @@ impl ExecutorWorker {
             self.finish_action(&action.txn, action.phase);
             return;
         }
+        if action.elide_probe {
+            // The bind-time conflict matrix proved this step's template
+            // conflicts with nothing in the workload: no lock to take, no
+            // waiter to become, nothing to release at completion — skip the
+            // local lock table entirely and run. `note_involved` is also
+            // skipped on purpose: involvement only drives the Completed
+            // fan-out that releases local locks, and this action holds none.
+            incr(CounterKind::LockProbesElided);
+            self.execute(action);
+            return;
+        }
         match self
             .locks
             .acquire(action.txn.id(), &action.identifier, action.mode)
@@ -296,25 +316,40 @@ impl ExecutorWorker {
                     .note_involved(self.shared.table, self.shared.index);
                 self.execute(action);
             }
-            LocalAcquire::Conflict(owners) => {
-                // Feed the wait into the storage manager's deadlock detector
-                // (Section 4.2.3) before parking the action.
-                for owner in owners {
-                    if let Err(deadlock) = self
-                        .engine
+            LocalAcquire::Conflict(owners) => self.park(action, owners),
+        }
+    }
+
+    /// Feeds the wait into the storage manager's deadlock detector
+    /// (Section 4.2.3) and parks the action. If an edge closes a cycle the
+    /// transaction is aborted instead: the edges registered so far are
+    /// withdrawn and the action reports to its RVP without parking.
+    fn park(&mut self, action: Action, owners: Vec<TxnId>) {
+        let mut registered = Vec::with_capacity(owners.len());
+        for owner in owners {
+            match self
+                .engine
+                .db()
+                .lock_manager()
+                .add_external_wait(action.txn.id(), owner)
+            {
+                Ok(()) => registered.push(owner),
+                Err(deadlock) => {
+                    self.engine
                         .db()
                         .lock_manager()
-                        .add_external_wait(action.txn.id(), owner)
-                    {
-                        action.txn.mark_aborted(deadlock);
-                        incr(CounterKind::WastedActions);
-                        self.finish_action(&action.txn, action.phase);
-                        return;
-                    }
+                        .remove_external_waits(action.txn.id(), &registered);
+                    action.txn.mark_aborted(deadlock);
+                    incr(CounterKind::WastedActions);
+                    self.finish_action(&action.txn, action.phase);
+                    return;
                 }
-                self.waiters.push_back(action);
             }
         }
+        self.waiters.push_back(Parked {
+            action,
+            waits_on: registered,
+        });
     }
 
     /// Executes an action body under supervision: a panic — injected by the
@@ -367,9 +402,18 @@ impl ExecutorWorker {
     }
 
     /// Retries parked actions in FIFO order after a completion freed locks.
+    /// Each retry first withdraws the wait edges the parked action had
+    /// registered, then either runs the action or re-parks it against its
+    /// *current* blockers — lock ownership may have changed while it waited,
+    /// and stale edges (or missing fresh ones) would blind the deadlock
+    /// detector.
     fn retry_waiters(&mut self) {
-        let mut remaining = VecDeque::new();
-        while let Some(action) = self.waiters.pop_front() {
+        let parked = std::mem::take(&mut self.waiters);
+        for Parked { action, waits_on } in parked {
+            self.engine
+                .db()
+                .lock_manager()
+                .remove_external_waits(action.txn.id(), &waits_on);
             if action.txn.is_aborted() {
                 incr(CounterKind::WastedActions);
                 self.finish_action(&action.txn, action.phase);
@@ -380,19 +424,14 @@ impl ExecutorWorker {
                 .acquire(action.txn.id(), &action.identifier, action.mode)
             {
                 LocalAcquire::Granted => {
-                    self.engine
-                        .db()
-                        .lock_manager()
-                        .remove_external_wait(action.txn.id());
                     action
                         .txn
                         .note_involved(self.shared.table, self.shared.index);
                     self.execute(action);
                 }
-                LocalAcquire::Conflict(_) => remaining.push_back(action),
+                LocalAcquire::Conflict(owners) => self.park(action, owners),
             }
         }
-        self.waiters = remaining;
     }
 
     fn maybe_signal_drained(&mut self) {

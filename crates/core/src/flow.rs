@@ -105,6 +105,8 @@ impl FlowGraph {
                     .map(|action| {
                         if action.is_secondary() {
                             format!("{}[secondary]", action.label)
+                        } else if action.elide_probe {
+                            format!("{}{}[probe-free]", action.label, action.identifier)
                         } else {
                             format!("{}{}", action.label, action.identifier)
                         }

@@ -17,6 +17,10 @@
 //! * [`locallock`] — each executor's thread-local lock table with
 //!   shared/exclusive modes and key-prefix conflict semantics
 //!   (Section 4.1.3).
+//! * [`conflict`] — static, DIBS-style conflict analysis over program
+//!   templates, run once per workload at bind time: steps whose template
+//!   conflicts with nothing skip the local-lock-table probe entirely, and
+//!   high-abort programs are auto-derived as DORA-S serialized plans.
 //! * [`executor`] — executor threads with incoming and completed queues,
 //!   serving actions in FIFO order.
 //! * [`engine`] — the [`DoraEngine`]: dispatching, atomic phase submission
@@ -37,6 +41,7 @@
 pub mod action;
 pub mod adaptive;
 pub mod config;
+pub mod conflict;
 pub mod engine;
 pub mod executor;
 pub mod flow;
@@ -49,6 +54,10 @@ pub mod txn;
 pub use action::{ActionContext, ActionSpec, LocalMode};
 pub use adaptive::{balanced_rule, AdaptiveController, SkewDetector};
 pub use config::DoraConfig;
+pub use conflict::{
+    routes_may_overlap, templates_conflict, ConflictMatrix, CoverageGap, KeyAtom, ProgramTemplate,
+    StepTemplate,
+};
 pub use engine::DoraEngine;
 pub use flow::FlowGraph;
 pub use locallock::LocalLockTable;

@@ -13,6 +13,12 @@
 //! the centralized lock manager. Operations are nonetheless timed (as
 //! [`TimeCategory::DoraLocal`]) so the evaluation can show how small that
 //! cost is.
+//!
+//! Even this lightweight probe can be skipped entirely: when the bind-time
+//! conflict analysis ([`crate::conflict`]) proves a step's template conflicts
+//! with nothing in the workload, the executor runs the action without ever
+//! touching this table (counter `LockProbesElided`). Probes that do land here
+//! therefore belong to steps the solver could not dismiss.
 
 use std::collections::HashMap;
 

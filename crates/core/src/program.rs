@@ -199,6 +199,11 @@ pub struct Step {
     /// silently, which the engine flags once per bind (routing-coverage
     /// warning).
     declared_secondary: bool,
+    /// `true` when the bind-time conflict matrix proved this step's template
+    /// conflicts with nothing in the workload, so the executor may skip the
+    /// local-lock-table probe. Set only by
+    /// [`TxnProgram::with_conflicts`], never by the constructors.
+    elide_probe: bool,
 }
 
 impl std::fmt::Debug for Step {
@@ -232,6 +237,7 @@ impl Step {
             mode,
             body: Box::new(body),
             declared_secondary: false,
+            elide_probe: false,
         }
     }
 
@@ -512,6 +518,41 @@ impl TxnProgram {
         self.step(Step::custom(label, table, route, mode, body))
     }
 
+    /// Applies a bind-time [`ConflictMatrix`](crate::conflict::ConflictMatrix)
+    /// to this program before compilation: steps the matrix proved
+    /// conflict-free are marked probe-free (their executors skip the
+    /// local-lock-table acquire, counter `LockProbesElided`), and a program
+    /// the matrix flags as high-abort is switched to the DORA-S serialized
+    /// plan (Figure 11) unless the author already hand-set
+    /// [`serialized`](Self::serialized).
+    ///
+    /// Programs the matrix has no declaration for (matched by
+    /// [`name`](Self::name)) are returned unchanged — ad-hoc programs stay
+    /// fully probed.
+    pub fn with_conflicts(mut self, matrix: &crate::conflict::ConflictMatrix) -> Self {
+        if !matrix.knows_program(self.name) {
+            return self;
+        }
+        for step in self.phases.iter_mut().flatten() {
+            if !step.route.is_empty() && matrix.is_probe_free(self.name, step.label) {
+                step.elide_probe = true;
+            }
+        }
+        if !self.serial && matrix.should_serialize(self.name) {
+            self.serial = true;
+        }
+        self
+    }
+
+    /// Number of steps currently marked probe-free (diagnostics/tests).
+    pub fn elided_count(&self) -> usize {
+        self.phases
+            .iter()
+            .flatten()
+            .filter(|s| s.elide_probe)
+            .count()
+    }
+
     // ----- compilers ---------------------------------------------------------
 
     /// Lowers the program to a DORA transaction flow graph: one
@@ -547,7 +588,9 @@ impl TxnProgram {
             spec.declared_secondary = step.declared_secondary;
             spec
         } else {
-            ActionSpec::new(step.label, step.table, step.route, step.mode, run)
+            let mut spec = ActionSpec::new(step.label, step.table, step.route, step.mode, run);
+            spec.elide_probe = step.elide_probe;
+            spec
         }
     }
 
@@ -652,7 +695,15 @@ impl PreparedProgram {
                         spec.declared_secondary = step.declared_secondary;
                         spec
                     } else {
-                        ActionSpec::new(step.label, step.table, step.route.clone(), step.mode, run)
+                        let mut spec = ActionSpec::new(
+                            step.label,
+                            step.table,
+                            step.route.clone(),
+                            step.mode,
+                            run,
+                        );
+                        spec.elide_probe = step.elide_probe;
+                        spec
                     }
                 })
                 .collect();
@@ -958,6 +1009,76 @@ mod tests {
         }
         let clone = prepared.clone();
         assert_eq!(clone.step_count(), prepared.step_count());
+    }
+
+    #[test]
+    fn with_conflicts_marks_probe_free_steps_and_auto_serializes() {
+        use crate::conflict::{ConflictMatrix, KeyAtom, ProgramTemplate, StepTemplate};
+        let (_db, table) = counter_db();
+        // "bump" writes column 1 and races itself → keeps its probe, and its
+        // 0.5 abort rate pushes the program over the DORA-S threshold.
+        // "peek" declares no column reads → dismissed against every writer.
+        let templates = vec![ProgramTemplate::new("mixed")
+            .step(
+                StepTemplate::write("bump", table, vec![KeyAtom::Param("id")])
+                    .writes([1])
+                    .abort_rate(0.5),
+            )
+            .step(StepTemplate::read(
+                "peek",
+                table,
+                vec![KeyAtom::Param("id")],
+            ))];
+        let matrix = ConflictMatrix::analyze(&templates, 0.1);
+
+        let program = TxnProgram::new("mixed")
+            .step(bump_step(table, 1))
+            .read(
+                "peek",
+                table,
+                Key::int(2),
+                Key::int(2),
+                OnMissing::Error,
+                |_, _| Ok(()),
+            )
+            .with_conflicts(&matrix);
+        assert_eq!(program.elided_count(), 1);
+        assert!(program.is_serialized(), "0.5 ≥ 0.1 with a conflicting step");
+        let described = program.compile_dora().describe();
+        let flat: Vec<_> = described.iter().flatten().collect();
+        assert!(flat
+            .iter()
+            .any(|s| s.contains("peek") && s.contains("[probe-free]")));
+        assert!(!flat
+            .iter()
+            .any(|s| s.contains("bump") && s.contains("[probe-free]")));
+
+        // A program the matrix has no declaration for is returned unchanged.
+        let adhoc = bump_program(table, 1).with_conflicts(&matrix);
+        assert_eq!(adhoc.elided_count(), 0);
+        assert!(!adhoc.is_serialized());
+
+        // `prepare()` keeps the marks: the re-lowered flow graph still
+        // carries them.
+        let prepared = TxnProgram::new("mixed")
+            .step(bump_step(table, 1))
+            .read(
+                "peek",
+                table,
+                Key::int(2),
+                Key::int(2),
+                OnMissing::Error,
+                |_, _| Ok(()),
+            )
+            .with_conflicts(&matrix)
+            .prepare();
+        let flat: Vec<String> = prepared
+            .flow_graph()
+            .describe()
+            .into_iter()
+            .flatten()
+            .collect();
+        assert!(flat.iter().any(|s| s.contains("[probe-free]")));
     }
 
     #[test]

@@ -20,7 +20,9 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 
 use dora_common::prelude::*;
-use dora_core::{AdaptiveController, DoraConfig, DoraEngine, PreparedProgram, TxnProgram};
+use dora_core::{
+    AdaptiveController, ConflictMatrix, DoraConfig, DoraEngine, PreparedProgram, TxnProgram,
+};
 use dora_storage::{Database, Snapshot};
 use dora_workloads::{Workload, WorkloadStats};
 
@@ -139,6 +141,14 @@ pub trait ExecutionEngine: Send + Sync {
         self.execute_on_snapshot(prepared, &snapshot)
     }
 
+    /// The bind-time conflict-analysis report (probe-free steps,
+    /// auto-serialized programs, routing coverage), when the architecture ran
+    /// one. `None` for architectures without conflict analysis or when the
+    /// bound workload declares no templates.
+    fn conflict_report(&self) -> Option<String> {
+        None
+    }
+
     /// Stops any engine-owned threads. Idempotent; the default is a no-op.
     fn shutdown(&self) {}
 }
@@ -212,6 +222,11 @@ pub struct DoraExecution {
     /// [`ExecutionEngine::shutdown`] (a resize drains executors, so the
     /// controller must never outlive them).
     adaptive: Mutex<Option<AdaptiveController>>,
+    /// The workload's conflict matrix, computed once at bind time when
+    /// `DoraConfig::conflict_elision` is set and the workload declares step
+    /// templates. Every program the mix produces is stamped against it
+    /// before compilation (probe-free steps, DORA-S auto-serialization).
+    conflicts: OnceLock<Arc<ConflictMatrix>>,
 }
 
 impl DoraExecution {
@@ -221,6 +236,22 @@ impl DoraExecution {
             engine,
             bound: OnceLock::new(),
             adaptive: Mutex::new(None),
+            conflicts: OnceLock::new(),
+        }
+    }
+
+    /// The bind-time conflict matrix, when one was computed.
+    pub fn conflict_matrix(&self) -> Option<&Arc<ConflictMatrix>> {
+        self.conflicts.get()
+    }
+
+    /// Stamps `program` against the bind-time conflict matrix: marks
+    /// probe-free steps and auto-serializes high-abort programs. A no-op when
+    /// no matrix was computed or the program's name is unknown to it.
+    fn with_conflicts(&self, program: TxnProgram) -> TxnProgram {
+        match self.conflicts.get() {
+            Some(matrix) => program.with_conflicts(matrix),
+            None => program,
         }
     }
 
@@ -252,6 +283,30 @@ impl ExecutionEngine for DoraExecution {
 
     fn bind(&self, workload: Arc<dyn Workload>, executors_per_table: usize) -> DbResult<()> {
         workload.bind_dora(&self.engine, executors_per_table)?;
+        // Static conflict analysis, once per workload (DIBS-style): compare
+        // every pair of declared step templates and record which steps can
+        // skip the local-lock probe and which programs should run as DORA-S
+        // serialized plans. Gated by `conflict_elision` so A/B runs (and the
+        // Figure 11 plan comparison, which hand-picks plans) can turn the
+        // whole mechanism off.
+        if self.engine.config().conflict_elision {
+            let templates = workload.conflict_templates(self.engine.db())?;
+            if !templates.is_empty() {
+                let matrix = ConflictMatrix::analyze(
+                    &templates,
+                    self.engine.config().serialize_abort_threshold,
+                );
+                let db = self.engine.db();
+                let report = matrix.report(&|table| {
+                    db.catalog()
+                        .table(table)
+                        .map(|meta| meta.schema.name.clone())
+                        .unwrap_or_else(|_| table.to_string())
+                });
+                eprintln!("{report}");
+                let _ = self.conflicts.set(Arc::new(matrix));
+            }
+        }
         self.bound.set(workload).map_err(|_| {
             DbError::InvalidOperation("workload already bound to this engine".into())
         })?;
@@ -275,8 +330,10 @@ impl ExecutionEngine for DoraExecution {
             .clone();
         match workload
             .next_program(self.engine.db(), rng)
-            .and_then(|program| self.engine.execute(program.compile_dora()))
-        {
+            .and_then(|program| {
+                self.engine
+                    .execute(self.with_conflicts(program).compile_dora())
+            }) {
             Ok(()) => TxnOutcome::Committed,
             Err(_) => TxnOutcome::Aborted,
         }
@@ -293,12 +350,33 @@ impl ExecutionEngine for DoraExecution {
         };
         let label = program.name();
         let start = Instant::now();
-        let outcome = match self.engine.execute(program.compile_dora()) {
+        let outcome = match self
+            .engine
+            .execute(self.with_conflicts(program).compile_dora())
+        {
             Ok(()) => TxnOutcome::Committed,
             Err(_) => TxnOutcome::Aborted,
         };
         stats.record_timed(label, outcome, start.elapsed());
         outcome
+    }
+
+    fn prepare(&self, program: TxnProgram) -> DbResult<PreparedProgram> {
+        // Stamp conflict-analysis results *before* preparing: the prepared
+        // handle shares its steps behind an `Arc`, so this is the last point
+        // the program is mutable.
+        Ok(self.with_conflicts(program).prepare())
+    }
+
+    fn conflict_report(&self) -> Option<String> {
+        let matrix = self.conflicts.get()?;
+        let db = self.engine.db();
+        Some(matrix.report(&|table| {
+            db.catalog()
+                .table(table)
+                .map(|meta| meta.schema.name.clone())
+                .unwrap_or_else(|_| table.to_string())
+        }))
     }
 
     fn execute_prepared_checked(&self, prepared: &PreparedProgram) -> DbResult<TxnOutcome> {

@@ -128,10 +128,19 @@ pub enum CounterKind {
     /// against a pinned horizon with no lock-manager or local-lock-table
     /// traffic at all.
     SnapshotReads = 38,
+    /// Local-lock-table probes skipped entirely because the bind-time
+    /// conflict matrix proved the step's template conflicts with nothing in
+    /// the workload (static conflict analysis / probe elision).
+    LockProbesElided = 39,
+    /// Actions dispatched as *undeclared* secondary fallbacks: their step
+    /// carried no routing key the bound routing fields could cover, so they
+    /// ran unrouted on the submitting thread. Declared-secondary steps are
+    /// intentional and not counted.
+    SecondaryFallbacks = 40,
 }
 
 /// Number of [`CounterKind`] variants; sizes the per-thread arrays.
-pub const COUNTER_KIND_COUNT: usize = 39;
+pub const COUNTER_KIND_COUNT: usize = 41;
 
 /// All counters, in `repr` order.
 pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
@@ -174,6 +183,8 @@ pub const ALL_COUNTER_KINDS: [CounterKind; COUNTER_KIND_COUNT] = [
     CounterKind::VersionsReclaimed,
     CounterKind::SnapshotsTaken,
     CounterKind::SnapshotReads,
+    CounterKind::LockProbesElided,
+    CounterKind::SecondaryFallbacks,
 ];
 
 impl CounterKind {
@@ -224,6 +235,8 @@ impl CounterKind {
             CounterKind::VersionsReclaimed => "versions-reclaimed",
             CounterKind::SnapshotsTaken => "snapshots-taken",
             CounterKind::SnapshotReads => "snapshot-reads",
+            CounterKind::LockProbesElided => "lock-probes-elided",
+            CounterKind::SecondaryFallbacks => "secondary-fallbacks",
         }
     }
 }

@@ -403,6 +403,14 @@ impl Server {
         self.core.engine.kind()
     }
 
+    /// The bind-time conflict-analysis report for the served workload
+    /// (probe-free steps, auto-serialized programs, routing coverage).
+    /// `None` when the architecture runs no conflict analysis or the
+    /// workload declares no step templates.
+    pub fn conflict_report(&self) -> Option<String> {
+        self.core.engine.conflict_report()
+    }
+
     /// Transactions currently executing.
     pub fn in_flight(&self) -> usize {
         self.core.gate.active()

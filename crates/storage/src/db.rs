@@ -53,6 +53,11 @@ pub struct TxnHandle {
     /// Row versions this transaction will install at its commit ticket.
     /// Published by precommit, discarded on abort.
     pending_versions: Arc<parking_lot::Mutex<Vec<PendingVersion>>>,
+    /// Heap slots this transaction deleted. The slots stay reserved (no
+    /// insert may reuse them) until the commit is decided: precommit frees
+    /// them, abort restores the records into them. This is what makes
+    /// rollback of a delete always possible under concurrency.
+    pending_frees: Arc<parking_lot::Mutex<Vec<(TableId, Rid)>>>,
     /// When set, this is a read-only snapshot transaction: every read is
     /// served at the snapshot's horizon with no locking of any kind, and
     /// writes are rejected.
@@ -277,6 +282,7 @@ impl Database {
             state,
             deferred_flags: Arc::new(parking_lot::Mutex::new(Vec::new())),
             pending_versions: Arc::new(parking_lot::Mutex::new(Vec::new())),
+            pending_frees: Arc::new(parking_lot::Mutex::new(Vec::new())),
             snapshot: None,
         }
     }
@@ -292,6 +298,7 @@ impl Database {
             state,
             deferred_flags: Arc::new(parking_lot::Mutex::new(Vec::new())),
             pending_versions: Arc::new(parking_lot::Mutex::new(Vec::new())),
+            pending_frees: Arc::new(parking_lot::Mutex::new(Vec::new())),
             snapshot: Some(snapshot),
         }
     }
@@ -391,6 +398,14 @@ impl Database {
             let index = self.secondary(index_id)?;
             // The entry may have been garbage collected already; ignore.
             let _ = index.set_deleted_flag(&key, rid, true);
+        }
+        // The commit is decided: heap slots this transaction deleted can now
+        // be handed back to inserts.
+        let frees: Vec<_> = std::mem::take(&mut *txn.pending_frees.lock());
+        for (table, rid) in frees {
+            if let Ok(heap) = self.heap(table) {
+                let _ = heap.free_pending(rid);
+            }
         }
         let early_released = self.config.durability.early_lock_release;
         if early_released {
@@ -505,6 +520,11 @@ impl Database {
 
     /// Aborts a transaction: undoes its changes (walking its log records
     /// backwards), writes an abort record and releases its locks.
+    ///
+    /// Locks are released and the transaction retired even when an undo step
+    /// fails — a transaction that keeps its locks forever wedges everything
+    /// queued behind them. The first undo error is still surfaced to the
+    /// caller after cleanup.
     pub fn abort(&self, txn: &TxnHandle) -> DbResult<()> {
         if !txn.is_active() {
             return Err(DbError::InvalidOperation(format!(
@@ -512,24 +532,26 @@ impl Database {
                 txn.id()
             )));
         }
+        let mut undo_error: Option<DbError> = None;
         for record in self.log.records_for_undo(txn.id()) {
-            match record.kind {
-                LogRecordKind::Insert { table, rid, after } => {
-                    self.undo_insert(table, rid, &after)?;
-                }
+            let step = match record.kind {
+                LogRecordKind::Insert { table, rid, after } => self.undo_insert(table, rid, &after),
                 LogRecordKind::Update {
                     table, rid, before, ..
-                } => {
-                    let heap = self.heap(table)?;
-                    heap.update(rid, &before)?;
-                }
+                } => self.heap(table).and_then(|heap| heap.update(rid, &before)),
                 LogRecordKind::Delete { table, rid, before } => {
-                    self.undo_delete(table, rid, &before)?;
+                    self.undo_delete(table, rid, &before)
                 }
-                _ => {}
+                _ => Ok(()),
+            };
+            if let Err(error) = step {
+                undo_error.get_or_insert(error);
             }
         }
         txn.deferred_flags.lock().clear();
+        // Undone deletes were restored in place; their slot reservations are
+        // consumed by the restore, so there is nothing left to free.
+        txn.pending_frees.lock().clear();
         // Never-published versions die with the abort; the seeded base
         // versions (pre-images) stay — they describe committed state.
         txn.pending_versions.lock().clear();
@@ -542,7 +564,10 @@ impl Database {
         self.locks.release_all(txn.id(), held);
         self.txns.finish(&txn.state, TxnStatus::Aborted);
         self.log.forget(txn.id());
-        Ok(())
+        match undo_error {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
     }
 
     fn undo_insert(&self, table: TableId, rid: Rid, after: &[u8]) -> DbResult<()> {
@@ -870,7 +895,12 @@ impl Database {
         // As in update: capture the committed pre-image before the slot goes
         // away so snapshot readers keep a consistent view of the row.
         self.versions.seed(table, rid, Some(&before));
-        time_section(TimeCategory::Work, || heap.delete(rid))?;
+        // A *reserving* delete: the slot is not offered for reuse until this
+        // transaction's commit is decided (freed in precommit, restored by
+        // abort). A plain delete here would let a concurrent insert occupy
+        // the slot and make our rollback impossible.
+        time_section(TimeCategory::Work, || heap.delete_pending(rid))?;
+        txn.pending_frees.lock().push((table, rid));
         primary.remove(key, rid)?;
         // The primary entry is gone physically; leave a breadcrumb so live
         // snapshots can still resolve this key to its chain.
@@ -1522,6 +1552,73 @@ mod tests {
             .is_none());
         db.commit(&check).unwrap();
         assert_eq!(db.row_count(table).unwrap(), 1);
+    }
+
+    #[test]
+    fn concurrent_insert_cannot_steal_the_slot_of_an_uncommitted_delete() {
+        // Regression for the TPC-C NewOrder/Delivery race: Delivery deletes a
+        // new_order row, a concurrent NewOrder insert reuses the freed slot,
+        // then Delivery aborts and its rollback finds the slot occupied —
+        // which used to bail out of abort() with the locks still held.
+        let (db, table) = accounts_db();
+        let setup = db.begin();
+        db.insert(&setup, table, account_row(1, "alice", 100.0), CcMode::Full)
+            .unwrap();
+        db.commit(&setup).unwrap();
+
+        // DORA-mode delete (RowOnly): only the RID is locked centrally, so a
+        // concurrent insert of a different key is not blocked.
+        let deleter = db.begin();
+        db.delete_primary(&deleter, table, &Key::int(1), CcMode::RowOnly)
+            .unwrap();
+
+        // The insert must land in a fresh slot, not the deleted row's.
+        let inserter = db.begin();
+        let rid = db
+            .insert(
+                &inserter,
+                table,
+                account_row(2, "bob", 10.0),
+                CcMode::RowOnly,
+            )
+            .unwrap();
+        db.commit(&inserter).unwrap();
+
+        // The deleter can still roll back: its slot was reserved, not stolen.
+        db.abort(&deleter).unwrap();
+
+        let check = db.begin();
+        let (restored_rid, row) = db
+            .probe_primary(&check, table, &Key::int(1), false, CcMode::Full)
+            .unwrap()
+            .unwrap();
+        assert_eq!(row[2], Value::Float(100.0));
+        assert_ne!(rid, restored_rid, "insert must not have reused the slot");
+        db.commit(&check).unwrap();
+        assert_eq!(db.row_count(table).unwrap(), 2);
+    }
+
+    #[test]
+    fn committed_delete_frees_its_slot_for_reuse() {
+        let (db, table) = accounts_db();
+        let setup = db.begin();
+        let old_rid = db
+            .insert(&setup, table, account_row(1, "alice", 100.0), CcMode::Full)
+            .unwrap();
+        db.commit(&setup).unwrap();
+
+        let deleter = db.begin();
+        db.delete_primary(&deleter, table, &Key::int(1), CcMode::Full)
+            .unwrap();
+        db.commit(&deleter).unwrap();
+
+        // After the delete committed its slot is recycled by the next insert.
+        let inserter = db.begin();
+        let new_rid = db
+            .insert(&inserter, table, account_row(2, "bob", 10.0), CcMode::Full)
+            .unwrap();
+        db.commit(&inserter).unwrap();
+        assert_eq!(old_rid, new_rid);
     }
 
     #[test]

@@ -170,9 +170,10 @@ impl HeapFile {
         page.update(rid.slot, record).map_err(|e| self.tag(e))
     }
 
-    /// Deletes the record at `rid`. The slot becomes reusable by later
-    /// inserts — which is why inserts and deletes must coordinate through the
-    /// centralized lock manager even under DORA (Section 4.2.1).
+    /// Deletes the record at `rid`, making the slot immediately reusable by
+    /// later inserts. This is the non-transactional flavour: rollback of a
+    /// same-transaction insert and recovery replay, where no concurrent
+    /// transaction can race for the slot.
     pub fn delete(&self, rid: Rid) -> DbResult<()> {
         let pinned = self.pool.pin(PageKey {
             table: self.table,
@@ -180,6 +181,40 @@ impl HeapFile {
         })?;
         let mut page = pinned.page.write();
         page.delete(rid.slot).map_err(|e| self.tag(e))?;
+        drop(page);
+        let mut state = self.state.lock(TimeCategory::OtherContention);
+        if !state.candidates.contains(&rid.page) {
+            state.candidates.push(rid.page);
+        }
+        Ok(())
+    }
+
+    /// Transactional delete: removes the record but keeps the slot reserved
+    /// so no concurrent insert can reuse it while the deleting transaction is
+    /// still in flight. The deleter frees the slot at commit with
+    /// [`Self::free_pending`]; on abort, [`Self::insert_at`] restores the
+    /// record into the reserved slot. Without the reservation a concurrent
+    /// insert could occupy the slot and make the delete's rollback
+    /// impossible — which is also why deletes additionally lock the RID
+    /// through the centralized manager even under DORA (Section 4.2.1).
+    pub fn delete_pending(&self, rid: Rid) -> DbResult<()> {
+        let pinned = self.pool.pin(PageKey {
+            table: self.table,
+            page: rid.page,
+        })?;
+        let mut page = pinned.page.write();
+        page.delete_reserve(rid.slot).map_err(|e| self.tag(e))
+    }
+
+    /// Commit-time counterpart of [`Self::delete_pending`]: drops the slot
+    /// reservation and re-offers the page to inserts.
+    pub fn free_pending(&self, rid: Rid) -> DbResult<()> {
+        let pinned = self.pool.pin(PageKey {
+            table: self.table,
+            page: rid.page,
+        })?;
+        let mut page = pinned.page.write();
+        page.release(rid.slot).map_err(|e| self.tag(e))?;
         drop(page);
         let mut state = self.state.lock(TimeCategory::OtherContention);
         if !state.candidates.contains(&rid.page) {

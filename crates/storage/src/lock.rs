@@ -277,7 +277,12 @@ type Bucket = Latch<HashMap<LockId, Arc<LockHead>>>;
 /// The centralized lock manager.
 pub struct LockManager {
     buckets: Vec<Bucket>,
-    waits_for: Mutex<HashMap<TxnId, HashSet<TxnId>>>,
+    /// Waits-for graph: waiter → (holder → number of live wait edges). Edges
+    /// are *counted* because one transaction can wait at several places at
+    /// once — two actions parked at different DORA executors, or a parked
+    /// action plus a blocked centralized acquire — and resolving one wait
+    /// must not erase the edges the others still need for cycle detection.
+    waits_for: Mutex<HashMap<TxnId, HashMap<TxnId, usize>>>,
     deadlock_detection: bool,
     wait_timeout: Duration,
 }
@@ -499,7 +504,7 @@ impl LockManager {
         incr(CounterKind::LockWaits);
         self.add_waits(txn, &blockers);
         if self.deadlock_detection && self.creates_cycle(txn) {
-            self.clear_waits(txn);
+            self.remove_waits(txn, &blockers);
             self.cancel_request(head, txn, id);
             incr(CounterKind::DeadlockVictim);
             return Err(DbError::Deadlock { victim: txn });
@@ -507,7 +512,9 @@ impl LockManager {
         timer.switch(TimeCategory::LockWait);
         let outcome = signal.wait(self.wait_timeout);
         timer.switch(TimeCategory::LockMgrAcquire);
-        self.clear_waits(txn);
+        // Drop exactly the edges this wait registered; a concurrent action of
+        // the same transaction parked on a DORA local lock keeps its edges.
+        self.remove_waits(txn, &blockers);
         match outcome {
             GrantOutcome::Granted => {
                 held.note(id, wanted);
@@ -617,10 +624,33 @@ impl LockManager {
             return;
         }
         let mut graph = self.waits_for.lock();
-        graph
-            .entry(waiter)
-            .or_default()
-            .extend(holders.iter().copied());
+        let edges = graph.entry(waiter).or_default();
+        for holder in holders {
+            *edges.entry(*holder).or_insert(0) += 1;
+        }
+    }
+
+    /// Removes one wait edge per listed holder. Edges another wait of the
+    /// same transaction still relies on (count > 1) survive; holders with no
+    /// recorded edge are ignored.
+    fn remove_waits(&self, waiter: TxnId, holders: &[TxnId]) {
+        if holders.is_empty() {
+            return;
+        }
+        let mut graph = self.waits_for.lock();
+        if let Some(edges) = graph.get_mut(&waiter) {
+            for holder in holders {
+                if let Some(count) = edges.get_mut(holder) {
+                    *count -= 1;
+                    if *count == 0 {
+                        edges.remove(holder);
+                    }
+                }
+            }
+            if edges.is_empty() {
+                graph.remove(&waiter);
+            }
+        }
     }
 
     fn clear_waits(&self, waiter: TxnId) {
@@ -631,19 +661,27 @@ impl LockManager {
     /// thread-local lock tables use this so that waits on local locks
     /// participate in global deadlock detection (Section 4.2.3).
     pub fn add_external_wait(&self, waiter: TxnId, holder: TxnId) -> DbResult<()> {
-        {
-            let mut graph = self.waits_for.lock();
-            graph.entry(waiter).or_default().insert(holder);
-        }
+        self.add_waits(waiter, &[holder]);
         if self.deadlock_detection && self.creates_cycle(waiter) {
-            self.clear_waits(waiter);
+            // Undo only the edge that closed the cycle; the transaction's
+            // other waits (parked actions at other executors) stay in the
+            // graph — they are still real until those actions resolve.
+            self.remove_waits(waiter, &[holder]);
             incr(CounterKind::DeadlockVictim);
             return Err(DbError::Deadlock { victim: waiter });
         }
         Ok(())
     }
 
-    /// Removes every wait edge originating at `waiter`.
+    /// Removes the specific wait edges a resolved local-lock wait had
+    /// registered — one edge per holder in `holders`. Edges registered by
+    /// the transaction's other still-pending waits are preserved.
+    pub fn remove_external_waits(&self, waiter: TxnId, holders: &[TxnId]) {
+        self.remove_waits(waiter, holders);
+    }
+
+    /// Removes every wait edge originating at `waiter` — for transaction
+    /// completion, when no wait of the transaction can still be live.
     pub fn remove_external_wait(&self, waiter: TxnId) {
         self.clear_waits(waiter);
     }
@@ -653,7 +691,7 @@ impl LockManager {
         let graph = self.waits_for.lock();
         let mut stack: Vec<TxnId> = graph
             .get(&start)
-            .map(|s| s.iter().copied().collect())
+            .map(|edges| edges.keys().copied().collect())
             .unwrap_or_default();
         let mut visited = HashSet::new();
         while let Some(current) = stack.pop() {
@@ -664,7 +702,7 @@ impl LockManager {
                 continue;
             }
             if let Some(next) = graph.get(&current) {
-                stack.extend(next.iter().copied());
+                stack.extend(next.keys().copied());
             }
         }
         false
@@ -948,6 +986,37 @@ mod tests {
         assert!(matches!(result, Err(DbError::Deadlock { .. })));
         manager.remove_external_wait(TxnId(1));
         manager.remove_external_wait(TxnId(2));
+    }
+
+    #[test]
+    fn external_wait_edges_are_counted_per_wait() {
+        // A transaction parked at two executors registers the same edge
+        // twice; resolving one wait must leave the other's edge in place so
+        // a cycle through it is still caught.
+        let manager = manager();
+        manager.add_external_wait(TxnId(1), TxnId(2)).unwrap();
+        manager.add_external_wait(TxnId(1), TxnId(2)).unwrap();
+        manager.remove_external_waits(TxnId(1), &[TxnId(2)]);
+        let result = manager.add_external_wait(TxnId(2), TxnId(1));
+        assert!(
+            matches!(result, Err(DbError::Deadlock { victim }) if victim == TxnId(2)),
+            "edge 1→2 must survive removing one of its two registrations"
+        );
+        manager.remove_external_wait(TxnId(1));
+        manager.remove_external_wait(TxnId(2));
+    }
+
+    #[test]
+    fn resolving_a_cleared_external_wait_is_harmless() {
+        // remove for a holder with no recorded edge must not underflow or
+        // disturb other edges.
+        let manager = manager();
+        manager.add_external_wait(TxnId(3), TxnId(4)).unwrap();
+        manager.remove_external_waits(TxnId(3), &[TxnId(9)]);
+        let result = manager.add_external_wait(TxnId(4), TxnId(3));
+        assert!(matches!(result, Err(DbError::Deadlock { .. })));
+        manager.remove_external_wait(TxnId(3));
+        manager.remove_external_wait(TxnId(4));
     }
 
     #[test]

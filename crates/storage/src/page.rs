@@ -20,6 +20,10 @@ struct Slot {
     len: u32,
     /// Whether the slot currently holds a live record.
     live: bool,
+    /// Dead slot reserved by an in-flight delete: not reusable by inserts
+    /// until the deleting transaction commits ([`Page::release`]) and still
+    /// restorable at its original slot if it aborts ([`Page::insert_at`]).
+    reserved: bool,
 }
 
 /// A slotted page holding variable-length records.
@@ -125,10 +129,13 @@ impl Page {
             offset: offset as u32,
             len: record.len() as u32,
             live: true,
+            reserved: false,
         };
         // Prefer reusing a dead slot: this is exactly the physical-slot reuse
         // that creates the insert/delete conflict described in Section 4.2.1.
-        if let Some(idx) = self.slots.iter().position(|s| !s.live) {
+        // Slots reserved by an uncommitted delete are off limits — the
+        // deleter may still abort and reclaim its slot.
+        if let Some(idx) = self.slots.iter().position(|s| !s.live && !s.reserved) {
             self.slots[idx] = slot;
             Ok(SlotId(idx as u16))
         } else {
@@ -194,12 +201,27 @@ impl Page {
             offset: offset as u32,
             len: record.len() as u32,
             live: true,
+            reserved: false,
         };
         Ok(())
     }
 
     /// Deletes the record in `slot`, freeing its slot for reuse.
     pub fn delete(&mut self, slot: SlotId) -> DbResult<()> {
+        self.delete_inner(slot, false)
+    }
+
+    /// Deletes the record in `slot` but keeps the slot *reserved*: inserts
+    /// will not reuse it until [`Self::release`] frees it (at the deleting
+    /// transaction's commit), while [`Self::insert_at`] can still restore the
+    /// record there (at its abort). This closes the window where a concurrent
+    /// insert steals the slot of an uncommitted delete and makes its rollback
+    /// impossible.
+    pub fn delete_reserve(&mut self, slot: SlotId) -> DbResult<()> {
+        self.delete_inner(slot, true)
+    }
+
+    fn delete_inner(&mut self, slot: SlotId, reserve: bool) -> DbResult<()> {
         let entry = *self.slot(slot)?;
         if !entry.live {
             return Err(DbError::InvalidRid {
@@ -211,7 +233,25 @@ impl Page {
             });
         }
         self.slots[slot.0 as usize].live = false;
+        self.slots[slot.0 as usize].reserved = reserve;
         self.live_bytes -= entry.len as usize;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Drops the reservation left by [`Self::delete_reserve`], making the
+    /// slot reusable by inserts. Called once the deleting transaction's
+    /// commit is decided. Errors if the slot is live (the delete was rolled
+    /// back — releasing would free an occupied slot).
+    pub fn release(&mut self, slot: SlotId) -> DbResult<()> {
+        let entry = *self.slot(slot)?;
+        if entry.live {
+            return Err(DbError::InvalidOperation(format!(
+                "cannot release live slot {} of {}",
+                slot.0, self.id
+            )));
+        }
+        self.slots[slot.0 as usize].reserved = false;
         self.dirty = true;
         Ok(())
     }
@@ -232,6 +272,7 @@ impl Page {
                     offset: 0,
                     len: 0,
                     live: false,
+                    reserved: false,
                 });
             }
         } else if self.slots[idx].live {
@@ -250,10 +291,12 @@ impl Page {
         self.data[offset..offset + record.len()].copy_from_slice(record);
         self.free_space_end = offset;
         self.live_bytes += record.len();
+        // Restoring into the slot consumes any delete reservation on it.
         self.slots[idx] = Slot {
             offset: offset as u32,
             len: record.len() as u32,
             live: true,
+            reserved: false,
         };
         self.dirty = true;
         Ok(())
@@ -334,6 +377,36 @@ mod tests {
         // The freed slot id is reused by the next insert.
         let c = p.insert(b"cccc").unwrap();
         assert_eq!(c, a);
+    }
+
+    #[test]
+    fn reserved_slot_is_skipped_by_inserts_until_released() {
+        let mut p = page();
+        let victim = p.insert(b"victim").unwrap();
+        p.delete_reserve(victim).unwrap();
+        assert!(p.read(victim).is_err());
+        // An insert racing with the uncommitted delete must not steal the
+        // reserved slot.
+        let other = p.insert(b"other").unwrap();
+        assert_ne!(other, victim);
+        // The deleter committed: the slot becomes reusable.
+        p.release(victim).unwrap();
+        let reused = p.insert(b"reused").unwrap();
+        assert_eq!(reused, victim);
+    }
+
+    #[test]
+    fn rollback_restores_into_a_reserved_slot() {
+        let mut p = page();
+        let victim = p.insert(b"victim").unwrap();
+        p.delete_reserve(victim).unwrap();
+        p.insert(b"other").unwrap();
+        // The deleter aborted: insert_at restores the record at its original
+        // slot and consumes the reservation.
+        p.insert_at(victim, b"victim").unwrap();
+        assert_eq!(p.read(victim).unwrap().as_ref(), b"victim");
+        // Releasing a live slot is refused.
+        assert!(p.release(victim).is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use dora_common::prelude::*;
-use dora_core::{DoraEngine, TxnProgram};
+use dora_core::{DoraEngine, ProgramTemplate, TxnProgram};
 use dora_metrics::LatencyHistogram;
 use dora_storage::Database;
 
@@ -45,6 +45,15 @@ pub trait Workload: Send + Sync {
     /// `rng`) as a declarative program, defined once and compiled by the
     /// caller for whichever execution architecture is running it.
     fn next_program(&self, db: &Database, rng: &mut SmallRng) -> DbResult<TxnProgram>;
+
+    /// Static step templates for the bind-time conflict analysis: one
+    /// [`ProgramTemplate`] per program the mix can produce, with each step's
+    /// table, routing-key shape and read/write column sets declared
+    /// abstractly. The default (no templates) disables conflict analysis for
+    /// the workload — no probes are elided and no program is auto-serialized.
+    fn conflict_templates(&self, _db: &Database) -> DbResult<Vec<ProgramTemplate>> {
+        Ok(Vec::new())
+    }
 
     /// Convenience: create the schema and load the data in one call.
     fn setup(&self, db: &Database) -> DbResult<()> {

@@ -16,7 +16,9 @@ use std::sync::OnceLock;
 use rand::rngs::SmallRng;
 
 use dora_common::prelude::*;
-use dora_core::{DoraEngine, OnDuplicate, OnMissing, Step, TxnProgram};
+use dora_core::{
+    DoraEngine, KeyAtom, OnDuplicate, OnMissing, ProgramTemplate, Step, StepTemplate, TxnProgram,
+};
 
 use dora_storage::{ColumnDef, Database, IndexSpec, TableSchema};
 
@@ -564,6 +566,80 @@ impl Workload for Tm1 {
                 self.delete_call_forwarding_program(db, s_id, sf_type, start_time)
             }
         }
+    }
+
+    /// Step templates mirroring the seven programs above, one per program the
+    /// active mix can produce. Routes are all `[Param(s_id)]` (every table
+    /// routes on the subscriber id); read/write column sets are exactly what
+    /// each step's body touches, and abort rates follow the TATP invalid-input
+    /// probabilities the loader induces.
+    fn conflict_templates(&self, db: &Database) -> DbResult<Vec<ProgramTemplate>> {
+        let tables = self.tables(db)?;
+        let s_id = || vec![KeyAtom::Param("s_id")];
+        let forwarding_key = || {
+            vec![
+                KeyAtom::Param("s_id"),
+                KeyAtom::Param("sf_type"),
+                KeyAtom::Param("start_time"),
+            ]
+        };
+        let all = [
+            ProgramTemplate::new(Self::GET_SUBSCRIBER_DATA).step(StepTemplate::read(
+                "get-subscriber",
+                tables.subscriber,
+                s_id(),
+            )),
+            ProgramTemplate::new(Self::GET_NEW_DESTINATION)
+                .step(
+                    StepTemplate::read("probe-facility", tables.special_facility, s_id())
+                        .reads([2])
+                        .abort_rate(0.44),
+                )
+                .step(
+                    StepTemplate::read("probe-forwarding", tables.call_forwarding, s_id())
+                        .full_key(forwarding_key())
+                        .abort_rate(0.5),
+                ),
+            ProgramTemplate::new(Self::GET_ACCESS_DATA).step(
+                StepTemplate::read("get-access-data", tables.access_info, s_id()).abort_rate(0.375),
+            ),
+            ProgramTemplate::new(Self::UPDATE_SUBSCRIBER_DATA)
+                .step(
+                    StepTemplate::write("update-subscriber", tables.subscriber, s_id()).writes([2]),
+                )
+                .step(
+                    StepTemplate::write("update-facility", tables.special_facility, s_id())
+                        .writes([4])
+                        .abort_rate(0.625),
+                ),
+            ProgramTemplate::new(Self::UPDATE_LOCATION)
+                .step(StepTemplate::secondary(
+                    "resolve-sub-nbr",
+                    tables.subscriber,
+                ))
+                .step(
+                    StepTemplate::write("update-location", tables.subscriber, s_id()).writes([4]),
+                ),
+            ProgramTemplate::new(Self::INSERT_CALL_FORWARDING)
+                .step(
+                    StepTemplate::read("probe-facility", tables.special_facility, s_id())
+                        .abort_rate(0.375),
+                )
+                .step(
+                    StepTemplate::insert("insert-forwarding", tables.call_forwarding, s_id())
+                        .full_key(forwarding_key())
+                        .abort_rate(0.3),
+                ),
+            ProgramTemplate::new(Self::DELETE_CALL_FORWARDING).step(
+                StepTemplate::delete("delete-forwarding", tables.call_forwarding, s_id())
+                    .full_key(forwarding_key())
+                    .abort_rate(0.7),
+            ),
+        ];
+        Ok(all
+            .into_iter()
+            .filter(|program| self.txn_labels().contains(&program.name()))
+            .collect())
     }
 }
 

@@ -17,7 +17,10 @@ use std::sync::OnceLock;
 use rand::rngs::SmallRng;
 
 use dora_common::prelude::*;
-use dora_core::{DoraEngine, LocalMode, OnDuplicate, OnMissing, Step, StepCtx, TxnProgram};
+use dora_core::{
+    DoraEngine, KeyAtom, LocalMode, OnDuplicate, OnMissing, ProgramTemplate, Step, StepCtx,
+    StepTemplate, TxnProgram,
+};
 
 use dora_storage::{ColumnDef, Database, IndexSpec, TableSchema};
 
@@ -1083,6 +1086,100 @@ impl Workload for Tpcc {
                 self.stock_level_program(db, w_id, d_id, threshold)
             }
         }
+    }
+
+    /// Step templates mirroring the five programs above. Routes follow the
+    /// identifiers each program builds (warehouse id, warehouse+district, or
+    /// item id); read/write column sets are exactly what each step's body
+    /// touches. Customer-resolution steps declare reads `{2, 3}` (c_id and
+    /// last name) because of the by-last-name path; the History insert's
+    /// primary key is `(w_id, txn-id)`, whose second component is unique per
+    /// transaction, so two instances can never collide.
+    fn conflict_templates(&self, db: &Database) -> DbResult<Vec<ProgramTemplate>> {
+        let tables = self.tables(db)?;
+        let w = || vec![KeyAtom::Param("w_id")];
+        let wd = || vec![KeyAtom::Param("w_id"), KeyAtom::Param("d_id")];
+        let all = [
+            ProgramTemplate::new(Self::PAYMENT)
+                .step(StepTemplate::write("payment-warehouse", tables.warehouse, w()).writes([2]))
+                .step(StepTemplate::write("payment-district", tables.district, wd()).writes([3]))
+                .step(
+                    StepTemplate::write("payment-customer", tables.customer, wd())
+                        .reads([2, 3])
+                        .writes([4, 5, 6])
+                        .abort_rate(0.01),
+                )
+                .step(
+                    StepTemplate::insert("payment-history", tables.history, w())
+                        .full_key(vec![KeyAtom::Param("w_id"), KeyAtom::Unique]),
+                ),
+            ProgramTemplate::new(Self::ORDER_STATUS)
+                .step(
+                    StepTemplate::read("orderstatus-customer", tables.customer, wd())
+                        .reads([2, 3])
+                        .abort_rate(0.01),
+                )
+                .step(
+                    StepTemplate::read("orderstatus-order", tables.orders, wd())
+                        .reads([2, 3])
+                        .abort_rate(0.02),
+                )
+                .step(
+                    StepTemplate::read("orderstatus-orderlines", tables.order_line, wd())
+                        .reads([6]),
+                ),
+            ProgramTemplate::new(Self::NEW_ORDER)
+                .step(StepTemplate::read(
+                    "neworder-customer",
+                    tables.customer,
+                    wd(),
+                ))
+                .step(
+                    StepTemplate::write("neworder-district", tables.district, wd())
+                        .reads([4])
+                        .writes([4]),
+                )
+                .step(
+                    StepTemplate::read("neworder-item", tables.item, vec![KeyAtom::Param("i_id")])
+                        .reads([2])
+                        .abort_rate(0.01),
+                )
+                .step(StepTemplate::write("neworder-stock", tables.stock, w()).writes([2, 3, 4]))
+                .step(StepTemplate::insert("neworder-orders", tables.orders, w()))
+                .step(StepTemplate::insert(
+                    "neworder-newordertab",
+                    tables.new_order,
+                    w(),
+                ))
+                .step(StepTemplate::insert(
+                    "neworder-orderlines",
+                    tables.order_line,
+                    w(),
+                )),
+            ProgramTemplate::new(Self::DELIVERY)
+                .step(
+                    StepTemplate::delete("delivery-neworder", tables.new_order, w())
+                        .reads([0, 1, 2]),
+                )
+                .step(
+                    StepTemplate::write("delivery-orders", tables.orders, w())
+                        .reads([3])
+                        .writes([4]),
+                )
+                .step(
+                    StepTemplate::write("delivery-customer", tables.customer, w()).writes([4, 7]),
+                ),
+            ProgramTemplate::new(Self::STOCK_LEVEL)
+                .step(StepTemplate::read("stocklevel-district", tables.district, wd()).reads([4]))
+                .step(
+                    StepTemplate::read("stocklevel-orderlines", tables.order_line, wd()).reads([4]),
+                )
+                .step(StepTemplate::read("stocklevel-stock", tables.stock, w()).reads([2])),
+        ];
+        Ok(all
+            .into_iter()
+            .filter(|program| self.txn_labels().contains(&program.name()))
+            .collect())
     }
 }
 

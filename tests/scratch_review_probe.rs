@@ -46,8 +46,13 @@ fn snapshot_probe_survives_delete_then_reinsert() {
         .unwrap();
     db.commit(&deleter).unwrap();
     let inserter = db.begin();
-    db.insert(&inserter, table, account_row(1, "alice-v2", 7.0), CcMode::Full)
-        .unwrap();
+    db.insert(
+        &inserter,
+        table,
+        account_row(1, "alice-v2", 7.0),
+        CcMode::Full,
+    )
+    .unwrap();
     db.commit(&inserter).unwrap();
 
     // The pinned snapshot predates both: it must still see the original row.
